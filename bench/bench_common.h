@@ -1,0 +1,69 @@
+// Shared helpers for the paper-reproduction benches.
+//
+// Conventions every bench follows:
+//  - prints a header naming the paper table/figure it regenerates;
+//  - prints one ASCII table whose rows mirror the paper's series, with a
+//    "paper" column quoting the numbers the paper reports where available;
+//  - all timings are MODELED milliseconds from the virtual GPU's cost model
+//    (GTX-Titan parameters) — see DESIGN.md §1 for why that is the honest
+//    quantity on a GPU-less host;
+//  - dataset sizes default to laptop scale, with --rows/--cols/--sparsity
+//    flags to run the paper's full 500k-row configuration.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/types.h"
+
+namespace fusedml::bench {
+
+inline void print_header(const std::string& id, const std::string& what) {
+  std::cout << "\n==================================================================\n"
+            << id << " — " << what << "\n"
+            << "==================================================================\n";
+}
+
+inline void print_note(const std::string& note) {
+  std::cout << "note: " << note << "\n";
+}
+
+/// The paper's synthetic-sweep column counts (§4.1: "we vary the number of
+/// columns from 200 to 4,096").
+inline std::vector<index_t> paper_column_sweep() {
+  return {200, 400, 800, 1024, 2048, 4096};
+}
+
+/// Parses "a,b,c" into a list of ints.
+inline std::vector<index_t> parse_cols(const std::string& csv) {
+  std::vector<index_t> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(static_cast<index_t>(std::stoll(item)));
+  }
+  return out;
+}
+
+/// Exit-with-usage helper shared by all benches.
+inline bool handle_help(const Cli& cli) {
+  if (cli.help_requested()) {
+    std::cout << cli.usage();
+    return true;
+  }
+  return false;
+}
+
+inline std::string fmt(double v, int precision = 2) {
+  std::ostringstream os;
+  os.precision(precision);
+  os << std::fixed << v;
+  return os.str();
+}
+
+}  // namespace fusedml::bench

@@ -1,0 +1,106 @@
+// Table 4 reproduction — ultra-sparse KDD 2010: execution time (ms) of the
+// proposed kernels vs cuBLAS/cuSPARSE for three pattern instantiations.
+//
+// The real set is 15,009,374 x 29,890,095 with 423,865,484 non-zeros; the
+// KDD-like stand-in keeps its ~28 nnz/row, power-law columns, and the
+// n >> shared-memory property that forces the fused kernel's global-memory
+// aggregation variant (§3.1 large-n path). Paper numbers: 50.5 vs 5552.1,
+// 78.3 vs 5683.1, 85.2 vs 5704.1 ms — a ~66x advantage on the full pattern.
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/cli.h"
+#include "common/table.h"
+#include "kernels/baselines.h"
+#include "kernels/fused_sparse.h"
+#include "la/generate.h"
+#include "la/vector_ops.h"
+#include "vgpu/device.h"
+
+using namespace fusedml;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const auto scale = cli.get_double(
+      "scale", 100.0, "dataset shrink factor vs the real KDD 2010");
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42, ""));
+  if (bench::handle_help(cli)) return 0;
+  cli.finish();
+
+  bench::print_header("Table 4",
+                      "KDD-2010-like ultra-sparse set: proposed vs "
+                      "cuBLAS/cuSPARSE (modeled ms)");
+
+  const auto m = static_cast<index_t>(15009374 / scale);
+  const auto n = static_cast<index_t>(29890095 / scale);
+  vgpu::Device dev;
+  const auto X = la::kdd_like(m, n, 28.0, 1.5, seed);
+  bench::print_note("X: " + std::to_string(X.rows()) + " x " +
+                    std::to_string(X.cols()) + ", nnz " +
+                    std::to_string(X.nnz()) + " (1/" + bench::fmt(scale, 0) +
+                    " of the real set; times scale ~linearly with size)");
+
+  const auto ym = la::random_vector(static_cast<usize>(m), seed + 1);
+  const auto yn = la::random_vector(static_cast<usize>(n), seed + 2);
+  const auto v = la::random_vector(static_cast<usize>(m), seed + 3);
+  const auto z = la::random_vector(static_cast<usize>(n), seed + 4);
+  const real alpha = 0.5, beta = 1.5;
+
+  Table table({"Pattern", "Proposed (ms)", "cuBLAS/cuSPARSE (ms)", "speedup",
+               "aggregation", "paper (ms)"});
+
+  {  // X^T * y
+    const auto fused = kernels::fused_spmv_t(dev, X, ym);
+    const auto base = kernels::baseline_xty_sparse(
+        dev, X, ym, kernels::SparseTransposeStrategy::kExplicitTranspose);
+    const auto params = kernels::fused_sparse_params(dev, X, {});
+    table.row()
+        .add("X^T*y")
+        .add(fused.modeled_ms, 2)
+        .add(base.modeled_ms, 2)
+        .add(format_speedup(base.modeled_ms / fused.modeled_ms))
+        .add(params.shared_aggregation ? "shared" : "global")
+        .add("50.5 vs 5552.1");
+  }
+  {  // X^T * (X * y)
+    const auto fused = kernels::fused_pattern_sparse(dev, 1, X, {}, yn, 0, {});
+    const auto base = kernels::baseline_xtxy_sparse(
+        dev, X, yn, kernels::SparseTransposeStrategy::kExplicitTranspose);
+    if (la::max_abs_diff(fused.value, base.value) > 1e-6) {
+      std::cerr << "RESULT MISMATCH on X^T*(X*y)\n";
+      return 1;
+    }
+    table.row()
+        .add("X^T*(X*y)")
+        .add(fused.modeled_ms, 2)
+        .add(base.modeled_ms, 2)
+        .add(format_speedup(base.modeled_ms / fused.modeled_ms))
+        .add("global")
+        .add("78.3 vs 5683.1");
+  }
+  {  // full pattern
+    const auto fused =
+        kernels::fused_pattern_sparse(dev, alpha, X, v, yn, beta, z);
+    const auto base = kernels::baseline_pattern_sparse(
+        dev, alpha, X, v, yn, beta, z,
+        kernels::SparseTransposeStrategy::kExplicitTranspose);
+    if (la::max_abs_diff(fused.value, base.value) > 1e-6) {
+      std::cerr << "RESULT MISMATCH on the full pattern\n";
+      return 1;
+    }
+    table.row()
+        .add("a*X^T*(v.(X*y))+b*z")
+        .add(fused.modeled_ms, 2)
+        .add(base.modeled_ms, 2)
+        .add(format_speedup(base.modeled_ms / fused.modeled_ms))
+        .add("global")
+        .add("85.2 vs 5704.1 (66x)");
+  }
+
+  std::cout << table;
+  bench::print_note(
+      "with n in the tens of millions the partial w cannot live in shared "
+      "memory, so the fused kernel scatters straight to global memory; the "
+      "data is so sparse that atomic collisions on w are rare (§4.1).");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Linear regression with conjugate gradient (Listing 1 of the paper),
+// trained on synthetic data through each backend, with the per-bucket time
+// split that motivates kernel fusion.
+#include <iostream>
+
+#include "common/table.h"
+#include "la/generate.h"
+#include "la/vector_ops.h"
+#include "ml/lr_cg.h"
+#include "patterns/executor.h"
+#include "vgpu/device.h"
+
+using namespace fusedml;
+
+int main() {
+  vgpu::Device device;
+  const auto X = la::uniform_sparse(50000, 500, 0.02, 11);
+  const auto labels = la::regression_labels(X, 11, 0.05);
+  const auto w_true = la::regression_true_weights(500, 11);
+
+  Table table({"backend", "iterations", "pattern (ms)", "BLAS-1 (ms)",
+               "total (ms)", "weight error"});
+  for (auto backend :
+       {patterns::Backend::kFused, patterns::Backend::kCusparse,
+        patterns::Backend::kBidmatGpu, patterns::Backend::kCpu}) {
+    patterns::PatternExecutor exec(device, backend);
+    ml::LrCgConfig cfg;
+    cfg.eps = 1e-6;
+    const auto r = ml::lr_cg(exec, X, labels, cfg);
+    table.row()
+        .add(to_string(backend))
+        .add(r.stats.iterations)
+        .add(r.stats.pattern_modeled_ms, 3)
+        .add(r.stats.blas1_modeled_ms, 3)
+        .add(r.stats.total_modeled_ms(), 3)
+        .add(la::max_abs_diff(w_true, r.weights), 4);
+  }
+  std::cout << "Linear Regression CG (Listing 1) on 50k x 500 sparse data\n"
+            << table
+            << "\nEvery backend converges to the same weights; the fused "
+               "backend spends the least modeled time because the\n"
+               "q = X^T*(X*p) + eps*p update is ONE kernel instead of an "
+               "operator-at-a-time chain.\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Binary classification with trust-region Newton logistic regression —
+// the algorithm whose Hessian-vector products exercise the FULL generic
+// pattern (alpha * X^T * (v ⊙ (X*y)) + beta*z) in a single fused kernel.
+#include <iostream>
+
+#include "common/table.h"
+#include "la/generate.h"
+#include "ml/logreg.h"
+#include "patterns/executor.h"
+#include "patterns/pattern.h"
+#include "vgpu/device.h"
+
+using namespace fusedml;
+
+int main() {
+  vgpu::Device device;
+  patterns::PatternExecutor exec(device, patterns::Backend::kFused);
+
+  const auto X = la::uniform_sparse(20000, 200, 0.05, 21);
+  const auto y = la::classification_labels(X, 21, 0.2);
+
+  ml::LogRegConfig cfg;
+  cfg.lambda = 0.5;
+  const auto model = ml::logreg_trust_region(exec, X, y, cfg);
+
+  const auto probs = ml::logreg_predict(exec, X, model.weights);
+  int correct = 0;
+  for (usize i = 0; i < probs.size(); ++i) {
+    if ((probs[i] >= 0.5 ? 1.0 : -1.0) == y[i]) ++correct;
+  }
+
+  std::cout << "Trust-region Newton logistic regression on 20k x 200 sparse "
+               "data\n"
+            << "  newton iterations : " << model.stats.iterations << "\n"
+            << "  inner CG products : " << model.cg_iterations_total << "\n"
+            << "  final objective   : " << model.final_objective << "\n"
+            << "  gradient norm     : " << model.final_gradient_norm << "\n"
+            << "  training accuracy : "
+            << 100.0 * correct / static_cast<double>(probs.size()) << "%\n"
+            << "  pattern time      : " << format_ms(model.stats.pattern_modeled_ms)
+            << " over " << model.stats.launches << " launches\n\n";
+
+  std::cout << "pattern instantiations this algorithm issued (Table 1 row):\n";
+  for (const auto& [kind, count] : exec.usage()) {
+    std::cout << "  " << to_string(kind) << " x" << count << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Linear SVM trained in the primal (squared hinge, Newton + CG) — per
+// Table 1 this algorithm uses the pattern instantiations WITHOUT the v
+// weighting: a*X^T*y and X^T*(X*y) + b*z on the support-vector submatrix.
+#include <iostream>
+
+#include "la/generate.h"
+#include "ml/svm.h"
+#include "patterns/executor.h"
+#include "patterns/pattern.h"
+#include "vgpu/device.h"
+
+using namespace fusedml;
+
+int main() {
+  vgpu::Device device;
+  patterns::PatternExecutor exec(device, patterns::Backend::kFused);
+
+  const auto X = la::uniform_sparse(10000, 150, 0.08, 31);
+  const auto y = la::classification_labels(X, 31, 0.1);
+
+  ml::SvmConfig cfg;
+  cfg.C = 5.0;
+  const auto model = ml::svm_primal(exec, X, y, cfg);
+
+  const auto decision = ml::svm_decision(exec, X, model.weights);
+  int correct = 0;
+  for (usize i = 0; i < decision.size(); ++i) {
+    if ((decision[i] >= 0 ? 1.0 : -1.0) == y[i]) ++correct;
+  }
+
+  std::cout << "Primal SVM (squared hinge Newton) on 10k x 150 sparse data\n"
+            << "  newton iterations : " << model.stats.iterations << "\n"
+            << "  support vectors   : " << model.support_vectors << " / "
+            << X.rows() << "\n"
+            << "  final objective   : " << model.final_objective << "\n"
+            << "  training accuracy : "
+            << 100.0 * correct / static_cast<double>(decision.size()) << "%\n\n";
+
+  std::cout << "pattern instantiations issued (compare Table 1's SVM "
+               "column — no v-weighted forms):\n";
+  for (const auto& [kind, count] : exec.usage()) {
+    std::cout << "  " << to_string(kind) << " x" << count << "\n";
+  }
+  return 0;
+}

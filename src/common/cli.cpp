@@ -1,0 +1,80 @@
+#include "common/cli.h"
+
+#include <cstdlib>
+
+#include "common/error.h"
+
+namespace fusedml {
+
+Cli::Cli(int argc, const char* const* argv) {
+  program_ = argc > 0 ? argv[0] : "program";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    FUSEDML_CHECK(arg.rfind("--", 0) == 0, "expected --flag, got: " + arg);
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      args_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      args_[arg] = argv[++i];
+    } else {
+      args_[arg] = "true";  // bare flag => boolean true
+    }
+  }
+}
+
+void Cli::declare(const std::string& name, const std::string& def,
+                  const std::string& help) {
+  declared_.insert(name);
+  help_lines_.push_back("  --" + name + " (default: " + def + ")" +
+                        (help.empty() ? "" : "  " + help));
+}
+
+std::string Cli::get_string(const std::string& name, const std::string& def,
+                            const std::string& help) {
+  declare(name, def, help);
+  const auto it = args_.find(name);
+  return it == args_.end() ? def : it->second;
+}
+
+long long Cli::get_int(const std::string& name, long long def,
+                       const std::string& help) {
+  declare(name, std::to_string(def), help);
+  const auto it = args_.find(name);
+  if (it == args_.end()) return def;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& name, double def,
+                       const std::string& help) {
+  declare(name, std::to_string(def), help);
+  const auto it = args_.find(name);
+  if (it == args_.end()) return def;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Cli::get_bool(const std::string& name, bool def,
+                   const std::string& help) {
+  declare(name, def ? "true" : "false", help);
+  const auto it = args_.find(name);
+  if (it == args_.end()) return def;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+void Cli::finish() const {
+  for (const auto& [name, _] : args_) {
+    FUSEDML_CHECK(declared_.count(name) > 0, "unknown flag: --" + name);
+  }
+}
+
+std::string Cli::usage() const {
+  std::string out = "usage: " + program_ + " [flags]\n";
+  for (const auto& line : help_lines_) out += line + "\n";
+  return out;
+}
+
+}  // namespace fusedml

@@ -1,0 +1,51 @@
+// Minimal command-line flag parser for benches and examples.
+//
+// Supports `--name value` and `--name=value`; unknown flags raise so that
+// typos in bench invocations fail loudly instead of silently using defaults.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+
+namespace fusedml {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  /// Declare a flag with a default; returns the parsed value. Call all
+  /// declarations, then finish() to reject unknown flags.
+  std::string get_string(const std::string& name, const std::string& def,
+                         const std::string& help = "");
+  long long get_int(const std::string& name, long long def,
+                    const std::string& help = "");
+  double get_double(const std::string& name, double def,
+                    const std::string& help = "");
+  bool get_bool(const std::string& name, bool def,
+                const std::string& help = "");
+
+  /// True when --help was passed; callers should print usage() and exit 0.
+  bool help_requested() const { return help_requested_; }
+
+  /// Verify that every flag given on the command line was declared.
+  void finish() const;
+
+  /// Usage text assembled from the declarations.
+  std::string usage() const;
+
+ private:
+  std::string program_;
+  std::unordered_map<std::string, std::string> args_;
+  std::unordered_set<std::string> declared_;
+  std::vector<std::string> help_lines_;
+  bool help_requested_ = false;
+
+  void declare(const std::string& name, const std::string& def,
+               const std::string& help);
+};
+
+}  // namespace fusedml

@@ -1,0 +1,37 @@
+// Error handling: a library-specific exception plus always-on check macros.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace fusedml {
+
+/// Exception thrown on any precondition or invariant violation inside
+/// fusedml. Deriving from std::runtime_error keeps call sites idiomatic.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "FUSEDML_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace fusedml
+
+/// Always-on precondition check (unlike assert, survives release builds).
+/// Usage: FUSEDML_CHECK(n > 0, "matrix must be non-empty");
+#define FUSEDML_CHECK(expr, ...)                                             \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::fusedml::detail::throw_check_failure(#expr, __FILE__, __LINE__,      \
+                                             ::std::string{__VA_ARGS__});    \
+    }                                                                        \
+  } while (false)

@@ -1,0 +1,43 @@
+// Leveled stderr logging. Off-by-default debug level keeps bench output clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace fusedml {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are dropped. Default: kInfo.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line to stderr with a level tag (thread-safe).
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace fusedml
+
+#define FUSEDML_LOG_DEBUG ::fusedml::detail::LogLine(::fusedml::LogLevel::kDebug)
+#define FUSEDML_LOG_INFO ::fusedml::detail::LogLine(::fusedml::LogLevel::kInfo)
+#define FUSEDML_LOG_WARN ::fusedml::detail::LogLine(::fusedml::LogLevel::kWarn)
+#define FUSEDML_LOG_ERROR ::fusedml::detail::LogLine(::fusedml::LogLevel::kError)

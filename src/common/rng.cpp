@@ -1,0 +1,111 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/error.h"
+
+namespace fusedml {
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+// splitmix64: used only to expand the user seed into the 256-bit state.
+inline std::uint64_t splitmix64(std::uint64_t& s) {
+  std::uint64_t z = (s += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& w : state_) w = splitmix64(s);
+  // A zero state is the one forbidden input of xoshiro.
+  if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
+    state_[0] = 1;
+  }
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 top bits -> [0,1) with full double mantissa resolution.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  FUSEDML_CHECK(n > 0, "uniform_index requires n > 0");
+  // Lemire-style rejection-free multiply-shift is fine for our purposes;
+  // bias is < 2^-64 * n which is negligible for dataset generation.
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(next_u64()) * n) >> 64);
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = uniform();
+  double u2 = uniform();
+  while (u1 <= 1e-300) u1 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * 3.14159265358979323846 * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+std::uint64_t Rng::poisson(double lambda) {
+  FUSEDML_CHECK(lambda >= 0.0, "poisson requires lambda >= 0");
+  if (lambda < 30.0) {
+    const double limit = std::exp(-lambda);
+    double prod = uniform();
+    std::uint64_t k = 0;
+    while (prod > limit) {
+      prod *= uniform();
+      ++k;
+    }
+    return k;
+  }
+  // Normal approximation with continuity correction for large lambda.
+  const double x = normal(lambda, std::sqrt(lambda));
+  return x <= 0.0 ? 0 : static_cast<std::uint64_t>(x + 0.5);
+}
+
+std::vector<index_t> Rng::sample_without_replacement(index_t n, index_t k) {
+  FUSEDML_CHECK(k >= 0 && k <= n, "sample size must satisfy 0 <= k <= n");
+  // Floyd's algorithm: O(k) expected time and memory.
+  std::unordered_set<index_t> chosen;
+  chosen.reserve(static_cast<usize>(k));
+  for (index_t j = n - k; j < n; ++j) {
+    const auto t = static_cast<index_t>(uniform_index(static_cast<std::uint64_t>(j) + 1));
+    chosen.insert(chosen.count(t) ? j : t);
+  }
+  std::vector<index_t> out(chosen.begin(), chosen.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace fusedml

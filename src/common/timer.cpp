@@ -1,0 +1,38 @@
+#include "common/timer.h"
+
+#include <algorithm>
+
+namespace fusedml {
+
+void Profiler::add(const std::string& name, double ms) { buckets_[name] += ms; }
+
+double Profiler::total_ms() const {
+  double total = 0.0;
+  for (const auto& [_, ms] : buckets_) total += ms;
+  return total;
+}
+
+double Profiler::bucket_ms(const std::string& name) const {
+  const auto it = buckets_.find(name);
+  return it == buckets_.end() ? 0.0 : it->second;
+}
+
+double Profiler::percent(const std::string& name) const {
+  const double total = total_ms();
+  return total <= 0.0 ? 0.0 : 100.0 * bucket_ms(name) / total;
+}
+
+std::vector<std::string> Profiler::buckets_by_time() const {
+  std::vector<std::string> names;
+  names.reserve(buckets_.size());
+  for (const auto& [name, _] : buckets_) names.push_back(name);
+  std::sort(names.begin(), names.end(),
+            [this](const std::string& a, const std::string& b) {
+              return bucket_ms(a) > bucket_ms(b);
+            });
+  return names;
+}
+
+void Profiler::clear() { buckets_.clear(); }
+
+}  // namespace fusedml

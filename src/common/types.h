@@ -1,0 +1,25 @@
+// Fundamental scalar and index types shared by every fusedml subsystem.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fusedml {
+
+/// Floating-point element type. The paper evaluates in double precision
+/// (its 1.2 TFLOPs / 288 GB/s => 34 flops-per-load argument assumes 8-byte
+/// words), so the whole library is built around `real`.
+using real = double;
+
+/// Row/column index into a matrix. 32-bit signed matches the CSR index
+/// arrays CUDA sparse libraries use; scaled-down datasets always fit.
+using index_t = std::int32_t;
+
+/// Offset into a non-zero array (row_off entries). 64-bit so that matrices
+/// with more than 2^31 non-zeros are representable.
+using offset_t = std::int64_t;
+
+/// Byte sizes / counters.
+using usize = std::size_t;
+
+}  // namespace fusedml

@@ -1,0 +1,65 @@
+// Umbrella header: the fusedml public API in one include.
+//
+//   #include "fusedml.h"
+//   fusedml::vgpu::Device device;
+//   fusedml::patterns::PatternExecutor exec(device,
+//       fusedml::patterns::Backend::kFused);
+//   auto w = exec.pattern(alpha, X, v, y, beta, z);
+//
+// Layered from bottom to top:
+//   common   — RNG, timing, stats, tables
+//   vgpu     — the virtual GPU (device model, occupancy, cost model)
+//   la       — matrix formats, conversions, generators, reference oracles
+//   kernels  — fused kernels + every baseline + streaming/hybrid extensions
+//   tuner    — §3.3 launch-parameter model + exhaustive autotuner
+//   patterns — the PatternExecutor front-end (start here)
+//   ml       — LR-CG, GLM, LogReg, SVM, HITS on the pattern API
+//   sysml    — mini declarative runtime with GPU memory manager
+#pragma once
+
+#include "common/cli.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/timer.h"
+#include "common/types.h"
+
+#include "vgpu/cost_model.h"
+#include "vgpu/device.h"
+#include "vgpu/device_spec.h"
+#include "vgpu/occupancy.h"
+
+#include "la/convert.h"
+#include "la/csr_matrix.h"
+#include "la/dense_matrix.h"
+#include "la/generate.h"
+#include "la/io.h"
+#include "la/vector_ops.h"
+
+#include "kernels/baselines.h"
+#include "kernels/blas1.h"
+#include "kernels/cpu_backend.h"
+#include "kernels/fused_dense.h"
+#include "kernels/fused_sparse.h"
+#include "kernels/gemv.h"
+#include "kernels/hybrid.h"
+#include "kernels/spmv.h"
+#include "kernels/spmv_transpose.h"
+#include "kernels/streaming.h"
+
+#include "tuner/autotune.h"
+#include "tuner/launch_params.h"
+
+#include "patterns/executor.h"
+#include "patterns/pattern.h"
+
+#include "ml/glm.h"
+#include "ml/hits.h"
+#include "ml/logreg.h"
+#include "ml/lr_cg.h"
+#include "ml/svm.h"
+
+#include "sysml/lr_cg_script.h"
+#include "sysml/memory_manager.h"
+#include "sysml/runtime.h"

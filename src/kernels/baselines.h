@@ -1,0 +1,68 @@
+// Multi-kernel baseline pipelines — what "stitching together cuBLAS /
+// cuSPARSE / BIDMat kernels" costs for each pattern instantiation. These
+// are the comparison lines of Figures 2-5 and Tables 4-5.
+//
+// Each evaluation launches one device kernel per primitive operator and
+// materializes every intermediate in global memory — precisely the costs
+// the fused kernels remove.
+#pragma once
+
+#include <span>
+
+#include "kernels/op_result.h"
+#include "la/csr_matrix.h"
+#include "la/dense_matrix.h"
+#include "vgpu/device.h"
+
+namespace fusedml::kernels {
+
+/// How a baseline computes the transposed sparse product X^T * p.
+enum class SparseTransposeStrategy {
+  /// cuSPARSE-style: explicit csr2csc per call, then csrmv on X^T (§3.1:
+  /// "NVIDIA suggests an explicit transposition ... followed by a standard
+  /// sparse matrix-vector multiplication").
+  kExplicitTranspose,
+  /// BIDMat-style custom kernel: single pass with global atomic scatter.
+  kAtomicScatter,
+};
+
+// --- Sparse baselines ------------------------------------------------------
+
+/// w = X^T * y (one pattern-instantiation of Table 1).
+OpResult baseline_xty_sparse(vgpu::Device& dev, const la::CsrMatrix& X,
+                             std::span<const real> y,
+                             SparseTransposeStrategy strategy);
+
+/// w = X^T * (X * y): two chained products, intermediate in global memory.
+OpResult baseline_xtxy_sparse(vgpu::Device& dev, const la::CsrMatrix& X,
+                              std::span<const real> y,
+                              SparseTransposeStrategy strategy);
+
+/// Full pattern w = alpha * X^T * (v ⊙ (X*y)) + beta*z via csrmv + BLAS-1
+/// kernels (ewise, scale) + the transposed product.
+OpResult baseline_pattern_sparse(vgpu::Device& dev, real alpha,
+                                 const la::CsrMatrix& X,
+                                 std::span<const real> v,
+                                 std::span<const real> y, real beta,
+                                 std::span<const real> z,
+                                 SparseTransposeStrategy strategy);
+
+// --- Dense baselines -------------------------------------------------------
+
+enum class DenseFlavor {
+  kCublas,  ///< unpadded smem tiles in gemv_t (bank conflicts)
+  kBidmat,  ///< padded tiles, conflict-free
+};
+
+/// w = X^T * (X * y) via two gemv launches.
+OpResult baseline_xtxy_dense(vgpu::Device& dev, const la::DenseMatrix& X,
+                             std::span<const real> y, DenseFlavor flavor);
+
+/// Full dense pattern via gemv + BLAS-1 + gemv_t.
+OpResult baseline_pattern_dense(vgpu::Device& dev, real alpha,
+                                const la::DenseMatrix& X,
+                                std::span<const real> v,
+                                std::span<const real> y, real beta,
+                                std::span<const real> z, DenseFlavor flavor);
+
+}  // namespace fusedml::kernels

@@ -1,0 +1,176 @@
+#include "kernels/blas1.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "kernels/resource_profile.h"
+
+namespace fusedml::kernels {
+
+namespace {
+
+using vgpu::BlockCtx;
+using vgpu::LaunchConfig;
+using vgpu::MemPath;
+
+/// Launch geometry for a grid-stride streaming kernel over `n` elements.
+LaunchConfig streaming_config(const vgpu::Device& dev, usize n) {
+  LaunchConfig cfg;
+  cfg.block_size = 256;
+  cfg.resources = {kBlas1RegsPerThread, 0};
+  const auto occ =
+      vgpu::compute_occupancy(dev.spec(), cfg.block_size, cfg.resources);
+  const int max_resident_blocks = occ.blocks_per_sm * dev.spec().num_sms;
+  const auto blocks_needed = static_cast<int>(
+      std::min<usize>((n + cfg.block_size - 1) / cfg.block_size,
+                      static_cast<usize>(max_resident_blocks)));
+  cfg.grid_size = std::max(1, blocks_needed);
+  return cfg;
+}
+
+/// Runs `body(ctx, i0, lanes)` for every warp-sized slice [i0, i0+lanes) of
+/// [0, n), distributed across blocks grid-stride — the canonical streaming
+/// kernel shape. `body` does both the functional work and the accounting.
+template <typename Body>
+vgpu::LaunchStats launch_streaming(vgpu::Device& dev, usize n, Body&& body) {
+  const LaunchConfig cfg = streaming_config(dev, n);
+  return dev.launch(cfg, [&](BlockCtx& ctx) {
+    const usize stride =
+        static_cast<usize>(ctx.grid_size()) * ctx.block_size();
+    const usize base = static_cast<usize>(ctx.block_id()) * ctx.block_size();
+    for (usize chunk = base; chunk < n; chunk += stride) {
+      const usize end = std::min(n, chunk + ctx.block_size());
+      for (usize i0 = chunk; i0 < end; i0 += 32) {
+        const int lanes = static_cast<int>(std::min<usize>(32, end - i0));
+        body(ctx, i0, lanes);
+      }
+    }
+  });
+}
+
+}  // namespace
+
+OpResult dev_axpy(vgpu::Device& dev, real alpha, std::span<const real> x,
+                  std::span<real> y) {
+  FUSEDML_CHECK(x.size() == y.size(), "axpy size mismatch");
+  OpResult out;
+  out.absorb(launch_streaming(dev, x.size(),
+                              [&](BlockCtx& ctx, usize i0, int lanes) {
+    ctx.mem().load_contiguous(i0, lanes, sizeof(real));  // x
+    ctx.mem().load_contiguous(i0, lanes, sizeof(real));  // y
+    ctx.mem().store_contiguous(i0, lanes, sizeof(real));
+    ctx.mem().add_flops(2ull * lanes);
+    for (int l = 0; l < lanes; ++l) y[i0 + l] += alpha * x[i0 + l];
+  }));
+  out.value.assign(y.begin(), y.end());
+  return out;
+}
+
+OpResult dev_scal(vgpu::Device& dev, real alpha, std::span<real> x) {
+  OpResult out;
+  out.absorb(launch_streaming(dev, x.size(),
+                              [&](BlockCtx& ctx, usize i0, int lanes) {
+    ctx.mem().load_contiguous(i0, lanes, sizeof(real));
+    ctx.mem().store_contiguous(i0, lanes, sizeof(real));
+    ctx.mem().add_flops(static_cast<std::uint64_t>(lanes));
+    for (int l = 0; l < lanes; ++l) x[i0 + l] *= alpha;
+  }));
+  out.value.assign(x.begin(), x.end());
+  return out;
+}
+
+namespace {
+/// Shared implementation of the reduction kernels (dot / nrm2): per-block
+/// partials reduced in shared memory, combined with one global atomic per
+/// block — the standard cuBLAS-style two-level reduction.
+template <typename LanesOp>
+OpResult reduction_kernel(vgpu::Device& dev, usize n, LanesOp&& lane_sum) {
+  OpResult out;
+  out.value.assign(1, real{0});
+  real& target = out.value.front();
+  LaunchConfig cfg = streaming_config(dev, n);
+  cfg.smem_words = static_cast<usize>(cfg.block_size) / 32;  // warp partials
+  out.absorb(dev.launch(cfg, [&](BlockCtx& ctx) {
+    real block_sum = 0;
+    const usize stride =
+        static_cast<usize>(ctx.grid_size()) * ctx.block_size();
+    const usize base = static_cast<usize>(ctx.block_id()) * ctx.block_size();
+    for (usize chunk = base; chunk < n; chunk += stride) {
+      const usize end = std::min(n, chunk + ctx.block_size());
+      for (usize i0 = chunk; i0 < end; i0 += 32) {
+        const int lanes = static_cast<int>(std::min<usize>(32, end - i0));
+        block_sum += lane_sum(ctx, i0, lanes);
+        // Intra-warp shuffle reduce: log2(32) = 5 steps.
+        ctx.counters().shuffle_ops += 31;
+      }
+    }
+    // Warp partials into shared memory, then one atomic per block.
+    const int warps = ctx.block_size() / 32;
+    for (int w = 0; w < warps; ++w) ctx.smem().store(static_cast<usize>(w), 0);
+    ctx.mem().atomic_global(1, 1);
+    vgpu::atomic_add(target, block_sum);
+  }));
+  out.launches = 1;
+  return out;
+}
+}  // namespace
+
+OpResult dev_dot(vgpu::Device& dev, std::span<const real> x,
+                 std::span<const real> y) {
+  FUSEDML_CHECK(x.size() == y.size(), "dot size mismatch");
+  return reduction_kernel(dev, x.size(),
+                          [&](BlockCtx& ctx, usize i0, int lanes) {
+    ctx.mem().load_contiguous(i0, lanes, sizeof(real));
+    ctx.mem().load_contiguous(i0, lanes, sizeof(real));
+    ctx.mem().add_flops(2ull * lanes);
+    real s = 0;
+    for (int l = 0; l < lanes; ++l) s += x[i0 + l] * y[i0 + l];
+    return s;
+  });
+}
+
+OpResult dev_nrm2(vgpu::Device& dev, std::span<const real> x) {
+  auto out = reduction_kernel(dev, x.size(),
+                              [&](BlockCtx& ctx, usize i0, int lanes) {
+    ctx.mem().load_contiguous(i0, lanes, sizeof(real));
+    ctx.mem().add_flops(2ull * lanes);
+    real s = 0;
+    for (int l = 0; l < lanes; ++l) s += x[i0 + l] * x[i0 + l];
+    return s;
+  });
+  out.value.front() = std::sqrt(out.value.front());
+  return out;
+}
+
+OpResult dev_ewise_mul(vgpu::Device& dev, std::span<const real> x,
+                       std::span<const real> y) {
+  FUSEDML_CHECK(x.size() == y.size(), "ewise_mul size mismatch");
+  OpResult out;
+  out.value.assign(x.size(), real{0});
+  out.absorb(launch_streaming(dev, x.size(),
+                              [&](BlockCtx& ctx, usize i0, int lanes) {
+    ctx.mem().load_contiguous(i0, lanes, sizeof(real));
+    ctx.mem().load_contiguous(i0, lanes, sizeof(real));
+    ctx.mem().store_contiguous(i0, lanes, sizeof(real));
+    ctx.mem().add_flops(static_cast<std::uint64_t>(lanes));
+    for (int l = 0; l < lanes; ++l) out.value[i0 + l] = x[i0 + l] * y[i0 + l];
+  }));
+  return out;
+}
+
+OpResult dev_scale_into(vgpu::Device& dev, real beta,
+                        std::span<const real> z) {
+  OpResult out;
+  out.value.assign(z.size(), real{0});
+  out.absorb(launch_streaming(dev, z.size(),
+                              [&](BlockCtx& ctx, usize i0, int lanes) {
+    ctx.mem().load_contiguous(i0, lanes, sizeof(real));
+    ctx.mem().store_contiguous(i0, lanes, sizeof(real));
+    ctx.mem().add_flops(static_cast<std::uint64_t>(lanes));
+    for (int l = 0; l < lanes; ++l) out.value[i0 + l] = beta * z[i0 + l];
+  }));
+  return out;
+}
+
+}  // namespace fusedml::kernels

@@ -1,0 +1,38 @@
+// Device BLAS Level-1 kernels — the cuBLAS calls of the baseline pipeline
+// in Listing 1 (axpy, dot, nrm2, scal) plus the element-wise multiply the
+// full pattern needs. Each call is one kernel launch on the virtual device
+// and pays the corresponding launch overhead and global-memory round trip —
+// exactly the costs kernel fusion removes.
+#pragma once
+
+#include <span>
+
+#include "common/types.h"
+#include "kernels/op_result.h"
+#include "vgpu/device.h"
+
+namespace fusedml::kernels {
+
+/// y += alpha * x  (in place on y). Result value: y.
+OpResult dev_axpy(vgpu::Device& dev, real alpha, std::span<const real> x,
+                  std::span<real> y);
+
+/// x *= alpha  (in place). Result value: x.
+OpResult dev_scal(vgpu::Device& dev, real alpha, std::span<real> x);
+
+/// Dot product; value has exactly one element.
+OpResult dev_dot(vgpu::Device& dev, std::span<const real> x,
+                 std::span<const real> y);
+
+/// Euclidean norm; value has exactly one element.
+OpResult dev_nrm2(vgpu::Device& dev, std::span<const real> x);
+
+/// out[i] = x[i] * y[i].
+OpResult dev_ewise_mul(vgpu::Device& dev, std::span<const real> x,
+                       std::span<const real> y);
+
+/// out[i] = beta * z[i]  (the beta*z initialization as its own kernel, the
+/// "launch two kernels" alternative discussed under Algorithm 2).
+OpResult dev_scale_into(vgpu::Device& dev, real beta, std::span<const real> z);
+
+}  // namespace fusedml::kernels

@@ -1,0 +1,69 @@
+// Host-CPU execution backend — the BIDMat-CPU / Intel-MKL comparison lines
+// of Figures 3-5 and the single-threaded measurements behind Table 2.
+//
+// Operations run functionally (they double as correctness oracles) and are
+// timed two ways: wall_ms is the real measured time on this host (used by
+// the Table 2 profile, which the paper also measured on a CPU), modeled_ms
+// comes from the CpuCostModel parameterized like the paper's host (core-i7,
+// 8 hyper-threads, dual-channel DDR3) so figure speedup ratios are
+// comparable with the GPU numbers regardless of the machine the bench runs
+// on.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "la/csr_matrix.h"
+#include "la/dense_matrix.h"
+#include "vgpu/cost_model.h"
+
+namespace fusedml::kernels {
+
+struct CpuOpResult {
+  std::vector<real> value;
+  double modeled_ms = 0.0;
+  double wall_ms = 0.0;
+};
+
+class CpuBackend {
+ public:
+  explicit CpuBackend(vgpu::CpuSpec spec = vgpu::paper_host_cpu(),
+                      int threads = 8)
+      : model_(spec), threads_(threads) {}
+
+  int threads() const { return threads_; }
+
+  // Matrix-vector products.
+  CpuOpResult spmv(const la::CsrMatrix& X, std::span<const real> y) const;
+  CpuOpResult spmv_t(const la::CsrMatrix& X, std::span<const real> y) const;
+  CpuOpResult gemv(const la::DenseMatrix& X, std::span<const real> y) const;
+  CpuOpResult gemv_t(const la::DenseMatrix& X, std::span<const real> p) const;
+
+  // Whole-pattern evaluations (MKL would run these as two products plus
+  // BLAS-1 calls; bytes are charged accordingly).
+  CpuOpResult pattern(real alpha, const la::CsrMatrix& X,
+                      std::span<const real> v, std::span<const real> y,
+                      real beta, std::span<const real> z) const;
+  CpuOpResult pattern(real alpha, const la::DenseMatrix& X,
+                      std::span<const real> v, std::span<const real> y,
+                      real beta, std::span<const real> z) const;
+
+  // BLAS-1.
+  CpuOpResult axpy(real alpha, std::span<const real> x,
+                   std::span<real> y) const;
+  CpuOpResult dot(std::span<const real> x, std::span<const real> y) const;
+  CpuOpResult nrm2(std::span<const real> x) const;
+  CpuOpResult ewise_mul(std::span<const real> x,
+                        std::span<const real> y) const;
+  CpuOpResult scal(real alpha, std::span<real> x) const;
+
+ private:
+  vgpu::CpuCostModel model_;
+  int threads_;
+
+  /// Sparse product footprint: nnz values + indices + in/out vectors.
+  std::uint64_t sparse_bytes(const la::CsrMatrix& X) const;
+};
+
+}  // namespace fusedml::kernels

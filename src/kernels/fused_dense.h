@@ -1,0 +1,52 @@
+// The paper's fused kernel for dense matrices (§3.2, Algorithm 3) plus the
+// code-generation story: the production path instantiates a compile-time
+// unrolled kernel per thread-load TL (the template analogue of the paper's
+// generated mtmvm_<n>_<VS>_<TL> CUDA kernels — Listing 2), keeping l_X, l_y
+// and l_w in registers. The non-codegen path indexes those arrays with
+// runtime values, which CUDA demotes to local memory; we model that spill
+// traffic so the ablation reproduces why codegen exists.
+#pragma once
+
+#include <span>
+
+#include "kernels/op_result.h"
+#include "la/dense_matrix.h"
+#include "tuner/launch_params.h"
+#include "vgpu/device.h"
+
+namespace fusedml::kernels {
+
+struct FusedDenseOptions {
+  bool texture_y = true;
+  /// true: compile-time-unrolled register kernel (the generated code);
+  /// false: runtime-indexed arrays — models the local-memory spill.
+  bool use_codegen = true;
+  /// Overrides for the autotuner; 0 = §3.3 analytical model.
+  int thread_load = 0;
+  int block_size = 0;
+  int vector_size = 0;
+  int coarsening = 0;
+};
+
+/// w = alpha * X^T * (v ⊙ (X * y)) + beta * z on dense X, in one kernel.
+/// v may be empty (all-ones), z may be empty (no beta term).
+OpResult fused_pattern_dense(vgpu::Device& dev, real alpha,
+                             const la::DenseMatrix& X, std::span<const real> v,
+                             std::span<const real> y, real beta,
+                             std::span<const real> z,
+                             FusedDenseOptions opts = {});
+
+/// Launch parameters Algorithm 3 would use for this matrix.
+tuner::DenseParams fused_dense_params(const vgpu::Device& dev,
+                                      const la::DenseMatrix& X,
+                                      const FusedDenseOptions& opts);
+
+/// Whether the fused dense kernel can handle n columns on this device:
+/// a vector of BS threads with TL <= 40 register elements each must cover
+/// the row (§3.2: "the number of registers available on the GPU governs
+/// the maximum number of columns"; beyond it, "we propose not to use the
+/// fused kernel, and instead, simply launch two separate cuBLAS Level 2
+/// kernels").
+bool dense_fused_feasible(const vgpu::DeviceSpec& spec, index_t n);
+
+}  // namespace fusedml::kernels

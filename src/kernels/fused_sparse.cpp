@@ -1,0 +1,347 @@
+#include "kernels/fused_sparse.h"
+
+#include <algorithm>
+#include <array>
+
+#include "common/error.h"
+#include "kernels/resource_profile.h"
+#include "kernels/sparse_warp_accounting.h"
+#include "kernels/texture_model.h"
+#include "vgpu/warp.h"
+
+namespace fusedml::kernels {
+
+namespace {
+using vgpu::BlockCtx;
+using vgpu::LaunchConfig;
+using vgpu::MemPath;
+
+/// Applies user overrides on top of the §3.3 model and re-derives the
+/// dependent quantities (coarsening, shared-memory size).
+tuner::SparseParams resolve_params(const vgpu::Device& dev, index_t m,
+                                   index_t n, double mu,
+                                   const FusedSparseOptions& opts) {
+  auto params = tuner::sparse_launch_params(dev.spec(), m, n, mu,
+                                            opts.aggregation);
+  bool dirty = false;
+  if (opts.vector_size > 0) {
+    params.config.vector_size = opts.vector_size;
+    dirty = true;
+  }
+  if (opts.block_size > 0) {
+    params.config.block_size = opts.block_size;
+    dirty = true;
+  }
+  if (opts.grid_size > 0) {
+    params.config.grid_size = opts.grid_size;
+    dirty = true;
+  }
+  if (dirty) {
+    const int vs = params.config.vector_size;
+    const int bs = params.config.block_size;
+    FUSEDML_CHECK(bs % vs == 0, "block size must be a multiple of VS");
+    params.shared_aggregation =
+        params.shared_aggregation &&
+        tuner::shared_aggregation_feasible(dev.spec(), n, vs);
+    params.config.resources.smem_per_block =
+        params.shared_aggregation
+            ? sparse_fused_smem_bytes(bs, vs, n)
+            : sparse_fused_smem_bytes_global_agg(bs, vs);
+    params.config.smem_words =
+        params.config.resources.smem_per_block / sizeof(real);
+    params.occupancy = vgpu::compute_occupancy(dev.spec(), bs,
+                                               params.config.resources);
+    if (opts.grid_size == 0) {
+      params.config.grid_size = std::max(
+          1, params.occupancy.blocks_per_sm * dev.spec().num_sms);
+    }
+    const long long total_vectors =
+        static_cast<long long>(params.config.grid_size) * (bs / vs);
+    params.config.coarsening = static_cast<int>(
+        std::max<long long>(1, (m + total_vectors - 1) / total_vectors));
+  }
+  if (opts.coarsening > 0) params.config.coarsening = opts.coarsening;
+  return params;
+}
+
+/// §3's cache-residency condition: the second pass over a row is an L2 hit
+/// when all concurrently processed rows fit in L2.
+MemPath second_pass_path(const vgpu::Device& dev,
+                         const tuner::SparseParams& params, double mu,
+                         bool enabled) {
+  if (!enabled) return MemPath::kDram;
+  const double active_vectors =
+      static_cast<double>(params.occupancy.active_threads_per_sm) /
+      params.config.vector_size * dev.spec().num_sms;
+  const double row_bytes = mu * (sizeof(real) + sizeof(index_t));
+  return active_vectors * row_bytes <= static_cast<double>(dev.spec().l2_bytes)
+             ? MemPath::kL2
+             : MemPath::kDram;
+}
+
+struct SweepGeometry {
+  int vs, nv, rows_per_warp, coarsening;
+  long long total_vectors;
+};
+
+SweepGeometry geometry(const LaunchConfig& cfg) {
+  SweepGeometry g;
+  g.vs = cfg.vector_size;
+  g.nv = cfg.num_vectors_per_block();
+  g.rows_per_warp = std::max(1, 32 / g.vs);
+  g.coarsening = cfg.coarsening;
+  g.total_vectors = static_cast<long long>(cfg.grid_size) * g.nv;
+  return g;
+}
+
+}  // namespace
+
+tuner::SparseParams fused_sparse_params(const vgpu::Device& dev,
+                                        const la::CsrMatrix& X,
+                                        const FusedSparseOptions& opts) {
+  return resolve_params(dev, X.rows(), X.cols(), X.mean_nnz_per_row(), opts);
+}
+
+OpResult fused_spmv_t(vgpu::Device& dev, const la::CsrMatrix& X,
+                      std::span<const real> p, real alpha,
+                      FusedSparseOptions opts) {
+  FUSEDML_CHECK(p.size() == static_cast<usize>(X.rows()),
+                "fused_spmv_t: p must have m entries");
+  const double mu = X.mean_nnz_per_row();
+  const auto params = resolve_params(dev, X.rows(), X.cols(), mu, opts);
+  const auto g = geometry(params.config);
+  const auto n = static_cast<usize>(X.cols());
+  const bool shared = params.shared_aggregation;
+  // Single pass over X here (p is given), so every load is a cold load.
+
+  OpResult out;
+  out.value.assign(n, real{0});
+
+  out.absorb(dev.launch(params.config, [&](BlockCtx& ctx) {
+    const usize sd_base = static_cast<usize>(g.nv);  // staging | partial w
+    for (int c = 0; c < g.coarsening; ++c) {
+      const long long block_first_row =
+          static_cast<long long>(ctx.block_id()) * g.nv +
+          static_cast<long long>(c) * g.total_vectors;
+      for (int vid0 = 0; vid0 < g.nv; vid0 += g.rows_per_warp) {
+        const long long warp_first_row = block_first_row + vid0;
+        if (warp_first_row >= X.rows()) continue;
+        const int rows_here = static_cast<int>(std::min<long long>(
+            g.rows_per_warp, X.rows() - warp_first_row));
+        ctx.mem().load_contiguous(static_cast<std::uint64_t>(warp_first_row),
+                                  rows_here + 1, sizeof(offset_t));
+        ctx.mem().load_contiguous(static_cast<std::uint64_t>(warp_first_row),
+                                  rows_here, sizeof(real));  // p[row]
+        detail::charge_warp_pass(ctx.mem(), X, warp_first_row, rows_here,
+                                 g.vs, MemPath::kDram, /*with_y=*/false,
+                                 MemPath::kDram);
+        for (int v = 0; v < rows_here; ++v) {
+          const auto r = static_cast<index_t>(warp_first_row + v);
+          const real pr = p[static_cast<usize>(r)];
+          const offset_t start = X.row_begin(r);
+          const offset_t end = X.row_end(r);
+          std::array<usize, 32> words{};
+          for (offset_t i = start; i < end; i += g.vs) {
+            const int lanes =
+                static_cast<int>(std::min<offset_t>(g.vs, end - i));
+            ctx.mem().add_flops(static_cast<std::uint64_t>(lanes));
+            if (shared) {
+              for (int l = 0; l < lanes; ++l) {
+                const auto k = static_cast<usize>(i) + static_cast<usize>(l);
+                const auto col = static_cast<usize>(X.col_idx()[k]);
+                words[l] = sd_base + col;
+              }
+              ctx.smem().warp_access({words.data(),
+                                      static_cast<usize>(lanes)});
+              for (int l = 0; l < lanes; ++l) {
+                const auto k = static_cast<usize>(i) + static_cast<usize>(l);
+                ctx.smem().atomic_add(
+                    sd_base + static_cast<usize>(X.col_idx()[k]),
+                    X.values()[k] * pr);
+              }
+            } else {
+              ctx.mem().atomic_global(static_cast<std::uint64_t>(lanes),
+                                      static_cast<std::uint64_t>(n));
+              for (int l = 0; l < lanes; ++l) {
+                const auto k = static_cast<usize>(i) + static_cast<usize>(l);
+                vgpu::atomic_add(
+                    out.value[static_cast<usize>(X.col_idx()[k])],
+                    alpha * X.values()[k] * pr);
+              }
+            }
+          }
+        }
+      }
+    }
+    if (shared) {
+      // __syncthreads, then the inter-block aggregation (Alg. 1 L15-16).
+      for (usize i = 0; i < n; i += 32) {
+        const int lanes = static_cast<int>(std::min<usize>(32, n - i));
+        for (int l = 0; l < lanes; ++l) {
+          vgpu::atomic_add(out.value[i + l],
+                           alpha * ctx.smem().load(sd_base + i + l));
+        }
+        ctx.mem().atomic_global(static_cast<std::uint64_t>(lanes),
+                                static_cast<std::uint64_t>(n));
+      }
+    }
+  }));
+  return out;
+}
+
+OpResult fused_pattern_sparse(vgpu::Device& dev, real alpha,
+                              const la::CsrMatrix& X, std::span<const real> v,
+                              std::span<const real> y, real beta,
+                              std::span<const real> z,
+                              FusedSparseOptions opts) {
+  FUSEDML_CHECK(y.size() == static_cast<usize>(X.cols()),
+                "fused_pattern_sparse: y must have n entries");
+  FUSEDML_CHECK(v.empty() || v.size() == static_cast<usize>(X.rows()),
+                "fused_pattern_sparse: v must have m entries or be empty");
+  FUSEDML_CHECK(z.empty() || z.size() == static_cast<usize>(X.cols()),
+                "fused_pattern_sparse: z must have n entries or be empty");
+  const double mu = X.mean_nnz_per_row();
+  const auto params = resolve_params(dev, X.rows(), X.cols(), mu, opts);
+  const auto g = geometry(params.config);
+  const auto n = static_cast<usize>(X.cols());
+  const bool shared = params.shared_aggregation;
+  const bool y_resident =
+      opts.texture_y && tex_resident(dev.spec(), y.size() * sizeof(real));
+  const MemPath y_path =
+      opts.texture_y ? MemPath::kTexture : MemPath::kDram;
+  const MemPath pass2 =
+      second_pass_path(dev, params, mu, opts.cache_second_pass);
+  const bool has_beta = !z.empty() && beta != real{0};
+
+  OpResult out;
+  out.value.assign(n, real{0});
+
+  out.absorb(dev.launch(params.config, [&](BlockCtx& ctx) {
+    const usize sd_base = static_cast<usize>(g.nv);
+    const usize bs = static_cast<usize>(ctx.block_size());
+    const usize grid_stride = static_cast<usize>(ctx.grid_size()) * bs;
+    if (ctx.block_id() == 0 && y_resident) {
+      charge_tex_fill(ctx.mem(), dev.spec(), y.size() * sizeof(real));
+    }
+
+    // --- beta * z initialization (Alg. 2 L3-4): grid-stride atomic adds ---
+    if (has_beta) {
+      for (usize base = static_cast<usize>(ctx.block_id()) * bs; base < n;
+           base += grid_stride) {
+        const usize end = std::min(n, base + bs);
+        for (usize i0 = base; i0 < end; i0 += 32) {
+          const int lanes = static_cast<int>(std::min<usize>(32, end - i0));
+          ctx.mem().load_contiguous(i0, lanes, sizeof(real));  // z
+          ctx.mem().atomic_global(static_cast<std::uint64_t>(lanes),
+                                  static_cast<std::uint64_t>(n));
+          ctx.mem().add_flops(static_cast<std::uint64_t>(lanes));
+          for (int l = 0; l < lanes; ++l) {
+            vgpu::atomic_add(out.value[i0 + l], beta * z[i0 + l]);
+          }
+        }
+      }
+    }
+
+    // --- the fused row sweep (Alg. 2 L5-15) --------------------------------
+    std::array<real, 32> lane_sum{};
+    std::array<usize, 32> words{};
+    for (int c = 0; c < g.coarsening; ++c) {
+      const long long block_first_row =
+          static_cast<long long>(ctx.block_id()) * g.nv +
+          static_cast<long long>(c) * g.total_vectors;
+      for (int vid0 = 0; vid0 < g.nv; vid0 += g.rows_per_warp) {
+        const long long warp_first_row = block_first_row + vid0;
+        if (warp_first_row >= X.rows()) continue;
+        const int rows_here = static_cast<int>(std::min<long long>(
+            g.rows_per_warp, X.rows() - warp_first_row));
+        ctx.mem().load_contiguous(static_cast<std::uint64_t>(warp_first_row),
+                                  rows_here + 1, sizeof(offset_t));
+        if (!v.empty()) {
+          ctx.mem().load_contiguous(static_cast<std::uint64_t>(warp_first_row),
+                                    rows_here, sizeof(real));  // v[row]
+        }
+        // First pass over the warp's rows: cold loads + y gathers (skipped
+        // when y is texture-resident — only the fill was charged).
+        detail::charge_warp_pass(ctx.mem(), X, warp_first_row, rows_here,
+                                 g.vs, MemPath::kDram,
+                                 /*with_y=*/!y_resident, y_path);
+        // Second pass: same data while still cache-resident.
+        detail::charge_warp_pass(ctx.mem(), X, warp_first_row, rows_here,
+                                 g.vs, pass2, /*with_y=*/false, y_path);
+        for (int vv = 0; vv < rows_here; ++vv) {
+          const auto r = static_cast<index_t>(warp_first_row + vv);
+          const offset_t start = X.row_begin(r);
+          const offset_t end = X.row_end(r);
+
+          // First pass: p[r] = X[r,:] * y  (Alg. 2 L10-11).
+          lane_sum.fill(real{0});
+          for (offset_t i = start; i < end; i += g.vs) {
+            const int lanes =
+                static_cast<int>(std::min<offset_t>(g.vs, end - i));
+            ctx.mem().add_flops(2ull * lanes);
+            for (int l = 0; l < lanes; ++l) {
+              const auto k = static_cast<usize>(i) + static_cast<usize>(l);
+              lane_sum[l] +=
+                  X.values()[k] * y[static_cast<usize>(X.col_idx()[k])];
+            }
+          }
+          // Intra-vector register reduction + v ⊙ (Alg. 2 L12).
+          real pr = vgpu::shuffle_reduce_sum(
+              {lane_sum.data(), static_cast<usize>(g.vs)}, ctx.counters());
+          if (!v.empty()) {
+            pr *= v[static_cast<usize>(r)];
+            ctx.mem().add_flops(1);
+          }
+
+          // Second pass: scatter X[r,:]^T * p[r] (Alg. 2 L13-14) — loads
+          // already charged above at the pass2 (cache) path.
+          for (offset_t i = start; i < end; i += g.vs) {
+            const int lanes =
+                static_cast<int>(std::min<offset_t>(g.vs, end - i));
+            ctx.mem().add_flops(2ull * lanes);
+            if (shared) {
+              for (int l = 0; l < lanes; ++l) {
+                const auto k = static_cast<usize>(i) + static_cast<usize>(l);
+                words[l] = sd_base + static_cast<usize>(X.col_idx()[k]);
+              }
+              ctx.smem().warp_access({words.data(),
+                                      static_cast<usize>(lanes)});
+              for (int l = 0; l < lanes; ++l) {
+                const auto k = static_cast<usize>(i) + static_cast<usize>(l);
+                ctx.smem().atomic_add(
+                    sd_base + static_cast<usize>(X.col_idx()[k]),
+                    X.values()[k] * pr);
+              }
+            } else {
+              ctx.mem().atomic_global(static_cast<std::uint64_t>(lanes),
+                                      static_cast<std::uint64_t>(n));
+              for (int l = 0; l < lanes; ++l) {
+                const auto k = static_cast<usize>(i) + static_cast<usize>(l);
+                vgpu::atomic_add(
+                    out.value[static_cast<usize>(X.col_idx()[k])],
+                    alpha * X.values()[k] * pr);
+              }
+            }
+          }
+        }
+      }
+    }
+
+    // --- __syncthreads + inter-block aggregation (Alg. 2 L16-18) ----------
+    if (shared) {
+      for (usize i = 0; i < n; i += 32) {
+        const int lanes = static_cast<int>(std::min<usize>(32, n - i));
+        ctx.mem().atomic_global(static_cast<std::uint64_t>(lanes),
+                                static_cast<std::uint64_t>(n));
+        ctx.mem().add_flops(static_cast<std::uint64_t>(lanes));
+        for (int l = 0; l < lanes; ++l) {
+          vgpu::atomic_add(out.value[i + l],
+                           alpha * ctx.smem().load(sd_base + i + l));
+        }
+      }
+    }
+  }));
+  return out;
+}
+
+}  // namespace fusedml::kernels

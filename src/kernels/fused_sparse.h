@@ -1,0 +1,65 @@
+// The paper's fused kernels for sparse matrices (§3.1).
+//
+// Algorithm 1: w = X^T * p — intra-block partial results in shared memory,
+// inter-block aggregation with global atomics.
+//
+// Algorithm 2: the full pattern w = alpha * X^T * (v ⊙ (X * y)) + beta * z
+// in ONE kernel: each vector of VS threads computes p[r] = X[r,:] * y as a
+// shuffle-reduced dot product, scales by v[r], and immediately scatters
+// X[r,:]^T * p[r] into the block's partial w — re-reading the row while it
+// is still cache-resident (the temporal-locality argument of §3). The
+// hierarchical aggregation spans registers (intra-vector shuffle), shared
+// memory (inter-vector atomics), and global memory (inter-block atomics).
+//
+// Two aggregation variants exist, as in the paper: shared-memory partial w
+// when n fits in the SM (n up to ~6K for 48 KB), and the large-n variant
+// that scatters straight to global memory (used for the KDD-scale matrices).
+#pragma once
+
+#include <span>
+
+#include "kernels/op_result.h"
+#include "la/csr_matrix.h"
+#include "tuner/launch_params.h"
+#include "vgpu/device.h"
+
+namespace fusedml::kernels {
+
+struct FusedSparseOptions {
+  /// Bind y (and p in Algorithm 1) to the texture path (§4.1).
+  bool texture_y = true;
+  /// Model the second pass over a row as a cache hit when the concurrent
+  /// working set fits in L2 (§3's temporal-locality guarantee). Disabling
+  /// this is the "no temporal locality" ablation.
+  bool cache_second_pass = true;
+  /// Aggregation strategy; kAuto picks shared memory when n fits.
+  tuner::Aggregation aggregation = tuner::Aggregation::kAuto;
+  /// Launch-parameter overrides for the autotuner benches; 0 = use the
+  /// §3.3 analytical model.
+  int vector_size = 0;
+  int block_size = 0;
+  int coarsening = 0;
+  int grid_size = 0;
+};
+
+/// Algorithm 1: w = alpha * X^T * p, p of length m. One kernel launch
+/// (alpha is folded into the final aggregation, not an extra kernel).
+OpResult fused_spmv_t(vgpu::Device& dev, const la::CsrMatrix& X,
+                      std::span<const real> p, real alpha = 1,
+                      FusedSparseOptions opts = {});
+
+/// Algorithm 2: w = alpha * X^T * (v ⊙ (X * y)) + beta * z.
+/// v may be empty (all-ones); z may be empty (no beta term). One launch.
+OpResult fused_pattern_sparse(vgpu::Device& dev, real alpha,
+                              const la::CsrMatrix& X, std::span<const real> v,
+                              std::span<const real> y, real beta,
+                              std::span<const real> z,
+                              FusedSparseOptions opts = {});
+
+/// The launch parameters Algorithm 2 would use (exposed for the Fig. 6
+/// model-vs-exhaustive bench).
+tuner::SparseParams fused_sparse_params(const vgpu::Device& dev,
+                                        const la::CsrMatrix& X,
+                                        const FusedSparseOptions& opts);
+
+}  // namespace fusedml::kernels

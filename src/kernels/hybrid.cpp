@@ -1,0 +1,81 @@
+#include "kernels/hybrid.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "kernels/streaming.h"
+
+namespace fusedml::kernels {
+
+double choose_split(const vgpu::Device& dev, const CpuBackend& cpu,
+                    const la::CsrMatrix& X) {
+  (void)X;
+  // Both sides stream the same bytes twice, so the balanced split follows
+  // from the bandwidth ratio alone. Sparse CPU kernels reach ~55% of
+  // stream bandwidth (see CpuBackend); the device reaches dram_efficiency.
+  const double gpu_rate = dev.spec().mem_bandwidth_gbs *
+                          dev.cost_model().params().dram_efficiency;
+  const double cpu_rate = cpu.threads() > 1
+                              ? vgpu::paper_host_cpu().mem_bandwidth_gbs * 0.55
+                              : vgpu::paper_host_cpu().mem_bandwidth_gbs * 0.2;
+  return gpu_rate / (gpu_rate + cpu_rate);
+}
+
+HybridResult hybrid_pattern_sparse(vgpu::Device& dev, real alpha,
+                                   const la::CsrMatrix& X,
+                                   std::span<const real> v,
+                                   std::span<const real> y, real beta,
+                                   std::span<const real> z,
+                                   HybridOptions opts) {
+  FUSEDML_CHECK(y.size() == static_cast<usize>(X.cols()),
+                "hybrid pattern: y must have n entries");
+  const CpuBackend cpu(vgpu::paper_host_cpu(), opts.cpu_threads);
+  double fraction = opts.gpu_fraction;
+  if (fraction < 0) fraction = choose_split(dev, cpu, X);
+  fraction = std::clamp(fraction, 0.0, 1.0);
+
+  HybridResult out;
+  out.gpu_fraction = fraction;
+  out.gpu_rows = static_cast<index_t>(fraction * X.rows() + 0.5);
+  out.value.assign(static_cast<usize>(X.cols()), real{0});
+
+  // GPU share: rows [0, k) through the fused kernel (beta*z folded here).
+  if (out.gpu_rows > 0) {
+    const auto Xg = csr_row_slice(X, 0, out.gpu_rows);
+    const auto vg =
+        v.empty() ? v : v.subspan(0, static_cast<usize>(out.gpu_rows));
+    auto op = fused_pattern_sparse(dev, alpha, Xg, vg, y, beta, z,
+                                   opts.kernel);
+    out.gpu_ms = op.modeled_ms;
+    for (usize j = 0; j < out.value.size(); ++j) out.value[j] += op.value[j];
+  } else if (!z.empty() && beta != real{0}) {
+    for (usize j = 0; j < out.value.size(); ++j) {
+      out.value[j] += beta * z[j];
+    }
+  }
+
+  // CPU share: rows [k, m), concurrently with the GPU.
+  if (out.gpu_rows < X.rows()) {
+    const auto Xc = csr_row_slice(X, out.gpu_rows, X.rows());
+    const auto vc = v.empty()
+                        ? v
+                        : v.subspan(static_cast<usize>(out.gpu_rows),
+                                    static_cast<usize>(X.rows() -
+                                                       out.gpu_rows));
+    const auto op = cpu.pattern(alpha, Xc, vc, y, real{0}, {});
+    out.cpu_ms = op.modeled_ms;
+    for (usize j = 0; j < out.value.size(); ++j) out.value[j] += op.value[j];
+  }
+
+  // Combine: the CPU partial ships over PCIe and one n-length add runs on
+  // the device.
+  if (out.gpu_rows > 0 && out.gpu_rows < X.rows()) {
+    out.combine_ms =
+        dev.cost_model().transfer_ms(out.value.size() * sizeof(real)) +
+        dev.cost_model().params().launch_overhead_us / 1e3;
+  }
+  out.total_ms = std::max(out.gpu_ms, out.cpu_ms) + out.combine_ms;
+  return out;
+}
+
+}  // namespace fusedml::kernels

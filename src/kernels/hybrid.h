@@ -1,0 +1,53 @@
+// Hybrid CPU+GPU execution of the pattern — the paper's stated future work
+// (§5): "development of a cost model that based on a complete system
+// profile decides on hybrid executions involving CPUs and GPUs."
+//
+// The row range of X is split: the GPU runs the fused kernel on the first
+// fraction, the CPU (MKL-style backend) evaluates the rest concurrently,
+// and the two X^T-side partials of w are summed (one n-length combine).
+// choose_split() picks the fraction that equalizes the two sides' modeled
+// times — the point where the hybrid beats either device alone.
+#pragma once
+
+#include <span>
+
+#include "kernels/cpu_backend.h"
+#include "kernels/fused_sparse.h"
+#include "kernels/op_result.h"
+#include "la/csr_matrix.h"
+#include "vgpu/device.h"
+
+namespace fusedml::kernels {
+
+struct HybridOptions {
+  /// Fraction of rows handled by the GPU, in [0,1]; negative = use
+  /// choose_split(). 1.0 = GPU only, 0.0 = CPU only.
+  double gpu_fraction = -1.0;
+  int cpu_threads = 8;
+  FusedSparseOptions kernel;
+};
+
+struct HybridResult {
+  std::vector<real> value;
+  double gpu_ms = 0;        ///< fused kernel on the GPU's row share
+  double cpu_ms = 0;        ///< CPU backend on the remaining rows
+  double combine_ms = 0;    ///< summing the two partial w vectors
+  double total_ms = 0;      ///< max(gpu, cpu) + combine (they overlap)
+  double gpu_fraction = 0;  ///< the split actually used
+  index_t gpu_rows = 0;
+};
+
+/// w = alpha * X^T * (v ⊙ (X*y)) + beta*z split across both processors.
+HybridResult hybrid_pattern_sparse(vgpu::Device& dev, real alpha,
+                                   const la::CsrMatrix& X,
+                                   std::span<const real> v,
+                                   std::span<const real> y, real beta,
+                                   std::span<const real> z,
+                                   HybridOptions opts = {});
+
+/// The GPU row fraction that balances the two sides' modeled throughput
+/// for this matrix (from the device and CPU cost models, no trial runs).
+double choose_split(const vgpu::Device& dev, const CpuBackend& cpu,
+                    const la::CsrMatrix& X);
+
+}  // namespace fusedml::kernels

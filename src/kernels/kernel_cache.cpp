@@ -1,0 +1,42 @@
+#include "kernels/kernel_cache.h"
+
+#include "common/timer.h"
+
+namespace fusedml::kernels {
+
+const std::string& KernelCache::dense_kernel(const DenseKernelSpec& spec) {
+  const DenseKey key{spec.n, spec.vs, spec.tl, spec.with_v, spec.with_beta};
+  const auto it = dense_.find(key);
+  if (it != dense_.end()) {
+    ++stats_.hits;
+    return it->second;
+  }
+  Timer t;
+  auto src = generate_dense_fused_cuda(spec);
+  stats_.generation_ms += t.elapsed_ms();
+  ++stats_.misses;
+  return dense_.emplace(key, std::move(src)).first->second;
+}
+
+const std::string& KernelCache::sparse_kernel(int vs,
+                                              bool shared_aggregation) {
+  const auto key = std::make_pair(vs, shared_aggregation);
+  const auto it = sparse_.find(key);
+  if (it != sparse_.end()) {
+    ++stats_.hits;
+    return it->second;
+  }
+  Timer t;
+  auto src = generate_sparse_fused_cuda(vs, shared_aggregation);
+  stats_.generation_ms += t.elapsed_ms();
+  ++stats_.misses;
+  return sparse_.emplace(key, std::move(src)).first->second;
+}
+
+void KernelCache::clear() {
+  dense_.clear();
+  sparse_.clear();
+  stats_ = Stats{};
+}
+
+}  // namespace fusedml::kernels

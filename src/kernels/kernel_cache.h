@@ -1,0 +1,47 @@
+// Cache of generated kernels, keyed by their specialization parameters.
+//
+// §3.2/§4.2: the code generator runs when an ML algorithm is invoked
+// ("the time spent in code generation is negligible when compared to the
+// actual computation time") — and iterative algorithms hit the same
+// (n, VS, TL) shape every iteration, so a real system compiles once and
+// reuses the module. This cache reproduces that lifecycle: the first
+// request generates (and, on a real system, would NVRTC-compile) the
+// source; subsequent requests are hits.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <utility>
+
+#include "kernels/cuda_codegen.h"
+
+namespace fusedml::kernels {
+
+class KernelCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;  ///< generation (and would-be compilation) events
+    double generation_ms = 0;  ///< host time spent generating source
+  };
+
+  /// Source of the dense fused kernel for this spec; generated on first use.
+  const std::string& dense_kernel(const DenseKernelSpec& spec);
+
+  /// Source of the sparse fused kernel for (VS, aggregation variant).
+  const std::string& sparse_kernel(int vs, bool shared_aggregation);
+
+  const Stats& stats() const { return stats_; }
+  usize size() const { return dense_.size() + sparse_.size(); }
+  void clear();
+
+ private:
+  using DenseKey = std::tuple<index_t, int, int, bool, bool>;
+  std::map<DenseKey, std::string> dense_;
+  std::map<std::pair<int, bool>, std::string> sparse_;
+  Stats stats_;
+};
+
+}  // namespace fusedml::kernels

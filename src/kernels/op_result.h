@@ -1,0 +1,39 @@
+// Result of running one logical operation on the virtual device, possibly
+// spanning several kernel launches (the multi-kernel baselines) — carries
+// the value plus all accounting needed by the benches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "vgpu/device.h"
+
+namespace fusedml::kernels {
+
+struct OpResult {
+  std::vector<real> value;
+  double modeled_ms = 0.0;  ///< sum of modeled kernel times
+  double wall_ms = 0.0;     ///< host wall-clock of the functional simulation
+  std::uint64_t launches = 0;
+  vgpu::MemCounters counters;
+
+  /// Folds one kernel launch into this op.
+  void absorb(const vgpu::LaunchStats& stats) {
+    modeled_ms += stats.time.total_ms;
+    wall_ms += stats.wall_ms;
+    ++launches;
+    counters += stats.counters;
+  }
+
+  /// Folds a sub-operation (e.g. the csr2csc step of the explicit-transpose
+  /// baseline) into this op, discarding its value.
+  void absorb_timing(const OpResult& other) {
+    modeled_ms += other.modeled_ms;
+    wall_ms += other.wall_ms;
+    launches += other.launches;
+    counters += other.counters;
+  }
+};
+
+}  // namespace fusedml::kernels

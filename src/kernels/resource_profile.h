@@ -1,0 +1,46 @@
+// Per-kernel register/shared-memory footprints, as the paper reports them
+// (§3.3, measured with the NVIDIA Visual Profiler on the real kernels):
+//   - the fused sparse kernel uses 43 registers per thread and
+//     (BS/VS + n) * sizeof(double) shared memory;
+//   - the fused dense kernel uses 23 registers at TL=1, up to 255 at TL=40,
+//     and spills beyond TL=40.
+// The tuner consumes these to reproduce the §3.3 occupancy reasoning.
+#pragma once
+
+#include "common/types.h"
+
+namespace fusedml::kernels {
+
+inline constexpr int kSparseFusedRegsPerThread = 43;
+
+/// Shared memory of the fused sparse kernel (shared-aggregation variant):
+/// one word per vector for the p staging + n words for the partial w.
+inline constexpr usize sparse_fused_smem_bytes(int block_size, int vector_size,
+                                               index_t n) {
+  return (static_cast<usize>(block_size / vector_size) +
+          static_cast<usize>(n)) *
+         sizeof(real);
+}
+
+/// Global-aggregation variant needs only the per-vector staging slot.
+inline constexpr usize sparse_fused_smem_bytes_global_agg(int block_size,
+                                                          int vector_size) {
+  return static_cast<usize>(block_size / vector_size) * sizeof(real);
+}
+
+inline constexpr int kDenseFusedMaxThreadLoad = 40;
+
+/// Register count of the code-generated dense kernel as a function of the
+/// unroll factor TL: 23 at TL=1 growing to 255 at TL=40 (l_X, l_y and l_w
+/// live in registers; ~6 registers per unrolled element).
+inline constexpr int dense_fused_regs_per_thread(int thread_load) {
+  const int regs = 23 + (thread_load - 1) * 6;
+  return regs > 255 ? 255 : regs;
+}
+
+/// Baseline kernels' footprints (typical BLAS-kernel figures).
+inline constexpr int kSpmvRegsPerThread = 32;
+inline constexpr int kGemvRegsPerThread = 28;
+inline constexpr int kBlas1RegsPerThread = 16;
+
+}  // namespace fusedml::kernels

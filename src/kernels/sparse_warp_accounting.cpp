@@ -1,0 +1,80 @@
+#include "kernels/sparse_warp_accounting.h"
+
+#include <algorithm>
+#include <array>
+
+#include "vgpu/coalescing.h"
+
+namespace fusedml::kernels::detail {
+
+namespace {
+/// Iterates the warp's steps; `addr_of(element_index)` supplies the byte
+/// address each lane accesses for CSR element i.
+template <typename AddrFn>
+PassTraffic sweep(const la::CsrMatrix& X, long long first_row, int rows_here,
+                  int vs, usize elem_bytes, AddrFn&& addr_of) {
+  PassTraffic out;
+  std::array<offset_t, 32> start{};
+  std::array<offset_t, 32> end{};
+  offset_t max_len = 0;
+  for (int v = 0; v < rows_here; ++v) {
+    const auto r = static_cast<index_t>(first_row + v);
+    start[v] = X.row_begin(r);
+    end[v] = X.row_end(r);
+    max_len = std::max(max_len, end[v] - start[v]);
+  }
+  const auto steps = static_cast<offset_t>((max_len + vs - 1) / vs);
+  std::array<std::uint64_t, 32> addrs{};
+  for (offset_t k = 0; k < steps; ++k) {
+    usize active = 0;
+    for (int v = 0; v < rows_here; ++v) {
+      const offset_t i0 = start[v] + k * vs;
+      if (i0 >= end[v]) continue;
+      const auto lanes =
+          static_cast<int>(std::min<offset_t>(vs, end[v] - i0));
+      for (int l = 0; l < lanes; ++l) {
+        addrs[active++] = addr_of(static_cast<usize>(i0) + l);
+      }
+    }
+    if (active == 0) break;
+    out.transactions +=
+        vgpu::gather_transactions({addrs.data(), active});
+    out.bytes += active * elem_bytes;
+  }
+  return out;
+}
+}  // namespace
+
+PassTraffic warp_rows_pass(const la::CsrMatrix& X, long long first_row,
+                           int rows_here, int vs, usize elem_bytes) {
+  return sweep(X, first_row, rows_here, vs, elem_bytes,
+               [elem_bytes](usize i) {
+                 return static_cast<std::uint64_t>(i) * elem_bytes;
+               });
+}
+
+PassTraffic warp_rows_y_gather(const la::CsrMatrix& X, long long first_row,
+                               int rows_here, int vs) {
+  const auto cols = X.col_idx();
+  return sweep(X, first_row, rows_here, vs, sizeof(real), [cols](usize i) {
+    return static_cast<std::uint64_t>(cols[i]) * sizeof(real);
+  });
+}
+
+void charge_warp_pass(vgpu::MemTracker& mem, const la::CsrMatrix& X,
+                      long long first_row, int rows_here, int vs,
+                      vgpu::MemPath data_path, bool with_y,
+                      vgpu::MemPath y_path) {
+  const auto values = warp_rows_pass(X, first_row, rows_here, vs,
+                                     sizeof(real));
+  mem.load_precomputed(values.transactions, values.bytes, data_path);
+  const auto cols = warp_rows_pass(X, first_row, rows_here, vs,
+                                   sizeof(index_t));
+  mem.load_precomputed(cols.transactions, cols.bytes, data_path);
+  if (with_y) {
+    const auto gather = warp_rows_y_gather(X, first_row, rows_here, vs);
+    mem.load_precomputed(gather.transactions, gather.bytes, y_path);
+  }
+}
+
+}  // namespace fusedml::kernels::detail

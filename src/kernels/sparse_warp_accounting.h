@@ -1,0 +1,43 @@
+// Warp-level transaction accounting for CSR row sweeps.
+//
+// A warp holds 32/VS vectors working on consecutive rows; at each step its
+// 32 lanes issue ONE memory instruction whose addresses span all those
+// vectors' current chunks. Because CSR stores consecutive rows
+// contiguously, short rows coalesce across vectors — the property that
+// makes CSR-vector efficient at small row lengths. Charging per vector
+// would overcount transactions by up to 32/VS for short rows, so the
+// sparse kernels charge through these warp-step helpers instead.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "la/csr_matrix.h"
+#include "vgpu/mem_tracker.h"
+
+namespace fusedml::kernels::detail {
+
+struct PassTraffic {
+  std::uint64_t transactions = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Traffic of one warp-synchronous pass over the CSR element array
+/// (values or col_idx, selected by elem_bytes) of `rows_here` consecutive
+/// rows starting at `first_row`, with VS lanes per row.
+PassTraffic warp_rows_pass(const la::CsrMatrix& X, long long first_row,
+                           int rows_here, int vs, usize elem_bytes);
+
+/// Traffic of the warp's gather loads of y[col_idx[i]] over the same sweep
+/// (8-byte elements).
+PassTraffic warp_rows_y_gather(const la::CsrMatrix& X, long long first_row,
+                               int rows_here, int vs);
+
+/// Charges one full pass over the warp's CSR data (values + col indices)
+/// to `data_path`, optionally with the y gathers to `y_path`.
+void charge_warp_pass(vgpu::MemTracker& mem, const la::CsrMatrix& X,
+                      long long first_row, int rows_here, int vs,
+                      vgpu::MemPath data_path, bool with_y,
+                      vgpu::MemPath y_path);
+
+}  // namespace fusedml::kernels::detail

@@ -1,0 +1,41 @@
+// Baseline sparse matrix-vector kernels (cuSPARSE-csrmv equivalents).
+//
+// spmv_csr_vector is the CSR-vector algorithm of Bell & Garland [3] that the
+// paper's fused kernels build on: a vector of VS threads cooperates on each
+// row, partials folded with warp shuffles.
+#pragma once
+
+#include <span>
+
+#include "kernels/op_result.h"
+#include "la/csr_matrix.h"
+#include "vgpu/device.h"
+
+namespace fusedml::kernels {
+
+/// Kernel options shared by the sparse baselines.
+struct SpmvOptions {
+  /// Bind y to the texture path (cuSPARSE does; §4.1 notes our kernels do).
+  bool texture_y = true;
+  /// Vector size; 0 = pick from mean nnz/row (Eq. 4 heuristic).
+  int vector_size = 0;
+  /// Adapt VS to the matrix (Eq. 4). The vendor-library baselines do NOT
+  /// adapt — cuSPARSE's Kepler-era csrmv gangs a fixed warp per row, which
+  /// wastes most lanes on short rows. Part of the fused kernel's win at
+  /// small nnz/row is exactly this adaptivity.
+  bool adaptive_vs = true;
+};
+
+/// out = X * y using CSR-vector. One kernel launch.
+OpResult spmv_csr_vector(vgpu::Device& dev, const la::CsrMatrix& X,
+                         std::span<const real> y, SpmvOptions opts = {});
+
+/// out = X * y with one thread per row (CSR-scalar) — the shape cuSPARSE
+/// falls back to for very short rows; poor coalescing for long rows.
+OpResult spmv_csr_scalar(vgpu::Device& dev, const la::CsrMatrix& X,
+                         std::span<const real> y, SpmvOptions opts = {});
+
+/// Eq. 4: vector size from the mean number of non-zeros per row.
+int vector_size_for(double mean_nnz_per_row);
+
+}  // namespace fusedml::kernels

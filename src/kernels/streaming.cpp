@@ -1,0 +1,166 @@
+#include "kernels/streaming.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace fusedml::kernels {
+
+la::CsrMatrix csr_row_slice(const la::CsrMatrix& X, index_t row_begin,
+                            index_t row_end) {
+  FUSEDML_CHECK(0 <= row_begin && row_begin <= row_end && row_end <= X.rows(),
+                "invalid row slice");
+  const auto first = static_cast<usize>(X.row_begin(row_begin));
+  const auto last = static_cast<usize>(X.row_begin(row_end));
+  std::vector<offset_t> row_off(static_cast<usize>(row_end - row_begin) + 1);
+  for (usize i = 0; i < row_off.size(); ++i) {
+    row_off[i] =
+        X.row_begin(row_begin + static_cast<index_t>(i)) -
+        static_cast<offset_t>(first);
+  }
+  return la::CsrMatrix(
+      row_end - row_begin, X.cols(), std::move(row_off),
+      {X.col_idx().begin() + first, X.col_idx().begin() + last},
+      {X.values().begin() + first, X.values().begin() + last});
+}
+
+index_t derive_panel_rows(const la::CsrMatrix& X, usize budget_bytes) {
+  // Two panels (double buffering) plus the n- and m-sized vectors.
+  const usize vectors =
+      (static_cast<usize>(X.cols()) * 3 + static_cast<usize>(X.rows())) *
+      sizeof(real);
+  FUSEDML_CHECK(budget_bytes > vectors + (1 << 20),
+                "device budget too small for the working vectors");
+  const usize per_panel = (budget_bytes - vectors) / 2;
+  const double bytes_per_row =
+      static_cast<double>(X.bytes()) / std::max<index_t>(1, X.rows());
+  const auto rows = static_cast<index_t>(
+      std::max<double>(1.0, static_cast<double>(per_panel) / bytes_per_row));
+  return std::min(rows, X.rows());
+}
+
+la::DenseMatrix dense_row_slice(const la::DenseMatrix& X, index_t row_begin,
+                                index_t row_end) {
+  FUSEDML_CHECK(0 <= row_begin && row_begin <= row_end && row_end <= X.rows(),
+                "invalid row slice");
+  la::DenseMatrix out(row_end - row_begin, X.cols());
+  for (index_t r = row_begin; r < row_end; ++r) {
+    const auto src = X.row(r);
+    std::copy(src.begin(), src.end(), out.row(r - row_begin).begin());
+  }
+  return out;
+}
+
+namespace {
+/// Shared panel-pipeline skeleton: `slice` cuts rows, `run_panel` executes
+/// the fused kernel on a panel (folding beta*z into the first one).
+template <typename Matrix, typename Slice, typename RunPanel>
+StreamingResult stream_impl(vgpu::Device& dev, const Matrix& X,
+                            std::span<const real> v, std::span<const real> y,
+                            std::span<const real> z, index_t panel_rows,
+                            bool overlap, Slice&& slice,
+                            RunPanel&& run_panel) {
+  StreamingResult out;
+  out.op.value.assign(static_cast<usize>(X.cols()), real{0});
+
+  const usize vector_bytes = (y.size() + v.size() + z.size()) * sizeof(real);
+  const double vec_ms = dev.transfer_h2d_ms(vector_bytes);
+  out.transfer_ms += vec_ms;
+
+  std::vector<double> panel_transfer, panel_kernel;
+  for (index_t r0 = 0; r0 < X.rows(); r0 += panel_rows) {
+    const index_t r1 = std::min<index_t>(X.rows(), r0 + panel_rows);
+    const Matrix panel = slice(X, r0, r1);
+    panel_transfer.push_back(dev.transfer_h2d_ms(panel.bytes()));
+    out.transfer_ms += panel_transfer.back();
+
+    const std::span<const real> v_panel =
+        v.empty() ? v
+                  : v.subspan(static_cast<usize>(r0),
+                              static_cast<usize>(r1 - r0));
+    auto op = run_panel(panel, v_panel, /*first=*/r0 == 0);
+    panel_kernel.push_back(op.modeled_ms);
+    out.kernel_ms += op.modeled_ms;
+    for (usize j = 0; j < out.op.value.size(); ++j) {
+      out.op.value[j] += op.value[j];
+    }
+    op.value.clear();
+    out.op.absorb_timing(op);
+    ++out.panels;
+  }
+
+  double pipeline = vec_ms + panel_transfer.front();
+  for (usize k = 0; k < panel_kernel.size(); ++k) {
+    const double next =
+        k + 1 < panel_transfer.size() ? panel_transfer[k + 1] : 0.0;
+    pipeline += overlap ? std::max(panel_kernel[k], next)
+                        : panel_kernel[k] + next;
+  }
+  out.pipeline_ms = pipeline;
+  return out;
+}
+}  // namespace
+
+StreamingResult streaming_pattern_dense(vgpu::Device& dev, real alpha,
+                                        const la::DenseMatrix& X,
+                                        std::span<const real> v,
+                                        std::span<const real> y, real beta,
+                                        std::span<const real> z,
+                                        DenseStreamingOptions opts) {
+  FUSEDML_CHECK(X.rows() > 0, "streaming needs at least one row");
+  FUSEDML_CHECK(y.size() == static_cast<usize>(X.cols()),
+                "streaming dense pattern: y must have n entries");
+  const usize budget = opts.device_budget_bytes == 0
+                           ? dev.spec().global_mem_bytes
+                           : opts.device_budget_bytes;
+  index_t panel_rows = opts.panel_rows;
+  if (panel_rows <= 0) {
+    const usize row_bytes = static_cast<usize>(X.cols()) * sizeof(real);
+    const usize vectors =
+        (static_cast<usize>(X.cols()) * 3 + static_cast<usize>(X.rows())) *
+        sizeof(real);
+    FUSEDML_CHECK(budget > vectors + 2 * row_bytes,
+                  "device budget too small for the working set");
+    panel_rows = std::min<index_t>(
+        X.rows(),
+        static_cast<index_t>((budget - vectors) / 2 / row_bytes));
+  }
+  return stream_impl(
+      dev, X, v, y, z, panel_rows, opts.overlap_transfers, dense_row_slice,
+      [&](const la::DenseMatrix& panel, std::span<const real> v_panel,
+          bool first) {
+        return fused_pattern_dense(dev, alpha, panel, v_panel, y,
+                                   first ? beta : real{0},
+                                   first ? z : std::span<const real>{},
+                                   opts.kernel);
+      });
+}
+
+StreamingResult streaming_pattern_sparse(vgpu::Device& dev, real alpha,
+                                         const la::CsrMatrix& X,
+                                         std::span<const real> v,
+                                         std::span<const real> y, real beta,
+                                         std::span<const real> z,
+                                         StreamingOptions opts) {
+  FUSEDML_CHECK(X.rows() > 0, "streaming needs at least one row");
+  FUSEDML_CHECK(y.size() == static_cast<usize>(X.cols()),
+                "streaming pattern: y must have n entries");
+  const usize budget = opts.device_budget_bytes == 0
+                           ? dev.spec().global_mem_bytes
+                           : opts.device_budget_bytes;
+  const index_t panel_rows =
+      opts.panel_rows > 0 ? std::min(opts.panel_rows, X.rows())
+                          : derive_panel_rows(X, budget);
+  return stream_impl(
+      dev, X, v, y, z, panel_rows, opts.overlap_transfers, csr_row_slice,
+      [&](const la::CsrMatrix& panel, std::span<const real> v_panel,
+          bool first) {
+        // beta*z initializes w exactly once — fold it into the first panel.
+        return fused_pattern_sparse(dev, alpha, panel, v_panel, y,
+                                    first ? beta : real{0},
+                                    first ? z : std::span<const real>{},
+                                    opts.kernel);
+      });
+}
+
+}  // namespace fusedml::kernels

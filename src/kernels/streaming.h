@@ -1,0 +1,91 @@
+// Out-of-core ("streaming") execution of the fused sparse pattern — the
+// design §3 sketches for when X does NOT fit in device memory:
+//
+//   "In situations where such an amortization is not feasible, the
+//    developed methods can easily be adapted to a streaming design for
+//    out-of-core computation."
+//
+// X is partitioned into contiguous row panels. Panel k+1's host-to-device
+// copy overlaps panel k's fused kernel (double buffering on the PCIe
+// model), and the per-panel partial results of w accumulate — X^T-side
+// partials are additive across row panels, which is exactly the property
+// the fused kernel's inter-block aggregation already relies on.
+#pragma once
+
+#include <span>
+
+#include "kernels/fused_dense.h"
+#include "kernels/fused_sparse.h"
+#include "kernels/op_result.h"
+#include "la/csr_matrix.h"
+#include "la/dense_matrix.h"
+#include "vgpu/device.h"
+
+namespace fusedml::kernels {
+
+struct StreamingOptions {
+  /// Device-memory budget for matrix panels (bytes). The panel row count
+  /// is derived so that two panels (double buffering) plus the vectors fit.
+  /// 0 = the device's global memory.
+  usize device_budget_bytes = 0;
+  /// Explicit rows per panel; 0 = derive from the budget.
+  index_t panel_rows = 0;
+  /// Overlap panel upload with the previous panel's kernel (double
+  /// buffering). Disabling serializes copy/compute — the ablation contrast.
+  bool overlap_transfers = true;
+  FusedSparseOptions kernel;
+};
+
+struct StreamingResult {
+  OpResult op;              ///< value + kernel counters/launch stats
+  int panels = 0;
+  double transfer_ms = 0;   ///< total H2D time for all panels + vectors
+  double kernel_ms = 0;     ///< sum of per-panel fused kernel times
+  double pipeline_ms = 0;   ///< modeled end-to-end with/without overlap
+  /// pipeline_ms / (transfer_ms + kernel_ms): 1.0 = no overlap benefit,
+  /// approaches max(T,K)/(T+K) with perfect double buffering.
+  double overlap_efficiency() const {
+    const double serial = transfer_ms + kernel_ms;
+    return serial > 0 ? pipeline_ms / serial : 1.0;
+  }
+};
+
+/// w = alpha * X^T * (v ⊙ (X*y)) + beta*z with X streamed through the
+/// device panel by panel. Bit-equivalent to the in-core fused kernel.
+StreamingResult streaming_pattern_sparse(vgpu::Device& dev, real alpha,
+                                         const la::CsrMatrix& X,
+                                         std::span<const real> v,
+                                         std::span<const real> y, real beta,
+                                         std::span<const real> z,
+                                         StreamingOptions opts = {});
+
+/// Dense counterpart — the case Figure 5 stops at 2K columns for ("the
+/// matrix does not fit in device memory anymore"; 500k x 2K doubles are
+/// already 8 GB).
+struct DenseStreamingOptions {
+  usize device_budget_bytes = 0;
+  index_t panel_rows = 0;
+  bool overlap_transfers = true;
+  FusedDenseOptions kernel;
+};
+
+StreamingResult streaming_pattern_dense(vgpu::Device& dev, real alpha,
+                                        const la::DenseMatrix& X,
+                                        std::span<const real> v,
+                                        std::span<const real> y, real beta,
+                                        std::span<const real> z,
+                                        DenseStreamingOptions opts = {});
+
+/// Contiguous row slice of a dense matrix.
+la::DenseMatrix dense_row_slice(const la::DenseMatrix& X, index_t row_begin,
+                                index_t row_end);
+
+/// Contiguous row slice [row_begin, row_end) of a CSR matrix. O(slice
+/// size); used to build panels.
+la::CsrMatrix csr_row_slice(const la::CsrMatrix& X, index_t row_begin,
+                            index_t row_end);
+
+/// Rows per panel so two panels fit in the budget alongside the vectors.
+index_t derive_panel_rows(const la::CsrMatrix& X, usize budget_bytes);
+
+}  // namespace fusedml::kernels

@@ -1,0 +1,33 @@
+// Read-only / texture cache residency model.
+//
+// The kernels bind the multiplied vector y to the texture path (§4.1: "the
+// input vector y is always bound to texture memory, thereby improving
+// accesses over y"). When y fits in the per-SM 48 KB read-only cache, every
+// access after the first is a hit, so the DRAM cost is just the compulsory
+// fill of each SM's cache — not one transaction per gather. Larger y falls
+// back to per-access gather charging.
+#pragma once
+
+#include "common/types.h"
+#include "vgpu/device_spec.h"
+#include "vgpu/mem_tracker.h"
+
+namespace fusedml::kernels {
+
+inline bool tex_resident(const vgpu::DeviceSpec& spec, usize bytes) {
+  return bytes <= spec.tex_cache_bytes;
+}
+
+/// Charges the compulsory texture-cache fill of a resident vector: each SM
+/// streams it once. Call from exactly one block (the executor merges
+/// per-block counters, so block 0 charging for the grid is the convention).
+inline void charge_tex_fill(vgpu::MemTracker& mem,
+                            const vgpu::DeviceSpec& spec, usize bytes) {
+  const std::uint64_t per_sm =
+      (bytes + spec.transaction_bytes - 1) / spec.transaction_bytes;
+  mem.load_precomputed(per_sm * spec.num_sms,
+                       static_cast<std::uint64_t>(bytes) * spec.num_sms,
+                       vgpu::MemPath::kTexture);
+}
+
+}  // namespace fusedml::kernels

@@ -1,0 +1,35 @@
+// Format conversions, including the explicit transpose (csr2csc) that the
+// paper's cuSPARSE baseline relies on.
+#pragma once
+
+#include "la/coo_matrix.h"
+#include "la/csc_matrix.h"
+#include "la/csr_matrix.h"
+#include "la/dense_matrix.h"
+
+namespace fusedml::la {
+
+/// Builds CSR from (normalized or not) COO triplets.
+CsrMatrix coo_to_csr(const CooMatrix& coo);
+
+/// Explicit transpose, the host-side semantics of cuSPARSE's csr2csc:
+/// histogram over columns, exclusive scan, scatter.
+CscMatrix csr_to_csc(const CsrMatrix& csr);
+
+/// X in CSC reinterpreted as X^T in CSR (pure relabeling; O(1) data moves
+/// beyond the array copies).
+CsrMatrix csc_as_transposed_csr(const CscMatrix& csc);
+
+/// Transpose via csr2csc relabeling: returns X^T as a CsrMatrix.
+CsrMatrix transpose(const CsrMatrix& csr);
+
+/// Row-subset extraction: the rows listed in `rows` (strictly increasing),
+/// in order. Used by the SVM primal solver to restrict the pattern to the
+/// current support vectors.
+CsrMatrix select_rows(const CsrMatrix& csr, std::span<const index_t> rows);
+
+DenseMatrix csr_to_dense(const CsrMatrix& csr);
+CsrMatrix dense_to_csr(const DenseMatrix& dense, real zero_tolerance = 0.0);
+DenseMatrix transpose(const DenseMatrix& dense);
+
+}  // namespace fusedml::la

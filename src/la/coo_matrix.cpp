@@ -1,0 +1,32 @@
+#include "la/coo_matrix.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace fusedml::la {
+
+void CooMatrix::add(index_t row, index_t col, real value) {
+  FUSEDML_CHECK(row >= 0 && row < rows_ && col >= 0 && col < cols_,
+                "triplet out of range");
+  triplets_.push_back({row, col, value});
+}
+
+void CooMatrix::normalize() {
+  std::sort(triplets_.begin(), triplets_.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  usize out = 0;
+  for (usize i = 0; i < triplets_.size(); ++i) {
+    if (out > 0 && triplets_[out - 1].row == triplets_[i].row &&
+        triplets_[out - 1].col == triplets_[i].col) {
+      triplets_[out - 1].value += triplets_[i].value;
+    } else {
+      triplets_[out++] = triplets_[i];
+    }
+  }
+  triplets_.resize(out);
+}
+
+}  // namespace fusedml::la

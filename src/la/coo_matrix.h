@@ -1,0 +1,40 @@
+// Coordinate (triplet) format — the construction front-end for CSR/CSC.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace fusedml::la {
+
+struct Triplet {
+  index_t row;
+  index_t col;
+  real value;
+
+  bool operator==(const Triplet&) const = default;
+};
+
+class CooMatrix {
+ public:
+  CooMatrix() = default;
+  CooMatrix(index_t rows, index_t cols) : rows_(rows), cols_(cols) {}
+
+  void add(index_t row, index_t col, real value);
+  void reserve(usize n) { triplets_.reserve(n); }
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  offset_t nnz() const { return static_cast<offset_t>(triplets_.size()); }
+  const std::vector<Triplet>& triplets() const { return triplets_; }
+
+  /// Sorts by (row, col) and sums duplicates, in place.
+  void normalize();
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<Triplet> triplets_;
+};
+
+}  // namespace fusedml::la

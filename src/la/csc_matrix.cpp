@@ -1,0 +1,36 @@
+#include "la/csc_matrix.h"
+
+#include "common/error.h"
+
+namespace fusedml::la {
+
+CscMatrix::CscMatrix(index_t rows, index_t cols,
+                     std::vector<offset_t> col_off,
+                     std::vector<index_t> row_idx, std::vector<real> values)
+    : rows_(rows),
+      cols_(cols),
+      col_off_(std::move(col_off)),
+      row_idx_(std::move(row_idx)),
+      values_(std::move(values)) {
+  FUSEDML_CHECK(rows_ >= 0 && cols_ >= 0, "negative matrix dimensions");
+  FUSEDML_CHECK(col_off_.size() == static_cast<usize>(cols_) + 1,
+                "col_off must have cols+1 entries");
+  FUSEDML_CHECK(row_idx_.size() == values_.size(),
+                "row_idx and values must have equal length");
+  FUSEDML_CHECK(col_off_.front() == 0, "col_off[0] must be 0");
+  FUSEDML_CHECK(col_off_.back() == static_cast<offset_t>(values_.size()),
+                "col_off[cols] must equal nnz");
+  for (usize c = 0; c < static_cast<usize>(cols_); ++c) {
+    FUSEDML_CHECK(col_off_[c] <= col_off_[c + 1], "col_off must be monotone");
+    for (offset_t i = col_off_[c]; i < col_off_[c + 1]; ++i) {
+      const index_t r = row_idx_[static_cast<usize>(i)];
+      FUSEDML_CHECK(r >= 0 && r < rows_, "row index out of range");
+      if (i > col_off_[c]) {
+        FUSEDML_CHECK(row_idx_[static_cast<usize>(i - 1)] < r,
+                      "row indices must be strictly increasing per column");
+      }
+    }
+  }
+}
+
+}  // namespace fusedml::la

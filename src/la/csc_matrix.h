@@ -1,0 +1,44 @@
+// Compressed Sparse Column storage — what csr2csc (the cuSPARSE
+// explicit-transpose path, §3.1) produces. X in CSC is X^T in CSR.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace fusedml::la {
+
+class CscMatrix {
+ public:
+  CscMatrix() = default;
+  CscMatrix(index_t rows, index_t cols, std::vector<offset_t> col_off,
+            std::vector<index_t> row_idx, std::vector<real> values);
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  offset_t nnz() const { return static_cast<offset_t>(values_.size()); }
+
+  std::span<const offset_t> col_off() const { return col_off_; }
+  std::span<const index_t> row_idx() const { return row_idx_; }
+  std::span<const real> values() const { return values_; }
+
+  offset_t col_begin(index_t c) const { return col_off_[static_cast<usize>(c)]; }
+  offset_t col_end(index_t c) const { return col_off_[static_cast<usize>(c) + 1]; }
+
+  usize bytes() const {
+    return values_.size() * sizeof(real) + row_idx_.size() * sizeof(index_t) +
+           col_off_.size() * sizeof(offset_t);
+  }
+
+  bool operator==(const CscMatrix&) const = default;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<offset_t> col_off_;
+  std::vector<index_t> row_idx_;
+  std::vector<real> values_;
+};
+
+}  // namespace fusedml::la

@@ -1,0 +1,29 @@
+#include "la/dense_matrix.h"
+
+#include <algorithm>
+
+namespace fusedml::la {
+
+DenseMatrix DenseMatrix::padded_cols(index_t multiple) const {
+  FUSEDML_CHECK(multiple > 0, "pad multiple must be positive");
+  const index_t rem = cols_ % multiple;
+  if (rem == 0) return *this;
+  const index_t new_cols = cols_ + (multiple - rem);
+  DenseMatrix out(rows_, new_cols);
+  for (index_t r = 0; r < rows_; ++r) {
+    const auto src = row(r);
+    std::copy(src.begin(), src.end(), out.row(r).begin());
+  }
+  return out;
+}
+
+std::vector<real> padded_vector(std::span<const real> v, index_t multiple) {
+  FUSEDML_CHECK(multiple > 0, "pad multiple must be positive");
+  const auto n = static_cast<index_t>(v.size());
+  const index_t rem = n % multiple;
+  std::vector<real> out(v.begin(), v.end());
+  if (rem != 0) out.resize(static_cast<usize>(n + multiple - rem), real{0});
+  return out;
+}
+
+}  // namespace fusedml::la

@@ -1,0 +1,69 @@
+// Row-major dense matrix — the layout the paper's dense kernels assume.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+#include "common/types.h"
+
+namespace fusedml::la {
+
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(index_t rows, index_t cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<usize>(rows) * static_cast<usize>(cols), real{0}) {
+    FUSEDML_CHECK(rows >= 0 && cols >= 0, "negative matrix dimensions");
+  }
+  DenseMatrix(index_t rows, index_t cols, std::vector<real> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {
+    FUSEDML_CHECK(data_.size() == static_cast<usize>(rows) * static_cast<usize>(cols),
+                  "data size does not match dimensions");
+  }
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+
+  real& at(index_t r, index_t c) { return data_[idx(r, c)]; }
+  real at(index_t r, index_t c) const { return data_[idx(r, c)]; }
+
+  /// Row r as a contiguous span.
+  std::span<real> row(index_t r) {
+    return {data_.data() + idx(r, 0), static_cast<usize>(cols_)};
+  }
+  std::span<const real> row(index_t r) const {
+    return {data_.data() + idx(r, 0), static_cast<usize>(cols_)};
+  }
+
+  std::span<real> data() { return data_; }
+  std::span<const real> data() const { return data_; }
+
+  usize bytes() const { return data_.size() * sizeof(real); }
+
+  /// Zero-pads the column count up to a multiple of `multiple` (§3.2:
+  /// "When n % VS != 0, we pad both matrix X and vector y with zero rows...
+  /// In the worst case, we pad by only VS - 1"). Returns the new matrix;
+  /// the original is untouched.
+  DenseMatrix padded_cols(index_t multiple) const;
+
+  bool operator==(const DenseMatrix&) const = default;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<real> data_;
+
+  usize idx(index_t r, index_t c) const {
+    FUSEDML_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+                  "dense index out of range");
+    return static_cast<usize>(r) * static_cast<usize>(cols_) +
+           static_cast<usize>(c);
+  }
+};
+
+/// Pads a vector with zeros up to a multiple of `multiple`.
+std::vector<real> padded_vector(std::span<const real> v, index_t multiple);
+
+}  // namespace fusedml::la

@@ -1,0 +1,113 @@
+#include "la/io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+#include "la/coo_matrix.h"
+#include "la/convert.h"
+
+namespace fusedml::la {
+
+namespace {
+// Skips %-comment lines; returns the first data line.
+std::string next_data_line(std::istream& in) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') return line;
+  }
+  throw Error("matrix market: unexpected end of file");
+}
+}  // namespace
+
+CsrMatrix read_matrix_market(std::istream& in) {
+  std::string header;
+  FUSEDML_CHECK(static_cast<bool>(std::getline(in, header)),
+                "matrix market: empty stream");
+  FUSEDML_CHECK(header.rfind("%%MatrixMarket", 0) == 0,
+                "matrix market: missing banner");
+  FUSEDML_CHECK(header.find("coordinate") != std::string::npos,
+                "matrix market: expected coordinate format");
+  const bool symmetric = header.find("symmetric") != std::string::npos;
+
+  std::istringstream dims(next_data_line(in));
+  long long rows = 0, cols = 0, nnz = 0;
+  dims >> rows >> cols >> nnz;
+  FUSEDML_CHECK(rows > 0 && cols > 0 && nnz >= 0,
+                "matrix market: bad dimensions line");
+
+  CooMatrix coo(static_cast<index_t>(rows), static_cast<index_t>(cols));
+  coo.reserve(static_cast<usize>(nnz) * (symmetric ? 2 : 1));
+  for (long long i = 0; i < nnz; ++i) {
+    std::istringstream entry(next_data_line(in));
+    long long r = 0, c = 0;
+    double v = 0;
+    entry >> r >> c >> v;
+    FUSEDML_CHECK(r >= 1 && c >= 1, "matrix market: 1-based indices expected");
+    coo.add(static_cast<index_t>(r - 1), static_cast<index_t>(c - 1), v);
+    if (symmetric && r != c) {
+      coo.add(static_cast<index_t>(c - 1), static_cast<index_t>(r - 1), v);
+    }
+  }
+  return coo_to_csr(coo);
+}
+
+CsrMatrix read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  FUSEDML_CHECK(in.good(), "cannot open: " + path);
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const CsrMatrix& m) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << m.rows() << " " << m.cols() << " " << m.nnz() << "\n";
+  for (index_t r = 0; r < m.rows(); ++r) {
+    for (offset_t i = m.row_begin(r); i < m.row_end(r); ++i) {
+      out << (r + 1) << " " << (m.col_idx()[static_cast<usize>(i)] + 1) << " "
+          << m.values()[static_cast<usize>(i)] << "\n";
+    }
+  }
+}
+
+void write_matrix_market_file(const std::string& path, const CsrMatrix& m) {
+  std::ofstream out(path);
+  FUSEDML_CHECK(out.good(), "cannot open for writing: " + path);
+  write_matrix_market(out, m);
+}
+
+DenseMatrix read_matrix_market_dense(std::istream& in) {
+  std::string header;
+  FUSEDML_CHECK(static_cast<bool>(std::getline(in, header)),
+                "matrix market: empty stream");
+  FUSEDML_CHECK(header.rfind("%%MatrixMarket", 0) == 0,
+                "matrix market: missing banner");
+  FUSEDML_CHECK(header.find("array") != std::string::npos,
+                "matrix market: expected array format");
+  std::istringstream dims(next_data_line(in));
+  long long rows = 0, cols = 0;
+  dims >> rows >> cols;
+  FUSEDML_CHECK(rows > 0 && cols > 0, "matrix market: bad dimensions line");
+  DenseMatrix out(static_cast<index_t>(rows), static_cast<index_t>(cols));
+  // Array format is column-major.
+  for (long long c = 0; c < cols; ++c) {
+    for (long long r = 0; r < rows; ++r) {
+      std::istringstream entry(next_data_line(in));
+      double v = 0;
+      entry >> v;
+      out.at(static_cast<index_t>(r), static_cast<index_t>(c)) = v;
+    }
+  }
+  return out;
+}
+
+void write_matrix_market_dense(std::ostream& out, const DenseMatrix& m) {
+  out << "%%MatrixMarket matrix array real general\n";
+  out << m.rows() << " " << m.cols() << "\n";
+  for (index_t c = 0; c < m.cols(); ++c) {
+    for (index_t r = 0; r < m.rows(); ++r) {
+      out << m.at(r, c) << "\n";
+    }
+  }
+}
+
+}  // namespace fusedml::la

@@ -1,0 +1,131 @@
+#include "ml/glm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "la/vector_ops.h"
+
+namespace fusedml::ml {
+
+namespace {
+
+real inverse_link(GlmFamily family, real eta) {
+  switch (family) {
+    case GlmFamily::kGaussian: return eta;
+    case GlmFamily::kPoisson: return std::exp(std::min<real>(eta, 30.0));
+    case GlmFamily::kBinomial:
+      return real{1} / (real{1} + std::exp(-eta));
+  }
+  return eta;
+}
+
+/// Variance weight W_ii for the canonical link (equals var(mu)).
+real variance_weight(GlmFamily family, real mu) {
+  switch (family) {
+    case GlmFamily::kGaussian: return real{1};
+    case GlmFamily::kPoisson: return std::max<real>(mu, 1e-10);
+    case GlmFamily::kBinomial: return std::max<real>(mu * (1 - mu), 1e-10);
+  }
+  return real{1};
+}
+
+}  // namespace
+
+GlmResult glm_irls(patterns::PatternExecutor& exec, const la::CsrMatrix& X,
+                   std::span<const real> y, GlmConfig config) {
+  FUSEDML_CHECK(y.size() == static_cast<usize>(X.rows()),
+                "labels must have one entry per row");
+  const auto m = static_cast<usize>(X.rows());
+  const auto n = static_cast<usize>(X.cols());
+  GlmResult out;
+  std::vector<real> w(n, real{0});
+  std::vector<real> eta(m, real{0});
+  std::vector<real> weights_diag(m), resid(m);
+
+  for (int it = 0; it < config.max_irls_iterations; ++it) {
+    // mu, W and the score residual at the current eta = X*w.
+    for (usize i = 0; i < m; ++i) {
+      const real mu = inverse_link(config.family, eta[i]);
+      weights_diag[i] = variance_weight(config.family, mu);
+      resid[i] = mu - y[i];  // canonical-link score
+    }
+    // Gradient g = X^T (mu - y) + ridge*w.
+    auto g_op = exec.transposed_product(X, resid);
+    out.stats.add_pattern(g_op);
+    std::vector<real> grad = std::move(g_op.value);
+    for (usize j = 0; j < n; ++j) grad[j] += config.ridge * w[j];
+
+    const real gnorm = la::nrm2(grad);
+    out.final_deviance_proxy = gnorm;
+    if (gnorm <= config.gradient_tolerance) {
+      out.converged = true;
+      break;
+    }
+
+    // CG on (X^T W X + ridge I) d = -g via the v-weighted pattern.
+    std::vector<real> d(n, real{0});
+    std::vector<real> r = grad;
+    std::vector<real> p(n);
+    for (usize j = 0; j < n; ++j) p[j] = -grad[j];
+    real rr = la::dot(r, r);
+    for (int cg = 0;
+         cg < config.max_cg_iterations && std::sqrt(rr) > real{0.05} * gnorm;
+         ++cg) {
+      // Fp = X^T (W ⊙ (X p)) + ridge * p — one fused-pattern kernel.
+      auto fp_op =
+          exec.pattern(real{1}, X, weights_diag, p, config.ridge, p);
+      out.stats.add_pattern(fp_op);
+      const std::vector<real>& fp = fp_op.value;
+      const real pfp = la::dot(p, fp);
+      if (pfp <= 0) break;
+      const real alpha = rr / pfp;
+      la::axpy(alpha, p, d);
+      la::axpy(alpha, fp, r);
+      const real rr_new = la::dot(r, r);
+      const real beta = rr_new / rr;
+      rr = rr_new;
+      for (usize j = 0; j < n; ++j) p[j] = -r[j] + beta * p[j];
+    }
+
+    // Damped update: halve until eta stays finite and gradient norm drops.
+    real step = 1.0;
+    for (int ls = 0; ls < 6; ++ls) {
+      std::vector<real> w_new = w;
+      la::axpy(step, d, w_new);
+      auto eta_op = exec.product(X, w_new);
+      out.stats.add_pattern(eta_op);
+      bool finite = true;
+      for (real e : eta_op.value) {
+        if (!std::isfinite(e) || std::abs(e) > 50) {
+          finite = false;
+          break;
+        }
+      }
+      if (finite) {
+        w = std::move(w_new);
+        eta = std::move(eta_op.value);
+        break;
+      }
+      step *= real{0.5};
+    }
+    out.stats.iterations = it + 1;
+  }
+
+  out.weights = std::move(w);
+  return out;
+}
+
+std::vector<real> glm_predict(patterns::PatternExecutor& exec,
+                              const la::CsrMatrix& X,
+                              std::span<const real> weights,
+                              GlmFamily family) {
+  auto eta = exec.product(X, weights);
+  std::vector<real> mu(eta.value.size());
+  for (usize i = 0; i < mu.size(); ++i) {
+    mu[i] = inverse_link(family, eta.value[i]);
+  }
+  return mu;
+}
+
+}  // namespace fusedml::ml

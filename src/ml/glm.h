@@ -1,0 +1,50 @@
+// Generalized Linear Models (McCullagh [28]) fitted by Fisher scoring /
+// IRLS with a CG inner solve.
+//
+// The Fisher information-vector product is
+//   F * s = X^T * (W ⊙ (X * s))
+// with W the per-row variance weights of the current iterate — the
+// X^T*(v⊙(X*y)) instantiation Table 1 marks for GLM. Gaussian, Poisson
+// (log link) and Binomial (logit link) families are provided.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "la/csr_matrix.h"
+#include "ml/solver_stats.h"
+#include "patterns/executor.h"
+
+namespace fusedml::ml {
+
+enum class GlmFamily {
+  kGaussian,  ///< identity link; IRLS degenerates to least squares
+  kPoisson,   ///< log link
+  kBinomial,  ///< logit link; labels in {0, 1}
+};
+
+struct GlmConfig {
+  GlmFamily family = GlmFamily::kPoisson;
+  int max_irls_iterations = 25;
+  int max_cg_iterations = 30;
+  real ridge = 1e-6;           ///< tiny ridge for numerical stability
+  real gradient_tolerance = 1e-5;
+};
+
+struct GlmResult {
+  std::vector<real> weights;
+  SolverStats stats;
+  real final_deviance_proxy = 0;  ///< gradient norm at exit
+  bool converged = false;
+};
+
+GlmResult glm_irls(patterns::PatternExecutor& exec, const la::CsrMatrix& X,
+                   std::span<const real> labels, GlmConfig config = {});
+
+/// Mean predictions g^{-1}(X * w).
+std::vector<real> glm_predict(patterns::PatternExecutor& exec,
+                              const la::CsrMatrix& X,
+                              std::span<const real> weights,
+                              GlmFamily family);
+
+}  // namespace fusedml::ml

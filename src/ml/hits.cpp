@@ -1,0 +1,55 @@
+#include "ml/hits.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "la/vector_ops.h"
+
+namespace fusedml::ml {
+
+HitsResult hits(patterns::PatternExecutor& exec, const la::CsrMatrix& X,
+                HitsConfig config) {
+  FUSEDML_CHECK(X.rows() > 0 && X.cols() > 0, "empty adjacency matrix");
+  const auto n = static_cast<usize>(X.cols());
+  HitsResult out;
+  std::vector<real> a(n, real{1} / std::sqrt(static_cast<real>(n)));
+
+  for (int it = 0; it < config.max_iterations; ++it) {
+    // a' = X^T (X a): authority refresh, one fused-pattern kernel.
+    auto a_op = exec.xt_xy(X, a);
+    out.stats.add_pattern(a_op);
+    std::vector<real>& a_new = a_op.value;
+
+    auto norm_op = exec.nrm2(a_new);
+    out.stats.add_blas1(norm_op);
+    const real norm = norm_op.value[0];
+    if (norm <= 0) break;  // no links at all
+    auto scal_op = exec.scal(real{1} / norm, a_new);
+    out.stats.add_blas1(scal_op);
+
+    real delta = 0;
+    for (usize j = 0; j < n; ++j) {
+      const real d = a_new[j] - a[j];
+      delta += d * d;
+    }
+    a = std::move(a_new);
+    out.stats.iterations = it + 1;
+    if (std::sqrt(delta) <= config.tolerance) {
+      out.converged = true;
+      break;
+    }
+  }
+
+  // Hub scores h = X a (normalized).
+  auto h_op = exec.product(X, a);
+  out.stats.add_pattern(h_op);
+  std::vector<real> h = std::move(h_op.value);
+  const real hn = la::nrm2(h);
+  if (hn > 0) la::scal(real{1} / hn, h);
+
+  out.authorities = std::move(a);
+  out.hubs = std::move(h);
+  return out;
+}
+
+}  // namespace fusedml::ml

@@ -1,0 +1,35 @@
+// Hubs and Authorities (Kleinberg's HITS [23]) by power iteration on a
+// sparse adjacency matrix.
+//
+// The authority update folds two steps into one pattern evaluation:
+//   a_{k+1} ∝ X^T * (X * a_k)
+// which is the X^T*(X*y) instantiation Table 1 marks for HITS; hub scores
+// come from the plain product h = X * a.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "la/csr_matrix.h"
+#include "ml/solver_stats.h"
+#include "patterns/executor.h"
+
+namespace fusedml::ml {
+
+struct HitsConfig {
+  int max_iterations = 50;
+  real tolerance = 1e-9;  ///< L2 change in authority scores
+};
+
+struct HitsResult {
+  std::vector<real> authorities;  ///< length n, unit L2 norm
+  std::vector<real> hubs;         ///< length m, unit L2 norm
+  SolverStats stats;
+  bool converged = false;
+};
+
+/// X is the adjacency matrix: X[i][j] = 1 when page i links to page j.
+HitsResult hits(patterns::PatternExecutor& exec, const la::CsrMatrix& X,
+                HitsConfig config = {});
+
+}  // namespace fusedml::ml

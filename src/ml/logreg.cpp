@@ -1,0 +1,231 @@
+#include "ml/logreg.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "la/vector_ops.h"
+
+namespace fusedml::ml {
+
+namespace {
+
+real sigmoid(real t) { return real{1} / (real{1} + std::exp(-t)); }
+
+/// Objective f(w) = 0.5*lambda*||w||^2 + sum log(1 + exp(-y_i * m_i)) given
+/// margins m = X*w.
+real objective(real lambda, std::span<const real> w,
+               std::span<const real> margins, std::span<const real> y) {
+  real f = 0;
+  for (usize i = 0; i < margins.size(); ++i) {
+    const real t = -y[i] * margins[i];
+    // log(1+exp(t)) computed stably.
+    f += t > 0 ? t + std::log1p(std::exp(-t)) : std::log1p(std::exp(t));
+  }
+  real wn = 0;
+  for (real x : w) wn += x * x;
+  return f + real{0.5} * lambda * wn;
+}
+
+/// The positive tau with ||d + tau*p|| = radius (Steihaug boundary hit).
+real boundary_step(std::span<const real> d, std::span<const real> p,
+                   real radius) {
+  const real dp = la::dot(d, p);
+  const real pp = la::dot(p, p);
+  const real dd = la::dot(d, d);
+  if (pp <= 0) return 0;
+  const real disc = dp * dp + pp * (radius * radius - dd);
+  return (-dp + std::sqrt(std::max<real>(0, disc))) / pp;
+}
+
+}  // namespace
+
+LogRegResult logreg_trust_region(patterns::PatternExecutor& exec,
+                                 const la::CsrMatrix& X,
+                                 std::span<const real> y,
+                                 LogRegConfig config) {
+  FUSEDML_CHECK(y.size() == static_cast<usize>(X.rows()),
+                "labels must have one entry per row");
+  const auto m = static_cast<usize>(X.rows());
+  const auto n = static_cast<usize>(X.cols());
+  LogRegResult out;
+  std::vector<real> w(n, real{0});
+  real radius = config.initial_trust_radius;
+
+  // margins = X * w; starts at zero.
+  std::vector<real> margins(m, real{0});
+  real f = objective(config.lambda, w, margins, y);
+
+  std::vector<real> grad(n), d_diag(m), residual_vec(m);
+  for (int newton = 0; newton < config.max_newton_iterations; ++newton) {
+    // Gradient: g = lambda*w + X^T * r where r_i = (sigma(y_i m_i) - 1) y_i.
+    // Hessian weights: D_ii = sigma_i (1 - sigma_i) with sigma_i = s(m_i).
+    for (usize i = 0; i < m; ++i) {
+      const real s_ym = sigmoid(y[i] * margins[i]);
+      residual_vec[i] = (s_ym - real{1}) * y[i];
+      const real s_m = sigmoid(margins[i]);
+      d_diag[i] = s_m * (real{1} - s_m);
+    }
+    auto g_op = exec.transposed_product(X, residual_vec);  // X^T * r
+    out.stats.add_pattern(g_op);
+    grad = std::move(g_op.value);
+    for (usize j = 0; j < n; ++j) grad[j] += config.lambda * w[j];
+
+    const real gnorm = la::nrm2(grad);
+    out.final_gradient_norm = gnorm;
+    if (gnorm <= config.gradient_tolerance) {
+      out.converged = true;
+      break;
+    }
+
+    // --- Steihaug CG for H d = -g within the trust region ----------------
+    std::vector<real> d(n, real{0});
+    std::vector<real> r_cg = grad;  // residual of H d + g (d = 0)
+    std::vector<real> p(n);
+    for (usize j = 0; j < n; ++j) p[j] = -grad[j];
+    real rr = la::dot(r_cg, r_cg);
+    for (int cg = 0; cg < config.max_cg_iterations && std::sqrt(rr) >
+                         real{0.1} * gnorm; ++cg) {
+      ++out.cg_iterations_total;
+      // Hp = X^T (D ⊙ (X p)) + lambda p  — the FULL pattern, one kernel.
+      auto hp_op = exec.pattern(real{1}, X, d_diag, p, config.lambda, p);
+      out.stats.add_pattern(hp_op);
+      const std::vector<real>& hp = hp_op.value;
+
+      const real php = la::dot(p, hp);
+      if (php <= 0) {  // negative curvature: walk to the boundary
+        const real tau = boundary_step(d, p, radius);
+        la::axpy(tau, p, d);
+        break;
+      }
+      const real alpha = rr / php;
+      // Would the step leave the region?
+      std::vector<real> d_next = d;
+      la::axpy(alpha, p, d_next);
+      if (la::nrm2(d_next) >= radius) {
+        const real tau = boundary_step(d, p, radius);
+        la::axpy(tau, p, d);
+        break;
+      }
+      d = std::move(d_next);
+      la::axpy(alpha, hp, r_cg);
+      const real rr_new = la::dot(r_cg, r_cg);
+      const real beta = rr_new / rr;
+      rr = rr_new;
+      for (usize j = 0; j < n; ++j) p[j] = -r_cg[j] + beta * p[j];
+    }
+
+    // --- Accept / reject against actual vs predicted reduction -----------
+    std::vector<real> w_new = w;
+    la::axpy(real{1}, d, w_new);
+    auto margins_op = exec.product(X, w_new);
+    out.stats.add_pattern(margins_op);
+    const real f_new =
+        objective(config.lambda, w_new, margins_op.value, y);
+    const real actual = f - f_new;
+    // Predicted reduction: -g.d - 0.5 d'Hd  ~ use -g.d as a cheap proxy
+    // (standard safeguards keep this robust for our well-scaled problems).
+    const real predicted = -la::dot(grad, d) * real{0.5};
+    const real rho = predicted > 0 ? actual / predicted : real{0};
+
+    if (actual > 0) {
+      w = std::move(w_new);
+      margins = std::move(margins_op.value);
+      f = f_new;
+      if (rho > real{0.75}) radius *= 2;
+    } else {
+      radius *= real{0.25};
+      if (radius < real{1e-10}) break;
+    }
+    out.stats.iterations = newton + 1;
+  }
+
+  out.weights = std::move(w);
+  out.final_objective = f;
+  return out;
+}
+
+std::vector<real> logreg_predict(patterns::PatternExecutor& exec,
+                                 const la::CsrMatrix& X,
+                                 std::span<const real> weights) {
+  auto margins = exec.product(X, weights);
+  std::vector<real> probs(margins.value.size());
+  for (usize i = 0; i < probs.size(); ++i) {
+    probs[i] = sigmoid(margins.value[i]);
+  }
+  return probs;
+}
+
+MultinomialResult logreg_multinomial(patterns::PatternExecutor& exec,
+                                     const la::CsrMatrix& X,
+                                     std::span<const real> labels,
+                                     int num_classes, LogRegConfig config) {
+  FUSEDML_CHECK(num_classes >= 2, "multinomial needs at least two classes");
+  FUSEDML_CHECK(labels.size() == static_cast<usize>(X.rows()),
+                "labels must have one entry per row");
+  for (real c : labels) {
+    FUSEDML_CHECK(c >= 0 && c < num_classes && c == std::floor(c),
+                  "labels must be class ids in [0, num_classes)");
+  }
+  MultinomialResult out;
+  out.classes = num_classes;
+  std::vector<real> binary(labels.size());
+  for (int k = 0; k < num_classes; ++k) {
+    // One-vs-rest relabeling for class k.
+    for (usize i = 0; i < labels.size(); ++i) {
+      binary[i] = labels[i] == static_cast<real>(k) ? real{1} : real{-1};
+    }
+    auto sub = logreg_trust_region(exec, X, binary, config);
+    out.stats.iterations += sub.stats.iterations;
+    out.stats.pattern_modeled_ms += sub.stats.pattern_modeled_ms;
+    out.stats.blas1_modeled_ms += sub.stats.blas1_modeled_ms;
+    out.stats.pattern_wall_ms += sub.stats.pattern_wall_ms;
+    out.stats.blas1_wall_ms += sub.stats.blas1_wall_ms;
+    out.stats.launches += sub.stats.launches;
+    out.class_weights.push_back(std::move(sub.weights));
+  }
+  return out;
+}
+
+std::vector<real> logreg_multinomial_predict(
+    patterns::PatternExecutor& exec, const la::CsrMatrix& X,
+    const MultinomialResult& model) {
+  const auto m = static_cast<usize>(X.rows());
+  const auto K = static_cast<usize>(model.classes);
+  std::vector<real> probs(m * K);
+  for (usize k = 0; k < K; ++k) {
+    const auto margins = exec.product(X, model.class_weights[k]);
+    for (usize i = 0; i < m; ++i) probs[i * K + k] = margins.value[i];
+  }
+  // Row-wise softmax (stable).
+  for (usize i = 0; i < m; ++i) {
+    real* row = probs.data() + i * K;
+    real mx = row[0];
+    for (usize k = 1; k < K; ++k) mx = std::max(mx, row[k]);
+    real sum = 0;
+    for (usize k = 0; k < K; ++k) {
+      row[k] = std::exp(row[k] - mx);
+      sum += row[k];
+    }
+    for (usize k = 0; k < K; ++k) row[k] /= sum;
+  }
+  return probs;
+}
+
+std::vector<int> argmax_rows(std::span<const real> probs, int num_classes) {
+  FUSEDML_CHECK(num_classes > 0 && probs.size() % num_classes == 0,
+                "probability matrix shape mismatch");
+  const usize m = probs.size() / static_cast<usize>(num_classes);
+  std::vector<int> out(m);
+  for (usize i = 0; i < m; ++i) {
+    const real* row = probs.data() + i * num_classes;
+    int best = 0;
+    for (int k = 1; k < num_classes; ++k) {
+      if (row[k] > row[best]) best = k;
+    }
+    out[i] = best;
+  }
+  return out;
+}
+
+}  // namespace fusedml::ml

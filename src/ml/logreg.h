@@ -1,0 +1,74 @@
+// L2-regularized binomial logistic regression via a trust-region Newton
+// method (Lin, Weng & Keerthi [24] — the method the paper cites for LogReg).
+//
+// Each Hessian-vector product inside the Steihaug-CG inner solve is
+//   H * s = X^T * (D ⊙ (X * s)) + lambda * s,    D_ii = sigma_i (1 - sigma_i)
+// — the FULL generic pattern (alpha=1, v=D, beta=lambda, z=s), which is why
+// Table 1 marks LogReg on both X^T*(v⊙(X*y)) and the +beta*z form.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "la/csr_matrix.h"
+#include "ml/solver_stats.h"
+#include "patterns/executor.h"
+
+namespace fusedml::ml {
+
+struct LogRegConfig {
+  int max_newton_iterations = 50;
+  int max_cg_iterations = 30;
+  real lambda = 1.0;          ///< L2 regularization strength
+  real gradient_tolerance = 1e-4;
+  real initial_trust_radius = 1.0;
+};
+
+struct LogRegResult {
+  std::vector<real> weights;
+  SolverStats stats;
+  real final_objective = 0;
+  real final_gradient_norm = 0;
+  bool converged = false;
+  int cg_iterations_total = 0;
+};
+
+/// Trains on rows of X with labels in {-1, +1}.
+LogRegResult logreg_trust_region(patterns::PatternExecutor& exec,
+                                 const la::CsrMatrix& X,
+                                 std::span<const real> labels,
+                                 LogRegConfig config = {});
+
+/// Probability predictions sigma(X * w) for a trained model.
+std::vector<real> logreg_predict(patterns::PatternExecutor& exec,
+                                 const la::CsrMatrix& X,
+                                 std::span<const real> weights);
+
+// --- Multinomial (Table 1 covers "binomial/multinomial logistic
+// regression") — trained one-vs-rest, each binary subproblem through the
+// trust-region solver above, predictions softmax-normalized.
+
+struct MultinomialResult {
+  /// One weight vector per class, each of length n.
+  std::vector<std::vector<real>> class_weights;
+  SolverStats stats;  ///< summed over the per-class solvers
+  int classes = 0;
+};
+
+/// `labels[i]` in {0, .., num_classes-1}.
+MultinomialResult logreg_multinomial(patterns::PatternExecutor& exec,
+                                     const la::CsrMatrix& X,
+                                     std::span<const real> labels,
+                                     int num_classes,
+                                     LogRegConfig config = {});
+
+/// Class probabilities (m x K, row-major) via softmax over the per-class
+/// margins.
+std::vector<real> logreg_multinomial_predict(
+    patterns::PatternExecutor& exec, const la::CsrMatrix& X,
+    const MultinomialResult& model);
+
+/// Argmax class per row of a (m x K) probability matrix.
+std::vector<int> argmax_rows(std::span<const real> probs, int num_classes);
+
+}  // namespace fusedml::ml

@@ -1,0 +1,87 @@
+#include "ml/lr_cg.h"
+
+#include "common/error.h"
+
+namespace fusedml::ml {
+
+namespace {
+
+/// The algorithm body is identical for sparse and dense X; only the two
+/// pattern evaluations dispatch on the matrix type.
+template <typename Matrix>
+LrCgResult lr_cg_impl(patterns::PatternExecutor& exec, const Matrix& X,
+                      std::span<const real> y, const LrCgConfig& config) {
+  FUSEDML_CHECK(y.size() == static_cast<usize>(X.rows()),
+                "labels must have one entry per row");
+  LrCgResult out;
+  const auto n = static_cast<usize>(X.cols());
+
+  // r = -(t(X) %*% y)   [Listing 1 line 3]
+  auto rt = exec.transposed_product(X, y, real{-1});
+  out.stats.add_pattern(rt);
+  std::vector<real> r = std::move(rt.value);
+
+  // p = -r              [line 4]
+  std::vector<real> p(n);
+  for (usize i = 0; i < n; ++i) p[i] = -r[i];
+
+  // nr2 = sum(r * r)    [line 5]
+  auto nr2_op = exec.dot(r, r);
+  out.stats.add_blas1(nr2_op);
+  real nr2 = nr2_op.value[0];
+  out.initial_norm2 = nr2;
+  const real nr2_target = nr2 * config.tolerance * config.tolerance;
+
+  std::vector<real> w(n, real{0});  // [line 7]
+
+  int i = 0;
+  while (i < config.max_iterations && nr2 > nr2_target) {  // [line 9]
+    // q = (t(X) %*% (X %*% p)) + eps * p   [line 10]
+    auto q_op = exec.pattern(real{1}, X, {}, p, config.eps, p);
+    out.stats.add_pattern(q_op);
+    std::vector<real>& q = q_op.value;
+
+    // alpha = nr2 / (t(p) %*% q)           [line 12]
+    auto pq = exec.dot(p, q);
+    out.stats.add_blas1(pq);
+    const real alpha = nr2 / pq.value[0];
+
+    // w = w + alpha * p                    [line 13]
+    out.stats.add_blas1(exec.axpy(alpha, p, w));
+
+    // r = r + alpha * q                    [line 15]
+    out.stats.add_blas1(exec.axpy(alpha, q, r));
+
+    // nr2 = sum(r * r)                     [line 16]
+    const real old_nr2 = nr2;
+    auto nr2_new = exec.dot(r, r);
+    out.stats.add_blas1(nr2_new);
+    nr2 = nr2_new.value[0];
+
+    // beta = nr2 / old_nr2; p = -r + beta * p   [lines 17-18: axpy & scal]
+    const real beta = nr2 / old_nr2;
+    out.stats.add_blas1(exec.scal(beta, p));
+    out.stats.add_blas1(exec.axpy(real{-1}, r, p));
+
+    ++i;
+  }
+  out.stats.iterations = i;
+  out.final_norm2 = nr2;
+  out.converged = nr2 <= nr2_target;
+  out.weights = std::move(w);
+  return out;
+}
+
+}  // namespace
+
+LrCgResult lr_cg(patterns::PatternExecutor& exec, const la::CsrMatrix& X,
+                 std::span<const real> labels, LrCgConfig config) {
+  return lr_cg_impl(exec, X, labels, config);
+}
+
+LrCgResult lr_cg(patterns::PatternExecutor& exec, const la::DenseMatrix& X,
+                 std::span<const real> labels, LrCgConfig config) {
+  return lr_cg_impl(exec, X, labels, config);
+}
+
+}  // namespace fusedml::ml

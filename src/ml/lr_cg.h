@@ -1,0 +1,41 @@
+// Linear Regression via Conjugate Gradient — Listing 1 of the paper,
+// line for line. The hot operation per iteration is
+//   q = X^T * (X * p) + eps * p
+// i.e. the X^T*(X*y) + beta*z instantiation of the generic pattern, plus a
+// handful of BLAS-1 calls (dot, axpy, nrm2). Solves the normal equations
+// (X^T X + eps I) w = X^T y.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "la/csr_matrix.h"
+#include "la/dense_matrix.h"
+#include "ml/solver_stats.h"
+#include "patterns/executor.h"
+
+namespace fusedml::ml {
+
+struct LrCgConfig {
+  int max_iterations = 100;
+  real eps = 0.001;          ///< ridge term (Listing 1 line 2)
+  real tolerance = 0.000001; ///< relative residual tolerance (line 2)
+};
+
+struct LrCgResult {
+  std::vector<real> weights;
+  SolverStats stats;
+  real initial_norm2 = 0;  ///< nr2_init of Listing 1
+  real final_norm2 = 0;
+  bool converged = false;
+};
+
+/// Runs Listing 1 on sparse data through the given backend.
+LrCgResult lr_cg(patterns::PatternExecutor& exec, const la::CsrMatrix& X,
+                 std::span<const real> labels, LrCgConfig config = {});
+
+/// Dense variant (the HIGGS experiments).
+LrCgResult lr_cg(patterns::PatternExecutor& exec, const la::DenseMatrix& X,
+                 std::span<const real> labels, LrCgConfig config = {});
+
+}  // namespace fusedml::ml

@@ -1,0 +1,123 @@
+#include "ml/svm.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "la/convert.h"
+#include "la/vector_ops.h"
+
+namespace fusedml::ml {
+
+namespace {
+real svm_objective(real C, std::span<const real> w,
+                   std::span<const real> margins, std::span<const real> y) {
+  real f = 0;
+  for (usize i = 0; i < margins.size(); ++i) {
+    const real slack = std::max<real>(0, real{1} - y[i] * margins[i]);
+    f += slack * slack;
+  }
+  real wn = 0;
+  for (real x : w) wn += x * x;
+  return real{0.5} * wn + C * f;
+}
+}  // namespace
+
+SvmResult svm_primal(patterns::PatternExecutor& exec, const la::CsrMatrix& X,
+                     std::span<const real> y, SvmConfig config) {
+  FUSEDML_CHECK(y.size() == static_cast<usize>(X.rows()),
+                "labels must have one entry per row");
+  const auto m = static_cast<usize>(X.rows());
+  const auto n = static_cast<usize>(X.cols());
+  SvmResult out;
+  std::vector<real> w(n, real{0});
+  std::vector<real> margins(m, real{0});
+
+  for (int newton = 0; newton < config.max_newton_iterations; ++newton) {
+    // Support (violator) set: y_i * margin_i < 1.
+    std::vector<index_t> sv;
+    for (usize i = 0; i < m; ++i) {
+      if (y[i] * margins[i] < real{1}) sv.push_back(static_cast<index_t>(i));
+    }
+    out.support_vectors = static_cast<int>(sv.size());
+    if (sv.empty()) {
+      out.converged = true;
+      break;
+    }
+    const la::CsrMatrix Xi = la::select_rows(X, sv);
+
+    // Gradient: g = w + 2C * X_I^T * (margins_I - y_I).
+    std::vector<real> resid(sv.size());
+    for (usize k = 0; k < sv.size(); ++k) {
+      const auto i = static_cast<usize>(sv[k]);
+      resid[k] = margins[i] - y[i];
+    }
+    auto g_op = exec.transposed_product(Xi, resid, 2 * config.C);
+    out.stats.add_pattern(g_op);
+    std::vector<real> grad = std::move(g_op.value);
+    for (usize j = 0; j < n; ++j) grad[j] += w[j];
+
+    const real gnorm = la::nrm2(grad);
+    if (gnorm <= config.gradient_tolerance) {
+      out.converged = true;
+      break;
+    }
+
+    // CG on (I + 2C X_I^T X_I) d = -g.
+    std::vector<real> d(n, real{0});
+    std::vector<real> r = grad;
+    std::vector<real> p(n);
+    for (usize j = 0; j < n; ++j) p[j] = -grad[j];
+    real rr = la::dot(r, r);
+    for (int cg = 0;
+         cg < config.max_cg_iterations && std::sqrt(rr) > real{0.01} * gnorm;
+         ++cg) {
+      // Hp = 2C * X_I^T (X_I p) + p — one fused-pattern kernel.
+      auto hp_op = exec.pattern(2 * config.C, Xi, {}, p, real{1}, p);
+      out.stats.add_pattern(hp_op);
+      const std::vector<real>& hp = hp_op.value;
+      const real php = la::dot(p, hp);
+      if (php <= 0) break;
+      const real alpha = rr / php;
+      la::axpy(alpha, p, d);
+      la::axpy(alpha, hp, r);
+      const real rr_new = la::dot(r, r);
+      const real beta = rr_new / rr;
+      rr = rr_new;
+      for (usize j = 0; j < n; ++j) p[j] = -r[j] + beta * p[j];
+    }
+
+    // Line search on the Newton direction (full step is usually fine for
+    // squared hinge; backtrack if the objective does not improve).
+    const real f_old = svm_objective(config.C, w, margins, y);
+    real step = 1.0;
+    bool improved = false;
+    for (int ls = 0; ls < 8; ++ls) {
+      std::vector<real> w_new = w;
+      la::axpy(step, d, w_new);
+      auto margins_op = exec.product(X, w_new);
+      out.stats.add_pattern(margins_op);
+      const real f_new = svm_objective(config.C, w_new, margins_op.value, y);
+      if (f_new < f_old) {
+        w = std::move(w_new);
+        margins = std::move(margins_op.value);
+        improved = true;
+        break;
+      }
+      step *= real{0.5};
+    }
+    out.stats.iterations = newton + 1;
+    if (!improved) break;
+  }
+
+  out.final_objective = svm_objective(config.C, w, margins, y);
+  out.weights = std::move(w);
+  return out;
+}
+
+std::vector<real> svm_decision(patterns::PatternExecutor& exec,
+                               const la::CsrMatrix& X,
+                               std::span<const real> weights) {
+  return exec.product(X, weights).value;
+}
+
+}  // namespace fusedml::ml

@@ -1,0 +1,45 @@
+// Linear SVM trained in the primal with squared hinge loss via Newton's
+// method (Chapelle [9] — the reference the paper cites for SVM).
+//
+// Per Newton step, the support set I = {i : y_i (x_i . w) < 1} is frozen
+// and the system (I + 2C X_I^T X_I) d = -grad is solved by CG whose
+// matrix-vector product is
+//   H * s = 2C * X_I^T * (X_I * s) + s
+// — the X^T*(X*y) + beta*z instantiation on the row-restricted matrix
+// (Table 1 marks SVM on exactly the no-v forms).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "la/csr_matrix.h"
+#include "ml/solver_stats.h"
+#include "patterns/executor.h"
+
+namespace fusedml::ml {
+
+struct SvmConfig {
+  int max_newton_iterations = 30;
+  int max_cg_iterations = 40;
+  real C = 1.0;                ///< hinge weight
+  real gradient_tolerance = 1e-4;
+};
+
+struct SvmResult {
+  std::vector<real> weights;
+  SolverStats stats;
+  real final_objective = 0;
+  int support_vectors = 0;     ///< |I| at the last iteration
+  bool converged = false;
+};
+
+/// Trains on rows of X with labels in {-1, +1}.
+SvmResult svm_primal(patterns::PatternExecutor& exec, const la::CsrMatrix& X,
+                     std::span<const real> labels, SvmConfig config = {});
+
+/// Decision values X * w.
+std::vector<real> svm_decision(patterns::PatternExecutor& exec,
+                               const la::CsrMatrix& X,
+                               std::span<const real> weights);
+
+}  // namespace fusedml::ml

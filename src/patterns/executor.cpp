@@ -1,0 +1,254 @@
+#include "patterns/executor.h"
+
+#include "common/error.h"
+#include "kernels/baselines.h"
+#include "kernels/blas1.h"
+#include "kernels/gemv.h"
+#include "kernels/spmv.h"
+
+namespace fusedml::patterns {
+
+std::string to_string(Backend backend) {
+  switch (backend) {
+    case Backend::kFused: return "fused";
+    case Backend::kCusparse: return "cuBLAS/cuSPARSE-style";
+    case Backend::kBidmatGpu: return "BIDMat-GPU-style";
+    case Backend::kCpu: return "CPU (MKL-like)";
+  }
+  return "?";
+}
+
+namespace {
+PatternResult from_op(kernels::OpResult op, PatternKind kind,
+                      std::string kernel) {
+  PatternResult out;
+  out.value = std::move(op.value);
+  out.modeled_ms = op.modeled_ms;
+  out.wall_ms = op.wall_ms;
+  out.launches = op.launches;
+  out.counters = op.counters;
+  out.kind = kind;
+  out.kernel = std::move(kernel);
+  return out;
+}
+
+PatternResult from_cpu(kernels::CpuOpResult op, PatternKind kind,
+                       std::string kernel) {
+  PatternResult out;
+  out.value = std::move(op.value);
+  out.modeled_ms = op.modeled_ms;
+  out.wall_ms = op.wall_ms;
+  out.kind = kind;
+  out.kernel = std::move(kernel);
+  return out;
+}
+}  // namespace
+
+PatternResult PatternExecutor::transposed_product(const la::CsrMatrix& X,
+                                                  std::span<const real> y,
+                                                  real alpha) {
+  const PatternKind kind = PatternKind::kXty;
+  record(kind);
+  switch (backend_) {
+    case Backend::kFused:
+      return from_op(kernels::fused_spmv_t(dev_, X, y, alpha, sparse_opts_),
+                     kind, "fused_spmv_t (Alg. 1)");
+    case Backend::kCusparse: {
+      auto op = kernels::baseline_xty_sparse(
+          dev_, X, y, kernels::SparseTransposeStrategy::kExplicitTranspose);
+      if (alpha != real{1}) {
+        auto s = kernels::dev_scal(dev_, alpha, op.value);
+        op.absorb_timing(s);
+      }
+      return from_op(std::move(op), kind, "csr2csc + csrmv");
+    }
+    case Backend::kBidmatGpu: {
+      auto op = kernels::baseline_xty_sparse(
+          dev_, X, y, kernels::SparseTransposeStrategy::kAtomicScatter);
+      if (alpha != real{1}) {
+        auto s = kernels::dev_scal(dev_, alpha, op.value);
+        op.absorb_timing(s);
+      }
+      return from_op(std::move(op), kind, "atomic-scatter spmv_t");
+    }
+    case Backend::kCpu: {
+      auto op = cpu_.spmv_t(X, y);
+      if (alpha != real{1}) {
+        for (real& w : op.value) w *= alpha;
+      }
+      return from_cpu(std::move(op), kind, "cpu spmv_t");
+    }
+  }
+  throw Error("unknown backend");
+}
+
+PatternResult PatternExecutor::transposed_product(const la::DenseMatrix& X,
+                                                  std::span<const real> y,
+                                                  real alpha) {
+  const PatternKind kind = PatternKind::kXty;
+  record(kind);
+  if (backend_ == Backend::kCpu) {
+    auto op = cpu_.gemv_t(X, y);
+    if (alpha != real{1}) {
+      for (real& w : op.value) w *= alpha;
+    }
+    return from_cpu(std::move(op), kind, "cpu gemv_t");
+  }
+  const auto flavor = backend_ == Backend::kCusparse
+                          ? kernels::DenseFlavor::kCublas
+                          : kernels::DenseFlavor::kBidmat;
+  kernels::GemvOptions opts;
+  if (flavor == kernels::DenseFlavor::kCublas) {
+    opts.smem_conflict_ways = kernels::kCublasConflictWays;
+    opts.transaction_inflation = kernels::kCublasTransactionInflation;
+  }
+  auto op = kernels::gemv_t(dev_, X, y, opts);
+  if (alpha != real{1}) {
+    auto s = kernels::dev_scal(dev_, alpha, op.value);
+    op.absorb_timing(s);
+  }
+  return from_op(std::move(op), kind, "gemv_t");
+}
+
+PatternResult PatternExecutor::product(const la::CsrMatrix& X,
+                                       std::span<const real> y) {
+  if (backend_ == Backend::kCpu) {
+    return from_cpu(cpu_.spmv(X, y), PatternKind::kXty, "cpu spmv");
+  }
+  return from_op(kernels::spmv_csr_vector(dev_, X, y), PatternKind::kXty,
+                 "csrmv");
+}
+
+PatternResult PatternExecutor::product(const la::DenseMatrix& X,
+                                       std::span<const real> y) {
+  if (backend_ == Backend::kCpu) {
+    return from_cpu(cpu_.gemv(X, y), PatternKind::kXty, "cpu gemv");
+  }
+  return from_op(kernels::gemv_n(dev_, X, y), PatternKind::kXty, "gemv");
+}
+
+namespace {
+template <typename DevOp, typename CpuOp>
+PatternResult blas1_dispatch(Backend backend, DevOp&& dev_op, CpuOp&& cpu_op,
+                             const char* name) {
+  if (backend == Backend::kCpu) {
+    return from_cpu(cpu_op(), PatternKind::kXty, name);  // kind unused
+  }
+  return from_op(dev_op(), PatternKind::kXty, name);
+}
+}  // namespace
+
+PatternResult PatternExecutor::axpy(real alpha, std::span<const real> x,
+                                    std::span<real> y) {
+  auto r = blas1_dispatch(
+      backend_, [&] { return kernels::dev_axpy(dev_, alpha, x, y); },
+      [&] { return cpu_.axpy(alpha, x, y); }, "axpy");
+  return r;
+}
+
+PatternResult PatternExecutor::dot(std::span<const real> x,
+                                   std::span<const real> y) {
+  return blas1_dispatch(
+      backend_, [&] { return kernels::dev_dot(dev_, x, y); },
+      [&] { return cpu_.dot(x, y); }, "dot");
+}
+
+PatternResult PatternExecutor::nrm2(std::span<const real> x) {
+  return blas1_dispatch(
+      backend_, [&] { return kernels::dev_nrm2(dev_, x); },
+      [&] { return cpu_.nrm2(x); }, "nrm2");
+}
+
+PatternResult PatternExecutor::scal(real alpha, std::span<real> x) {
+  return blas1_dispatch(
+      backend_, [&] { return kernels::dev_scal(dev_, alpha, x); },
+      [&] { return cpu_.scal(alpha, x); }, "scal");
+}
+
+PatternResult PatternExecutor::ewise_mul(std::span<const real> x,
+                                         std::span<const real> y) {
+  return blas1_dispatch(
+      backend_, [&] { return kernels::dev_ewise_mul(dev_, x, y); },
+      [&] { return cpu_.ewise_mul(x, y); }, "ewise_mul");
+}
+
+PatternResult PatternExecutor::pattern(real alpha, const la::CsrMatrix& X,
+                                       std::span<const real> v,
+                                       std::span<const real> y, real beta,
+                                       std::span<const real> z) {
+  const bool has_bz = !z.empty() && beta != real{0};
+  const PatternKind kind = classify(false, !v.empty(), has_bz);
+  record(kind);
+  switch (backend_) {
+    case Backend::kFused:
+      return from_op(
+          kernels::fused_pattern_sparse(dev_, alpha, X, v, y, beta, z,
+                                        sparse_opts_),
+          kind, "fused_pattern_sparse (Alg. 2)");
+    case Backend::kCusparse:
+      return from_op(
+          kernels::baseline_pattern_sparse(
+              dev_, alpha, X, v, y, beta, z,
+              kernels::SparseTransposeStrategy::kExplicitTranspose),
+          kind, "csrmv + blas1 + csr2csc + csrmv");
+    case Backend::kBidmatGpu:
+      return from_op(
+          kernels::baseline_pattern_sparse(
+              dev_, alpha, X, v, y, beta, z,
+              kernels::SparseTransposeStrategy::kAtomicScatter),
+          kind, "csrmv + blas1 + atomic-scatter");
+    case Backend::kCpu:
+      return from_cpu(cpu_.pattern(alpha, X, v, y, beta, z), kind,
+                      "cpu pattern");
+  }
+  throw Error("unknown backend");
+}
+
+PatternResult PatternExecutor::pattern(real alpha, const la::DenseMatrix& X,
+                                       std::span<const real> v,
+                                       std::span<const real> y, real beta,
+                                       std::span<const real> z) {
+  const bool has_bz = !z.empty() && beta != real{0};
+  const PatternKind kind = classify(false, !v.empty(), has_bz);
+  record(kind);
+  switch (backend_) {
+    case Backend::kFused: {
+      if (!kernels::dense_fused_feasible(dev_.spec(), X.cols())) {
+        // §3.2: very wide dense rows exceed the register file — fall back
+        // to two separate Level-2 kernels instead of fusing.
+        return from_op(
+            kernels::baseline_pattern_dense(dev_, alpha, X, v, y, beta, z,
+                                            kernels::DenseFlavor::kBidmat),
+            kind, "gemv + gemv_t (fused infeasible: n too large, §3.2)");
+      }
+      if (dense_opts_.use_codegen) {
+        // §3.2 lifecycle: the kernel for this (n, VS, TL, options) shape is
+        // generated once and reused on every subsequent iteration.
+        const auto params = kernels::fused_dense_params(dev_, X, dense_opts_);
+        codegen_cache_.dense_kernel({X.cols(), params.config.vector_size,
+                                     params.config.thread_load, !v.empty(),
+                                     has_bz});
+      }
+      return from_op(
+          kernels::fused_pattern_dense(dev_, alpha, X, v, y, beta, z,
+                                       dense_opts_),
+          kind, "fused_pattern_dense (Alg. 3, codegen)");
+    }
+    case Backend::kCusparse:
+      return from_op(
+          kernels::baseline_pattern_dense(dev_, alpha, X, v, y, beta, z,
+                                          kernels::DenseFlavor::kCublas),
+          kind, "gemv + blas1 + gemv_t (cuBLAS tiles)");
+    case Backend::kBidmatGpu:
+      return from_op(
+          kernels::baseline_pattern_dense(dev_, alpha, X, v, y, beta, z,
+                                          kernels::DenseFlavor::kBidmat),
+          kind, "gemv + blas1 + gemv_t (padded tiles)");
+    case Backend::kCpu:
+      return from_cpu(cpu_.pattern(alpha, X, v, y, beta, z), kind,
+                      "cpu pattern");
+  }
+  throw Error("unknown backend");
+}
+
+}  // namespace fusedml::patterns

@@ -1,0 +1,125 @@
+// PatternExecutor — the library's main entry point.
+//
+// An executor owns a backend choice (fused device kernels, the multi-kernel
+// cuSPARSE/cuBLAS-style baseline, the BIDMat-GPU-style baseline, or the
+// CPU) and evaluates pattern instantiations against it. ML algorithms in
+// src/ml are written once against this interface; benches swap backends to
+// produce the paper's comparison lines; the usage histogram feeds Table 1.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "kernels/cpu_backend.h"
+#include "kernels/fused_dense.h"
+#include "kernels/fused_sparse.h"
+#include "kernels/kernel_cache.h"
+#include "la/csr_matrix.h"
+#include "la/dense_matrix.h"
+#include "patterns/pattern.h"
+#include "vgpu/device.h"
+
+namespace fusedml::patterns {
+
+enum class Backend {
+  kFused,       ///< the paper's fused kernels
+  kCusparse,    ///< operator-at-a-time with explicit-transpose sparse X^T
+  kBidmatGpu,   ///< operator-at-a-time with atomic-scatter sparse X^T
+  kCpu,         ///< host CPU (MKL-like)
+};
+
+std::string to_string(Backend backend);
+
+/// Everything a caller learns from one pattern evaluation.
+struct PatternResult {
+  std::vector<real> value;
+  double modeled_ms = 0.0;   ///< modeled device (or CPU-model) time
+  double wall_ms = 0.0;      ///< host wall-clock of the functional run
+  std::uint64_t launches = 0;
+  vgpu::MemCounters counters;  ///< zero for the CPU backend
+  PatternKind kind{};
+  std::string kernel;        ///< which implementation ran
+};
+
+class PatternExecutor {
+ public:
+  /// `cpu_threads` parameterizes the CPU backend's cost model (8 = the
+  /// paper's MKL setting; 1 = the single-thread profile behind Table 2).
+  PatternExecutor(vgpu::Device& dev, Backend backend, int cpu_threads = 8)
+      : dev_(dev), backend_(backend), cpu_(vgpu::paper_host_cpu(),
+                                           cpu_threads) {}
+
+  Backend backend() const { return backend_; }
+
+  /// w = alpha * X^T * y (Algorithm 1 territory; y has m entries).
+  PatternResult transposed_product(const la::CsrMatrix& X,
+                                   std::span<const real> y, real alpha = 1);
+
+  /// Dense counterpart. The paper does not fuse this case ("we do not
+  /// consider X^T x y, when X is dense" — cuBLAS is already near-optimal),
+  /// so every GPU backend runs the gemv_t kernel here.
+  PatternResult transposed_product(const la::DenseMatrix& X,
+                                   std::span<const real> y, real alpha = 1);
+
+  /// Plain products p = X * y (not a Table-1 pattern; cuSPARSE/cuBLAS are
+  /// "already optimized" here per §4, so all GPU backends share one kernel).
+  PatternResult product(const la::CsrMatrix& X, std::span<const real> y);
+  PatternResult product(const la::DenseMatrix& X, std::span<const real> y);
+
+  // --- BLAS-1 through the same backend (the Listing-1 script needs these
+  // between pattern evaluations; on GPU backends each is a kernel launch).
+  PatternResult axpy(real alpha, std::span<const real> x, std::span<real> y);
+  PatternResult dot(std::span<const real> x, std::span<const real> y);
+  PatternResult nrm2(std::span<const real> x);
+  PatternResult scal(real alpha, std::span<real> x);
+  PatternResult ewise_mul(std::span<const real> x, std::span<const real> y);
+
+  /// w = alpha * X^T * (v ⊙ (X*y)) + beta*z; v/z may be empty.
+  PatternResult pattern(real alpha, const la::CsrMatrix& X,
+                        std::span<const real> v, std::span<const real> y,
+                        real beta, std::span<const real> z);
+  PatternResult pattern(real alpha, const la::DenseMatrix& X,
+                        std::span<const real> v, std::span<const real> y,
+                        real beta, std::span<const real> z);
+
+  // Convenience wrappers for the Table-1 instantiations.
+  PatternResult xt_xy(const la::CsrMatrix& X, std::span<const real> y) {
+    return pattern(1, X, {}, y, 0, {});
+  }
+  PatternResult xt_xy(const la::DenseMatrix& X, std::span<const real> y) {
+    return pattern(1, X, {}, y, 0, {});
+  }
+
+  /// Fused-kernel options (texture binding, aggregation variant, cache
+  /// modeling) applied when backend() == kFused.
+  kernels::FusedSparseOptions& sparse_options() { return sparse_opts_; }
+  kernels::FusedDenseOptions& dense_options() { return dense_opts_; }
+
+  /// Pattern-kind usage histogram (feeds the Table 1 bench).
+  const std::map<PatternKind, std::uint64_t>& usage() const { return usage_; }
+  void reset_usage() { usage_.clear(); }
+
+  /// Generated-kernel cache (§3.2 lifecycle: the fused backend generates
+  /// a kernel per specialization the first time a shape is seen, then
+  /// reuses it across iterations).
+  const kernels::KernelCache& kernel_cache() const { return codegen_cache_; }
+
+  vgpu::Device& device() { return dev_; }
+  const kernels::CpuBackend& cpu() const { return cpu_; }
+
+ private:
+  vgpu::Device& dev_;
+  Backend backend_;
+  kernels::FusedSparseOptions sparse_opts_;
+  kernels::FusedDenseOptions dense_opts_;
+  kernels::CpuBackend cpu_;
+  kernels::KernelCache codegen_cache_;
+  std::map<PatternKind, std::uint64_t> usage_;
+
+  void record(PatternKind kind) { ++usage_[kind]; }
+};
+
+}  // namespace fusedml::patterns

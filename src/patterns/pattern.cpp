@@ -1,0 +1,38 @@
+#include "patterns/pattern.h"
+
+#include <array>
+
+namespace fusedml::patterns {
+
+std::string to_string(PatternKind kind) {
+  switch (kind) {
+    case PatternKind::kXty: return "a*X^T*y";
+    case PatternKind::kXtXy: return "X^T*(X*y)";
+    case PatternKind::kXtVXy: return "X^T*(v.(X*y))";
+    case PatternKind::kXtXyBz: return "X^T*(X*y)+b*z";
+    case PatternKind::kFull: return "a*X^T*(v.(X*y))+b*z";
+  }
+  return "?";
+}
+
+PatternKind classify(bool transposed_only, bool has_v, bool has_beta_z) {
+  if (transposed_only) return PatternKind::kXty;
+  if (has_v && has_beta_z) return PatternKind::kFull;
+  if (has_v) return PatternKind::kXtVXy;
+  if (has_beta_z) return PatternKind::kXtXyBz;
+  return PatternKind::kXtXy;
+}
+
+std::span<const Table1Row> table1() {
+  // Verbatim from Table 1 of the paper.
+  static constexpr std::array<Table1Row, 5> rows = {{
+      {PatternKind::kXty, true, true, true, true, true},
+      {PatternKind::kXtXy, true, true, false, true, true},
+      {PatternKind::kXtVXy, false, true, true, false, false},
+      {PatternKind::kXtXyBz, true, false, false, true, false},
+      {PatternKind::kFull, false, false, true, false, false},
+  }};
+  return rows;
+}
+
+}  // namespace fusedml::patterns

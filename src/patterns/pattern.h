@@ -1,0 +1,41 @@
+// The generic pattern of Equation 1 and its Table-1 instantiations.
+//
+//   w = alpha * X^T * (v ⊙ (X * y)) + beta * z
+//
+// This header is the library's vocabulary: a PatternCall describes one
+// evaluation, PatternKind classifies it into the paper's five
+// instantiations, and Table-1 metadata records which ML algorithms use
+// which instantiation.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "common/types.h"
+
+namespace fusedml::patterns {
+
+/// The five instantiations of Table 1.
+enum class PatternKind {
+  kXty,        ///< alpha * X^T * y              (y in row space)
+  kXtXy,       ///< X^T * (X * y)
+  kXtVXy,      ///< X^T * (v ⊙ (X * y))
+  kXtXyBz,     ///< X^T * (X * y) + beta * z
+  kFull,       ///< alpha * X^T * (v ⊙ (X * y)) + beta * z
+};
+
+std::string to_string(PatternKind kind);
+
+/// Classifies a pattern evaluation by which optional pieces are present.
+/// `transposed_only` marks the alpha * X^T * y case (Algorithm 1 territory).
+PatternKind classify(bool transposed_only, bool has_v, bool has_beta_z);
+
+/// Table 1: which ML algorithms use which instantiation (LR, GLM, LogReg,
+/// SVM, HITS). Used by the Table-1 bench to cross-check observed usage.
+struct Table1Row {
+  PatternKind kind;
+  bool lr, glm, logreg, svm, hits;
+};
+std::span<const Table1Row> table1();
+
+}  // namespace fusedml::patterns

@@ -1,0 +1,263 @@
+#include "sysml/dag.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/error.h"
+
+namespace fusedml::sysml {
+
+std::string to_string(OpKind kind) {
+  switch (kind) {
+    case OpKind::kInputMatrix: return "matrix";
+    case OpKind::kInputVector: return "vector";
+    case OpKind::kMv: return "mv";
+    case OpKind::kMvT: return "mvt";
+    case OpKind::kEwiseMul: return "ewise_mul";
+    case OpKind::kScale: return "scale";
+    case OpKind::kAdd: return "add";
+    case OpKind::kFusedPattern: return "FUSED_PATTERN";
+  }
+  return "?";
+}
+
+namespace {
+NodePtr make(OpKind kind, std::vector<NodePtr> inputs) {
+  auto node = std::make_shared<Node>();
+  node->kind = kind;
+  node->inputs = std::move(inputs);
+  return node;
+}
+}  // namespace
+
+NodePtr input_matrix(TensorId id) {
+  auto node = make(OpKind::kInputMatrix, {});
+  node->tensor = id;
+  return node;
+}
+
+NodePtr input_vector(TensorId id) {
+  auto node = make(OpKind::kInputVector, {});
+  node->tensor = id;
+  return node;
+}
+
+NodePtr mv(NodePtr X, NodePtr y) { return make(OpKind::kMv, {X, y}); }
+NodePtr mvt(NodePtr X, NodePtr y) { return make(OpKind::kMvT, {X, y}); }
+NodePtr ewise_mul(NodePtr a, NodePtr b) {
+  return make(OpKind::kEwiseMul, {a, b});
+}
+NodePtr scale(real s, NodePtr a) {
+  auto node = make(OpKind::kScale, {a});
+  node->scalar = s;
+  return node;
+}
+NodePtr add(NodePtr a, NodePtr b) { return make(OpKind::kAdd, {a, b}); }
+
+NodePtr pattern_expression(real alpha, NodePtr X, NodePtr v, NodePtr y,
+                           real beta, NodePtr z) {
+  NodePtr p = mv(X, y);
+  if (v) p = ewise_mul(v, p);
+  NodePtr w = mvt(X, p);
+  if (alpha != real{1}) w = scale(alpha, w);
+  if (z) w = add(w, scale(beta, z));
+  return w;
+}
+
+int count_nodes(const NodePtr& root) {
+  std::unordered_set<const Node*> seen;
+  std::vector<const Node*> stack = {root.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    if (!node || !seen.insert(node).second) continue;
+    for (const auto& in : node->inputs) stack.push_back(in.get());
+    for (const auto& in :
+         {node->fused_matrix, node->fused_v, node->fused_y, node->fused_z}) {
+      stack.push_back(in.get());
+    }
+  }
+  return static_cast<int>(seen.size());
+}
+
+namespace {
+
+struct CoreMatch {
+  real alpha = 1;
+  NodePtr X, v, y;  // v may be null
+};
+
+/// Matches [Scale(alpha)] -> MvT(X, [EwiseMul(v,)] Mv(X, y)) with the SAME
+/// matrix node on both products — the data-reuse condition fusion needs.
+std::optional<CoreMatch> match_core(const NodePtr& node) {
+  CoreMatch out;
+  NodePtr mvt_node = node;
+  if (node->kind == OpKind::kScale) {
+    out.alpha = node->scalar;
+    mvt_node = node->inputs[0];
+  }
+  if (mvt_node->kind != OpKind::kMvT) return std::nullopt;
+  out.X = mvt_node->inputs[0];
+  if (out.X->kind != OpKind::kInputMatrix) return std::nullopt;
+
+  NodePtr t = mvt_node->inputs[1];
+  if (t->kind == OpKind::kEwiseMul) {
+    // Either operand order: v ⊙ (X*y) or (X*y) ⊙ v.
+    for (int side = 0; side < 2; ++side) {
+      const NodePtr& maybe_mv = t->inputs[side];
+      const NodePtr& maybe_v = t->inputs[1 - side];
+      if (maybe_mv->kind == OpKind::kMv &&
+          maybe_mv->inputs[0] == out.X) {
+        out.v = maybe_v;
+        out.y = maybe_mv->inputs[1];
+        return out;
+      }
+    }
+    return std::nullopt;
+  }
+  if (t->kind == OpKind::kMv && t->inputs[0] == out.X) {
+    out.y = t->inputs[1];
+    return out;
+  }
+  return std::nullopt;
+}
+
+/// Tries to match a full Equation-1 subgraph rooted at `node`.
+NodePtr try_fuse(const NodePtr& node) {
+  real beta = 0;
+  NodePtr z;
+  NodePtr core_root = node;
+
+  if (node->kind == OpKind::kAdd) {
+    // One operand is the core, the other the beta*z term (either order).
+    for (int side = 0; side < 2; ++side) {
+      const NodePtr& maybe_core = node->inputs[side];
+      NodePtr maybe_z = node->inputs[1 - side];
+      real maybe_beta = 1;
+      if (maybe_z->kind == OpKind::kScale) {
+        maybe_beta = maybe_z->scalar;
+        maybe_z = maybe_z->inputs[0];
+      }
+      if (match_core(maybe_core)) {
+        core_root = maybe_core;
+        beta = maybe_beta;
+        z = maybe_z;
+        break;
+      }
+    }
+    if (!z) return nullptr;
+  }
+
+  const auto core = match_core(core_root);
+  if (!core) return nullptr;
+
+  auto fused = std::make_shared<Node>();
+  fused->kind = OpKind::kFusedPattern;
+  fused->scalar = core->alpha;
+  fused->scalar2 = beta;
+  fused->fused_matrix = core->X;
+  fused->fused_v = core->v;
+  fused->fused_y = core->y;
+  fused->fused_z = z;
+  return fused;
+}
+
+NodePtr rewrite(const NodePtr& node,
+                std::unordered_map<const Node*, NodePtr>& memo, int& fused) {
+  const auto it = memo.find(node.get());
+  if (it != memo.end()) return it->second;
+
+  // Match at the LARGEST extent first (pre-order): a bottom-up pass would
+  // collapse the alpha*X^T(...) core before an enclosing +beta*z Add could
+  // claim the full pattern.
+  if (NodePtr replacement = try_fuse(node)) {
+    ++fused;
+    // The fused node's operands may themselves contain fusable work.
+    for (auto* slot : {&replacement->fused_v, &replacement->fused_y,
+                       &replacement->fused_z}) {
+      if (*slot) *slot = rewrite(*slot, memo, fused);
+    }
+    memo.emplace(node.get(), replacement);
+    return replacement;
+  }
+  NodePtr current = node;
+  for (auto& in : current->inputs) in = rewrite(in, memo, fused);
+  memo.emplace(node.get(), current);
+  return current;
+}
+
+}  // namespace
+
+NodePtr fuse_patterns(NodePtr root, FusionReport* report) {
+  const int before = count_nodes(root);
+  std::unordered_map<const Node*, NodePtr> memo;
+  int fused = 0;
+  root = rewrite(root, memo, fused);
+  if (report) {
+    report->patterns_fused = fused;
+    report->nodes_before = before;
+    report->nodes_after = count_nodes(root);
+  }
+  return root;
+}
+
+namespace {
+TensorId eval(Runtime& rt, const NodePtr& node,
+              std::unordered_map<const Node*, TensorId>& memo) {
+  const auto it = memo.find(node.get());
+  if (it != memo.end()) return it->second;
+
+  TensorId out = 0;
+  switch (node->kind) {
+    case OpKind::kInputMatrix:
+    case OpKind::kInputVector:
+      out = node->tensor;
+      break;
+    case OpKind::kMv:
+      out = rt.op_product(eval(rt, node->inputs[0], memo),
+                          eval(rt, node->inputs[1], memo));
+      break;
+    case OpKind::kMvT:
+      out = rt.op_transposed_product(eval(rt, node->inputs[0], memo),
+                                     eval(rt, node->inputs[1], memo));
+      break;
+    case OpKind::kEwiseMul:
+      out = rt.op_ewise_mul(eval(rt, node->inputs[0], memo),
+                            eval(rt, node->inputs[1], memo));
+      break;
+    case OpKind::kScale: {
+      // Copy-then-scale keeps shared subexpressions intact.
+      const TensorId in = eval(rt, node->inputs[0], memo);
+      const auto view = rt.read_vector(in);
+      out = rt.add_vector({view.begin(), view.end()}, "scale_tmp");
+      rt.op_scal(node->scalar, out);
+      break;
+    }
+    case OpKind::kAdd: {
+      const TensorId a = eval(rt, node->inputs[0], memo);
+      const TensorId b = eval(rt, node->inputs[1], memo);
+      const auto view = rt.read_vector(b);
+      out = rt.add_vector({view.begin(), view.end()}, "add_tmp");
+      rt.op_axpy(real{1}, a, out);
+      break;
+    }
+    case OpKind::kFusedPattern:
+      out = rt.op_pattern(
+          node->scalar, eval(rt, node->fused_matrix, memo),
+          node->fused_v ? eval(rt, node->fused_v, memo) : 0,
+          eval(rt, node->fused_y, memo), node->scalar2,
+          node->fused_z ? eval(rt, node->fused_z, memo) : 0);
+      break;
+  }
+  FUSEDML_CHECK(out != 0, "DAG evaluation produced no tensor");
+  memo.emplace(node.get(), out);
+  return out;
+}
+}  // namespace
+
+TensorId execute(Runtime& rt, const NodePtr& root) {
+  std::unordered_map<const Node*, TensorId> memo;
+  return eval(rt, root, memo);
+}
+
+}  // namespace fusedml::sysml

@@ -1,0 +1,100 @@
+// Expression DAGs and the kernel-fusion rewrite pass.
+//
+// SystemML compiles declarative scripts into operator DAGs; the paper's
+// integration (§4.4) makes the system "transparently select our fused GPU
+// kernel" for the Equation-1 pattern. This module reproduces that
+// compiler-side story: build a DAG of primitive linear-algebra operators,
+// run fuse_patterns() — which pattern-matches the subgraph
+//
+//        Add
+//       /   \
+//   Scale    Scale(beta)
+//     |         \
+//    MvT         z
+//   /   \
+//  X   EwiseMul
+//        /  \
+//       v    Mv
+//           /  \
+//          X    y
+//
+// (and all its Table-1 degenerations: missing Scale/EwiseMul/Add) — and
+// replaces it with a single FusedPattern node. execute() then interprets
+// the DAG over a Runtime, so fused nodes land on the device as ONE kernel
+// while unfused DAGs run operator-at-a-time.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "sysml/runtime.h"
+
+namespace fusedml::sysml {
+
+enum class OpKind {
+  kInputMatrix,   ///< leaf: a matrix registered with the runtime
+  kInputVector,   ///< leaf: a vector registered with the runtime
+  kMv,            ///< X * y
+  kMvT,           ///< X^T * y  (optionally pre-scaled by `scalar`)
+  kEwiseMul,      ///< a ⊙ b
+  kScale,         ///< scalar * a
+  kAdd,           ///< a + b
+  kFusedPattern,  ///< scalar * X^T (v ⊙ (X*y)) + scalar2 * z — one kernel
+};
+
+std::string to_string(OpKind kind);
+
+struct Node;
+using NodePtr = std::shared_ptr<Node>;
+
+struct Node {
+  OpKind kind;
+  std::vector<NodePtr> inputs;
+  real scalar = 1;     ///< kScale factor; kFusedPattern alpha
+  real scalar2 = 0;    ///< kFusedPattern beta
+  TensorId tensor = 0; ///< leaves: the runtime tensor
+
+  // kFusedPattern operand slots (empty NodePtr = absent v / z).
+  NodePtr fused_matrix, fused_v, fused_y, fused_z;
+};
+
+// --- Construction helpers ---------------------------------------------------
+NodePtr input_matrix(TensorId id);
+NodePtr input_vector(TensorId id);
+NodePtr mv(NodePtr X, NodePtr y);
+NodePtr mvt(NodePtr X, NodePtr y);
+NodePtr ewise_mul(NodePtr a, NodePtr b);
+NodePtr scale(real s, NodePtr a);
+NodePtr add(NodePtr a, NodePtr b);
+
+/// Builds the full Equation-1 expression as an UNFUSED operator DAG:
+///   alpha * X^T (v ⊙ (X*y)) + beta*z     (pass nullptr for absent v / z)
+NodePtr pattern_expression(real alpha, NodePtr X, NodePtr v, NodePtr y,
+                           real beta, NodePtr z);
+
+// --- The fusion pass ---------------------------------------------------------
+
+struct FusionReport {
+  int patterns_fused = 0;    ///< Equation-1 subgraphs collapsed
+  int nodes_before = 0;
+  int nodes_after = 0;
+};
+
+/// Rewrites the DAG in place (returns the possibly-replaced root):
+/// every maximal Equation-1 subgraph becomes one kFusedPattern node.
+NodePtr fuse_patterns(NodePtr root, FusionReport* report = nullptr);
+
+/// Number of distinct nodes reachable from root.
+int count_nodes(const NodePtr& root);
+
+// --- Execution -----------------------------------------------------------------
+
+/// Interprets the DAG over the runtime; returns the root's result tensor.
+/// Each non-leaf node costs one runtime op (kFusedPattern = one fused
+/// kernel; the unfused operators run operator-at-a-time).
+TensorId execute(Runtime& rt, const NodePtr& root);
+
+}  // namespace fusedml::sysml

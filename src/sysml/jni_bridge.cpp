@@ -1,0 +1,39 @@
+#include "sysml/jni_bridge.h"
+
+namespace fusedml::sysml {
+
+namespace {
+double ms_for(double bytes, double gbs) { return bytes / gbs / 1e6; }
+}  // namespace
+
+JniCharge JniBridge::sparse_to_native(const la::CsrMatrix& X) const {
+  JniCharge c;
+  const auto bytes = static_cast<double>(X.bytes());
+  c.convert_ms = ms_for(bytes, costs_.sparse_convert_gbs) +
+                 static_cast<double>(X.rows()) * costs_.per_row_overhead_ns /
+                     1e6 +
+                 costs_.per_call_overhead_us / 1e3;
+  c.copy_ms = ms_for(bytes, costs_.heap_copy_gbs);
+  return c;
+}
+
+JniCharge JniBridge::dense_to_native(const la::DenseMatrix& X) const {
+  JniCharge c;
+  const auto bytes = static_cast<double>(X.bytes());
+  c.convert_ms = ms_for(bytes, costs_.dense_convert_gbs) +
+                 static_cast<double>(X.rows()) * costs_.per_row_overhead_ns /
+                     1e6 +
+                 costs_.per_call_overhead_us / 1e3;
+  c.copy_ms = ms_for(bytes, costs_.heap_copy_gbs);
+  return c;
+}
+
+JniCharge JniBridge::vector_to_native(usize n) const {
+  JniCharge c;
+  const auto bytes = static_cast<double>(n) * sizeof(real);
+  c.convert_ms = costs_.per_call_overhead_us / 1e3;
+  c.copy_ms = ms_for(bytes, costs_.heap_copy_gbs);
+  return c;
+}
+
+}  // namespace fusedml::sysml

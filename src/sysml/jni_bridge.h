@@ -1,0 +1,63 @@
+// JNI bridge cost model — §4.4: "SystemML is implemented in Java. Therefore,
+// one has to first transfer data from JVM heap space into native space via
+// JNI, before it can be copied to the device. ... SystemML represents a
+// sparse matrix as an array of sparse rows on CPU, whereas the same matrix
+// is represented in CSR format on the device."
+//
+// This module prices those two host-side steps:
+//   1. representation conversion (array-of-sparse-rows -> CSR; double[][]
+//      -> flat row-major),
+//   2. JVM-heap -> native-buffer copy.
+// Both are charged at host memory bandwidth with per-row overheads — these
+// are the "inefficiencies in our current memory manager and data
+// transformations" that compress Table 6's speedups relative to Table 5.
+#pragma once
+
+#include "common/types.h"
+#include "la/csr_matrix.h"
+#include "la/dense_matrix.h"
+#include "vgpu/device_spec.h"
+
+namespace fusedml::sysml {
+
+struct JniCosts {
+  /// Effective JVM-heap-to-native copy bandwidth (GB/s). JNI critical
+  /// sections + pinning make this slower than a plain memcpy.
+  double heap_copy_gbs = 4.0;
+  /// Conversion throughput for re-laying-out sparse rows into CSR (GB/s of
+  /// output produced) — pointer chasing across row objects is slow.
+  double sparse_convert_gbs = 2.0;
+  /// Dense double[][] -> flat copy throughput (GB/s).
+  double dense_convert_gbs = 6.0;
+  /// Per-row object overhead of the sparse-row representation (ns).
+  double per_row_overhead_ns = 40.0;
+  /// Fixed per-call JNI overhead (us).
+  double per_call_overhead_us = 20.0;
+};
+
+struct JniCharge {
+  double convert_ms = 0.0;  ///< representation change
+  double copy_ms = 0.0;     ///< heap -> native
+  double total_ms() const { return convert_ms + copy_ms; }
+};
+
+class JniBridge {
+ public:
+  explicit JniBridge(JniCosts costs = {}) : costs_(costs) {}
+
+  /// Cost of shipping a sparse matrix from the JVM into a native CSR buffer.
+  JniCharge sparse_to_native(const la::CsrMatrix& X) const;
+
+  /// Cost of shipping a dense matrix from the JVM into a native buffer.
+  JniCharge dense_to_native(const la::DenseMatrix& X) const;
+
+  /// Cost of shipping a plain vector (double[]) into native space.
+  JniCharge vector_to_native(usize n) const;
+
+  const JniCosts& costs() const { return costs_; }
+
+ private:
+  JniCosts costs_;
+};
+
+}  // namespace fusedml::sysml

@@ -1,0 +1,139 @@
+#include "sysml/lr_cg_script.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace fusedml::sysml {
+
+namespace {
+template <typename Matrix>
+ScriptResult run_impl(Runtime& rt, const Matrix& X,
+                      std::span<const real> labels,
+                      const ScriptConfig& config) {
+  FUSEDML_CHECK(labels.size() == static_cast<usize>(X.rows()),
+                "labels must have one entry per row");
+  ScriptResult out;
+
+  // V = read($1); y = read($2);
+  Matrix Xcopy = X;
+  TensorId Xid;
+  if constexpr (std::is_same_v<Matrix, la::CsrMatrix>) {
+    Xid = rt.add_sparse(std::move(Xcopy), "V");
+  } else {
+    Xid = rt.add_dense(std::move(Xcopy), "V");
+  }
+  const TensorId yid =
+      rt.add_vector({labels.begin(), labels.end()}, "y");
+
+  // r = -(t(V) %*% y);
+  const TensorId rid = rt.op_transposed_product(Xid, yid, real{-1});
+
+  // p = -r;  (scal(-1) on a copy)
+  const TensorId pid =
+      rt.add_vector({rt.read_vector(rid).begin(), rt.read_vector(rid).end()},
+                    "p");
+  rt.op_scal(real{-1}, pid);
+
+  // nr2 = sum(r * r);
+  real nr2 = rt.op_dot(rid, rid);
+  const real nr2_target = nr2 * config.tolerance * config.tolerance;
+
+  // w = matrix(0, ...)
+  const TensorId wid = rt.new_vector(static_cast<usize>(X.cols()), "w");
+
+  int i = 0;
+  while (i < config.max_iterations && nr2 > nr2_target) {
+    // q = ((t(V) %*% (V %*% p)) + eps * p);  — ONE pattern op; the runtime
+    // transparently selects the fused kernel when the GPU wins.
+    const TensorId qid = rt.op_pattern(real{1}, Xid, 0, pid, config.eps, pid);
+
+    // alpha = nr2 / (t(p) %*% q);
+    const real alpha = nr2 / rt.op_dot(pid, qid);
+
+    // w = w + alpha * p;
+    rt.op_axpy(alpha, pid, wid);
+
+    // r = r + alpha * q;
+    rt.op_axpy(alpha, qid, rid);
+
+    // nr2 = sum(r * r); beta = nr2 / old_nr2;
+    const real old_nr2 = nr2;
+    nr2 = rt.op_dot(rid, rid);
+    const real beta = nr2 / old_nr2;
+
+    // p = -r + beta * p;
+    rt.op_scal(beta, pid);
+    rt.op_axpy(real{-1}, rid, pid);
+
+    ++i;
+  }
+
+  const auto w = rt.read_vector(wid);
+  out.weights.assign(w.begin(), w.end());
+  out.iterations = i;
+  out.runtime_stats = rt.stats();
+  out.memory_stats = rt.memory_stats();
+  out.end_to_end_ms = out.runtime_stats.total_ms();
+  return out;
+}
+}  // namespace
+
+ScriptResult run_lr_cg_script(Runtime& rt, const la::CsrMatrix& X,
+                              std::span<const real> labels,
+                              ScriptConfig config) {
+  return run_impl(rt, X, labels, config);
+}
+
+ScriptResult run_lr_cg_script(Runtime& rt, const la::DenseMatrix& X,
+                              std::span<const real> labels,
+                              ScriptConfig config) {
+  return run_impl(rt, X, labels, config);
+}
+
+namespace {
+real stable_sigmoid(real t) {
+  return t >= 0 ? real{1} / (real{1} + std::exp(-t))
+                : std::exp(t) / (real{1} + std::exp(t));
+}
+}  // namespace
+
+ScriptResult run_logreg_gd_script(Runtime& rt, const la::CsrMatrix& X,
+                                  std::span<const real> labels,
+                                  GdConfig config) {
+  FUSEDML_CHECK(labels.size() == static_cast<usize>(X.rows()),
+                "labels must have one entry per row");
+  ScriptResult out;
+  const auto Xid = rt.add_sparse(X, "X");
+  const auto yid = rt.add_vector({labels.begin(), labels.end()}, "y");
+  // neg_y = -y (reused every iteration).
+  const auto neg_yid =
+      rt.add_vector({labels.begin(), labels.end()}, "neg_y");
+  rt.op_scal(real{-1}, neg_yid);
+  const auto wid = rt.new_vector(static_cast<usize>(X.cols()), "w");
+
+  for (int it = 0; it < config.iterations; ++it) {
+    // margins = X * w; r = sigma(-y ⊙ margins) ⊙ (-y)
+    const auto margins = rt.op_map(
+        rt.op_ewise_mul(neg_yid, rt.op_product(Xid, wid)), stable_sigmoid,
+        "sigmoid");
+    const auto r = rt.op_ewise_mul(margins, neg_yid);
+    // g = X^T r + lambda * w  — the runtime sees mvT-of-(v⊙...) shapes and
+    // executes them with the fused kernels on the device side.
+    const auto gid = rt.op_transposed_product(Xid, r);
+    rt.op_axpy(config.lambda, wid, gid);
+    // w -= step * g
+    rt.op_axpy(-config.step, gid, wid);
+  }
+
+  const auto w = rt.read_vector(wid);
+  out.weights.assign(w.begin(), w.end());
+  out.iterations = config.iterations;
+  out.runtime_stats = rt.stats();
+  out.memory_stats = rt.memory_stats();
+  out.end_to_end_ms = out.runtime_stats.total_ms();
+  (void)yid;
+  return out;
+}
+
+}  // namespace fusedml::sysml

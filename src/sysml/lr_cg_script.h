@@ -1,0 +1,53 @@
+// Listing 1 executed through the mini SystemML runtime — the Table 6
+// experiment. Running with options.enable_gpu=false gives the SystemML-CPU
+// baseline; enable_gpu=true gives the GPU-enabled system whose pattern ops
+// transparently select the fused kernel.
+#pragma once
+
+#include <span>
+#include <variant>
+#include <vector>
+
+#include "la/csr_matrix.h"
+#include "la/dense_matrix.h"
+#include "sysml/runtime.h"
+
+namespace fusedml::sysml {
+
+struct ScriptConfig {
+  int max_iterations = 100;
+  real eps = 0.001;
+  real tolerance = 0.000001;
+};
+
+struct ScriptResult {
+  std::vector<real> weights;
+  int iterations = 0;
+  RuntimeStats runtime_stats;
+  MemoryStats memory_stats;
+  double end_to_end_ms = 0.0;  ///< runtime_stats.total_ms()
+};
+
+/// Runs the Listing-1 LR-CG script on a runtime over sparse or dense data.
+ScriptResult run_lr_cg_script(Runtime& rt, const la::CsrMatrix& X,
+                              std::span<const real> labels,
+                              ScriptConfig config = {});
+ScriptResult run_lr_cg_script(Runtime& rt, const la::DenseMatrix& X,
+                              std::span<const real> labels,
+                              ScriptConfig config = {});
+
+/// A second declarative script: logistic regression by gradient descent
+/// (labels in {-1,+1}), exercising the runtime's unary-map op alongside
+/// the pattern operators:
+///   g = X^T * (sigma(-y ⊙ (X*w)) ⊙ (-y)) + lambda*w;  w -= step * g
+struct GdConfig {
+  int iterations = 50;
+  real step = 0.5;
+  real lambda = 0.01;
+};
+
+ScriptResult run_logreg_gd_script(Runtime& rt, const la::CsrMatrix& X,
+                                  std::span<const real> labels,
+                                  GdConfig config = {});
+
+}  // namespace fusedml::sysml

@@ -1,0 +1,180 @@
+#include "sysml/memory_manager.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace fusedml::sysml {
+
+MemoryManager::MemoryManager(vgpu::Device& dev, usize capacity_bytes)
+    : dev_(dev),
+      capacity_(capacity_bytes == 0 ? dev.spec().global_mem_bytes
+                                    : capacity_bytes) {}
+
+MemoryManager::Entry& MemoryManager::entry(TensorId id) {
+  const auto it = entries_.find(id);
+  FUSEDML_CHECK(it != entries_.end(), "unknown tensor id");
+  return it->second;
+}
+
+const MemoryManager::Entry& MemoryManager::entry(TensorId id) const {
+  const auto it = entries_.find(id);
+  FUSEDML_CHECK(it != entries_.end(), "unknown tensor id");
+  return it->second;
+}
+
+void MemoryManager::register_tensor(TensorId id, usize bytes,
+                                    std::string name) {
+  FUSEDML_CHECK(entries_.find(id) == entries_.end(),
+                "tensor id already registered");
+  FUSEDML_CHECK(bytes <= capacity_,
+                "tensor larger than device memory: " + name);
+  Entry e;
+  e.bytes = bytes;
+  e.name = std::move(name);
+  entries_.emplace(id, std::move(e));
+}
+
+void MemoryManager::touch(TensorId id) {
+  Entry& e = entry(id);
+  if (e.resident) {
+    lru_.erase(e.lru_pos);
+    lru_.push_front(id);
+    e.lru_pos = lru_.begin();
+  }
+}
+
+double MemoryManager::transfer(usize bytes, bool to_device) {
+  const double ms = dev_.transfer_h2d_ms(bytes);  // symmetric link model
+  stats_.transfer_ms += ms;
+  if (to_device) {
+    ++stats_.h2d_transfers;
+    stats_.h2d_bytes += bytes;
+  } else {
+    ++stats_.d2h_transfers;
+    stats_.d2h_bytes += bytes;
+  }
+  return ms;
+}
+
+double MemoryManager::evict_for(usize bytes_needed) {
+  double ms = 0.0;
+  while (used_bytes_ + bytes_needed > capacity_) {
+    FUSEDML_CHECK(!lru_.empty(),
+                  "cannot evict enough to fit allocation");
+    const TensorId victim = lru_.back();
+    Entry& v = entry(victim);
+    // Task (d): write back a device-dirty victim before dropping it.
+    if (v.state == Residency::kDeviceDirty) {
+      ms += transfer(v.bytes, /*to_device=*/false);
+    }
+    lru_.pop_back();
+    v.resident = false;
+    v.state = Residency::kHostOnly;
+    v.reusable_slot = true;
+    used_bytes_ -= v.bytes;
+    ++stats_.evictions;
+  }
+  return ms;
+}
+
+double MemoryManager::ensure_on_device(TensorId id) {
+  Entry& e = entry(id);
+  double ms = 0.0;
+  if (!e.resident) {
+    ms += evict_for(e.bytes);
+    if (e.reusable_slot) {
+      ++stats_.allocation_reuses;  // task (c): slot marked for reuse
+      e.reusable_slot = false;
+    }
+    used_bytes_ += e.bytes;
+    stats_.peak_device_bytes = std::max(stats_.peak_device_bytes, used_bytes_);
+    lru_.push_front(id);
+    e.lru_pos = lru_.begin();
+    e.resident = true;
+    ms += transfer(e.bytes, /*to_device=*/true);
+    e.state = Residency::kSynced;
+    return ms;
+  }
+  touch(id);
+  if (e.state == Residency::kHostDirty) {
+    // Host wrote since the last upload: refresh the device copy.
+    ms += transfer(e.bytes, /*to_device=*/true);
+    e.state = Residency::kSynced;
+  }
+  return ms;
+}
+
+double MemoryManager::allocate_on_device(TensorId id) {
+  Entry& e = entry(id);
+  double ms = 0.0;
+  if (!e.resident) {
+    ms += evict_for(e.bytes);
+    if (e.reusable_slot) {
+      ++stats_.allocation_reuses;
+      e.reusable_slot = false;
+    }
+    used_bytes_ += e.bytes;
+    stats_.peak_device_bytes = std::max(stats_.peak_device_bytes, used_bytes_);
+    lru_.push_front(id);
+    e.lru_pos = lru_.begin();
+    e.resident = true;
+  } else {
+    touch(id);
+  }
+  e.state = Residency::kDeviceDirty;
+  return ms;
+}
+
+double MemoryManager::ensure_on_host(TensorId id) {
+  Entry& e = entry(id);
+  if (e.resident && e.state == Residency::kDeviceDirty) {
+    const double ms = transfer(e.bytes, /*to_device=*/false);
+    e.state = Residency::kSynced;
+    return ms;
+  }
+  return 0.0;
+}
+
+void MemoryManager::mark_device_dirty(TensorId id) {
+  Entry& e = entry(id);
+  FUSEDML_CHECK(e.resident, "cannot dirty a non-resident device copy");
+  touch(id);
+  e.state = Residency::kDeviceDirty;
+}
+
+void MemoryManager::mark_host_dirty(TensorId id) {
+  Entry& e = entry(id);
+  e.state = e.resident ? Residency::kHostDirty : Residency::kHostOnly;
+}
+
+double MemoryManager::release(TensorId id) {
+  Entry& e = entry(id);
+  if (!e.resident) return 0.0;
+  const double ms = ensure_on_host(id);
+  lru_.erase(e.lru_pos);
+  e.resident = false;
+  e.state = Residency::kHostOnly;
+  e.reusable_slot = true;
+  used_bytes_ -= e.bytes;
+  return ms;
+}
+
+void MemoryManager::unregister(TensorId id) {
+  Entry& e = entry(id);
+  if (e.resident) {
+    lru_.erase(e.lru_pos);
+    used_bytes_ -= e.bytes;
+  }
+  entries_.erase(id);
+}
+
+bool MemoryManager::on_device(TensorId id) const {
+  return entry(id).resident;
+}
+
+Residency MemoryManager::residency(TensorId id) const {
+  return entry(id).state;
+}
+
+}  // namespace fusedml::sysml

@@ -1,0 +1,111 @@
+// GPU memory manager for the mini SystemML runtime — §4.4's component (ii),
+// implementing exactly the tasks the paper enumerates:
+//   a) allocate device memory if not already allocated,
+//   b) evict to make room when the device is full,
+//   c) deallocate unneeded buffers and mark them for later reuse,
+//   d) keep the CPU and GPU copies consistent (dirty tracking + synchronizing
+//      transfers),
+//   e) account for data-structure transformations between the host and
+//      device representations (handled by the JNI bridge, charged on first
+//      upload).
+//
+// Transfers are charged against the device's PCIe model; the manager is the
+// reason Table 6's end-to-end speedups are smaller than Table 5's.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "common/types.h"
+#include "vgpu/device.h"
+
+namespace fusedml::sysml {
+
+using TensorId = std::uint64_t;
+
+enum class Residency {
+  kHostOnly,    ///< no device copy
+  kSynced,      ///< host and device copies agree
+  kDeviceDirty, ///< device copy newer (host stale)
+  kHostDirty,   ///< host copy newer (device stale)
+};
+
+struct MemoryStats {
+  std::uint64_t h2d_transfers = 0;
+  std::uint64_t d2h_transfers = 0;
+  std::uint64_t h2d_bytes = 0;
+  std::uint64_t d2h_bytes = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t allocation_reuses = 0;  ///< task (c): recycled allocations
+  double transfer_ms = 0.0;
+  usize peak_device_bytes = 0;
+};
+
+class MemoryManager {
+ public:
+  /// `capacity_bytes` defaults to the device's global memory.
+  MemoryManager(vgpu::Device& dev, usize capacity_bytes = 0);
+
+  /// Registers a tensor of `bytes` living on the host. No device action.
+  void register_tensor(TensorId id, usize bytes, std::string name = "");
+
+  /// Task (a)+(b)+(d): make the tensor resident and current on the device.
+  /// Charges an H2D transfer when the device copy is missing or stale;
+  /// evicts least-recently-used tensors if space is needed (writing back
+  /// device-dirty victims). Returns the modeled milliseconds spent.
+  double ensure_on_device(TensorId id);
+
+  /// Task (a)+(b) for a kernel *output*: allocate device space (evicting if
+  /// necessary) without an upload — the kernel will produce the contents.
+  /// Leaves the tensor device-dirty.
+  double allocate_on_device(TensorId id);
+
+  /// Task (d): make the host copy current (charges D2H if device-dirty).
+  double ensure_on_host(TensorId id);
+
+  /// Marks the device copy as the newest (a kernel wrote it).
+  void mark_device_dirty(TensorId id);
+  /// Marks the host copy as the newest (host code wrote it).
+  void mark_host_dirty(TensorId id);
+
+  /// Task (c): drop the device copy (after ensuring the host is current);
+  /// the allocation slot is remembered for reuse accounting.
+  double release(TensorId id);
+
+  /// Drops the tensor entirely.
+  void unregister(TensorId id);
+
+  bool on_device(TensorId id) const;
+  Residency residency(TensorId id) const;
+  usize device_bytes_in_use() const { return used_bytes_; }
+  usize capacity() const { return capacity_; }
+  const MemoryStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    usize bytes = 0;
+    std::string name;
+    Residency state = Residency::kHostOnly;
+    bool reusable_slot = false;  ///< released but remembered (task c)
+    /// Position in the LRU list when resident.
+    std::list<TensorId>::iterator lru_pos;
+    bool resident = false;
+  };
+
+  vgpu::Device& dev_;
+  usize capacity_;
+  usize used_bytes_ = 0;
+  std::unordered_map<TensorId, Entry> entries_;
+  std::list<TensorId> lru_;  ///< front = most recently used
+  MemoryStats stats_;
+
+  Entry& entry(TensorId id);
+  const Entry& entry(TensorId id) const;
+  void touch(TensorId id);
+  double evict_for(usize bytes_needed);
+  double transfer(usize bytes, bool to_device);
+};
+
+}  // namespace fusedml::sysml

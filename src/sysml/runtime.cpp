@@ -1,0 +1,427 @@
+#include "sysml/runtime.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/log.h"
+#include "kernels/blas1.h"
+#include "kernels/gemv.h"
+#include "kernels/spmv.h"
+
+namespace fusedml::sysml {
+
+Runtime::Runtime(vgpu::Device& dev, RuntimeOptions opts)
+    : dev_(dev),
+      opts_(opts),
+      mm_(dev, opts.device_capacity),
+      cpu_(vgpu::paper_host_cpu(), 8) {}
+
+TensorId Runtime::store(Value v, usize bytes, std::string name) {
+  const TensorId id = next_id_++;
+  values_.emplace(id, std::move(v));
+  native_[id] = false;
+  mm_.register_tensor(id, bytes, std::move(name));
+  return id;
+}
+
+TensorId Runtime::add_sparse(la::CsrMatrix X, std::string name) {
+  const usize bytes = X.bytes();
+  return store(Value{std::move(X)}, bytes, std::move(name));
+}
+
+TensorId Runtime::add_dense(la::DenseMatrix X, std::string name) {
+  const usize bytes = X.bytes();
+  return store(Value{std::move(X)}, bytes, std::move(name));
+}
+
+TensorId Runtime::add_vector(std::vector<real> v, std::string name) {
+  const usize bytes = v.size() * sizeof(real);
+  return store(Value{std::move(v)}, bytes, std::move(name));
+}
+
+TensorId Runtime::new_vector(usize n, std::string name) {
+  return add_vector(std::vector<real>(n, real{0}), std::move(name));
+}
+
+Runtime::Value& Runtime::value(TensorId id) {
+  const auto it = values_.find(id);
+  FUSEDML_CHECK(it != values_.end(), "unknown tensor id");
+  return it->second;
+}
+
+std::vector<real>& Runtime::vec(TensorId id) {
+  auto* v = std::get_if<std::vector<real>>(&value(id));
+  FUSEDML_CHECK(v != nullptr, "tensor is not a vector");
+  return *v;
+}
+
+const la::CsrMatrix* Runtime::sparse(TensorId id) {
+  return std::get_if<la::CsrMatrix>(&value(id));
+}
+
+const la::DenseMatrix* Runtime::dense(TensorId id) {
+  return std::get_if<la::DenseMatrix>(&value(id));
+}
+
+usize Runtime::tensor_bytes(TensorId id) {
+  const Value& v = value(id);
+  if (const auto* s = std::get_if<la::CsrMatrix>(&v)) return s->bytes();
+  if (const auto* d = std::get_if<la::DenseMatrix>(&v)) return d->bytes();
+  return std::get<std::vector<real>>(v).size() * sizeof(real);
+}
+
+bool Runtime::stage_on_device(TensorId id) {
+  if (!opts_.enable_gpu) return false;
+  if (!native_[id]) {
+    // First device contact: pay the JNI representation change + heap copy.
+    const Value& v = value(id);
+    JniCharge charge;
+    if (const auto* s = std::get_if<la::CsrMatrix>(&v)) {
+      charge = jni_.sparse_to_native(*s);
+    } else if (const auto* d = std::get_if<la::DenseMatrix>(&v)) {
+      charge = jni_.dense_to_native(*d);
+    } else {
+      charge = jni_.vector_to_native(std::get<std::vector<real>>(v).size());
+    }
+    stats_.jni_ms += charge.total_ms();
+    native_[id] = true;
+  }
+  stats_.transfer_ms += mm_.ensure_on_device(id);
+  return true;
+}
+
+void Runtime::sync_to_host(TensorId id) {
+  stats_.transfer_ms += mm_.ensure_on_host(id);
+}
+
+double Runtime::estimate_gpu_ms(usize bytes_touched, TensorId) {
+  // Streaming heuristic at effective device bandwidth, plus launch overhead.
+  const double bw =
+      dev_.spec().mem_bandwidth_gbs * 0.8;  // GB/s == bytes/ns
+  return (static_cast<double>(bytes_touched) / bw / 1e6 + 0.005) *
+         opts_.gpu_cost_bias;
+}
+
+double Runtime::estimate_cpu_ms(usize bytes_touched) {
+  const double bw = cpu_.threads() > 1 ? 21.8 : 8.0;
+  return static_cast<double>(bytes_touched) / bw / 1e6 + 0.002;
+}
+
+bool Runtime::choose_gpu(usize bytes_touched,
+                         std::initializer_list<TensorId> inputs) {
+  if (!opts_.enable_gpu) return false;
+  double gpu = estimate_gpu_ms(bytes_touched, 0);
+  double cpu = estimate_cpu_ms(bytes_touched);
+  for (TensorId id : inputs) {
+    if (id == 0) continue;
+    const usize b = tensor_bytes(id);
+    if (!mm_.on_device(id) ||
+        mm_.residency(id) == Residency::kHostDirty) {
+      gpu += static_cast<double>(b) / dev_.spec().pcie_bandwidth_gbs / 1e6 /
+             std::max(1.0, opts_.transfer_amortization);
+    }
+    if (mm_.on_device(id) && mm_.residency(id) == Residency::kDeviceDirty) {
+      cpu += static_cast<double>(b) / dev_.spec().pcie_bandwidth_gbs / 1e6;
+    }
+  }
+  FUSEDML_LOG_DEBUG << "scheduler: " << bytes_touched << "B op -> "
+                    << (gpu < cpu ? "GPU" : "CPU") << " (est gpu=" << gpu
+                    << "ms cpu=" << cpu << "ms)";
+  return gpu < cpu;
+}
+
+TensorId Runtime::op_pattern(real alpha, TensorId Xid, TensorId vid,
+                             TensorId yid, real beta, TensorId zid) {
+  const usize xbytes = tensor_bytes(Xid);
+  std::span<const real> v =
+      vid == 0 ? std::span<const real>{} : std::span<const real>(vec(vid));
+  std::span<const real> z =
+      zid == 0 ? std::span<const real>{} : std::span<const real>(vec(zid));
+  const std::vector<real>& y = vec(yid);
+
+  const bool gpu = choose_gpu(2 * xbytes, {Xid, vid, yid, zid});
+  const auto* Xs = sparse(Xid);
+  const auto* Xd = dense(Xid);
+  FUSEDML_CHECK(Xs != nullptr || Xd != nullptr, "pattern needs a matrix");
+  const usize n =
+      static_cast<usize>(Xs != nullptr ? Xs->cols() : Xd->cols());
+
+  std::vector<real> w;
+  if (gpu) {
+    stage_on_device(Xid);
+    if (vid != 0) stage_on_device(vid);
+    stage_on_device(yid);
+    if (zid != 0) stage_on_device(zid);
+    kernels::OpResult op =
+        Xs != nullptr
+            ? kernels::fused_pattern_sparse(dev_, alpha, *Xs, v, y, beta, z)
+            : kernels::fused_pattern_dense(dev_, alpha, *Xd, v, y, beta, z);
+    stats_.gpu_kernel_ms += op.modeled_ms;
+    stats_.pattern_gpu_ms += op.modeled_ms;
+    ++stats_.gpu_ops;
+    record_trace("pattern", true, op.modeled_ms);
+    // What the same op would have cost on the CPU (Table 6 row 2).
+    stats_.pattern_cpu_equiv_ms +=
+        Xs != nullptr ? cpu_.pattern(alpha, *Xs, v, y, beta, z).modeled_ms
+                      : cpu_.pattern(alpha, *Xd, v, y, beta, z).modeled_ms;
+    w = std::move(op.value);
+  } else {
+    for (TensorId id : {Xid, vid, yid, zid}) {
+      if (id != 0) sync_to_host(id);
+    }
+    kernels::CpuOpResult op =
+        Xs != nullptr ? cpu_.pattern(alpha, *Xs, v, y, beta, z)
+                      : cpu_.pattern(alpha, *Xd, v, y, beta, z);
+    stats_.cpu_op_ms += op.modeled_ms;
+    ++stats_.cpu_ops;
+    record_trace("pattern", false, op.modeled_ms);
+    w = std::move(op.value);
+  }
+
+  const TensorId out = add_vector(std::move(w), "pattern_out");
+  if (gpu) {
+    native_[out] = true;  // born in native/device space
+    stats_.transfer_ms += mm_.allocate_on_device(out);
+  }
+  (void)n;
+  return out;
+}
+
+TensorId Runtime::op_transposed_product(TensorId Xid, TensorId yid,
+                                        real alpha) {
+  const usize xbytes = tensor_bytes(Xid);
+  const std::vector<real>& y = vec(yid);
+  const bool gpu = choose_gpu(xbytes, {Xid, yid});
+  const auto* Xs = sparse(Xid);
+  const auto* Xd = dense(Xid);
+  FUSEDML_CHECK(Xs != nullptr || Xd != nullptr,
+                "transposed product needs a matrix");
+
+  std::vector<real> w;
+  if (gpu) {
+    stage_on_device(Xid);
+    stage_on_device(yid);
+    kernels::OpResult op;
+    if (Xs != nullptr) {
+      op = kernels::fused_spmv_t(dev_, *Xs, y, alpha);
+    } else {
+      op = kernels::gemv_t(dev_, *Xd, y);
+      if (alpha != real{1}) {
+        auto s = kernels::dev_scal(dev_, alpha, op.value);
+        op.absorb_timing(s);
+      }
+    }
+    stats_.gpu_kernel_ms += op.modeled_ms;
+    stats_.pattern_gpu_ms += op.modeled_ms;
+    ++stats_.gpu_ops;
+    record_trace("transposed_product", true, op.modeled_ms);
+    stats_.pattern_cpu_equiv_ms +=
+        Xs != nullptr ? cpu_.spmv_t(*Xs, y).modeled_ms
+                      : cpu_.gemv_t(*Xd, y).modeled_ms;
+    w = std::move(op.value);
+  } else {
+    sync_to_host(Xid);
+    sync_to_host(yid);
+    kernels::CpuOpResult op =
+        Xs != nullptr ? cpu_.spmv_t(*Xs, y) : cpu_.gemv_t(*Xd, y);
+    stats_.cpu_op_ms += op.modeled_ms;
+    ++stats_.cpu_ops;
+    record_trace("transposed_product", false, op.modeled_ms);
+    w = std::move(op.value);
+    if (alpha != real{1}) {
+      for (real& x : w) x *= alpha;
+    }
+  }
+
+  const TensorId out = add_vector(std::move(w), "xty_out");
+  if (gpu) {
+    native_[out] = true;
+    stats_.transfer_ms += mm_.allocate_on_device(out);
+  }
+  return out;
+}
+
+TensorId Runtime::op_product(TensorId Xid, TensorId yid) {
+  const usize xbytes = tensor_bytes(Xid);
+  const std::vector<real>& y = vec(yid);
+  const bool gpu = choose_gpu(xbytes, {Xid, yid});
+  const auto* Xs = sparse(Xid);
+  const auto* Xd = dense(Xid);
+  FUSEDML_CHECK(Xs != nullptr || Xd != nullptr, "product needs a matrix");
+
+  std::vector<real> p;
+  if (gpu) {
+    stage_on_device(Xid);
+    stage_on_device(yid);
+    kernels::OpResult op = Xs != nullptr
+                               ? kernels::spmv_csr_vector(dev_, *Xs, y)
+                               : kernels::gemv_n(dev_, *Xd, y);
+    stats_.gpu_kernel_ms += op.modeled_ms;
+    ++stats_.gpu_ops;
+    record_trace("product", true, op.modeled_ms);
+    p = std::move(op.value);
+  } else {
+    sync_to_host(Xid);
+    sync_to_host(yid);
+    kernels::CpuOpResult op =
+        Xs != nullptr ? cpu_.spmv(*Xs, y) : cpu_.gemv(*Xd, y);
+    stats_.cpu_op_ms += op.modeled_ms;
+    ++stats_.cpu_ops;
+    record_trace("product", false, op.modeled_ms);
+    p = std::move(op.value);
+  }
+
+  const TensorId out = add_vector(std::move(p), "product_out");
+  if (gpu) {
+    native_[out] = true;
+    stats_.transfer_ms += mm_.allocate_on_device(out);
+  }
+  return out;
+}
+
+void Runtime::op_axpy(real alpha, TensorId xid, TensorId yid) {
+  const std::vector<real>& x = vec(xid);
+  std::vector<real>& y = vec(yid);
+  const bool gpu = choose_gpu(3 * x.size() * sizeof(real), {xid, yid});
+  if (gpu) {
+    stage_on_device(xid);
+    stage_on_device(yid);
+    auto op = kernels::dev_axpy(dev_, alpha, x, y);
+    stats_.gpu_kernel_ms += op.modeled_ms;
+    ++stats_.gpu_ops;
+    mm_.mark_device_dirty(yid);
+    // Host copy already updated functionally; device is authoritative.
+  } else {
+    sync_to_host(xid);
+    sync_to_host(yid);
+    auto op = cpu_.axpy(alpha, x, y);
+    stats_.cpu_op_ms += op.modeled_ms;
+    ++stats_.cpu_ops;
+    if (mm_.on_device(yid)) mm_.mark_host_dirty(yid);
+  }
+}
+
+TensorId Runtime::op_ewise_mul(TensorId xid, TensorId yid) {
+  const std::vector<real>& x = vec(xid);
+  const std::vector<real>& y = vec(yid);
+  const bool gpu = choose_gpu(3 * x.size() * sizeof(real), {xid, yid});
+  std::vector<real> result;
+  if (gpu) {
+    stage_on_device(xid);
+    stage_on_device(yid);
+    auto op = kernels::dev_ewise_mul(dev_, x, y);
+    stats_.gpu_kernel_ms += op.modeled_ms;
+    ++stats_.gpu_ops;
+    result = std::move(op.value);
+  } else {
+    sync_to_host(xid);
+    sync_to_host(yid);
+    auto op = cpu_.ewise_mul(x, y);
+    stats_.cpu_op_ms += op.modeled_ms;
+    ++stats_.cpu_ops;
+    result = std::move(op.value);
+  }
+  const TensorId out = add_vector(std::move(result), "ewise_out");
+  if (gpu) {
+    native_[out] = true;
+    stats_.transfer_ms += mm_.allocate_on_device(out);
+  }
+  return out;
+}
+
+TensorId Runtime::op_map(TensorId xid, real (*f)(real),
+                         const std::string& name) {
+  const std::vector<real>& x = vec(xid);
+  const bool gpu = choose_gpu(2 * x.size() * sizeof(real), {xid});
+  std::vector<real> result(x.size());
+  for (usize i = 0; i < x.size(); ++i) result[i] = f(x[i]);
+  if (gpu) {
+    stage_on_device(xid);
+    // One streaming kernel: read x, write f(x).
+    vgpu::LaunchConfig cfg;
+    cfg.block_size = 256;
+    cfg.grid_size = 1;
+    const auto stats = dev_.launch(cfg, [&](vgpu::BlockCtx& ctx) {
+      ctx.mem().load_stream(0, x.size(), sizeof(real));
+      ctx.mem().store_stream(0, x.size(), sizeof(real));
+      ctx.mem().add_flops(4ull * x.size());
+    });
+    stats_.gpu_kernel_ms += stats.time.total_ms;
+    ++stats_.gpu_ops;
+    record_trace(name.c_str(), true, stats.time.total_ms);
+  } else {
+    sync_to_host(xid);
+    const double ms = cpu_.scal(1.0, result).modeled_ms;  // same traffic class
+    stats_.cpu_op_ms += ms;
+    ++stats_.cpu_ops;
+    record_trace(name.c_str(), false, ms);
+  }
+  const TensorId out = add_vector(std::move(result), name + "_out");
+  if (gpu) {
+    native_[out] = true;
+    stats_.transfer_ms += mm_.allocate_on_device(out);
+  }
+  return out;
+}
+
+real Runtime::op_dot(TensorId xid, TensorId yid) {
+  const std::vector<real>& x = vec(xid);
+  const std::vector<real>& y = vec(yid);
+  const bool gpu = choose_gpu(2 * x.size() * sizeof(real), {xid, yid});
+  if (gpu) {
+    stage_on_device(xid);
+    stage_on_device(yid);
+    auto op = kernels::dev_dot(dev_, x, y);
+    stats_.gpu_kernel_ms += op.modeled_ms;
+    ++stats_.gpu_ops;
+    return op.value[0];
+  }
+  sync_to_host(xid);
+  sync_to_host(yid);
+  auto op = cpu_.dot(x, y);
+  stats_.cpu_op_ms += op.modeled_ms;
+  ++stats_.cpu_ops;
+  return op.value[0];
+}
+
+real Runtime::op_nrm2(TensorId xid) {
+  const std::vector<real>& x = vec(xid);
+  const bool gpu = choose_gpu(x.size() * sizeof(real), {xid});
+  if (gpu) {
+    stage_on_device(xid);
+    auto op = kernels::dev_nrm2(dev_, x);
+    stats_.gpu_kernel_ms += op.modeled_ms;
+    ++stats_.gpu_ops;
+    return op.value[0];
+  }
+  sync_to_host(xid);
+  auto op = cpu_.nrm2(x);
+  stats_.cpu_op_ms += op.modeled_ms;
+  ++stats_.cpu_ops;
+  return op.value[0];
+}
+
+void Runtime::op_scal(real alpha, TensorId xid) {
+  std::vector<real>& x = vec(xid);
+  const bool gpu = choose_gpu(2 * x.size() * sizeof(real), {xid});
+  if (gpu) {
+    stage_on_device(xid);
+    auto op = kernels::dev_scal(dev_, alpha, x);
+    stats_.gpu_kernel_ms += op.modeled_ms;
+    ++stats_.gpu_ops;
+    mm_.mark_device_dirty(xid);
+  } else {
+    sync_to_host(xid);
+    auto op = cpu_.scal(alpha, x);
+    stats_.cpu_op_ms += op.modeled_ms;
+    ++stats_.cpu_ops;
+    if (mm_.on_device(xid)) mm_.mark_host_dirty(xid);
+  }
+}
+
+std::span<const real> Runtime::read_vector(TensorId id) {
+  sync_to_host(id);
+  return vec(id);
+}
+
+}  // namespace fusedml::sysml

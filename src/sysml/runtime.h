@@ -1,0 +1,146 @@
+// The mini declarative-ML runtime — §4.4's three components wired together:
+//   (i)  a cost model that schedules each operation onto the host or the
+//        device (including the transfers the choice implies),
+//   (ii) the GPU memory manager (memory_manager.h),
+//   (iii) the backend GPU kernels (this paper's contribution, via
+//        kernels::fused_* and the baselines).
+//
+// Data lives in "JVM" host space; the first time a tensor is shipped to the
+// device it pays the JNI conversion (jni_bridge.h) plus the PCIe copy, and
+// afterwards the memory manager keeps copies consistent. Running the same
+// script with the GPU disabled yields the SystemML-CPU baseline of Table 6.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "kernels/cpu_backend.h"
+#include "kernels/fused_dense.h"
+#include "kernels/fused_sparse.h"
+#include "la/csr_matrix.h"
+#include "la/dense_matrix.h"
+#include "sysml/jni_bridge.h"
+#include "sysml/memory_manager.h"
+#include "vgpu/device.h"
+
+namespace fusedml::sysml {
+
+struct RuntimeOptions {
+  bool enable_gpu = true;
+  usize device_capacity = 0;  ///< 0 = the device's full global memory
+  /// Scheduler bias: GPU estimated time is multiplied by this before the
+  /// comparison (values > 1 make the scheduler more conservative).
+  double gpu_cost_bias = 1.0;
+  /// Upload costs are amortized over this many expected reuses when scoring
+  /// a GPU placement — §3: "amortization of the cost of data transfer
+  /// between the host and the device across multiple iterations of an ML
+  /// algorithm". 1 = fully pessimistic (charge the whole upload to the
+  /// current op).
+  double transfer_amortization = 16.0;
+};
+
+struct RuntimeStats {
+  double gpu_kernel_ms = 0.0;   ///< modeled device kernel time
+  double cpu_op_ms = 0.0;       ///< modeled host op time
+  double jni_ms = 0.0;          ///< representation conversion + heap copies
+  double transfer_ms = 0.0;     ///< PCIe traffic (from the memory manager)
+  std::uint64_t gpu_ops = 0;
+  std::uint64_t cpu_ops = 0;
+  /// For the "Fused Kernel Speedup" row of Table 6: device time of the
+  /// pattern ops that ran on the GPU, and what the same ops would have cost
+  /// on the CPU.
+  double pattern_gpu_ms = 0.0;
+  double pattern_cpu_equiv_ms = 0.0;
+
+  double total_ms() const {
+    return gpu_kernel_ms + cpu_op_ms + jni_ms + transfer_ms;
+  }
+};
+
+class Runtime {
+ public:
+  explicit Runtime(vgpu::Device& dev, RuntimeOptions opts = {});
+
+  // --- Data ingestion (host/JVM side) -------------------------------------
+  TensorId add_sparse(la::CsrMatrix X, std::string name);
+  TensorId add_dense(la::DenseMatrix X, std::string name);
+  TensorId add_vector(std::vector<real> v, std::string name);
+  TensorId new_vector(usize n, std::string name);
+
+  // --- Operations (each scheduled CPU-vs-GPU by the cost model) -----------
+  /// w = alpha * X^T * (v ⊙ (X*y)) + beta*z; pass 0 for absent v/z.
+  TensorId op_pattern(real alpha, TensorId X, TensorId v, TensorId y,
+                      real beta, TensorId z);
+  /// w = alpha * X^T * y.
+  TensorId op_transposed_product(TensorId X, TensorId y, real alpha = 1);
+  /// p = X * y.
+  TensorId op_product(TensorId X, TensorId y);
+  void op_axpy(real alpha, TensorId x, TensorId y);
+  /// out = x ⊙ y (new tensor).
+  TensorId op_ewise_mul(TensorId x, TensorId y);
+  /// out[i] = f(x[i]) (new tensor). Element-wise maps (sigmoid, exp, ...)
+  /// run wherever the data is cheapest to reach; on the device they are one
+  /// streaming kernel.
+  TensorId op_map(TensorId x, real (*f)(real), const std::string& name);
+  real op_dot(TensorId x, TensorId y);
+  real op_nrm2(TensorId x);
+  void op_scal(real alpha, TensorId x);
+
+  /// Host view of a vector (synchronizes from the device if needed).
+  std::span<const real> read_vector(TensorId id);
+
+  const RuntimeStats& stats() const { return stats_; }
+  const MemoryStats& memory_stats() const { return mm_.stats(); }
+  const RuntimeOptions& options() const { return opts_; }
+
+  /// One entry per executed op: what ran, where, and what it cost — the
+  /// explain-plan a declarative system surfaces for debugging placement.
+  struct TraceEntry {
+    std::string op;
+    bool on_gpu = false;
+    double modeled_ms = 0;
+  };
+  const std::vector<TraceEntry>& trace() const { return trace_; }
+
+ private:
+  using Value =
+      std::variant<la::CsrMatrix, la::DenseMatrix, std::vector<real>>;
+
+  vgpu::Device& dev_;
+  RuntimeOptions opts_;
+  MemoryManager mm_;
+  JniBridge jni_;
+  kernels::CpuBackend cpu_;
+  std::unordered_map<TensorId, Value> values_;
+  std::unordered_map<TensorId, bool> native_;  ///< JNI conversion done?
+  TensorId next_id_ = 1;
+  RuntimeStats stats_;
+  std::vector<TraceEntry> trace_;
+
+  void record_trace(const char* op, bool on_gpu, double ms) {
+    trace_.push_back({op, on_gpu, ms});
+  }
+
+  TensorId store(Value v, usize bytes, std::string name);
+  Value& value(TensorId id);
+  std::vector<real>& vec(TensorId id);
+  const la::CsrMatrix* sparse(TensorId id);
+  const la::DenseMatrix* dense(TensorId id);
+  usize tensor_bytes(TensorId id);
+
+  /// Moves a tensor to the device, paying JNI on first contact; charges
+  /// into stats_. Returns false if the GPU is disabled.
+  bool stage_on_device(TensorId id);
+  void sync_to_host(TensorId id);
+
+  /// Scheduler estimates (GB-scale streaming heuristics).
+  double estimate_gpu_ms(usize bytes_touched, TensorId matrix_or_zero);
+  double estimate_cpu_ms(usize bytes_touched);
+  bool choose_gpu(usize bytes_touched, std::initializer_list<TensorId> inputs);
+};
+
+}  // namespace fusedml::sysml

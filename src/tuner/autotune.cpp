@@ -1,0 +1,144 @@
+#include "tuner/autotune.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace fusedml::tuner {
+
+double SearchResult::model_rank_fraction() const {
+  usize feasible = 0;
+  usize better = 0;
+  for (const auto& p : points) {
+    if (!p.feasible) continue;
+    ++feasible;
+    if (p.time_ms < model_ms) ++better;
+  }
+  return feasible == 0 ? 0.0
+                       : static_cast<double>(better) /
+                             static_cast<double>(feasible);
+}
+
+SearchResult exhaustive_search(const vgpu::DeviceSpec& spec, index_t m,
+                               index_t n, double mu, const Evaluate& evaluate,
+                               SearchSpace space) {
+  const auto model = sparse_launch_params(spec, m, n, mu);
+  const int vs = model.config.vector_size;
+
+  if (space.block_sizes.empty()) {
+    for (int bs = spec.warp_size; bs <= spec.max_threads_per_block;
+         bs += spec.warp_size) {
+      if (bs % vs == 0) space.block_sizes.push_back(bs);
+    }
+  }
+  if (space.coarsenings.empty()) {
+    // A spread around the model's pick, mimicking §4.3's "possible numbers
+    // around what our model selects": dense near the pick, geometric tails.
+    const int c0 = model.config.coarsening;
+    for (int d = -8; d <= 8; ++d) {
+      const int c = c0 + d * std::max(1, c0 / 16);
+      if (c >= 1) space.coarsenings.push_back(c);
+    }
+    for (double f : {0.1, 0.2, 0.33, 0.5, 0.67, 0.8, 1.25, 1.5, 2.0, 3.0,
+                     5.0, 10.0}) {
+      const int c = std::max(1, static_cast<int>(std::lround(c0 * f)));
+      space.coarsenings.push_back(c);
+    }
+    std::sort(space.coarsenings.begin(), space.coarsenings.end());
+    space.coarsenings.erase(
+        std::unique(space.coarsenings.begin(), space.coarsenings.end()),
+        space.coarsenings.end());
+  }
+
+  SearchResult out;
+  out.best_ms = 1e300;
+  out.worst_ms = 0.0;
+  double best_model_distance = 1e300;
+
+  for (int bs : space.block_sizes) {
+    for (int c : space.coarsenings) {
+      SearchPoint p;
+      p.vector_size = vs;
+      p.block_size = bs;
+      p.coarsening = c;
+      // Grid sized so total vectors * C cover all m rows.
+      const long long vectors_needed =
+          (static_cast<long long>(m) + c - 1) / c;
+      const int nv = bs / vs;
+      p.grid_size = static_cast<int>(
+          std::max<long long>(1, (vectors_needed + nv - 1) / nv));
+      const double ms = evaluate(p);
+      p.feasible = ms >= 0.0;
+      p.time_ms = p.feasible ? ms : 0.0;
+      out.points.push_back(p);
+      if (!p.feasible) continue;
+      if (ms < out.best_ms) {
+        out.best_ms = ms;
+        out.best_index = out.points.size() - 1;
+      }
+      out.worst_ms = std::max(out.worst_ms, ms);
+      // Identify the point closest to the model's (BS, C) choice.
+      const double distance =
+          std::abs(std::log2(static_cast<double>(bs) /
+                             model.config.block_size)) +
+          std::abs(std::log2(static_cast<double>(c) /
+                             model.config.coarsening));
+      if (distance < best_model_distance) {
+        best_model_distance = distance;
+        out.model_index = out.points.size() - 1;
+        out.model_ms = ms;
+      }
+    }
+  }
+  FUSEDML_CHECK(out.best_ms < 1e300, "no feasible point in the search space");
+  return out;
+}
+
+DenseSearchResult dense_exhaustive_search(const vgpu::DeviceSpec& spec,
+                                          index_t m, index_t n,
+                                          const DenseEvaluate& evaluate) {
+  const auto model = dense_launch_params(spec, m, n);
+  DenseSearchResult out;
+  out.best_ms = 1e300;
+  double best_model_distance = 1e300;
+
+  for (int bs = 128; bs <= spec.max_threads_per_block; bs *= 2) {
+    for (int tl = 1; tl <= 40; ++tl) {
+      DenseSearchPoint p;
+      p.thread_load = tl;
+      p.block_size = bs;
+      p.vector_size = dense_vector_size(n, tl, bs);
+      if (static_cast<long long>(p.vector_size) * tl < n ||
+          bs % p.vector_size != 0) {
+        p.feasible = false;
+        out.points.push_back(p);
+        continue;
+      }
+      const double ms = evaluate(p);
+      p.feasible = ms >= 0.0;
+      p.time_ms = p.feasible ? ms : 0.0;
+      out.points.push_back(p);
+      if (!p.feasible) continue;
+      if (ms < out.best_ms) {
+        out.best_ms = ms;
+        out.best_index = out.points.size() - 1;
+      }
+      out.worst_ms = std::max(out.worst_ms, ms);
+      const double distance =
+          std::abs(tl - model.config.thread_load) +
+          8.0 * std::abs(std::log2(static_cast<double>(bs) /
+                                   model.config.block_size));
+      if (distance < best_model_distance) {
+        best_model_distance = distance;
+        out.model_index = out.points.size() - 1;
+        out.model_ms = ms;
+      }
+    }
+  }
+  FUSEDML_CHECK(out.best_ms < 1e300,
+                "no feasible point in the dense search space");
+  return out;
+}
+
+}  // namespace fusedml::tuner

@@ -1,0 +1,95 @@
+// Exhaustive launch-parameter search — the machinery behind Figure 6
+// (§4.3): evaluate every (BS, C) setting in a ~1200-point space around the
+// feasible region, then compare the analytical model's pick against the
+// measured optimum.
+//
+// The evaluation callback is supplied by the caller (benches pass a lambda
+// that runs the fused kernel with overridden parameters and returns its
+// modeled time), keeping this module independent of any specific kernel.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/types.h"
+#include "tuner/launch_params.h"
+
+namespace fusedml::tuner {
+
+struct SearchPoint {
+  int vector_size = 0;
+  int block_size = 0;
+  int coarsening = 0;    ///< RpV, rows per vector
+  int grid_size = 0;
+  double time_ms = 0.0;
+  bool feasible = false;
+};
+
+struct SearchResult {
+  std::vector<SearchPoint> points;   ///< all evaluated settings
+  usize best_index = 0;              ///< fastest feasible point
+  usize model_index = 0;             ///< the §3.3 model's choice
+  double best_ms = 0.0;
+  double worst_ms = 0.0;
+  double model_ms = 0.0;
+
+  /// (model - best) / best — the "<2%" headline of §4.3.
+  double model_gap_fraction() const {
+    return best_ms > 0.0 ? (model_ms - best_ms) / best_ms : 0.0;
+  }
+  /// Rank of the model's pick as a fraction of all feasible points
+  /// (0 = best). §4.3 reports the model inside the top 1%.
+  double model_rank_fraction() const;
+};
+
+/// Evaluation callback: modeled kernel time for a setting; return a
+/// negative value to mark the setting infeasible.
+using Evaluate = std::function<double(const SearchPoint&)>;
+
+struct SearchSpace {
+  /// Block sizes to scan; empty = all warp multiples 32..1024.
+  std::vector<int> block_sizes;
+  /// Coarsening values; empty = a spread around the model's pick.
+  std::vector<int> coarsenings;
+};
+
+/// Full scan for the sparse fused kernel on an m x n matrix with mean
+/// nnz/row mu. VS is fixed by Eq. 4 (as in Fig. 6, which fixes VS=8).
+SearchResult exhaustive_search(const vgpu::DeviceSpec& spec, index_t m,
+                               index_t n, double mean_nnz_per_row,
+                               const Evaluate& evaluate,
+                               SearchSpace space = {});
+
+// --- Dense counterpart -------------------------------------------------------
+
+struct DenseSearchPoint {
+  int thread_load = 0;  ///< TL (the unroll factor), 1..40
+  int block_size = 0;
+  int vector_size = 0;  ///< derived via Eq. 6
+  double time_ms = 0.0;
+  bool feasible = false;
+};
+
+struct DenseSearchResult {
+  std::vector<DenseSearchPoint> points;
+  usize best_index = 0;
+  usize model_index = 0;
+  double best_ms = 0.0;
+  double model_ms = 0.0;
+  double worst_ms = 0.0;
+
+  double model_gap_fraction() const {
+    return best_ms > 0.0 ? (model_ms - best_ms) / best_ms : 0.0;
+  }
+};
+
+using DenseEvaluate = std::function<double(const DenseSearchPoint&)>;
+
+/// Scans TL in 1..40 for each feasible block size (the §3.3 dense-kernel
+/// profiling sweep). Only (TL, BS) pairs whose Eq.-6 VS covers the row are
+/// emitted as feasible.
+DenseSearchResult dense_exhaustive_search(const vgpu::DeviceSpec& spec,
+                                          index_t m, index_t n,
+                                          const DenseEvaluate& evaluate);
+
+}  // namespace fusedml::tuner

@@ -1,0 +1,159 @@
+#include "tuner/launch_params.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "kernels/resource_profile.h"
+
+namespace fusedml::tuner {
+
+int sparse_vector_size(double mu) {
+  if (mu > 32.0) return 32;
+  for (int i = 4; i >= 1; --i) {
+    if (mu > static_cast<double>(1 << i)) return 1 << i;
+  }
+  return 1;
+}
+
+bool shared_aggregation_feasible(const vgpu::DeviceSpec& spec, index_t n,
+                                 int vector_size) {
+  // Smallest block (one warp) already needs (32/VS + n) words; if even that
+  // overflows the SM's shared memory, no block size works.
+  const usize words =
+      static_cast<usize>(std::max(1, 32 / vector_size)) + static_cast<usize>(n);
+  return words * sizeof(real) <= spec.smem_per_sm_bytes;
+}
+
+SparseParams sparse_launch_params(const vgpu::DeviceSpec& spec, index_t m,
+                                  index_t n, double mu, Aggregation pref) {
+  SparseParams out;
+  const int vs = sparse_vector_size(mu);
+  out.config.vector_size = vs;
+
+  bool shared = shared_aggregation_feasible(spec, n, vs);
+  if (pref == Aggregation::kShared) {
+    FUSEDML_CHECK(shared, "shared aggregation infeasible: n too large");
+  } else if (pref == Aggregation::kGlobal) {
+    shared = false;
+  }
+  out.shared_aggregation = shared;
+
+  // Block size: scan all warp multiples, maximize active warps per SM under
+  // the kernel's measured resources; ties go to the larger block (fewer
+  // blocks => fewer inter-block atomic writers on w).
+  int best_bs = 0;
+  vgpu::OccupancyResult best_occ;
+  for (int bs = spec.warp_size; bs <= spec.max_threads_per_block;
+       bs += spec.warp_size) {
+    if (bs % vs != 0) continue;
+    const usize smem =
+        shared ? kernels::sparse_fused_smem_bytes(bs, vs, n)
+               : kernels::sparse_fused_smem_bytes_global_agg(bs, vs);
+    const auto occ = vgpu::compute_occupancy(
+        spec, bs, {kernels::kSparseFusedRegsPerThread, smem});
+    if (occ.blocks_per_sm == 0) continue;
+    if (best_bs == 0 || occ.active_warps_per_sm >= best_occ.active_warps_per_sm) {
+      best_bs = bs;
+      best_occ = occ;
+    }
+  }
+  FUSEDML_CHECK(best_bs > 0, "no feasible block size for sparse fused kernel");
+  out.config.block_size = best_bs;
+  out.config.resources = {
+      kernels::kSparseFusedRegsPerThread,
+      shared ? kernels::sparse_fused_smem_bytes(best_bs, vs, n)
+             : kernels::sparse_fused_smem_bytes_global_agg(best_bs, vs)};
+  out.config.smem_words =
+      out.config.resources.smem_per_block / sizeof(real);
+  out.occupancy = best_occ;
+
+  // Grid: exactly the resident blocks; Eq. 5 coarsening covers all m rows
+  // with a balanced load per vector.
+  out.config.grid_size = std::max(1, best_occ.blocks_per_sm * spec.num_sms);
+  const long long total_vectors =
+      static_cast<long long>(out.config.grid_size) * (best_bs / vs);
+  out.config.coarsening = static_cast<int>(
+      std::max<long long>(1, (m + total_vectors - 1) / total_vectors));
+  return out;
+}
+
+int dense_vector_size(index_t n, int thread_load, int block_size) {
+  FUSEDML_CHECK(thread_load >= 1, "thread load must be >= 1");
+  const double per_thread = static_cast<double>(n) / thread_load;
+  if (per_thread > 32.0) return block_size;  // Eq. 6 first case
+  for (int i = 5; i >= 1; --i) {
+    if (per_thread > static_cast<double>(1 << (i - 1)) &&
+        per_thread <= static_cast<double>(1 << i)) {
+      return 1 << i;
+    }
+  }
+  return 1;
+}
+
+DenseParams dense_launch_params(const vgpu::DeviceSpec& spec, index_t m,
+                                index_t n) {
+  DenseParams out;
+
+  if (n <= spec.warp_size) {
+    // §3.3 exception: tiny column counts — one element per thread, maximum
+    // block size to hide load latency.
+    out.config.block_size = std::min(1024, spec.max_threads_per_block);
+    out.config.thread_load = 1;
+    out.config.vector_size = dense_vector_size(n, 1, out.config.block_size);
+    out.config.resources = {kernels::dense_fused_regs_per_thread(1), 0};
+    out.occupancy = vgpu::compute_occupancy(spec, out.config.block_size,
+                                            out.config.resources);
+  } else {
+    // BS = 128: register-allocation friendly, minimal synchronization.
+    const int bs = 128;
+    int best_tl = 1;
+    double best_score = -1.0;
+    vgpu::OccupancyResult best_occ;
+    int best_waste = 0;
+    for (int tl = 1; tl <= kernels::kDenseFusedMaxThreadLoad; ++tl) {
+      const int regs = kernels::dense_fused_regs_per_thread(tl);
+      const auto occ = vgpu::compute_occupancy(spec, bs, {regs, 0});
+      if (occ.blocks_per_sm == 0) continue;
+      const int vs = dense_vector_size(n, tl, bs);
+      // The vector must cover the whole row: VS threads * TL elements >= n.
+      if (static_cast<long long>(vs) * tl < n) continue;
+      // Wasted warp loads per vector: lanes beyond the row's n elements.
+      const int covered = vs * tl;
+      const int waste =
+          covered > n ? (covered - static_cast<int>(n)) / spec.warp_size : 0;
+      const double waste_fraction =
+          static_cast<double>(waste * spec.warp_size) /
+          static_cast<double>(std::max(1, covered));
+      const double score = occ.active_warps_per_sm * (1.0 - waste_fraction);
+      if (score > best_score) {
+        best_score = score;
+        best_tl = tl;
+        best_occ = occ;
+        best_waste = waste;
+      }
+    }
+    FUSEDML_CHECK(best_score >= 0.0, "no feasible TL for dense fused kernel");
+    out.config.block_size = bs;
+    out.config.thread_load = best_tl;
+    out.config.vector_size = dense_vector_size(n, best_tl, bs);
+    out.config.resources = {kernels::dense_fused_regs_per_thread(best_tl), 0};
+    out.occupancy = best_occ;
+    out.wasted_warps = best_waste;
+  }
+
+  // Inter-warp reduction staging for VS > 32 (Alg. 3 lines 17-20).
+  out.config.smem_words =
+      static_cast<usize>(std::max(1, out.config.block_size / 32));
+  out.config.resources.smem_per_block = out.config.smem_words * sizeof(real);
+
+  out.config.grid_size =
+      std::max(1, out.occupancy.blocks_per_sm * spec.num_sms);
+  const long long total_vectors =
+      static_cast<long long>(out.config.grid_size) *
+      (out.config.block_size / out.config.vector_size);
+  out.config.coarsening = static_cast<int>(
+      std::max<long long>(1, (m + total_vectors - 1) / total_vectors));
+  return out;
+}
+
+}  // namespace fusedml::tuner

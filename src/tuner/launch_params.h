@@ -1,0 +1,61 @@
+// The analytical launch-parameter model of §3.3.
+//
+// Sparse kernel: VS from Eq. 4 (mean nnz/row), BS by maximizing occupancy
+// under the kernel's measured resources (43 registers/thread, (BS/VS + n)*8
+// bytes of shared memory), C from Eq. 5 (maximal balanced coarsening), grid
+// sized to exactly the resident blocks.
+//
+// Dense kernel: BS = 128 (register-allocation granularity, minimal
+// inter-vector synchronization), TL in 1..40 chosen to maximize concurrent
+// warps after excluding wasted warp loads, VS from Eq. 6 — with the n <= 32
+// special case (BS = 1024, TL = 1).
+#pragma once
+
+#include "common/types.h"
+#include "vgpu/device_spec.h"
+#include "vgpu/launch_config.h"
+#include "vgpu/occupancy.h"
+
+namespace fusedml::tuner {
+
+enum class Aggregation {
+  kAuto,    ///< shared memory when the partial w fits, global otherwise
+  kShared,  ///< force the shared-memory inter-vector aggregation (§3.1)
+  kGlobal,  ///< force global-memory aggregation (large-n variant, §3.1 end)
+};
+
+struct SparseParams {
+  vgpu::LaunchConfig config;
+  bool shared_aggregation = true;
+  vgpu::OccupancyResult occupancy;
+};
+
+/// Eq. 4 vector size. Exposed for tests; kernels::vector_size_for is the
+/// same rule (kept in kernels so baselines don't depend on the tuner).
+int sparse_vector_size(double mean_nnz_per_row);
+
+/// Full sparse model for an m x n matrix with mean nnz/row mu.
+SparseParams sparse_launch_params(const vgpu::DeviceSpec& spec, index_t m,
+                                  index_t n, double mean_nnz_per_row,
+                                  Aggregation pref = Aggregation::kAuto);
+
+/// True when the shared-memory aggregation variant is feasible for n
+/// columns on this device (the ~6K-column limit of §3.1 for 48 KB SMs).
+bool shared_aggregation_feasible(const vgpu::DeviceSpec& spec, index_t n,
+                                 int vector_size);
+
+struct DenseParams {
+  vgpu::LaunchConfig config;
+  vgpu::OccupancyResult occupancy;
+  int wasted_warps = 0;  ///< wasted warp loads per vector at the chosen TL
+};
+
+/// Full dense model for an m x n matrix.
+DenseParams dense_launch_params(const vgpu::DeviceSpec& spec, index_t m,
+                                index_t n);
+
+/// Eq. 6 dense vector size given n and TL (block size for the n/TL > 32
+/// case is passed in).
+int dense_vector_size(index_t n, int thread_load, int block_size);
+
+}  // namespace fusedml::tuner

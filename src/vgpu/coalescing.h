@@ -1,0 +1,38 @@
+// The CUDA global-memory coalescer, as a counting model.
+//
+// A warp's memory instruction is serviced by one transaction per distinct
+// 128-byte segment touched by its active lanes. Contiguous, aligned accesses
+// by 32 lanes of 8-byte words therefore cost 2 transactions; a fully
+// scattered gather costs up to 32.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/types.h"
+
+namespace fusedml::vgpu {
+
+inline constexpr std::uint64_t kSegmentBytes = 128;
+
+/// Transactions for `active` lanes reading consecutive elements of size
+/// `elem_bytes` starting at byte offset `first_byte` (lane i reads element i).
+std::uint64_t contiguous_transactions(std::uint64_t first_byte, int active,
+                                      usize elem_bytes);
+
+/// Transactions for a strided warp access: lane i touches byte address
+/// first_byte + i * stride_bytes, for `active` lanes.
+std::uint64_t strided_transactions(std::uint64_t first_byte, int active,
+                                   std::uint64_t stride_bytes,
+                                   usize elem_bytes);
+
+/// Transactions for an arbitrary gather: one address per active lane.
+/// Distinct 128-byte segments are deduplicated, exactly like the hardware.
+std::uint64_t gather_transactions(std::span<const std::uint64_t> byte_addrs);
+
+/// Segment index of a byte address.
+inline std::uint64_t segment_of(std::uint64_t byte_addr) {
+  return byte_addr / kSegmentBytes;
+}
+
+}  // namespace fusedml::vgpu

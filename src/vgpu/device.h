@@ -1,0 +1,182 @@
+// The virtual GPU device: launches kernels, schedules blocks, merges
+// counters, and reports modeled time per launch.
+//
+// Execution model. A kernel is a callable invoked once per thread block with
+// a BlockCtx. Inside, the kernel iterates its warps/vectors/lanes explicitly
+// in warp-synchronous phases — the paper's algorithms all have a static
+// barrier structure (init / row loop / __syncthreads / final aggregation),
+// so this lock-step style is exact. Blocks may execute on host worker
+// threads; global-memory writes from kernels must go through atomic_add()
+// (plain writes are fine for block-private outputs).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "common/timer.h"
+#include "common/types.h"
+#include "vgpu/cost_model.h"
+#include "vgpu/device_spec.h"
+#include "vgpu/launch_config.h"
+#include "vgpu/mem_counters.h"
+#include "vgpu/mem_tracker.h"
+#include "vgpu/occupancy.h"
+#include "vgpu/shared_memory.h"
+
+namespace fusedml::vgpu {
+
+/// Lock-free atomic add on a double living in ordinary host memory —
+/// the virtual device's atomicAdd(double*).
+inline void atomic_add(real& target, real value) {
+  std::atomic_ref<real> ref(target);
+  real expected = ref.load(std::memory_order_relaxed);
+  while (!ref.compare_exchange_weak(expected, expected + value,
+                                    std::memory_order_relaxed)) {
+  }
+}
+
+/// Per-block execution context handed to kernels.
+class BlockCtx {
+ public:
+  BlockCtx(int block_id, const LaunchConfig& cfg, const DeviceSpec& device)
+      : block_id_(block_id),
+        cfg_(cfg),
+        device_(device),
+        smem_(cfg.smem_words, device.smem_banks, counters_),
+        mem_(counters_) {}
+
+  int block_id() const { return block_id_; }
+  int grid_size() const { return cfg_.grid_size; }
+  int block_size() const { return cfg_.block_size; }
+  int vector_size() const { return cfg_.vector_size; }
+  int num_vectors() const { return cfg_.num_vectors_per_block(); }
+  int coarsening() const { return cfg_.coarsening; }
+  int thread_load() const { return cfg_.thread_load; }
+  const LaunchConfig& config() const { return cfg_; }
+  const DeviceSpec& device() const { return device_; }
+
+  SharedMemory& smem() { return smem_; }
+  MemTracker& mem() { return mem_; }
+  MemCounters& counters() { return counters_; }
+
+ private:
+  int block_id_;
+  const LaunchConfig& cfg_;
+  const DeviceSpec& device_;
+  MemCounters counters_;
+  SharedMemory smem_;
+  MemTracker mem_;
+};
+
+/// Everything known about one kernel launch after it retires.
+struct LaunchStats {
+  MemCounters counters;
+  OccupancyResult occupancy;
+  TimeBreakdown time;       ///< modeled device time
+  double wall_ms = 0.0;     ///< host wall-clock of the functional simulation
+  LaunchConfig config;
+
+  double modeled_ms() const { return time.total_ms; }
+};
+
+class Device {
+ public:
+  explicit Device(DeviceSpec spec = gtx_titan(), CostParams params = {},
+                  int host_threads = 1)
+      : spec_(std::move(spec)),
+        cost_model_(spec_, params),
+        host_threads_(host_threads < 1 ? 1 : host_threads) {}
+
+  const DeviceSpec& spec() const { return spec_; }
+  const CostModel& cost_model() const { return cost_model_; }
+
+  /// Launch `kernel` (callable taking BlockCtx&) over cfg.grid_size blocks.
+  template <typename Kernel>
+  LaunchStats launch(const LaunchConfig& cfg, Kernel&& kernel) {
+    FUSEDML_CHECK(cfg.internally_consistent(), "inconsistent launch config");
+    FUSEDML_CHECK(cfg.block_size <= spec_.max_threads_per_block,
+                  "block size exceeds device limit");
+    FUSEDML_CHECK(cfg.smem_words * sizeof(real) <= spec_.smem_per_sm_bytes,
+                  "shared memory request exceeds SM capacity");
+
+    LaunchStats stats;
+    stats.config = cfg;
+    stats.occupancy =
+        compute_occupancy(spec_, cfg.block_size, cfg.resources);
+
+    Timer wall;
+    if (host_threads_ == 1 || cfg.grid_size == 1) {
+      for (int b = 0; b < cfg.grid_size; ++b) {
+        BlockCtx ctx(b, cfg, spec_);
+        kernel(ctx);
+        stats.counters += ctx.counters();
+      }
+    } else {
+      run_blocks_parallel(cfg, kernel, stats.counters);
+    }
+    stats.wall_ms = wall.elapsed_ms();
+
+    stats.time = cost_model_.kernel_time(stats.counters, stats.occupancy);
+    ++session_launches_;
+    session_modeled_ms_ += stats.time.total_ms;
+    session_counters_ += stats.counters;
+    return stats;
+  }
+
+  /// Modeled host->device copy; accumulates into the session totals.
+  double transfer_h2d_ms(std::uint64_t bytes) {
+    const double ms = cost_model_.transfer_ms(bytes);
+    session_transfer_ms_ += ms;
+    return ms;
+  }
+
+  // --- Session accounting (end-to-end benches) ---------------------------
+  std::uint64_t session_launches() const { return session_launches_; }
+  double session_modeled_ms() const { return session_modeled_ms_; }
+  double session_transfer_ms() const { return session_transfer_ms_; }
+  const MemCounters& session_counters() const { return session_counters_; }
+  void reset_session() {
+    session_launches_ = 0;
+    session_modeled_ms_ = 0.0;
+    session_transfer_ms_ = 0.0;
+    session_counters_ = MemCounters{};
+  }
+
+ private:
+  DeviceSpec spec_;
+  CostModel cost_model_;
+  int host_threads_;
+  std::uint64_t session_launches_ = 0;
+  double session_modeled_ms_ = 0.0;
+  double session_transfer_ms_ = 0.0;
+  MemCounters session_counters_;
+
+  template <typename Kernel>
+  void run_blocks_parallel(const LaunchConfig& cfg, Kernel& kernel,
+                           MemCounters& merged) {
+    const int workers = std::min(host_threads_, cfg.grid_size);
+    std::vector<MemCounters> partials(workers);
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    std::atomic<int> next_block{0};
+    for (int w = 0; w < workers; ++w) {
+      threads.emplace_back([&, w] {
+        for (;;) {
+          const int b = next_block.fetch_add(1, std::memory_order_relaxed);
+          if (b >= cfg.grid_size) break;
+          BlockCtx ctx(b, cfg, spec_);
+          kernel(ctx);
+          partials[w] += ctx.counters();
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    for (const auto& p : partials) merged += p;
+  }
+};
+
+}  // namespace fusedml::vgpu

@@ -1,0 +1,24 @@
+#include "vgpu/device_spec.h"
+
+namespace fusedml::vgpu {
+
+DeviceSpec gtx_titan() { return DeviceSpec{}; }
+
+DeviceSpec small_kepler() {
+  DeviceSpec spec;
+  spec.name = "Virtual small Kepler";
+  spec.num_sms = 4;
+  spec.peak_gflops_dp = 300.0;
+  spec.mem_bandwidth_gbs = 80.0;
+  spec.global_mem_bytes = 1ull << 30;
+  spec.l2_bytes = 512ull << 10;
+  spec.smem_per_sm_bytes = 16ull << 10;
+  spec.regs_per_sm = 32 * 1024;
+  spec.max_threads_per_sm = 1024;
+  spec.max_blocks_per_sm = 4;
+  return spec;
+}
+
+CpuSpec paper_host_cpu() { return CpuSpec{}; }
+
+}  // namespace fusedml::vgpu

@@ -1,0 +1,93 @@
+#include "vgpu/occupancy.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace fusedml::vgpu {
+
+namespace {
+template <typename T>
+T ceil_to(T value, T unit) {
+  return (value + unit - 1) / unit * unit;
+}
+}  // namespace
+
+OccupancyResult compute_occupancy(const DeviceSpec& spec, int block_size,
+                                  const KernelResources& res) {
+  OccupancyResult out;
+  if (block_size <= 0 || block_size > spec.max_threads_per_block ||
+      res.regs_per_thread > spec.max_regs_per_thread ||
+      res.smem_per_block > spec.smem_per_sm_bytes) {
+    return out;  // impossible launch: occupancy 0, kInvalid
+  }
+
+  const int warps_per_block =
+      (block_size + spec.warp_size - 1) / spec.warp_size;
+
+  // Limit 1: the hard active-block cap.
+  int limit_blocks = spec.max_blocks_per_sm;
+  auto limiter = OccupancyResult::Limiter::kBlocks;
+
+  // Limit 2: resident warps per SM.
+  const int limit_warps = spec.max_warps_per_sm() / warps_per_block;
+  if (limit_warps < limit_blocks) {
+    limit_blocks = limit_warps;
+    limiter = OccupancyResult::Limiter::kWarps;
+  }
+
+  // Limit 3: register file. Registers are allocated per warp, rounded to the
+  // allocation unit, and the block's warp count is rounded to the warp
+  // allocation granularity (4 on Kepler).
+  const int regs_per_warp =
+      ceil_to(res.regs_per_thread * spec.warp_size, spec.reg_alloc_unit);
+  const int alloc_warps =
+      ceil_to(warps_per_block, spec.warp_alloc_granularity);
+  const int regs_per_block = regs_per_warp * alloc_warps;
+  const int limit_regs = regs_per_block > 0 ? spec.regs_per_sm / regs_per_block
+                                            : spec.max_blocks_per_sm;
+  if (limit_regs < limit_blocks) {
+    limit_blocks = limit_regs;
+    limiter = OccupancyResult::Limiter::kRegisters;
+  }
+
+  // Limit 4: shared memory, rounded to its allocation unit.
+  if (res.smem_per_block > 0) {
+    const usize smem_alloc = ceil_to(res.smem_per_block, spec.smem_alloc_unit);
+    const int limit_smem = static_cast<int>(spec.smem_per_sm_bytes / smem_alloc);
+    if (limit_smem < limit_blocks) {
+      limit_blocks = limit_smem;
+      limiter = OccupancyResult::Limiter::kSharedMemory;
+    }
+  }
+
+  if (limit_blocks <= 0) return out;  // cannot place even one block
+
+  out.blocks_per_sm = limit_blocks;
+  out.warps_per_block = warps_per_block;
+  out.active_warps_per_sm =
+      std::min(limit_blocks * warps_per_block, spec.max_warps_per_sm());
+  out.active_threads_per_sm = out.active_warps_per_sm * spec.warp_size;
+  out.occupancy = static_cast<double>(out.active_warps_per_sm) /
+                  static_cast<double>(spec.max_warps_per_sm());
+  out.limiter = limiter;
+  return out;
+}
+
+int best_block_size(const DeviceSpec& spec, const KernelResources& res) {
+  int best_bs = spec.warp_size;
+  int best_warps = -1;
+  for (int bs = spec.warp_size; bs <= spec.max_threads_per_block;
+       bs += spec.warp_size) {
+    const auto occ = compute_occupancy(spec, bs, res);
+    // ">= " so ties go to the larger block size (§3.3).
+    if (occ.active_warps_per_sm >= best_warps && occ.blocks_per_sm > 0) {
+      best_warps = occ.active_warps_per_sm;
+      best_bs = bs;
+    }
+  }
+  FUSEDML_CHECK(best_warps > 0, "no feasible block size for kernel resources");
+  return best_bs;
+}
+
+}  // namespace fusedml::vgpu

@@ -1,0 +1,49 @@
+// Per-block shared memory with Kepler-style bank accounting.
+//
+// Shared memory is interleaved across 32 banks at word granularity; a warp
+// access that maps two lanes to the same bank (different words) serializes
+// into multiple passes. The fused kernels' inter-vector aggregation lives
+// here, so the model matters for the dense-vs-sparse discussion in §3.2.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "vgpu/mem_counters.h"
+
+namespace fusedml::vgpu {
+
+class SharedMemory {
+ public:
+  /// `words` double-precision words of shared memory; zero-initialized, as
+  /// the kernels do explicitly in their init phase (Alg. 1 line 6).
+  SharedMemory(usize words, int banks, MemCounters& counters);
+
+  usize size() const { return data_.size(); }
+
+  /// Plain (single-lane) access.
+  real load(usize word) ;
+  void store(usize word, real value);
+  /// Intra-block atomic add (the inter-vector aggregation of Alg. 2 L14).
+  void atomic_add(usize word, real value);
+
+  /// Warp-wide access for bank-conflict accounting: lane i touches
+  /// word_addrs[i]. Returns the number of serialized passes charged.
+  int warp_access(std::span<const usize> word_addrs);
+
+  std::span<real> raw() { return data_; }
+  std::span<const real> raw() const { return data_; }
+
+  void fill(real value);
+
+ private:
+  std::vector<real> data_;
+  int banks_;
+  MemCounters& counters_;
+
+  void bounds_check(usize word) const;
+};
+
+}  // namespace fusedml::vgpu

@@ -1,0 +1,274 @@
+// Tests for the compiler-side pieces: the CUDA source generator (Listing 2)
+// and the expression-DAG fusion pass (the "transparently selects our fused
+// GPU kernel" integration of §4.4).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "kernels/cuda_codegen.h"
+#include "la/generate.h"
+#include "la/vector_ops.h"
+#include "patterns/executor.h"
+#include "sysml/dag.h"
+#include "sysml/runtime.h"
+#include "test_util.h"
+
+namespace fusedml {
+namespace {
+
+using test::expect_vectors_near;
+
+// --- CUDA source generator -----------------------------------------------------
+
+int count_occurrences(const std::string& haystack, const std::string& needle) {
+  int count = 0;
+  for (usize pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + 1)) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(CudaCodegen, KernelNameMatchesListing2Convention) {
+  // Listing 2's example: dense m x 32, VS = 16, TL = 2 -> mtmvm_32_16_2.
+  kernels::DenseKernelSpec spec{32, 16, 2};
+  EXPECT_EQ(kernels::cuda_kernel_name(spec), "mtmvm_32_16_2");
+}
+
+TEST(CudaCodegen, EmitsExactlyTlRegistersOfEachKind) {
+  kernels::DenseKernelSpec spec{200, 32, 7};
+  const auto src = kernels::generate_dense_fused_cuda(spec);
+  for (int t = 1; t <= 7; ++t) {
+    EXPECT_NE(src.find("l_X" + std::to_string(t)), std::string::npos) << t;
+    EXPECT_NE(src.find("l_y" + std::to_string(t)), std::string::npos) << t;
+    EXPECT_NE(src.find("l_w" + std::to_string(t)), std::string::npos) << t;
+  }
+  EXPECT_EQ(src.find("l_X8"), std::string::npos);
+  EXPECT_EQ(src.find("l_w8"), std::string::npos);
+}
+
+TEST(CudaCodegen, NoRuntimeRegisterIndexing) {
+  // The generator's whole purpose (§3.2): no l_X[i]-style indexed access.
+  const auto src =
+      kernels::generate_dense_fused_cuda({512, 128, 4});
+  EXPECT_EQ(src.find("l_X["), std::string::npos);
+  EXPECT_EQ(src.find("l_y["), std::string::npos);
+  EXPECT_EQ(src.find("l_w["), std::string::npos);
+}
+
+TEST(CudaCodegen, UnrolledOffsetsUseVsStride) {
+  const auto src = kernels::generate_dense_fused_cuda({32, 16, 2});
+  // Listing 2: the second element sits VS=16 doubles further.
+  EXPECT_NE(src.find("X[r + 16u]"), std::string::npos);
+  EXPECT_NE(src.find("atomicAdd(wp + 16u, a * l_w2)"), std::string::npos);
+}
+
+TEST(CudaCodegen, StructurallyBalanced) {
+  for (const auto spec :
+       {kernels::DenseKernelSpec{28, 32, 1}, kernels::DenseKernelSpec{200, 32, 7},
+        kernels::DenseKernelSpec{2048, 128, 16},
+        kernels::DenseKernelSpec{64, 64, 1, false, false}}) {
+    const auto src = kernels::generate_dense_fused_cuda(spec);
+    EXPECT_EQ(count_occurrences(src, "{"), count_occurrences(src, "}"));
+    EXPECT_NE(src.find("__global__"), std::string::npos);
+    EXPECT_NE(src.find("atomicAdd"), std::string::npos);
+  }
+}
+
+TEST(CudaCodegen, OptionalPiecesToggle) {
+  kernels::DenseKernelSpec with{100, 32, 4, true, true};
+  kernels::DenseKernelSpec without{100, 32, 4, false, false};
+  const auto a = kernels::generate_dense_fused_cuda(with);
+  const auto b = kernels::generate_dense_fused_cuda(without);
+  EXPECT_NE(a.find("* v["), std::string::npos);
+  EXPECT_NE(a.find("b * z[i]"), std::string::npos);
+  EXPECT_EQ(b.find("v["), std::string::npos);
+  EXPECT_EQ(b.find("z[i]"), std::string::npos);
+}
+
+TEST(CudaCodegen, RejectsInsufficientCoverage) {
+  EXPECT_THROW(kernels::generate_dense_fused_cuda({1000, 32, 2}),
+               Error);
+}
+
+TEST(CudaCodegen, SparseVariants) {
+  const auto shared = kernels::generate_sparse_fused_cuda(8, true);
+  const auto global = kernels::generate_sparse_fused_cuda(8, false);
+  EXPECT_NE(shared.find("__shared__"), std::string::npos);
+  EXPECT_NE(shared.find("SD[NV + col_idx[i]]"), std::string::npos);
+  EXPECT_EQ(global.find("extern __shared__"), std::string::npos);
+  EXPECT_NE(global.find("atomicAdd(&w[col_idx[i]]"), std::string::npos);
+  EXPECT_EQ(count_occurrences(shared, "{"), count_occurrences(shared, "}"));
+  EXPECT_THROW(kernels::generate_sparse_fused_cuda(3, true), Error);
+}
+
+// --- Kernel cache ----------------------------------------------------------------
+
+TEST(KernelCache, GeneratesOnceThenHits) {
+  kernels::KernelCache cache;
+  const kernels::DenseKernelSpec spec{200, 32, 7};
+  const auto& a = cache.dense_kernel(spec);
+  const auto& b = cache.dense_kernel(spec);
+  EXPECT_EQ(&a, &b) << "same specialization must return the cached source";
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(KernelCache, DistinguishesSpecializations) {
+  kernels::KernelCache cache;
+  cache.dense_kernel({200, 32, 7});
+  cache.dense_kernel({200, 32, 8});                       // different TL
+  cache.dense_kernel({200, 32, 7, false, true});          // no v
+  cache.sparse_kernel(8, true);
+  cache.sparse_kernel(8, false);
+  EXPECT_EQ(cache.stats().misses, 5u);
+  EXPECT_EQ(cache.size(), 5u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(KernelCache, ExecutorCachesAcrossIterations) {
+  vgpu::Device dev;
+  patterns::PatternExecutor exec(dev, patterns::Backend::kFused);
+  const auto X = la::dense_random(500, 96, 905);
+  const auto y = la::random_vector(96, 1);
+  for (int it = 0; it < 5; ++it) exec.xt_xy(X, y);
+  EXPECT_EQ(exec.kernel_cache().stats().misses, 1u)
+      << "one generation for the shape";
+  EXPECT_EQ(exec.kernel_cache().stats().hits, 4u)
+      << "iterations 2..5 reuse the generated kernel";
+}
+
+// --- DAG + fusion pass --------------------------------------------------------------
+
+struct DagFixture : ::testing::Test {
+  vgpu::Device dev;
+  la::CsrMatrix X = la::uniform_sparse(800, 120, 0.05, 901);
+  std::vector<real> y = la::random_vector(120, 1);
+  std::vector<real> v = la::random_vector(800, 2);
+  std::vector<real> z = la::random_vector(120, 3);
+};
+
+TEST_F(DagFixture, FusionCollapsesTheFullPattern) {
+  sysml::Runtime rt(dev, {});
+  const auto Xid = rt.add_sparse(X, "X");
+  auto root = sysml::pattern_expression(
+      0.5, sysml::input_matrix(Xid), sysml::input_vector(rt.add_vector(v, "v")),
+      sysml::input_vector(rt.add_vector(y, "y")), 2.0,
+      sysml::input_vector(rt.add_vector(z, "z")));
+
+  sysml::FusionReport report;
+  root = sysml::fuse_patterns(root, &report);
+  EXPECT_EQ(report.patterns_fused, 1);
+  EXPECT_EQ(root->kind, sysml::OpKind::kFusedPattern);
+  EXPECT_DOUBLE_EQ(root->scalar, 0.5);
+  EXPECT_DOUBLE_EQ(root->scalar2, 2.0);
+  EXPECT_LT(report.nodes_after, report.nodes_before);
+}
+
+TEST_F(DagFixture, AllDegenerationsFuse) {
+  sysml::Runtime rt(dev, {});
+  const auto Xn = sysml::input_matrix(rt.add_sparse(X, "X"));
+  const auto yn = sysml::input_vector(rt.add_vector(y, "y"));
+  const auto vn = sysml::input_vector(rt.add_vector(v, "v"));
+  const auto zn = sysml::input_vector(rt.add_vector(z, "z"));
+
+  // X^T(Xy), X^T(v⊙(Xy)), X^T(Xy)+bz, a*X^T(Xy).
+  for (auto root : {sysml::pattern_expression(1, Xn, nullptr, yn, 0, nullptr),
+                    sysml::pattern_expression(1, Xn, vn, yn, 0, nullptr),
+                    sysml::pattern_expression(1, Xn, nullptr, yn, 3, zn),
+                    sysml::pattern_expression(2, Xn, nullptr, yn, 0,
+                                              nullptr)}) {
+    sysml::FusionReport report;
+    root = sysml::fuse_patterns(root, &report);
+    EXPECT_EQ(report.patterns_fused, 1);
+    EXPECT_EQ(root->kind, sysml::OpKind::kFusedPattern);
+  }
+}
+
+TEST_F(DagFixture, DifferentMatricesDoNotFuse) {
+  sysml::Runtime rt(dev, {});
+  const auto X2 = la::uniform_sparse(120, 800, 0.05, 902);  // X^T shape
+  const auto Xa = sysml::input_matrix(rt.add_sparse(X, "X"));
+  const auto Xb = sysml::input_matrix(rt.add_sparse(X2, "X2"));
+  const auto yn = sysml::input_vector(rt.add_vector(y, "y"));
+  // mvt(X2, mv(X, y)): valid algebra but NOT the reuse pattern.
+  auto root = sysml::mvt(Xb, sysml::mv(Xa, yn));
+  sysml::FusionReport report;
+  root = sysml::fuse_patterns(root, &report);
+  EXPECT_EQ(report.patterns_fused, 0);
+  EXPECT_NE(root->kind, sysml::OpKind::kFusedPattern);
+}
+
+TEST_F(DagFixture, FusedAndUnfusedExecutionsAgreeWithOracle) {
+  const auto expect = la::reference::pattern(0.5, X, v, y, 2.0, z);
+  for (bool fuse : {false, true}) {
+    sysml::Runtime rt(dev, {});
+    auto root = sysml::pattern_expression(
+        0.5, sysml::input_matrix(rt.add_sparse(X, "X")),
+        sysml::input_vector(rt.add_vector(v, "v")),
+        sysml::input_vector(rt.add_vector(y, "y")), 2.0,
+        sysml::input_vector(rt.add_vector(z, "z")));
+    if (fuse) root = sysml::fuse_patterns(root);
+    const auto out = sysml::execute(rt, root);
+    expect_vectors_near(expect, rt.read_vector(out), 1e-8);
+  }
+}
+
+TEST_F(DagFixture, FusionReducesOpsAndTime) {
+  const auto big = la::uniform_sparse(40000, 500, 0.02, 903);
+  const auto yy = la::random_vector(500, 4);
+  const auto vv = la::random_vector(40000, 5);
+  double fused_ms = 0, unfused_ms = 0;
+  std::uint64_t fused_ops = 0, unfused_ops = 0;
+  for (bool fuse : {false, true}) {
+    sysml::Runtime rt(dev, {});
+    auto root = sysml::pattern_expression(
+        1, sysml::input_matrix(rt.add_sparse(big, "X")),
+        sysml::input_vector(rt.add_vector(vv, "v")),
+        sysml::input_vector(rt.add_vector(yy, "y")), 0, nullptr);
+    if (fuse) root = sysml::fuse_patterns(root);
+    sysml::execute(rt, root);
+    const auto& s = rt.stats();
+    (fuse ? fused_ms : unfused_ms) = s.total_ms();
+    (fuse ? fused_ops : unfused_ops) = s.gpu_ops + s.cpu_ops;
+  }
+  EXPECT_LT(fused_ops, unfused_ops);
+  EXPECT_LT(fused_ms, unfused_ms);
+}
+
+TEST_F(DagFixture, NestedPatternInsideLargerExpressionFuses) {
+  sysml::Runtime rt(dev, {});
+  const auto Xn = sysml::input_matrix(rt.add_sparse(X, "X"));
+  const auto yn = sysml::input_vector(rt.add_vector(y, "y"));
+  const auto zn = sysml::input_vector(rt.add_vector(z, "z"));
+  // 3 * (X^T(Xy)) + z as scale/add around a fusable core — core fuses,
+  // the surrounding ops stay.
+  auto root = sysml::add(
+      sysml::scale(3.0, sysml::mvt(Xn, sysml::mv(Xn, yn))),
+      zn);
+  sysml::FusionReport report;
+  root = sysml::fuse_patterns(root, &report);
+  EXPECT_EQ(report.patterns_fused, 1);
+  // The whole expression IS the pattern with beta=1: root collapses fully.
+  EXPECT_EQ(root->kind, sysml::OpKind::kFusedPattern);
+  EXPECT_DOUBLE_EQ(root->scalar, 3.0);
+  EXPECT_DOUBLE_EQ(root->scalar2, 1.0);
+
+  const auto out = sysml::execute(rt, root);
+  auto expect = la::reference::pattern(3.0, X, {}, y, 0, {});
+  la::axpy(1.0, z, expect);
+  expect_vectors_near(expect, rt.read_vector(out), 1e-8);
+}
+
+TEST(Dag, CountNodesHandlesSharing) {
+  auto leaf = sysml::input_vector(1);
+  auto shared = sysml::scale(2.0, leaf);
+  auto root = sysml::add(shared, shared);  // diamond
+  EXPECT_EQ(sysml::count_nodes(root), 3);
+}
+
+}  // namespace
+}  // namespace fusedml

@@ -1,0 +1,215 @@
+// Unit tests for src/common: RNG determinism and distributions, stats,
+// table rendering, CLI parsing, profiler accounting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/cli.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/timer.h"
+
+namespace fusedml {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double lo = 1.0, hi = 0.0, sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+  EXPECT_LT(lo, 0.01);
+  EXPECT_GT(hi, 0.99);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  const int n = 50000;
+  double sum = 0, sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, PoissonMean) {
+  Rng rng(13);
+  for (double lambda : {0.5, 4.0, 60.0}) {
+    const int n = 20000;
+    double sum = 0;
+    for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(lambda));
+    EXPECT_NEAR(sum / n, lambda, lambda * 0.1 + 0.05) << "lambda=" << lambda;
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementIsSortedAndDistinct) {
+  Rng rng(17);
+  const auto s = rng.sample_without_replacement(100, 30);
+  ASSERT_EQ(s.size(), 30u);
+  for (usize i = 1; i < s.size(); ++i) {
+    ASSERT_LT(s[i - 1], s[i]);
+  }
+  for (index_t v : s) {
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 100);
+  }
+}
+
+TEST(Rng, SampleWholeRange) {
+  Rng rng(19);
+  const auto s = rng.sample_without_replacement(10, 10);
+  ASSERT_EQ(s.size(), 10u);
+  for (index_t i = 0; i < 10; ++i) EXPECT_EQ(s[static_cast<usize>(i)], i);
+}
+
+TEST(Rng, UniformIndexRejectsZero) {
+  Rng rng(23);
+  EXPECT_THROW(rng.uniform_index(0), Error);
+}
+
+TEST(Stats, MeanStddev) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(mean(xs), 3.0);
+  EXPECT_NEAR(stddev(xs), std::sqrt(2.5), 1e-12);
+}
+
+TEST(Stats, Geomean) {
+  const std::vector<double> xs = {1, 4, 16};
+  EXPECT_NEAR(geomean(xs), 4.0, 1e-12);
+  EXPECT_THROW(geomean(std::vector<double>{1.0, -1.0}), Error);
+}
+
+TEST(Stats, Percentile) {
+  const std::vector<double> xs = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 40);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 25);
+}
+
+TEST(Stats, SummaryOfEmpty) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.max, 0.0);
+}
+
+TEST(Table, RendersAllCells) {
+  Table t({"a", "bb"});
+  t.row().add("x").add(1.5, 1);
+  t.row().add(42LL).add("y");
+  const std::string s = t.str();
+  EXPECT_NE(s.find("x"), std::string::npos);
+  EXPECT_NE(s.find("1.5"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, MarkdownShape) {
+  Table t({"h1", "h2"});
+  t.row().add("a").add("b");
+  const std::string md = t.markdown();
+  EXPECT_NE(md.find("| h1 | h2 |"), std::string::npos);
+  EXPECT_NE(md.find("| a | b |"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"name", "value"});
+  t.row().add("plain").add("a,b");
+  t.row().add("quo\"te").add("multi\nline");
+  const std::string csv = t.csv();
+  EXPECT_NE(csv.find("name,value\n"), std::string::npos);
+  EXPECT_NE(csv.find("plain,\"a,b\"\n"), std::string::npos);
+  EXPECT_NE(csv.find("\"quo\"\"te\""), std::string::npos);
+  EXPECT_NE(csv.find("\"multi\nline\""), std::string::npos);
+}
+
+TEST(Table, RejectsExtraCells) {
+  Table t({"only"});
+  t.row().add("1");
+  EXPECT_THROW(t.add("2"), Error);
+}
+
+TEST(Cli, ParsesForms) {
+  const char* argv[] = {"prog", "--rows", "100", "--name=abc", "--flag"};
+  Cli cli(5, argv);
+  EXPECT_EQ(cli.get_int("rows", 1), 100);
+  EXPECT_EQ(cli.get_string("name", ""), "abc");
+  EXPECT_TRUE(cli.get_bool("flag", false));
+  EXPECT_EQ(cli.get_double("absent", 2.5), 2.5);
+  cli.finish();
+}
+
+TEST(Cli, RejectsUnknownFlag) {
+  const char* argv[] = {"prog", "--bogus", "1"};
+  Cli cli(3, argv);
+  cli.get_int("rows", 1);
+  EXPECT_THROW(cli.finish(), Error);
+}
+
+TEST(Cli, HelpRequested) {
+  const char* argv[] = {"prog", "--help"};
+  Cli cli(2, argv);
+  EXPECT_TRUE(cli.help_requested());
+}
+
+TEST(Profiler, PercentagesSumToHundred) {
+  Profiler p;
+  p.add("pattern", 80.0);
+  p.add("blas1", 20.0);
+  EXPECT_DOUBLE_EQ(p.total_ms(), 100.0);
+  EXPECT_DOUBLE_EQ(p.percent("pattern"), 80.0);
+  EXPECT_DOUBLE_EQ(p.percent("blas1"), 20.0);
+  const auto order = p.buckets_by_time();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], "pattern");
+}
+
+TEST(Profiler, ScopedTimerAccumulates) {
+  Profiler p;
+  {
+    ScopedTimer t(p, "work");
+  }
+  EXPECT_GE(p.bucket_ms("work"), 0.0);
+  EXPECT_EQ(p.buckets_by_time().size(), 1u);
+}
+
+TEST(ErrorMacro, ThrowsWithContext) {
+  try {
+    FUSEDML_CHECK(false, "context message");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("context message"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace fusedml

@@ -1,0 +1,217 @@
+// Tests for the paper's extension points: out-of-core streaming execution
+// (§3's streaming design) and hybrid CPU+GPU execution (§5 future work).
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "kernels/hybrid.h"
+#include "kernels/streaming.h"
+#include "la/generate.h"
+#include "la/vector_ops.h"
+#include "test_util.h"
+
+namespace fusedml::kernels {
+namespace {
+
+using la::random_vector;
+using la::uniform_sparse;
+using test::expect_vectors_near;
+
+// --- Row slicing ----------------------------------------------------------
+
+TEST(RowSlice, SliceMatchesOriginalRows) {
+  const auto X = uniform_sparse(100, 40, 0.2, 701);
+  const auto S = csr_row_slice(X, 20, 50);
+  ASSERT_EQ(S.rows(), 30);
+  ASSERT_EQ(S.cols(), X.cols());
+  for (index_t r = 0; r < 30; ++r) {
+    ASSERT_EQ(S.row_nnz(r), X.row_nnz(r + 20));
+    for (offset_t i = 0; i < S.row_nnz(r); ++i) {
+      EXPECT_EQ(S.col_idx()[static_cast<usize>(S.row_begin(r) + i)],
+                X.col_idx()[static_cast<usize>(X.row_begin(r + 20) + i)]);
+      EXPECT_EQ(S.values()[static_cast<usize>(S.row_begin(r) + i)],
+                X.values()[static_cast<usize>(X.row_begin(r + 20) + i)]);
+    }
+  }
+}
+
+TEST(RowSlice, EdgeSlices) {
+  const auto X = uniform_sparse(50, 20, 0.2, 702);
+  EXPECT_EQ(csr_row_slice(X, 0, 50), X);
+  EXPECT_EQ(csr_row_slice(X, 10, 10).rows(), 0);
+  EXPECT_THROW(csr_row_slice(X, 30, 20), Error);
+  EXPECT_THROW(csr_row_slice(X, 0, 51), Error);
+}
+
+TEST(RowSlice, SlicesConcatenateToWhole) {
+  const auto X = uniform_sparse(77, 30, 0.15, 703);
+  const auto y = random_vector(30, 1);
+  auto full = la::reference::spmv(X, y);
+  std::vector<real> stitched;
+  for (index_t r0 = 0; r0 < 77; r0 += 13) {
+    const auto r1 = std::min<index_t>(77, r0 + 13);
+    const auto part =
+        la::reference::spmv(csr_row_slice(X, r0, r1), y);
+    stitched.insert(stitched.end(), part.begin(), part.end());
+  }
+  expect_vectors_near(full, stitched);
+}
+
+// --- Streaming (out-of-core) ------------------------------------------------
+
+TEST(Streaming, MatchesInCoreFusedResult) {
+  vgpu::Device dev;
+  const auto X = uniform_sparse(3000, 200, 0.05, 711);
+  const auto y = random_vector(200, 2);
+  const auto v = random_vector(3000, 3);
+  const auto z = random_vector(200, 4);
+  const auto expect = la::reference::pattern(1.5, X, v, y, -0.5, z);
+
+  StreamingOptions opts;
+  opts.panel_rows = 700;  // forces 5 panels
+  const auto r = streaming_pattern_sparse(dev, 1.5, X, v, y, -0.5, z, opts);
+  expect_vectors_near(expect, r.op.value);
+  EXPECT_EQ(r.panels, 5);
+  EXPECT_GT(r.transfer_ms, 0.0);
+}
+
+TEST(Streaming, SinglePanelWhenItFits) {
+  vgpu::Device dev;
+  const auto X = uniform_sparse(500, 100, 0.1, 712);
+  const auto y = random_vector(100, 5);
+  const auto r = streaming_pattern_sparse(dev, 1, X, {}, y, 0, {});
+  EXPECT_EQ(r.panels, 1);
+  expect_vectors_near(la::reference::pattern(1, X, {}, y, 0, {}),
+                      r.op.value);
+}
+
+TEST(Streaming, OverlapBeatsSerialPipeline) {
+  vgpu::Device dev;
+  const auto X = uniform_sparse(20000, 300, 0.05, 713);
+  const auto y = random_vector(300, 6);
+  StreamingOptions overlap, serial;
+  overlap.panel_rows = serial.panel_rows = 2500;
+  serial.overlap_transfers = false;
+  const auto a = streaming_pattern_sparse(dev, 1, X, {}, y, 0, {}, overlap);
+  const auto b = streaming_pattern_sparse(dev, 1, X, {}, y, 0, {}, serial);
+  EXPECT_LT(a.pipeline_ms, b.pipeline_ms);
+  EXPECT_LT(a.overlap_efficiency(), 1.0);
+  EXPECT_NEAR(b.overlap_efficiency(), 1.0, 1e-9);
+}
+
+TEST(Streaming, BudgetDerivesSanePanels) {
+  const auto X = uniform_sparse(10000, 200, 0.05, 714);
+  // Budget a quarter of the matrix: expect several panels.
+  const usize budget = X.bytes() / 4 + (1 << 21);
+  const auto rows = derive_panel_rows(X, budget);
+  EXPECT_GT(rows, 0);
+  EXPECT_LT(rows, X.rows());
+  EXPECT_THROW(derive_panel_rows(X, 100), Error);  // absurd budget
+}
+
+TEST(Streaming, BetaZAppliedExactlyOnce) {
+  vgpu::Device dev;
+  const auto X = uniform_sparse(900, 50, 0.1, 715);
+  const auto y = random_vector(50, 7);
+  const auto z = random_vector(50, 8);
+  StreamingOptions opts;
+  opts.panel_rows = 100;  // 9 panels: a per-panel beta bug would show 9x
+  const auto r = streaming_pattern_sparse(dev, 1, X, {}, y, 3.0, z, opts);
+  expect_vectors_near(la::reference::pattern(1, X, {}, y, 3.0, z),
+                      r.op.value);
+}
+
+TEST(StreamingDense, MatchesInCoreFusedResult) {
+  vgpu::Device dev;
+  const auto X = la::dense_random(1200, 96, 716);
+  const auto y = random_vector(96, 20);
+  const auto v = random_vector(1200, 21);
+  const auto z = random_vector(96, 22);
+  const auto expect = la::reference::pattern(0.5, X, v, y, 1.5, z);
+  DenseStreamingOptions opts;
+  opts.panel_rows = 250;  // 5 panels
+  const auto r =
+      streaming_pattern_dense(dev, 0.5, X, v, y, 1.5, z, opts);
+  expect_vectors_near(expect, r.op.value, 1e-8);
+  EXPECT_EQ(r.panels, 5);
+}
+
+TEST(StreamingDense, RowSliceMatches) {
+  const auto X = la::dense_random(40, 10, 717);
+  const auto S = dense_row_slice(X, 5, 25);
+  ASSERT_EQ(S.rows(), 20);
+  for (index_t r = 0; r < 20; ++r) {
+    for (index_t c = 0; c < 10; ++c) {
+      EXPECT_EQ(S.at(r, c), X.at(r + 5, c));
+    }
+  }
+}
+
+TEST(StreamingDense, BudgetDrivesPanelCount) {
+  vgpu::Device dev;
+  const auto X = la::dense_random(4000, 64, 718);
+  const auto y = random_vector(64, 23);
+  DenseStreamingOptions opts;
+  opts.device_budget_bytes = X.bytes() / 3 + (1 << 20);
+  const auto r = streaming_pattern_dense(dev, 1, X, {}, y, 0, {}, opts);
+  EXPECT_GT(r.panels, 1);
+  expect_vectors_near(la::reference::pattern(1, X, {}, y, 0, {}),
+                      r.op.value, 1e-8);
+}
+
+// --- Hybrid CPU+GPU -----------------------------------------------------------
+
+TEST(Hybrid, MatchesReferenceAtAnySplit) {
+  vgpu::Device dev;
+  const auto X = uniform_sparse(2000, 150, 0.05, 721);
+  const auto y = random_vector(150, 9);
+  const auto v = random_vector(2000, 10);
+  const auto z = random_vector(150, 11);
+  const auto expect = la::reference::pattern(2.0, X, v, y, 0.5, z);
+  for (double f : {0.0, 0.3, 0.5, 0.9, 1.0}) {
+    HybridOptions opts;
+    opts.gpu_fraction = f;
+    const auto r = hybrid_pattern_sparse(dev, 2.0, X, v, y, 0.5, z, opts);
+    expect_vectors_near(expect, r.value);
+    EXPECT_NEAR(r.gpu_fraction, f, 1e-12);
+  }
+}
+
+TEST(Hybrid, AutoSplitFavorsTheGpu) {
+  vgpu::Device dev;
+  const CpuBackend cpu;
+  const auto X = uniform_sparse(1000, 100, 0.05, 722);
+  const double f = choose_split(dev, cpu, X);
+  EXPECT_GT(f, 0.7) << "a 288 GB/s device should take most of the rows";
+  EXPECT_LT(f, 1.0) << "but the CPU contributes something";
+}
+
+TEST(Hybrid, BalancedSplitBeatsEitherAlone) {
+  vgpu::Device dev;
+  const auto X = uniform_sparse(60000, 400, 0.02, 723);
+  const auto y = random_vector(400, 12);
+  HybridOptions gpu_only, cpu_only;
+  gpu_only.gpu_fraction = 1.0;
+  cpu_only.gpu_fraction = 0.0;
+  const auto g = hybrid_pattern_sparse(dev, 1, X, {}, y, 0, {}, gpu_only);
+  const auto c = hybrid_pattern_sparse(dev, 1, X, {}, y, 0, {}, cpu_only);
+  const auto h = hybrid_pattern_sparse(dev, 1, X, {}, y, 0, {});
+  EXPECT_LT(h.total_ms, c.total_ms);
+  // The combine overhead is tiny, so the balanced split should not lose
+  // to GPU-only by more than that overhead.
+  EXPECT_LT(h.total_ms, g.total_ms + h.combine_ms + 1e-9);
+  expect_vectors_near(g.value, h.value, 1e-7);
+}
+
+TEST(Hybrid, SidesOverlapInTotalTime) {
+  vgpu::Device dev;
+  const auto X = uniform_sparse(5000, 100, 0.1, 724);
+  const auto y = random_vector(100, 13);
+  HybridOptions opts;
+  opts.gpu_fraction = 0.5;
+  const auto r = hybrid_pattern_sparse(dev, 1, X, {}, y, 0, {}, opts);
+  EXPECT_GE(r.total_ms, std::max(r.gpu_ms, r.cpu_ms));
+  EXPECT_LT(r.total_ms, r.gpu_ms + r.cpu_ms + r.combine_ms);
+}
+
+}  // namespace
+}  // namespace fusedml::kernels

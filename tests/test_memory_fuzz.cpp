@@ -1,0 +1,142 @@
+// Randomized stress test of the GPU memory manager: thousands of random
+// operations must never violate the §4.4 invariants — capacity respected,
+// residency/dirty state consistent, every dirty eviction written back,
+// transfer accounting monotone.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "sysml/memory_manager.h"
+#include "vgpu/device.h"
+
+namespace fusedml::sysml {
+namespace {
+
+class MemoryFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MemoryFuzz, InvariantsHoldUnderRandomOperations) {
+  Rng rng(GetParam());
+  vgpu::Device dev;
+  const usize capacity = 24 * 1024;
+  MemoryManager mm(dev, capacity);
+
+  // Shadow model: what we believe the manager's state is.
+  struct Shadow {
+    usize bytes;
+    bool registered = true;
+  };
+  std::map<TensorId, Shadow> shadow;
+  TensorId next_id = 1;
+
+  // Seed tensors.
+  for (int i = 0; i < 8; ++i) {
+    const usize bytes = 1024 + rng.uniform_index(12 * 1024);
+    mm.register_tensor(next_id, bytes, "t" + std::to_string(next_id));
+    shadow[next_id] = {bytes};
+    ++next_id;
+  }
+
+  std::uint64_t last_h2d = 0, last_d2h = 0;
+  for (int step = 0; step < 3000; ++step) {
+    // Pick a live tensor.
+    auto it = shadow.begin();
+    std::advance(it, static_cast<long>(rng.uniform_index(shadow.size())));
+    const TensorId id = it->first;
+
+    switch (rng.uniform_index(8)) {
+      case 0:
+      case 1:
+        mm.ensure_on_device(id);
+        EXPECT_TRUE(mm.on_device(id));
+        EXPECT_NE(mm.residency(id), Residency::kHostOnly);
+        break;
+      case 2:
+        mm.ensure_on_host(id);
+        EXPECT_NE(mm.residency(id), Residency::kDeviceDirty);
+        break;
+      case 3:
+        if (mm.on_device(id)) {
+          mm.mark_device_dirty(id);
+          EXPECT_EQ(mm.residency(id), Residency::kDeviceDirty);
+        }
+        break;
+      case 4:
+        mm.mark_host_dirty(id);
+        EXPECT_TRUE(mm.residency(id) == Residency::kHostDirty ||
+                    mm.residency(id) == Residency::kHostOnly);
+        break;
+      case 5:
+        mm.release(id);
+        EXPECT_FALSE(mm.on_device(id));
+        break;
+      case 6:
+        mm.allocate_on_device(id);
+        EXPECT_EQ(mm.residency(id), Residency::kDeviceDirty);
+        break;
+      case 7:
+        // Churn: replace a tensor with a fresh one.
+        if (shadow.size() > 2) {
+          mm.unregister(id);
+          shadow.erase(id);
+        }
+        {
+          const usize bytes = 1024 + rng.uniform_index(12 * 1024);
+          mm.register_tensor(next_id, bytes,
+                             "t" + std::to_string(next_id));
+          shadow[next_id] = {bytes};
+          ++next_id;
+        }
+        break;
+    }
+
+    // Global invariants after every operation.
+    ASSERT_LE(mm.device_bytes_in_use(), mm.capacity()) << "step " << step;
+    ASSERT_LE(mm.stats().peak_device_bytes, mm.capacity());
+    // Transfer accounting only ever grows.
+    ASSERT_GE(mm.stats().h2d_transfers, last_h2d);
+    ASSERT_GE(mm.stats().d2h_transfers, last_d2h);
+    last_h2d = mm.stats().h2d_transfers;
+    last_d2h = mm.stats().d2h_transfers;
+    // Sum of resident shadow tensors can never exceed capacity either.
+    usize resident = 0;
+    for (const auto& [tid, s] : shadow) {
+      if (mm.on_device(tid)) resident += s.bytes;
+    }
+    ASSERT_EQ(resident, mm.device_bytes_in_use()) << "step " << step;
+  }
+  // The run must have exercised the interesting machinery.
+  EXPECT_GT(mm.stats().h2d_transfers, 100u);
+  EXPECT_GT(mm.stats().evictions, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MemoryFuzz,
+                         ::testing::Values(101u, 202u, 303u, 404u));
+
+TEST(MemoryFuzzDeterminism, SameSeedSameStats) {
+  for (int run = 0; run < 2; ++run) {
+    // The fuzz body above is deterministic per seed; spot-check by
+    // replaying a small interaction trace twice.
+    vgpu::Device dev;
+    MemoryManager mm(dev, 8192);
+    mm.register_tensor(1, 3000, "a");
+    mm.register_tensor(2, 3000, "b");
+    mm.register_tensor(3, 3000, "c");
+    mm.ensure_on_device(1);
+    mm.mark_device_dirty(1);
+    mm.ensure_on_device(2);
+    mm.ensure_on_device(3);  // evicts 1 (dirty -> write-back)
+    static std::uint64_t first_h2d, first_d2h;
+    if (run == 0) {
+      first_h2d = mm.stats().h2d_transfers;
+      first_d2h = mm.stats().d2h_transfers;
+    } else {
+      EXPECT_EQ(mm.stats().h2d_transfers, first_h2d);
+      EXPECT_EQ(mm.stats().d2h_transfers, first_d2h);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fusedml::sysml

@@ -1,0 +1,209 @@
+// Tests for the §3.3 analytical launch-parameter model and the exhaustive
+// autotuner, including the paper's own worked examples.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "kernels/resource_profile.h"
+#include "tuner/autotune.h"
+#include "tuner/launch_params.h"
+#include "vgpu/device_spec.h"
+
+namespace fusedml::tuner {
+namespace {
+
+const vgpu::DeviceSpec kTitan = vgpu::gtx_titan();
+
+// --- Equation 4 (sparse VS) --------------------------------------------------
+
+TEST(Eq4, VectorSizeBands) {
+  EXPECT_EQ(sparse_vector_size(0.5), 1);
+  EXPECT_EQ(sparse_vector_size(2.0), 1);   // mu > 2 required for VS=2
+  EXPECT_EQ(sparse_vector_size(2.5), 2);
+  EXPECT_EQ(sparse_vector_size(4.0), 2);
+  EXPECT_EQ(sparse_vector_size(5.0), 4);
+  EXPECT_EQ(sparse_vector_size(10.0), 8);
+  EXPECT_EQ(sparse_vector_size(20.0), 16);
+  EXPECT_EQ(sparse_vector_size(32.0), 16);
+  EXPECT_EQ(sparse_vector_size(33.0), 32);
+  EXPECT_EQ(sparse_vector_size(1000.0), 32);
+}
+
+TEST(Eq4, PaperFig6Setting) {
+  // 500k x 1k, sparsity 0.01 => mu = 10 => VS = 8, as §4.3 states.
+  EXPECT_EQ(sparse_vector_size(0.01 * 1000), 8);
+}
+
+// --- Sparse model --------------------------------------------------------------
+
+TEST(SparseModel, SharedAggregationFeasibility) {
+  // 48KB / 8B = 6144 words; §3.1: "the limit on n is close to 6K".
+  EXPECT_TRUE(shared_aggregation_feasible(kTitan, 6000, 8));
+  EXPECT_FALSE(shared_aggregation_feasible(kTitan, 7000, 8));
+}
+
+TEST(SparseModel, PicksSharedForSmallN) {
+  const auto p = sparse_launch_params(kTitan, 500000, 1000, 10.0);
+  EXPECT_TRUE(p.shared_aggregation);
+  EXPECT_EQ(p.config.vector_size, 8);
+  EXPECT_GT(p.config.block_size, 0);
+  EXPECT_EQ(p.config.block_size % 32, 0);
+  // Shared memory matches the paper's formula (BS/VS + n) * 8.
+  EXPECT_EQ(p.config.resources.smem_per_block,
+            kernels::sparse_fused_smem_bytes(p.config.block_size, 8, 1000));
+}
+
+TEST(SparseModel, PicksGlobalForHugeN) {
+  const auto p = sparse_launch_params(kTitan, 150000, 300000, 28.0);
+  EXPECT_FALSE(p.shared_aggregation);
+  EXPECT_EQ(p.config.vector_size, 16);  // mu = 28 -> 16
+}
+
+TEST(SparseModel, ForcingSharedOnHugeNThrows) {
+  EXPECT_THROW(sparse_launch_params(kTitan, 1000, 300000, 28.0,
+                                    Aggregation::kShared),
+               fusedml::Error);
+}
+
+TEST(SparseModel, CoarseningCoversAllRows) {
+  for (index_t m : {100, 10000, 500000}) {
+    const auto p = sparse_launch_params(kTitan, m, 1000, 10.0);
+    const long long total_vectors =
+        static_cast<long long>(p.config.grid_size) *
+        (p.config.block_size / p.config.vector_size);
+    EXPECT_GE(total_vectors * p.config.coarsening, m) << "m=" << m;
+    // And not absurdly over-provisioned (balanced, Eq. 5).
+    EXPECT_LT(total_vectors * (p.config.coarsening - 1), m) << "m=" << m;
+  }
+}
+
+TEST(SparseModel, GridIsResidentBlocks) {
+  const auto p = sparse_launch_params(kTitan, 500000, 1000, 10.0);
+  EXPECT_EQ(p.config.grid_size,
+            p.occupancy.blocks_per_sm * kTitan.num_sms);
+}
+
+// --- Equation 6 + dense model ----------------------------------------------------
+
+TEST(Eq6, DenseVectorSize) {
+  // n/TL > 32 -> VS = BS.
+  EXPECT_EQ(dense_vector_size(2048, 4, 128), 128);
+  // n/TL in (16, 32] -> VS = 32.
+  EXPECT_EQ(dense_vector_size(200, 7, 128), 32);
+  // Exact power: n/TL = 16 -> VS = 16.
+  EXPECT_EQ(dense_vector_size(64, 4, 128), 16);
+  EXPECT_EQ(dense_vector_size(1, 1, 128), 1);
+}
+
+TEST(DenseModel, PaperWastedWarpExample) {
+  // §3.3: BS=128, n=200: TL=2 wastes one warp load; TL=7 wastes none.
+  EXPECT_EQ(dense_vector_size(200, 2, 128), 128);
+  EXPECT_EQ((128 * 2 - 200) / 32, 1);  // TL=2: one wasted warp
+  EXPECT_EQ(dense_vector_size(200, 7, 128), 32);
+  EXPECT_EQ((32 * 7 - 200) / 32, 0);   // TL=7: none
+  const auto p = dense_launch_params(kTitan, 100000, 200);
+  EXPECT_EQ(p.wasted_warps, 0) << "model should avoid wasted warp loads";
+}
+
+TEST(DenseModel, TinyNSpecialCase) {
+  // §3.3: n <= 32 -> BS = 1024 and TL = 1.
+  const auto p = dense_launch_params(kTitan, 100000, 28);
+  EXPECT_EQ(p.config.block_size, 1024);
+  EXPECT_EQ(p.config.thread_load, 1);
+  EXPECT_GE(p.config.vector_size * p.config.thread_load, 28);
+}
+
+TEST(DenseModel, RegisterBudgetRespected) {
+  for (index_t n : {64, 200, 512, 2048, 5000}) {
+    const auto p = dense_launch_params(kTitan, 100000, n);
+    EXPECT_LE(p.config.resources.regs_per_thread, 255) << "n=" << n;
+    EXPECT_LE(p.config.thread_load, kernels::kDenseFusedMaxThreadLoad);
+    // Row coverage invariant.
+    EXPECT_GE(static_cast<long long>(p.config.vector_size) *
+                  p.config.thread_load,
+              n);
+  }
+}
+
+TEST(DenseModel, RegsGrowWithThreadLoad) {
+  EXPECT_EQ(kernels::dense_fused_regs_per_thread(1), 23);
+  EXPECT_EQ(kernels::dense_fused_regs_per_thread(40), 255);
+  EXPECT_LT(kernels::dense_fused_regs_per_thread(10),
+            kernels::dense_fused_regs_per_thread(30));
+}
+
+// --- Exhaustive search ------------------------------------------------------------
+
+TEST(Autotune, ModelLandsNearOptimum) {
+  // Synthetic convex cost surface: minimized exactly at the model's pick,
+  // so the search must (a) find it and (b) rank the model in the top 1%.
+  const auto model = sparse_launch_params(kTitan, 500000, 1000, 10.0);
+  const auto eval = [&](const SearchPoint& p) -> double {
+    const double db = std::log2(static_cast<double>(p.block_size) /
+                                model.config.block_size);
+    const double dc = std::log2(static_cast<double>(p.coarsening) /
+                                model.config.coarsening);
+    return 1.0 + db * db + dc * dc;
+  };
+  const auto result = exhaustive_search(kTitan, 500000, 1000, 10.0, eval);
+  EXPECT_GT(result.points.size(), 300u);
+  EXPECT_NEAR(result.best_ms, 1.0, 1e-9);
+  EXPECT_LT(result.model_gap_fraction(), 0.02);
+  EXPECT_LT(result.model_rank_fraction(), 0.01);
+  EXPECT_GT(result.worst_ms, result.best_ms);
+}
+
+TEST(Autotune, InfeasiblePointsSkipped) {
+  const auto eval = [&](const SearchPoint& p) -> double {
+    return p.block_size > 512 ? -1.0 : 1.0;  // mark big blocks infeasible
+  };
+  const auto result = exhaustive_search(kTitan, 100000, 1000, 10.0, eval);
+  for (const auto& p : result.points) {
+    if (p.block_size > 512) {
+      EXPECT_FALSE(p.feasible);
+    }
+  }
+  EXPECT_DOUBLE_EQ(result.best_ms, 1.0);
+}
+
+TEST(Autotune, DenseSearchFindsModelNearOptimum) {
+  // Synthetic cost surface centered on the model's (TL, BS) pick.
+  const auto model = dense_launch_params(kTitan, 100000, 200);
+  const auto eval = [&](const DenseSearchPoint& p) -> double {
+    const double dt = p.thread_load - model.config.thread_load;
+    const double db = std::log2(static_cast<double>(p.block_size) /
+                                model.config.block_size);
+    return 1.0 + 0.01 * dt * dt + db * db;
+  };
+  const auto result = dense_exhaustive_search(kTitan, 100000, 200, eval);
+  EXPECT_GT(result.points.size(), 40u);
+  EXPECT_NEAR(result.best_ms, 1.0, 1e-9);
+  EXPECT_LT(result.model_gap_fraction(), 0.02);
+  // Infeasible (TL too small to cover the row at the Eq.6 VS) points exist
+  // and are marked.
+  bool any_infeasible = false;
+  for (const auto& p : result.points) any_infeasible |= !p.feasible;
+  EXPECT_TRUE(any_infeasible);
+}
+
+TEST(Autotune, DenseSearchPointsCoverRow) {
+  const auto eval = [&](const DenseSearchPoint& p) -> double {
+    EXPECT_GE(static_cast<long long>(p.vector_size) * p.thread_load, 512);
+    return 1.0;
+  };
+  dense_exhaustive_search(kTitan, 50000, 512, eval);
+}
+
+TEST(Autotune, GridCoversRowsAtEveryPoint) {
+  const auto eval = [&](const SearchPoint& p) -> double {
+    const long long vectors =
+        static_cast<long long>(p.grid_size) * (p.block_size / p.vector_size);
+    EXPECT_GE(vectors * p.coarsening, 100000);
+    return 1.0;
+  };
+  exhaustive_search(kTitan, 100000, 1000, 10.0, eval);
+}
+
+}  // namespace
+}  // namespace fusedml::tuner

@@ -1,0 +1,28 @@
+// Shared helpers for the fusedml test suites.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "la/vector_ops.h"
+
+namespace fusedml::test {
+
+/// Asserts two vectors match within an absolute-plus-relative tolerance.
+/// Atomic aggregation orders differ between backends, so results are equal
+/// only up to floating-point reassociation.
+inline void expect_vectors_near(std::span<const real> expected,
+                                std::span<const real> actual,
+                                real tol = 1e-9) {
+  ASSERT_EQ(expected.size(), actual.size());
+  for (usize i = 0; i < expected.size(); ++i) {
+    const real scale = std::max<real>(1.0, std::abs(expected[i]));
+    ASSERT_NEAR(expected[i], actual[i], tol * scale)
+        << "at index " << i;
+  }
+}
+
+}  // namespace fusedml::test
