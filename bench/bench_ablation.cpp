@@ -28,7 +28,7 @@
 
 using namespace fusedml;
 
-int main(int argc, char** argv) {
+static int run_bench(int argc, char** argv) {
   Cli cli(argc, argv);
   const auto rows = static_cast<index_t>(
       cli.get_int("rows", 50000, "rows for the sparse ablations"));
@@ -239,4 +239,8 @@ int main(int argc, char** argv) {
               << t;
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return fusedml::bench::guarded_main([&] { return run_bench(argc, argv); });
 }

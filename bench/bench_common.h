@@ -11,17 +11,36 @@
 //    flags to run the paper's full 500k-row configuration.
 #pragma once
 
+#include <exception>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/cli.h"
+#include "common/error.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "common/types.h"
 
 namespace fusedml::bench {
+
+/// Shared top-level exception barrier: every bench (and example) `main`
+/// delegates here so a fusedml::Error exits with one clean line and a
+/// non-zero status instead of std::terminate's abort + core dump.
+template <typename Run>
+int guarded_main(Run&& run) {
+  try {
+    return run();
+  } catch (const Error& e) {
+    std::cerr << "error [" << to_string(e.code()) << "]: " << e.what()
+              << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
 
 inline void print_header(const std::string& id, const std::string& what) {
   std::cout << "\n==================================================================\n"

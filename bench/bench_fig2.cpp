@@ -27,7 +27,7 @@
 
 using namespace fusedml;
 
-int main(int argc, char** argv) {
+static int run_bench(int argc, char** argv) {
   Cli cli(argc, argv);
   const auto rows = static_cast<index_t>(
       cli.get_int("rows", 100000, "rows in X (paper: 500000)"));
@@ -103,4 +103,8 @@ int main(int argc, char** argv) {
   std::cout << "mean load ratio (baseline/fused): "
             << bench::fmt(mean(load_ratios)) << "x   (paper: ~3.5x)\n";
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return fusedml::bench::guarded_main([&] { return run_bench(argc, argv); });
 }

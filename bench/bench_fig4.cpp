@@ -21,7 +21,7 @@
 
 using namespace fusedml;
 
-int main(int argc, char** argv) {
+static int run_bench(int argc, char** argv) {
   Cli cli(argc, argv);
   const auto rows = static_cast<index_t>(
       cli.get_int("rows", 100000, "rows in X (paper: 500000)"));
@@ -92,4 +92,8 @@ int main(int argc, char** argv) {
             << format_speedup(geomean(s_bidmat_cpu))
             << " (paper up to 13.41x)\n";
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return fusedml::bench::guarded_main([&] { return run_bench(argc, argv); });
 }

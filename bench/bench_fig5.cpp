@@ -23,7 +23,7 @@
 
 using namespace fusedml;
 
-int main(int argc, char** argv) {
+static int run_bench(int argc, char** argv) {
   Cli cli(argc, argv);
   const auto rows = static_cast<index_t>(
       cli.get_int("rows", 20000, "rows in X (paper: 500000)"));
@@ -88,4 +88,8 @@ int main(int argc, char** argv) {
             << format_speedup(geomean(s_bidmat_cpu))
             << " (paper avg 15.33x)\n";
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return fusedml::bench::guarded_main([&] { return run_bench(argc, argv); });
 }

@@ -21,7 +21,7 @@
 
 using namespace fusedml;
 
-int main(int argc, char** argv) {
+static int run_bench(int argc, char** argv) {
   Cli cli(argc, argv);
   const auto rows = static_cast<index_t>(
       cli.get_int("rows", 200000, "rows in X"));
@@ -102,4 +102,8 @@ int main(int argc, char** argv) {
       "the auto split hands the CPU just enough rows to finish alongside "
       "the GPU — the §5 future-work hybrid execution realized.");
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return fusedml::bench::guarded_main([&] { return run_bench(argc, argv); });
 }

@@ -24,7 +24,7 @@
 using namespace fusedml;
 using patterns::PatternKind;
 
-int main(int argc, char** argv) {
+static int run_bench(int argc, char** argv) {
   Cli cli(argc, argv);
   const auto rows =
       static_cast<index_t>(cli.get_int("rows", 2000, "training rows"));
@@ -99,4 +99,8 @@ int main(int argc, char** argv) {
       "GLM skips the v-weighted form; our GLM folds the ridge z-term into "
       "the v-weighted call, surfacing it as the full pattern).");
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return fusedml::bench::guarded_main([&] { return run_bench(argc, argv); });
 }

@@ -20,7 +20,7 @@
 
 using namespace fusedml;
 
-int main(int argc, char** argv) {
+static int run_bench(int argc, char** argv) {
   Cli cli(argc, argv);
   const auto scale = cli.get_double(
       "scale", 100.0, "dataset shrink factor vs the real KDD/HIGGS");
@@ -86,4 +86,8 @@ int main(int argc, char** argv) {
       "n (columns) is huge relative to nnz; HIGGS's is negligible because "
       "n=28.");
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return fusedml::bench::guarded_main([&] { return run_bench(argc, argv); });
 }

@@ -19,7 +19,7 @@
 
 using namespace fusedml;
 
-int main(int argc, char** argv) {
+static int run_bench(int argc, char** argv) {
   Cli cli(argc, argv);
   const auto scale = cli.get_double(
       "scale", 100.0, "dataset shrink factor vs the real KDD 2010");
@@ -103,4 +103,8 @@ int main(int argc, char** argv) {
       "memory, so the fused kernel scatters straight to global memory; the "
       "data is so sparse that atomic collisions on w are rare (§4.1).");
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return fusedml::bench::guarded_main([&] { return run_bench(argc, argv); });
 }

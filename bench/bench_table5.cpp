@@ -44,7 +44,7 @@ EndToEnd run(vgpu::Device& dev, patterns::Backend backend, const Matrix& X,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+static int run_bench(int argc, char** argv) {
   Cli cli(argc, argv);
   const auto scale =
       cli.get_double("scale", 100.0, "dataset shrink factor vs KDD/HIGGS");
@@ -109,4 +109,8 @@ int main(int argc, char** argv) {
       "Transfers amortize over the ML iterations, so end-to-end gains stay "
       "close to the kernel-level gains (Fig. 3/4) but below them.");
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return fusedml::bench::guarded_main([&] { return run_bench(argc, argv); });
 }

@@ -65,7 +65,7 @@ void run_row(Table& table, Table& detail, const std::string& name,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+static int run_bench(int argc, char** argv) {
   Cli cli(argc, argv);
   const auto scale =
       cli.get_double("scale", 100.0, "dataset shrink factor vs KDD/HIGGS");
@@ -110,4 +110,8 @@ int main(int argc, char** argv) {
       "the BLAS-1 ops the scheduler keeps on the CPU — the paper's stated "
       "motivation for further memory-manager work.");
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return fusedml::bench::guarded_main([&] { return run_bench(argc, argv); });
 }

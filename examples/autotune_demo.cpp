@@ -10,9 +10,11 @@
 #include "tuner/launch_params.h"
 #include "vgpu/device.h"
 
+#include "example_common.h"
+
 using namespace fusedml;
 
-int main() {
+static int run_example() {
   vgpu::Device device;
   const auto& spec = device.spec();
   std::cout << "device: " << spec.name << " (" << spec.num_sms << " SMs, "
@@ -63,4 +65,8 @@ int main() {
                "loads (TL=7 -> VS=32 -> 224 >= 200), and the n<=32 special "
                "case (BS=1024, TL=1) for HIGGS-width data.\n";
   return 0;
+}
+
+int main() {
+  return fusedml::examples::guarded_main([&] { return run_example(); });
 }

@@ -11,9 +11,11 @@
 #include "sysml/runtime.h"
 #include "vgpu/device.h"
 
+#include "example_common.h"
+
 using namespace fusedml;
 
-int main() {
+static int run_example() {
   vgpu::Device device;
   sysml::Runtime rt(device, {});
 
@@ -53,4 +55,8 @@ int main() {
             << " (paper Listing 2 shape):\n\n"
             << kernels::generate_dense_fused_cuda(spec);
   return 0;
+}
+
+int main() {
+  return fusedml::examples::guarded_main([&] { return run_example(); });
 }

@@ -1,0 +1,27 @@
+// Shared top-level exception barrier for the examples: a fusedml::Error
+// exits with one clean line on stderr and a non-zero status instead of
+// std::terminate's abort + core dump.
+#pragma once
+
+#include <exception>
+#include <iostream>
+
+#include "common/error.h"
+
+namespace fusedml::examples {
+
+template <typename Run>
+int guarded_main(Run&& run) {
+  try {
+    return run();
+  } catch (const Error& e) {
+    std::cerr << "error [" << to_string(e.code()) << "]: " << e.what()
+              << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace fusedml::examples

@@ -1,0 +1,83 @@
+// Fault injection: train LR-CG on a virtual GPU that drops kernel
+// launches, corrupts kernel outputs (ECC), and fails PCIe transfers at a
+// seeded, deterministic rate — and show that the resilient executor still
+// converges to bit-identical weights, paying only modeled retry time.
+#include <iostream>
+
+#include "common/resilience.h"
+#include "common/table.h"
+#include "la/generate.h"
+#include "la/vector_ops.h"
+#include "ml/lr_cg.h"
+#include "patterns/executor.h"
+#include "vgpu/device.h"
+#include "vgpu/fault_injector.h"
+
+#include "example_common.h"
+
+using namespace fusedml;
+
+namespace {
+
+ml::LrCgResult train(vgpu::Device& device) {
+  patterns::PatternExecutor exec(device, patterns::Backend::kFused);
+  const auto X = la::uniform_sparse(20000, 400, 0.02, 7);
+  const auto labels = la::regression_labels(X, 7, 0.05);
+  ml::LrCgConfig cfg;
+  cfg.eps = 1e-6;
+  return ml::lr_cg(exec, X, labels, cfg);
+}
+
+}  // namespace
+
+static int run_example() {
+  // Fault-free oracle.
+  vgpu::Device clean_device;
+  const auto clean = train(clean_device);
+
+  // Same workload on a device that faults ~5% of launches and 2% of
+  // transfers. The schedule is fully determined by the seed.
+  vgpu::FaultConfig cfg;
+  cfg.seed = 0xFA17ULL;
+  cfg.kernel_fault_rate = 0.03;
+  cfg.ecc_fault_rate = 0.02;
+  cfg.transfer_fault_rate = 0.02;
+  vgpu::FaultInjector injector(cfg);
+  vgpu::Device faulty_device;
+  faulty_device.set_fault_injector(&injector);
+  const auto faulty = train(faulty_device);
+
+  Table table({"run", "iterations", "total (ms)", "faults", "retries",
+               "max |w - w_clean|"});
+  table.row()
+      .add("fault-free")
+      .add(clean.stats.iterations)
+      .add(clean.stats.total_modeled_ms(), 3)
+      .add(uint64_t{0})
+      .add(uint64_t{0})
+      .add(0.0, 6);
+  table.row()
+      .add("5% faults")
+      .add(faulty.stats.iterations)
+      .add(faulty.stats.total_modeled_ms(), 3)
+      .add(faulty.stats.resilience.faults_seen)
+      .add(faulty.stats.resilience.retries)
+      .add(la::max_abs_diff(clean.weights, faulty.weights), 6);
+  std::cout << "LR-CG on 20k x 400 sparse data, fused backend, with and "
+               "without injected device faults\n"
+            << table << "\n";
+
+  RunReport report("fault_injection example");
+  report.add("lr_cg (pattern + BLAS-1)", faulty.stats.resilience);
+  report.print(std::cout);
+
+  std::cout << "\nInjector saw " << injector.log().launches_seen
+            << " launches and " << injector.log().transfers_seen
+            << " transfers; every fault was retried to a bit-exact result — "
+               "the overhead above is modeled retry + backoff time.\n";
+  return 0;
+}
+
+int main() {
+  return fusedml::examples::guarded_main([&] { return run_example(); });
+}

@@ -12,9 +12,11 @@
 #include "patterns/executor.h"
 #include "vgpu/device.h"
 
+#include "example_common.h"
+
 using namespace fusedml;
 
-int main() {
+static int run_example() {
   // A synthetic web: 2000 pages; pages 0-9 are "portals" that everyone
   // links to, plus random long-tail links.
   const index_t pages = 2000;
@@ -55,4 +57,8 @@ int main() {
               << "\n";
   }
   return 0;
+}
+
+int main() {
+  return fusedml::examples::guarded_main([&] { return run_example(); });
 }

@@ -10,9 +10,11 @@
 #include "patterns/executor.h"
 #include "vgpu/device.h"
 
+#include "example_common.h"
+
 using namespace fusedml;
 
-int main() {
+static int run_example() {
   vgpu::Device device;
   const auto X = la::uniform_sparse(50000, 500, 0.02, 11);
   const auto labels = la::regression_labels(X, 11, 0.05);
@@ -42,4 +44,8 @@ int main() {
                "q = X^T*(X*p) + eps*p update is ONE kernel instead of an "
                "operator-at-a-time chain.\n";
   return 0;
+}
+
+int main() {
+  return fusedml::examples::guarded_main([&] { return run_example(); });
 }

@@ -10,9 +10,11 @@
 #include "patterns/pattern.h"
 #include "vgpu/device.h"
 
+#include "example_common.h"
+
 using namespace fusedml;
 
-int main() {
+static int run_example() {
   vgpu::Device device;
   patterns::PatternExecutor exec(device, patterns::Backend::kFused);
 
@@ -45,4 +47,8 @@ int main() {
     std::cout << "  " << to_string(kind) << " x" << count << "\n";
   }
   return 0;
+}
+
+int main() {
+  return fusedml::examples::guarded_main([&] { return run_example(); });
 }

@@ -14,9 +14,11 @@
 #include "patterns/executor.h"
 #include "vgpu/device.h"
 
+#include "example_common.h"
+
 using namespace fusedml;
 
-int main() {
+static int run_example() {
   // A virtual GTX Titan (the paper's evaluation device).
   vgpu::Device device;
 
@@ -57,4 +59,8 @@ int main() {
             << " from fusing " << r2.launches << " kernels into "
             << r1.launches << "\n";
   return 0;
+}
+
+int main() {
+  return fusedml::examples::guarded_main([&] { return run_example(); });
 }

@@ -1,4 +1,11 @@
-// Error handling: a library-specific exception plus always-on check macros.
+// Error handling: a typed exception taxonomy plus always-on check macros.
+//
+// The taxonomy mirrors how real GPU runtimes classify failures (cf. MIOpen's
+// miopenStatus_t): every error carries an ErrorCode so resilience layers can
+// decide between retrying (transient kernel/transfer/data faults), degrading
+// (device OOM -> smaller footprint / streaming / CPU fallback), and giving
+// up (logic errors). Transient faults additionally carry the modeled time
+// burned by the failed attempt so retry loops can charge it honestly.
 #pragma once
 
 #include <sstream>
@@ -7,11 +14,83 @@
 
 namespace fusedml {
 
+/// Failure classes the resilience policy dispatches on.
+enum class ErrorCode {
+  kGeneric,      ///< precondition/invariant violation — never retried
+  kDeviceOom,    ///< device allocation failed — degrade, don't retry in place
+  kTransfer,     ///< host<->device copy failed — transient, retryable
+  kKernelFault,  ///< kernel launch/execution failed — transient, retryable
+  kData,         ///< corrupted or malformed data (ECC, bad input file)
+};
+
+inline const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kGeneric: return "generic";
+    case ErrorCode::kDeviceOom: return "device-oom";
+    case ErrorCode::kTransfer: return "transfer";
+    case ErrorCode::kKernelFault: return "kernel-fault";
+    case ErrorCode::kData: return "data";
+  }
+  return "?";
+}
+
+/// True for fault classes where retrying the same operation can succeed
+/// (the fault is tied to the attempt, not the operation).
+inline bool is_transient(ErrorCode code) {
+  return code == ErrorCode::kTransfer || code == ErrorCode::kKernelFault ||
+         code == ErrorCode::kData;
+}
+
 /// Exception thrown on any precondition or invariant violation inside
 /// fusedml. Deriving from std::runtime_error keeps call sites idiomatic.
 class Error : public std::runtime_error {
  public:
   explicit Error(const std::string& what) : std::runtime_error(what) {}
+
+  ErrorCode code() const { return code_; }
+  /// Modeled milliseconds the failed attempt burned before raising (kernel
+  /// time of a corrupted launch, bus time of a failed transfer). Retry
+  /// loops add this to the surviving operation's modeled cost.
+  double penalty_ms() const { return penalty_ms_; }
+
+ protected:
+  Error(const std::string& what, ErrorCode code, double penalty_ms)
+      : std::runtime_error(what), code_(code), penalty_ms_(penalty_ms) {}
+
+ private:
+  ErrorCode code_ = ErrorCode::kGeneric;
+  double penalty_ms_ = 0.0;
+};
+
+/// Device memory exhausted (real or injected). Not transient: the resilient
+/// layers respond by shrinking the footprint (streaming) or falling back.
+class DeviceOomError : public Error {
+ public:
+  explicit DeviceOomError(const std::string& what, double penalty_ms = 0.0)
+      : Error(what, ErrorCode::kDeviceOom, penalty_ms) {}
+};
+
+/// Host<->device transfer failed in flight (PCIe fault). Transient.
+class TransferError : public Error {
+ public:
+  explicit TransferError(const std::string& what, double penalty_ms = 0.0)
+      : Error(what, ErrorCode::kTransfer, penalty_ms) {}
+};
+
+/// A kernel launch or execution failed (sticky context error, launch
+/// timeout). Transient: the same launch can be replayed.
+class KernelFaultError : public Error {
+ public:
+  explicit KernelFaultError(const std::string& what, double penalty_ms = 0.0)
+      : Error(what, ErrorCode::kKernelFault, penalty_ms) {}
+};
+
+/// Data is corrupt or malformed: an uncorrectable ECC event on a buffer, or
+/// an input file that fails validation.
+class DataError : public Error {
+ public:
+  explicit DataError(const std::string& what, double penalty_ms = 0.0)
+      : Error(what, ErrorCode::kData, penalty_ms) {}
 };
 
 namespace detail {

@@ -1,0 +1,28 @@
+#include "common/resilience.h"
+
+#include <iomanip>
+#include <ostream>
+
+namespace fusedml {
+
+void RunReport::print(std::ostream& os) const {
+  os << "== resilience report: " << label_ << " ==\n";
+  if (!total_.any()) {
+    os << "  no faults observed\n";
+    return;
+  }
+  const auto line = [&os](const std::string& name,
+                          const ResilienceStats& s) {
+    os << "  " << std::left << std::setw(18) << name << std::right
+       << " faults " << std::setw(6) << s.faults_seen << "  retries "
+       << std::setw(6) << s.retries << "  fallbacks " << std::setw(4)
+       << s.fallbacks << "  recoveries " << std::setw(6) << s.recoveries
+       << "  backoff " << std::fixed << std::setprecision(3) << std::setw(9)
+       << s.backoff_ms << " ms  wasted " << std::setw(9) << s.wasted_ms
+       << " ms\n";
+  };
+  for (const auto& [name, stats] : sources_) line(name, stats);
+  line("total", total_);
+}
+
+}  // namespace fusedml

@@ -1,0 +1,91 @@
+// Resilience accounting and policy knobs shared by every layer that can
+// recover from injected (or, on real hardware, actual) faults: the pattern
+// executor, the streaming pipeline, and the sysml memory manager.
+//
+// All backoff is MODELED time — it is charged to the cost model alongside
+// kernel and transfer time so benches report the overhead of a retry policy
+// honestly, but no host thread ever sleeps.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fusedml {
+
+/// How a resilient layer responds to transient faults and OOM.
+struct RetryPolicy {
+  /// Attempts per backend (first try + retries) before degrading.
+  int max_attempts = 6;
+  /// Modeled exponential backoff: base * multiplier^(attempt-1), capped.
+  double backoff_base_ms = 0.05;
+  double backoff_multiplier = 2.0;
+  double backoff_cap_ms = 5.0;
+  /// Permit fused -> baseline-GPU -> CPU degradation when retries on the
+  /// current backend are exhausted (or the device reports OOM).
+  bool allow_backend_fallback = true;
+
+  /// Modeled wait before re-attempt number `attempt` (1-based: the wait
+  /// after the attempt-th failure).
+  double backoff_ms(int attempt) const {
+    double b = backoff_base_ms;
+    for (int i = 1; i < attempt; ++i) b *= backoff_multiplier;
+    return b < backoff_cap_ms ? b : backoff_cap_ms;
+  }
+};
+
+/// What one resilient layer observed and did. Aggregates with += so ops,
+/// solvers, and whole runs can all surface the same shape.
+struct ResilienceStats {
+  std::uint64_t faults_seen = 0;  ///< injected faults this layer absorbed
+  std::uint64_t retries = 0;      ///< re-attempts after a transient fault
+  std::uint64_t fallbacks = 0;    ///< backend/streaming degradations taken
+  std::uint64_t recoveries = 0;   ///< ops that succeeded after >=1 fault
+  double backoff_ms = 0.0;        ///< modeled backoff wait charged
+  double wasted_ms = 0.0;         ///< modeled time burned by failed attempts
+
+  bool any() const {
+    return faults_seen != 0 || retries != 0 || fallbacks != 0 ||
+           recoveries != 0;
+  }
+  /// Total modeled overhead this layer added versus a fault-free run.
+  double overhead_ms() const { return backoff_ms + wasted_ms; }
+
+  ResilienceStats& operator+=(const ResilienceStats& o) {
+    faults_seen += o.faults_seen;
+    retries += o.retries;
+    fallbacks += o.fallbacks;
+    recoveries += o.recoveries;
+    backoff_ms += o.backoff_ms;
+    wasted_ms += o.wasted_ms;
+    return *this;
+  }
+};
+
+/// End-of-run resilience summary: per-source stats plus the merged total,
+/// printable as one block (benches and examples call print()).
+class RunReport {
+ public:
+  explicit RunReport(std::string label = "run") : label_(std::move(label)) {}
+
+  void add(const std::string& source, const ResilienceStats& stats) {
+    sources_.emplace_back(source, stats);
+    total_ += stats;
+  }
+
+  const ResilienceStats& total() const { return total_; }
+  const std::vector<std::pair<std::string, ResilienceStats>>& sources() const {
+    return sources_;
+  }
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::string label_;
+  std::vector<std::pair<std::string, ResilienceStats>> sources_;
+  ResilienceStats total_;
+};
+
+}  // namespace fusedml

@@ -52,33 +52,70 @@ la::DenseMatrix dense_row_slice(const la::DenseMatrix& X, index_t row_begin,
 }
 
 namespace {
+/// Runs `step` (which returns its modeled ms) under the retry policy,
+/// recording faults/backoff into `rs`. Failed-attempt penalties and modeled
+/// backoff are folded into the returned time so the pipeline cost is honest.
+template <typename Step>
+double run_with_retry(const RetryPolicy& retry, ResilienceStats& rs,
+                      Step&& step) {
+  double charged = 0.0;
+  for (int a = 1;; ++a) {
+    try {
+      charged += step();
+      if (a > 1) ++rs.recoveries;
+      return charged;
+    } catch (const Error& e) {
+      if (!is_transient(e.code())) throw;
+      ++rs.faults_seen;
+      rs.wasted_ms += e.penalty_ms();
+      charged += e.penalty_ms();
+      if (a >= retry.max_attempts) throw;
+      const double wait = retry.backoff_ms(a);
+      rs.backoff_ms += wait;
+      charged += wait;
+      ++rs.retries;
+    }
+  }
+}
+
 /// Shared panel-pipeline skeleton: `slice` cuts rows, `run_panel` executes
 /// the fused kernel on a panel (folding beta*z into the first one).
 template <typename Matrix, typename Slice, typename RunPanel>
 StreamingResult stream_impl(vgpu::Device& dev, const Matrix& X,
                             std::span<const real> v, std::span<const real> y,
                             std::span<const real> z, index_t panel_rows,
-                            bool overlap, Slice&& slice,
-                            RunPanel&& run_panel) {
+                            bool overlap, const RetryPolicy& retry,
+                            Slice&& slice, RunPanel&& run_panel) {
   StreamingResult out;
   out.op.value.assign(static_cast<usize>(X.cols()), real{0});
 
   const usize vector_bytes = (y.size() + v.size() + z.size()) * sizeof(real);
-  const double vec_ms = dev.transfer_h2d_ms(vector_bytes);
+  const double vec_ms = run_with_retry(
+      retry, out.resilience,
+      [&] { return dev.transfer_h2d_ms(vector_bytes); });
   out.transfer_ms += vec_ms;
 
   std::vector<double> panel_transfer, panel_kernel;
   for (index_t r0 = 0; r0 < X.rows(); r0 += panel_rows) {
     const index_t r1 = std::min<index_t>(X.rows(), r0 + panel_rows);
     const Matrix panel = slice(X, r0, r1);
-    panel_transfer.push_back(dev.transfer_h2d_ms(panel.bytes()));
+    panel_transfer.push_back(run_with_retry(
+        retry, out.resilience,
+        [&] { return dev.transfer_h2d_ms(panel.bytes()); }));
     out.transfer_ms += panel_transfer.back();
 
     const std::span<const real> v_panel =
         v.empty() ? v
                   : v.subspan(static_cast<usize>(r0),
                               static_cast<usize>(r1 - r0));
-    auto op = run_panel(panel, v_panel, /*first=*/r0 == 0);
+    // The panel kernel writes a fresh partial; a faulted attempt's output is
+    // simply discarded, so the retried result stays bit-exact.
+    OpResult op;
+    const double panel_ms = run_with_retry(retry, out.resilience, [&] {
+      op = run_panel(panel, v_panel, /*first=*/r0 == 0);
+      return op.modeled_ms;
+    });
+    op.modeled_ms = panel_ms;
     panel_kernel.push_back(op.modeled_ms);
     out.kernel_ms += op.modeled_ms;
     for (usize j = 0; j < out.op.value.size(); ++j) {
@@ -126,7 +163,8 @@ StreamingResult streaming_pattern_dense(vgpu::Device& dev, real alpha,
         static_cast<index_t>((budget - vectors) / 2 / row_bytes));
   }
   return stream_impl(
-      dev, X, v, y, z, panel_rows, opts.overlap_transfers, dense_row_slice,
+      dev, X, v, y, z, panel_rows, opts.overlap_transfers, opts.retry,
+      dense_row_slice,
       [&](const la::DenseMatrix& panel, std::span<const real> v_panel,
           bool first) {
         return fused_pattern_dense(dev, alpha, panel, v_panel, y,
@@ -152,7 +190,8 @@ StreamingResult streaming_pattern_sparse(vgpu::Device& dev, real alpha,
       opts.panel_rows > 0 ? std::min(opts.panel_rows, X.rows())
                           : derive_panel_rows(X, budget);
   return stream_impl(
-      dev, X, v, y, z, panel_rows, opts.overlap_transfers, csr_row_slice,
+      dev, X, v, y, z, panel_rows, opts.overlap_transfers, opts.retry,
+      csr_row_slice,
       [&](const la::CsrMatrix& panel, std::span<const real> v_panel,
           bool first) {
         // beta*z initializes w exactly once — fold it into the first panel.

@@ -10,10 +10,17 @@
 // model), and the per-panel partial results of w accumulate — X^T-side
 // partials are additive across row panels, which is exactly the property
 // the fused kernel's inter-block aggregation already relies on.
+//
+// Resilience: each panel upload and each per-panel fused kernel runs under a
+// RetryPolicy — injected transfer/kernel/ECC faults are retried with modeled
+// exponential backoff, panel partials are only accumulated after a clean
+// kernel completion (so retried runs stay bit-exact), and all retry/backoff
+// time is charged into transfer_ms/kernel_ms/pipeline_ms.
 #pragma once
 
 #include <span>
 
+#include "common/resilience.h"
 #include "kernels/fused_dense.h"
 #include "kernels/fused_sparse.h"
 #include "kernels/op_result.h"
@@ -34,6 +41,10 @@ struct StreamingOptions {
   /// buffering). Disabling serializes copy/compute — the ablation contrast.
   bool overlap_transfers = true;
   FusedSparseOptions kernel;
+  /// Per-panel fault handling (retries + modeled backoff). Backend fallback
+  /// does not apply inside the streaming pipeline; exhausted retries rethrow
+  /// to the caller, which owns the degradation decision.
+  RetryPolicy retry;
 };
 
 struct StreamingResult {
@@ -42,6 +53,7 @@ struct StreamingResult {
   double transfer_ms = 0;   ///< total H2D time for all panels + vectors
   double kernel_ms = 0;     ///< sum of per-panel fused kernel times
   double pipeline_ms = 0;   ///< modeled end-to-end with/without overlap
+  ResilienceStats resilience;  ///< faults absorbed panel by panel
   /// pipeline_ms / (transfer_ms + kernel_ms): 1.0 = no overlap benefit,
   /// approaches max(T,K)/(T+K) with perfect double buffering.
   double overlap_efficiency() const {
@@ -67,6 +79,7 @@ struct DenseStreamingOptions {
   index_t panel_rows = 0;
   bool overlap_transfers = true;
   FusedDenseOptions kernel;
+  RetryPolicy retry;
 };
 
 StreamingResult streaming_pattern_dense(vgpu::Device& dev, real alpha,

@@ -1,7 +1,9 @@
 #include "la/io.h"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
+#include <string>
 
 #include "common/error.h"
 #include "la/coo_matrix.h"
@@ -16,7 +18,20 @@ std::string next_data_line(std::istream& in) {
   while (std::getline(in, line)) {
     if (!line.empty() && line[0] != '%') return line;
   }
-  throw Error("matrix market: unexpected end of file");
+  throw DataError("matrix market: unexpected end of file");
+}
+
+// True if any non-comment, non-blank line remains — i.e. the file holds
+// more entries than the header declared.
+bool has_more_data(std::istream& in) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%' &&
+        line.find_first_not_of(" \t\r\n") != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
 }
 }  // namespace
 
@@ -43,11 +58,33 @@ CsrMatrix read_matrix_market(std::istream& in) {
     long long r = 0, c = 0;
     double v = 0;
     entry >> r >> c >> v;
-    FUSEDML_CHECK(r >= 1 && c >= 1, "matrix market: 1-based indices expected");
+    if (entry.fail()) {
+      throw DataError("matrix market: malformed entry line (entry " +
+                      std::to_string(i + 1) + " of " + std::to_string(nnz) +
+                      ")");
+    }
+    if (r < 1 || c < 1) {
+      throw DataError("matrix market: 1-based indices expected");
+    }
+    // An index past the declared shape would otherwise write out-of-bounds
+    // CSR entries downstream.
+    if (r > rows || c > cols) {
+      throw DataError("matrix market: entry (" + std::to_string(r) + ", " +
+                      std::to_string(c) + ") outside declared " +
+                      std::to_string(rows) + " x " + std::to_string(cols));
+    }
+    if (!std::isfinite(v)) {
+      throw DataError("matrix market: non-finite value at entry (" +
+                      std::to_string(r) + ", " + std::to_string(c) + ")");
+    }
     coo.add(static_cast<index_t>(r - 1), static_cast<index_t>(c - 1), v);
     if (symmetric && r != c) {
       coo.add(static_cast<index_t>(c - 1), static_cast<index_t>(r - 1), v);
     }
+  }
+  if (has_more_data(in)) {
+    throw DataError("matrix market: more entries than the declared nnz of " +
+                    std::to_string(nnz));
   }
   return coo_to_csr(coo);
 }

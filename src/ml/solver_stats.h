@@ -5,6 +5,7 @@
 
 #include <cstdint>
 
+#include "common/resilience.h"
 #include "patterns/executor.h"
 
 namespace fusedml::ml {
@@ -16,16 +17,21 @@ struct SolverStats {
   double pattern_wall_ms = 0.0;
   double blas1_wall_ms = 0.0;
   std::uint64_t launches = 0;
+  /// Faults absorbed across every op the solver issued (retries, modeled
+  /// backoff, backend fallbacks) — the solver-level resilience surface.
+  ResilienceStats resilience;
 
   void add_pattern(const patterns::PatternResult& r) {
     pattern_modeled_ms += r.modeled_ms;
     pattern_wall_ms += r.wall_ms;
     launches += r.launches;
+    resilience += r.resilience;
   }
   void add_blas1(const patterns::PatternResult& r) {
     blas1_modeled_ms += r.modeled_ms;
     blas1_wall_ms += r.wall_ms;
     launches += r.launches;
+    resilience += r.resilience;
   }
 
   double total_modeled_ms() const {

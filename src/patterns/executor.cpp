@@ -1,5 +1,8 @@
 #include "patterns/executor.h"
 
+#include <algorithm>
+#include <exception>
+
 #include "common/error.h"
 #include "kernels/baselines.h"
 #include "kernels/blas1.h"
@@ -16,6 +19,16 @@ std::string to_string(Backend backend) {
     case Backend::kCpu: return "CPU (MKL-like)";
   }
   return "?";
+}
+
+std::optional<Backend> fallback_backend(Backend backend) {
+  switch (backend) {
+    case Backend::kFused: return Backend::kCusparse;
+    case Backend::kCusparse: return Backend::kCpu;
+    case Backend::kBidmatGpu: return Backend::kCpu;
+    case Backend::kCpu: return std::nullopt;
+  }
+  return std::nullopt;
 }
 
 namespace {
@@ -44,12 +57,74 @@ PatternResult from_cpu(kernels::CpuOpResult op, PatternKind kind,
 }
 }  // namespace
 
-PatternResult PatternExecutor::transposed_product(const la::CsrMatrix& X,
-                                                  std::span<const real> y,
-                                                  real alpha) {
+PatternResult PatternExecutor::execute_resilient(
+    const std::function<PatternResult(Backend)>& attempt,
+    std::span<real> inout) {
+  // Fast path: nothing armed, nothing to absorb — run the attempt directly
+  // so fault-free modeled times are untouched by the resilience machinery.
+  const vgpu::FaultInjector* injector = dev_.fault_injector();
+  if (injector == nullptr || !injector->armed()) {
+    PatternResult r = attempt(backend_);
+    r.backend_used = backend_;
+    return r;
+  }
+
+  // In-place operands must be restorable so a retried attempt sees the
+  // original inputs (an ECC fault is raised *after* the kernel wrote them).
+  std::vector<real> snapshot(inout.begin(), inout.end());
+
+  ResilienceStats rs;
+  double extra_ms = 0.0;  // wasted attempt time + modeled backoff
+  Backend b = backend_;
+  std::exception_ptr last_fault;
+  for (;;) {
+    bool degrade = false;
+    for (int a = 1; a <= retry_.max_attempts && !degrade; ++a) {
+      try {
+        PatternResult r = attempt(b);
+        if (rs.faults_seen > 0) ++rs.recoveries;
+        r.resilience = rs;
+        r.modeled_ms += extra_ms;
+        r.backend_used = b;
+        if (rs.fallbacks > 0) r.kernel += " [after fallback]";
+        resilience_ += rs;
+        return r;
+      } catch (const Error& e) {
+        if (e.code() == ErrorCode::kGeneric) throw;  // not a fault
+        last_fault = std::current_exception();
+        ++rs.faults_seen;
+        rs.wasted_ms += e.penalty_ms();
+        extra_ms += e.penalty_ms();
+        if (!inout.empty()) {
+          std::copy(snapshot.begin(), snapshot.end(), inout.begin());
+        }
+        if (e.code() == ErrorCode::kDeviceOom) {
+          degrade = true;  // retrying the same allocation cannot help
+        } else if (a < retry_.max_attempts) {
+          const double wait = retry_.backoff_ms(a);
+          rs.backoff_ms += wait;
+          extra_ms += wait;
+          ++rs.retries;
+        }
+      }
+    }
+    const auto next =
+        retry_.allow_backend_fallback ? fallback_backend(b) : std::nullopt;
+    if (!next.has_value()) {
+      resilience_ += rs;
+      std::rethrow_exception(last_fault);
+    }
+    b = *next;
+    ++rs.fallbacks;
+  }
+}
+
+PatternResult PatternExecutor::run_transposed_product(Backend b,
+                                                      const la::CsrMatrix& X,
+                                                      std::span<const real> y,
+                                                      real alpha) {
   const PatternKind kind = PatternKind::kXty;
-  record(kind);
-  switch (backend_) {
+  switch (b) {
     case Backend::kFused:
       return from_op(kernels::fused_spmv_t(dev_, X, y, alpha, sparse_opts_),
                      kind, "fused_spmv_t (Alg. 1)");
@@ -82,21 +157,28 @@ PatternResult PatternExecutor::transposed_product(const la::CsrMatrix& X,
   throw Error("unknown backend");
 }
 
-PatternResult PatternExecutor::transposed_product(const la::DenseMatrix& X,
+PatternResult PatternExecutor::transposed_product(const la::CsrMatrix& X,
                                                   std::span<const real> y,
                                                   real alpha) {
+  record(PatternKind::kXty);
+  return execute_resilient(
+      [&](Backend b) { return run_transposed_product(b, X, y, alpha); });
+}
+
+PatternResult PatternExecutor::run_transposed_product(Backend b,
+                                                      const la::DenseMatrix& X,
+                                                      std::span<const real> y,
+                                                      real alpha) {
   const PatternKind kind = PatternKind::kXty;
-  record(kind);
-  if (backend_ == Backend::kCpu) {
+  if (b == Backend::kCpu) {
     auto op = cpu_.gemv_t(X, y);
     if (alpha != real{1}) {
       for (real& w : op.value) w *= alpha;
     }
     return from_cpu(std::move(op), kind, "cpu gemv_t");
   }
-  const auto flavor = backend_ == Backend::kCusparse
-                          ? kernels::DenseFlavor::kCublas
-                          : kernels::DenseFlavor::kBidmat;
+  const auto flavor = b == Backend::kCusparse ? kernels::DenseFlavor::kCublas
+                                              : kernels::DenseFlavor::kBidmat;
   kernels::GemvOptions opts;
   if (flavor == kernels::DenseFlavor::kCublas) {
     opts.smem_conflict_ways = kernels::kCublasConflictWays;
@@ -110,27 +192,39 @@ PatternResult PatternExecutor::transposed_product(const la::DenseMatrix& X,
   return from_op(std::move(op), kind, "gemv_t");
 }
 
+PatternResult PatternExecutor::transposed_product(const la::DenseMatrix& X,
+                                                  std::span<const real> y,
+                                                  real alpha) {
+  record(PatternKind::kXty);
+  return execute_resilient(
+      [&](Backend b) { return run_transposed_product(b, X, y, alpha); });
+}
+
 PatternResult PatternExecutor::product(const la::CsrMatrix& X,
                                        std::span<const real> y) {
-  if (backend_ == Backend::kCpu) {
-    return from_cpu(cpu_.spmv(X, y), PatternKind::kXty, "cpu spmv");
-  }
-  return from_op(kernels::spmv_csr_vector(dev_, X, y), PatternKind::kXty,
-                 "csrmv");
+  return execute_resilient([&](Backend b) {
+    if (b == Backend::kCpu) {
+      return from_cpu(cpu_.spmv(X, y), PatternKind::kXty, "cpu spmv");
+    }
+    return from_op(kernels::spmv_csr_vector(dev_, X, y), PatternKind::kXty,
+                   "csrmv");
+  });
 }
 
 PatternResult PatternExecutor::product(const la::DenseMatrix& X,
                                        std::span<const real> y) {
-  if (backend_ == Backend::kCpu) {
-    return from_cpu(cpu_.gemv(X, y), PatternKind::kXty, "cpu gemv");
-  }
-  return from_op(kernels::gemv_n(dev_, X, y), PatternKind::kXty, "gemv");
+  return execute_resilient([&](Backend b) {
+    if (b == Backend::kCpu) {
+      return from_cpu(cpu_.gemv(X, y), PatternKind::kXty, "cpu gemv");
+    }
+    return from_op(kernels::gemv_n(dev_, X, y), PatternKind::kXty, "gemv");
+  });
 }
 
 namespace {
 template <typename DevOp, typename CpuOp>
-PatternResult blas1_dispatch(Backend backend, DevOp&& dev_op, CpuOp&& cpu_op,
-                             const char* name) {
+PatternResult blas1_run(Backend backend, DevOp&& dev_op, CpuOp&& cpu_op,
+                        const char* name) {
   if (backend == Backend::kCpu) {
     return from_cpu(cpu_op(), PatternKind::kXty, name);  // kind unused
   }
@@ -140,46 +234,58 @@ PatternResult blas1_dispatch(Backend backend, DevOp&& dev_op, CpuOp&& cpu_op,
 
 PatternResult PatternExecutor::axpy(real alpha, std::span<const real> x,
                                     std::span<real> y) {
-  auto r = blas1_dispatch(
-      backend_, [&] { return kernels::dev_axpy(dev_, alpha, x, y); },
-      [&] { return cpu_.axpy(alpha, x, y); }, "axpy");
-  return r;
+  return execute_resilient(
+      [&](Backend b) {
+        return blas1_run(
+            b, [&] { return kernels::dev_axpy(dev_, alpha, x, y); },
+            [&] { return cpu_.axpy(alpha, x, y); }, "axpy");
+      },
+      y);
 }
 
 PatternResult PatternExecutor::dot(std::span<const real> x,
                                    std::span<const real> y) {
-  return blas1_dispatch(
-      backend_, [&] { return kernels::dev_dot(dev_, x, y); },
-      [&] { return cpu_.dot(x, y); }, "dot");
+  return execute_resilient([&](Backend b) {
+    return blas1_run(
+        b, [&] { return kernels::dev_dot(dev_, x, y); },
+        [&] { return cpu_.dot(x, y); }, "dot");
+  });
 }
 
 PatternResult PatternExecutor::nrm2(std::span<const real> x) {
-  return blas1_dispatch(
-      backend_, [&] { return kernels::dev_nrm2(dev_, x); },
-      [&] { return cpu_.nrm2(x); }, "nrm2");
+  return execute_resilient([&](Backend b) {
+    return blas1_run(
+        b, [&] { return kernels::dev_nrm2(dev_, x); },
+        [&] { return cpu_.nrm2(x); }, "nrm2");
+  });
 }
 
 PatternResult PatternExecutor::scal(real alpha, std::span<real> x) {
-  return blas1_dispatch(
-      backend_, [&] { return kernels::dev_scal(dev_, alpha, x); },
-      [&] { return cpu_.scal(alpha, x); }, "scal");
+  return execute_resilient(
+      [&](Backend b) {
+        return blas1_run(
+            b, [&] { return kernels::dev_scal(dev_, alpha, x); },
+            [&] { return cpu_.scal(alpha, x); }, "scal");
+      },
+      x);
 }
 
 PatternResult PatternExecutor::ewise_mul(std::span<const real> x,
                                          std::span<const real> y) {
-  return blas1_dispatch(
-      backend_, [&] { return kernels::dev_ewise_mul(dev_, x, y); },
-      [&] { return cpu_.ewise_mul(x, y); }, "ewise_mul");
+  return execute_resilient([&](Backend b) {
+    return blas1_run(
+        b, [&] { return kernels::dev_ewise_mul(dev_, x, y); },
+        [&] { return cpu_.ewise_mul(x, y); }, "ewise_mul");
+  });
 }
 
-PatternResult PatternExecutor::pattern(real alpha, const la::CsrMatrix& X,
-                                       std::span<const real> v,
-                                       std::span<const real> y, real beta,
-                                       std::span<const real> z) {
-  const bool has_bz = !z.empty() && beta != real{0};
-  const PatternKind kind = classify(false, !v.empty(), has_bz);
-  record(kind);
-  switch (backend_) {
+PatternResult PatternExecutor::run_pattern(Backend b, real alpha,
+                                           const la::CsrMatrix& X,
+                                           std::span<const real> v,
+                                           std::span<const real> y, real beta,
+                                           std::span<const real> z,
+                                           PatternKind kind) {
+  switch (b) {
     case Backend::kFused:
       return from_op(
           kernels::fused_pattern_sparse(dev_, alpha, X, v, y, beta, z,
@@ -204,14 +310,26 @@ PatternResult PatternExecutor::pattern(real alpha, const la::CsrMatrix& X,
   throw Error("unknown backend");
 }
 
-PatternResult PatternExecutor::pattern(real alpha, const la::DenseMatrix& X,
+PatternResult PatternExecutor::pattern(real alpha, const la::CsrMatrix& X,
                                        std::span<const real> v,
                                        std::span<const real> y, real beta,
                                        std::span<const real> z) {
   const bool has_bz = !z.empty() && beta != real{0};
   const PatternKind kind = classify(false, !v.empty(), has_bz);
   record(kind);
-  switch (backend_) {
+  return execute_resilient([&](Backend b) {
+    return run_pattern(b, alpha, X, v, y, beta, z, kind);
+  });
+}
+
+PatternResult PatternExecutor::run_pattern(Backend b, real alpha,
+                                           const la::DenseMatrix& X,
+                                           std::span<const real> v,
+                                           std::span<const real> y, real beta,
+                                           std::span<const real> z,
+                                           PatternKind kind) {
+  const bool has_bz = !z.empty() && beta != real{0};
+  switch (b) {
     case Backend::kFused: {
       if (!kernels::dense_fused_feasible(dev_.spec(), X.cols())) {
         // §3.2: very wide dense rows exceed the register file — fall back
@@ -249,6 +367,18 @@ PatternResult PatternExecutor::pattern(real alpha, const la::DenseMatrix& X,
                       "cpu pattern");
   }
   throw Error("unknown backend");
+}
+
+PatternResult PatternExecutor::pattern(real alpha, const la::DenseMatrix& X,
+                                       std::span<const real> v,
+                                       std::span<const real> y, real beta,
+                                       std::span<const real> z) {
+  const bool has_bz = !z.empty() && beta != real{0};
+  const PatternKind kind = classify(false, !v.empty(), has_bz);
+  record(kind);
+  return execute_resilient([&](Backend b) {
+    return run_pattern(b, alpha, X, v, y, beta, z, kind);
+  });
 }
 
 }  // namespace fusedml::patterns

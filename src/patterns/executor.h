@@ -5,14 +5,25 @@
 // CPU) and evaluates pattern instantiations against it. ML algorithms in
 // src/ml are written once against this interface; benches swap backends to
 // produce the paper's comparison lines; the usage histogram feeds Table 1.
+//
+// Resilient execution. Every operation runs under the executor's
+// RetryPolicy: transient faults from the virtual device (injected kernel
+// faults, ECC events, transfer errors — see vgpu/fault_injector.h) are
+// retried with modeled exponential backoff, and repeated failure or device
+// OOM degrades the backend fused -> baseline-GPU -> CPU. Retried results
+// are bit-exact (in-place operands are snapshotted and restored before each
+// re-attempt) and all retry/backoff time is charged to the op's modeled
+// cost so benches report the overhead honestly.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "common/resilience.h"
 #include "kernels/cpu_backend.h"
 #include "kernels/fused_dense.h"
 #include "kernels/fused_sparse.h"
@@ -33,15 +44,22 @@ enum class Backend {
 
 std::string to_string(Backend backend);
 
+/// Degradation order on repeated failure: fused -> baseline GPU -> CPU.
+/// The CPU is terminal (it cannot fault) — returns nullopt there.
+std::optional<Backend> fallback_backend(Backend backend);
+
 /// Everything a caller learns from one pattern evaluation.
 struct PatternResult {
   std::vector<real> value;
-  double modeled_ms = 0.0;   ///< modeled device (or CPU-model) time
+  double modeled_ms = 0.0;   ///< modeled device (or CPU-model) time,
+                             ///< including retry + modeled backoff overhead
   double wall_ms = 0.0;      ///< host wall-clock of the functional run
   std::uint64_t launches = 0;
   vgpu::MemCounters counters;  ///< zero for the CPU backend
   PatternKind kind{};
   std::string kernel;        ///< which implementation ran
+  Backend backend_used{};    ///< after any degradation
+  ResilienceStats resilience;  ///< faults absorbed while producing value
 };
 
 class PatternExecutor {
@@ -98,6 +116,15 @@ class PatternExecutor {
   kernels::FusedSparseOptions& sparse_options() { return sparse_opts_; }
   kernels::FusedDenseOptions& dense_options() { return dense_opts_; }
 
+  /// Fault-handling knobs (attempts per backend, modeled backoff schedule,
+  /// whether backend degradation is permitted).
+  RetryPolicy& retry_policy() { return retry_; }
+  const RetryPolicy& retry_policy() const { return retry_; }
+
+  /// Session-cumulative resilience stats across every op this executor ran.
+  const ResilienceStats& resilience() const { return resilience_; }
+  void reset_resilience() { resilience_ = ResilienceStats{}; }
+
   /// Pattern-kind usage histogram (feeds the Table 1 bench).
   const std::map<PatternKind, std::uint64_t>& usage() const { return usage_; }
   void reset_usage() { usage_.clear(); }
@@ -118,8 +145,32 @@ class PatternExecutor {
   kernels::CpuBackend cpu_;
   kernels::KernelCache codegen_cache_;
   std::map<PatternKind, std::uint64_t> usage_;
+  RetryPolicy retry_;
+  ResilienceStats resilience_;
 
   void record(PatternKind kind) { ++usage_[kind]; }
+
+  /// Runs `attempt` under the retry/backoff/fallback policy. `inout` names
+  /// the caller memory the op mutates in place (axpy's y, scal's x); it is
+  /// snapshotted so a failed attempt can be rolled back before the retry.
+  PatternResult execute_resilient(
+      const std::function<PatternResult(Backend)>& attempt,
+      std::span<real> inout = {});
+
+  // Backend-parameterized dispatch bodies (one attempt each; may throw the
+  // typed faults of common/error.h when a fault injector is armed).
+  PatternResult run_transposed_product(Backend b, const la::CsrMatrix& X,
+                                       std::span<const real> y, real alpha);
+  PatternResult run_transposed_product(Backend b, const la::DenseMatrix& X,
+                                       std::span<const real> y, real alpha);
+  PatternResult run_pattern(Backend b, real alpha, const la::CsrMatrix& X,
+                            std::span<const real> v, std::span<const real> y,
+                            real beta, std::span<const real> z,
+                            PatternKind kind);
+  PatternResult run_pattern(Backend b, real alpha, const la::DenseMatrix& X,
+                            std::span<const real> v, std::span<const real> y,
+                            real beta, std::span<const real> z,
+                            PatternKind kind);
 };
 
 }  // namespace fusedml::patterns

@@ -27,12 +27,16 @@ void MemoryManager::register_tensor(TensorId id, usize bytes,
                                     std::string name) {
   FUSEDML_CHECK(entries_.find(id) == entries_.end(),
                 "tensor id already registered");
-  FUSEDML_CHECK(bytes <= capacity_,
-                "tensor larger than device memory: " + name);
+  // Over-capacity tensors are accepted: they stay host-resident forever and
+  // the runtime streams ops over them (needs_streaming) instead of failing.
   Entry e;
   e.bytes = bytes;
   e.name = std::move(name);
   entries_.emplace(id, std::move(e));
+}
+
+bool MemoryManager::needs_streaming(TensorId id) const {
+  return entry(id).bytes > capacity_;
 }
 
 void MemoryManager::touch(TensorId id) {
@@ -45,7 +49,27 @@ void MemoryManager::touch(TensorId id) {
 }
 
 double MemoryManager::transfer(usize bytes, bool to_device) {
-  const double ms = dev_.transfer_h2d_ms(bytes);  // symmetric link model
+  // The PCIe link can fault (injected); retry with modeled backoff, charging
+  // every failed attempt and the backoff wait into the transfer time.
+  double ms = 0.0;
+  int attempt = 1;
+  for (;; ++attempt) {
+    try {
+      ms += dev_.transfer_h2d_ms(bytes);  // symmetric link model
+      break;
+    } catch (const Error& e) {
+      if (!is_transient(e.code())) throw;
+      ++stats_.resilience.faults_seen;
+      stats_.resilience.wasted_ms += e.penalty_ms();
+      ms += e.penalty_ms();
+      if (attempt >= retry_.max_attempts) throw;
+      const double wait = retry_.backoff_ms(attempt);
+      stats_.resilience.backoff_ms += wait;
+      ms += wait;
+      ++stats_.resilience.retries;
+    }
+  }
+  if (attempt > 1) ++stats_.resilience.recoveries;
   stats_.transfer_ms += ms;
   if (to_device) {
     ++stats_.h2d_transfers;
@@ -57,41 +81,74 @@ double MemoryManager::transfer(usize bytes, bool to_device) {
   return ms;
 }
 
+double MemoryManager::evict_one() {
+  FUSEDML_CHECK(!lru_.empty(), "evict_one on empty LRU");
+  const TensorId victim = lru_.back();
+  Entry& v = entry(victim);
+  double ms = 0.0;
+  // Task (d): write back a device-dirty victim before dropping it.
+  if (v.state == Residency::kDeviceDirty) {
+    ms += transfer(v.bytes, /*to_device=*/false);
+  }
+  lru_.pop_back();
+  v.resident = false;
+  v.state = Residency::kHostOnly;
+  v.reusable_slot = true;
+  used_bytes_ -= v.bytes;
+  ++stats_.evictions;
+  return ms;
+}
+
 double MemoryManager::evict_for(usize bytes_needed) {
   double ms = 0.0;
   while (used_bytes_ + bytes_needed > capacity_) {
-    FUSEDML_CHECK(!lru_.empty(),
-                  "cannot evict enough to fit allocation");
-    const TensorId victim = lru_.back();
-    Entry& v = entry(victim);
-    // Task (d): write back a device-dirty victim before dropping it.
-    if (v.state == Residency::kDeviceDirty) {
-      ms += transfer(v.bytes, /*to_device=*/false);
+    if (lru_.empty()) {
+      throw DeviceOomError("cannot evict enough to fit allocation of " +
+                           std::to_string(bytes_needed) + " bytes");
     }
-    lru_.pop_back();
-    v.resident = false;
-    v.state = Residency::kHostOnly;
-    v.reusable_slot = true;
-    used_bytes_ -= v.bytes;
-    ++stats_.evictions;
+    ms += evict_one();
   }
+  return ms;
+}
+
+double MemoryManager::absorb_injected_oom() {
+  vgpu::FaultInjector* injector = dev_.fault_injector();
+  if (injector == nullptr || !injector->next_alloc_oom()) return 0.0;
+  ++stats_.resilience.faults_seen;
+  // Graceful degradation: treat the spurious OOM as memory pressure, shed
+  // the LRU victim, and proceed. With nothing left to evict it is real.
+  if (lru_.empty()) {
+    throw DeviceOomError("injected device OOM with nothing left to evict");
+  }
+  const double ms = evict_one();
+  ++stats_.resilience.recoveries;
+  return ms;
+}
+
+double MemoryManager::make_resident(Entry& e, TensorId id) {
+  double ms = absorb_injected_oom();
+  ms += evict_for(e.bytes);
+  if (e.reusable_slot) {
+    ++stats_.allocation_reuses;  // task (c): slot marked for reuse
+    e.reusable_slot = false;
+  }
+  used_bytes_ += e.bytes;
+  stats_.peak_device_bytes = std::max(stats_.peak_device_bytes, used_bytes_);
+  lru_.push_front(id);
+  e.lru_pos = lru_.begin();
+  e.resident = true;
   return ms;
 }
 
 double MemoryManager::ensure_on_device(TensorId id) {
   Entry& e = entry(id);
+  if (e.bytes > capacity_) {
+    throw DeviceOomError("tensor '" + e.name +
+                         "' larger than device capacity — stream the op");
+  }
   double ms = 0.0;
   if (!e.resident) {
-    ms += evict_for(e.bytes);
-    if (e.reusable_slot) {
-      ++stats_.allocation_reuses;  // task (c): slot marked for reuse
-      e.reusable_slot = false;
-    }
-    used_bytes_ += e.bytes;
-    stats_.peak_device_bytes = std::max(stats_.peak_device_bytes, used_bytes_);
-    lru_.push_front(id);
-    e.lru_pos = lru_.begin();
-    e.resident = true;
+    ms += make_resident(e, id);
     ms += transfer(e.bytes, /*to_device=*/true);
     e.state = Residency::kSynced;
     return ms;
@@ -107,18 +164,13 @@ double MemoryManager::ensure_on_device(TensorId id) {
 
 double MemoryManager::allocate_on_device(TensorId id) {
   Entry& e = entry(id);
+  if (e.bytes > capacity_) {
+    throw DeviceOomError("tensor '" + e.name +
+                         "' larger than device capacity — stream the op");
+  }
   double ms = 0.0;
   if (!e.resident) {
-    ms += evict_for(e.bytes);
-    if (e.reusable_slot) {
-      ++stats_.allocation_reuses;
-      e.reusable_slot = false;
-    }
-    used_bytes_ += e.bytes;
-    stats_.peak_device_bytes = std::max(stats_.peak_device_bytes, used_bytes_);
-    lru_.push_front(id);
-    e.lru_pos = lru_.begin();
-    e.resident = true;
+    ms += make_resident(e, id);
   } else {
     touch(id);
   }

@@ -11,6 +11,12 @@
 //
 // Transfers are charged against the device's PCIe model; the manager is the
 // reason Table 6's end-to-end speedups are smaller than Table 5's.
+//
+// Resilience: transfers retry with modeled backoff on injected PCIe faults;
+// injected allocation OOMs degrade gracefully (evict the LRU victim and
+// carry on); and tensors larger than device capacity are registered rather
+// than rejected — needs_streaming() flags them so the runtime routes the op
+// through the out-of-core streaming path instead of dying.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +24,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/resilience.h"
 #include "common/types.h"
 #include "vgpu/device.h"
 
@@ -39,8 +46,10 @@ struct MemoryStats {
   std::uint64_t d2h_bytes = 0;
   std::uint64_t evictions = 0;
   std::uint64_t allocation_reuses = 0;  ///< task (c): recycled allocations
+  std::uint64_t streaming_fallbacks = 0;  ///< over-capacity ops rerouted
   double transfer_ms = 0.0;
   usize peak_device_bytes = 0;
+  ResilienceStats resilience;  ///< transfer retries + absorbed alloc OOMs
 };
 
 class MemoryManager {
@@ -49,12 +58,22 @@ class MemoryManager {
   MemoryManager(vgpu::Device& dev, usize capacity_bytes = 0);
 
   /// Registers a tensor of `bytes` living on the host. No device action.
+  /// Tensors larger than the device capacity are accepted — they can never
+  /// become resident (needs_streaming() is true; ensure_on_device throws
+  /// DeviceOomError), and the runtime streams the op over them instead.
   void register_tensor(TensorId id, usize bytes, std::string name = "");
+
+  /// True when the tensor cannot fit on the device even alone, so any op
+  /// touching it must run through the out-of-core streaming path.
+  bool needs_streaming(TensorId id) const;
+  /// Records that an op was rerouted to streaming because of such a tensor.
+  void note_streaming_fallback() { ++stats_.streaming_fallbacks; }
 
   /// Task (a)+(b)+(d): make the tensor resident and current on the device.
   /// Charges an H2D transfer when the device copy is missing or stale;
   /// evicts least-recently-used tensors if space is needed (writing back
   /// device-dirty victims). Returns the modeled milliseconds spent.
+  /// Throws DeviceOomError for tensors flagged needs_streaming().
   double ensure_on_device(TensorId id);
 
   /// Task (a)+(b) for a kernel *output*: allocate device space (evicting if
@@ -83,6 +102,10 @@ class MemoryManager {
   usize capacity() const { return capacity_; }
   const MemoryStats& stats() const { return stats_; }
 
+  /// Fault handling for transfers and injected allocation OOMs.
+  RetryPolicy& retry_policy() { return retry_; }
+  const RetryPolicy& retry_policy() const { return retry_; }
+
  private:
   struct Entry {
     usize bytes = 0;
@@ -100,12 +123,20 @@ class MemoryManager {
   std::unordered_map<TensorId, Entry> entries_;
   std::list<TensorId> lru_;  ///< front = most recently used
   MemoryStats stats_;
+  RetryPolicy retry_;
 
   Entry& entry(TensorId id);
   const Entry& entry(TensorId id) const;
   void touch(TensorId id);
+  double evict_one();
   double evict_for(usize bytes_needed);
   double transfer(usize bytes, bool to_device);
+  /// Consults the injector before an allocation; absorbs a spurious OOM by
+  /// evicting the LRU victim (throws DeviceOomError only when nothing is
+  /// left to evict). Returns the write-back ms of any forced eviction.
+  double absorb_injected_oom();
+  /// Allocation preamble shared by ensure_on_device/allocate_on_device.
+  double make_resident(Entry& e, TensorId id);
 };
 
 }  // namespace fusedml::sysml

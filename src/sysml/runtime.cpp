@@ -7,6 +7,7 @@
 #include "kernels/blas1.h"
 #include "kernels/gemv.h"
 #include "kernels/spmv.h"
+#include "kernels/streaming.h"
 
 namespace fusedml::sysml {
 
@@ -114,6 +115,9 @@ bool Runtime::choose_gpu(usize bytes_touched,
   double cpu = estimate_cpu_ms(bytes_touched);
   for (TensorId id : inputs) {
     if (id == 0) continue;
+    // Over-capacity tensors can never become resident; only op_pattern has
+    // a streaming route, every other op runs on the host.
+    if (mm_.needs_streaming(id)) return false;
     const usize b = tensor_bytes(id);
     if (!mm_.on_device(id) ||
         mm_.residency(id) == Residency::kHostDirty) {
@@ -139,12 +143,42 @@ TensorId Runtime::op_pattern(real alpha, TensorId Xid, TensorId vid,
       zid == 0 ? std::span<const real>{} : std::span<const real>(vec(zid));
   const std::vector<real>& y = vec(yid);
 
-  const bool gpu = choose_gpu(2 * xbytes, {Xid, vid, yid, zid});
   const auto* Xs = sparse(Xid);
   const auto* Xd = dense(Xid);
   FUSEDML_CHECK(Xs != nullptr || Xd != nullptr, "pattern needs a matrix");
   const usize n =
       static_cast<usize>(Xs != nullptr ? Xs->cols() : Xd->cols());
+
+  if (opts_.enable_gpu && mm_.needs_streaming(Xid)) {
+    // X does not fit on the device even alone: instead of failing (or
+    // forcing the CPU), stream it through the device panel by panel. The
+    // result is bit-equivalent to the in-core fused kernel.
+    mm_.note_streaming_fallback();
+    kernels::StreamingResult sr;
+    if (Xs != nullptr) {
+      kernels::StreamingOptions sopts;
+      sopts.device_budget_bytes = mm_.capacity();
+      sr = kernels::streaming_pattern_sparse(dev_, alpha, *Xs, v, y, beta, z,
+                                             sopts);
+    } else {
+      kernels::DenseStreamingOptions sopts;
+      sopts.device_budget_bytes = mm_.capacity();
+      sr = kernels::streaming_pattern_dense(dev_, alpha, *Xd, v, y, beta, z,
+                                            sopts);
+    }
+    stats_.gpu_kernel_ms += sr.kernel_ms;
+    stats_.pattern_gpu_ms += sr.kernel_ms;
+    stats_.transfer_ms += sr.transfer_ms;
+    ++stats_.gpu_ops;
+    record_trace("pattern (streamed)", true, sr.pipeline_ms);
+    stats_.pattern_cpu_equiv_ms +=
+        Xs != nullptr ? cpu_.pattern(alpha, *Xs, v, y, beta, z).modeled_ms
+                      : cpu_.pattern(alpha, *Xd, v, y, beta, z).modeled_ms;
+    // The streamed result lives on the host (partials were merged there).
+    return add_vector(std::move(sr.op.value), "pattern_out");
+  }
+
+  const bool gpu = choose_gpu(2 * xbytes, {Xid, vid, yid, zid});
 
   std::vector<real> w;
   if (gpu) {

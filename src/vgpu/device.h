@@ -21,6 +21,7 @@
 #include "common/types.h"
 #include "vgpu/cost_model.h"
 #include "vgpu/device_spec.h"
+#include "vgpu/fault_injector.h"
 #include "vgpu/launch_config.h"
 #include "vgpu/mem_counters.h"
 #include "vgpu/mem_tracker.h"
@@ -94,7 +95,20 @@ class Device {
   const DeviceSpec& spec() const { return spec_; }
   const CostModel& cost_model() const { return cost_model_; }
 
+  /// Attaches a fault injector (nullptr detaches). Not owned. A disarmed
+  /// injector (all rates zero) leaves every modeled time unchanged.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() const { return injector_; }
+
   /// Launch `kernel` (callable taking BlockCtx&) over cfg.grid_size blocks.
+  ///
+  /// With a fault injector attached, the launch may instead raise one of the
+  /// typed faults: KernelFaultError before the kernel body runs (only the
+  /// launch overhead is burned), DeviceOomError for an injected workspace
+  /// allocation failure, or DataError *after* the kernel ran (an ECC event
+  /// on its output — the full kernel time is burned, and callers must treat
+  /// any in-place outputs as corrupted). Burned time is charged to the
+  /// session totals and carried on the exception as penalty_ms().
   template <typename Kernel>
   LaunchStats launch(const LaunchConfig& cfg, Kernel&& kernel) {
     FUSEDML_CHECK(cfg.internally_consistent(), "inconsistent launch config");
@@ -102,6 +116,18 @@ class Device {
                   "block size exceeds device limit");
     FUSEDML_CHECK(cfg.smem_words * sizeof(real) <= spec_.smem_per_sm_bytes,
                   "shared memory request exceeds SM capacity");
+
+    const FaultKind fault =
+        injector_ != nullptr ? injector_->next_launch_fault() : FaultKind::kNone;
+    if (fault == FaultKind::kKernelFault) {
+      const double penalty = cost_model_.params().launch_overhead_us / 1000.0;
+      ++session_launches_;
+      session_modeled_ms_ += penalty;
+      throw KernelFaultError("injected kernel-launch failure", penalty);
+    }
+    if (fault == FaultKind::kDeviceOom) {
+      throw DeviceOomError("injected device OOM at kernel launch");
+    }
 
     LaunchStats stats;
     stats.config = cfg;
@@ -124,13 +150,22 @@ class Device {
     ++session_launches_;
     session_modeled_ms_ += stats.time.total_ms;
     session_counters_ += stats.counters;
+    if (fault == FaultKind::kEcc) {
+      throw DataError("injected ECC corruption in kernel output",
+                      stats.time.total_ms);
+    }
     return stats;
   }
 
-  /// Modeled host->device copy; accumulates into the session totals.
+  /// Modeled host->device copy; accumulates into the session totals. With a
+  /// fault injector attached the copy may fail in flight (TransferError);
+  /// the bus time is still burned and carried as the error's penalty.
   double transfer_h2d_ms(std::uint64_t bytes) {
     const double ms = cost_model_.transfer_ms(bytes);
     session_transfer_ms_ += ms;
+    if (injector_ != nullptr && injector_->next_transfer_fault()) {
+      throw TransferError("injected PCIe transfer fault", ms);
+    }
     return ms;
   }
 
@@ -150,6 +185,7 @@ class Device {
   DeviceSpec spec_;
   CostModel cost_model_;
   int host_threads_;
+  FaultInjector* injector_ = nullptr;
   std::uint64_t session_launches_ = 0;
   double session_modeled_ms_ = 0.0;
   double session_transfer_ms_ = 0.0;

@@ -1,0 +1,79 @@
+#include "vgpu/fault_injector.h"
+
+#include "common/error.h"
+
+namespace fusedml::vgpu {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kKernelFault: return "kernel-fault";
+    case FaultKind::kEcc: return "ecc";
+    case FaultKind::kTransfer: return "transfer";
+    case FaultKind::kDeviceOom: return "device-oom";
+  }
+  return "?";
+}
+
+FaultInjector::FaultInjector(FaultConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
+  FUSEDML_CHECK(cfg.kernel_fault_rate >= 0 && cfg.ecc_fault_rate >= 0 &&
+                    cfg.oom_fault_rate >= 0 && cfg.transfer_fault_rate >= 0,
+                "fault rates must be non-negative");
+  FUSEDML_CHECK(
+      cfg.kernel_fault_rate + cfg.ecc_fault_rate + cfg.oom_fault_rate <= 1.0,
+      "per-launch fault rates must sum to at most 1");
+  FUSEDML_CHECK(cfg.transfer_fault_rate <= 1.0,
+                "transfer fault rate must be at most 1");
+}
+
+FaultKind FaultInjector::next_launch_fault() {
+  ++log_.launches_seen;
+  if (!armed()) return FaultKind::kNone;
+  const double u = rng_.uniform();
+  double threshold = cfg_.kernel_fault_rate;
+  if (u < threshold) {
+    ++log_.kernel_faults;
+    return FaultKind::kKernelFault;
+  }
+  threshold += cfg_.ecc_fault_rate;
+  if (u < threshold) {
+    ++log_.ecc_faults;
+    return FaultKind::kEcc;
+  }
+  threshold += cfg_.oom_fault_rate;
+  if (u < threshold) {
+    ++log_.oom_faults;
+    return FaultKind::kDeviceOom;
+  }
+  return FaultKind::kNone;
+}
+
+bool FaultInjector::next_transfer_fault() {
+  ++log_.transfers_seen;
+  if (cfg_.transfer_fault_rate <= 0.0) return false;
+  if (rng_.uniform() < cfg_.transfer_fault_rate) {
+    ++log_.transfer_faults;
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::next_alloc_oom() {
+  ++log_.allocs_seen;
+  if (cfg_.oom_fault_rate <= 0.0) return false;
+  if (rng_.uniform() < cfg_.oom_fault_rate) {
+    ++log_.oom_faults;
+    return true;
+  }
+  return false;
+}
+
+void FaultInjector::reset() { reset(cfg_.seed); }
+
+void FaultInjector::reset(std::uint64_t seed) {
+  cfg_.seed = seed;
+  rng_ = Rng(seed);
+  log_ = FaultLog{};
+}
+
+}  // namespace fusedml::vgpu

@@ -1,0 +1,95 @@
+// Deterministic, seeded fault injection for the virtual device — the test
+// double for everything that goes wrong on real GPUs: failed kernel
+// launches, uncorrectable ECC events on kernel output, PCIe transfer
+// errors, and device-OOM conditions.
+//
+// The injector is a schedule, not a chaos monkey: given a seed and a fixed
+// sequence of launch/transfer/allocation events it always arms the same
+// faults, so a test can replay a faulty run bit-for-bit and a bench can
+// sweep fault rates reproducibly. The device consults it at three sites:
+//   - Device::launch       (kernel faults, ECC corruption, launch-time OOM)
+//   - Device::transfer_*   (PCIe faults)
+//   - MemoryManager allocs (allocation-time OOM)
+// Faults surface as the typed errors of common/error.h; the resilience
+// layers upstream decide between retry, backoff, and degradation.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace fusedml::vgpu {
+
+/// What the injector armed for one event.
+enum class FaultKind {
+  kNone,
+  kKernelFault,  ///< the launch fails before the kernel runs
+  kEcc,          ///< the kernel runs but its output is corrupted
+  kTransfer,     ///< a host<->device copy fails in flight
+  kDeviceOom,    ///< an allocation / launch workspace request fails
+};
+
+const char* to_string(FaultKind kind);
+
+/// Per-event fault probabilities. All zero (the default) disarms the
+/// injector entirely; attaching a disarmed injector changes nothing.
+struct FaultConfig {
+  std::uint64_t seed = 0x5eedULL;
+  /// Per kernel launch. kernel_fault + ecc + oom must sum to <= 1.
+  double kernel_fault_rate = 0.0;
+  double ecc_fault_rate = 0.0;
+  double oom_fault_rate = 0.0;
+  /// Per host<->device transfer.
+  double transfer_fault_rate = 0.0;
+
+  bool armed() const {
+    return kernel_fault_rate > 0.0 || ecc_fault_rate > 0.0 ||
+           oom_fault_rate > 0.0 || transfer_fault_rate > 0.0;
+  }
+};
+
+/// Running totals of what was actually injected.
+struct FaultLog {
+  std::uint64_t kernel_faults = 0;
+  std::uint64_t ecc_faults = 0;
+  std::uint64_t transfer_faults = 0;
+  std::uint64_t oom_faults = 0;
+  std::uint64_t launches_seen = 0;
+  std::uint64_t transfers_seen = 0;
+  std::uint64_t allocs_seen = 0;
+
+  std::uint64_t total() const {
+    return kernel_faults + ecc_faults + transfer_faults + oom_faults;
+  }
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultConfig cfg = {});
+
+  /// Fate of the next kernel launch: kNone, kKernelFault, kEcc or
+  /// kDeviceOom. One uniform draw per call.
+  FaultKind next_launch_fault();
+
+  /// True if the next host<->device transfer must fail.
+  bool next_transfer_fault();
+
+  /// True if the next device allocation request must report OOM.
+  bool next_alloc_oom();
+
+  bool armed() const { return cfg_.armed(); }
+  const FaultConfig& config() const { return cfg_; }
+  const FaultLog& log() const { return log_; }
+
+  /// Restarts the schedule (same seed unless a new one is given) and clears
+  /// the log — lets one injector drive a faulty run and its replay.
+  void reset();
+  void reset(std::uint64_t seed);
+
+ private:
+  FaultConfig cfg_;
+  Rng rng_;
+  FaultLog log_;
+};
+
+}  // namespace fusedml::vgpu

@@ -291,5 +291,48 @@ TEST(Io, RejectsGarbage) {
   EXPECT_THROW(read_matrix_market(ss), Error);
 }
 
+TEST(Io, RejectsEntryIndexOutsideDeclaredShape) {
+  // Row 5 of a declared 2x3 matrix would write out-of-bounds CSR entries.
+  std::stringstream rows(
+      "%%MatrixMarket matrix coordinate real general\n2 3 1\n5 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(rows), DataError);
+  std::stringstream cols(
+      "%%MatrixMarket matrix coordinate real general\n2 3 1\n1 7 1.0\n");
+  EXPECT_THROW(read_matrix_market(cols), DataError);
+}
+
+TEST(Io, RejectsNnzMismatch) {
+  // Fewer entries than declared: the reader runs out of data.
+  std::stringstream missing(
+      "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(missing), DataError);
+  // More entries than declared: trailing data lines must be rejected, not
+  // silently ignored.
+  std::stringstream extra(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n1 1 1.0\n2 2 2.0\n");
+  EXPECT_THROW(read_matrix_market(extra), DataError);
+}
+
+TEST(Io, RejectsNonFiniteAndMalformedValues) {
+  std::stringstream nan_entry(
+      "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 nan\n");
+  EXPECT_THROW(read_matrix_market(nan_entry), DataError);
+  std::stringstream inf_entry(
+      "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 inf\n");
+  EXPECT_THROW(read_matrix_market(inf_entry), DataError);
+  std::stringstream garbage_entry(
+      "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 x 1.0\n");
+  EXPECT_THROW(read_matrix_market(garbage_entry), DataError);
+}
+
+TEST(Io, TrailingCommentsAndBlanksAreNotExtraEntries) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n1 1 1.0\n% trailing comment\n   \n");
+  const auto X = read_matrix_market(ss);
+  EXPECT_EQ(X.nnz(), 1);
+}
+
 }  // namespace
 }  // namespace fusedml::la

@@ -1,0 +1,363 @@
+// Resilience under injected device faults: deterministic schedules,
+// bit-exact retried results, honest cost accounting, and graceful
+// degradation — the contract docs/RESILIENCE.md documents.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "common/resilience.h"
+#include "kernels/streaming.h"
+#include "la/generate.h"
+#include "la/vector_ops.h"
+#include "ml/lr_cg.h"
+#include "patterns/executor.h"
+#include "sysml/memory_manager.h"
+#include "sysml/runtime.h"
+#include "vgpu/device.h"
+#include "vgpu/fault_injector.h"
+
+namespace fusedml {
+namespace {
+
+using patterns::Backend;
+using patterns::PatternExecutor;
+using vgpu::FaultConfig;
+using vgpu::FaultInjector;
+using vgpu::FaultKind;
+
+FaultConfig mixed_faults(double scale = 1.0) {
+  FaultConfig cfg;
+  cfg.seed = 0xFA17ULL;
+  cfg.kernel_fault_rate = 0.05 * scale;
+  cfg.ecc_fault_rate = 0.03 * scale;
+  cfg.transfer_fault_rate = 0.05 * scale;
+  return cfg;
+}
+
+TEST(FaultInjector, SameSeedSameSchedule) {
+  FaultConfig cfg = mixed_faults(2.0);
+  FaultInjector a(cfg), b(cfg);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_EQ(a.next_launch_fault(), b.next_launch_fault());
+    EXPECT_EQ(a.next_transfer_fault(), b.next_transfer_fault());
+    EXPECT_EQ(a.next_alloc_oom(), b.next_alloc_oom());
+  }
+  EXPECT_GT(a.log().total(), 0u);
+  EXPECT_EQ(a.log().kernel_faults, b.log().kernel_faults);
+  EXPECT_EQ(a.log().ecc_faults, b.log().ecc_faults);
+  EXPECT_EQ(a.log().transfer_faults, b.log().transfer_faults);
+
+  // reset() replays the identical schedule.
+  a.reset();
+  std::vector<FaultKind> replay;
+  for (int i = 0; i < 100; ++i) replay.push_back(a.next_launch_fault());
+  a.reset();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_launch_fault(), replay[i]);
+}
+
+TEST(FaultInjector, RejectsBadRates) {
+  FaultConfig negative;
+  negative.kernel_fault_rate = -0.1;
+  EXPECT_THROW(FaultInjector{negative}, Error);
+  FaultConfig too_much;
+  too_much.kernel_fault_rate = 0.6;
+  too_much.ecc_fault_rate = 0.3;
+  too_much.oom_fault_rate = 0.2;  // per-launch sum > 1
+  EXPECT_THROW(FaultInjector{too_much}, Error);
+}
+
+TEST(FaultInjector, DisarmedInjectorInjectsNothing) {
+  FaultInjector inj{FaultConfig{}};  // all rates zero
+  EXPECT_FALSE(inj.armed());
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(inj.next_launch_fault(), FaultKind::kNone);
+    EXPECT_FALSE(inj.next_transfer_fault());
+    EXPECT_FALSE(inj.next_alloc_oom());
+  }
+}
+
+class ResilientExecutorTest : public ::testing::Test {
+ protected:
+  la::CsrMatrix X_ = la::uniform_sparse(3000, 120, 0.05, 17);
+  std::vector<real> y_ = la::random_vector(120, 3);
+  std::vector<real> v_ = la::random_vector(3000, 4);
+  std::vector<real> z_ = la::random_vector(120, 5);
+};
+
+TEST_F(ResilientExecutorTest, PatternOpsBitExactUnderFaults) {
+  vgpu::Device clean_dev;
+  PatternExecutor clean(clean_dev, Backend::kFused);
+
+  FaultInjector inj(mixed_faults(2.0));
+  vgpu::Device faulty_dev;
+  faulty_dev.set_fault_injector(&inj);
+  PatternExecutor faulty(faulty_dev, Backend::kFused);
+
+  for (int rep = 0; rep < 30; ++rep) {
+    const auto a = clean.pattern(1.5, X_, v_, y_, 0.5, z_);
+    const auto b = faulty.pattern(1.5, X_, v_, y_, 0.5, z_);
+    ASSERT_EQ(a.value, b.value) << "rep " << rep;
+    const auto ta = clean.transposed_product(X_, v_);
+    const auto tb = faulty.transposed_product(X_, v_);
+    ASSERT_EQ(ta.value, tb.value) << "rep " << rep;
+  }
+  // The armed run really absorbed faults, recovered from every one of
+  // them, and stayed on the fused backend throughout.
+  const auto& rs = faulty.resilience();
+  EXPECT_GT(rs.faults_seen, 0u);
+  EXPECT_GT(rs.retries, 0u);
+  EXPECT_EQ(rs.fallbacks, 0u);
+  EXPECT_GT(rs.recoveries, 0u);
+  EXPECT_GT(rs.overhead_ms(), 0.0);
+  EXPECT_EQ(clean.resilience().faults_seen, 0u);
+}
+
+TEST_F(ResilientExecutorTest, InPlaceBlas1RestoredBeforeRetry) {
+  vgpu::Device clean_dev;
+  PatternExecutor clean(clean_dev, Backend::kFused);
+
+  // High ECC rate: faults fire AFTER the kernel mutated y in place, so a
+  // bit-exact retry requires the executor's snapshot/restore.
+  FaultConfig cfg;
+  cfg.seed = 99;
+  cfg.ecc_fault_rate = 0.4;
+  FaultInjector inj(cfg);
+  vgpu::Device faulty_dev;
+  faulty_dev.set_fault_injector(&inj);
+  PatternExecutor faulty(faulty_dev, Backend::kFused);
+
+  auto yc = la::random_vector(5000, 7);
+  auto yf = yc;
+  const auto xs = la::random_vector(5000, 8);
+  for (int rep = 0; rep < 20; ++rep) {
+    clean.axpy(0.25, xs, yc);
+    faulty.axpy(0.25, xs, yf);
+    ASSERT_EQ(yc, yf) << "rep " << rep;
+    clean.scal(1.01, yc);
+    faulty.scal(1.01, yf);
+    ASSERT_EQ(yc, yf) << "rep " << rep;
+    const auto dc = clean.dot(xs, yc);
+    const auto df = faulty.dot(xs, yf);
+    ASSERT_EQ(dc.value, df.value) << "rep " << rep;
+  }
+  EXPECT_GT(faulty.resilience().faults_seen, 0u);
+  EXPECT_EQ(faulty.resilience().fallbacks, 0u);
+}
+
+TEST_F(ResilientExecutorTest, DisarmedInjectorLeavesModeledTimeUntouched) {
+  vgpu::Device plain_dev;
+  PatternExecutor plain(plain_dev, Backend::kFused);
+  const auto a = plain.pattern(1, X_, v_, y_, 0, {});
+
+  FaultInjector disarmed{FaultConfig{.seed = 1}};  // rates all zero
+  vgpu::Device dev;
+  dev.set_fault_injector(&disarmed);
+  PatternExecutor exec(dev, Backend::kFused);
+  const auto b = exec.pattern(1, X_, v_, y_, 0, {});
+
+  EXPECT_EQ(a.value, b.value);
+  EXPECT_EQ(a.modeled_ms, b.modeled_ms);  // bit-identical, not just close
+  EXPECT_EQ(a.launches, b.launches);
+  EXPECT_FALSE(exec.resilience().any());
+}
+
+TEST_F(ResilientExecutorTest, ExhaustedRetriesDegradeToCpu) {
+  FaultConfig cfg;
+  cfg.seed = 5;
+  cfg.kernel_fault_rate = 1.0;  // every launch fails, on every GPU backend
+  FaultInjector inj(cfg);
+  vgpu::Device dev;
+  dev.set_fault_injector(&inj);
+  PatternExecutor exec(dev, Backend::kFused);
+  exec.retry_policy().max_attempts = 2;
+
+  const auto r = exec.pattern(1, X_, v_, y_, 0, {});
+  EXPECT_EQ(r.backend_used, Backend::kCpu);
+  EXPECT_EQ(r.resilience.fallbacks, 2u);  // fused -> cusparse -> cpu
+  EXPECT_NE(r.kernel.find("[after fallback]"), std::string::npos);
+
+  // The CPU result is the CPU backend's own bits.
+  vgpu::Device clean_dev;
+  PatternExecutor cpu(clean_dev, Backend::kCpu);
+  EXPECT_EQ(r.value, cpu.pattern(1, X_, v_, y_, 0, {}).value);
+}
+
+TEST_F(ResilientExecutorTest, DeviceOomSkipsRetriesAndFallsBack) {
+  FaultConfig cfg;
+  cfg.seed = 5;
+  cfg.oom_fault_rate = 1.0;
+  FaultInjector inj(cfg);
+  vgpu::Device dev;
+  dev.set_fault_injector(&inj);
+  PatternExecutor exec(dev, Backend::kFused);
+
+  const auto r = exec.pattern(1, X_, v_, y_, 0, {});
+  EXPECT_EQ(r.backend_used, Backend::kCpu);
+  // OOM is not transient: one fault per GPU backend, zero retries.
+  EXPECT_EQ(r.resilience.retries, 0u);
+  EXPECT_EQ(r.resilience.faults_seen, 2u);
+  EXPECT_EQ(r.resilience.fallbacks, 2u);
+}
+
+TEST_F(ResilientExecutorTest, FallbackDisabledRethrowsTypedError) {
+  FaultConfig cfg;
+  cfg.seed = 5;
+  cfg.kernel_fault_rate = 1.0;
+  FaultInjector inj(cfg);
+  vgpu::Device dev;
+  dev.set_fault_injector(&inj);
+  PatternExecutor exec(dev, Backend::kFused);
+  exec.retry_policy().max_attempts = 2;
+  exec.retry_policy().allow_backend_fallback = false;
+
+  EXPECT_THROW(exec.pattern(1, X_, v_, y_, 0, {}), KernelFaultError);
+  EXPECT_GT(exec.resilience().faults_seen, 0u);
+  EXPECT_EQ(exec.resilience().fallbacks, 0u);
+}
+
+TEST(StreamingResilience, PanelsRetryToBitExactResult) {
+  const auto X = la::uniform_sparse(20000, 200, 0.02, 23);
+  const auto y = la::random_vector(200, 2);
+  const auto v = la::random_vector(20000, 6);
+
+  kernels::StreamingOptions opts;
+  opts.panel_rows = 2000;  // force 10 panels
+
+  vgpu::Device clean_dev;
+  const auto clean =
+      kernels::streaming_pattern_sparse(clean_dev, 1, X, v, y, 0, {}, opts);
+  ASSERT_GT(clean.panels, 1);
+  EXPECT_FALSE(clean.resilience.any());
+
+  FaultInjector inj(mixed_faults(2.0));
+  vgpu::Device faulty_dev;
+  faulty_dev.set_fault_injector(&inj);
+  const auto faulty =
+      kernels::streaming_pattern_sparse(faulty_dev, 1, X, v, y, 0, {}, opts);
+
+  EXPECT_EQ(clean.op.value, faulty.op.value);
+  EXPECT_EQ(clean.panels, faulty.panels);
+  EXPECT_GT(faulty.resilience.faults_seen, 0u);
+  EXPECT_GT(faulty.resilience.retries, 0u);
+  // Retry + backoff time is charged, so the faulty pipeline is slower.
+  EXPECT_GT(faulty.pipeline_ms, clean.pipeline_ms);
+  EXPECT_GT(faulty.resilience.overhead_ms(), 0.0);
+}
+
+TEST(SolverResilience, LrCgConvergesIdenticallyUnderFaults) {
+  const auto X = la::uniform_sparse(10000, 300, 0.02, 31);
+  const auto labels = la::regression_labels(X, 31, 0.05);
+  const ml::LrCgConfig cfg{.max_iterations = 100, .eps = 1e-6,
+                           .tolerance = 1e-10};
+
+  vgpu::Device clean_dev;
+  PatternExecutor clean(clean_dev, Backend::kFused);
+  const auto a = ml::lr_cg(clean, X, labels, cfg);
+
+  FaultInjector inj(mixed_faults());  // ~5% of launches/transfers fault
+  vgpu::Device faulty_dev;
+  faulty_dev.set_fault_injector(&inj);
+  PatternExecutor faulty(faulty_dev, Backend::kFused);
+  const auto b = ml::lr_cg(faulty, X, labels, cfg);
+
+  EXPECT_TRUE(a.converged);
+  EXPECT_TRUE(b.converged);
+  EXPECT_EQ(a.stats.iterations, b.stats.iterations);
+  EXPECT_EQ(a.weights, b.weights);  // bit-exact, not approximately equal
+  EXPECT_GT(b.stats.resilience.faults_seen, 0u);
+  EXPECT_GT(b.stats.resilience.retries, 0u);
+  EXPECT_EQ(b.stats.resilience.fallbacks, 0u);
+  EXPECT_GT(b.stats.total_modeled_ms(), a.stats.total_modeled_ms());
+}
+
+TEST(MemoryManagerResilience, TransferFaultsRetryWithChargedBackoff) {
+  FaultConfig cfg;
+  cfg.seed = 3;
+  cfg.transfer_fault_rate = 0.5;
+  FaultInjector inj(cfg);
+  vgpu::Device dev;
+  dev.set_fault_injector(&inj);
+  sysml::MemoryManager mm(dev, 1u << 20);
+
+  vgpu::Device clean_dev;
+  sysml::MemoryManager clean(clean_dev, 1u << 20);
+
+  double faulty_ms = 0.0, clean_ms = 0.0;
+  for (sysml::TensorId id = 1; id <= 8; ++id) {
+    mm.register_tensor(id, 10000, "t" + std::to_string(id));
+    clean.register_tensor(id, 10000, "t" + std::to_string(id));
+    faulty_ms += mm.ensure_on_device(id);
+    clean_ms += clean.ensure_on_device(id);
+  }
+  const auto& rs = mm.stats().resilience;
+  EXPECT_GT(rs.faults_seen, 0u);
+  EXPECT_GT(rs.retries, 0u);
+  EXPECT_GT(rs.recoveries, 0u);  // recovered every time: nothing threw
+  EXPECT_GT(faulty_ms, clean_ms);
+  EXPECT_NEAR(faulty_ms - clean_ms, rs.overhead_ms(), 1e-9);
+  EXPECT_EQ(mm.stats().h2d_transfers, clean.stats().h2d_transfers);
+}
+
+TEST(MemoryManagerResilience, InjectedAllocOomEvictsGracefully) {
+  vgpu::Device dev;
+  sysml::MemoryManager mm(dev, 4096);
+  mm.register_tensor(1, 1000, "a");
+  mm.register_tensor(2, 1000, "b");
+  mm.ensure_on_device(1);
+
+  // Arm the injector only now: the next allocation draws a guaranteed OOM,
+  // which the manager absorbs by evicting the LRU victim (tensor 1).
+  FaultConfig cfg;
+  cfg.seed = 3;
+  cfg.oom_fault_rate = 1.0;
+  FaultInjector inj(cfg);
+  dev.set_fault_injector(&inj);
+
+  EXPECT_NO_THROW(mm.ensure_on_device(2));
+  EXPECT_TRUE(mm.on_device(2));
+  EXPECT_FALSE(mm.on_device(1));
+  EXPECT_EQ(mm.stats().evictions, 1u);
+  EXPECT_EQ(mm.stats().resilience.faults_seen, 1u);
+  EXPECT_EQ(mm.stats().resilience.recoveries, 1u);
+
+  // With nothing left to evict the OOM is real and surfaces typed.
+  mm.release(2);
+  mm.release(1);
+  mm.register_tensor(3, 4096, "c");
+  EXPECT_THROW(mm.ensure_on_device(3), DeviceOomError);
+}
+
+TEST(RuntimeResilience, OversizedPatternStreamsInsteadOfThrowing) {
+  // 2000 x 500 doubles = 8 MB of dense X against a 4 MB device: the tensor
+  // can never be resident, so op_pattern must reroute through streaming.
+  const auto X = la::dense_random(2000, 500, 13);
+  const auto y = la::random_vector(500, 2);
+
+  sysml::RuntimeOptions gpu_opts;
+  gpu_opts.device_capacity = 4u << 20;
+  vgpu::Device dev;
+  sysml::Runtime rt(dev, gpu_opts);
+  const auto Xid = rt.add_dense(X, "X");
+  const auto yid = rt.add_vector(y, "y");
+  const auto wid = rt.op_pattern(1, Xid, 0, yid, 0, 0);
+  const auto w = rt.read_vector(wid);
+
+  EXPECT_GE(rt.memory_stats().streaming_fallbacks, 1u);
+  EXPECT_GE(rt.stats().gpu_ops, 1u);
+
+  // Same script on the CPU-only runtime as the numeric reference.
+  vgpu::Device cpu_dev;
+  sysml::Runtime cpu_rt(cpu_dev, {.enable_gpu = false});
+  const auto Xc = cpu_rt.add_dense(X, "X");
+  const auto yc = cpu_rt.add_vector(y, "y");
+  const auto wc = cpu_rt.read_vector(cpu_rt.op_pattern(1, Xc, 0, yc, 0, 0));
+  ASSERT_EQ(w.size(), wc.size());
+  for (usize i = 0; i < w.size(); ++i) {
+    EXPECT_NEAR(w[i], wc[i], 1e-8 * (1.0 + std::abs(wc[i]))) << "i=" << i;
+  }
+}
+
+}  // namespace
+}  // namespace fusedml

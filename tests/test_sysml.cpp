@@ -109,9 +109,50 @@ TEST_F(MemoryManagerTest, AllocateOnDeviceSkipsUpload) {
   EXPECT_EQ(mm.residency(1), Residency::kDeviceDirty);
 }
 
-TEST_F(MemoryManagerTest, OversizedTensorRejected) {
+TEST_F(MemoryManagerTest, OversizedTensorRoutedToStreaming) {
+  // A tensor larger than device capacity registers fine but can never be
+  // made resident; needs_streaming flags it for the out-of-core path.
   MemoryManager mm(dev, 1000);
-  EXPECT_THROW(mm.register_tensor(1, 2000, "huge"), Error);
+  mm.register_tensor(1, 2000, "huge");
+  EXPECT_TRUE(mm.needs_streaming(1));
+  EXPECT_THROW(mm.ensure_on_device(1), DeviceOomError);
+  EXPECT_THROW(mm.allocate_on_device(1), DeviceOomError);
+  EXPECT_FALSE(mm.on_device(1));
+  mm.note_streaming_fallback();
+  EXPECT_EQ(mm.stats().streaming_fallbacks, 1u);
+
+  mm.register_tensor(2, 500, "fits");
+  EXPECT_FALSE(mm.needs_streaming(2));
+  EXPECT_GT(mm.ensure_on_device(2), 0.0);
+}
+
+TEST_F(MemoryManagerTest, NeverResidentTensorIsSafeToReleaseAndSync) {
+  MemoryManager mm(dev, 1000);
+  mm.register_tensor(1, 400, "ghost");
+  // Neither call may throw or charge transfers for a tensor that never
+  // reached the device.
+  EXPECT_DOUBLE_EQ(mm.release(1), 0.0);
+  EXPECT_DOUBLE_EQ(mm.ensure_on_host(1), 0.0);
+  EXPECT_EQ(mm.residency(1), Residency::kHostOnly);
+  EXPECT_EQ(mm.stats().h2d_transfers, 0u);
+  EXPECT_EQ(mm.stats().d2h_transfers, 0u);
+}
+
+TEST_F(MemoryManagerTest, ZeroHeadroomEvictsDeviceDirtyVictimWithWriteback) {
+  // Capacity holds exactly one tensor: bringing in the second under zero
+  // headroom must evict the first, writing it back because it is dirty.
+  MemoryManager mm(dev, 500);
+  mm.register_tensor(1, 500, "a");
+  mm.register_tensor(2, 500, "b");
+  mm.ensure_on_device(1);
+  mm.mark_device_dirty(1);
+  mm.ensure_on_device(2);
+  EXPECT_FALSE(mm.on_device(1));
+  EXPECT_TRUE(mm.on_device(2));
+  EXPECT_EQ(mm.stats().evictions, 1u);
+  EXPECT_EQ(mm.stats().d2h_transfers, 1u);  // dirty victim written back
+  EXPECT_EQ(mm.residency(1), Residency::kHostOnly);
+  EXPECT_LE(mm.device_bytes_in_use(), mm.capacity());
 }
 
 TEST_F(MemoryManagerTest, PeakTracksHighWater) {
