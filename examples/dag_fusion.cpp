@@ -7,7 +7,9 @@
 #include "kernels/cuda_codegen.h"
 #include "la/generate.h"
 #include "la/vector_ops.h"
+#include "ml/logreg.h"
 #include "sysml/dag.h"
+#include "sysml/fusion_planner.h"
 #include "sysml/runtime.h"
 #include "vgpu/device.h"
 
@@ -48,6 +50,26 @@ static int run_example() {
             << rt.stats().gpu_kernel_ms << " ms\n";
   std::cout << "||w||_inf = "
             << la::max_abs_diff(w, std::vector<real>(w.size(), 0.0)) << "\n\n";
+
+  // The cost-based planner generalizes the template pass: it also fuses
+  // elementwise chains the Equation-1 matcher cannot see. Here, the logreg
+  // residual sigmoid(-y ⊙ Xw) ⊙ -y plus the regularization axpy.
+  const auto w0 = rt.add_vector(la::random_vector(400, 7), "w0");
+  const auto ny = rt.add_vector(la::random_vector(30000, 8), "-y");
+  const auto Xn = sysml::input_matrix(Xid);
+  const auto nyn = sysml::input_vector(ny);
+  const auto resid = sysml::ewise_mul(
+      sysml::map(sysml::ewise_mul(nyn, sysml::mv(Xn, sysml::input_vector(w0))),
+                 ml::stable_sigmoid, "sigmoid"),
+      nyn);
+  const auto grad = sysml::add(sysml::mvt(Xn, resid),
+                               sysml::scale(0.01, sysml::input_vector(w0)));
+
+  const auto plan = sysml::plan_fusion(rt, grad);
+  std::cout << "planner on the logreg gradient DAG:\n" << plan.explain();
+  rt.note_plan(plan.explain());
+  sysml::execute(rt, plan.root);
+  std::cout << "\nRuntime::explain():\n" << rt.explain() << "\n";
 
   // What the code generator would hand to NVRTC for the dense case.
   kernels::DenseKernelSpec spec{32, 16, 2};  // the paper's Listing-2 example

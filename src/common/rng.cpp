@@ -54,8 +54,8 @@ std::uint64_t Rng::uniform_index(std::uint64_t n) {
   FUSEDML_CHECK(n > 0, "uniform_index requires n > 0");
   // Lemire-style rejection-free multiply-shift is fine for our purposes;
   // bias is < 2^-64 * n which is negligible for dataset generation.
-  return static_cast<std::uint64_t>(
-      (static_cast<unsigned __int128>(next_u64()) * n) >> 64);
+  __extension__ typedef unsigned __int128 u128;
+  return static_cast<std::uint64_t>((static_cast<u128>(next_u64()) * n) >> 64);
 }
 
 double Rng::normal() {

@@ -173,4 +173,58 @@ OpResult dev_scale_into(vgpu::Device& dev, real beta,
   return out;
 }
 
+OpResult dev_map(vgpu::Device& dev, std::span<const real> x, real (*f)(real)) {
+  OpResult out;
+  out.value.assign(x.size(), real{0});
+  out.absorb(launch_streaming(dev, x.size(),
+                              [&](BlockCtx& ctx, usize i0, int lanes) {
+    ctx.mem().load_contiguous(i0, lanes, sizeof(real));
+    ctx.mem().store_contiguous(i0, lanes, sizeof(real));
+    ctx.mem().add_flops(4ull * lanes);  // transcendental-class map
+    for (int l = 0; l < lanes; ++l) out.value[i0 + l] = f(x[i0 + l]);
+  }));
+  return out;
+}
+
+OpResult dev_ewise_chain(vgpu::Device& dev, const EwiseProgram& program,
+                         std::span<const std::span<const real>> inputs) {
+  FUSEDML_CHECK(program.valid(), "dev_ewise_chain: invalid program");
+  FUSEDML_CHECK(inputs.size() == static_cast<usize>(program.num_inputs),
+                "dev_ewise_chain: input-count mismatch");
+  const usize n = inputs.empty() ? 0 : inputs[0].size();
+  for (const auto& in : inputs) {
+    FUSEDML_CHECK(in.size() == n, "dev_ewise_chain: length mismatch");
+  }
+  OpResult out;
+  out.value.assign(n, real{0});
+  const std::uint64_t flops = program.flops_per_element();
+  out.absorb(launch_streaming(dev, n,
+                              [&](BlockCtx& ctx, usize i0, int lanes) {
+    for (usize k = 0; k < inputs.size(); ++k) {
+      ctx.mem().load_contiguous(i0, lanes, sizeof(real));
+    }
+    ctx.mem().store_contiguous(i0, lanes, sizeof(real));
+    ctx.mem().add_flops(flops * lanes);
+    std::vector<real> slots(static_cast<usize>(program.num_inputs) +
+                            program.steps.size());
+    for (int l = 0; l < lanes; ++l) {
+      const usize i = i0 + l;
+      for (usize k = 0; k < inputs.size(); ++k) slots[k] = inputs[k][i];
+      for (usize j = 0; j < program.steps.size(); ++j) {
+        const EwiseStep& s = program.steps[j];
+        real r = 0;
+        switch (s.op) {
+          case EwiseOp::kScale: r = s.scalar * slots[s.a]; break;
+          case EwiseOp::kAdd: r = slots[s.a] + slots[s.b]; break;
+          case EwiseOp::kMul: r = slots[s.a] * slots[s.b]; break;
+          case EwiseOp::kMap: r = s.map_fn(slots[s.a]); break;
+        }
+        slots[static_cast<usize>(program.num_inputs) + j] = r;
+      }
+      out.value[i] = slots.back();
+    }
+  }));
+  return out;
+}
+
 }  // namespace fusedml::kernels

@@ -8,6 +8,7 @@
 #include <span>
 
 #include "common/types.h"
+#include "kernels/ewise_program.h"
 #include "kernels/op_result.h"
 #include "vgpu/device.h"
 
@@ -34,5 +35,14 @@ OpResult dev_ewise_mul(vgpu::Device& dev, std::span<const real> x,
 /// out[i] = beta * z[i]  (the beta*z initialization as its own kernel, the
 /// "launch two kernels" alternative discussed under Algorithm 2).
 OpResult dev_scale_into(vgpu::Device& dev, real beta, std::span<const real> z);
+
+/// out[i] = f(x[i]) — one streaming kernel (sigmoid, exp, ... on the device).
+OpResult dev_map(vgpu::Device& dev, std::span<const real> x, real (*f)(real));
+
+/// One launch of the fusion planner's generated elementwise-chain kernel:
+/// reads every input stream once, writes the output once, and keeps all
+/// intermediates in registers (ewise_program.h / generate_ewise_chain_cuda).
+OpResult dev_ewise_chain(vgpu::Device& dev, const EwiseProgram& program,
+                         std::span<const std::span<const real>> inputs);
 
 }  // namespace fusedml::kernels

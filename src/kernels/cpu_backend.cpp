@@ -170,4 +170,29 @@ CpuOpResult CpuBackend::scal(real alpha, std::span<real> x) const {
   return out;
 }
 
+CpuOpResult CpuBackend::map(std::span<const real> x, real (*f)(real)) const {
+  Timer t;
+  CpuOpResult out;
+  out.value.resize(x.size());
+  for (usize i = 0; i < x.size(); ++i) out.value[i] = f(x[i]);
+  out.wall_ms = t.elapsed_ms();
+  out.modeled_ms =
+      model_.op_time_ms(vec_bytes(x.size(), 2), 4ull * x.size(), threads_);
+  return out;
+}
+
+CpuOpResult CpuBackend::ewise_chain(
+    const EwiseProgram& program,
+    std::span<const std::span<const real>> inputs) const {
+  Timer t;
+  CpuOpResult out;
+  out.value = program.evaluate(inputs);
+  out.wall_ms = t.elapsed_ms();
+  const usize n = out.value.size();
+  out.modeled_ms = model_.op_time_ms(
+      vec_bytes(n, static_cast<int>(inputs.size()) + 1),
+      program.flops_per_element() * n, threads_);
+  return out;
+}
+
 }  // namespace fusedml::kernels

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "kernels/ewise_program.h"
 #include "la/csr_matrix.h"
 #include "la/dense_matrix.h"
 #include "vgpu/cost_model.h"
@@ -57,6 +58,13 @@ class CpuBackend {
   CpuOpResult ewise_mul(std::span<const real> x,
                         std::span<const real> y) const;
   CpuOpResult scal(real alpha, std::span<real> x) const;
+  CpuOpResult map(std::span<const real> x, real (*f)(real)) const;
+
+  /// Straight-line elementwise program over equal-length inputs — the CPU
+  /// analogue of the generated fused chain kernel (one read pass per input,
+  /// one write pass, all intermediates in registers).
+  CpuOpResult ewise_chain(const EwiseProgram& program,
+                          std::span<const std::span<const real>> inputs) const;
 
  private:
   vgpu::CpuCostModel model_;

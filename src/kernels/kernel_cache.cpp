@@ -33,9 +33,24 @@ const std::string& KernelCache::sparse_kernel(int vs,
   return sparse_.emplace(key, std::move(src)).first->second;
 }
 
+const std::string& KernelCache::ewise_kernel(const EwiseProgram& program) {
+  auto key = program.signature();
+  const auto it = ewise_.find(key);
+  if (it != ewise_.end()) {
+    ++stats_.hits;
+    return it->second;
+  }
+  Timer t;
+  auto src = generate_ewise_chain_cuda(program);
+  stats_.generation_ms += t.elapsed_ms();
+  ++stats_.misses;
+  return ewise_.emplace(std::move(key), std::move(src)).first->second;
+}
+
 void KernelCache::clear() {
   dense_.clear();
   sparse_.clear();
+  ewise_.clear();
   stats_ = Stats{};
 }
 

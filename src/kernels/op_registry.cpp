@@ -1,0 +1,415 @@
+#include "kernels/op_registry.h"
+
+#include <algorithm>
+#include <exception>
+
+#include "common/error.h"
+#include "kernels/baselines.h"
+#include "kernels/blas1.h"
+#include "kernels/gemv.h"
+#include "kernels/spmv.h"
+
+namespace fusedml::kernels {
+
+std::string to_string(Backend backend) {
+  switch (backend) {
+    case Backend::kFused: return "fused";
+    case Backend::kCusparse: return "cuBLAS/cuSPARSE-style";
+    case Backend::kBidmatGpu: return "BIDMat-GPU-style";
+    case Backend::kCpu: return "CPU (MKL-like)";
+  }
+  return "?";
+}
+
+std::optional<Backend> fallback_backend(Backend backend) {
+  switch (backend) {
+    case Backend::kFused: return Backend::kCusparse;
+    case Backend::kCusparse: return Backend::kCpu;
+    case Backend::kBidmatGpu: return Backend::kCpu;
+    case Backend::kCpu: return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+const char* to_string(RegistryOp op) {
+  switch (op) {
+    case RegistryOp::kPattern: return "pattern";
+    case RegistryOp::kTransposedProduct: return "transposed_product";
+    case RegistryOp::kProduct: return "product";
+    case RegistryOp::kAxpy: return "axpy";
+    case RegistryOp::kScal: return "scal";
+    case RegistryOp::kDot: return "dot";
+    case RegistryOp::kNrm2: return "nrm2";
+    case RegistryOp::kEwiseMul: return "ewise_mul";
+    case RegistryOp::kMap: return "map";
+    case RegistryOp::kFusedEwise: return "fused_ewise";
+  }
+  return "?";
+}
+
+OpProfile op_profile(RegistryOp op, Backend backend, bool sparse) {
+  const bool cpu = backend == Backend::kCpu;
+  OpProfile p;
+  if (cpu) p.launches = 0;
+  switch (op) {
+    case RegistryOp::kPattern:
+      // Fused: ONE launch, one product pass + one (cached) transpose pass.
+      // Baselines: product, ewise mul, beta*z init, transpose machinery,
+      // transposed product — each its own launch and its own pass.
+      if (backend == Backend::kFused) {
+        p.matrix_passes = sparse ? 1.25 : 1.0;  // second pass mostly cached
+        p.vector_words_per_elem = 4;            // y in, v in, z in, w out
+        p.kernel = sparse ? "fused_pattern_sparse (Alg. 2)"
+                          : "fused_pattern_dense (Alg. 3, codegen)";
+      } else if (cpu) {
+        p.matrix_passes = 2.0;
+        p.vector_words_per_elem = 6;
+        p.kernel = "cpu pattern";
+      } else {
+        p.launches = backend == Backend::kCusparse ? 6 : 5;
+        p.matrix_passes = backend == Backend::kCusparse ? 3.0 : 2.0;
+        p.vector_words_per_elem = 8;  // intermediates hit DRAM between kernels
+        p.kernel = backend == Backend::kCusparse
+                       ? "csrmv + blas1 + csr2csc + csrmv"
+                       : "csrmv + blas1 + atomic-scatter";
+      }
+      break;
+    case RegistryOp::kTransposedProduct:
+      if (backend == Backend::kFused) {
+        p.matrix_passes = 1.0;
+        p.vector_words_per_elem = 2;
+        p.kernel = sparse ? "fused_spmv_t (Alg. 1)" : "gemv_t";
+      } else if (cpu) {
+        p.matrix_passes = 1.0;
+        p.vector_words_per_elem = 2;
+        p.kernel = sparse ? "cpu spmv_t" : "cpu gemv_t";
+      } else {
+        p.launches = sparse && backend == Backend::kCusparse ? 2 : 1;
+        p.matrix_passes = sparse && backend == Backend::kCusparse ? 2.0 : 1.0;
+        p.vector_words_per_elem = 2;
+        p.kernel = sparse ? (backend == Backend::kCusparse
+                                 ? "csr2csc + csrmv"
+                                 : "atomic-scatter spmv_t")
+                          : "gemv_t";
+      }
+      break;
+    case RegistryOp::kProduct:
+      p.matrix_passes = 1.0;
+      p.vector_words_per_elem = 2;
+      p.kernel = cpu ? (sparse ? "cpu spmv" : "cpu gemv")
+                     : (sparse ? "csrmv" : "gemv");
+      break;
+    case RegistryOp::kAxpy:
+      p.vector_words_per_elem = 3;
+      p.in_place = true;
+      p.kernel = "axpy";
+      break;
+    case RegistryOp::kScal:
+      p.vector_words_per_elem = 2;
+      p.in_place = true;
+      p.kernel = "scal";
+      break;
+    case RegistryOp::kDot:
+      p.vector_words_per_elem = 2;
+      p.kernel = "dot";
+      break;
+    case RegistryOp::kNrm2:
+      p.vector_words_per_elem = 1;
+      p.kernel = "nrm2";
+      break;
+    case RegistryOp::kEwiseMul:
+      p.vector_words_per_elem = 3;
+      p.kernel = "ewise_mul";
+      break;
+    case RegistryOp::kMap:
+      p.vector_words_per_elem = 2;
+      p.kernel = "map";
+      break;
+    case RegistryOp::kFusedEwise:
+      // Per stream: the planner adds (num_inputs + 1) * n words itself.
+      p.vector_words_per_elem = 1;
+      p.kernel = "ewise chain (codegen)";
+      break;
+  }
+  return p;
+}
+
+namespace {
+KernelOutcome from_op(OpResult op, std::string kernel) {
+  KernelOutcome out;
+  out.value = std::move(op.value);
+  out.modeled_ms = op.modeled_ms;
+  out.wall_ms = op.wall_ms;
+  out.launches = op.launches;
+  out.counters = op.counters;
+  out.kernel = std::move(kernel);
+  return out;
+}
+
+KernelOutcome from_cpu(CpuOpResult op, std::string kernel) {
+  KernelOutcome out;
+  out.value = std::move(op.value);
+  out.modeled_ms = op.modeled_ms;
+  out.wall_ms = op.wall_ms;
+  out.kernel = std::move(kernel);
+  return out;
+}
+}  // namespace
+
+KernelOutcome OpRegistry::transposed_product(Backend b, const la::CsrMatrix& X,
+                                             std::span<const real> y,
+                                             real alpha) {
+  switch (b) {
+    case Backend::kFused:
+      return from_op(fused_spmv_t(dev_, X, y, alpha, sparse_opts_),
+                     "fused_spmv_t (Alg. 1)");
+    case Backend::kCusparse: {
+      auto op = baseline_xty_sparse(
+          dev_, X, y, SparseTransposeStrategy::kExplicitTranspose);
+      if (alpha != real{1}) {
+        auto s = dev_scal(dev_, alpha, op.value);
+        op.absorb_timing(s);
+      }
+      return from_op(std::move(op), "csr2csc + csrmv");
+    }
+    case Backend::kBidmatGpu: {
+      auto op = baseline_xty_sparse(dev_, X, y,
+                                    SparseTransposeStrategy::kAtomicScatter);
+      if (alpha != real{1}) {
+        auto s = dev_scal(dev_, alpha, op.value);
+        op.absorb_timing(s);
+      }
+      return from_op(std::move(op), "atomic-scatter spmv_t");
+    }
+    case Backend::kCpu: {
+      auto op = cpu_.spmv_t(X, y);
+      if (alpha != real{1}) {
+        for (real& w : op.value) w *= alpha;
+      }
+      return from_cpu(std::move(op), "cpu spmv_t");
+    }
+  }
+  throw Error("unknown backend");
+}
+
+KernelOutcome OpRegistry::transposed_product(Backend b,
+                                             const la::DenseMatrix& X,
+                                             std::span<const real> y,
+                                             real alpha) {
+  if (b == Backend::kCpu) {
+    auto op = cpu_.gemv_t(X, y);
+    if (alpha != real{1}) {
+      for (real& w : op.value) w *= alpha;
+    }
+    return from_cpu(std::move(op), "cpu gemv_t");
+  }
+  // The paper does not fuse dense X^T x y ("we do not consider X^T x y,
+  // when X is dense" — cuBLAS is already near-optimal), so every GPU
+  // backend runs the gemv_t kernel, differing only in tile modeling.
+  const auto flavor =
+      b == Backend::kCusparse ? DenseFlavor::kCublas : DenseFlavor::kBidmat;
+  GemvOptions opts;
+  if (flavor == DenseFlavor::kCublas) {
+    opts.smem_conflict_ways = kCublasConflictWays;
+    opts.transaction_inflation = kCublasTransactionInflation;
+  }
+  auto op = gemv_t(dev_, X, y, opts);
+  if (alpha != real{1}) {
+    auto s = dev_scal(dev_, alpha, op.value);
+    op.absorb_timing(s);
+  }
+  return from_op(std::move(op), "gemv_t");
+}
+
+KernelOutcome OpRegistry::product(Backend b, const la::CsrMatrix& X,
+                                  std::span<const real> y) {
+  if (b == Backend::kCpu) return from_cpu(cpu_.spmv(X, y), "cpu spmv");
+  return from_op(spmv_csr_vector(dev_, X, y), "csrmv");
+}
+
+KernelOutcome OpRegistry::product(Backend b, const la::DenseMatrix& X,
+                                  std::span<const real> y) {
+  if (b == Backend::kCpu) return from_cpu(cpu_.gemv(X, y), "cpu gemv");
+  return from_op(gemv_n(dev_, X, y), "gemv");
+}
+
+KernelOutcome OpRegistry::pattern(Backend b, real alpha, const la::CsrMatrix& X,
+                                  std::span<const real> v,
+                                  std::span<const real> y, real beta,
+                                  std::span<const real> z) {
+  switch (b) {
+    case Backend::kFused:
+      return from_op(
+          fused_pattern_sparse(dev_, alpha, X, v, y, beta, z, sparse_opts_),
+          "fused_pattern_sparse (Alg. 2)");
+    case Backend::kCusparse:
+      return from_op(baseline_pattern_sparse(
+                         dev_, alpha, X, v, y, beta, z,
+                         SparseTransposeStrategy::kExplicitTranspose),
+                     "csrmv + blas1 + csr2csc + csrmv");
+    case Backend::kBidmatGpu:
+      return from_op(
+          baseline_pattern_sparse(dev_, alpha, X, v, y, beta, z,
+                                  SparseTransposeStrategy::kAtomicScatter),
+          "csrmv + blas1 + atomic-scatter");
+    case Backend::kCpu:
+      return from_cpu(cpu_.pattern(alpha, X, v, y, beta, z), "cpu pattern");
+  }
+  throw Error("unknown backend");
+}
+
+KernelOutcome OpRegistry::pattern(Backend b, real alpha,
+                                  const la::DenseMatrix& X,
+                                  std::span<const real> v,
+                                  std::span<const real> y, real beta,
+                                  std::span<const real> z) {
+  const bool has_bz = !z.empty() && beta != real{0};
+  switch (b) {
+    case Backend::kFused: {
+      if (!dense_fused_feasible(dev_.spec(), X.cols())) {
+        // §3.2: very wide dense rows exceed the register file — fall back
+        // to two separate Level-2 kernels instead of fusing.
+        return from_op(baseline_pattern_dense(dev_, alpha, X, v, y, beta, z,
+                                              DenseFlavor::kBidmat),
+                       "gemv + gemv_t (fused infeasible: n too large, §3.2)");
+      }
+      if (dense_opts_.use_codegen) {
+        // §3.2 lifecycle: the kernel for this (n, VS, TL, options) shape is
+        // generated once and reused on every subsequent iteration.
+        const auto params = fused_dense_params(dev_, X, dense_opts_);
+        codegen_cache_.dense_kernel({X.cols(), params.config.vector_size,
+                                     params.config.thread_load, !v.empty(),
+                                     has_bz});
+      }
+      return from_op(fused_pattern_dense(dev_, alpha, X, v, y, beta, z,
+                                         dense_opts_),
+                     "fused_pattern_dense (Alg. 3, codegen)");
+    }
+    case Backend::kCusparse:
+      return from_op(baseline_pattern_dense(dev_, alpha, X, v, y, beta, z,
+                                            DenseFlavor::kCublas),
+                     "gemv + blas1 + gemv_t (cuBLAS tiles)");
+    case Backend::kBidmatGpu:
+      return from_op(baseline_pattern_dense(dev_, alpha, X, v, y, beta, z,
+                                            DenseFlavor::kBidmat),
+                     "gemv + blas1 + gemv_t (padded tiles)");
+    case Backend::kCpu:
+      return from_cpu(cpu_.pattern(alpha, X, v, y, beta, z), "cpu pattern");
+  }
+  throw Error("unknown backend");
+}
+
+KernelOutcome OpRegistry::axpy(Backend b, real alpha, std::span<const real> x,
+                               std::span<real> y) {
+  if (b == Backend::kCpu) return from_cpu(cpu_.axpy(alpha, x, y), "axpy");
+  return from_op(dev_axpy(dev_, alpha, x, y), "axpy");
+}
+
+KernelOutcome OpRegistry::scal(Backend b, real alpha, std::span<real> x) {
+  if (b == Backend::kCpu) return from_cpu(cpu_.scal(alpha, x), "scal");
+  return from_op(dev_scal(dev_, alpha, x), "scal");
+}
+
+KernelOutcome OpRegistry::dot(Backend b, std::span<const real> x,
+                              std::span<const real> y) {
+  if (b == Backend::kCpu) return from_cpu(cpu_.dot(x, y), "dot");
+  return from_op(dev_dot(dev_, x, y), "dot");
+}
+
+KernelOutcome OpRegistry::nrm2(Backend b, std::span<const real> x) {
+  if (b == Backend::kCpu) return from_cpu(cpu_.nrm2(x), "nrm2");
+  return from_op(dev_nrm2(dev_, x), "nrm2");
+}
+
+KernelOutcome OpRegistry::ewise_mul(Backend b, std::span<const real> x,
+                                    std::span<const real> y) {
+  if (b == Backend::kCpu) return from_cpu(cpu_.ewise_mul(x, y), "ewise_mul");
+  return from_op(dev_ewise_mul(dev_, x, y), "ewise_mul");
+}
+
+KernelOutcome OpRegistry::map(Backend b, std::span<const real> x,
+                              real (*f)(real), const std::string& name) {
+  if (b == Backend::kCpu) return from_cpu(cpu_.map(x, f), "cpu " + name);
+  return from_op(dev_map(dev_, x, f), name);
+}
+
+KernelOutcome OpRegistry::fused_ewise(
+    Backend b, const EwiseProgram& program,
+    std::span<const std::span<const real>> inputs) {
+  if (b == Backend::kCpu) {
+    return from_cpu(cpu_.ewise_chain(program, inputs),
+                    "cpu ewise chain " + program.signature());
+  }
+  // §3.2 lifecycle for generated chains: source generated + cached per
+  // program signature; every GPU backend runs the same generated kernel
+  // (there is no vendor-library equivalent to fall back to — the unfused
+  // plan, not a different kernel, is the alternative).
+  codegen_cache_.ewise_kernel(program);
+  return from_op(dev_ewise_chain(dev_, program, inputs),
+                 ewise_kernel_name(program));
+}
+
+KernelOutcome OpRegistry::execute_resilient(
+    Backend preferred, const RetryPolicy& policy,
+    const std::function<KernelOutcome(Backend)>& attempt,
+    std::span<real> inout, ResilienceStats* session) {
+  // Fast path: nothing armed, nothing to absorb — run the attempt directly
+  // so fault-free modeled times are untouched by the resilience machinery.
+  const vgpu::FaultInjector* injector = dev_.fault_injector();
+  if (injector == nullptr || !injector->armed()) {
+    KernelOutcome r = attempt(preferred);
+    r.backend_used = preferred;
+    return r;
+  }
+
+  // In-place operands must be restorable so a retried attempt sees the
+  // original inputs (an ECC fault is raised *after* the kernel wrote them).
+  std::vector<real> snapshot(inout.begin(), inout.end());
+
+  ResilienceStats rs;
+  double extra_ms = 0.0;  // wasted attempt time + modeled backoff
+  Backend b = preferred;
+  std::exception_ptr last_fault;
+  for (;;) {
+    bool degrade = false;
+    for (int a = 1; a <= policy.max_attempts && !degrade; ++a) {
+      try {
+        KernelOutcome r = attempt(b);
+        if (rs.faults_seen > 0) ++rs.recoveries;
+        r.resilience = rs;
+        r.modeled_ms += extra_ms;
+        r.backend_used = b;
+        if (rs.fallbacks > 0) r.kernel += " [after fallback]";
+        if (session != nullptr) *session += rs;
+        return r;
+      } catch (const Error& e) {
+        if (e.code() == ErrorCode::kGeneric) throw;  // not a fault
+        last_fault = std::current_exception();
+        ++rs.faults_seen;
+        rs.wasted_ms += e.penalty_ms();
+        extra_ms += e.penalty_ms();
+        if (!inout.empty()) {
+          std::copy(snapshot.begin(), snapshot.end(), inout.begin());
+        }
+        if (e.code() == ErrorCode::kDeviceOom) {
+          degrade = true;  // retrying the same allocation cannot help
+        } else if (a < policy.max_attempts) {
+          const double wait = policy.backoff_ms(a);
+          rs.backoff_ms += wait;
+          extra_ms += wait;
+          ++rs.retries;
+        }
+      }
+    }
+    const auto next =
+        policy.allow_backend_fallback ? fallback_backend(b) : std::nullopt;
+    if (!next.has_value()) {
+      if (session != nullptr) *session += rs;
+      std::rethrow_exception(last_fault);
+    }
+    b = *next;
+    ++rs.fallbacks;
+  }
+}
+
+}  // namespace fusedml::kernels

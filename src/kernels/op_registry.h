@@ -1,0 +1,169 @@
+// The unified operator registry — one place that knows, for every logical
+// operation, which kernel implements it on which backend and what that
+// implementation costs.
+//
+// Before this existed, the per-backend dispatch switch lived twice: once in
+// patterns::PatternExecutor (the library entry point benches drive) and
+// once, implicitly, in sysml::Runtime's op_* bodies (the declarative-ML
+// scheduler). The two copies drifted — Runtime bypassed the resilient
+// retry/fallback machinery entirely. Now both layers route through this
+// registry: the backend-switch body for each op exists exactly once, and so
+// does the retry/backoff/degradation loop (execute_resilient).
+//
+// The registry also *declares* what each (op, backend, storage) pairing
+// costs — launches issued, passes over the matrix, vector words moved per
+// element — via op_profile(). The fusion planner consumes these profiles to
+// score candidate plans with the same arithmetic the virtual device bills,
+// instead of re-deriving per-op constants in a second place.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/resilience.h"
+#include "kernels/cpu_backend.h"
+#include "kernels/ewise_program.h"
+#include "kernels/fused_dense.h"
+#include "kernels/fused_sparse.h"
+#include "kernels/kernel_cache.h"
+#include "la/csr_matrix.h"
+#include "la/dense_matrix.h"
+#include "vgpu/device.h"
+
+namespace fusedml::kernels {
+
+enum class Backend {
+  kFused,       ///< the paper's fused kernels
+  kCusparse,    ///< operator-at-a-time with explicit-transpose sparse X^T
+  kBidmatGpu,   ///< operator-at-a-time with atomic-scatter sparse X^T
+  kCpu,         ///< host CPU (MKL-like)
+};
+
+std::string to_string(Backend backend);
+
+/// Degradation order on repeated failure: fused -> baseline GPU -> CPU.
+/// The CPU is terminal (it cannot fault) — returns nullopt there.
+std::optional<Backend> fallback_backend(Backend backend);
+
+/// The logical operations the registry dispatches. Mirrors the vocabulary
+/// of both PatternExecutor's methods and sysml's expression-DAG OpKinds.
+enum class RegistryOp {
+  kPattern,            ///< w = alpha*X^T(v ⊙ (X*y)) + beta*z  (Equation 1)
+  kTransposedProduct,  ///< w = alpha * X^T * y
+  kProduct,            ///< p = X * y
+  kAxpy,
+  kScal,
+  kDot,
+  kNrm2,
+  kEwiseMul,
+  kMap,                ///< out[i] = f(x[i])
+  kFusedEwise,         ///< generated streaming kernel for an ewise chain
+};
+
+const char* to_string(RegistryOp op);
+
+/// Declared cost/resource shape of one (op, backend, storage) entry — the
+/// planner's costing vocabulary. Traffic splits into matrix passes (scaled
+/// by the operand's byte size) and vector words per output element (scaled
+/// by 8 * n); launches each pay the device's launch overhead.
+struct OpProfile {
+  std::uint64_t launches = 1;        ///< kernel launches per invocation
+  double matrix_passes = 0.0;        ///< streaming passes over the matrix
+  double vector_words_per_elem = 0;  ///< vector words moved per element
+  bool in_place = false;             ///< mutates caller memory (snapshot
+                                     ///< before a retried attempt)
+  const char* kernel = "";           ///< implementation identifier
+};
+
+/// Profile for `op` on `backend`; `sparse` selects the CSR-vs-dense entry
+/// for the matrix ops (ignored elsewhere). kFusedEwise reports traffic per
+/// program input/output stream — the planner adds the program shape itself.
+OpProfile op_profile(RegistryOp op, Backend backend, bool sparse);
+
+/// Everything one registry dispatch produces. Identical accounting across
+/// backends so callers book CPU and GPU outcomes through the same code.
+struct KernelOutcome {
+  std::vector<real> value;
+  double modeled_ms = 0.0;   ///< modeled device/CPU time incl. retry overhead
+  double wall_ms = 0.0;      ///< host wall-clock of the functional run
+  std::uint64_t launches = 0;
+  vgpu::MemCounters counters;  ///< zero for the CPU backend
+  std::string kernel;          ///< which implementation ran
+  Backend backend_used{};      ///< after any degradation
+  ResilienceStats resilience;  ///< faults absorbed while producing value
+};
+
+/// One registry per device: owns the CPU backend, the fused-kernel options,
+/// and the generated-kernel cache, and exposes each logical op as a single
+/// backend-switch body. All methods may throw the typed faults of
+/// common/error.h when a fault injector is armed — wrap calls in
+/// execute_resilient to absorb them under a RetryPolicy.
+class OpRegistry {
+ public:
+  explicit OpRegistry(vgpu::Device& dev, int cpu_threads = 8)
+      : dev_(dev), cpu_(vgpu::paper_host_cpu(), cpu_threads) {}
+
+  // --- Single-attempt dispatch bodies (one switch per op, shared by every
+  // caller; no retry logic here) -------------------------------------------
+  KernelOutcome transposed_product(Backend b, const la::CsrMatrix& X,
+                                   std::span<const real> y, real alpha);
+  KernelOutcome transposed_product(Backend b, const la::DenseMatrix& X,
+                                   std::span<const real> y, real alpha);
+  KernelOutcome product(Backend b, const la::CsrMatrix& X,
+                        std::span<const real> y);
+  KernelOutcome product(Backend b, const la::DenseMatrix& X,
+                        std::span<const real> y);
+  KernelOutcome pattern(Backend b, real alpha, const la::CsrMatrix& X,
+                        std::span<const real> v, std::span<const real> y,
+                        real beta, std::span<const real> z);
+  KernelOutcome pattern(Backend b, real alpha, const la::DenseMatrix& X,
+                        std::span<const real> v, std::span<const real> y,
+                        real beta, std::span<const real> z);
+  KernelOutcome axpy(Backend b, real alpha, std::span<const real> x,
+                     std::span<real> y);
+  KernelOutcome scal(Backend b, real alpha, std::span<real> x);
+  KernelOutcome dot(Backend b, std::span<const real> x,
+                    std::span<const real> y);
+  KernelOutcome nrm2(Backend b, std::span<const real> x);
+  KernelOutcome ewise_mul(Backend b, std::span<const real> x,
+                          std::span<const real> y);
+  KernelOutcome map(Backend b, std::span<const real> x, real (*f)(real),
+                    const std::string& name);
+  /// Generated streaming kernel for a fused elementwise chain (§3.2
+  /// lifecycle: source generated + cached on first use of each shape).
+  KernelOutcome fused_ewise(Backend b, const EwiseProgram& program,
+                            std::span<const std::span<const real>> inputs);
+
+  /// Runs `attempt` under the retry/backoff/fallback policy, starting from
+  /// `preferred`. `inout` names caller memory the op mutates in place; it
+  /// is snapshotted so a failed attempt is rolled back before the retry.
+  /// `session` (optional) accumulates this call's resilience stats into a
+  /// caller-owned running total.
+  KernelOutcome execute_resilient(
+      Backend preferred, const RetryPolicy& policy,
+      const std::function<KernelOutcome(Backend)>& attempt,
+      std::span<real> inout = {}, ResilienceStats* session = nullptr);
+
+  /// Fused-kernel options applied on the kFused backend.
+  FusedSparseOptions& sparse_options() { return sparse_opts_; }
+  FusedDenseOptions& dense_options() { return dense_opts_; }
+
+  /// Generated-kernel cache (dense pattern shapes + ewise-chain programs).
+  const KernelCache& kernel_cache() const { return codegen_cache_; }
+
+  vgpu::Device& device() { return dev_; }
+  const CpuBackend& cpu() const { return cpu_; }
+
+ private:
+  vgpu::Device& dev_;
+  CpuBackend cpu_;
+  FusedSparseOptions sparse_opts_;
+  FusedDenseOptions dense_opts_;
+  KernelCache codegen_cache_;
+};
+
+}  // namespace fusedml::kernels

@@ -10,7 +10,8 @@ namespace fusedml::ml {
 
 namespace {
 
-real sigmoid(real t) { return real{1} / (real{1} + std::exp(-t)); }
+// The solver's internal sigma — the shared stable form from the header.
+real sigmoid(real t) { return stable_sigmoid(t); }
 
 /// Objective f(w) = 0.5*lambda*||w||^2 + sum log(1 + exp(-y_i * m_i)) given
 /// margins m = X*w.

@@ -7,6 +7,7 @@
 // Table 1 marks LogReg on both X^T*(v⊙(X*y)) and the +beta*z form.
 #pragma once
 
+#include <cmath>
 #include <span>
 #include <vector>
 
@@ -15,6 +16,13 @@
 #include "patterns/executor.h"
 
 namespace fusedml::ml {
+
+/// Numerically stable sigmoid — never exponentiates a large positive t.
+/// Header-inline (plain function) so DAG kMap nodes can take its address.
+inline real stable_sigmoid(real t) {
+  return t >= 0 ? real{1} / (real{1} + std::exp(-t))
+                : std::exp(t) / (real{1} + std::exp(t));
+}
 
 struct LogRegConfig {
   int max_newton_iterations = 50;

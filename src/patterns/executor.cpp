@@ -1,313 +1,82 @@
 #include "patterns/executor.h"
 
-#include <algorithm>
-#include <exception>
-
-#include "common/error.h"
-#include "kernels/baselines.h"
-#include "kernels/blas1.h"
-#include "kernels/gemv.h"
-#include "kernels/spmv.h"
-
 namespace fusedml::patterns {
 
-std::string to_string(Backend backend) {
-  switch (backend) {
-    case Backend::kFused: return "fused";
-    case Backend::kCusparse: return "cuBLAS/cuSPARSE-style";
-    case Backend::kBidmatGpu: return "BIDMat-GPU-style";
-    case Backend::kCpu: return "CPU (MKL-like)";
-  }
-  return "?";
-}
-
-std::optional<Backend> fallback_backend(Backend backend) {
-  switch (backend) {
-    case Backend::kFused: return Backend::kCusparse;
-    case Backend::kCusparse: return Backend::kCpu;
-    case Backend::kBidmatGpu: return Backend::kCpu;
-    case Backend::kCpu: return std::nullopt;
-  }
-  return std::nullopt;
-}
-
-namespace {
-PatternResult from_op(kernels::OpResult op, PatternKind kind,
-                      std::string kernel) {
+PatternResult PatternExecutor::run(
+    const std::function<kernels::KernelOutcome(Backend)>& attempt,
+    PatternKind kind, std::span<real> inout) {
+  kernels::KernelOutcome o =
+      registry_.execute_resilient(backend_, retry_, attempt, inout,
+                                  &resilience_);
   PatternResult out;
-  out.value = std::move(op.value);
-  out.modeled_ms = op.modeled_ms;
-  out.wall_ms = op.wall_ms;
-  out.launches = op.launches;
-  out.counters = op.counters;
+  out.value = std::move(o.value);
+  out.modeled_ms = o.modeled_ms;
+  out.wall_ms = o.wall_ms;
+  out.launches = o.launches;
+  out.counters = o.counters;
   out.kind = kind;
-  out.kernel = std::move(kernel);
+  out.kernel = std::move(o.kernel);
+  out.backend_used = o.backend_used;
+  out.resilience = o.resilience;
   return out;
-}
-
-PatternResult from_cpu(kernels::CpuOpResult op, PatternKind kind,
-                       std::string kernel) {
-  PatternResult out;
-  out.value = std::move(op.value);
-  out.modeled_ms = op.modeled_ms;
-  out.wall_ms = op.wall_ms;
-  out.kind = kind;
-  out.kernel = std::move(kernel);
-  return out;
-}
-}  // namespace
-
-PatternResult PatternExecutor::execute_resilient(
-    const std::function<PatternResult(Backend)>& attempt,
-    std::span<real> inout) {
-  // Fast path: nothing armed, nothing to absorb — run the attempt directly
-  // so fault-free modeled times are untouched by the resilience machinery.
-  const vgpu::FaultInjector* injector = dev_.fault_injector();
-  if (injector == nullptr || !injector->armed()) {
-    PatternResult r = attempt(backend_);
-    r.backend_used = backend_;
-    return r;
-  }
-
-  // In-place operands must be restorable so a retried attempt sees the
-  // original inputs (an ECC fault is raised *after* the kernel wrote them).
-  std::vector<real> snapshot(inout.begin(), inout.end());
-
-  ResilienceStats rs;
-  double extra_ms = 0.0;  // wasted attempt time + modeled backoff
-  Backend b = backend_;
-  std::exception_ptr last_fault;
-  for (;;) {
-    bool degrade = false;
-    for (int a = 1; a <= retry_.max_attempts && !degrade; ++a) {
-      try {
-        PatternResult r = attempt(b);
-        if (rs.faults_seen > 0) ++rs.recoveries;
-        r.resilience = rs;
-        r.modeled_ms += extra_ms;
-        r.backend_used = b;
-        if (rs.fallbacks > 0) r.kernel += " [after fallback]";
-        resilience_ += rs;
-        return r;
-      } catch (const Error& e) {
-        if (e.code() == ErrorCode::kGeneric) throw;  // not a fault
-        last_fault = std::current_exception();
-        ++rs.faults_seen;
-        rs.wasted_ms += e.penalty_ms();
-        extra_ms += e.penalty_ms();
-        if (!inout.empty()) {
-          std::copy(snapshot.begin(), snapshot.end(), inout.begin());
-        }
-        if (e.code() == ErrorCode::kDeviceOom) {
-          degrade = true;  // retrying the same allocation cannot help
-        } else if (a < retry_.max_attempts) {
-          const double wait = retry_.backoff_ms(a);
-          rs.backoff_ms += wait;
-          extra_ms += wait;
-          ++rs.retries;
-        }
-      }
-    }
-    const auto next =
-        retry_.allow_backend_fallback ? fallback_backend(b) : std::nullopt;
-    if (!next.has_value()) {
-      resilience_ += rs;
-      std::rethrow_exception(last_fault);
-    }
-    b = *next;
-    ++rs.fallbacks;
-  }
-}
-
-PatternResult PatternExecutor::run_transposed_product(Backend b,
-                                                      const la::CsrMatrix& X,
-                                                      std::span<const real> y,
-                                                      real alpha) {
-  const PatternKind kind = PatternKind::kXty;
-  switch (b) {
-    case Backend::kFused:
-      return from_op(kernels::fused_spmv_t(dev_, X, y, alpha, sparse_opts_),
-                     kind, "fused_spmv_t (Alg. 1)");
-    case Backend::kCusparse: {
-      auto op = kernels::baseline_xty_sparse(
-          dev_, X, y, kernels::SparseTransposeStrategy::kExplicitTranspose);
-      if (alpha != real{1}) {
-        auto s = kernels::dev_scal(dev_, alpha, op.value);
-        op.absorb_timing(s);
-      }
-      return from_op(std::move(op), kind, "csr2csc + csrmv");
-    }
-    case Backend::kBidmatGpu: {
-      auto op = kernels::baseline_xty_sparse(
-          dev_, X, y, kernels::SparseTransposeStrategy::kAtomicScatter);
-      if (alpha != real{1}) {
-        auto s = kernels::dev_scal(dev_, alpha, op.value);
-        op.absorb_timing(s);
-      }
-      return from_op(std::move(op), kind, "atomic-scatter spmv_t");
-    }
-    case Backend::kCpu: {
-      auto op = cpu_.spmv_t(X, y);
-      if (alpha != real{1}) {
-        for (real& w : op.value) w *= alpha;
-      }
-      return from_cpu(std::move(op), kind, "cpu spmv_t");
-    }
-  }
-  throw Error("unknown backend");
 }
 
 PatternResult PatternExecutor::transposed_product(const la::CsrMatrix& X,
                                                   std::span<const real> y,
                                                   real alpha) {
   record(PatternKind::kXty);
-  return execute_resilient(
-      [&](Backend b) { return run_transposed_product(b, X, y, alpha); });
-}
-
-PatternResult PatternExecutor::run_transposed_product(Backend b,
-                                                      const la::DenseMatrix& X,
-                                                      std::span<const real> y,
-                                                      real alpha) {
-  const PatternKind kind = PatternKind::kXty;
-  if (b == Backend::kCpu) {
-    auto op = cpu_.gemv_t(X, y);
-    if (alpha != real{1}) {
-      for (real& w : op.value) w *= alpha;
-    }
-    return from_cpu(std::move(op), kind, "cpu gemv_t");
-  }
-  const auto flavor = b == Backend::kCusparse ? kernels::DenseFlavor::kCublas
-                                              : kernels::DenseFlavor::kBidmat;
-  kernels::GemvOptions opts;
-  if (flavor == kernels::DenseFlavor::kCublas) {
-    opts.smem_conflict_ways = kernels::kCublasConflictWays;
-    opts.transaction_inflation = kernels::kCublasTransactionInflation;
-  }
-  auto op = kernels::gemv_t(dev_, X, y, opts);
-  if (alpha != real{1}) {
-    auto s = kernels::dev_scal(dev_, alpha, op.value);
-    op.absorb_timing(s);
-  }
-  return from_op(std::move(op), kind, "gemv_t");
+  return run(
+      [&](Backend b) { return registry_.transposed_product(b, X, y, alpha); },
+      PatternKind::kXty);
 }
 
 PatternResult PatternExecutor::transposed_product(const la::DenseMatrix& X,
                                                   std::span<const real> y,
                                                   real alpha) {
   record(PatternKind::kXty);
-  return execute_resilient(
-      [&](Backend b) { return run_transposed_product(b, X, y, alpha); });
+  return run(
+      [&](Backend b) { return registry_.transposed_product(b, X, y, alpha); },
+      PatternKind::kXty);
 }
 
 PatternResult PatternExecutor::product(const la::CsrMatrix& X,
                                        std::span<const real> y) {
-  return execute_resilient([&](Backend b) {
-    if (b == Backend::kCpu) {
-      return from_cpu(cpu_.spmv(X, y), PatternKind::kXty, "cpu spmv");
-    }
-    return from_op(kernels::spmv_csr_vector(dev_, X, y), PatternKind::kXty,
-                   "csrmv");
-  });
+  return run([&](Backend b) { return registry_.product(b, X, y); },
+             PatternKind::kXty);
 }
 
 PatternResult PatternExecutor::product(const la::DenseMatrix& X,
                                        std::span<const real> y) {
-  return execute_resilient([&](Backend b) {
-    if (b == Backend::kCpu) {
-      return from_cpu(cpu_.gemv(X, y), PatternKind::kXty, "cpu gemv");
-    }
-    return from_op(kernels::gemv_n(dev_, X, y), PatternKind::kXty, "gemv");
-  });
+  return run([&](Backend b) { return registry_.product(b, X, y); },
+             PatternKind::kXty);
 }
-
-namespace {
-template <typename DevOp, typename CpuOp>
-PatternResult blas1_run(Backend backend, DevOp&& dev_op, CpuOp&& cpu_op,
-                        const char* name) {
-  if (backend == Backend::kCpu) {
-    return from_cpu(cpu_op(), PatternKind::kXty, name);  // kind unused
-  }
-  return from_op(dev_op(), PatternKind::kXty, name);
-}
-}  // namespace
 
 PatternResult PatternExecutor::axpy(real alpha, std::span<const real> x,
                                     std::span<real> y) {
-  return execute_resilient(
-      [&](Backend b) {
-        return blas1_run(
-            b, [&] { return kernels::dev_axpy(dev_, alpha, x, y); },
-            [&] { return cpu_.axpy(alpha, x, y); }, "axpy");
-      },
-      y);
+  return run([&](Backend b) { return registry_.axpy(b, alpha, x, y); },
+             PatternKind::kXty, y);
 }
 
 PatternResult PatternExecutor::dot(std::span<const real> x,
                                    std::span<const real> y) {
-  return execute_resilient([&](Backend b) {
-    return blas1_run(
-        b, [&] { return kernels::dev_dot(dev_, x, y); },
-        [&] { return cpu_.dot(x, y); }, "dot");
-  });
+  return run([&](Backend b) { return registry_.dot(b, x, y); },
+             PatternKind::kXty);
 }
 
 PatternResult PatternExecutor::nrm2(std::span<const real> x) {
-  return execute_resilient([&](Backend b) {
-    return blas1_run(
-        b, [&] { return kernels::dev_nrm2(dev_, x); },
-        [&] { return cpu_.nrm2(x); }, "nrm2");
-  });
+  return run([&](Backend b) { return registry_.nrm2(b, x); },
+             PatternKind::kXty);
 }
 
 PatternResult PatternExecutor::scal(real alpha, std::span<real> x) {
-  return execute_resilient(
-      [&](Backend b) {
-        return blas1_run(
-            b, [&] { return kernels::dev_scal(dev_, alpha, x); },
-            [&] { return cpu_.scal(alpha, x); }, "scal");
-      },
-      x);
+  return run([&](Backend b) { return registry_.scal(b, alpha, x); },
+             PatternKind::kXty, x);
 }
 
 PatternResult PatternExecutor::ewise_mul(std::span<const real> x,
                                          std::span<const real> y) {
-  return execute_resilient([&](Backend b) {
-    return blas1_run(
-        b, [&] { return kernels::dev_ewise_mul(dev_, x, y); },
-        [&] { return cpu_.ewise_mul(x, y); }, "ewise_mul");
-  });
-}
-
-PatternResult PatternExecutor::run_pattern(Backend b, real alpha,
-                                           const la::CsrMatrix& X,
-                                           std::span<const real> v,
-                                           std::span<const real> y, real beta,
-                                           std::span<const real> z,
-                                           PatternKind kind) {
-  switch (b) {
-    case Backend::kFused:
-      return from_op(
-          kernels::fused_pattern_sparse(dev_, alpha, X, v, y, beta, z,
-                                        sparse_opts_),
-          kind, "fused_pattern_sparse (Alg. 2)");
-    case Backend::kCusparse:
-      return from_op(
-          kernels::baseline_pattern_sparse(
-              dev_, alpha, X, v, y, beta, z,
-              kernels::SparseTransposeStrategy::kExplicitTranspose),
-          kind, "csrmv + blas1 + csr2csc + csrmv");
-    case Backend::kBidmatGpu:
-      return from_op(
-          kernels::baseline_pattern_sparse(
-              dev_, alpha, X, v, y, beta, z,
-              kernels::SparseTransposeStrategy::kAtomicScatter),
-          kind, "csrmv + blas1 + atomic-scatter");
-    case Backend::kCpu:
-      return from_cpu(cpu_.pattern(alpha, X, v, y, beta, z), kind,
-                      "cpu pattern");
-  }
-  throw Error("unknown backend");
+  return run([&](Backend b) { return registry_.ewise_mul(b, x, y); },
+             PatternKind::kXty);
 }
 
 PatternResult PatternExecutor::pattern(real alpha, const la::CsrMatrix& X,
@@ -317,56 +86,9 @@ PatternResult PatternExecutor::pattern(real alpha, const la::CsrMatrix& X,
   const bool has_bz = !z.empty() && beta != real{0};
   const PatternKind kind = classify(false, !v.empty(), has_bz);
   record(kind);
-  return execute_resilient([&](Backend b) {
-    return run_pattern(b, alpha, X, v, y, beta, z, kind);
-  });
-}
-
-PatternResult PatternExecutor::run_pattern(Backend b, real alpha,
-                                           const la::DenseMatrix& X,
-                                           std::span<const real> v,
-                                           std::span<const real> y, real beta,
-                                           std::span<const real> z,
-                                           PatternKind kind) {
-  const bool has_bz = !z.empty() && beta != real{0};
-  switch (b) {
-    case Backend::kFused: {
-      if (!kernels::dense_fused_feasible(dev_.spec(), X.cols())) {
-        // §3.2: very wide dense rows exceed the register file — fall back
-        // to two separate Level-2 kernels instead of fusing.
-        return from_op(
-            kernels::baseline_pattern_dense(dev_, alpha, X, v, y, beta, z,
-                                            kernels::DenseFlavor::kBidmat),
-            kind, "gemv + gemv_t (fused infeasible: n too large, §3.2)");
-      }
-      if (dense_opts_.use_codegen) {
-        // §3.2 lifecycle: the kernel for this (n, VS, TL, options) shape is
-        // generated once and reused on every subsequent iteration.
-        const auto params = kernels::fused_dense_params(dev_, X, dense_opts_);
-        codegen_cache_.dense_kernel({X.cols(), params.config.vector_size,
-                                     params.config.thread_load, !v.empty(),
-                                     has_bz});
-      }
-      return from_op(
-          kernels::fused_pattern_dense(dev_, alpha, X, v, y, beta, z,
-                                       dense_opts_),
-          kind, "fused_pattern_dense (Alg. 3, codegen)");
-    }
-    case Backend::kCusparse:
-      return from_op(
-          kernels::baseline_pattern_dense(dev_, alpha, X, v, y, beta, z,
-                                          kernels::DenseFlavor::kCublas),
-          kind, "gemv + blas1 + gemv_t (cuBLAS tiles)");
-    case Backend::kBidmatGpu:
-      return from_op(
-          kernels::baseline_pattern_dense(dev_, alpha, X, v, y, beta, z,
-                                          kernels::DenseFlavor::kBidmat),
-          kind, "gemv + blas1 + gemv_t (padded tiles)");
-    case Backend::kCpu:
-      return from_cpu(cpu_.pattern(alpha, X, v, y, beta, z), kind,
-                      "cpu pattern");
-  }
-  throw Error("unknown backend");
+  return run(
+      [&](Backend b) { return registry_.pattern(b, alpha, X, v, y, beta, z); },
+      kind);
 }
 
 PatternResult PatternExecutor::pattern(real alpha, const la::DenseMatrix& X,
@@ -376,9 +98,9 @@ PatternResult PatternExecutor::pattern(real alpha, const la::DenseMatrix& X,
   const bool has_bz = !z.empty() && beta != real{0};
   const PatternKind kind = classify(false, !v.empty(), has_bz);
   record(kind);
-  return execute_resilient([&](Backend b) {
-    return run_pattern(b, alpha, X, v, y, beta, z, kind);
-  });
+  return run(
+      [&](Backend b) { return registry_.pattern(b, alpha, X, v, y, beta, z); },
+      kind);
 }
 
 }  // namespace fusedml::patterns

@@ -6,28 +6,25 @@
 // src/ml are written once against this interface; benches swap backends to
 // produce the paper's comparison lines; the usage histogram feeds Table 1.
 //
-// Resilient execution. Every operation runs under the executor's
-// RetryPolicy: transient faults from the virtual device (injected kernel
-// faults, ECC events, transfer errors — see vgpu/fault_injector.h) are
-// retried with modeled exponential backoff, and repeated failure or device
-// OOM degrades the backend fused -> baseline-GPU -> CPU. Retried results
-// are bit-exact (in-place operands are snapshotted and restored before each
-// re-attempt) and all retry/backoff time is charged to the op's modeled
-// cost so benches report the overhead honestly.
+// Dispatch and resilience both live in the unified operator registry
+// (kernels/op_registry.h): each op's backend-switch body exists exactly
+// once there, shared with the sysml::Runtime scheduler, and every call runs
+// under the executor's RetryPolicy — transient faults from the virtual
+// device are retried with modeled exponential backoff, and repeated failure
+// or device OOM degrades the backend fused -> baseline-GPU -> CPU. Retried
+// results are bit-exact (in-place operands are snapshotted and restored
+// before each re-attempt) and all retry/backoff time is charged to the op's
+// modeled cost so benches report the overhead honestly.
 #pragma once
 
 #include <functional>
 #include <map>
-#include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "common/resilience.h"
-#include "kernels/cpu_backend.h"
-#include "kernels/fused_dense.h"
-#include "kernels/fused_sparse.h"
-#include "kernels/kernel_cache.h"
+#include "kernels/op_registry.h"
 #include "la/csr_matrix.h"
 #include "la/dense_matrix.h"
 #include "patterns/pattern.h"
@@ -35,18 +32,12 @@
 
 namespace fusedml::patterns {
 
-enum class Backend {
-  kFused,       ///< the paper's fused kernels
-  kCusparse,    ///< operator-at-a-time with explicit-transpose sparse X^T
-  kBidmatGpu,   ///< operator-at-a-time with atomic-scatter sparse X^T
-  kCpu,         ///< host CPU (MKL-like)
-};
-
-std::string to_string(Backend backend);
-
-/// Degradation order on repeated failure: fused -> baseline GPU -> CPU.
-/// The CPU is terminal (it cannot fault) — returns nullopt there.
-std::optional<Backend> fallback_backend(Backend backend);
+// The backend vocabulary is owned by the registry; re-exported here so the
+// library's historical spelling (patterns::Backend, patterns::to_string)
+// keeps working for benches and tests.
+using Backend = kernels::Backend;
+using kernels::fallback_backend;
+using kernels::to_string;
 
 /// Everything a caller learns from one pattern evaluation.
 struct PatternResult {
@@ -67,8 +58,7 @@ class PatternExecutor {
   /// `cpu_threads` parameterizes the CPU backend's cost model (8 = the
   /// paper's MKL setting; 1 = the single-thread profile behind Table 2).
   PatternExecutor(vgpu::Device& dev, Backend backend, int cpu_threads = 8)
-      : dev_(dev), backend_(backend), cpu_(vgpu::paper_host_cpu(),
-                                           cpu_threads) {}
+      : registry_(dev, cpu_threads), backend_(backend) {}
 
   Backend backend() const { return backend_; }
 
@@ -113,8 +103,12 @@ class PatternExecutor {
 
   /// Fused-kernel options (texture binding, aggregation variant, cache
   /// modeling) applied when backend() == kFused.
-  kernels::FusedSparseOptions& sparse_options() { return sparse_opts_; }
-  kernels::FusedDenseOptions& dense_options() { return dense_opts_; }
+  kernels::FusedSparseOptions& sparse_options() {
+    return registry_.sparse_options();
+  }
+  kernels::FusedDenseOptions& dense_options() {
+    return registry_.dense_options();
+  }
 
   /// Fault-handling knobs (attempts per backend, modeled backoff schedule,
   /// whether backend degradation is permitted).
@@ -132,45 +126,26 @@ class PatternExecutor {
   /// Generated-kernel cache (§3.2 lifecycle: the fused backend generates
   /// a kernel per specialization the first time a shape is seen, then
   /// reuses it across iterations).
-  const kernels::KernelCache& kernel_cache() const { return codegen_cache_; }
+  const kernels::KernelCache& kernel_cache() const {
+    return registry_.kernel_cache();
+  }
 
-  vgpu::Device& device() { return dev_; }
-  const kernels::CpuBackend& cpu() const { return cpu_; }
+  kernels::OpRegistry& registry() { return registry_; }
+  vgpu::Device& device() { return registry_.device(); }
+  const kernels::CpuBackend& cpu() const { return registry_.cpu(); }
 
  private:
-  vgpu::Device& dev_;
+  kernels::OpRegistry registry_;
   Backend backend_;
-  kernels::FusedSparseOptions sparse_opts_;
-  kernels::FusedDenseOptions dense_opts_;
-  kernels::CpuBackend cpu_;
-  kernels::KernelCache codegen_cache_;
   std::map<PatternKind, std::uint64_t> usage_;
   RetryPolicy retry_;
   ResilienceStats resilience_;
 
   void record(PatternKind kind) { ++usage_[kind]; }
 
-  /// Runs `attempt` under the retry/backoff/fallback policy. `inout` names
-  /// the caller memory the op mutates in place (axpy's y, scal's x); it is
-  /// snapshotted so a failed attempt can be rolled back before the retry.
-  PatternResult execute_resilient(
-      const std::function<PatternResult(Backend)>& attempt,
-      std::span<real> inout = {});
-
-  // Backend-parameterized dispatch bodies (one attempt each; may throw the
-  // typed faults of common/error.h when a fault injector is armed).
-  PatternResult run_transposed_product(Backend b, const la::CsrMatrix& X,
-                                       std::span<const real> y, real alpha);
-  PatternResult run_transposed_product(Backend b, const la::DenseMatrix& X,
-                                       std::span<const real> y, real alpha);
-  PatternResult run_pattern(Backend b, real alpha, const la::CsrMatrix& X,
-                            std::span<const real> v, std::span<const real> y,
-                            real beta, std::span<const real> z,
-                            PatternKind kind);
-  PatternResult run_pattern(Backend b, real alpha, const la::DenseMatrix& X,
-                            std::span<const real> v, std::span<const real> y,
-                            real beta, std::span<const real> z,
-                            PatternKind kind);
+  /// Registry resilient dispatch + PatternKind tagging.
+  PatternResult run(const std::function<kernels::KernelOutcome(Backend)>& attempt,
+                    PatternKind kind, std::span<real> inout = {});
 };
 
 }  // namespace fusedml::patterns

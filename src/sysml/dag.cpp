@@ -16,7 +16,9 @@ std::string to_string(OpKind kind) {
     case OpKind::kEwiseMul: return "ewise_mul";
     case OpKind::kScale: return "scale";
     case OpKind::kAdd: return "add";
+    case OpKind::kMap: return "map";
     case OpKind::kFusedPattern: return "FUSED_PATTERN";
+    case OpKind::kFusedEwise: return "FUSED_EWISE";
   }
   return "?";
 }
@@ -54,6 +56,13 @@ NodePtr scale(real s, NodePtr a) {
 }
 NodePtr add(NodePtr a, NodePtr b) { return make(OpKind::kAdd, {a, b}); }
 
+NodePtr map(NodePtr a, real (*f)(real), std::string name) {
+  auto node = make(OpKind::kMap, {a});
+  node->map_f = f;
+  node->map_name = std::move(name);
+  return node;
+}
+
 NodePtr pattern_expression(real alpha, NodePtr X, NodePtr v, NodePtr y,
                            real beta, NodePtr z) {
   NodePtr p = mv(X, y);
@@ -85,6 +94,7 @@ namespace {
 struct CoreMatch {
   real alpha = 1;
   NodePtr X, v, y;  // v may be null
+  std::vector<const Node*> covered;  // scale?, mvt, ewise?, mv
 };
 
 /// Matches [Scale(alpha)] -> MvT(X, [EwiseMul(v,)] Mv(X, y)) with the SAME
@@ -94,11 +104,13 @@ std::optional<CoreMatch> match_core(const NodePtr& node) {
   NodePtr mvt_node = node;
   if (node->kind == OpKind::kScale) {
     out.alpha = node->scalar;
+    out.covered.push_back(node.get());
     mvt_node = node->inputs[0];
   }
   if (mvt_node->kind != OpKind::kMvT) return std::nullopt;
   out.X = mvt_node->inputs[0];
   if (out.X->kind != OpKind::kInputMatrix) return std::nullopt;
+  out.covered.push_back(mvt_node.get());
 
   NodePtr t = mvt_node->inputs[1];
   if (t->kind == OpKind::kEwiseMul) {
@@ -110,6 +122,8 @@ std::optional<CoreMatch> match_core(const NodePtr& node) {
           maybe_mv->inputs[0] == out.X) {
         out.v = maybe_v;
         out.y = maybe_mv->inputs[1];
+        out.covered.push_back(t.get());
+        out.covered.push_back(maybe_mv.get());
         return out;
       }
     }
@@ -117,16 +131,18 @@ std::optional<CoreMatch> match_core(const NodePtr& node) {
   }
   if (t->kind == OpKind::kMv && t->inputs[0] == out.X) {
     out.y = t->inputs[1];
+    out.covered.push_back(t.get());
     return out;
   }
   return std::nullopt;
 }
 
-/// Tries to match a full Equation-1 subgraph rooted at `node`.
-NodePtr try_fuse(const NodePtr& node) {
-  real beta = 0;
-  NodePtr z;
+}  // namespace
+
+std::optional<Equation1Match> match_equation1(const NodePtr& node) {
+  Equation1Match m;
   NodePtr core_root = node;
+  std::vector<const Node*> add_covered;
 
   if (node->kind == OpKind::kAdd) {
     // One operand is the core, the other the beta*z term (either order).
@@ -134,54 +150,124 @@ NodePtr try_fuse(const NodePtr& node) {
       const NodePtr& maybe_core = node->inputs[side];
       NodePtr maybe_z = node->inputs[1 - side];
       real maybe_beta = 1;
+      const Node* z_scale = nullptr;
       if (maybe_z->kind == OpKind::kScale) {
         maybe_beta = maybe_z->scalar;
+        z_scale = maybe_z.get();
         maybe_z = maybe_z->inputs[0];
       }
       if (match_core(maybe_core)) {
         core_root = maybe_core;
-        beta = maybe_beta;
-        z = maybe_z;
+        m.beta = maybe_beta;
+        m.z = maybe_z;
+        add_covered.push_back(node.get());
+        if (z_scale != nullptr) add_covered.push_back(z_scale);
         break;
       }
     }
-    if (!z) return nullptr;
+    if (!m.z) return std::nullopt;
   }
 
-  const auto core = match_core(core_root);
-  if (!core) return nullptr;
-
-  auto fused = std::make_shared<Node>();
-  fused->kind = OpKind::kFusedPattern;
-  fused->scalar = core->alpha;
-  fused->scalar2 = beta;
-  fused->fused_matrix = core->X;
-  fused->fused_v = core->v;
-  fused->fused_y = core->y;
-  fused->fused_z = z;
-  return fused;
+  auto core = match_core(core_root);
+  if (!core) return std::nullopt;
+  m.alpha = core->alpha;
+  m.X = core->X;
+  m.v = core->v;
+  m.y = core->y;
+  m.covered = std::move(add_covered);
+  m.covered.insert(m.covered.end(), core->covered.begin(),
+                   core->covered.end());
+  return m;
 }
 
-NodePtr rewrite(const NodePtr& node,
-                std::unordered_map<const Node*, NodePtr>& memo, int& fused) {
+std::unordered_map<const Node*, std::vector<const Node*>> consumer_map(
+    const NodePtr& root) {
+  std::unordered_map<const Node*, std::vector<const Node*>> consumers;
+  std::unordered_set<const Node*> seen;
+  std::vector<const Node*> stack = {root.get()};
+  consumers[root.get()];  // the root has no consumers but must be present
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    if (node == nullptr || !seen.insert(node).second) continue;
+    auto visit = [&](const NodePtr& in) {
+      if (!in) return;
+      consumers[in.get()].push_back(node);
+      stack.push_back(in.get());
+    };
+    for (const auto& in : node->inputs) visit(in);
+    for (const auto& in :
+         {node->fused_matrix, node->fused_v, node->fused_y, node->fused_z}) {
+      visit(in);
+    }
+  }
+  return consumers;
+}
+
+bool fusion_is_materialization_safe(
+    const Equation1Match& m, const NodePtr& match_root,
+    const std::unordered_map<const Node*, std::vector<const Node*>>&
+        consumers) {
+  std::unordered_set<const Node*> covered(m.covered.begin(), m.covered.end());
+  // A retained operand that is itself a covered interior node means the
+  // fused kernel would both recompute it internally AND read it as an
+  // input — e.g. z sharing the X*y node with the core. Never profitable.
+  for (const NodePtr& operand : {m.X, m.v, m.y, m.z}) {
+    if (operand && covered.count(operand.get()) != 0) return false;
+  }
+  // Every interior node below the match root must be consumed only inside
+  // the match; an outside consumer forces materialization of the
+  // intermediate anyway, so the fused kernel would duplicate that work.
+  for (const Node* c : m.covered) {
+    if (c == match_root.get()) continue;
+    const auto it = consumers.find(c);
+    if (it == consumers.end()) continue;
+    for (const Node* parent : it->second) {
+      if (covered.count(parent) == 0) return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+NodePtr rewrite(
+    const NodePtr& node,
+    const std::unordered_map<const Node*, std::vector<const Node*>>&
+        consumers,
+    std::unordered_map<const Node*, NodePtr>& memo, int& fused,
+    int& rejected) {
   const auto it = memo.find(node.get());
   if (it != memo.end()) return it->second;
 
   // Match at the LARGEST extent first (pre-order): a bottom-up pass would
   // collapse the alpha*X^T(...) core before an enclosing +beta*z Add could
   // claim the full pattern.
-  if (NodePtr replacement = try_fuse(node)) {
-    ++fused;
-    // The fused node's operands may themselves contain fusable work.
-    for (auto* slot : {&replacement->fused_v, &replacement->fused_y,
-                       &replacement->fused_z}) {
-      if (*slot) *slot = rewrite(*slot, memo, fused);
+  if (auto m = match_equation1(node)) {
+    if (fusion_is_materialization_safe(*m, node, consumers)) {
+      ++fused;
+      auto replacement = std::make_shared<Node>();
+      replacement->kind = OpKind::kFusedPattern;
+      replacement->scalar = m->alpha;
+      replacement->scalar2 = m->beta;
+      replacement->fused_matrix = m->X;
+      replacement->fused_v = m->v;
+      replacement->fused_y = m->y;
+      replacement->fused_z = m->z;
+      // The fused node's operands may themselves contain fusable work.
+      for (auto* slot : {&replacement->fused_v, &replacement->fused_y,
+                         &replacement->fused_z}) {
+        if (*slot) *slot = rewrite(*slot, consumers, memo, fused, rejected);
+      }
+      memo.emplace(node.get(), replacement);
+      return replacement;
     }
-    memo.emplace(node.get(), replacement);
-    return replacement;
+    ++rejected;
   }
   NodePtr current = node;
-  for (auto& in : current->inputs) in = rewrite(in, memo, fused);
+  for (auto& in : current->inputs) {
+    in = rewrite(in, consumers, memo, fused, rejected);
+  }
   memo.emplace(node.get(), current);
   return current;
 }
@@ -190,13 +276,16 @@ NodePtr rewrite(const NodePtr& node,
 
 NodePtr fuse_patterns(NodePtr root, FusionReport* report) {
   const int before = count_nodes(root);
+  const auto consumers = consumer_map(root);
   std::unordered_map<const Node*, NodePtr> memo;
   int fused = 0;
-  root = rewrite(root, memo, fused);
+  int rejected = 0;
+  root = rewrite(root, consumers, memo, fused, rejected);
   if (report) {
     report->patterns_fused = fused;
     report->nodes_before = before;
     report->nodes_after = count_nodes(root);
+    report->rejected_multi_consumer = rejected;
   }
   return root;
 }
@@ -239,6 +328,17 @@ TensorId eval(Runtime& rt, const NodePtr& node,
       const auto view = rt.read_vector(b);
       out = rt.add_vector({view.begin(), view.end()}, "add_tmp");
       rt.op_axpy(real{1}, a, out);
+      break;
+    }
+    case OpKind::kMap:
+      out = rt.op_map(eval(rt, node->inputs[0], memo), node->map_f,
+                      node->map_name);
+      break;
+    case OpKind::kFusedEwise: {
+      std::vector<TensorId> ids;
+      ids.reserve(node->inputs.size());
+      for (const auto& in : node->inputs) ids.push_back(eval(rt, in, memo));
+      out = rt.op_fused_ewise(node->program, ids, "fused_ewise");
       break;
     }
     case OpKind::kFusedPattern:

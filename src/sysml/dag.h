@@ -7,15 +7,15 @@
 // run fuse_patterns() — which pattern-matches the subgraph
 //
 //        Add
-//       /   \
+//       /   \.
 //   Scale    Scale(beta)
-//     |         \
+//     |         \.
 //    MvT         z
-//   /   \
+//   /   \.
 //  X   EwiseMul
-//        /  \
+//        /  \.
 //       v    Mv
-//           /  \
+//           /  \.
 //          X    y
 //
 // (and all its Table-1 degenerations: missing Scale/EwiseMul/Add) — and
@@ -27,9 +27,11 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.h"
+#include "kernels/ewise_program.h"
 #include "sysml/runtime.h"
 
 namespace fusedml::sysml {
@@ -42,7 +44,9 @@ enum class OpKind {
   kEwiseMul,      ///< a ⊙ b
   kScale,         ///< scalar * a
   kAdd,           ///< a + b
+  kMap,           ///< f(a) element-wise (sigmoid, exp, ...)
   kFusedPattern,  ///< scalar * X^T (v ⊙ (X*y)) + scalar2 * z — one kernel
+  kFusedEwise,    ///< a whole elementwise chain as one generated kernel
 };
 
 std::string to_string(OpKind kind);
@@ -57,6 +61,13 @@ struct Node {
   real scalar2 = 0;    ///< kFusedPattern beta
   TensorId tensor = 0; ///< leaves: the runtime tensor
 
+  // kMap payload.
+  real (*map_f)(real) = nullptr;
+  std::string map_name;
+
+  // kFusedEwise payload: inputs[] are the program's input slots, in order.
+  kernels::EwiseProgram program;
+
   // kFusedPattern operand slots (empty NodePtr = absent v / z).
   NodePtr fused_matrix, fused_v, fused_y, fused_z;
 };
@@ -69,11 +80,46 @@ NodePtr mvt(NodePtr X, NodePtr y);
 NodePtr ewise_mul(NodePtr a, NodePtr b);
 NodePtr scale(real s, NodePtr a);
 NodePtr add(NodePtr a, NodePtr b);
+NodePtr map(NodePtr a, real (*f)(real), std::string name);
 
 /// Builds the full Equation-1 expression as an UNFUSED operator DAG:
 ///   alpha * X^T (v ⊙ (X*y)) + beta*z     (pass nullptr for absent v / z)
 NodePtr pattern_expression(real alpha, NodePtr X, NodePtr v, NodePtr y,
                            real beta, NodePtr z);
+
+// --- Pattern matching --------------------------------------------------------
+
+/// A successful structural match of the Equation-1 template
+///   alpha * X^T (v ⊙ (X*y)) + beta*z
+/// rooted at some node (v / z may be absent — the Table-1 degenerations).
+/// `covered` lists the interior operator nodes the fused kernel would
+/// replace (the match root, the MvT/Mv pair, and any Scale/EwiseMul/Add
+/// glue); the retained operands X, v, y, z are NOT in it.
+struct Equation1Match {
+  real alpha = 1;
+  real beta = 0;
+  NodePtr X, v, y, z;  ///< v / z may be null
+  std::vector<const Node*> covered;
+};
+
+/// Non-destructive matcher shared by fuse_patterns() and the cost-based
+/// fusion planner. Matches at the LARGEST extent rooted at `node`.
+std::optional<Equation1Match> match_equation1(const NodePtr& node);
+
+/// Parents of every node reachable from root (materialization analysis:
+/// an intermediate with a consumer outside a fusion candidate must be
+/// materialized anyway, so fusing it buys nothing and recomputes work).
+std::unordered_map<const Node*, std::vector<const Node*>> consumer_map(
+    const NodePtr& root);
+
+/// True when fusing `m` rooted in the DAG of `consumers` would NOT force an
+/// interior intermediate to be materialized anyway: every covered interior
+/// node (other than the match root) is consumed only inside the match, and
+/// no retained operand (X/v/y/z) is itself a covered interior node.
+bool fusion_is_materialization_safe(
+    const Equation1Match& m, const NodePtr& match_root,
+    const std::unordered_map<const Node*, std::vector<const Node*>>&
+        consumers);
 
 // --- The fusion pass ---------------------------------------------------------
 
@@ -81,10 +127,15 @@ struct FusionReport {
   int patterns_fused = 0;    ///< Equation-1 subgraphs collapsed
   int nodes_before = 0;
   int nodes_after = 0;
+  int rejected_multi_consumer = 0;  ///< matches skipped by the
+                                    ///< materialization-point analysis
 };
 
 /// Rewrites the DAG in place (returns the possibly-replaced root):
 /// every maximal Equation-1 subgraph becomes one kFusedPattern node.
+/// Matches whose intermediates are consumed elsewhere in the DAG are left
+/// unfused (they would be recomputed AND materialized — see
+/// fusion_is_materialization_safe).
 NodePtr fuse_patterns(NodePtr root, FusionReport* report = nullptr);
 
 /// Number of distinct nodes reachable from root.

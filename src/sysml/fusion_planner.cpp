@@ -1,0 +1,543 @@
+#include "sysml/fusion_planner.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/error.h"
+#include "kernels/op_registry.h"
+#include "vgpu/cost_model.h"
+
+namespace fusedml::sysml {
+
+namespace {
+
+using kernels::Backend;
+using kernels::EwiseOp;
+using kernels::EwiseProgram;
+using kernels::EwiseStep;
+using kernels::op_profile;
+using kernels::RegistryOp;
+
+struct NodeCost {
+  std::uint64_t launches = 0;
+  double ms = 0;
+
+  NodeCost& operator+=(const NodeCost& o) {
+    launches += o.launches;
+    ms += o.ms;
+    return *this;
+  }
+};
+
+bool is_ewise(const Node* n) {
+  switch (n->kind) {
+    case OpKind::kScale:
+    case OpKind::kAdd:
+    case OpKind::kEwiseMul:
+    case OpKind::kMap:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Shape + cost oracle over one DAG: leaf shapes come from the runtime's
+/// tensor registry, device constants from the vgpu cost model, per-op
+/// traffic shapes from the registry's declared profiles.
+class CostOracle {
+ public:
+  explicit CostOracle(Runtime& rt) : rt_(rt) {
+    const auto& params = rt.device().cost_model().params();
+    launch_ms_ = params.launch_overhead_us / 1000.0;
+    effective_gbs_ =
+        rt.device().spec().mem_bandwidth_gbs * params.dram_efficiency;
+  }
+
+  double launch_ms() const { return launch_ms_; }
+
+  double bw_ms(double bytes) const { return bytes / (effective_gbs_ * 1e6); }
+
+  /// Output vector length of a vector-valued node (0 for matrices).
+  index_t length(const Node* n) {
+    const auto it = len_.find(n);
+    if (it != len_.end()) return it->second;
+    index_t out = 0;
+    switch (n->kind) {
+      case OpKind::kInputMatrix:
+        break;
+      case OpKind::kInputVector:
+        out = rt_.tensor_info(n->tensor).rows;
+        break;
+      case OpKind::kMv:
+        out = matrix_info(n->inputs[0].get()).rows;
+        break;
+      case OpKind::kMvT:
+        out = matrix_info(n->inputs[0].get()).cols;
+        break;
+      case OpKind::kEwiseMul:
+      case OpKind::kScale:
+      case OpKind::kAdd:
+      case OpKind::kMap:
+      case OpKind::kFusedEwise:
+        out = length(n->inputs[0].get());
+        break;
+      case OpKind::kFusedPattern:
+        out = matrix_info(n->fused_matrix.get()).cols;
+        break;
+    }
+    len_.emplace(n, out);
+    return out;
+  }
+
+  TensorInfo matrix_info(const Node* n) {
+    FUSEDML_CHECK(n->kind == OpKind::kInputMatrix,
+                  "planner: matrix operand must be an input leaf");
+    return rt_.tensor_info(n->tensor);
+  }
+
+  /// Modeled GPU cost of executing `n` as its own operator (leaves are
+  /// free). Uses the registry-declared profile of the op's fused-backend
+  /// implementation: launches * overhead + DRAM traffic at effective BW.
+  NodeCost node_cost(const Node* n) {
+    double mat_bytes = 0;
+    bool sparse = false;
+    RegistryOp op;
+    switch (n->kind) {
+      case OpKind::kInputMatrix:
+      case OpKind::kInputVector:
+        return {};
+      case OpKind::kMv: {
+        const auto info = matrix_info(n->inputs[0].get());
+        mat_bytes = static_cast<double>(info.bytes);
+        sparse = info.is_sparse;
+        op = RegistryOp::kProduct;
+        break;
+      }
+      case OpKind::kMvT: {
+        const auto info = matrix_info(n->inputs[0].get());
+        mat_bytes = static_cast<double>(info.bytes);
+        sparse = info.is_sparse;
+        op = RegistryOp::kTransposedProduct;
+        break;
+      }
+      case OpKind::kEwiseMul:
+        op = RegistryOp::kEwiseMul;
+        break;
+      case OpKind::kScale:
+        op = RegistryOp::kScal;
+        break;
+      case OpKind::kAdd:
+        op = RegistryOp::kAxpy;
+        break;
+      case OpKind::kMap:
+        op = RegistryOp::kMap;
+        break;
+      case OpKind::kFusedPattern: {
+        const auto info = matrix_info(n->fused_matrix.get());
+        mat_bytes = static_cast<double>(info.bytes);
+        sparse = info.is_sparse;
+        op = RegistryOp::kPattern;
+        break;
+      }
+      case OpKind::kFusedEwise: {
+        // Profile reports per-stream traffic; the program shape adds the
+        // stream count: inputs once in, output once out.
+        const auto p = op_profile(RegistryOp::kFusedEwise, Backend::kFused,
+                                  false);
+        const double n_elems = static_cast<double>(length(n));
+        const double words =
+            p.vector_words_per_elem *
+            static_cast<double>(n->program.num_inputs + 1) * n_elems;
+        return {p.launches,
+                static_cast<double>(p.launches) * launch_ms_ +
+                    bw_ms(words * sizeof(real))};
+      }
+      default:
+        return {};
+    }
+    const auto p = op_profile(op, Backend::kFused, sparse);
+    const double n_elems = static_cast<double>(length(n));
+    const double bytes = p.matrix_passes * mat_bytes +
+                         p.vector_words_per_elem * n_elems * sizeof(real);
+    return {p.launches,
+            static_cast<double>(p.launches) * launch_ms_ + bw_ms(bytes)};
+  }
+
+  /// Total modeled cost of the whole DAG — distinct reachable operator
+  /// nodes, each costed once (matching the memoized interpreter).
+  NodeCost dag_cost(const NodePtr& root) {
+    NodeCost total;
+    std::unordered_set<const Node*> seen;
+    std::vector<const Node*> stack = {root.get()};
+    while (!stack.empty()) {
+      const Node* n = stack.back();
+      stack.pop_back();
+      if (n == nullptr || !seen.insert(n).second) continue;
+      total += node_cost(n);
+      for (const auto& in : n->inputs) stack.push_back(in.get());
+      for (const auto& in :
+           {n->fused_matrix, n->fused_v, n->fused_y, n->fused_z}) {
+        stack.push_back(in.get());
+      }
+    }
+    return total;
+  }
+
+ private:
+  Runtime& rt_;
+  double launch_ms_ = 0;
+  double effective_gbs_ = 1;
+  std::unordered_map<const Node*, index_t> len_;
+};
+
+/// Producers-first (post-order) list of distinct reachable nodes.
+std::vector<const Node*> topo_order(const NodePtr& root) {
+  std::vector<const Node*> order;
+  std::unordered_set<const Node*> done;
+  // Iterative post-order: (node, expanded?) pairs.
+  std::vector<std::pair<const Node*, bool>> stack = {{root.get(), false}};
+  while (!stack.empty()) {
+    auto [n, expanded] = stack.back();
+    stack.pop_back();
+    if (n == nullptr || done.count(n) != 0) continue;
+    if (expanded) {
+      done.insert(n);
+      order.push_back(n);
+      continue;
+    }
+    stack.push_back({n, true});
+    for (const auto& in : n->inputs) stack.push_back({in.get(), false});
+    for (const auto& in :
+         {n->fused_matrix, n->fused_v, n->fused_y, n->fused_z}) {
+      stack.push_back({in.get(), false});
+    }
+  }
+  return order;
+}
+
+struct PatternCand {
+  Equation1Match match;
+  const Node* root = nullptr;
+  NodeCost before, after;
+
+  double benefit_ms() const { return before.ms - after.ms; }
+};
+
+struct EwiseCand {
+  std::vector<const Node*> members;  ///< producers first; sink last
+  const Node* sink = nullptr;
+  std::vector<NodePtr> ext_inputs;   ///< program input slots, in order
+  EwiseProgram program;
+  NodeCost before, after;
+
+  double benefit_ms() const { return before.ms - after.ms; }
+};
+
+/// Builds the EwiseProgram for a region (members in producers-first order).
+void build_program(EwiseCand& cand) {
+  std::unordered_set<const Node*> member_set(cand.members.begin(),
+                                             cand.members.end());
+  std::unordered_map<const Node*, int> ext_slot;
+  for (const Node* m : cand.members) {
+    for (const auto& in : m->inputs) {
+      if (member_set.count(in.get()) != 0) continue;
+      if (ext_slot.emplace(in.get(), static_cast<int>(cand.ext_inputs.size()))
+              .second) {
+        cand.ext_inputs.push_back(in);
+      }
+    }
+  }
+  cand.program.num_inputs = static_cast<int>(cand.ext_inputs.size());
+
+  std::unordered_map<const Node*, int> step_slot;
+  auto slot_of = [&](const NodePtr& in) {
+    const auto it = step_slot.find(in.get());
+    if (it != step_slot.end()) return it->second;
+    return ext_slot.at(in.get());
+  };
+  for (const Node* m : cand.members) {
+    EwiseStep step;
+    switch (m->kind) {
+      case OpKind::kScale:
+        step.op = EwiseOp::kScale;
+        step.a = slot_of(m->inputs[0]);
+        step.scalar = m->scalar;
+        break;
+      case OpKind::kAdd:
+        step.op = EwiseOp::kAdd;
+        step.a = slot_of(m->inputs[0]);
+        step.b = slot_of(m->inputs[1]);
+        break;
+      case OpKind::kEwiseMul:
+        step.op = EwiseOp::kMul;
+        step.a = slot_of(m->inputs[0]);
+        step.b = slot_of(m->inputs[1]);
+        break;
+      case OpKind::kMap:
+        step.op = EwiseOp::kMap;
+        step.a = slot_of(m->inputs[0]);
+        step.map_fn = m->map_f;
+        step.map_name = m->map_name;
+        break;
+      default:
+        FUSEDML_CHECK(false, "planner: non-elementwise node in ewise region");
+    }
+    step_slot.emplace(
+        m, cand.program.num_inputs +
+               static_cast<int>(cand.program.steps.size()));
+    cand.program.steps.push_back(std::move(step));
+  }
+  FUSEDML_CHECK(cand.program.valid(), "planner built an invalid program");
+}
+
+/// Memoized clone-with-replacement: chosen pattern roots become
+/// kFusedPattern nodes, chosen ewise sinks become kFusedEwise nodes, every
+/// other interior node is cloned fresh; input leaves are shared.
+class Rewriter {
+ public:
+  Rewriter(const std::unordered_map<const Node*, const PatternCand*>& pat,
+           const std::unordered_map<const Node*, const EwiseCand*>& ew)
+      : pattern_roots_(pat), ewise_sinks_(ew) {}
+
+  NodePtr rebuild(const NodePtr& node) {
+    if (!node) return nullptr;
+    const auto it = memo_.find(node.get());
+    if (it != memo_.end()) return it->second;
+
+    NodePtr out;
+    if (const auto pit = pattern_roots_.find(node.get());
+        pit != pattern_roots_.end()) {
+      const Equation1Match& m = pit->second->match;
+      out = std::make_shared<Node>();
+      out->kind = OpKind::kFusedPattern;
+      out->scalar = m.alpha;
+      out->scalar2 = m.beta;
+      out->fused_matrix = rebuild(m.X);
+      out->fused_v = rebuild(m.v);
+      out->fused_y = rebuild(m.y);
+      out->fused_z = rebuild(m.z);
+    } else if (const auto eit = ewise_sinks_.find(node.get());
+               eit != ewise_sinks_.end()) {
+      const EwiseCand& cand = *eit->second;
+      out = std::make_shared<Node>();
+      out->kind = OpKind::kFusedEwise;
+      out->program = cand.program;
+      out->inputs.reserve(cand.ext_inputs.size());
+      for (const auto& in : cand.ext_inputs) out->inputs.push_back(rebuild(in));
+    } else if (node->kind == OpKind::kInputMatrix ||
+               node->kind == OpKind::kInputVector) {
+      out = node;  // leaves carry no rewritable structure — share them
+    } else {
+      out = std::make_shared<Node>(*node);
+      for (auto& in : out->inputs) in = rebuild(in);
+      out->fused_matrix = rebuild(out->fused_matrix);
+      out->fused_v = rebuild(out->fused_v);
+      out->fused_y = rebuild(out->fused_y);
+      out->fused_z = rebuild(out->fused_z);
+    }
+    memo_.emplace(node.get(), out);
+    return out;
+  }
+
+ private:
+  const std::unordered_map<const Node*, const PatternCand*>& pattern_roots_;
+  const std::unordered_map<const Node*, const EwiseCand*>& ewise_sinks_;
+  std::unordered_map<const Node*, NodePtr> memo_;
+};
+
+}  // namespace
+
+std::string FusionPlan::explain() const {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(4);
+  os << "fusion plan: " << groups.size() << " group(s)";
+  if (rejected_multi_consumer > 0) {
+    os << ", " << rejected_multi_consumer
+       << " match(es) rejected (multi-consumer intermediate)";
+  }
+  os << "\n";
+  int i = 0;
+  for (const auto& g : groups) {
+    os << "  [" << ++i << "] " << g.kind << " {" << g.detail << "} covers "
+       << g.nodes_covered << " node(s); launches " << g.launches_before
+       << " -> " << g.launches_after << "; modeled " << g.modeled_before_ms
+       << " ms -> " << g.modeled_after_ms << " ms\n";
+  }
+  os << "  totals: launches " << launches_unfused << " -> "
+     << launches_planned << ", modeled " << modeled_unfused_ms << " ms -> "
+     << modeled_planned_ms << " ms";
+  return os.str();
+}
+
+FusionPlan plan_fusion(Runtime& rt, const NodePtr& root,
+                       const PlannerOptions& opts) {
+  FusionPlan plan;
+  CostOracle oracle(rt);
+
+  const auto cost_before = oracle.dag_cost(root);
+  plan.launches_unfused = cost_before.launches;
+  plan.modeled_unfused_ms = cost_before.ms;
+
+  const auto consumers = consumer_map(root);
+  const auto topo = topo_order(root);
+
+  std::unordered_set<const Node*> claimed;
+
+  // --- 1. Equation-1 template candidates (largest extent at each root) ----
+  std::vector<PatternCand> pattern_cands;
+  if (opts.enable_pattern_fusion) {
+    // Walk with NodePtrs (match_equation1 needs shared_ptr handles); the
+    // Add-rooted full pattern and its Scale-rooted core both become
+    // candidates — greedy selection resolves the overlap by benefit.
+    std::unordered_set<const Node*> visited;
+    std::vector<NodePtr> stack = {root};
+    while (!stack.empty()) {
+      NodePtr n = stack.back();
+      stack.pop_back();
+      if (!n || !visited.insert(n.get()).second) continue;
+      if (auto m = match_equation1(n)) {
+        if (fusion_is_materialization_safe(*m, n, consumers)) {
+          PatternCand cand;
+          cand.root = n.get();
+          for (const Node* c : m->covered) cand.before += oracle.node_cost(c);
+          cand.match = std::move(*m);
+          // Cost the fused replacement via the registry's declared profile.
+          const auto info = oracle.matrix_info(cand.match.X.get());
+          const auto p = op_profile(RegistryOp::kPattern, Backend::kFused,
+                                    info.is_sparse);
+          const double bytes =
+              p.matrix_passes * static_cast<double>(info.bytes) +
+              p.vector_words_per_elem * static_cast<double>(info.cols) *
+                  sizeof(real);
+          cand.after = {p.launches, static_cast<double>(p.launches) *
+                                            oracle.launch_ms() +
+                                        oracle.bw_ms(bytes)};
+          pattern_cands.push_back(std::move(cand));
+        } else {
+          ++plan.rejected_multi_consumer;
+        }
+      }
+      for (const auto& in : n->inputs) stack.push_back(in);
+      for (const auto& in :
+           {n->fused_matrix, n->fused_v, n->fused_y, n->fused_z}) {
+        if (in) stack.push_back(in);
+      }
+    }
+    std::stable_sort(pattern_cands.begin(), pattern_cands.end(),
+                     [](const PatternCand& a, const PatternCand& b) {
+                       return a.benefit_ms() > b.benefit_ms();
+                     });
+  }
+
+  std::unordered_map<const Node*, const PatternCand*> chosen_patterns;
+  for (const auto& cand : pattern_cands) {
+    if (cand.after.launches >= cand.before.launches) continue;
+    if (cand.benefit_ms() < opts.min_benefit_ms) continue;
+    const bool overlaps =
+        std::any_of(cand.match.covered.begin(), cand.match.covered.end(),
+                    [&](const Node* c) { return claimed.count(c) != 0; });
+    if (overlaps) continue;
+    for (const Node* c : cand.match.covered) claimed.insert(c);
+    chosen_patterns.emplace(cand.root, &cand);
+
+    std::ostringstream detail;
+    detail << "alpha=" << cand.match.alpha;
+    if (cand.match.z) detail << " beta=" << cand.match.beta;
+    if (!cand.match.v) detail << " (no v)";
+    PlannedGroup g;
+    g.kind = "equation1";
+    g.detail = detail.str();
+    g.nodes_covered = static_cast<int>(cand.match.covered.size());
+    g.launches_before = cand.before.launches;
+    g.launches_after = cand.after.launches;
+    g.modeled_before_ms = cand.before.ms;
+    g.modeled_after_ms = cand.after.ms;
+    plan.groups.push_back(std::move(g));
+  }
+
+  // --- 2. Maximal elementwise regions over the unclaimed remainder --------
+  std::vector<EwiseCand> ewise_cands;
+  if (opts.enable_ewise_fusion) {
+    // Consumers-first: a region's sink is the member closest to the root.
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+      const Node* sink = *it;
+      if (!is_ewise(sink) || claimed.count(sink) != 0) continue;
+      std::unordered_set<const Node*> region = {sink};
+      bool grew = true;
+      while (grew) {
+        grew = false;
+        for (const Node* r : std::vector<const Node*>(region.begin(),
+                                                      region.end())) {
+          for (const auto& in : r->inputs) {
+            const Node* c = in.get();
+            if (region.count(c) != 0 || claimed.count(c) != 0 ||
+                !is_ewise(c)) {
+              continue;
+            }
+            const auto cit = consumers.find(c);
+            const bool internal =
+                cit != consumers.end() &&
+                std::all_of(cit->second.begin(), cit->second.end(),
+                            [&](const Node* p) { return region.count(p); });
+            if (internal) {
+              region.insert(c);
+              grew = true;
+            }
+          }
+        }
+      }
+      if (region.size() < 2) continue;
+
+      EwiseCand cand;
+      cand.sink = sink;
+      for (const Node* n : topo) {
+        if (region.count(n) != 0) cand.members.push_back(n);
+      }
+      build_program(cand);
+      for (const Node* m : cand.members) cand.before += oracle.node_cost(m);
+      // Length comes from any member; borrow the sink's.
+      const double n_elems = static_cast<double>(oracle.length(sink));
+      const auto p = op_profile(RegistryOp::kFusedEwise, Backend::kFused,
+                                false);
+      const double words = p.vector_words_per_elem *
+                           static_cast<double>(cand.program.num_inputs + 1) *
+                           n_elems;
+      cand.after = {p.launches, static_cast<double>(p.launches) *
+                                        oracle.launch_ms() +
+                                    oracle.bw_ms(words * sizeof(real))};
+      if (cand.after.launches >= cand.before.launches) continue;
+      if (cand.benefit_ms() < opts.min_benefit_ms) continue;
+      for (const Node* m : cand.members) claimed.insert(m);
+      ewise_cands.push_back(std::move(cand));
+    }
+  }
+
+  std::unordered_map<const Node*, const EwiseCand*> chosen_ewise;
+  for (const auto& cand : ewise_cands) {
+    chosen_ewise.emplace(cand.sink, &cand);
+    PlannedGroup g;
+    g.kind = "ewise_chain";
+    g.detail = cand.program.signature();
+    g.nodes_covered = static_cast<int>(cand.members.size());
+    g.launches_before = cand.before.launches;
+    g.launches_after = cand.after.launches;
+    g.modeled_before_ms = cand.before.ms;
+    g.modeled_after_ms = cand.after.ms;
+    plan.groups.push_back(std::move(g));
+  }
+
+  // --- 3. Rewrite into a fresh DAG and re-cost ----------------------------
+  Rewriter rewriter(chosen_patterns, chosen_ewise);
+  plan.root = rewriter.rebuild(root);
+
+  const auto cost_after = oracle.dag_cost(plan.root);
+  plan.launches_planned = cost_after.launches;
+  plan.modeled_planned_ms = cost_after.ms;
+  return plan;
+}
+
+}  // namespace fusedml::sysml

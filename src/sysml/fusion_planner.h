@@ -1,0 +1,77 @@
+// Cost-based fusion planner — the generalization of the hardcoded
+// fuse_patterns() pass into candidate enumeration + costing + greedy
+// selection, the way a declarative ML compiler would pick fused operators.
+//
+// Two candidate families are enumerated over the operator DAG:
+//   1. Equation-1 template matches (match_equation1 + Table-1
+//      degenerations), filtered by the materialization-point analysis so a
+//      match whose intermediates feed other consumers is never fused, and
+//   2. maximal element-wise regions — runs of kScale/kAdd/kEwiseMul/kMap
+//      whose interiors have no outside consumers — collapsed into ONE
+//      generated streaming kernel (kernels/cuda_codegen.h) that reads each
+//      input once and keeps intermediates in registers.
+//
+// Every candidate is scored with the vgpu cost model (kernel launches at
+// launch_overhead_us each, DRAM traffic at the device's effective
+// bandwidth) using the per-op cost profiles the operator registry declares
+// (kernels::op_profile). Candidates are chosen greedily by modeled benefit
+// over disjoint node sets; the result is a FRESH rewritten DAG (the input
+// DAG is untouched, so one Runtime can execute both and compare) plus an
+// explain-plan describing every chosen group.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sysml/dag.h"
+#include "sysml/runtime.h"
+
+namespace fusedml::sysml {
+
+struct PlannerOptions {
+  bool enable_pattern_fusion = true;  ///< Equation-1 / Table-1 candidates
+  bool enable_ewise_fusion = true;    ///< generated elementwise-chain kernels
+  /// A candidate must beat the unfused cost by at least this much modeled
+  /// time (and strictly reduce launches) to be chosen.
+  double min_benefit_ms = 0.0;
+};
+
+/// One chosen fusion group in the plan.
+struct PlannedGroup {
+  std::string kind;    ///< "equation1" or "ewise_chain"
+  std::string detail;  ///< alpha/beta summary or the program signature
+  int nodes_covered = 0;
+  std::uint64_t launches_before = 0;
+  std::uint64_t launches_after = 0;
+  double modeled_before_ms = 0;
+  double modeled_after_ms = 0;
+
+  double benefit_ms() const { return modeled_before_ms - modeled_after_ms; }
+};
+
+struct FusionPlan {
+  /// The rewritten DAG — fresh nodes; the planner never mutates its input.
+  NodePtr root;
+  std::vector<PlannedGroup> groups;
+
+  /// Whole-DAG modeled totals (distinct reachable operator nodes).
+  std::uint64_t launches_unfused = 0;
+  std::uint64_t launches_planned = 0;
+  double modeled_unfused_ms = 0;
+  double modeled_planned_ms = 0;
+
+  /// Equation-1 matches skipped by the materialization-point analysis.
+  int rejected_multi_consumer = 0;
+
+  /// Database-style plan text: one line per group plus the totals. Feed it
+  /// to Runtime::note_plan() so Runtime::explain() shows plan + execution.
+  std::string explain() const;
+};
+
+/// Plans fusion for the DAG rooted at `root`. `rt` supplies tensor shapes
+/// (Runtime::tensor_info) and the device cost parameters; no ops execute.
+FusionPlan plan_fusion(Runtime& rt, const NodePtr& root,
+                       const PlannerOptions& opts = {});
+
+}  // namespace fusedml::sysml

@@ -1,10 +1,23 @@
 #include "sysml/lr_cg_script.h"
 
 #include <cmath>
+#include <utility>
 
 #include "common/error.h"
+#include "ml/logreg.h"
+#include "sysml/dag.h"
+#include "sysml/fusion_planner.h"
 
 namespace fusedml::sysml {
+
+const char* to_string(PlanMode mode) {
+  switch (mode) {
+    case PlanMode::kUnfused: return "unfused";
+    case PlanMode::kHardcodedPass: return "hardcoded-pass";
+    case PlanMode::kPlanner: return "planner";
+  }
+  return "?";
+}
 
 namespace {
 template <typename Matrix>
@@ -91,12 +104,7 @@ ScriptResult run_lr_cg_script(Runtime& rt, const la::DenseMatrix& X,
   return run_impl(rt, X, labels, config);
 }
 
-namespace {
-real stable_sigmoid(real t) {
-  return t >= 0 ? real{1} / (real{1} + std::exp(-t))
-                : std::exp(t) / (real{1} + std::exp(t));
-}
-}  // namespace
+using ml::stable_sigmoid;
 
 ScriptResult run_logreg_gd_script(Runtime& rt, const la::CsrMatrix& X,
                                   std::span<const real> labels,
@@ -133,6 +141,122 @@ ScriptResult run_logreg_gd_script(Runtime& rt, const la::CsrMatrix& X,
   out.memory_stats = rt.memory_stats();
   out.end_to_end_ms = out.runtime_stats.total_ms();
   (void)yid;
+  return out;
+}
+
+namespace {
+
+/// Prepares a per-iteration expression DAG according to the plan mode.
+/// The DAG's leaves reference stable tensor ids whose VALUES update in
+/// place, so preparation happens once and interpretation repeats.
+NodePtr prepare_dag(Runtime& rt, NodePtr root, PlanMode mode,
+                    ScriptResult& out) {
+  switch (mode) {
+    case PlanMode::kUnfused:
+      return root;
+    case PlanMode::kHardcodedPass: {
+      FusionReport report;
+      root = fuse_patterns(std::move(root), &report);
+      out.fused_groups += report.patterns_fused;
+      out.plan_explain = "hardcoded fuse_patterns: " +
+                         std::to_string(report.patterns_fused) +
+                         " pattern(s) fused";
+      return root;
+    }
+    case PlanMode::kPlanner: {
+      FusionPlan plan = plan_fusion(rt, root);
+      out.fused_groups += static_cast<int>(plan.groups.size());
+      out.plan_explain = plan.explain();
+      rt.note_plan(out.plan_explain);
+      return plan.root;
+    }
+  }
+  return root;
+}
+
+void finish(Runtime& rt, TensorId wid, int iterations, ScriptResult& out) {
+  const auto w = rt.read_vector(wid);
+  out.weights.assign(w.begin(), w.end());
+  out.iterations = iterations;
+  out.runtime_stats = rt.stats();
+  out.memory_stats = rt.memory_stats();
+  out.end_to_end_ms = out.runtime_stats.total_ms();
+}
+
+}  // namespace
+
+ScriptResult run_lr_cg_dag_script(Runtime& rt, const la::CsrMatrix& X,
+                                  std::span<const real> labels, PlanMode mode,
+                                  ScriptConfig config) {
+  FUSEDML_CHECK(labels.size() == static_cast<usize>(X.rows()),
+                "labels must have one entry per row");
+  ScriptResult out;
+  const auto Xid = rt.add_sparse(X, "V");
+  const auto yid = rt.add_vector({labels.begin(), labels.end()}, "y");
+
+  // r = -(t(V) %*% y);  p = -r;  nr2 = sum(r*r);  w = 0
+  const auto rid = rt.op_transposed_product(Xid, yid, real{-1});
+  const auto pid =
+      rt.add_vector({rt.read_vector(rid).begin(), rt.read_vector(rid).end()},
+                    "p");
+  rt.op_scal(real{-1}, pid);
+  real nr2 = rt.op_dot(rid, rid);
+  const real nr2_target = nr2 * config.tolerance * config.tolerance;
+  const auto wid = rt.new_vector(static_cast<usize>(X.cols()), "w");
+
+  // q = (t(V) %*% (V %*% p)) + eps*p — built as an explicit operator DAG
+  // (what a declarative compiler would hand the fusion stage).
+  const auto Xn = input_matrix(Xid);
+  const auto pn = input_vector(pid);
+  NodePtr q_root = add(mvt(Xn, mv(Xn, pn)), scale(config.eps, pn));
+  q_root = prepare_dag(rt, std::move(q_root), mode, out);
+
+  int i = 0;
+  while (i < config.max_iterations && nr2 > nr2_target) {
+    const TensorId qid = execute(rt, q_root);
+    const real alpha = nr2 / rt.op_dot(pid, qid);
+    rt.op_axpy(alpha, pid, wid);
+    rt.op_axpy(alpha, qid, rid);
+    const real old_nr2 = nr2;
+    nr2 = rt.op_dot(rid, rid);
+    const real beta = nr2 / old_nr2;
+    rt.op_scal(beta, pid);
+    rt.op_axpy(real{-1}, rid, pid);
+    ++i;
+  }
+  finish(rt, wid, i, out);
+  return out;
+}
+
+ScriptResult run_logreg_dag_script(Runtime& rt, const la::CsrMatrix& X,
+                                   std::span<const real> labels, PlanMode mode,
+                                   GdConfig config) {
+  FUSEDML_CHECK(labels.size() == static_cast<usize>(X.rows()),
+                "labels must have one entry per row");
+  ScriptResult out;
+  const auto Xid = rt.add_sparse(X, "X");
+  const auto neg_yid =
+      rt.add_vector({labels.begin(), labels.end()}, "neg_y");
+  rt.op_scal(real{-1}, neg_yid);
+  const auto wid = rt.new_vector(static_cast<usize>(X.cols()), "w");
+
+  // g = t(X) %*% (sigma(-y ⊙ (X %*% w)) ⊙ -y) + lambda*w as one DAG. The
+  // mul→sigmoid→mul run is an elementwise chain the planner collapses into
+  // a single generated streaming kernel; so is the +lambda*w epilogue.
+  const auto Xn = input_matrix(Xid);
+  const auto wn = input_vector(wid);
+  const auto nyn = input_vector(neg_yid);
+  const NodePtr resid =
+      ewise_mul(map(ewise_mul(nyn, mv(Xn, wn)), stable_sigmoid, "sigmoid"),
+                nyn);
+  NodePtr g_root = add(mvt(Xn, resid), scale(config.lambda, wn));
+  g_root = prepare_dag(rt, std::move(g_root), mode, out);
+
+  for (int it = 0; it < config.iterations; ++it) {
+    const TensorId gid = execute(rt, g_root);
+    rt.op_axpy(-config.step, gid, wid);  // w -= step * g
+  }
+  finish(rt, wid, config.iterations, out);
   return out;
 }
 

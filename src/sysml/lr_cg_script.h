@@ -26,7 +26,18 @@ struct ScriptResult {
   RuntimeStats runtime_stats;
   MemoryStats memory_stats;
   double end_to_end_ms = 0.0;  ///< runtime_stats.total_ms()
+  // DAG scripts only: how the expression graph was prepared.
+  std::string plan_explain;  ///< the chosen plan (see FusionPlan::explain)
+  int fused_groups = 0;      ///< fusion groups (pattern or ewise) applied
 };
+
+/// How a DAG script's expression graph is prepared before interpretation.
+enum class PlanMode {
+  kUnfused,        ///< operator-at-a-time; no rewrite
+  kHardcodedPass,  ///< the fixed Equation-1 fuse_patterns() rewrite
+  kPlanner,        ///< the cost-based fusion planner (fusion_planner.h)
+};
+const char* to_string(PlanMode mode);
 
 /// Runs the Listing-1 LR-CG script on a runtime over sparse or dense data.
 ScriptResult run_lr_cg_script(Runtime& rt, const la::CsrMatrix& X,
@@ -49,5 +60,26 @@ struct GdConfig {
 ScriptResult run_logreg_gd_script(Runtime& rt, const la::CsrMatrix& X,
                                   std::span<const real> labels,
                                   GdConfig config = {});
+
+// --- DAG-building variants ---------------------------------------------------
+// The same algorithms written the way a declarative compiler sees them: the
+// per-iteration expression is built as an operator DAG (sysml/dag.h) and
+// prepared ONCE by the selected PlanMode — unfused interpretation, the
+// hardcoded Equation-1 pass, or the cost-based planner — then interpreted
+// every iteration. Identical math across modes; kUnfused vs kPlanner on the
+// logreg script is bit-exact (only elementwise chains fuse there).
+
+/// Listing-1 LR-CG with q = (t(V) %*% (V %*% p)) + eps*p as an explicit DAG.
+ScriptResult run_lr_cg_dag_script(Runtime& rt, const la::CsrMatrix& X,
+                                  std::span<const real> labels, PlanMode mode,
+                                  ScriptConfig config = {});
+
+/// Logistic-regression gradient descent with the whole gradient
+///   g = t(X) %*% (sigma(-y ⊙ (X %*% w)) ⊙ -y) + lambda*w
+/// as one DAG per iteration — a sigmoid elementwise chain the planner
+/// collapses into a generated kernel.
+ScriptResult run_logreg_dag_script(Runtime& rt, const la::CsrMatrix& X,
+                                   std::span<const real> labels, PlanMode mode,
+                                   GdConfig config = {});
 
 }  // namespace fusedml::sysml

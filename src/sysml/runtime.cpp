@@ -1,12 +1,10 @@
 #include "sysml/runtime.h"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/error.h"
 #include "common/log.h"
-#include "kernels/blas1.h"
-#include "kernels/gemv.h"
-#include "kernels/spmv.h"
 #include "kernels/streaming.h"
 
 namespace fusedml::sysml {
@@ -15,7 +13,7 @@ Runtime::Runtime(vgpu::Device& dev, RuntimeOptions opts)
     : dev_(dev),
       opts_(opts),
       mm_(dev, opts.device_capacity),
-      cpu_(vgpu::paper_host_cpu(), 8) {}
+      registry_(dev, 8) {}
 
 TensorId Runtime::store(Value v, usize bytes, std::string name) {
   const TensorId id = next_id_++;
@@ -71,6 +69,27 @@ usize Runtime::tensor_bytes(TensorId id) {
   return std::get<std::vector<real>>(v).size() * sizeof(real);
 }
 
+TensorInfo Runtime::tensor_info(TensorId id) {
+  TensorInfo info;
+  const Value& v = value(id);
+  info.bytes = tensor_bytes(id);
+  if (const auto* s = std::get_if<la::CsrMatrix>(&v)) {
+    info.is_matrix = true;
+    info.is_sparse = true;
+    info.rows = s->rows();
+    info.cols = s->cols();
+    info.nnz = static_cast<std::uint64_t>(s->nnz());
+  } else if (const auto* d = std::get_if<la::DenseMatrix>(&v)) {
+    info.is_matrix = true;
+    info.rows = d->rows();
+    info.cols = d->cols();
+  } else {
+    info.rows =
+        static_cast<index_t>(std::get<std::vector<real>>(v).size());
+  }
+  return info;
+}
+
 bool Runtime::stage_on_device(TensorId id) {
   if (!opts_.enable_gpu) return false;
   if (!native_[id]) {
@@ -104,12 +123,12 @@ double Runtime::estimate_gpu_ms(usize bytes_touched, TensorId) {
 }
 
 double Runtime::estimate_cpu_ms(usize bytes_touched) {
-  const double bw = cpu_.threads() > 1 ? 21.8 : 8.0;
+  const double bw = cpu().threads() > 1 ? 21.8 : 8.0;
   return static_cast<double>(bytes_touched) / bw / 1e6 + 0.002;
 }
 
-bool Runtime::choose_gpu(usize bytes_touched,
-                         std::initializer_list<TensorId> inputs) {
+bool Runtime::choose_gpu_span(usize bytes_touched,
+                              std::span<const TensorId> inputs) {
   if (!opts_.enable_gpu) return false;
   double gpu = estimate_gpu_ms(bytes_touched, 0);
   double cpu = estimate_cpu_ms(bytes_touched);
@@ -134,6 +153,44 @@ bool Runtime::choose_gpu(usize bytes_touched,
   return gpu < cpu;
 }
 
+bool Runtime::choose_gpu(usize bytes_touched,
+                         std::initializer_list<TensorId> inputs) {
+  return choose_gpu_span(bytes_touched,
+                         {inputs.begin(), inputs.size()});
+}
+
+kernels::KernelOutcome Runtime::run_resilient(
+    kernels::Backend preferred,
+    const std::function<kernels::KernelOutcome(kernels::Backend)>& attempt,
+    std::span<real> inout) {
+  return registry_.execute_resilient(preferred, retry_, attempt, inout,
+                                     &resilience_);
+}
+
+void Runtime::book(const kernels::KernelOutcome& outcome, const char* op,
+                   bool pattern_class) {
+  const bool on_gpu = outcome.backend_used != kernels::Backend::kCpu;
+  if (on_gpu) {
+    stats_.gpu_kernel_ms += outcome.modeled_ms;
+    stats_.kernel_launches += outcome.launches;
+    ++stats_.gpu_ops;
+    if (pattern_class) stats_.pattern_gpu_ms += outcome.modeled_ms;
+  } else {
+    stats_.cpu_op_ms += outcome.modeled_ms;
+    ++stats_.cpu_ops;
+  }
+  record_trace(op, on_gpu, outcome.modeled_ms);
+}
+
+TensorId Runtime::emit(std::vector<real> w, bool on_gpu, std::string name) {
+  const TensorId out = add_vector(std::move(w), std::move(name));
+  if (on_gpu) {
+    native_[out] = true;  // born in native/device space
+    stats_.transfer_ms += mm_.allocate_on_device(out);
+  }
+  return out;
+}
+
 TensorId Runtime::op_pattern(real alpha, TensorId Xid, TensorId vid,
                              TensorId yid, real beta, TensorId zid) {
   const usize xbytes = tensor_bytes(Xid);
@@ -146,8 +203,6 @@ TensorId Runtime::op_pattern(real alpha, TensorId Xid, TensorId vid,
   const auto* Xs = sparse(Xid);
   const auto* Xd = dense(Xid);
   FUSEDML_CHECK(Xs != nullptr || Xd != nullptr, "pattern needs a matrix");
-  const usize n =
-      static_cast<usize>(Xs != nullptr ? Xs->cols() : Xd->cols());
 
   if (opts_.enable_gpu && mm_.needs_streaming(Xid)) {
     // X does not fit on the device even alone: instead of failing (or
@@ -169,56 +224,44 @@ TensorId Runtime::op_pattern(real alpha, TensorId Xid, TensorId vid,
     stats_.gpu_kernel_ms += sr.kernel_ms;
     stats_.pattern_gpu_ms += sr.kernel_ms;
     stats_.transfer_ms += sr.transfer_ms;
+    stats_.kernel_launches += sr.op.launches;
     ++stats_.gpu_ops;
     record_trace("pattern (streamed)", true, sr.pipeline_ms);
     stats_.pattern_cpu_equiv_ms +=
-        Xs != nullptr ? cpu_.pattern(alpha, *Xs, v, y, beta, z).modeled_ms
-                      : cpu_.pattern(alpha, *Xd, v, y, beta, z).modeled_ms;
+        Xs != nullptr ? cpu().pattern(alpha, *Xs, v, y, beta, z).modeled_ms
+                      : cpu().pattern(alpha, *Xd, v, y, beta, z).modeled_ms;
     // The streamed result lives on the host (partials were merged there).
     return add_vector(std::move(sr.op.value), "pattern_out");
   }
 
   const bool gpu = choose_gpu(2 * xbytes, {Xid, vid, yid, zid});
-
-  std::vector<real> w;
   if (gpu) {
     stage_on_device(Xid);
     if (vid != 0) stage_on_device(vid);
     stage_on_device(yid);
     if (zid != 0) stage_on_device(zid);
-    kernels::OpResult op =
-        Xs != nullptr
-            ? kernels::fused_pattern_sparse(dev_, alpha, *Xs, v, y, beta, z)
-            : kernels::fused_pattern_dense(dev_, alpha, *Xd, v, y, beta, z);
-    stats_.gpu_kernel_ms += op.modeled_ms;
-    stats_.pattern_gpu_ms += op.modeled_ms;
-    ++stats_.gpu_ops;
-    record_trace("pattern", true, op.modeled_ms);
-    // What the same op would have cost on the CPU (Table 6 row 2).
-    stats_.pattern_cpu_equiv_ms +=
-        Xs != nullptr ? cpu_.pattern(alpha, *Xs, v, y, beta, z).modeled_ms
-                      : cpu_.pattern(alpha, *Xd, v, y, beta, z).modeled_ms;
-    w = std::move(op.value);
   } else {
     for (TensorId id : {Xid, vid, yid, zid}) {
       if (id != 0) sync_to_host(id);
     }
-    kernels::CpuOpResult op =
-        Xs != nullptr ? cpu_.pattern(alpha, *Xs, v, y, beta, z)
-                      : cpu_.pattern(alpha, *Xd, v, y, beta, z);
-    stats_.cpu_op_ms += op.modeled_ms;
-    ++stats_.cpu_ops;
-    record_trace("pattern", false, op.modeled_ms);
-    w = std::move(op.value);
   }
 
-  const TensorId out = add_vector(std::move(w), "pattern_out");
-  if (gpu) {
-    native_[out] = true;  // born in native/device space
-    stats_.transfer_ms += mm_.allocate_on_device(out);
+  auto o = run_resilient(
+      gpu ? kernels::Backend::kFused : kernels::Backend::kCpu,
+      [&](kernels::Backend b) {
+        return Xs != nullptr
+                   ? registry_.pattern(b, alpha, *Xs, v, y, beta, z)
+                   : registry_.pattern(b, alpha, *Xd, v, y, beta, z);
+      });
+  book(o, "pattern", true);
+  const bool on_gpu = o.backend_used != kernels::Backend::kCpu;
+  if (on_gpu) {
+    // What the same op would have cost on the CPU (Table 6 row 2).
+    stats_.pattern_cpu_equiv_ms +=
+        Xs != nullptr ? cpu().pattern(alpha, *Xs, v, y, beta, z).modeled_ms
+                      : cpu().pattern(alpha, *Xd, v, y, beta, z).modeled_ms;
   }
-  (void)n;
-  return out;
+  return emit(std::move(o.value), on_gpu, "pattern_out");
 }
 
 TensorId Runtime::op_transposed_product(TensorId Xid, TensorId yid,
@@ -231,48 +274,28 @@ TensorId Runtime::op_transposed_product(TensorId Xid, TensorId yid,
   FUSEDML_CHECK(Xs != nullptr || Xd != nullptr,
                 "transposed product needs a matrix");
 
-  std::vector<real> w;
   if (gpu) {
     stage_on_device(Xid);
     stage_on_device(yid);
-    kernels::OpResult op;
-    if (Xs != nullptr) {
-      op = kernels::fused_spmv_t(dev_, *Xs, y, alpha);
-    } else {
-      op = kernels::gemv_t(dev_, *Xd, y);
-      if (alpha != real{1}) {
-        auto s = kernels::dev_scal(dev_, alpha, op.value);
-        op.absorb_timing(s);
-      }
-    }
-    stats_.gpu_kernel_ms += op.modeled_ms;
-    stats_.pattern_gpu_ms += op.modeled_ms;
-    ++stats_.gpu_ops;
-    record_trace("transposed_product", true, op.modeled_ms);
-    stats_.pattern_cpu_equiv_ms +=
-        Xs != nullptr ? cpu_.spmv_t(*Xs, y).modeled_ms
-                      : cpu_.gemv_t(*Xd, y).modeled_ms;
-    w = std::move(op.value);
   } else {
     sync_to_host(Xid);
     sync_to_host(yid);
-    kernels::CpuOpResult op =
-        Xs != nullptr ? cpu_.spmv_t(*Xs, y) : cpu_.gemv_t(*Xd, y);
-    stats_.cpu_op_ms += op.modeled_ms;
-    ++stats_.cpu_ops;
-    record_trace("transposed_product", false, op.modeled_ms);
-    w = std::move(op.value);
-    if (alpha != real{1}) {
-      for (real& x : w) x *= alpha;
-    }
   }
-
-  const TensorId out = add_vector(std::move(w), "xty_out");
-  if (gpu) {
-    native_[out] = true;
-    stats_.transfer_ms += mm_.allocate_on_device(out);
+  auto o = run_resilient(
+      gpu ? kernels::Backend::kFused : kernels::Backend::kCpu,
+      [&](kernels::Backend b) {
+        return Xs != nullptr
+                   ? registry_.transposed_product(b, *Xs, y, alpha)
+                   : registry_.transposed_product(b, *Xd, y, alpha);
+      });
+  book(o, "transposed_product", true);
+  const bool on_gpu = o.backend_used != kernels::Backend::kCpu;
+  if (on_gpu) {
+    stats_.pattern_cpu_equiv_ms += Xs != nullptr
+                                       ? cpu().spmv_t(*Xs, y).modeled_ms
+                                       : cpu().gemv_t(*Xd, y).modeled_ms;
   }
-  return out;
+  return emit(std::move(o.value), on_gpu, "xty_out");
 }
 
 TensorId Runtime::op_product(TensorId Xid, TensorId yid) {
@@ -283,34 +306,22 @@ TensorId Runtime::op_product(TensorId Xid, TensorId yid) {
   const auto* Xd = dense(Xid);
   FUSEDML_CHECK(Xs != nullptr || Xd != nullptr, "product needs a matrix");
 
-  std::vector<real> p;
   if (gpu) {
     stage_on_device(Xid);
     stage_on_device(yid);
-    kernels::OpResult op = Xs != nullptr
-                               ? kernels::spmv_csr_vector(dev_, *Xs, y)
-                               : kernels::gemv_n(dev_, *Xd, y);
-    stats_.gpu_kernel_ms += op.modeled_ms;
-    ++stats_.gpu_ops;
-    record_trace("product", true, op.modeled_ms);
-    p = std::move(op.value);
   } else {
     sync_to_host(Xid);
     sync_to_host(yid);
-    kernels::CpuOpResult op =
-        Xs != nullptr ? cpu_.spmv(*Xs, y) : cpu_.gemv(*Xd, y);
-    stats_.cpu_op_ms += op.modeled_ms;
-    ++stats_.cpu_ops;
-    record_trace("product", false, op.modeled_ms);
-    p = std::move(op.value);
   }
-
-  const TensorId out = add_vector(std::move(p), "product_out");
-  if (gpu) {
-    native_[out] = true;
-    stats_.transfer_ms += mm_.allocate_on_device(out);
-  }
-  return out;
+  auto o = run_resilient(
+      gpu ? kernels::Backend::kFused : kernels::Backend::kCpu,
+      [&](kernels::Backend b) {
+        return Xs != nullptr ? registry_.product(b, *Xs, y)
+                             : registry_.product(b, *Xd, y);
+      });
+  book(o, "product", false);
+  return emit(std::move(o.value), o.backend_used != kernels::Backend::kCpu,
+              "product_out");
 }
 
 void Runtime::op_axpy(real alpha, TensorId xid, TensorId yid) {
@@ -320,18 +331,19 @@ void Runtime::op_axpy(real alpha, TensorId xid, TensorId yid) {
   if (gpu) {
     stage_on_device(xid);
     stage_on_device(yid);
-    auto op = kernels::dev_axpy(dev_, alpha, x, y);
-    stats_.gpu_kernel_ms += op.modeled_ms;
-    ++stats_.gpu_ops;
-    mm_.mark_device_dirty(yid);
-    // Host copy already updated functionally; device is authoritative.
   } else {
     sync_to_host(xid);
     sync_to_host(yid);
-    auto op = cpu_.axpy(alpha, x, y);
-    stats_.cpu_op_ms += op.modeled_ms;
-    ++stats_.cpu_ops;
-    if (mm_.on_device(yid)) mm_.mark_host_dirty(yid);
+  }
+  auto o = run_resilient(
+      gpu ? kernels::Backend::kFused : kernels::Backend::kCpu,
+      [&](kernels::Backend b) { return registry_.axpy(b, alpha, x, y); }, y);
+  book(o, "axpy", false);
+  if (o.backend_used != kernels::Backend::kCpu) {
+    mm_.mark_device_dirty(yid);
+    // Host copy already updated functionally; device is authoritative.
+  } else if (mm_.on_device(yid)) {
+    mm_.mark_host_dirty(yid);
   }
 }
 
@@ -339,63 +351,68 @@ TensorId Runtime::op_ewise_mul(TensorId xid, TensorId yid) {
   const std::vector<real>& x = vec(xid);
   const std::vector<real>& y = vec(yid);
   const bool gpu = choose_gpu(3 * x.size() * sizeof(real), {xid, yid});
-  std::vector<real> result;
   if (gpu) {
     stage_on_device(xid);
     stage_on_device(yid);
-    auto op = kernels::dev_ewise_mul(dev_, x, y);
-    stats_.gpu_kernel_ms += op.modeled_ms;
-    ++stats_.gpu_ops;
-    result = std::move(op.value);
   } else {
     sync_to_host(xid);
     sync_to_host(yid);
-    auto op = cpu_.ewise_mul(x, y);
-    stats_.cpu_op_ms += op.modeled_ms;
-    ++stats_.cpu_ops;
-    result = std::move(op.value);
   }
-  const TensorId out = add_vector(std::move(result), "ewise_out");
-  if (gpu) {
-    native_[out] = true;
-    stats_.transfer_ms += mm_.allocate_on_device(out);
-  }
-  return out;
+  auto o = run_resilient(
+      gpu ? kernels::Backend::kFused : kernels::Backend::kCpu,
+      [&](kernels::Backend b) { return registry_.ewise_mul(b, x, y); });
+  book(o, "ewise_mul", false);
+  return emit(std::move(o.value), o.backend_used != kernels::Backend::kCpu,
+              "ewise_out");
 }
 
 TensorId Runtime::op_map(TensorId xid, real (*f)(real),
                          const std::string& name) {
   const std::vector<real>& x = vec(xid);
   const bool gpu = choose_gpu(2 * x.size() * sizeof(real), {xid});
-  std::vector<real> result(x.size());
-  for (usize i = 0; i < x.size(); ++i) result[i] = f(x[i]);
   if (gpu) {
     stage_on_device(xid);
-    // One streaming kernel: read x, write f(x).
-    vgpu::LaunchConfig cfg;
-    cfg.block_size = 256;
-    cfg.grid_size = 1;
-    const auto stats = dev_.launch(cfg, [&](vgpu::BlockCtx& ctx) {
-      ctx.mem().load_stream(0, x.size(), sizeof(real));
-      ctx.mem().store_stream(0, x.size(), sizeof(real));
-      ctx.mem().add_flops(4ull * x.size());
-    });
-    stats_.gpu_kernel_ms += stats.time.total_ms;
-    ++stats_.gpu_ops;
-    record_trace(name.c_str(), true, stats.time.total_ms);
   } else {
     sync_to_host(xid);
-    const double ms = cpu_.scal(1.0, result).modeled_ms;  // same traffic class
-    stats_.cpu_op_ms += ms;
-    ++stats_.cpu_ops;
-    record_trace(name.c_str(), false, ms);
   }
-  const TensorId out = add_vector(std::move(result), name + "_out");
-  if (gpu) {
-    native_[out] = true;
-    stats_.transfer_ms += mm_.allocate_on_device(out);
+  auto o = run_resilient(
+      gpu ? kernels::Backend::kFused : kernels::Backend::kCpu,
+      [&](kernels::Backend b) { return registry_.map(b, x, f, name); });
+  book(o, name.c_str(), false);
+  return emit(std::move(o.value), o.backend_used != kernels::Backend::kCpu,
+              name + "_out");
+}
+
+TensorId Runtime::op_fused_ewise(const kernels::EwiseProgram& program,
+                                 std::span<const TensorId> inputs,
+                                 const std::string& name) {
+  FUSEDML_CHECK(inputs.size() == static_cast<usize>(program.num_inputs),
+                "op_fused_ewise: input-count mismatch");
+  std::vector<std::span<const real>> views;
+  views.reserve(inputs.size());
+  usize n = 0;
+  for (TensorId id : inputs) {
+    const std::vector<real>& x = vec(id);
+    n = x.size();
+    views.emplace_back(x);
   }
-  return out;
+  const usize bytes = (inputs.size() + 1) * n * sizeof(real);
+  const bool gpu = choose_gpu_span(bytes, inputs);
+  for (TensorId id : inputs) {
+    if (gpu) {
+      stage_on_device(id);
+    } else {
+      sync_to_host(id);
+    }
+  }
+  auto o = run_resilient(
+      gpu ? kernels::Backend::kFused : kernels::Backend::kCpu,
+      [&](kernels::Backend b) {
+        return registry_.fused_ewise(b, program, views);
+      });
+  book(o, name.c_str(), false);
+  return emit(std::move(o.value), o.backend_used != kernels::Backend::kCpu,
+              name + "_out");
 }
 
 real Runtime::op_dot(TensorId xid, TensorId yid) {
@@ -405,17 +422,15 @@ real Runtime::op_dot(TensorId xid, TensorId yid) {
   if (gpu) {
     stage_on_device(xid);
     stage_on_device(yid);
-    auto op = kernels::dev_dot(dev_, x, y);
-    stats_.gpu_kernel_ms += op.modeled_ms;
-    ++stats_.gpu_ops;
-    return op.value[0];
+  } else {
+    sync_to_host(xid);
+    sync_to_host(yid);
   }
-  sync_to_host(xid);
-  sync_to_host(yid);
-  auto op = cpu_.dot(x, y);
-  stats_.cpu_op_ms += op.modeled_ms;
-  ++stats_.cpu_ops;
-  return op.value[0];
+  auto o = run_resilient(
+      gpu ? kernels::Backend::kFused : kernels::Backend::kCpu,
+      [&](kernels::Backend b) { return registry_.dot(b, x, y); });
+  book(o, "dot", false);
+  return o.value[0];
 }
 
 real Runtime::op_nrm2(TensorId xid) {
@@ -423,16 +438,14 @@ real Runtime::op_nrm2(TensorId xid) {
   const bool gpu = choose_gpu(x.size() * sizeof(real), {xid});
   if (gpu) {
     stage_on_device(xid);
-    auto op = kernels::dev_nrm2(dev_, x);
-    stats_.gpu_kernel_ms += op.modeled_ms;
-    ++stats_.gpu_ops;
-    return op.value[0];
+  } else {
+    sync_to_host(xid);
   }
-  sync_to_host(xid);
-  auto op = cpu_.nrm2(x);
-  stats_.cpu_op_ms += op.modeled_ms;
-  ++stats_.cpu_ops;
-  return op.value[0];
+  auto o = run_resilient(
+      gpu ? kernels::Backend::kFused : kernels::Backend::kCpu,
+      [&](kernels::Backend b) { return registry_.nrm2(b, x); });
+  book(o, "nrm2", false);
+  return o.value[0];
 }
 
 void Runtime::op_scal(real alpha, TensorId xid) {
@@ -440,22 +453,39 @@ void Runtime::op_scal(real alpha, TensorId xid) {
   const bool gpu = choose_gpu(2 * x.size() * sizeof(real), {xid});
   if (gpu) {
     stage_on_device(xid);
-    auto op = kernels::dev_scal(dev_, alpha, x);
-    stats_.gpu_kernel_ms += op.modeled_ms;
-    ++stats_.gpu_ops;
-    mm_.mark_device_dirty(xid);
   } else {
     sync_to_host(xid);
-    auto op = cpu_.scal(alpha, x);
-    stats_.cpu_op_ms += op.modeled_ms;
-    ++stats_.cpu_ops;
-    if (mm_.on_device(xid)) mm_.mark_host_dirty(xid);
+  }
+  auto o = run_resilient(
+      gpu ? kernels::Backend::kFused : kernels::Backend::kCpu,
+      [&](kernels::Backend b) { return registry_.scal(b, alpha, x); }, x);
+  book(o, "scal", false);
+  if (o.backend_used != kernels::Backend::kCpu) {
+    mm_.mark_device_dirty(xid);
+  } else if (mm_.on_device(xid)) {
+    mm_.mark_host_dirty(xid);
   }
 }
 
 std::span<const real> Runtime::read_vector(TensorId id) {
   sync_to_host(id);
   return vec(id);
+}
+
+std::string Runtime::explain() const {
+  std::ostringstream os;
+  if (!plan_explain_.empty()) {
+    os << plan_explain_;
+    if (plan_explain_.back() != '\n') os << '\n';
+  }
+  os << "execution: " << stats_.gpu_ops << " gpu op(s), "
+     << stats_.kernel_launches << " kernel launch(es), " << stats_.cpu_ops
+     << " cpu op(s)\n";
+  for (const auto& entry : trace_) {
+    os << "  " << (entry.on_gpu ? "[gpu] " : "[cpu] ") << entry.op << "  ("
+       << entry.modeled_ms << " ms)\n";
+  }
+  return os.str();
 }
 
 }  // namespace fusedml::sysml

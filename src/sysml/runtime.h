@@ -2,25 +2,30 @@
 //   (i)  a cost model that schedules each operation onto the host or the
 //        device (including the transfers the choice implies),
 //   (ii) the GPU memory manager (memory_manager.h),
-//   (iii) the backend GPU kernels (this paper's contribution, via
-//        kernels::fused_* and the baselines).
+//   (iii) the backend GPU kernels (this paper's contribution, via the
+//        unified operator registry — kernels/op_registry.h).
 //
 // Data lives in "JVM" host space; the first time a tensor is shipped to the
 // device it pays the JNI conversion (jni_bridge.h) plus the PCIe copy, and
 // afterwards the memory manager keeps copies consistent. Running the same
 // script with the GPU disabled yields the SystemML-CPU baseline of Table 6.
+//
+// Every op dispatches through the shared OpRegistry under this runtime's
+// RetryPolicy: injected device faults are retried with modeled backoff and
+// degrade fused -> baseline -> CPU exactly like PatternExecutor's ops (the
+// dispatch switch and the resilience loop exist once, in the registry).
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string>
 #include <unordered_map>
 #include <variant>
 #include <vector>
 
-#include "kernels/cpu_backend.h"
-#include "kernels/fused_dense.h"
-#include "kernels/fused_sparse.h"
+#include "common/resilience.h"
+#include "kernels/op_registry.h"
 #include "la/csr_matrix.h"
 #include "la/dense_matrix.h"
 #include "sysml/jni_bridge.h"
@@ -50,6 +55,8 @@ struct RuntimeStats {
   double transfer_ms = 0.0;     ///< PCIe traffic (from the memory manager)
   std::uint64_t gpu_ops = 0;
   std::uint64_t cpu_ops = 0;
+  std::uint64_t kernel_launches = 0;  ///< device launches across all ops —
+                                      ///< the quantity fusion minimizes
   /// For the "Fused Kernel Speedup" row of Table 6: device time of the
   /// pattern ops that ran on the GPU, and what the same ops would have cost
   /// on the CPU.
@@ -59,6 +66,17 @@ struct RuntimeStats {
   double total_ms() const {
     return gpu_kernel_ms + cpu_op_ms + jni_ms + transfer_ms;
   }
+};
+
+/// Shape/storage summary of a registered tensor — what the fusion planner
+/// needs to cost candidate plans without touching the values.
+struct TensorInfo {
+  bool is_matrix = false;
+  bool is_sparse = false;
+  index_t rows = 0;  ///< vectors: the length
+  index_t cols = 0;
+  usize bytes = 0;
+  std::uint64_t nnz = 0;  ///< sparse matrices only
 };
 
 class Runtime {
@@ -86,6 +104,13 @@ class Runtime {
   /// run wherever the data is cheapest to reach; on the device they are one
   /// streaming kernel.
   TensorId op_map(TensorId x, real (*f)(real), const std::string& name);
+  /// One generated streaming kernel evaluating a whole elementwise chain
+  /// (the fusion planner's collapsed kScale/kAdd/kEwiseMul/kMap runs):
+  /// reads each input once, writes the output once, intermediates stay in
+  /// registers. Bit-exact vs running the chain op-at-a-time.
+  TensorId op_fused_ewise(const kernels::EwiseProgram& program,
+                          std::span<const TensorId> inputs,
+                          const std::string& name);
   real op_dot(TensorId x, TensorId y);
   real op_nrm2(TensorId x);
   void op_scal(real alpha, TensorId x);
@@ -93,9 +118,21 @@ class Runtime {
   /// Host view of a vector (synchronizes from the device if needed).
   std::span<const real> read_vector(TensorId id);
 
+  /// Shape/storage info for the planner's cost model.
+  TensorInfo tensor_info(TensorId id);
+
   const RuntimeStats& stats() const { return stats_; }
   const MemoryStats& memory_stats() const { return mm_.stats(); }
   const RuntimeOptions& options() const { return opts_; }
+
+  /// Fault-handling knobs shared with the registry's resilient dispatch.
+  RetryPolicy& retry_policy() { return retry_; }
+  const RetryPolicy& retry_policy() const { return retry_; }
+  /// Faults absorbed across every op this runtime executed.
+  const ResilienceStats& resilience() const { return resilience_; }
+
+  kernels::OpRegistry& registry() { return registry_; }
+  vgpu::Device& device() { return dev_; }
 
   /// One entry per executed op: what ran, where, and what it cost — the
   /// explain-plan a declarative system surfaces for debugging placement.
@@ -106,6 +143,14 @@ class Runtime {
   };
   const std::vector<TraceEntry>& trace() const { return trace_; }
 
+  /// Records the fusion planner's chosen plan so explain() can print it.
+  void note_plan(std::string explain_text) {
+    plan_explain_ = std::move(explain_text);
+  }
+  /// Database-style explain: the noted fusion plan (if any) followed by the
+  /// executed-op trace with placement and modeled cost.
+  std::string explain() const;
+
  private:
   using Value =
       std::variant<la::CsrMatrix, la::DenseMatrix, std::vector<real>>;
@@ -114,16 +159,21 @@ class Runtime {
   RuntimeOptions opts_;
   MemoryManager mm_;
   JniBridge jni_;
-  kernels::CpuBackend cpu_;
+  kernels::OpRegistry registry_;
   std::unordered_map<TensorId, Value> values_;
   std::unordered_map<TensorId, bool> native_;  ///< JNI conversion done?
   TensorId next_id_ = 1;
   RuntimeStats stats_;
+  RetryPolicy retry_;
+  ResilienceStats resilience_;
   std::vector<TraceEntry> trace_;
+  std::string plan_explain_;
 
   void record_trace(const char* op, bool on_gpu, double ms) {
     trace_.push_back({op, on_gpu, ms});
   }
+
+  const kernels::CpuBackend& cpu() const { return registry_.cpu(); }
 
   TensorId store(Value v, usize bytes, std::string name);
   Value& value(TensorId id);
@@ -137,10 +187,28 @@ class Runtime {
   bool stage_on_device(TensorId id);
   void sync_to_host(TensorId id);
 
+  /// Registry dispatch under this runtime's RetryPolicy. `preferred` is the
+  /// scheduler's placement (kFused when the GPU won, kCpu otherwise); a
+  /// fault-degraded run may come back on a different backend — callers book
+  /// by outcome.backend_used, not by the request.
+  kernels::KernelOutcome run_resilient(
+      kernels::Backend preferred,
+      const std::function<kernels::KernelOutcome(kernels::Backend)>& attempt,
+      std::span<real> inout = {});
+
+  /// Books one outcome into stats_ + trace_ by where it actually ran.
+  void book(const kernels::KernelOutcome& outcome, const char* op,
+            bool pattern_class);
+
+  /// Registers `w` as a new tensor, on-device when the producing op ran
+  /// there (born in native/device space).
+  TensorId emit(std::vector<real> w, bool on_gpu, std::string name);
+
   /// Scheduler estimates (GB-scale streaming heuristics).
   double estimate_gpu_ms(usize bytes_touched, TensorId matrix_or_zero);
   double estimate_cpu_ms(usize bytes_touched);
   bool choose_gpu(usize bytes_touched, std::initializer_list<TensorId> inputs);
+  bool choose_gpu_span(usize bytes_touched, std::span<const TensorId> inputs);
 };
 
 }  // namespace fusedml::sysml

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/error.h"
 #include "kernels/cuda_codegen.h"
@@ -101,6 +102,63 @@ TEST(CudaCodegen, SparseVariants) {
   EXPECT_NE(global.find("atomicAdd(&w[col_idx[i]]"), std::string::npos);
   EXPECT_EQ(count_occurrences(shared, "{"), count_occurrences(shared, "}"));
   EXPECT_THROW(kernels::generate_sparse_fused_cuda(3, true), Error);
+}
+
+// --- Generated elementwise-chain kernels ------------------------------------------
+
+real test_sigmoid(real t) { return real{1} / (real{1} + std::exp(-t)); }
+
+kernels::EwiseStep binary_step(kernels::EwiseOp op, int a, int b) {
+  kernels::EwiseStep s;
+  s.op = op;
+  s.a = a;
+  s.b = b;
+  return s;
+}
+
+kernels::EwiseProgram sigmoid_chain_program() {
+  // 2in: mul(i0,i1); map[sigmoid](s0); mul(s1,i0) — the logreg residual.
+  kernels::EwiseProgram p;
+  p.num_inputs = 2;
+  p.steps.push_back(binary_step(kernels::EwiseOp::kMul, 0, 1));
+  kernels::EwiseStep map_step;
+  map_step.op = kernels::EwiseOp::kMap;
+  map_step.a = 2;
+  map_step.map_fn = test_sigmoid;
+  map_step.map_name = "sigmoid";
+  p.steps.push_back(map_step);
+  p.steps.push_back(binary_step(kernels::EwiseOp::kMul, 3, 0));
+  return p;
+}
+
+TEST(EwiseCodegen, NamesEncodeTheStepSequence) {
+  EXPECT_EQ(kernels::ewise_kernel_name(sigmoid_chain_program()),
+            "ewise2_mul_map_sigmoid_mul");
+}
+
+TEST(EwiseCodegen, EmitsOneRegisterPerStepAndAGridStrideLoop) {
+  const auto src =
+      kernels::generate_ewise_chain_cuda(sigmoid_chain_program());
+  // SSA registers s0..s2, no spilled intermediate arrays.
+  EXPECT_NE(src.find("const double s0"), std::string::npos) << src;
+  EXPECT_NE(src.find("const double s1"), std::string::npos);
+  EXPECT_NE(src.find("const double s2"), std::string::npos);
+  EXPECT_EQ(src.find("const double s3"), std::string::npos);
+  // Grid-stride loop over n, one load per input stream, one store.
+  EXPECT_NE(src.find("gridDim.x * blockDim.x"), std::string::npos);
+  EXPECT_EQ(count_occurrences(src, "in0[i]"), 2);  // mul + final mul
+  EXPECT_EQ(count_occurrences(src, "in1[i]"), 1);
+  EXPECT_EQ(count_occurrences(src, "out[i]"), 1);
+  // The map resolves to a device-function declaration, not an inline body.
+  EXPECT_NE(src.find("map_sigmoid"), std::string::npos);
+  EXPECT_EQ(count_occurrences(src, "{"), count_occurrences(src, "}"));
+}
+
+TEST(EwiseCodegen, RejectsInvalidPrograms) {
+  kernels::EwiseProgram bad;
+  bad.num_inputs = 1;
+  bad.steps.push_back(binary_step(kernels::EwiseOp::kAdd, 0, 5));  // slot 5 undefined
+  EXPECT_THROW(kernels::generate_ewise_chain_cuda(bad), Error);
 }
 
 // --- Kernel cache ----------------------------------------------------------------
@@ -261,6 +319,45 @@ TEST_F(DagFixture, NestedPatternInsideLargerExpressionFuses) {
   auto expect = la::reference::pattern(3.0, X, {}, y, 0, {});
   la::axpy(1.0, z, expect);
   expect_vectors_near(expect, rt.read_vector(out), 1e-8);
+}
+
+TEST_F(DagFixture, SharedIntermediateBlocksPatternFusion) {
+  // m = X*y feeds the MvT (pattern interior) AND the epilogue: fusing the
+  // pattern would recompute m inside the kernel while also reading it as z.
+  // The materialization-point analysis must leave the match unfused — and
+  // execution must stay correct either way.
+  sysml::Runtime rt(dev, {});
+  const auto Xs = la::uniform_sparse(120, 120, 0.05, 907);
+  const auto ys = la::random_vector(120, 6);
+  const auto Xn = sysml::input_matrix(rt.add_sparse(Xs, "Xs"));
+  const auto yn = sysml::input_vector(rt.add_vector(ys, "ys"));
+  const auto m = sysml::mv(Xn, yn);
+  auto root = sysml::add(sysml::mvt(Xn, m), sysml::scale(2.0, m));
+
+  sysml::FusionReport report;
+  root = sysml::fuse_patterns(root, &report);
+  EXPECT_EQ(report.patterns_fused, 0);
+  EXPECT_GE(report.rejected_multi_consumer, 1);
+  EXPECT_NE(root->kind, sysml::OpKind::kFusedPattern);
+
+  const auto out = sysml::execute(rt, root);
+  auto want = la::reference::pattern(1.0, Xs, {}, ys, 0, {});
+  la::axpy(2.0, la::reference::spmv(Xs, ys), want);
+  expect_vectors_near(want, rt.read_vector(out), 1e-8);
+}
+
+TEST_F(DagFixture, IndependentCopiesOfThePatternStillFuse) {
+  // The same STRUCTURE duplicated with fresh nodes shares nothing, so both
+  // copies fuse — the analysis keys on node identity, not shape.
+  sysml::Runtime rt(dev, {});
+  const auto Xn = sysml::input_matrix(rt.add_sparse(X, "X"));
+  const auto yn = sysml::input_vector(rt.add_vector(y, "y"));
+  auto root = sysml::add(sysml::mvt(Xn, sysml::mv(Xn, yn)),
+                         sysml::mvt(Xn, sysml::mv(Xn, yn)));
+  sysml::FusionReport report;
+  root = sysml::fuse_patterns(root, &report);
+  EXPECT_EQ(report.patterns_fused, 2);
+  EXPECT_EQ(report.rejected_multi_consumer, 0);
 }
 
 TEST(Dag, CountNodesHandlesSharing) {

@@ -14,6 +14,12 @@
 namespace fusedml::sysml {
 namespace {
 
+std::string tensor_name(long long id) {
+  std::string name = "t";
+  name += std::to_string(id);
+  return name;
+}
+
 class MemoryFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(MemoryFuzz, InvariantsHoldUnderRandomOperations) {
@@ -33,7 +39,7 @@ TEST_P(MemoryFuzz, InvariantsHoldUnderRandomOperations) {
   // Seed tensors.
   for (int i = 0; i < 8; ++i) {
     const usize bytes = 1024 + rng.uniform_index(12 * 1024);
-    mm.register_tensor(next_id, bytes, "t" + std::to_string(next_id));
+    mm.register_tensor(next_id, bytes, tensor_name(next_id));
     shadow[next_id] = {bytes};
     ++next_id;
   }
@@ -84,7 +90,7 @@ TEST_P(MemoryFuzz, InvariantsHoldUnderRandomOperations) {
         {
           const usize bytes = 1024 + rng.uniform_index(12 * 1024);
           mm.register_tensor(next_id, bytes,
-                             "t" + std::to_string(next_id));
+                             tensor_name(next_id));
           shadow[next_id] = {bytes};
           ++next_id;
         }

@@ -93,8 +93,8 @@ INSTANTIATE_TEST_SUITE_P(AllBackends, ExecutorBackends,
                                            Backend::kCusparse,
                                            Backend::kBidmatGpu,
                                            Backend::kCpu),
-                         [](const ::testing::TestParamInfo<Backend>& info) {
-                           switch (info.param) {
+                         [](const ::testing::TestParamInfo<Backend>& pinfo) {
+                           switch (pinfo.param) {
                              case Backend::kFused: return "Fused";
                              case Backend::kCusparse: return "Cusparse";
                              case Backend::kBidmatGpu: return "BidmatGpu";

@@ -13,6 +13,10 @@
 #include "la/convert.h"
 #include "la/generate.h"
 #include "la/vector_ops.h"
+#include "ml/logreg.h"
+#include "sysml/dag.h"
+#include "sysml/fusion_planner.h"
+#include "sysml/runtime.h"
 #include "test_util.h"
 #include "tuner/launch_params.h"
 #include "vgpu/coalescing.h"
@@ -104,6 +108,88 @@ TEST_P(FuzzSeeds, PatternLinearityInAlphaAndZ) {
   auto base = fused_pattern_sparse(dev, a, X, {}, y, 0, {}).value;
   la::axpy(b, z, base);
   expect_vectors_near(base, with_z, 1e-9);
+}
+
+// --- Fusion planner vs the unfused interpreter ---------------------------------
+
+TEST_P(FuzzSeeds, PlannedElementwiseDagsBitExactVsUnfused) {
+  // Random straight-line/shared elementwise DAGs: whatever regions the
+  // planner collapses into generated kernels, the planned DAG must produce
+  // the SAME BITS as operator-at-a-time interpretation (same per-element
+  // operation order), and never more modeled launches.
+  Rng rng(GetParam());
+  vgpu::Device dev;
+  for (int trial = 0; trial < 5; ++trial) {
+    sysml::Runtime rt(dev, {.enable_gpu = true, .gpu_cost_bias = 1e-4});
+    const usize n = 32 + rng.uniform_index(300);
+    std::vector<sysml::NodePtr> pool;
+    for (int i = 0; i < 3; ++i) {
+      pool.push_back(sysml::input_vector(
+          rt.add_vector(random_vector(n, rng.next_u64()), "in")));
+    }
+    const auto pick = [&] { return pool[rng.uniform_index(pool.size())]; };
+    const int ops = 3 + static_cast<int>(rng.uniform_index(8));
+    for (int i = 0; i < ops; ++i) {
+      switch (rng.uniform_index(4)) {
+        case 0:
+          pool.push_back(sysml::scale(rng.uniform(-2.0, 2.0), pick()));
+          break;
+        case 1: pool.push_back(sysml::add(pick(), pick())); break;
+        case 2: pool.push_back(sysml::ewise_mul(pick(), pick())); break;
+        default:
+          pool.push_back(sysml::map(pick(), ml::stable_sigmoid, "sigmoid"));
+          break;
+      }
+    }
+    // Random second operand keeps shared intermediates in the mix.
+    const sysml::NodePtr root = sysml::add(pool.back(), pick());
+
+    const auto plan = sysml::plan_fusion(rt, root);
+    const auto a = rt.read_vector(sysml::execute(rt, root));
+    const std::vector<real> want(a.begin(), a.end());
+    const auto b = rt.read_vector(sysml::execute(rt, plan.root));
+    EXPECT_EQ(want, std::vector<real>(b.begin(), b.end()))
+        << "trial " << trial << ": planned DAG diverged";
+    EXPECT_LE(plan.launches_planned, plan.launches_unfused);
+    EXPECT_LE(plan.modeled_planned_ms, plan.modeled_unfused_ms + 1e-12);
+  }
+}
+
+TEST_P(FuzzSeeds, PlannedPatternDagsMatchOracle) {
+  // Random Equation-1 shapes (degenerations included): the planner's fused
+  // node must agree with the reference oracle to the pattern kernels'
+  // reassociation tolerance, and strictly reduce launches.
+  Rng rng(GetParam());
+  vgpu::Device dev;
+  for (int trial = 0; trial < 3; ++trial) {
+    sysml::Runtime rt(dev, {.enable_gpu = true, .gpu_cost_bias = 1e-4});
+    const auto m = static_cast<index_t>(50 + rng.uniform_index(500));
+    const auto cols = static_cast<index_t>(20 + rng.uniform_index(200));
+    const auto X = uniform_sparse(m, cols, 0.05, rng.next_u64());
+    const auto y = random_vector(static_cast<usize>(cols), rng.next_u64());
+    const bool with_v = rng.uniform() < 0.5;
+    const bool with_z = rng.uniform() < 0.5;
+    const auto v = with_v ? random_vector(static_cast<usize>(m),
+                                          rng.next_u64())
+                          : std::vector<real>{};
+    const auto z = with_z ? random_vector(static_cast<usize>(cols),
+                                          rng.next_u64())
+                          : std::vector<real>{};
+    const real alpha = rng.uniform(-3.0, 3.0);
+    const real beta = with_z ? rng.uniform(-3.0, 3.0) : real{0};
+
+    const auto root = sysml::pattern_expression(
+        alpha, sysml::input_matrix(rt.add_sparse(X, "X")),
+        with_v ? sysml::input_vector(rt.add_vector(v, "v")) : nullptr,
+        sysml::input_vector(rt.add_vector(y, "y")), beta,
+        with_z ? sysml::input_vector(rt.add_vector(z, "z")) : nullptr);
+
+    const auto plan = sysml::plan_fusion(rt, root);
+    EXPECT_LT(plan.launches_planned, plan.launches_unfused);
+    const auto got = rt.read_vector(sysml::execute(rt, plan.root));
+    expect_vectors_near(la::reference::pattern(alpha, X, v, y, beta, z), got,
+                        1e-8);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds,

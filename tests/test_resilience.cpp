@@ -13,6 +13,7 @@
 #include "la/vector_ops.h"
 #include "ml/lr_cg.h"
 #include "patterns/executor.h"
+#include "sysml/lr_cg_script.h"
 #include "sysml/memory_manager.h"
 #include "sysml/runtime.h"
 #include "vgpu/device.h"
@@ -20,6 +21,12 @@
 
 namespace fusedml {
 namespace {
+
+std::string tensor_name(long long id) {
+  std::string name = "t";
+  name += std::to_string(id);
+  return name;
+}
 
 using patterns::Backend;
 using patterns::PatternExecutor;
@@ -286,8 +293,8 @@ TEST(MemoryManagerResilience, TransferFaultsRetryWithChargedBackoff) {
 
   double faulty_ms = 0.0, clean_ms = 0.0;
   for (sysml::TensorId id = 1; id <= 8; ++id) {
-    mm.register_tensor(id, 10000, "t" + std::to_string(id));
-    clean.register_tensor(id, 10000, "t" + std::to_string(id));
+    mm.register_tensor(id, 10000, tensor_name(id));
+    clean.register_tensor(id, 10000, tensor_name(id));
     faulty_ms += mm.ensure_on_device(id);
     clean_ms += clean.ensure_on_device(id);
   }
@@ -357,6 +364,72 @@ TEST(RuntimeResilience, OversizedPatternStreamsInsteadOfThrowing) {
   for (usize i = 0; i < w.size(); ++i) {
     EXPECT_NEAR(w[i], wc[i], 1e-8 * (1.0 + std::abs(wc[i]))) << "i=" << i;
   }
+}
+
+TEST(RuntimeResilience, DagInterpreterAbsorbsFaultsBitExactly) {
+  // Every Runtime op now dispatches through the registry's resilient loop
+  // (the same one PatternExecutor uses): a whole DAG script under an armed
+  // injector must retry its way to the SAME weights as the clean run, with
+  // only modeled time differing. gpu_cost_bias forces the device path even
+  // at test scale — faults only fire on device work.
+  const auto X = la::uniform_sparse(4000, 300, 0.02, 51);
+  const auto labels = la::classification_labels(X, 51, 0.1);
+  sysml::GdConfig cfg;
+  cfg.iterations = 6;
+
+  vgpu::Device clean_dev;
+  sysml::Runtime clean_rt(clean_dev,
+                          {.enable_gpu = true, .gpu_cost_bias = 1e-4});
+  const auto a = sysml::run_logreg_dag_script(
+      clean_rt, X, labels, sysml::PlanMode::kPlanner, cfg);
+
+  FaultInjector inj(mixed_faults());
+  vgpu::Device faulty_dev;
+  faulty_dev.set_fault_injector(&inj);
+  sysml::Runtime faulty_rt(faulty_dev,
+                           {.enable_gpu = true, .gpu_cost_bias = 1e-4});
+  const auto b = sysml::run_logreg_dag_script(
+      faulty_rt, X, labels, sysml::PlanMode::kPlanner, cfg);
+
+  EXPECT_EQ(a.weights, b.weights);  // bit-exact recovery
+  EXPECT_GT(faulty_rt.resilience().faults_seen, 0u);
+  EXPECT_GT(faulty_rt.resilience().retries, 0u);
+  EXPECT_GT(b.runtime_stats.total_ms(), a.runtime_stats.total_ms());
+  EXPECT_EQ(clean_rt.resilience().faults_seen, 0u);
+}
+
+TEST(RuntimeResilience, RuntimeBlas1FaultsRolledBackBeforeRetry) {
+  // op_axpy/op_scal mutate tensors in place; the registry snapshots the
+  // span so a mid-op fault cannot leave a half-updated vector behind.
+  FaultConfig cfg;
+  cfg.seed = 77;
+  cfg.kernel_fault_rate = 0.4;
+  FaultInjector inj(cfg);
+  vgpu::Device dev;
+  dev.set_fault_injector(&inj);
+  sysml::Runtime rt(dev, {.enable_gpu = true, .gpu_cost_bias = 1e-4});
+
+  vgpu::Device clean_dev;
+  sysml::Runtime clean_rt(clean_dev,
+                          {.enable_gpu = true, .gpu_cost_bias = 1e-4});
+
+  const auto x = la::random_vector(5000, 7);
+  const auto y = la::random_vector(5000, 8);
+  const auto xa = rt.add_vector(x, "x");
+  const auto ya = rt.add_vector(y, "y");
+  const auto xb = clean_rt.add_vector(x, "x");
+  const auto yb = clean_rt.add_vector(y, "y");
+  for (int i = 0; i < 10; ++i) {
+    rt.op_axpy(0.5, xa, ya);
+    rt.op_scal(1.01, ya);
+    clean_rt.op_axpy(0.5, xb, yb);
+    clean_rt.op_scal(1.01, yb);
+  }
+  const auto got = rt.read_vector(ya);
+  const auto want = clean_rt.read_vector(yb);
+  EXPECT_GT(rt.resilience().faults_seen, 0u);
+  EXPECT_EQ(std::vector<real>(want.begin(), want.end()),
+            std::vector<real>(got.begin(), got.end()));
 }
 
 }  // namespace

@@ -20,6 +20,12 @@
 namespace fusedml::sysml {
 namespace {
 
+std::string tensor_name(long long id) {
+  std::string name = "t";
+  name += std::to_string(id);
+  return name;
+}
+
 // --- Memory manager ----------------------------------------------------------
 
 class MemoryManagerTest : public ::testing::Test {
@@ -39,7 +45,7 @@ TEST_F(MemoryManagerTest, UploadOnceThenCached) {
 TEST_F(MemoryManagerTest, CapacityNeverExceeded) {
   MemoryManager mm(dev, 1000);
   for (TensorId id = 1; id <= 10; ++id) {
-    mm.register_tensor(id, 300, "t" + std::to_string(id));
+    mm.register_tensor(id, 300, tensor_name(id));
     mm.ensure_on_device(id);
     EXPECT_LE(mm.device_bytes_in_use(), mm.capacity());
   }
