@@ -34,6 +34,8 @@ static int run_bench(int argc, char** argv) {
       cli.get_int("rows", 50000, "rows for the sparse ablations"));
   const double sparsity = cli.get_double("sparsity", 0.01, "nnz fraction");
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42, ""));
+  obs::apply_standard_flags(cli);
+  bench::JsonReport json(cli, "ablation");
   if (bench::handle_help(cli)) return 0;
   cli.finish();
 
@@ -237,7 +239,11 @@ static int run_bench(int argc, char** argv) {
     std::cout << "\n[6] baseline strategies for X^T*p (why BIDMat-GPU beats "
                  "cuSPARSE on sparse)\n"
               << t;
+    json.add_table("ablation_6_baselines", t);
   }
+  json.add("rows", static_cast<double>(rows));
+  json.add("sparsity", sparsity);
+  json.write();
   return 0;
 }
 

@@ -35,6 +35,8 @@ static int run_bench(int argc, char** argv) {
   const auto cols = bench::parse_cols(cli.get_string(
       "cols", "200,400,800,1024,2048,4096", "column sweep"));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42, ""));
+  obs::apply_standard_flags(cli);
+  bench::JsonReport json(cli, "fig2");
   if (bench::handle_help(cli)) return 0;
   cli.finish();
 
@@ -102,6 +104,10 @@ static int run_bench(int argc, char** argv) {
             << "   (paper: ~35x average, up to 67x at small n)\n";
   std::cout << "mean load ratio (baseline/fused): "
             << bench::fmt(mean(load_ratios)) << "x   (paper: ~3.5x)\n";
+  json.add("geomean_speedup", geomean(speedups));
+  json.add("mean_load_ratio", mean(load_ratios));
+  json.add_table("fig2", table);
+  json.write();
   return 0;
 }
 

@@ -29,6 +29,8 @@ static int run_bench(int argc, char** argv) {
   const auto cols = bench::parse_cols(cli.get_string(
       "cols", "200,400,800,1024,2048,4096", "column sweep"));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42, ""));
+  obs::apply_standard_flags(cli);
+  bench::JsonReport json(cli, "fig4");
   if (bench::handle_help(cli)) return 0;
   cli.finish();
 
@@ -91,6 +93,11 @@ static int run_bench(int argc, char** argv) {
             << " (paper up to 19.62x), vs BIDMat-CPU: "
             << format_speedup(geomean(s_bidmat_cpu))
             << " (paper up to 13.41x)\n";
+  json.add("geomean_vs_cusparse", geomean(s_cusparse));
+  json.add("geomean_vs_bidmat_gpu", geomean(s_bidmat_gpu));
+  json.add("geomean_vs_bidmat_cpu", geomean(s_bidmat_cpu));
+  json.add_table("fig4", table);
+  json.write();
   return 0;
 }
 

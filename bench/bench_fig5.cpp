@@ -30,6 +30,8 @@ static int run_bench(int argc, char** argv) {
   const auto cols = bench::parse_cols(
       cli.get_string("cols", "64,128,256,512,1024,2048", "column sweep"));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42, ""));
+  obs::apply_standard_flags(cli);
+  bench::JsonReport json(cli, "fig5");
   if (bench::handle_help(cli)) return 0;
   cli.finish();
 
@@ -87,6 +89,11 @@ static int run_bench(int argc, char** argv) {
             << " (paper avg 2.18x), vs BIDMat-CPU: "
             << format_speedup(geomean(s_bidmat_cpu))
             << " (paper avg 15.33x)\n";
+  json.add("geomean_vs_cublas", geomean(s_cublas));
+  json.add("geomean_vs_bidmat_gpu", geomean(s_bidmat_gpu));
+  json.add("geomean_vs_bidmat_cpu", geomean(s_bidmat_cpu));
+  json.add_table("fig5", table);
+  json.write();
   return 0;
 }
 

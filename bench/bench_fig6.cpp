@@ -36,6 +36,8 @@ static int run_bench(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42, ""));
   const bool dump_surface =
       cli.get_bool("dump-surface", false, "print every (BS,C) point");
+  obs::apply_standard_flags(cli);
+  bench::JsonReport json(cli, "fig6");
   if (bench::handle_help(cli)) return 0;
   cli.finish();
 
@@ -125,6 +127,11 @@ static int run_bench(int argc, char** argv) {
     }
     std::cout << surface;
   }
+  json.add("settings_explored", static_cast<double>(result.points.size()));
+  json.add("model_gap_fraction", result.model_gap_fraction());
+  json.add("model_rank_fraction", result.model_rank_fraction());
+  json.add_table("fig6", table);
+  json.write();
   return 0;
 }
 

@@ -86,6 +86,19 @@ bool run_script(Table& table, const std::string& name, Script&& script,
     std::cout << "REGRESSION [" << name << "]: " << why << "\n";
     ok = false;
   };
+  // Plan-vs-actual audit: the planner predicted a launch count per DAG
+  // execution; the interpreter counted what actually ran. Any drift means
+  // the planner's model of the DAG diverged from the interpreter.
+  if (planner.plan_audit.has_prediction) {
+    std::cout << "\n" << name << " plan-vs-actual audit:\n";
+    planner.plan_audit.print(std::cout);
+    if (planner.plan_audit.launch_drift() != 0) {
+      fail("plan-vs-actual launch drift is nonzero (" +
+           std::to_string(planner.plan_audit.launch_drift()) + ")");
+    }
+  } else {
+    fail("planner mode produced no plan-vs-actual prediction");
+  }
   if (planner.runtime_stats.kernel_launches >
       hardcoded.runtime_stats.kernel_launches) {
     fail("planner issued more launches than the hardcoded pass");
@@ -124,6 +137,8 @@ static int run_bench(int argc, char** argv) {
   const auto iters =
       static_cast<int>(cli.get_int("iterations", 10, "per script"));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42, ""));
+  obs::apply_standard_flags(cli);
+  bench::JsonReport json(cli, "fusion_planner");
   if (bench::handle_help(cli)) return 0;
   cli.finish();
 
@@ -162,6 +177,9 @@ static int run_bench(int argc, char** argv) {
       "the hardcoded pass only helps where the Equation-1 template matches "
       "(lr-cg); the planner also collapses the logreg sigmoid chain into one "
       "generated kernel, cutting launches the template pass cannot.");
+  json.add("ok", ok ? 1.0 : 0.0);
+  json.add_table("fusion_planner", table);
+  json.write();
   if (!ok) {
     std::cout << "FAILED: planner regressed vs the contract above\n";
     return 1;

@@ -29,6 +29,8 @@ static int run_bench(int argc, char** argv) {
   const auto cols =
       static_cast<index_t>(cli.get_int("cols", 400, "feature columns"));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42, ""));
+  obs::apply_standard_flags(cli);
+  bench::JsonReport json(cli, "resilience");
   if (bench::handle_help(cli)) return 0;
   cli.finish();
 
@@ -85,6 +87,9 @@ static int run_bench(int argc, char** argv) {
   }
   std::cout << table << "\n";
   report.print(std::cout);
+  json.add("clean_total_ms", base_ms);
+  json.add_table("resilience", table);
+  json.write();
   return 0;
 }
 

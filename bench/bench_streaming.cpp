@@ -28,6 +28,8 @@ static int run_bench(int argc, char** argv) {
   const auto n = static_cast<index_t>(cli.get_int("cols", 1000, "columns"));
   const double sparsity = cli.get_double("sparsity", 0.01, "nnz fraction");
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42, ""));
+  obs::apply_standard_flags(cli);
+  bench::JsonReport json(cli, "streaming");
   if (bench::handle_help(cli)) return 0;
   cli.finish();
 
@@ -101,6 +103,10 @@ static int run_bench(int argc, char** argv) {
   bench::print_note(
       "the auto split hands the CPU just enough rows to finish alongside "
       "the GPU — the §5 future-work hybrid execution realized.");
+  json.add("in_core_ms", in_core.modeled_ms);
+  json.add_table("streaming", st);
+  json.add_table("hybrid", ht);
+  json.write();
   return 0;
 }
 

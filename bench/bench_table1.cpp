@@ -31,6 +31,8 @@ static int run_bench(int argc, char** argv) {
   const auto cols =
       static_cast<index_t>(cli.get_int("cols", 50, "feature columns"));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42, ""));
+  obs::apply_standard_flags(cli);
+  bench::JsonReport json(cli, "table1");
   if (bench::handle_help(cli)) return 0;
   cli.finish();
 
@@ -98,6 +100,8 @@ static int run_bench(int argc, char** argv) {
       "only issues the instantiations its update rule needs (e.g. Gaussian "
       "GLM skips the v-weighted form; our GLM folds the ridge z-term into "
       "the v-weighted call, surfacing it as the full pattern).");
+  json.add_table("table1", table);
+  json.write();
   return 0;
 }
 

@@ -27,6 +27,8 @@ static int run_bench(int argc, char** argv) {
   const auto iterations =
       static_cast<int>(cli.get_int("iterations", 20, "CG iterations"));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42, ""));
+  obs::apply_standard_flags(cli);
+  bench::JsonReport json(cli, "table2");
   if (bench::handle_help(cli)) return 0;
   cli.finish();
 
@@ -85,6 +87,8 @@ static int run_bench(int argc, char** argv) {
       "split is what is comparable. KDD's BLAS-1 share is large because its "
       "n (columns) is huge relative to nnz; HIGGS's is negligible because "
       "n=28.");
+  json.add_table("table2", table);
+  json.write();
   return 0;
 }
 

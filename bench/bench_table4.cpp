@@ -24,6 +24,8 @@ static int run_bench(int argc, char** argv) {
   const auto scale = cli.get_double(
       "scale", 100.0, "dataset shrink factor vs the real KDD 2010");
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42, ""));
+  obs::apply_standard_flags(cli);
+  bench::JsonReport json(cli, "table4");
   if (bench::handle_help(cli)) return 0;
   cli.finish();
 
@@ -102,6 +104,8 @@ static int run_bench(int argc, char** argv) {
       "with n in the tens of millions the partial w cannot live in shared "
       "memory, so the fused kernel scatters straight to global memory; the "
       "data is so sparse that atomic collisions on w are rare (§4.1).");
+  json.add_table("table4", table);
+  json.write();
   return 0;
 }
 

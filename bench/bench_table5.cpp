@@ -53,6 +53,8 @@ static int run_bench(int argc, char** argv) {
   const auto higgs_iters =
       static_cast<int>(cli.get_int("higgs-iterations", 32, "paper: 32"));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42, ""));
+  obs::apply_standard_flags(cli);
+  bench::JsonReport json(cli, "table5");
   if (bench::handle_help(cli)) return 0;
   cli.finish();
 
@@ -108,6 +110,8 @@ static int run_bench(int argc, char** argv) {
       "set; at 1/100 scale the modeled transfer above is ~1/100 of that. "
       "Transfers amortize over the ML iterations, so end-to-end gains stay "
       "close to the kernel-level gains (Fig. 3/4) but below them.");
+  json.add_table("table5", table);
+  json.write();
   return 0;
 }
 

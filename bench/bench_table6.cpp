@@ -74,6 +74,8 @@ static int run_bench(int argc, char** argv) {
   const auto higgs_iters =
       static_cast<int>(cli.get_int("higgs-iterations", 32, "paper: 32"));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42, ""));
+  obs::apply_standard_flags(cli);
+  bench::JsonReport json(cli, "table6");
   if (bench::handle_help(cli)) return 0;
   cli.finish();
 
@@ -109,6 +111,9 @@ static int run_bench(int argc, char** argv) {
       "kernel wins are diluted by JNI conversion, PCIe synchronization, and "
       "the BLAS-1 ops the scheduler keeps on the CPU — the paper's stated "
       "motivation for further memory-manager work.");
+  json.add_table("table6", table);
+  json.add_table("table6_detail", detail);
+  json.write();
   return 0;
 }
 

@@ -1,27 +1,52 @@
-// Shared top-level exception barrier for the examples: a fusedml::Error
-// exits with one clean line on stderr and a non-zero status instead of
-// std::terminate's abort + core dump.
+// Shared top-level scaffolding for the examples: an exception barrier (a
+// fusedml::Error exits with one clean line on stderr and a non-zero status
+// instead of std::terminate's abort + core dump) plus the standard
+// observability flags (--log-level, --profile, --metrics) every example
+// accepts.
 #pragma once
 
 #include <exception>
 #include <iostream>
 
+#include "common/cli.h"
 #include "common/error.h"
+#include "obs/profile_flags.h"
 
 namespace fusedml::examples {
 
 template <typename Run>
 int guarded_main(Run&& run) {
   try {
-    return run();
+    const int rc = run();
+    obs::flush_profile();
+    return rc;
   } catch (const Error& e) {
+    obs::flush_profile();
     std::cerr << "error [" << to_string(e.code()) << "]: " << e.what()
               << "\n";
     return 1;
   } catch (const std::exception& e) {
+    obs::flush_profile();
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }
+}
+
+/// Full example entry point: parses the standard observability flags,
+/// honours --help, then runs the body under the exception barrier (which
+/// flushes any armed --profile trace on success AND on error).
+template <typename Run>
+int example_main(int argc, char** argv, Run&& run) {
+  return guarded_main([&]() -> int {
+    Cli cli(argc, argv);
+    obs::apply_standard_flags(cli);
+    if (cli.help_requested()) {
+      std::cout << cli.usage();
+      return 0;
+    }
+    cli.finish();
+    return run();
+  });
 }
 
 }  // namespace fusedml::examples

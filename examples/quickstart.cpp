@@ -61,6 +61,7 @@ static int run_example() {
   return 0;
 }
 
-int main() {
-  return fusedml::examples::guarded_main([&] { return run_example(); });
+int main(int argc, char** argv) {
+  return fusedml::examples::example_main(argc, argv,
+                                         [&] { return run_example(); });
 }

@@ -1,0 +1,116 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace fusedml {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::element_prefix() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // the key already emitted the comma for this member
+  }
+  if (!need_comma_.empty()) {
+    if (need_comma_.back()) os_ << ',';
+    need_comma_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  element_prefix();
+  os_ << '{';
+  need_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  need_comma_.pop_back();
+  os_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  element_prefix();
+  os_ << '[';
+  need_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  need_comma_.pop_back();
+  os_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  if (!need_comma_.empty()) {
+    if (need_comma_.back()) os_ << ',';
+    need_comma_.back() = true;
+  }
+  os_ << '"' << json_escape(name) << "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& s) {
+  element_prefix();
+  os_ << '"' << json_escape(s) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* s) { return value(std::string(s)); }
+
+JsonWriter& JsonWriter::value(double v) {
+  element_prefix();
+  if (!std::isfinite(v)) {
+    os_ << "null";  // JSON has no NaN/Inf
+    return *this;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  element_prefix();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  element_prefix();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  element_prefix();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+}  // namespace fusedml

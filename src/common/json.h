@@ -1,0 +1,55 @@
+// Minimal streaming JSON writer — enough for the observability exporters
+// (Chrome traces, metric dumps, BENCH_*.json records) without an external
+// dependency. Produces compact, valid RFC-8259 output; the writer tracks
+// nesting and comma placement so call sites stay linear.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fusedml {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Starts an object/array-valued member inside an object.
+  JsonWriter& key(const std::string& name);
+
+  // Scalar values (as array elements, or after key() inside an object).
+  JsonWriter& value(const std::string& s);
+  JsonWriter& value(const char* s);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+
+  // key + scalar in one call.
+  template <typename T>
+  JsonWriter& member(const std::string& name, const T& v) {
+    key(name);
+    return value(v);
+  }
+
+ private:
+  std::ostream& os_;
+  /// One entry per open container: true while the next element needs a
+  /// leading comma.
+  std::vector<bool> need_comma_;
+  bool pending_key_ = false;
+
+  void element_prefix();
+};
+
+/// JSON string escaping (quotes not included).
+std::string json_escape(const std::string& s);
+
+}  // namespace fusedml

@@ -12,6 +12,11 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+/// "debug" / "info" / "warn" / "error" (case-sensitive); throws
+/// std::invalid_argument on anything else — used by the --log-level flag.
+LogLevel parse_log_level(const std::string& name);
+const char* to_string(LogLevel level);
+
 /// Emit one line to stderr with a level tag (thread-safe).
 void log_message(LogLevel level, const std::string& message);
 

@@ -33,8 +33,10 @@ LaunchConfig streaming_config(const vgpu::Device& dev, usize n) {
 /// [0, n), distributed across blocks grid-stride — the canonical streaming
 /// kernel shape. `body` does both the functional work and the accounting.
 template <typename Body>
-vgpu::LaunchStats launch_streaming(vgpu::Device& dev, usize n, Body&& body) {
-  const LaunchConfig cfg = streaming_config(dev, n);
+vgpu::LaunchStats launch_streaming(vgpu::Device& dev, const char* label,
+                                   usize n, Body&& body) {
+  LaunchConfig cfg = streaming_config(dev, n);
+  cfg.label = label;
   return dev.launch(cfg, [&](BlockCtx& ctx) {
     const usize stride =
         static_cast<usize>(ctx.grid_size()) * ctx.block_size();
@@ -55,7 +57,7 @@ OpResult dev_axpy(vgpu::Device& dev, real alpha, std::span<const real> x,
                   std::span<real> y) {
   FUSEDML_CHECK(x.size() == y.size(), "axpy size mismatch");
   OpResult out;
-  out.absorb(launch_streaming(dev, x.size(),
+  out.absorb(launch_streaming(dev, "axpy", x.size(),
                               [&](BlockCtx& ctx, usize i0, int lanes) {
     ctx.mem().load_contiguous(i0, lanes, sizeof(real));  // x
     ctx.mem().load_contiguous(i0, lanes, sizeof(real));  // y
@@ -69,7 +71,7 @@ OpResult dev_axpy(vgpu::Device& dev, real alpha, std::span<const real> x,
 
 OpResult dev_scal(vgpu::Device& dev, real alpha, std::span<real> x) {
   OpResult out;
-  out.absorb(launch_streaming(dev, x.size(),
+  out.absorb(launch_streaming(dev, "scal", x.size(),
                               [&](BlockCtx& ctx, usize i0, int lanes) {
     ctx.mem().load_contiguous(i0, lanes, sizeof(real));
     ctx.mem().store_contiguous(i0, lanes, sizeof(real));
@@ -85,11 +87,13 @@ namespace {
 /// partials reduced in shared memory, combined with one global atomic per
 /// block — the standard cuBLAS-style two-level reduction.
 template <typename LanesOp>
-OpResult reduction_kernel(vgpu::Device& dev, usize n, LanesOp&& lane_sum) {
+OpResult reduction_kernel(vgpu::Device& dev, const char* label, usize n,
+                          LanesOp&& lane_sum) {
   OpResult out;
   out.value.assign(1, real{0});
   real& target = out.value.front();
   LaunchConfig cfg = streaming_config(dev, n);
+  cfg.label = label;
   cfg.smem_words = static_cast<usize>(cfg.block_size) / 32;  // warp partials
   out.absorb(dev.launch(cfg, [&](BlockCtx& ctx) {
     real block_sum = 0;
@@ -119,7 +123,7 @@ OpResult reduction_kernel(vgpu::Device& dev, usize n, LanesOp&& lane_sum) {
 OpResult dev_dot(vgpu::Device& dev, std::span<const real> x,
                  std::span<const real> y) {
   FUSEDML_CHECK(x.size() == y.size(), "dot size mismatch");
-  return reduction_kernel(dev, x.size(),
+  return reduction_kernel(dev, "dot", x.size(),
                           [&](BlockCtx& ctx, usize i0, int lanes) {
     ctx.mem().load_contiguous(i0, lanes, sizeof(real));
     ctx.mem().load_contiguous(i0, lanes, sizeof(real));
@@ -131,7 +135,7 @@ OpResult dev_dot(vgpu::Device& dev, std::span<const real> x,
 }
 
 OpResult dev_nrm2(vgpu::Device& dev, std::span<const real> x) {
-  auto out = reduction_kernel(dev, x.size(),
+  auto out = reduction_kernel(dev, "nrm2", x.size(),
                               [&](BlockCtx& ctx, usize i0, int lanes) {
     ctx.mem().load_contiguous(i0, lanes, sizeof(real));
     ctx.mem().add_flops(2ull * lanes);
@@ -148,7 +152,7 @@ OpResult dev_ewise_mul(vgpu::Device& dev, std::span<const real> x,
   FUSEDML_CHECK(x.size() == y.size(), "ewise_mul size mismatch");
   OpResult out;
   out.value.assign(x.size(), real{0});
-  out.absorb(launch_streaming(dev, x.size(),
+  out.absorb(launch_streaming(dev, "ewise_mul", x.size(),
                               [&](BlockCtx& ctx, usize i0, int lanes) {
     ctx.mem().load_contiguous(i0, lanes, sizeof(real));
     ctx.mem().load_contiguous(i0, lanes, sizeof(real));
@@ -163,7 +167,7 @@ OpResult dev_scale_into(vgpu::Device& dev, real beta,
                         std::span<const real> z) {
   OpResult out;
   out.value.assign(z.size(), real{0});
-  out.absorb(launch_streaming(dev, z.size(),
+  out.absorb(launch_streaming(dev, "scale_into", z.size(),
                               [&](BlockCtx& ctx, usize i0, int lanes) {
     ctx.mem().load_contiguous(i0, lanes, sizeof(real));
     ctx.mem().store_contiguous(i0, lanes, sizeof(real));
@@ -176,7 +180,7 @@ OpResult dev_scale_into(vgpu::Device& dev, real beta,
 OpResult dev_map(vgpu::Device& dev, std::span<const real> x, real (*f)(real)) {
   OpResult out;
   out.value.assign(x.size(), real{0});
-  out.absorb(launch_streaming(dev, x.size(),
+  out.absorb(launch_streaming(dev, "map", x.size(),
                               [&](BlockCtx& ctx, usize i0, int lanes) {
     ctx.mem().load_contiguous(i0, lanes, sizeof(real));
     ctx.mem().store_contiguous(i0, lanes, sizeof(real));
@@ -198,7 +202,7 @@ OpResult dev_ewise_chain(vgpu::Device& dev, const EwiseProgram& program,
   OpResult out;
   out.value.assign(n, real{0});
   const std::uint64_t flops = program.flops_per_element();
-  out.absorb(launch_streaming(dev, n,
+  out.absorb(launch_streaming(dev, "ewise_chain", n,
                               [&](BlockCtx& ctx, usize i0, int lanes) {
     for (usize k = 0; k < inputs.size(); ++k) {
       ctx.mem().load_contiguous(i0, lanes, sizeof(real));

@@ -153,7 +153,8 @@ OpResult fused_pattern_dense(vgpu::Device& dev, real alpha,
                 "fused_pattern_dense: z must have n entries or be empty");
 
   const auto params = fused_dense_params(dev, X, opts);
-  const auto& cfg = params.config;
+  auto cfg = params.config;
+  cfg.label = "fused_pattern_dense";
   const auto n = static_cast<usize>(X.cols());
   // §3.2 zero padding: lanes beyond n load padding zeros; we charge their
   // traffic (the wasted-warp effect the tuner minimizes) and skip the math.

@@ -117,7 +117,9 @@ OpResult fused_spmv_t(vgpu::Device& dev, const la::CsrMatrix& X,
   OpResult out;
   out.value.assign(n, real{0});
 
-  out.absorb(dev.launch(params.config, [&](BlockCtx& ctx) {
+  LaunchConfig launch_cfg = params.config;
+  launch_cfg.label = "fused_spmv_t";
+  out.absorb(dev.launch(launch_cfg, [&](BlockCtx& ctx) {
     const usize sd_base = static_cast<usize>(g.nv);  // staging | partial w
     for (int c = 0; c < g.coarsening; ++c) {
       const long long block_first_row =
@@ -216,7 +218,9 @@ OpResult fused_pattern_sparse(vgpu::Device& dev, real alpha,
   OpResult out;
   out.value.assign(n, real{0});
 
-  out.absorb(dev.launch(params.config, [&](BlockCtx& ctx) {
+  LaunchConfig launch_cfg = params.config;
+  launch_cfg.label = "fused_pattern_sparse";
+  out.absorb(dev.launch(launch_cfg, [&](BlockCtx& ctx) {
     const usize sd_base = static_cast<usize>(g.nv);
     const usize bs = static_cast<usize>(ctx.block_size());
     const usize grid_stride = static_cast<usize>(ctx.grid_size()) * bs;

@@ -33,7 +33,8 @@ OpResult gemv_n(vgpu::Device& dev, const la::DenseMatrix& X,
   FUSEDML_CHECK(y.size() == static_cast<usize>(X.cols()),
                 "gemv_n dimension mismatch");
   const auto n = static_cast<usize>(X.cols());
-  const LaunchConfig cfg = dense_config(dev, X.rows());
+  LaunchConfig cfg = dense_config(dev, X.rows());
+  cfg.label = "gemv_n";
   const bool y_resident =
       opts.texture_y && tex_resident(dev.spec(), n * sizeof(real));
   const MemPath y_path = opts.texture_y ? MemPath::kTexture : MemPath::kDram;
@@ -80,7 +81,8 @@ OpResult gemv_t(vgpu::Device& dev, const la::DenseMatrix& X,
   FUSEDML_CHECK(p.size() == static_cast<usize>(X.rows()),
                 "gemv_t dimension mismatch");
   const auto n = static_cast<usize>(X.cols());
-  const LaunchConfig cfg = dense_config(dev, X.rows());
+  LaunchConfig cfg = dense_config(dev, X.rows());
+  cfg.label = "gemv_t";
   const int warps_per_block = cfg.block_size / 32;
   const long long rows_per_block_step =
       static_cast<long long>(warps_per_block) * 32;

@@ -5,6 +5,8 @@
 
 #include "common/error.h"
 #include "kernels/baselines.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "kernels/blas1.h"
 #include "kernels/gemv.h"
 #include "kernels/spmv.h"
@@ -353,12 +355,22 @@ KernelOutcome OpRegistry::execute_resilient(
     Backend preferred, const RetryPolicy& policy,
     const std::function<KernelOutcome(Backend)>& attempt,
     std::span<real> inout, ResilienceStats* session) {
+  obs::TraceSpan span("dispatch", "dispatch", obs::Track::kDispatch);
+
   // Fast path: nothing armed, nothing to absorb — run the attempt directly
   // so fault-free modeled times are untouched by the resilience machinery.
   const vgpu::FaultInjector* injector = dev_.fault_injector();
   if (injector == nullptr || !injector->armed()) {
     KernelOutcome r = attempt(preferred);
     r.backend_used = preferred;
+    if (span.active()) {
+      span.set_name("dispatch:" + r.kernel);
+      span.arg("backend", to_string(preferred));
+      span.cover_modeled_ms(r.modeled_ms);
+    }
+    if (obs::metrics().enabled()) {
+      obs::metrics().counter("dispatch.ops").add();
+    }
     return r;
   }
 
@@ -381,6 +393,22 @@ KernelOutcome OpRegistry::execute_resilient(
         r.backend_used = b;
         if (rs.fallbacks > 0) r.kernel += " [after fallback]";
         if (session != nullptr) *session += rs;
+        if (span.active()) {
+          span.set_name("dispatch:" + r.kernel);
+          span.arg("backend", to_string(b));
+          if (rs.faults_seen > 0) {
+            span.arg("faults_absorbed", static_cast<double>(rs.faults_seen));
+          }
+          span.cover_modeled_ms(r.modeled_ms);
+        }
+        if (obs::metrics().enabled()) {
+          auto& m = obs::metrics();
+          m.counter("dispatch.ops").add();
+          m.counter("dispatch.faults_absorbed").add(rs.faults_seen);
+          m.counter("dispatch.retries").add(rs.retries);
+          m.counter("dispatch.fallbacks").add(rs.fallbacks);
+          if (rs.faults_seen > 0) m.counter("dispatch.recoveries").add();
+        }
         return r;
       } catch (const Error& e) {
         if (e.code() == ErrorCode::kGeneric) throw;  // not a fault
@@ -398,6 +426,16 @@ KernelOutcome OpRegistry::execute_resilient(
           rs.backoff_ms += wait;
           extra_ms += wait;
           ++rs.retries;
+          if (obs::recorder().enabled()) {
+            obs::TraceEvent ev;
+            ev.name = "retry_backoff";
+            ev.cat = "dispatch";
+            ev.track = obs::Track::kDispatch;
+            ev.dur_ms = wait;
+            ev.ts_ms = obs::recorder().advance_ms(wait);
+            ev.num_args.emplace_back("attempt", static_cast<double>(a));
+            obs::recorder().record(std::move(ev));
+          }
         }
       }
     }
@@ -405,7 +443,18 @@ KernelOutcome OpRegistry::execute_resilient(
         policy.allow_backend_fallback ? fallback_backend(b) : std::nullopt;
     if (!next.has_value()) {
       if (session != nullptr) *session += rs;
+      if (obs::metrics().enabled()) {
+        obs::metrics().counter("dispatch.exhausted").add();
+      }
       std::rethrow_exception(last_fault);
+    }
+    if (obs::recorder().enabled()) {
+      obs::TraceEvent ev;
+      ev.name = "fallback:" + to_string(b) + "->" + to_string(*next);
+      ev.cat = "dispatch";
+      ev.track = obs::Track::kDispatch;
+      ev.ts_ms = obs::recorder().now_ms();
+      obs::recorder().record(std::move(ev));
     }
     b = *next;
     ++rs.fallbacks;

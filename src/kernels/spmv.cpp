@@ -82,7 +82,8 @@ OpResult spmv_csr_vector(vgpu::Device& dev, const la::CsrMatrix& X,
                      : (opts.adaptive_vs
                             ? vector_size_for(X.mean_nnz_per_row())
                             : 32);
-  const LaunchConfig cfg = sparse_config(dev, X.rows(), vs);
+  LaunchConfig cfg = sparse_config(dev, X.rows(), vs);
+  cfg.label = "spmv_csr_vector";
   // Texture residency: a y that fits the read-only cache is fetched once
   // per SM; otherwise every gather is charged.
   const bool y_resident =
@@ -137,6 +138,7 @@ OpResult spmv_csr_scalar(vgpu::Device& dev, const la::CsrMatrix& X,
   FUSEDML_CHECK(y.size() == static_cast<usize>(X.cols()),
                 "spmv dimension mismatch");
   LaunchConfig cfg = sparse_config(dev, X.rows(), 1);
+  cfg.label = "spmv_csr_scalar";
   cfg.vector_size = 1;
   const MemPath y_path = opts.texture_y ? MemPath::kTexture : MemPath::kDram;
 

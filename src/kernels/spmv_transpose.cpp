@@ -16,8 +16,10 @@ using vgpu::BlockCtx;
 using vgpu::LaunchConfig;
 using vgpu::MemPath;
 
-LaunchConfig nnz_streaming_config(const vgpu::Device& dev, offset_t nnz) {
+LaunchConfig nnz_streaming_config(const vgpu::Device& dev, offset_t nnz,
+                                  const char* label) {
   LaunchConfig cfg;
+  cfg.label = label;
   cfg.block_size = 256;
   cfg.resources = {kSpmvRegsPerThread, 0};
   const auto occ =
@@ -37,6 +39,7 @@ OpResult spmv_t_atomic_scatter(vgpu::Device& dev, const la::CsrMatrix& X,
   const int vs = opts.vector_size > 0 ? opts.vector_size
                                       : vector_size_for(X.mean_nnz_per_row());
   LaunchConfig cfg;
+  cfg.label = "spmv_t_atomic_scatter";
   cfg.block_size = 256;
   cfg.vector_size = vs;
   cfg.resources = {kSpmvRegsPerThread, 0};
@@ -100,7 +103,8 @@ OpResult device_csr2csc_cost(vgpu::Device& dev, const la::CsrMatrix& X) {
 
   // Kernel 1 — column histogram: stream col_idx coalesced, atomicAdd into
   // the per-column counters.
-  out.absorb(dev.launch(nnz_streaming_config(dev, nnz), [&](BlockCtx& ctx) {
+  out.absorb(dev.launch(nnz_streaming_config(dev, nnz, "transpose_histogram"),
+                        [&](BlockCtx& ctx) {
     if (ctx.block_id() != 0) return;  // counters charged once for the grid
     for (offset_t i = 0; i < nnz; i += 32) {
       const int lanes = static_cast<int>(std::min<offset_t>(32, nnz - i));
@@ -113,7 +117,7 @@ OpResult device_csr2csc_cost(vgpu::Device& dev, const la::CsrMatrix& X) {
 
   // Kernel 2 — exclusive scan over the n column counts (device scan does
   // roughly two passes over the array: reduce + downsweep).
-  out.absorb(dev.launch(nnz_streaming_config(dev, X.cols()),
+  out.absorb(dev.launch(nnz_streaming_config(dev, X.cols(), "transpose_scan"),
                         [&](BlockCtx& ctx) {
     if (ctx.block_id() != 0) return;
     for (std::uint64_t i = 0; i < 2 * n; i += 32) {
@@ -128,7 +132,8 @@ OpResult device_csr2csc_cost(vgpu::Device& dev, const la::CsrMatrix& X) {
   // bucket. Destinations of adjacent non-zeros live in different column
   // buckets, so the stores are uncoalesced: one transaction per element —
   // the reason explicit transposition is so expensive (§3.1, Fig. 2).
-  out.absorb(dev.launch(nnz_streaming_config(dev, nnz), [&](BlockCtx& ctx) {
+  out.absorb(dev.launch(nnz_streaming_config(dev, nnz, "transpose_scatter"),
+                        [&](BlockCtx& ctx) {
     if (ctx.block_id() != 0) return;
     for (offset_t i = 0; i < nnz; i += 32) {
       const int lanes = static_cast<int>(std::min<offset_t>(32, nnz - i));

@@ -1,0 +1,132 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/json.h"
+#include "common/stats.h"
+#include "obs/trace.h"
+
+namespace fusedml::obs {
+
+void Histogram::observe(double v) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  samples_.push_back(v);
+}
+
+std::uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return samples_.size();
+}
+
+double Histogram::mean() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fusedml::mean(samples_);
+}
+
+double Histogram::percentile(double p) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (samples_.empty()) return 0.0;
+  return fusedml::percentile(samples_, p);
+}
+
+double Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (samples_.empty()) return 0.0;
+  return fusedml::max_of(samples_);
+}
+
+void Histogram::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  samples_.clear();
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+Table MetricsRegistry::to_table() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Table t({"metric", "kind", "value", "p50", "p95", "max"});
+  for (const auto& [name, c] : counters_) {
+    t.row().add(name).add("counter").add(static_cast<std::size_t>(c->value()));
+    t.add("-").add("-").add("-");
+  }
+  for (const auto& [name, g] : gauges_) {
+    t.row().add(name).add("gauge").add(g->value(), 4);
+    t.add("-").add("-").add("-");
+  }
+  for (const auto& [name, h] : histograms_) {
+    t.row().add(name).add("histogram");
+    t.add(static_cast<std::size_t>(h->count()));
+    t.add(h->percentile(50.0), 4).add(h->percentile(95.0), 4).add(h->max(), 4);
+  }
+  return t;
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JsonWriter json(os);
+  json.begin_object();
+  json.key("counters").begin_object();
+  for (const auto& [name, c] : counters_) json.member(name, c->value());
+  json.end_object();
+  json.key("gauges").begin_object();
+  for (const auto& [name, g] : gauges_) json.member(name, g->value());
+  json.end_object();
+  json.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms_) {
+    json.key(name).begin_object();
+    json.member("count", h->count());
+    json.member("mean", h->mean());
+    json.member("p50", h->percentile(50.0));
+    json.member("p95", h->percentile(95.0));
+    json.member("max", h->max());
+    json.end_object();
+  }
+  json.end_object();
+  json.end_object();
+  os << "\n";
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry instance;
+  return instance;
+}
+
+void enable_profiling(usize trace_capacity) {
+  recorder().enable(trace_capacity);
+  metrics().enable();
+  metrics().reset();
+}
+
+void disable_profiling() {
+  recorder().disable();
+  metrics().disable();
+}
+
+}  // namespace fusedml::obs

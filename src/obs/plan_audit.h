@@ -1,0 +1,46 @@
+// Plan-vs-actual auditor: compares what the fusion planner PREDICTED for a
+// DAG (launch count, modeled per-execution cost) against what the runtime
+// OBSERVED while executing it. A nonzero launch drift means the cost model
+// and the interpreter disagree about the plan's shape — the planner is then
+// optimizing a different program than the one that runs, which silently
+// invalidates its fusion decisions. CI gates on zero drift for the lr-cg
+// planner path.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+namespace fusedml::obs {
+
+struct PlanAudit {
+  bool has_prediction = false;
+  /// What the planner predicted for ONE execution of the DAG.
+  std::uint64_t predicted_launches_per_exec = 0;
+  double predicted_ms_per_exec = 0.0;
+  /// What the runtime observed, summed over all executions.
+  std::uint64_t executions = 0;
+  std::uint64_t observed_launches = 0;
+  double observed_ms = 0.0;
+
+  std::uint64_t predicted_launches_total() const {
+    return predicted_launches_per_exec * executions;
+  }
+  /// observed - predicted launches over all executions. Zero when the
+  /// planner's view of the DAG matches what actually ran.
+  std::int64_t launch_drift() const {
+    return static_cast<std::int64_t>(observed_launches) -
+           static_cast<std::int64_t>(predicted_launches_total());
+  }
+  /// observed / predicted modeled time (1.0 = perfect prediction; 0 when
+  /// nothing to compare).
+  double time_ratio() const {
+    const double predicted = predicted_ms_per_exec *
+                             static_cast<double>(executions);
+    return predicted > 0.0 ? observed_ms / predicted : 0.0;
+  }
+
+  /// Human-readable audit block.
+  void print(std::ostream& os) const;
+};
+
+}  // namespace fusedml::obs

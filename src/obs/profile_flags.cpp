@@ -1,0 +1,51 @@
+#include "obs/profile_flags.h"
+
+#include <iostream>
+
+#include "common/cli.h"
+#include "common/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace fusedml::obs {
+
+namespace {
+ProfileOptions g_options;
+bool g_flushed = false;
+}  // namespace
+
+ProfileOptions apply_standard_flags(Cli& cli) {
+  const std::string level = cli.get_string(
+      "log-level", to_string(log_level()), "log threshold: debug|info|warn|error");
+  const std::string trace_path = cli.get_string(
+      "profile", "", "record a Chrome trace and write it to this path");
+  const bool print_metrics =
+      cli.get_bool("metrics", false, "print the metrics table at exit");
+
+  set_log_level(parse_log_level(level));
+
+  g_options = ProfileOptions{};
+  g_options.trace_path = trace_path;
+  g_options.print_metrics = print_metrics;
+  g_options.profiling = !trace_path.empty() || print_metrics;
+  g_flushed = false;
+  if (g_options.profiling) enable_profiling();
+  return g_options;
+}
+
+void flush_profile() {
+  if (!g_options.profiling || g_flushed) return;
+  g_flushed = true;
+  if (!g_options.trace_path.empty()) {
+    if (recorder().export_chrome_trace_file(g_options.trace_path)) {
+      FUSEDML_LOG_INFO << "wrote trace: " << g_options.trace_path << " ("
+                       << recorder().recorded() << " events, "
+                       << recorder().dropped() << " dropped)";
+    }
+  }
+  if (g_options.print_metrics) {
+    std::cout << "=== metrics ===\n" << metrics().to_table().str();
+  }
+}
+
+}  // namespace fusedml::obs

@@ -1,0 +1,37 @@
+// Standard observability flags shared by every bench and example:
+//
+//   --log-level debug|info|warn|error   set the stderr log threshold
+//   --profile <trace.json>              record a Chrome/Perfetto trace and
+//                                       write it to <trace.json> at exit
+//   --metrics                           print the metrics table at exit
+//
+// Call apply_standard_flags(cli) after constructing the Cli and before
+// cli.finish(); it declares the flags, applies the log level, and arms the
+// trace recorder + metrics registry when profiling was requested. Call
+// flush_profile() at the end of main — guarded_main also calls it on the
+// error path so a crash still leaves a usable trace on disk.
+#pragma once
+
+#include <string>
+
+namespace fusedml {
+class Cli;
+}
+
+namespace fusedml::obs {
+
+struct ProfileOptions {
+  bool profiling = false;    ///< --profile given (recorder + metrics armed)
+  std::string trace_path;    ///< where flush_profile() writes the trace
+  bool print_metrics = false;
+};
+
+/// Declares and applies the standard flags on `cli`. Safe to call once per
+/// process; returns the parsed options (also stored for flush_profile()).
+ProfileOptions apply_standard_flags(Cli& cli);
+
+/// Writes the trace file and (optionally) the metrics table if profiling was
+/// armed by apply_standard_flags. Idempotent; no-op when not profiling.
+void flush_profile();
+
+}  // namespace fusedml::obs

@@ -1,0 +1,128 @@
+#include "obs/profiler_report.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <ostream>
+
+namespace fusedml::obs {
+
+const char* to_string(RooflineClass c) {
+  switch (c) {
+    case RooflineClass::kMemoryBound: return "memory-bound";
+    case RooflineClass::kComputeBound: return "compute-bound";
+    case RooflineClass::kLaunchBound: return "launch-bound";
+  }
+  return "?";
+}
+
+ProfilerReport build_profiler_report(const std::vector<TraceEvent>& events,
+                                     const DevicePeaks& peaks,
+                                     std::uint64_t dropped_events) {
+  ProfilerReport report;
+  report.dropped_events = dropped_events;
+
+  std::map<std::string, KernelSummary> by_name;
+  for (const TraceEvent& ev : events) {
+    if (!ev.has_kernel || std::strcmp(ev.cat, "kernel") != 0) continue;
+    KernelSummary& ks = by_name[ev.name];
+    ks.name = ev.name;
+    ks.calls += 1;
+    ks.total_ms += ev.dur_ms;
+    ks.gld_transactions += ev.kernel.counters.gld_transactions;
+    ks.gst_transactions += ev.kernel.counters.gst_transactions;
+    ks.dram_bytes += ev.kernel.counters.dram_bytes();
+    ks.flops += ev.kernel.counters.flops;
+    ks.avg_occupancy += ev.kernel.occupancy;  // sum here, divide below
+    ks.launch_ms += ev.kernel.time.launch_ms;
+  }
+
+  for (auto& [name, ks] : by_name) {
+    report.total_launches += ks.calls;
+    report.total_kernel_ms += ks.total_ms;
+    report.total_gld_transactions += ks.gld_transactions;
+    report.total_gst_transactions += ks.gst_transactions;
+    report.total_dram_bytes += ks.dram_bytes;
+    report.total_flops += ks.flops;
+  }
+
+  // The ridge point of the roofline: flops/byte at which the machine turns
+  // from bandwidth-limited to compute-limited.
+  const double ridge = peaks.mem_bandwidth_gbs > 0.0
+                           ? peaks.peak_gflops_dp / peaks.mem_bandwidth_gbs
+                           : 0.0;
+
+  for (auto& [name, ks] : by_name) {
+    if (ks.calls > 0) ks.avg_occupancy /= static_cast<double>(ks.calls);
+    if (report.total_kernel_ms > 0.0) {
+      ks.pct_time = 100.0 * ks.total_ms / report.total_kernel_ms;
+    }
+    if (ks.total_ms > 0.0) {
+      // bytes / ms = KB/s; /1e6 brings it to GB/s.
+      ks.achieved_gbs =
+          static_cast<double>(ks.dram_bytes) / ks.total_ms / 1e6;
+    }
+    if (ks.dram_bytes > 0) {
+      ks.arithmetic_intensity = static_cast<double>(ks.flops) /
+                                static_cast<double>(ks.dram_bytes);
+    }
+    if (ks.total_ms > 0.0 && ks.launch_ms > 0.5 * ks.total_ms) {
+      ks.roofline = RooflineClass::kLaunchBound;
+    } else if (ks.arithmetic_intensity > ridge) {
+      ks.roofline = RooflineClass::kComputeBound;
+    } else {
+      ks.roofline = RooflineClass::kMemoryBound;
+    }
+    report.kernels.push_back(ks);
+  }
+
+  std::sort(report.kernels.begin(), report.kernels.end(),
+            [](const KernelSummary& a, const KernelSummary& b) {
+              if (a.total_ms != b.total_ms) return a.total_ms > b.total_ms;
+              return a.name < b.name;
+            });
+  return report;
+}
+
+Table ProfilerReport::to_table(const DevicePeaks& peaks) const {
+  Table t({"kernel", "calls", "time(ms)", "time%", "gld", "gst", "GB/s",
+           "peak%", "occ", "class"});
+  for (const KernelSummary& ks : kernels) {
+    t.row().add(ks.name);
+    t.add(static_cast<std::size_t>(ks.calls));
+    t.add(ks.total_ms, 4);
+    t.add(ks.pct_time, 1);
+    t.add(format_count(static_cast<double>(ks.gld_transactions)));
+    t.add(format_count(static_cast<double>(ks.gst_transactions)));
+    t.add(ks.achieved_gbs, 1);
+    t.add(peaks.mem_bandwidth_gbs > 0.0
+              ? 100.0 * ks.achieved_gbs / peaks.mem_bandwidth_gbs
+              : 0.0,
+          1);
+    t.add(ks.avg_occupancy, 2);
+    t.add(to_string(ks.roofline));
+  }
+  return t;
+}
+
+void ProfilerReport::print(std::ostream& os, const DevicePeaks& peaks) const {
+  os << "=== virtual nvprof: per-kernel summary (modeled time) ===\n";
+  os << to_table(peaks).str();
+  os << "total: " << total_launches << " launches, " << total_kernel_ms
+     << " ms modeled kernel time, "
+     << format_count(static_cast<double>(total_dram_bytes)) << " DRAM bytes, "
+     << format_count(static_cast<double>(total_flops)) << " flops\n";
+  if (peaks.mem_bandwidth_gbs > 0.0) {
+    os << "roofline ridge point: "
+       << peaks.peak_gflops_dp / peaks.mem_bandwidth_gbs
+       << " flops/byte (peak " << peaks.mem_bandwidth_gbs << " GB/s, "
+       << peaks.peak_gflops_dp << " GFLOP/s dp)\n";
+  }
+  if (dropped_events > 0) {
+    os << "WARNING: " << dropped_events
+       << " trace events dropped (ring full) — totals undercount; "
+          "raise the trace capacity\n";
+  }
+}
+
+}  // namespace fusedml::obs

@@ -1,0 +1,78 @@
+// nvprof-style profiler reports built from the recorded trace: a per-kernel
+// summary (calls, modeled time, % of total, memory transactions, achieved
+// vs. peak bandwidth, occupancy) plus a roofline classification per kernel.
+//
+// The report aggregates the KernelRecord payloads carried by "kernel"-
+// category device events. Those payloads are the exact MemCounters /
+// TimeBreakdown values the virtual device billed, and the integer totals
+// are summed exactly, so the report's totals bit-match the device session
+// accounting and RuntimeStats (asserted in tests/test_obs.cpp).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "obs/trace.h"
+
+namespace fusedml::obs {
+
+/// Device peaks the report compares against. Plain numbers so obs does not
+/// depend on the vgpu library; construct from a DeviceSpec at the call site
+/// (see peaks_of() in profiler_report.cpp users or docs/OBSERVABILITY.md).
+struct DevicePeaks {
+  double mem_bandwidth_gbs = 0.0;  ///< peak DRAM bandwidth
+  double peak_gflops_dp = 0.0;     ///< peak double-precision throughput
+};
+
+/// How a kernel's modeled time decomposes relative to the machine balance.
+enum class RooflineClass {
+  kMemoryBound,   ///< arithmetic intensity below the ridge point
+  kComputeBound,  ///< arithmetic intensity above the ridge point
+  kLaunchBound,   ///< fixed launch overhead dominates the modeled time
+};
+
+const char* to_string(RooflineClass c);
+
+/// Aggregate over all launches of one kernel name.
+struct KernelSummary {
+  std::string name;
+  std::uint64_t calls = 0;
+  double total_ms = 0.0;
+  double pct_time = 0.0;  ///< share of all kernel time, in percent
+  std::uint64_t gld_transactions = 0;
+  std::uint64_t gst_transactions = 0;
+  std::uint64_t dram_bytes = 0;
+  std::uint64_t flops = 0;
+  double achieved_gbs = 0.0;  ///< dram_bytes / total_ms
+  double avg_occupancy = 0.0;
+  double launch_ms = 0.0;  ///< fixed launch-overhead share of total_ms
+  double arithmetic_intensity = 0.0;  ///< flops per DRAM byte
+  RooflineClass roofline = RooflineClass::kMemoryBound;
+};
+
+struct ProfilerReport {
+  std::vector<KernelSummary> kernels;  ///< sorted by total_ms, descending
+  std::uint64_t total_launches = 0;
+  double total_kernel_ms = 0.0;
+  std::uint64_t total_gld_transactions = 0;
+  std::uint64_t total_gst_transactions = 0;
+  std::uint64_t total_dram_bytes = 0;
+  std::uint64_t total_flops = 0;
+  std::uint64_t dropped_events = 0;  ///< launches lost to ring overflow
+
+  /// nvprof-style summary table.
+  Table to_table(const DevicePeaks& peaks) const;
+  /// Table + roofline legend, written to `os`.
+  void print(std::ostream& os, const DevicePeaks& peaks) const;
+};
+
+/// Builds the report from recorded events (use recorder().snapshot()).
+/// Only "kernel"-category events with a KernelRecord payload contribute.
+ProfilerReport build_profiler_report(const std::vector<TraceEvent>& events,
+                                     const DevicePeaks& peaks,
+                                     std::uint64_t dropped_events = 0);
+
+}  // namespace fusedml::obs

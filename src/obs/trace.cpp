@@ -1,0 +1,215 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+
+#include "common/json.h"
+#include "common/log.h"
+
+namespace fusedml::obs {
+
+const char* to_string(Track track) {
+  switch (track) {
+    case Track::kOps: return "ops";
+    case Track::kDispatch: return "dispatch";
+    case Track::kDevice: return "device";
+    case Track::kPcie: return "pcie/jni";
+    case Track::kMemory: return "memory";
+  }
+  return "?";
+}
+
+void TraceRecorder::enable(usize capacity) {
+  const usize per_shard =
+      (std::max<usize>(capacity, kShards) + kShards - 1) / kShards;
+  capacity_ = per_shard * kShards;  // actual retained slots
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.slots.assign(per_shard, TraceEvent{});
+  }
+  seq_.store(0, std::memory_order_relaxed);
+  recorded_.store(0, std::memory_order_relaxed);
+  clock_ms_.store(0.0, std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_release);
+}
+
+void TraceRecorder::disable() {
+  enabled_.store(false, std::memory_order_release);
+}
+
+void TraceRecorder::clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (auto& slot : shard.slots) slot = TraceEvent{};
+  }
+  seq_.store(0, std::memory_order_relaxed);
+  recorded_.store(0, std::memory_order_relaxed);
+  clock_ms_.store(0.0, std::memory_order_relaxed);
+}
+
+double TraceRecorder::advance_ms(double dur_ms) {
+  double before = clock_ms_.load(std::memory_order_relaxed);
+  while (!clock_ms_.compare_exchange_weak(before, before + dur_ms,
+                                          std::memory_order_relaxed)) {
+  }
+  return before;
+}
+
+void TraceRecorder::advance_to_ms(double ts_ms) {
+  double cur = clock_ms_.load(std::memory_order_relaxed);
+  while (cur < ts_ms &&
+         !clock_ms_.compare_exchange_weak(cur, ts_ms,
+                                          std::memory_order_relaxed)) {
+  }
+}
+
+void TraceRecorder::record(TraceEvent ev) {
+  if (!enabled()) return;
+  const std::uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  ev.seq = seq;
+  // seq // kShards cycles through a shard's slots; seq % kShards picks the
+  // shard, so consecutive events land on different shards (writer spread).
+  Shard& shard = shards_[seq % kShards];
+  const usize slot = (seq / kShards) % shard.slots.size();
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.slots[slot] = std::move(ev);
+  }
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  const std::uint64_t n = recorded();
+  const std::uint64_t retained = std::min<std::uint64_t>(n, capacity_);
+  return n - retained;
+}
+
+std::vector<TraceEvent> TraceRecorder::snapshot() const {
+  std::vector<TraceEvent> out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& slot : shard.slots) {
+      // Default-constructed slots (never written) have empty names.
+      if (!slot.name.empty()) out.push_back(slot);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+namespace {
+void write_event_args(JsonWriter& json, const TraceEvent& ev) {
+  json.key("args").begin_object();
+  for (const auto& [k, v] : ev.num_args) json.member(k, v);
+  for (const auto& [k, v] : ev.str_args) json.member(k, v);
+  if (ev.has_kernel) {
+    const auto& kr = ev.kernel;
+    json.member("gld_transactions", kr.counters.gld_transactions);
+    json.member("gst_transactions", kr.counters.gst_transactions);
+    json.member("tex_transactions", kr.counters.tex_transactions);
+    json.member("l2_hit_transactions", kr.counters.l2_hit_transactions);
+    json.member("dram_bytes", kr.counters.dram_bytes());
+    json.member("atomic_cas_ops", kr.counters.atomic_global_ops);
+    json.member("flops", kr.counters.flops);
+    json.member("occupancy", kr.occupancy);
+    json.member("grid_size", kr.grid_size);
+    json.member("block_size", kr.block_size);
+    json.member("launch_ms", kr.time.launch_ms);
+    json.member("dram_ms", kr.time.dram_ms);
+    json.member("atomic_ms", kr.time.atomic_ms);
+    json.member("compute_ms", kr.time.compute_ms);
+  }
+  json.end_object();
+}
+}  // namespace
+
+void TraceRecorder::export_chrome_trace(std::ostream& os) const {
+  JsonWriter json(os);
+  json.begin_object();
+  json.member("displayTimeUnit", "ms");
+  json.key("traceEvents").begin_array();
+
+  // Track-name metadata so Perfetto labels the rows.
+  for (const Track track : {Track::kOps, Track::kDispatch, Track::kDevice,
+                            Track::kPcie, Track::kMemory}) {
+    json.begin_object();
+    json.member("name", "thread_name");
+    json.member("ph", "M");
+    json.member("pid", 1);
+    json.member("tid", static_cast<int>(track));
+    json.key("args").begin_object();
+    json.member("name", to_string(track));
+    json.end_object();
+    json.end_object();
+  }
+
+  for (const TraceEvent& ev : snapshot()) {
+    json.begin_object();
+    json.member("name", ev.name);
+    json.member("cat", ev.cat);
+    json.member("ph", "X");
+    json.member("pid", 1);
+    json.member("tid", static_cast<int>(ev.track));
+    json.member("ts", ev.ts_ms * 1000.0);   // Chrome traces use microseconds
+    json.member("dur", ev.dur_ms * 1000.0);
+    write_event_args(json, ev);
+    json.end_object();
+  }
+  json.end_array();
+  json.member("droppedEvents", dropped());
+  json.end_object();
+  os << "\n";
+}
+
+bool TraceRecorder::export_chrome_trace_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    FUSEDML_LOG_ERROR << "cannot open trace output file: " << path;
+    return false;
+  }
+  export_chrome_trace(out);
+  return true;
+}
+
+TraceRecorder& recorder() {
+  static TraceRecorder instance;
+  return instance;
+}
+
+TraceSpan::TraceSpan(std::string name, const char* cat, Track track) {
+  if (!recorder().enabled()) return;
+  active_ = true;
+  ev_.name = std::move(name);
+  ev_.cat = cat;
+  ev_.track = track;
+  open_ms_ = recorder().now_ms();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  ev_.ts_ms = open_ms_;
+  ev_.dur_ms = recorder().now_ms() - open_ms_;
+  recorder().record(std::move(ev_));
+}
+
+void TraceSpan::set_name(std::string name) {
+  if (active_) ev_.name = std::move(name);
+}
+
+void TraceSpan::arg(std::string key, double value) {
+  if (active_) ev_.num_args.emplace_back(std::move(key), value);
+}
+
+void TraceSpan::arg(std::string key, std::string value) {
+  if (active_) ev_.str_args.emplace_back(std::move(key), std::move(value));
+}
+
+void TraceSpan::cover_modeled_ms(double total_ms) {
+  if (active_) recorder().advance_to_ms(open_ms_ + total_ms);
+}
+
+}  // namespace fusedml::obs

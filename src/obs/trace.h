@@ -1,0 +1,165 @@
+// Span tracing on the MODELED timeline — the virtual GPU's nvprof timeline.
+//
+// Every layer that charges modeled time (kernel launches, PCIe transfers,
+// JNI conversions, retry backoff, CPU ops) records events against one
+// process-wide TraceRecorder. Leaf cost sources ADVANCE the recorder's
+// modeled clock by the milliseconds they charge; enclosing spans (registry
+// dispatch, runtime ops, pattern calls) measure the cursor delta between
+// open and close, so a whole run renders as a properly nested timeline in
+// Chrome's trace viewer / Perfetto (export_chrome_trace).
+//
+// The recorder is OFF by default and recording is a no-op until enable() is
+// called — benches keep bit-identical modeled numbers and unchanged
+// wall-clock with the recorder disabled (guarded by tests and the CI smoke
+// comparison). The ring buffer is "lock-free-ish": a single atomic sequence
+// allocator orders events, writes go to shards with per-shard locks held
+// only for the slot copy, and the hot-path gate is one relaxed atomic load.
+//
+// Layering: obs sits directly above common. It includes vgpu HEADERS only
+// (MemCounters / TimeBreakdown / OccupancyResult are plain structs) so the
+// vgpu library can link against obs without a cycle.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "vgpu/cost_model.h"
+#include "vgpu/mem_counters.h"
+#include "vgpu/occupancy.h"
+
+namespace fusedml::obs {
+
+/// Logical tracks of the modeled timeline (Chrome trace "tid"s).
+enum class Track : int {
+  kOps = 0,       ///< runtime / pattern-executor operations
+  kDispatch = 1,  ///< registry dispatch (retries, fallbacks)
+  kDevice = 2,    ///< kernel launches on the virtual device
+  kPcie = 3,      ///< host<->device transfers + JNI conversions
+  kMemory = 4,    ///< memory-manager events (evictions, allocations)
+};
+
+const char* to_string(Track track);
+
+/// Full per-launch payload carried by kernel events — what the profiler
+/// report aggregates. Counters are the exact MemCounters the device billed,
+/// so report totals bit-match the session accounting.
+struct KernelRecord {
+  vgpu::MemCounters counters;
+  vgpu::TimeBreakdown time;
+  double occupancy = 0.0;
+  int grid_size = 0;
+  int block_size = 0;
+};
+
+struct TraceEvent {
+  std::uint64_t seq = 0;  ///< global ordering (allocation order)
+  std::string name;
+  const char* cat = "";
+  Track track = Track::kOps;
+  double ts_ms = 0.0;   ///< modeled start time
+  double dur_ms = 0.0;  ///< modeled duration (0 = instant)
+  std::vector<std::pair<std::string, double>> num_args;
+  std::vector<std::pair<std::string, std::string>> str_args;
+  bool has_kernel = false;
+  KernelRecord kernel;
+};
+
+class TraceRecorder {
+ public:
+  static constexpr usize kDefaultCapacity = 1 << 16;
+
+  /// Clears any previous trace and starts recording. Capacity is the ring
+  /// size in events; when full, the OLDEST events are dropped (dropped()
+  /// reports how many).
+  void enable(usize capacity = kDefaultCapacity);
+  void disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Drops all events and rewinds the modeled clock (keeps enabled state).
+  void clear();
+
+  // --- Modeled clock ------------------------------------------------------
+  /// Current modeled-time cursor (ms since enable()).
+  double now_ms() const { return clock_ms_.load(std::memory_order_relaxed); }
+  /// Advances the cursor by `dur_ms`; returns the pre-advance cursor (the
+  /// event's start timestamp). Leaf cost sources call this.
+  double advance_ms(double dur_ms);
+  /// Moves the cursor forward to at least `ts_ms` (no-op if already past) —
+  /// used by spans that charge a modeled total larger than what their inner
+  /// leaf events advanced (e.g. CPU ops that never touch the device).
+  void advance_to_ms(double ts_ms);
+
+  /// Records one event. Thread-safe; no-op (beyond the gate load) when
+  /// disabled.
+  void record(TraceEvent ev);
+
+  std::uint64_t recorded() const {
+    return recorded_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t dropped() const;
+
+  /// All retained events in sequence order.
+  std::vector<TraceEvent> snapshot() const;
+
+  /// Chrome trace_event JSON ("traceEvents" array of complete "X" events,
+  /// timestamps in microseconds of MODELED time) — loads in Perfetto /
+  /// chrome://tracing.
+  void export_chrome_trace(std::ostream& os) const;
+  /// Returns false (and logs) if the file cannot be opened.
+  bool export_chrome_trace_file(const std::string& path) const;
+
+ private:
+  // Sharded ring: the atomic sequence orders events globally; each shard
+  // holds every kShards-th slot behind its own mutex, so concurrent writers
+  // contend only within a shard and only for the slot copy.
+  static constexpr usize kShards = 8;
+  struct Shard {
+    mutable std::mutex mutex;
+    std::vector<TraceEvent> slots;
+  };
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<double> clock_ms_{0.0};
+  std::atomic<std::uint64_t> seq_{0};
+  std::atomic<std::uint64_t> recorded_{0};
+  usize capacity_ = 0;
+  Shard shards_[kShards];
+};
+
+/// The process-wide recorder every layer records into.
+TraceRecorder& recorder();
+
+/// RAII span on the modeled timeline: captures the clock at construction,
+/// records a complete event spanning [open, close] at destruction (duration
+/// = cursor delta, i.e. the modeled time charged by everything inside).
+/// No-op when the recorder is disabled.
+class TraceSpan {
+ public:
+  TraceSpan(std::string name, const char* cat, Track track);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  bool active() const { return active_; }
+  /// Renames the span before close (dispatch learns the kernel name late).
+  void set_name(std::string name);
+  void arg(std::string key, double value);
+  void arg(std::string key, std::string value);
+  /// Extends the span's modeled duration to at least `total_ms` by moving
+  /// the clock cursor — for spans whose charged total exceeds the time
+  /// their inner leaf events advanced (CPU ops, retry accounting).
+  void cover_modeled_ms(double total_ms);
+
+ private:
+  TraceEvent ev_;
+  double open_ms_ = 0.0;
+  bool active_ = false;
+};
+
+}  // namespace fusedml::obs

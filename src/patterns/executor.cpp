@@ -1,13 +1,22 @@
 #include "patterns/executor.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace fusedml::patterns {
 
 PatternResult PatternExecutor::run(
     const std::function<kernels::KernelOutcome(Backend)>& attempt,
     PatternKind kind, std::span<real> inout) {
+  obs::TraceSpan span("pattern:" + to_string(kind), "pattern",
+                      obs::Track::kOps);
   kernels::KernelOutcome o =
       registry_.execute_resilient(backend_, retry_, attempt, inout,
                                   &resilience_);
+  if (span.active()) span.arg("kernel", o.kernel);
+  if (obs::metrics().enabled()) {
+    obs::metrics().counter("patterns.calls").add();
+  }
   PatternResult out;
   out.value = std::move(o.value);
   out.modeled_ms = o.modeled_ms;

@@ -356,8 +356,16 @@ TensorId eval(Runtime& rt, const NodePtr& node,
 }  // namespace
 
 TensorId execute(Runtime& rt, const NodePtr& root) {
+  // Plan-vs-actual audit: snapshot the launch/time books around the
+  // interpretation so the runtime can compare what this execution actually
+  // cost against the planner's per-execution prediction.
+  const RuntimeStats before = rt.stats();
   std::unordered_map<const Node*, TensorId> memo;
-  return eval(rt, root, memo);
+  const TensorId out = eval(rt, root, memo);
+  const RuntimeStats& after = rt.stats();
+  rt.note_plan_execution(after.kernel_launches - before.kernel_launches,
+                         after.total_ms() - before.total_ms());
+  return out;
 }
 
 }  // namespace fusedml::sysml

@@ -168,6 +168,10 @@ NodePtr prepare_dag(Runtime& rt, NodePtr root, PlanMode mode,
       out.fused_groups += static_cast<int>(plan.groups.size());
       out.plan_explain = plan.explain();
       rt.note_plan(out.plan_explain);
+      // Arm the plan-vs-actual audit: the planner's per-execution launch
+      // count and modeled cost become the prediction the DAG interpreter's
+      // observations are checked against.
+      rt.note_plan_prediction(plan.launches_planned, plan.modeled_planned_ms);
       return plan.root;
     }
   }
@@ -181,6 +185,7 @@ void finish(Runtime& rt, TensorId wid, int iterations, ScriptResult& out) {
   out.runtime_stats = rt.stats();
   out.memory_stats = rt.memory_stats();
   out.end_to_end_ms = out.runtime_stats.total_ms();
+  out.plan_audit = rt.plan_audit();
 }
 
 }  // namespace

@@ -29,6 +29,10 @@ struct ScriptResult {
   // DAG scripts only: how the expression graph was prepared.
   std::string plan_explain;  ///< the chosen plan (see FusionPlan::explain)
   int fused_groups = 0;      ///< fusion groups (pattern or ewise) applied
+  /// Plan-vs-actual audit (planner mode only; has_prediction false
+  /// otherwise). Zero launch_drift() means the planner's view of the DAG
+  /// matches what the interpreter actually launched.
+  obs::PlanAudit plan_audit;
 };
 
 /// How a DAG script's expression graph is prepared before interpretation.

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace fusedml::sysml {
 
@@ -86,8 +88,9 @@ double MemoryManager::evict_one() {
   const TensorId victim = lru_.back();
   Entry& v = entry(victim);
   double ms = 0.0;
+  const bool writeback = v.state == Residency::kDeviceDirty;
   // Task (d): write back a device-dirty victim before dropping it.
-  if (v.state == Residency::kDeviceDirty) {
+  if (writeback) {
     ms += transfer(v.bytes, /*to_device=*/false);
   }
   lru_.pop_back();
@@ -96,6 +99,23 @@ double MemoryManager::evict_one() {
   v.reusable_slot = true;
   used_bytes_ -= v.bytes;
   ++stats_.evictions;
+  if (obs::recorder().enabled()) {
+    obs::TraceEvent ev;
+    ev.name = "evict:" + v.name;
+    ev.cat = "memory";
+    ev.track = obs::Track::kMemory;
+    // The writeback's PCIe time already advanced the clock inside
+    // transfer(); the eviction marker itself is instant.
+    ev.ts_ms = obs::recorder().now_ms();
+    ev.num_args.emplace_back("bytes", static_cast<double>(v.bytes));
+    ev.num_args.emplace_back("writeback", writeback ? 1.0 : 0.0);
+    obs::recorder().record(std::move(ev));
+  }
+  if (obs::metrics().enabled()) {
+    obs::metrics().counter("mm.evictions").add();
+    obs::metrics().counter("mm.evicted_bytes").add(v.bytes);
+    if (writeback) obs::metrics().counter("mm.writebacks").add();
+  }
   return ms;
 }
 

@@ -26,6 +26,7 @@
 
 #include "common/resilience.h"
 #include "kernels/op_registry.h"
+#include "obs/plan_audit.h"
 #include "la/csr_matrix.h"
 #include "la/dense_matrix.h"
 #include "sysml/jni_bridge.h"
@@ -62,9 +63,14 @@ struct RuntimeStats {
   /// on the CPU.
   double pattern_gpu_ms = 0.0;
   double pattern_cpu_equiv_ms = 0.0;
+  /// Time lost to fault recovery (wasted attempts + retry backoff), booked
+  /// separately so the success-path metrics above stay comparable between
+  /// clean and faulted runs. Included in total_ms().
+  double resilience_overhead_ms = 0.0;
 
   double total_ms() const {
-    return gpu_kernel_ms + cpu_op_ms + jni_ms + transfer_ms;
+    return gpu_kernel_ms + cpu_op_ms + jni_ms + transfer_ms +
+           resilience_overhead_ms;
   }
 };
 
@@ -147,6 +153,24 @@ class Runtime {
   void note_plan(std::string explain_text) {
     plan_explain_ = std::move(explain_text);
   }
+
+  // --- Plan-vs-actual audit ----------------------------------------------
+  /// Records what the planner predicts ONE execution of the upcoming DAG
+  /// will cost; the DAG interpreter then reports observations per execute().
+  void note_plan_prediction(std::uint64_t launches_per_exec,
+                            double ms_per_exec) {
+    plan_audit_.has_prediction = true;
+    plan_audit_.predicted_launches_per_exec = launches_per_exec;
+    plan_audit_.predicted_ms_per_exec = ms_per_exec;
+  }
+  /// One DAG execution's observed kernel-launch and modeled-time deltas
+  /// (called by dag execute()).
+  void note_plan_execution(std::uint64_t launches, double ms) {
+    ++plan_audit_.executions;
+    plan_audit_.observed_launches += launches;
+    plan_audit_.observed_ms += ms;
+  }
+  const obs::PlanAudit& plan_audit() const { return plan_audit_; }
   /// Database-style explain: the noted fusion plan (if any) followed by the
   /// executed-op trace with placement and modeled cost.
   std::string explain() const;
@@ -168,6 +192,7 @@ class Runtime {
   ResilienceStats resilience_;
   std::vector<TraceEntry> trace_;
   std::string plan_explain_;
+  obs::PlanAudit plan_audit_;
 
   void record_trace(const char* op, bool on_gpu, double ms) {
     trace_.push_back({op, on_gpu, ms});

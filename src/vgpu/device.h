@@ -19,6 +19,8 @@
 #include "common/error.h"
 #include "common/timer.h"
 #include "common/types.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "vgpu/cost_model.h"
 #include "vgpu/device_spec.h"
 #include "vgpu/fault_injector.h"
@@ -123,6 +125,7 @@ class Device {
       const double penalty = cost_model_.params().launch_overhead_us / 1000.0;
       ++session_launches_;
       session_modeled_ms_ += penalty;
+      record_fault_event(cfg.label, "kernel_fault", penalty);
       throw KernelFaultError("injected kernel-launch failure", penalty);
     }
     if (fault == FaultKind::kDeviceOom) {
@@ -150,7 +153,9 @@ class Device {
     ++session_launches_;
     session_modeled_ms_ += stats.time.total_ms;
     session_counters_ += stats.counters;
+    record_launch_event(cfg, stats);
     if (fault == FaultKind::kEcc) {
+      record_fault_event(cfg.label, "ecc", 0.0);
       throw DataError("injected ECC corruption in kernel output",
                       stats.time.total_ms);
     }
@@ -163,7 +168,26 @@ class Device {
   double transfer_h2d_ms(std::uint64_t bytes) {
     const double ms = cost_model_.transfer_ms(bytes);
     session_transfer_ms_ += ms;
-    if (injector_ != nullptr && injector_->next_transfer_fault()) {
+    const bool faulted =
+        injector_ != nullptr && injector_->next_transfer_fault();
+    if (obs::recorder().enabled()) {
+      obs::TraceEvent ev;
+      ev.name = faulted ? "pcie_transfer_fault" : "pcie_transfer";
+      ev.cat = "transfer";
+      ev.track = obs::Track::kPcie;
+      ev.dur_ms = ms;
+      ev.ts_ms = obs::recorder().advance_ms(ms);
+      ev.num_args.emplace_back("bytes", static_cast<double>(bytes));
+      obs::recorder().record(std::move(ev));
+    }
+    if (obs::metrics().enabled()) {
+      obs::metrics().counter("vgpu.transfers").add();
+      obs::metrics().counter("vgpu.transfer_bytes").add(bytes);
+    }
+    if (faulted) {
+      if (obs::metrics().enabled()) {
+        obs::metrics().counter("vgpu.faults_injected").add();
+      }
       throw TransferError("injected PCIe transfer fault", ms);
     }
     return ms;
@@ -190,6 +214,55 @@ class Device {
   double session_modeled_ms_ = 0.0;
   double session_transfer_ms_ = 0.0;
   MemCounters session_counters_;
+
+  /// Records the retired launch on the device track (advancing the modeled
+  /// clock by the billed time) and mirrors its counters into the metrics
+  /// registry. One relaxed load each when observability is off.
+  void record_launch_event(const LaunchConfig& cfg, const LaunchStats& stats) {
+    if (obs::recorder().enabled()) {
+      obs::TraceEvent ev;
+      ev.name = cfg.label;
+      ev.cat = "kernel";
+      ev.track = obs::Track::kDevice;
+      ev.dur_ms = stats.time.total_ms;
+      ev.ts_ms = obs::recorder().advance_ms(stats.time.total_ms);
+      ev.has_kernel = true;
+      ev.kernel.counters = stats.counters;
+      ev.kernel.time = stats.time;
+      ev.kernel.occupancy = stats.occupancy.occupancy;
+      ev.kernel.grid_size = cfg.grid_size;
+      ev.kernel.block_size = cfg.block_size;
+      obs::recorder().record(std::move(ev));
+    }
+    if (obs::metrics().enabled()) {
+      auto& m = obs::metrics();
+      m.counter("vgpu.launches").add();
+      m.counter("vgpu.gld_transactions").add(stats.counters.gld_transactions);
+      m.counter("vgpu.gst_transactions").add(stats.counters.gst_transactions);
+      m.counter("vgpu.dram_bytes").add(stats.counters.dram_bytes());
+      m.counter("vgpu.atomic_cas_ops").add(stats.counters.atomic_global_ops);
+      m.gauge("vgpu.kernel_ms").add(stats.time.total_ms);
+      m.histogram("vgpu.kernel_ms_per_launch").observe(stats.time.total_ms);
+    }
+  }
+
+  /// Instant (or penalty-length) fault marker on the device track.
+  void record_fault_event(const char* label, const char* kind,
+                          double penalty_ms) {
+    if (obs::recorder().enabled()) {
+      obs::TraceEvent ev;
+      ev.name = std::string(kind) + ":" + label;
+      ev.cat = "fault";
+      ev.track = obs::Track::kDevice;
+      ev.dur_ms = penalty_ms;
+      ev.ts_ms = penalty_ms > 0.0 ? obs::recorder().advance_ms(penalty_ms)
+                                  : obs::recorder().now_ms();
+      obs::recorder().record(std::move(ev));
+    }
+    if (obs::metrics().enabled()) {
+      obs::metrics().counter("vgpu.faults_injected").add();
+    }
+  }
 
   template <typename Kernel>
   void run_blocks_parallel(const LaunchConfig& cfg, Kernel& kernel,

@@ -7,6 +7,9 @@
 namespace fusedml::vgpu {
 
 struct LaunchConfig {
+  /// Kernel name shown in traces and profiler reports. Launch sites set
+  /// this; must point at a string literal (or otherwise outlive the launch).
+  const char* label = "kernel";
   int grid_size = 1;    ///< number of thread blocks
   int block_size = 32;  ///< BS: threads per block
   int vector_size = 1;  ///< VS: cooperating threads per row (1..32 or BS)

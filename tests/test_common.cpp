@@ -3,10 +3,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "common/cli.h"
 #include "common/error.h"
+#include "common/json.h"
+#include "common/log.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/table.h"
@@ -209,6 +214,136 @@ TEST(ErrorMacro, ThrowsWithContext) {
     EXPECT_NE(std::string(e.what()).find("context message"),
               std::string::npos);
   }
+}
+
+namespace {
+/// Captures everything written to std::cerr for the lifetime of the object.
+class CerrCapture {
+ public:
+  CerrCapture() : old_(std::cerr.rdbuf(buffer_.rdbuf())) {}
+  ~CerrCapture() { std::cerr.rdbuf(old_); }
+  std::string str() const { return buffer_.str(); }
+
+ private:
+  std::ostringstream buffer_;
+  std::streambuf* old_;
+};
+}  // namespace
+
+TEST(Log, LevelThresholdDropsBelow) {
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kWarn);
+  CerrCapture capture;
+  FUSEDML_LOG_DEBUG << "dropped-debug";
+  FUSEDML_LOG_INFO << "dropped-info";
+  FUSEDML_LOG_WARN << "kept-warn";
+  FUSEDML_LOG_ERROR << "kept-error";
+  set_log_level(saved);
+  const std::string out = capture.str();
+  EXPECT_EQ(out.find("dropped-debug"), std::string::npos);
+  EXPECT_EQ(out.find("dropped-info"), std::string::npos);
+  EXPECT_NE(out.find("kept-warn"), std::string::npos);
+  EXPECT_NE(out.find("kept-error"), std::string::npos);
+}
+
+TEST(Log, ConcurrentLinesStayUnscrambled) {
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kInfo);
+  CerrCapture capture;
+  constexpr int kThreads = 4, kLines = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kLines; ++i) {
+        FUSEDML_LOG_INFO << "thread" << t << "-line" << i << "-end";
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  set_log_level(saved);
+
+  // Every line must be a complete "[INFO ] threadT-lineI-end" — interleaved
+  // writes would tear the marker apart.
+  std::istringstream lines(capture.str());
+  std::string line;
+  int complete = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_NE(line.find("[INFO ] thread"), std::string::npos) << line;
+    EXPECT_EQ(line.rfind("-end"), line.size() - 4) << line;
+    ++complete;
+  }
+  EXPECT_EQ(complete, kThreads * kLines);
+}
+
+TEST(Log, ParseLevelRoundTripsAndRejects) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  for (const auto level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                           LogLevel::kError}) {
+    EXPECT_EQ(parse_log_level(to_string(level)), level);
+  }
+  EXPECT_THROW(parse_log_level("verbose"), std::invalid_argument);
+  EXPECT_THROW(parse_log_level("INFO"), std::invalid_argument);  // case matters
+  EXPECT_THROW(parse_log_level(""), std::invalid_argument);
+}
+
+TEST(Stats, PercentileEdgeCases) {
+  EXPECT_THROW(percentile({}, 50.0), Error);       // empty span is an error
+  EXPECT_THROW(percentile({}, -1.0), Error);
+  const std::vector<double> bad{1.0};
+  EXPECT_THROW(percentile(bad, 101.0), Error);     // p outside [0, 100]
+  const std::vector<double> one{3.5};
+  EXPECT_DOUBLE_EQ(percentile(one, 0.0), 3.5);
+  EXPECT_DOUBLE_EQ(percentile(one, 50.0), 3.5);
+  EXPECT_DOUBLE_EQ(percentile(one, 100.0), 3.5);
+  const std::vector<double> two{1.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(two, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(two, 50.0), 2.0);  // linear interpolation
+  EXPECT_DOUBLE_EQ(percentile(two, 100.0), 3.0);
+}
+
+TEST(Stats, SummarizeEdgeCases) {
+  const Summary empty = summarize({});
+  EXPECT_DOUBLE_EQ(empty.mean, 0.0);
+  EXPECT_DOUBLE_EQ(empty.stddev, 0.0);
+  const std::vector<double> one{7.0};
+  const Summary single = summarize(one);
+  EXPECT_DOUBLE_EQ(single.mean, 7.0);
+  EXPECT_DOUBLE_EQ(single.stddev, 0.0);  // n-1 denominator guards n < 2
+  EXPECT_DOUBLE_EQ(single.min, 7.0);
+  EXPECT_DOUBLE_EQ(single.median, 7.0);
+  EXPECT_DOUBLE_EQ(single.max, 7.0);
+}
+
+TEST(Json, WriterProducesValidNestedOutput) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.member("name", "bench \"quoted\"\n");
+  w.member("count", std::uint64_t{42});
+  w.member("ratio", 1.5);
+  w.member("ok", true);
+  w.key("items").begin_array();
+  w.value(1).value(2).value("three");
+  w.end_array();
+  w.key("nested").begin_object().member("inner", -7).end_object();
+  w.end_object();
+  EXPECT_EQ(os.str(),
+            "{\"name\":\"bench \\\"quoted\\\"\\n\",\"count\":42,"
+            "\"ratio\":1.5,\"ok\":true,\"items\":[1,2,\"three\"],"
+            "\"nested\":{\"inner\":-7}}");
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_array();
+  w.value(std::nan(""));
+  w.value(std::numeric_limits<double>::infinity());
+  w.end_array();
+  EXPECT_EQ(os.str(), "[null,null]");
 }
 
 }  // namespace
