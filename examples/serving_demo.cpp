@@ -1,0 +1,145 @@
+// The concurrent serving layer end to end: a pool of worker devices takes
+// mixed-priority pattern and script requests through admission control,
+// modeled deadlines, and per-backend circuit breakers — then a fault storm
+// hits the pool mid-run and the breakers open, shed the GPU tiers, and
+// recover once the storm clears. See docs/SERVING.md for the architecture.
+#include <iostream>
+#include <vector>
+
+#include "common/table.h"
+#include "la/generate.h"
+#include "serve/server.h"
+#include "vgpu/fault_injector.h"
+
+#include "example_common.h"
+
+using namespace fusedml;
+
+namespace {
+
+serve::ServeRequest pattern_request(serve::DatasetId dataset,
+                                    const la::CsrMatrix& X, std::uint64_t seed,
+                                    serve::Priority priority,
+                                    double deadline_ms = 0.0) {
+  serve::PatternEval eval;
+  eval.dataset = dataset;
+  eval.y = la::random_vector(X.cols(), seed);
+  eval.v = la::random_vector(X.rows(), seed + 1);
+  serve::ServeRequest req;
+  req.work = std::move(eval);
+  req.priority = priority;
+  req.deadline_ms = deadline_ms;
+  req.tag = seed;
+  return req;
+}
+
+serve::ServeRequest script_request(serve::DatasetId dataset,
+                                   const la::CsrMatrix& X,
+                                   std::uint64_t seed) {
+  serve::ScriptEval eval;
+  eval.dataset = dataset;
+  eval.kind = serve::ScriptKind::kLrCg;
+  eval.iterations = 3;
+  eval.labels = la::regression_labels(X, seed, 0.05);
+  serve::ServeRequest req;
+  req.work = std::move(eval);
+  req.priority = serve::Priority::kBatch;  // training rides the batch band
+  req.tag = seed;
+  return req;
+}
+
+}  // namespace
+
+static int run_example() {
+  serve::ServeOptions opts;
+  opts.workers = 4;
+  opts.queue_capacity = 32;
+  opts.breaker.failure_threshold = 3;
+  opts.breaker.cooldown_ms = 1.0;
+
+  serve::Server server(opts);
+  const auto X = la::uniform_sparse(8000, 200, 0.02, 7);
+  const auto dataset = server.add_dataset(X);
+  server.start();
+
+  std::cout << "pool: " << opts.workers << " workers, queue capacity "
+            << opts.queue_capacity << "\n\n";
+
+  // Phase 1 — clean mixed traffic: interactive pattern evaluations compete
+  // with batch training scripts; the queue pops the highest band first.
+  std::vector<serve::ServeHandle> handles;
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    handles.push_back(server.submit(pattern_request(
+        dataset, X, 100 + i,
+        i % 2 == 0 ? serve::Priority::kInteractive : serve::Priority::kNormal)));
+    if (i % 4 == 0) {
+      handles.push_back(server.submit(script_request(dataset, X, 200 + i)));
+    }
+  }
+  usize clean_completed = 0;
+  for (const auto& h : handles) {
+    if (h.wait().kind == serve::OutcomeKind::kCompleted) ++clean_completed;
+  }
+  std::cout << "phase 1 (clean): " << clean_completed << "/" << handles.size()
+            << " completed, modeled clock " << server.now_ms() << " ms\n";
+
+  // Phase 2 — a fault storm drops every GPU kernel launch. Requests with
+  // tight deadlines fail fast (the deadline clamps the retry budget);
+  // the rest degrade to the CPU tier. The breaker board opens the fused
+  // backend after three consecutive failures and skips it afterwards.
+  vgpu::FaultConfig storm;
+  storm.seed = 0xbad5eedULL;
+  storm.kernel_fault_rate = 1.0;
+  server.inject_faults(storm);
+
+  handles.clear();
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    const double deadline = i % 2 == 0 ? 0.01 : 0.0;  // half are doomed
+    handles.push_back(server.submit(pattern_request(
+        dataset, X, 300 + i, serve::Priority::kInteractive, deadline)));
+  }
+  for (const auto& h : handles) h.wait();
+  const auto stormy = server.stats();
+  std::cout << "phase 2 (storm): fused breaker "
+            << to_string(server.breakers().state(kernels::Backend::kFused))
+            << ", " << stormy.breaker_opens << " opens, "
+            << stormy.breaker_skips << " skips, "
+            << stormy.deadline_exceeded << " deadline-exceeded, "
+            << stormy.resilience.fallbacks_to_cpu << " CPU fallbacks\n";
+
+  // Phase 3 — the storm clears; after the cooldown a half-open probe
+  // succeeds and the breaker re-closes.
+  vgpu::FaultConfig calm;  // all-zero rates disarm the injectors
+  server.inject_faults(calm);
+  for (int i = 0; i < 2000; ++i) {
+    server.submit(pattern_request(dataset, X, 500 + (std::uint64_t)i,
+                                  serve::Priority::kNormal))
+        .wait();
+    if (server.breakers().state(kernels::Backend::kFused) ==
+        serve::BreakerState::kClosed) {
+      break;
+    }
+  }
+  std::cout << "phase 3 (recovered): fused breaker "
+            << to_string(server.breakers().state(kernels::Backend::kFused))
+            << "\n\n";
+
+  const auto final_stats = server.drain();
+  Table table({"outcome", "count"});
+  table.row().add("completed").add(final_stats.completed);
+  table.row().add("rejected (queue full)").add(final_stats.rejected_queue_full);
+  table.row().add("rejected (over capacity)")
+      .add(final_stats.rejected_over_capacity);
+  table.row().add("shed").add(final_stats.shed);
+  table.row().add("deadline exceeded").add(final_stats.deadline_exceeded);
+  table.row().add("cancelled").add(final_stats.cancelled);
+  table.row().add("failed").add(final_stats.failed);
+  std::cout << table << "\n";
+  std::cout << "no request lost: " << final_stats.resolved() << "/"
+            << final_stats.submitted << " resolved\n";
+  return final_stats.resolved() == final_stats.submitted ? 0 : 1;
+}
+
+int main(int argc, char** argv) {
+  return fusedml::examples::example_main(argc, argv, run_example);
+}

@@ -21,6 +21,7 @@ enum class ErrorCode {
   kTransfer,     ///< host<->device copy failed — transient, retryable
   kKernelFault,  ///< kernel launch/execution failed — transient, retryable
   kData,         ///< corrupted or malformed data (ECC, bad input file)
+  kDeadline,     ///< modeled deadline/retry budget exhausted — fail fast
 };
 
 inline const char* to_string(ErrorCode code) {
@@ -30,6 +31,7 @@ inline const char* to_string(ErrorCode code) {
     case ErrorCode::kTransfer: return "transfer";
     case ErrorCode::kKernelFault: return "kernel-fault";
     case ErrorCode::kData: return "data";
+    case ErrorCode::kDeadline: return "deadline";
   }
   return "?";
 }
@@ -91,6 +93,15 @@ class DataError : public Error {
  public:
   explicit DataError(const std::string& what, double penalty_ms = 0.0)
       : Error(what, ErrorCode::kData, penalty_ms) {}
+};
+
+/// A modeled deadline (or total retry budget) was exhausted. Never retried:
+/// spending more time is exactly what the caller asked to avoid. The serving
+/// layer maps this to a DeadlineExceeded outcome.
+class DeadlineError : public Error {
+ public:
+  explicit DeadlineError(const std::string& what, double penalty_ms = 0.0)
+      : Error(what, ErrorCode::kDeadline, penalty_ms) {}
 };
 
 namespace detail {

@@ -16,7 +16,9 @@ void RunReport::print(std::ostream& os) const {
     os << "  " << std::left << std::setw(18) << name << std::right
        << " faults " << std::setw(6) << s.faults_seen << "  retries "
        << std::setw(6) << s.retries << "  fallbacks " << std::setw(4)
-       << s.fallbacks << "  recoveries " << std::setw(6) << s.recoveries
+       << s.fallbacks << " (gpu " << s.fallbacks_to_baseline << ", cpu "
+       << s.fallbacks_to_cpu << ")  breaker-skips " << std::setw(4)
+       << s.breaker_skips << "  recoveries " << std::setw(6) << s.recoveries
        << "  backoff " << std::fixed << std::setprecision(3) << std::setw(9)
        << s.backoff_ms << " ms  wasted " << std::setw(9) << s.wasted_ms
        << " ms\n";

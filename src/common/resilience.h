@@ -26,6 +26,20 @@ struct RetryPolicy {
   /// Permit fused -> baseline-GPU -> CPU degradation when retries on the
   /// current backend are exhausted (or the device reports OOM).
   bool allow_backend_fallback = true;
+  /// Total modeled retry budget for one dispatch: once the overhead already
+  /// burned (wasted attempts + backoff) reaches this, the dispatch stops
+  /// retrying AND stops degrading and rethrows the last fault immediately.
+  /// 0 = unbounded (the pre-budget behavior). The serving layer sets this to
+  /// a request's remaining deadline so an op on a doomed request fails fast
+  /// instead of spending six backoffs per backend tier.
+  double max_total_overhead_ms = 0.0;
+
+  /// True once `spent_overhead_ms` of wasted-attempt + backoff time exceeds
+  /// the budget (always false when unbounded).
+  bool budget_exhausted(double spent_overhead_ms) const {
+    return max_total_overhead_ms > 0.0 &&
+           spent_overhead_ms >= max_total_overhead_ms;
+  }
 
   /// Modeled wait before re-attempt number `attempt` (1-based: the wait
   /// after the attempt-th failure).
@@ -42,13 +56,24 @@ struct ResilienceStats {
   std::uint64_t faults_seen = 0;  ///< injected faults this layer absorbed
   std::uint64_t retries = 0;      ///< re-attempts after a transient fault
   std::uint64_t fallbacks = 0;    ///< backend/streaming degradations taken
+  /// Degradations split by the tier landed on, so breaker decisions and
+  /// RunReport can tell WHICH tier is flapping: fused -> baseline-GPU
+  /// degradations land on a baseline backend; a second exhaustion (or a
+  /// baseline start) lands on the CPU. fallbacks_to_baseline +
+  /// fallbacks_to_cpu == fallbacks for registry dispatches (streaming-path
+  /// fallbacks count only in the total).
+  std::uint64_t fallbacks_to_baseline = 0;
+  std::uint64_t fallbacks_to_cpu = 0;
+  /// Backends skipped without an attempt because a circuit breaker held
+  /// them open (serving-pool dispatch only).
+  std::uint64_t breaker_skips = 0;
   std::uint64_t recoveries = 0;   ///< ops that succeeded after >=1 fault
   double backoff_ms = 0.0;        ///< modeled backoff wait charged
   double wasted_ms = 0.0;         ///< modeled time burned by failed attempts
 
   bool any() const {
     return faults_seen != 0 || retries != 0 || fallbacks != 0 ||
-           recoveries != 0;
+           recoveries != 0 || breaker_skips != 0;
   }
   /// Total modeled overhead this layer added versus a fault-free run.
   double overhead_ms() const { return backoff_ms + wasted_ms; }
@@ -57,6 +82,9 @@ struct ResilienceStats {
     faults_seen += o.faults_seen;
     retries += o.retries;
     fallbacks += o.fallbacks;
+    fallbacks_to_baseline += o.fallbacks_to_baseline;
+    fallbacks_to_cpu += o.fallbacks_to_cpu;
+    breaker_skips += o.breaker_skips;
     recoveries += o.recoveries;
     backoff_ms += o.backoff_ms;
     wasted_ms += o.wasted_ms;

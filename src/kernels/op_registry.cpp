@@ -357,10 +357,11 @@ KernelOutcome OpRegistry::execute_resilient(
     std::span<real> inout, ResilienceStats* session) {
   obs::TraceSpan span("dispatch", "dispatch", obs::Track::kDispatch);
 
-  // Fast path: nothing armed, nothing to absorb — run the attempt directly
-  // so fault-free modeled times are untouched by the resilience machinery.
+  // Fast path: nothing armed, nothing to absorb, no breaker board to
+  // consult — run the attempt directly so fault-free modeled times are
+  // untouched by the resilience machinery.
   const vgpu::FaultInjector* injector = dev_.fault_injector();
-  if (injector == nullptr || !injector->armed()) {
+  if ((injector == nullptr || !injector->armed()) && health_ == nullptr) {
     KernelOutcome r = attempt(preferred);
     r.backend_used = preferred;
     if (span.active()) {
@@ -382,11 +383,48 @@ KernelOutcome OpRegistry::execute_resilient(
   double extra_ms = 0.0;  // wasted attempt time + modeled backoff
   Backend b = preferred;
   std::exception_ptr last_fault;
+
+  // Books this dispatch's spent overhead and fails fast: the total retry
+  // budget (or the request deadline it was derived from) is gone, so
+  // neither another backoff nor another tier is worth paying for.
+  const auto fail_fast_budget = [&](const Error& cause) {
+    if (session != nullptr) *session += rs;
+    if (obs::metrics().enabled()) {
+      obs::metrics().counter("dispatch.budget_exhausted").add();
+    }
+    throw DeadlineError(
+        "retry budget exhausted after " + std::to_string(rs.faults_seen) +
+            " fault(s) on " + to_string(b) + " (last: " + cause.what() + ")",
+        0.0);
+  };
+
+  // Skips past backends a breaker currently holds open. Counted as
+  // fallbacks so degraded placement is visible in the usual stats.
+  const auto skip_open_backends = [&]() {
+    while (health_ != nullptr && !health_->allow(b)) {
+      const auto next = fallback_backend(b);
+      FUSEDML_CHECK(next.has_value(), "terminal backend held open");
+      ++rs.breaker_skips;
+      ++rs.fallbacks;
+      if (*next == Backend::kCpu) {
+        ++rs.fallbacks_to_cpu;
+      } else {
+        ++rs.fallbacks_to_baseline;
+      }
+      if (obs::metrics().enabled()) {
+        obs::metrics().counter("dispatch.breaker_skips").add();
+      }
+      b = *next;
+    }
+  };
+
+  skip_open_backends();
   for (;;) {
     bool degrade = false;
     for (int a = 1; a <= policy.max_attempts && !degrade; ++a) {
       try {
         KernelOutcome r = attempt(b);
+        if (health_ != nullptr) health_->on_success(b);
         if (rs.faults_seen > 0) ++rs.recoveries;
         r.resilience = rs;
         r.modeled_ms += extra_ms;
@@ -411,7 +449,10 @@ KernelOutcome OpRegistry::execute_resilient(
         }
         return r;
       } catch (const Error& e) {
-        if (e.code() == ErrorCode::kGeneric) throw;  // not a fault
+        if (e.code() == ErrorCode::kGeneric ||
+            e.code() == ErrorCode::kDeadline) {
+          throw;  // not a fault — retrying cannot help
+        }
         last_fault = std::current_exception();
         ++rs.faults_seen;
         rs.wasted_ms += e.penalty_ms();
@@ -419,10 +460,21 @@ KernelOutcome OpRegistry::execute_resilient(
         if (!inout.empty()) {
           std::copy(snapshot.begin(), snapshot.end(), inout.begin());
         }
+        if (policy.budget_exhausted(rs.overhead_ms())) {
+          if (health_ != nullptr) health_->on_failure(b);
+          fail_fast_budget(e);
+        }
         if (e.code() == ErrorCode::kDeviceOom) {
           degrade = true;  // retrying the same allocation cannot help
         } else if (a < policy.max_attempts) {
           const double wait = policy.backoff_ms(a);
+          // Don't charge a backoff the budget cannot cover — the request
+          // is doomed either way; stop burning modeled time now.
+          if (policy.max_total_overhead_ms > 0.0 &&
+              rs.overhead_ms() + wait > policy.max_total_overhead_ms) {
+            if (health_ != nullptr) health_->on_failure(b);
+            fail_fast_budget(e);
+          }
           rs.backoff_ms += wait;
           extra_ms += wait;
           ++rs.retries;
@@ -439,6 +491,9 @@ KernelOutcome OpRegistry::execute_resilient(
         }
       }
     }
+    // Retries on backend b are exhausted (or it OOMed): tell the breaker
+    // board before moving down a tier.
+    if (health_ != nullptr) health_->on_failure(b);
     const auto next =
         policy.allow_backend_fallback ? fallback_backend(b) : std::nullopt;
     if (!next.has_value()) {
@@ -458,6 +513,18 @@ KernelOutcome OpRegistry::execute_resilient(
     }
     b = *next;
     ++rs.fallbacks;
+    if (b == Backend::kCpu) {
+      ++rs.fallbacks_to_cpu;
+    } else {
+      ++rs.fallbacks_to_baseline;
+    }
+    if (obs::metrics().enabled()) {
+      obs::metrics()
+          .counter(b == Backend::kCpu ? "dispatch.fallbacks_to_cpu"
+                                      : "dispatch.fallbacks_to_baseline")
+          .add();
+    }
+    skip_open_backends();
   }
 }
 

@@ -49,6 +49,25 @@ std::string to_string(Backend backend);
 /// The CPU is terminal (it cannot fault) — returns nullopt there.
 std::optional<Backend> fallback_backend(Backend backend);
 
+/// Pool-level backend health gate consulted by execute_resilient. A serving
+/// pool installs one shared implementation (a circuit-breaker board) on
+/// every worker's registry so a flapping backend is skipped POOL-WIDE for a
+/// cooldown window instead of each request rediscovering the fault:
+///   - allow(b) == false  => skip backend b without attempting it (counted
+///     as a breaker_skip + fallback in ResilienceStats) and degrade;
+///   - on_success(b)      => an attempt on b returned cleanly;
+///   - on_failure(b)      => b was abandoned (retries exhausted, OOM, or
+///     terminal failure).
+/// Implementations must be thread-safe: many worker registries call in
+/// concurrently. The CPU tier is terminal and must always be allowed.
+class BackendHealth {
+ public:
+  virtual ~BackendHealth() = default;
+  virtual bool allow(Backend backend) = 0;
+  virtual void on_success(Backend backend) = 0;
+  virtual void on_failure(Backend backend) = 0;
+};
+
 /// The logical operations the registry dispatches. Mirrors the vocabulary
 /// of both PatternExecutor's methods and sysml's expression-DAG OpKinds.
 enum class RegistryOp {
@@ -148,6 +167,12 @@ class OpRegistry {
       const std::function<KernelOutcome(Backend)>& attempt,
       std::span<real> inout = {}, ResilienceStats* session = nullptr);
 
+  /// Installs a pool-level backend health gate (circuit breakers) consulted
+  /// by execute_resilient; nullptr (the default) disables gating. Not owned;
+  /// must outlive the registry while set.
+  void set_health(BackendHealth* health) { health_ = health; }
+  BackendHealth* health() const { return health_; }
+
   /// Fused-kernel options applied on the kFused backend.
   FusedSparseOptions& sparse_options() { return sparse_opts_; }
   FusedDenseOptions& dense_options() { return dense_opts_; }
@@ -164,6 +189,7 @@ class OpRegistry {
   FusedSparseOptions sparse_opts_;
   FusedDenseOptions dense_opts_;
   KernelCache codegen_cache_;
+  BackendHealth* health_ = nullptr;
 };
 
 }  // namespace fusedml::kernels

@@ -16,6 +16,7 @@ const char* to_string(Track track) {
     case Track::kDevice: return "device";
     case Track::kPcie: return "pcie/jni";
     case Track::kMemory: return "memory";
+    case Track::kServe: return "serve";
   }
   return "?";
 }

@@ -42,6 +42,7 @@ enum class Track : int {
   kDevice = 2,    ///< kernel launches on the virtual device
   kPcie = 3,      ///< host<->device transfers + JNI conversions
   kMemory = 4,    ///< memory-manager events (evictions, allocations)
+  kServe = 5,     ///< serving layer (request lifecycle, breaker trips)
 };
 
 const char* to_string(Track track);

@@ -119,6 +119,19 @@ class PatternExecutor {
   const ResilienceStats& resilience() const { return resilience_; }
   void reset_resilience() { resilience_ = ResilienceStats{}; }
 
+  // --- Modeled session deadline (serving-layer support) -------------------
+  /// Cumulative modeled milliseconds of every op since the last
+  /// reset_session_clock() — the executor's position on the modeled
+  /// timeline.
+  double session_modeled_ms() const { return session_modeled_ms_; }
+  void reset_session_clock() { session_modeled_ms_ = 0.0; }
+  /// Deadline on the session clock (0 = none): an op dispatched after the
+  /// clock passes it throws DeadlineError instead of running, and each
+  /// dispatch's retry budget is clamped to the remaining headroom. The
+  /// serving layer points this at a request's modeled deadline.
+  void set_modeled_deadline(double deadline_ms) { deadline_ms_ = deadline_ms; }
+  double modeled_deadline() const { return deadline_ms_; }
+
   /// Pattern-kind usage histogram (feeds the Table 1 bench).
   const std::map<PatternKind, std::uint64_t>& usage() const { return usage_; }
   void reset_usage() { usage_.clear(); }
@@ -140,6 +153,8 @@ class PatternExecutor {
   std::map<PatternKind, std::uint64_t> usage_;
   RetryPolicy retry_;
   ResilienceStats resilience_;
+  double session_modeled_ms_ = 0.0;
+  double deadline_ms_ = 0.0;
 
   void record(PatternKind kind) { ++usage_[kind]; }
 

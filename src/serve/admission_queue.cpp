@@ -1,0 +1,74 @@
+#include "serve/admission_queue.h"
+
+#include <utility>
+
+namespace fusedml::serve {
+
+AdmissionQueue::Admit AdmissionQueue::push(PendingPtr p,
+                                           PendingPtr* shed_victim) {
+  const int band = static_cast<int>(p->request.priority);
+  {
+    std::lock_guard lock(mutex_);
+    if (closed_) return Admit::kClosed;
+    if (depth_ < capacity_) {
+      bands_[static_cast<usize>(band)].push_back(std::move(p));
+      ++depth_;
+      if (depth_ > high_water_) high_water_ = depth_;
+      cv_.notify_one();
+      return Admit::kAdmitted;
+    }
+    // Full: shed the newest entry of the lowest occupied band, but only if
+    // the newcomer strictly outranks it — equal priority waits its turn and
+    // is rejected instead.
+    for (int b = 0; b < kNumPriorities; ++b) {
+      auto& victims = bands_[static_cast<usize>(b)];
+      if (victims.empty()) continue;
+      if (b >= band) return Admit::kRejectedFull;
+      *shed_victim = std::move(victims.back());
+      victims.pop_back();
+      bands_[static_cast<usize>(band)].push_back(std::move(p));
+      cv_.notify_one();
+      return Admit::kAdmittedAfterShed;
+    }
+    return Admit::kRejectedFull;  // capacity == 0
+  }
+}
+
+PendingPtr AdmissionQueue::pop_blocking() {
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [&] { return depth_ > 0 || closed_; });
+  for (int b = kNumPriorities - 1; b >= 0; --b) {
+    auto& band = bands_[static_cast<usize>(b)];
+    if (band.empty()) continue;
+    PendingPtr p = std::move(band.front());
+    band.pop_front();
+    --depth_;
+    return p;
+  }
+  return nullptr;  // closed and empty
+}
+
+void AdmissionQueue::close() {
+  {
+    std::lock_guard lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool AdmissionQueue::closed() const {
+  std::lock_guard lock(mutex_);
+  return closed_;
+}
+
+usize AdmissionQueue::depth() const {
+  std::lock_guard lock(mutex_);
+  return depth_;
+}
+
+usize AdmissionQueue::high_water() const {
+  std::lock_guard lock(mutex_);
+  return high_water_;
+}
+
+}  // namespace fusedml::serve

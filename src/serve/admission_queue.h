@@ -1,0 +1,66 @@
+// Bounded multi-priority admission queue — the server's backpressure valve.
+//
+// Capacity bounds the TOTAL queued depth across all priority bands; the
+// chaos harness asserts high_water() never exceeds it. When the queue is
+// full, an incoming request either sheds the NEWEST entry of the LOWEST
+// occupied band (if the newcomer outranks it — interactive work displaces
+// batch work, never the reverse) or is rejected outright. Workers pop the
+// highest non-empty band, FIFO within a band, so a burst of batch work
+// cannot starve interactive traffic.
+//
+// close() starts the drain: further pushes report kClosed (the server
+// resolves them Rejected) while already-queued entries keep draining;
+// pop_blocking() returns null only once the queue is closed AND empty, so a
+// worker that sees null can exit knowing nothing was left behind.
+#pragma once
+
+#include <array>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "common/types.h"
+#include "serve/serve_types.h"
+
+namespace fusedml::serve {
+
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(usize capacity) : capacity_(capacity) {}
+
+  enum class Admit {
+    kAdmitted,           ///< queued
+    kAdmittedAfterShed,  ///< queued; *shed_victim was evicted to make room
+    kRejectedFull,       ///< full of equal-or-higher priority work
+    kClosed,             ///< close() was called; nothing is admitted
+  };
+
+  /// Tries to enqueue `p`. On kAdmittedAfterShed the evicted entry is
+  /// returned through `shed_victim` and the CALLER must resolve it
+  /// (Rejected/kShedding) — the queue never resolves requests itself.
+  Admit push(PendingPtr p, PendingPtr* shed_victim);
+
+  /// Blocks for the next entry, highest priority band first. Returns null
+  /// once closed and fully drained.
+  PendingPtr pop_blocking();
+
+  /// Stops admission; queued entries continue to drain. Idempotent.
+  void close();
+
+  bool closed() const;
+  usize depth() const;
+  /// Highest depth ever observed — bounded-queue invariant for the harness.
+  usize high_water() const;
+  usize capacity() const { return capacity_; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::array<std::deque<PendingPtr>, kNumPriorities> bands_;
+  usize capacity_;
+  usize depth_ = 0;
+  usize high_water_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace fusedml::serve

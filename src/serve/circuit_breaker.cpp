@@ -1,0 +1,151 @@
+#include "serve/circuit_breaker.h"
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace fusedml::serve {
+
+const char* to_string(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half_open";
+  }
+  return "?";
+}
+
+int BreakerBoard::cell_index(kernels::Backend backend) {
+  switch (backend) {
+    case kernels::Backend::kFused: return 0;
+    case kernels::Backend::kCusparse: return 1;
+    case kernels::Backend::kBidmatGpu: return 2;
+    case kernels::Backend::kCpu: return -1;
+  }
+  return -1;
+}
+
+namespace {
+void record_transition(kernels::Backend backend, const char* transition) {
+  if (obs::recorder().enabled()) {
+    obs::TraceEvent ev;
+    ev.name = "breaker_" + std::string(transition) + ":" +
+              kernels::to_string(backend);
+    ev.cat = "breaker";
+    ev.track = obs::Track::kServe;
+    ev.ts_ms = obs::recorder().now_ms();
+    obs::recorder().record(std::move(ev));
+  }
+  if (obs::metrics().enabled()) {
+    obs::metrics()
+        .counter("serve.breaker_" + std::string(transition))
+        .add();
+  }
+}
+}  // namespace
+
+bool BreakerBoard::allow(kernels::Backend backend) {
+  const int i = cell_index(backend);
+  if (i < 0 || !cfg_.enabled) return true;
+  std::lock_guard lock(mutex_);
+  Cell& c = cells_[i];
+  switch (c.state) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      if (now_() - c.opened_at_ms >= cfg_.cooldown_ms) {
+        c.state = BreakerState::kHalfOpen;
+        c.probe_inflight = true;  // this caller is the probe
+        record_transition(backend, "half_open");
+        return true;
+      }
+      ++c.stats.skips;
+      return false;
+    case BreakerState::kHalfOpen:
+      if (c.probe_inflight) {
+        // Liveness guard: if the outstanding probe never reported back
+        // (its dispatch died on a non-fault error), admit a fresh probe
+        // after a second cooldown instead of skipping this tier forever.
+        if (now_() - c.opened_at_ms >= 2.0 * cfg_.cooldown_ms) return true;
+        ++c.stats.skips;
+        return false;
+      }
+      c.probe_inflight = true;
+      return true;
+  }
+  return true;
+}
+
+void BreakerBoard::on_success(kernels::Backend backend) {
+  const int i = cell_index(backend);
+  if (i < 0) return;
+  std::lock_guard lock(mutex_);
+  Cell& c = cells_[i];
+  c.consecutive_failures = 0;
+  if (c.state == BreakerState::kHalfOpen) {
+    c.state = BreakerState::kClosed;
+    c.probe_inflight = false;
+    ++c.stats.closes;
+    record_transition(backend, "close");
+  }
+}
+
+void BreakerBoard::on_failure(kernels::Backend backend) {
+  const int i = cell_index(backend);
+  if (i < 0) return;
+  std::lock_guard lock(mutex_);
+  Cell& c = cells_[i];
+  ++c.stats.failures;
+  switch (c.state) {
+    case BreakerState::kHalfOpen:
+      c.state = BreakerState::kOpen;
+      c.opened_at_ms = now_();
+      c.probe_inflight = false;
+      ++c.stats.reopens;
+      record_transition(backend, "reopen");
+      break;
+    case BreakerState::kClosed:
+      if (++c.consecutive_failures >= cfg_.failure_threshold) {
+        c.state = BreakerState::kOpen;
+        c.opened_at_ms = now_();
+        c.consecutive_failures = 0;
+        ++c.stats.opens;
+        record_transition(backend, "open");
+      }
+      break;
+    case BreakerState::kOpen:
+      // Late failure from a request admitted before the trip; re-arm the
+      // cooldown so a stream of stragglers cannot half-open early.
+      c.opened_at_ms = now_();
+      break;
+  }
+}
+
+BreakerState BreakerBoard::state(kernels::Backend backend) const {
+  const int i = cell_index(backend);
+  if (i < 0) return BreakerState::kClosed;
+  std::lock_guard lock(mutex_);
+  return cells_[i].state;
+}
+
+BreakerBoard::Stats BreakerBoard::stats(kernels::Backend backend) const {
+  const int i = cell_index(backend);
+  if (i < 0) return {};
+  std::lock_guard lock(mutex_);
+  return cells_[i].stats;
+}
+
+std::uint64_t BreakerBoard::total_opens() const {
+  std::lock_guard lock(mutex_);
+  std::uint64_t n = 0;
+  for (const Cell& c : cells_) n += c.stats.opens + c.stats.reopens;
+  return n;
+}
+
+std::uint64_t BreakerBoard::total_skips() const {
+  std::lock_guard lock(mutex_);
+  std::uint64_t n = 0;
+  for (const Cell& c : cells_) n += c.stats.skips;
+  return n;
+}
+
+}  // namespace fusedml::serve

@@ -1,0 +1,89 @@
+// Per-backend circuit breakers shared by every worker in the pool.
+//
+// One BreakerBoard implements kernels::BackendHealth and is installed on
+// every worker session's OpRegistry, so the whole pool shares one view of
+// backend health: when worker 3's fused-kernel attempts fail
+// `failure_threshold` times in a row, workers 0-2 stop attempting the fused
+// tier too, instead of each burning a full retry schedule rediscovering the
+// same fault.
+//
+// Classic three-state machine per GPU backend tier (the CPU is terminal and
+// always allowed):
+//
+//   kClosed --(threshold consecutive on_failure)--> kOpen
+//   kOpen   --(cooldown_ms elapses on the modeled clock)--> kHalfOpen
+//   kHalfOpen: exactly one probe request is allowed through;
+//              probe succeeds -> kClosed, probe fails -> kOpen (re-armed)
+//
+// The cooldown runs on the SERVER'S MODELED CLOCK (injected as a
+// std::function so the board stays testable), keeping breaker dynamics in
+// the same currency as deadlines and backoff. All methods are thread-safe.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+#include "kernels/op_registry.h"
+
+namespace fusedml::serve {
+
+struct BreakerConfig {
+  /// Consecutive abandonments of a backend (retries exhausted / OOM) that
+  /// trip its breaker open.
+  int failure_threshold = 3;
+  /// Modeled ms an open breaker holds before admitting a half-open probe.
+  double cooldown_ms = 25.0;
+  /// false = allow() always passes (board still counts failures).
+  bool enabled = true;
+};
+
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+const char* to_string(BreakerState state);
+
+class BreakerBoard final : public kernels::BackendHealth {
+ public:
+  BreakerBoard(BreakerConfig cfg, std::function<double()> now_ms)
+      : cfg_(cfg), now_(std::move(now_ms)) {}
+
+  // kernels::BackendHealth — called from every worker's resilient dispatch.
+  bool allow(kernels::Backend backend) override;
+  void on_success(kernels::Backend backend) override;
+  void on_failure(kernels::Backend backend) override;
+
+  BreakerState state(kernels::Backend backend) const;
+
+  struct Stats {
+    std::uint64_t opens = 0;     ///< closed -> open transitions
+    std::uint64_t reopens = 0;   ///< failed half-open probes
+    std::uint64_t closes = 0;    ///< successful probes (recovery)
+    std::uint64_t skips = 0;     ///< requests routed past this backend
+    std::uint64_t failures = 0;  ///< total on_failure notifications
+  };
+  Stats stats(kernels::Backend backend) const;
+  std::uint64_t total_opens() const;
+  std::uint64_t total_skips() const;
+
+  const BreakerConfig& config() const { return cfg_; }
+
+ private:
+  struct Cell {
+    BreakerState state = BreakerState::kClosed;
+    int consecutive_failures = 0;
+    double opened_at_ms = 0.0;
+    bool probe_inflight = false;
+    Stats stats;
+  };
+
+  // One cell per gated backend tier: kFused, kCusparse, kBidmatGpu. The CPU
+  // has no cell — it must always be allowed.
+  static constexpr int kNumCells = 3;
+  static int cell_index(kernels::Backend backend);
+
+  mutable std::mutex mutex_;
+  BreakerConfig cfg_;
+  std::function<double()> now_;
+  Cell cells_[kNumCells];
+};
+
+}  // namespace fusedml::serve

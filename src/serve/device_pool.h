@@ -1,0 +1,96 @@
+// Worker sessions and the bounded device pool behind the serving layer.
+//
+// Nothing below the serve layer is thread-safe by design — vgpu::Device
+// keeps plain session counters, FaultInjector is a seeded RNG stream, and
+// PatternExecutor/sysml::Runtime mutate their owner's state freely. The
+// pool therefore gives each worker thread a WorkerSession that OWNS a
+// private Device, fault injector, and PatternExecutor; nothing below the
+// serve layer is ever shared across threads. What IS shared — the breaker
+// board, the admission queue, the metrics registry — is explicitly
+// thread-safe.
+//
+// The pool models a bounded aggregate device memory: options name the total
+// modeled bytes across all virtual devices, and each session is budgeted an
+// equal slice. Admission control rejects (kOverCapacity) any request whose
+// modeled working set cannot fit a single session's slice.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/resilience.h"
+#include "common/types.h"
+#include "kernels/op_registry.h"
+#include "patterns/executor.h"
+#include "serve/circuit_breaker.h"
+#include "vgpu/device.h"
+#include "vgpu/fault_injector.h"
+
+namespace fusedml::serve {
+
+/// Pool- and policy-level configuration for a Server.
+struct ServeOptions {
+  int workers = 4;
+  usize queue_capacity = 32;
+  /// Aggregate modeled device memory across the pool; each worker session
+  /// is budgeted pool_memory_bytes / workers.
+  usize pool_memory_bytes = usize{4} << 30;
+  kernels::Backend preferred_backend = kernels::Backend::kFused;
+  /// Per-dispatch fault handling (attempts, backoff, retry budget) applied
+  /// to every request; a request deadline further clamps the budget.
+  RetryPolicy retry;
+  BreakerConfig breaker;
+  int cpu_threads = 8;
+  /// Fault schedule armed on every worker at start (worker w reseeds with
+  /// seed + w so streams differ); all-zero rates = clean devices.
+  vgpu::FaultConfig faults;
+  /// Applied to requests submitted with deadline_ms == 0 (0 = no deadline).
+  double default_deadline_ms = 0.0;
+};
+
+/// One worker thread's private execution stack. Only its owning thread may
+/// touch it after start() (construction happens before threads exist).
+class WorkerSession {
+ public:
+  WorkerSession(int id, const ServeOptions& opts, usize memory_bytes);
+
+  int id() const { return id_; }
+  usize memory_bytes() const { return memory_bytes_; }
+  vgpu::Device& device() { return device_; }
+  patterns::PatternExecutor& executor() { return executor_; }
+
+  /// Swaps this session's fault schedule (worker thread only, between
+  /// requests). The seed is offset by the worker id so the pool's injector
+  /// streams stay distinct but the storm as a whole replays from one seed.
+  void apply_faults(vgpu::FaultConfig cfg);
+
+  const vgpu::FaultLog* fault_log() const {
+    return injector_ ? &injector_->log() : nullptr;
+  }
+
+ private:
+  int id_;
+  usize memory_bytes_;
+  vgpu::Device device_;
+  std::unique_ptr<vgpu::FaultInjector> injector_;
+  patterns::PatternExecutor executor_;
+};
+
+/// Fixed-size collection of worker sessions with an aggregate memory bound.
+class DevicePool {
+ public:
+  explicit DevicePool(const ServeOptions& opts);
+
+  int workers() const { return static_cast<int>(sessions_.size()); }
+  usize session_memory_bytes() const { return session_memory_bytes_; }
+  WorkerSession& session(int worker) { return *sessions_[(usize)worker]; }
+  const WorkerSession& session(int worker) const {
+    return *sessions_[(usize)worker];
+  }
+
+ private:
+  usize session_memory_bytes_;
+  std::vector<std::unique_ptr<WorkerSession>> sessions_;
+};
+
+}  // namespace fusedml::serve

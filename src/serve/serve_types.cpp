@@ -1,0 +1,68 @@
+#include "serve/serve_types.h"
+
+namespace fusedml::serve {
+
+const char* to_string(Priority priority) {
+  switch (priority) {
+    case Priority::kBatch: return "batch";
+    case Priority::kNormal: return "normal";
+    case Priority::kInteractive: return "interactive";
+  }
+  return "?";
+}
+
+const char* to_string(OutcomeKind kind) {
+  switch (kind) {
+    case OutcomeKind::kCompleted: return "completed";
+    case OutcomeKind::kRejected: return "rejected";
+    case OutcomeKind::kDeadlineExceeded: return "deadline_exceeded";
+    case OutcomeKind::kCancelled: return "cancelled";
+    case OutcomeKind::kFailed: return "failed";
+  }
+  return "?";
+}
+
+const char* to_string(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kQueueFull: return "queue_full";
+    case RejectReason::kOverCapacity: return "over_capacity";
+    case RejectReason::kShedding: return "shedding";
+  }
+  return "?";
+}
+
+bool RequestState::resolve(ServeOutcome outcome) {
+  std::function<void(const ServeOutcome&)> cb;
+  {
+    std::lock_guard lock(mutex_);
+    if (resolved_) return false;
+    outcome.tag = tag_;
+    outcome_ = std::move(outcome);
+    resolved_ = true;
+    wins_.fetch_add(1, std::memory_order_relaxed);
+    cb = on_resolve_;
+  }
+  cv_.notify_all();
+  if (cb) cb(outcome_);
+  return true;
+}
+
+const ServeOutcome& RequestState::wait() {
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [&] { return resolved_; });
+  return outcome_;
+}
+
+bool RequestState::resolved() const {
+  std::lock_guard lock(mutex_);
+  return resolved_;
+}
+
+void ServeHandle::cancel() const {
+  state_->request_cancel();
+  ServeOutcome o;
+  o.kind = OutcomeKind::kCancelled;
+  state_->resolve(std::move(o));
+}
+
+}  // namespace fusedml::serve

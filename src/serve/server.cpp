@@ -1,0 +1,388 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sysml/lr_cg_script.h"
+#include "sysml/runtime.h"
+
+namespace fusedml::serve {
+
+void ServeStats::print(std::ostream& os) const {
+  os << "serve: " << submitted << " submitted, " << resolved()
+     << " resolved\n"
+     << "  completed " << completed << "  deadline-exceeded "
+     << deadline_exceeded << "  failed " << failed << "  cancelled "
+     << cancelled << "\n"
+     << "  rejected: queue-full " << rejected_queue_full << "  over-capacity "
+     << rejected_over_capacity << "  shed " << shed << "\n"
+     << "  queue high-water " << queue_high_water << "  modeled busy "
+     << modeled_busy_ms << " ms  (server clock " << modeled_now_ms << " ms)\n"
+     << "  breakers: opens " << breaker_opens << "  skips " << breaker_skips
+     << "\n";
+  if (resilience.any()) {
+    os << "  faults absorbed " << resilience.faults_seen << "  retries "
+       << resilience.retries << "  fallbacks " << resilience.fallbacks
+       << " (gpu " << resilience.fallbacks_to_baseline << ", cpu "
+       << resilience.fallbacks_to_cpu << ")  overhead "
+       << resilience.overhead_ms() << " ms\n";
+  }
+}
+
+Server::Server(ServeOptions opts)
+    : opts_(opts),
+      breakers_(opts.breaker, [this] { return now_ms(); }),
+      pool_(opts_),
+      queue_(opts_.queue_capacity) {
+  for (int w = 0; w < pool_.workers(); ++w) {
+    pool_.session(w).executor().registry().set_health(&breakers_);
+  }
+  std::lock_guard lock(faults_mutex_);
+  pending_faults_ = opts_.faults;
+}
+
+Server::~Server() { drain(); }
+
+DatasetId Server::add_dataset(la::CsrMatrix X) {
+  FUSEDML_CHECK(!running(), "add_dataset must precede start()");
+  datasets_.push_back(std::move(X));
+  return static_cast<DatasetId>(datasets_.size() - 1);
+}
+
+const la::CsrMatrix& Server::dataset(DatasetId id) const {
+  FUSEDML_CHECK(static_cast<usize>(id) < datasets_.size(), "unknown dataset");
+  return datasets_[id];
+}
+
+void Server::start() {
+  FUSEDML_CHECK(threads_.empty() && !drained_.load(),
+                "server already started or drained");
+  running_.store(true, std::memory_order_release);
+  threads_.reserve(static_cast<usize>(pool_.workers()));
+  for (int w = 0; w < pool_.workers(); ++w) {
+    threads_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+double Server::now_ms() const {
+  return executed_ms_.load(std::memory_order_relaxed) / pool_.workers();
+}
+
+void Server::advance_clock(double executed_ms) {
+  double cur = executed_ms_.load(std::memory_order_relaxed);
+  while (!executed_ms_.compare_exchange_weak(cur, cur + executed_ms,
+                                             std::memory_order_relaxed)) {
+  }
+}
+
+usize Server::estimate_bytes(const ServeRequest& req) const {
+  const auto vec = [](usize n) { return n * sizeof(real); };
+  if (const auto* p = std::get_if<PatternEval>(&req.work)) {
+    const la::CsrMatrix& X = dataset(p->dataset);
+    // Inputs plus the intermediate X*y and the output.
+    return X.bytes() + vec(p->y.size()) + vec(p->v.size()) +
+           vec(p->z.size()) + vec(static_cast<usize>(X.rows())) +
+           vec(static_cast<usize>(X.cols()));
+  }
+  const auto& s = std::get<ScriptEval>(req.work);
+  const la::CsrMatrix& X = dataset(s.dataset);
+  // Labels plus the solver's working vectors (w, p, q, r and intermediates).
+  return X.bytes() + vec(s.labels.size()) +
+         usize{6} * vec(static_cast<usize>(X.cols()));
+}
+
+void Server::reject(const PendingRequest& pending, RejectReason reason,
+                    const char* detail) {
+  ServeOutcome o;
+  o.kind = OutcomeKind::kRejected;
+  o.reject_reason = reason;
+  o.error = detail;
+  pending.state->resolve(std::move(o));
+}
+
+void Server::deliver(const PendingRequest& pending, ServeOutcome outcome) {
+  pending.state->resolve(std::move(outcome));
+}
+
+ServeHandle Server::submit(ServeRequest req) {
+  if (req.deadline_ms <= 0.0) req.deadline_ms = opts_.default_deadline_ms;
+  auto state = std::make_shared<RequestState>();
+  state->set_tag(req.tag);
+  state->set_on_resolve(
+      [this](const ServeOutcome& o) { count_outcome(o); });
+  auto pending = std::make_shared<PendingRequest>();
+  pending->request = std::move(req);
+  pending->state = state;
+  pending->submit_ms = now_ms();
+  pending->seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::metrics().enabled()) {
+    obs::metrics().counter("serve.submitted").add();
+  }
+  ServeHandle handle(state);
+
+  if (estimate_bytes(pending->request) > pool_.session_memory_bytes()) {
+    reject(*pending, RejectReason::kOverCapacity,
+           "modeled working set exceeds a worker session's device memory");
+    return handle;
+  }
+  PendingPtr victim;
+  switch (queue_.push(pending, &victim)) {
+    case AdmissionQueue::Admit::kAdmitted:
+      break;
+    case AdmissionQueue::Admit::kAdmittedAfterShed:
+      reject(*victim, RejectReason::kShedding,
+             "shed from the queue for higher-priority work");
+      break;
+    case AdmissionQueue::Admit::kRejectedFull:
+      reject(*pending, RejectReason::kQueueFull, "admission queue full");
+      break;
+    case AdmissionQueue::Admit::kClosed:
+      reject(*pending, RejectReason::kQueueFull, "server draining");
+      break;
+  }
+  return handle;
+}
+
+void Server::inject_faults(const vgpu::FaultConfig& cfg) {
+  {
+    std::lock_guard lock(faults_mutex_);
+    pending_faults_ = cfg;
+  }
+  fault_generation_.fetch_add(1, std::memory_order_release);
+  if (obs::recorder().enabled()) {
+    obs::TraceEvent ev;
+    ev.name = cfg.armed() ? "fault_storm_armed" : "fault_storm_cleared";
+    ev.cat = "serve";
+    ev.track = obs::Track::kServe;
+    ev.ts_ms = obs::recorder().now_ms();
+    obs::recorder().record(std::move(ev));
+  }
+}
+
+void Server::worker_loop(int worker_id) {
+  WorkerSession& session = pool_.session(worker_id);
+  std::uint64_t faults_seen = 0;
+  for (;;) {
+    PendingPtr p = queue_.pop_blocking();
+    if (p == nullptr) break;  // closed and fully drained
+    const std::uint64_t gen =
+        fault_generation_.load(std::memory_order_acquire);
+    if (gen != faults_seen) {
+      vgpu::FaultConfig cfg;
+      {
+        std::lock_guard lock(faults_mutex_);
+        cfg = pending_faults_;
+      }
+      session.apply_faults(cfg);
+      faults_seen = gen;
+    }
+    if (p->state->resolved()) continue;  // cancelled while queued
+    const double wait_ms = std::max(0.0, now_ms() - p->submit_ms);
+    ServeOutcome o;
+    if (p->request.deadline_ms > 0.0 && wait_ms >= p->request.deadline_ms) {
+      o.kind = OutcomeKind::kDeadlineExceeded;
+      o.error = "deadline expired while queued";
+      o.queue_wait_ms = wait_ms;
+      o.worker = worker_id;
+    } else {
+      o = execute(session, *p, wait_ms);
+    }
+    deliver(*p, std::move(o));
+  }
+}
+
+ServeOutcome Server::execute(WorkerSession& session,
+                             const PendingRequest& pending, double wait_ms) {
+  obs::TraceSpan span("serve:request", "serve", obs::Track::kServe);
+  const double deadline = pending.request.deadline_ms;
+  const double budget_ms = deadline > 0.0 ? deadline - wait_ms : 0.0;
+  ServeOutcome o =
+      std::holds_alternative<PatternEval>(pending.request.work)
+          ? run_pattern(session, std::get<PatternEval>(pending.request.work),
+                        budget_ms)
+          : run_script(session, std::get<ScriptEval>(pending.request.work),
+                       budget_ms);
+  o.worker = session.id();
+  o.queue_wait_ms = wait_ms;
+  advance_clock(o.modeled_ms);
+  // A late answer is no answer: the value is dropped so clients cannot
+  // mistake it for a within-deadline result.
+  if (o.kind == OutcomeKind::kCompleted && deadline > 0.0 &&
+      wait_ms + o.modeled_ms > deadline) {
+    o.kind = OutcomeKind::kDeadlineExceeded;
+    o.value.clear();
+    o.error = "completed past deadline";
+  }
+  if (span.active()) {
+    span.set_name(std::string("serve:") + to_string(o.kind));
+    span.arg("priority", to_string(pending.request.priority));
+    span.arg("worker", static_cast<double>(session.id()));
+    span.cover_modeled_ms(o.modeled_ms);
+  }
+  return o;
+}
+
+ServeOutcome Server::run_pattern(WorkerSession& session,
+                                 const PatternEval& eval, double budget_ms) {
+  ServeOutcome o;
+  auto& ex = session.executor();
+  ex.retry_policy() = opts_.retry;
+  ex.reset_resilience();
+  ex.reset_session_clock();
+  ex.set_modeled_deadline(budget_ms);
+  const la::CsrMatrix& X = dataset(eval.dataset);
+  try {
+    auto r = ex.pattern(eval.alpha, X, eval.v, eval.y, eval.beta, eval.z);
+    o.kind = OutcomeKind::kCompleted;
+    o.value = std::move(r.value);
+    o.modeled_ms = r.modeled_ms;
+    o.backend_used = r.backend_used;
+  } catch (const DeadlineError& e) {
+    o.kind = OutcomeKind::kDeadlineExceeded;
+    o.error = e.what();
+    o.modeled_ms = ex.session_modeled_ms();
+  } catch (const Error& e) {
+    o.kind = OutcomeKind::kFailed;
+    o.error = e.what();
+    o.modeled_ms = ex.session_modeled_ms();
+  }
+  o.resilience = ex.resilience();
+  ex.set_modeled_deadline(0.0);
+  return o;
+}
+
+ServeOutcome Server::run_script(WorkerSession& session, const ScriptEval& eval,
+                                double budget_ms) {
+  ServeOutcome o;
+  const la::CsrMatrix& X = dataset(eval.dataset);
+  sysml::RuntimeOptions ro;
+  ro.device_capacity = session.memory_bytes();
+  sysml::Runtime rt(session.device(), ro);
+  rt.retry_policy() = opts_.retry;
+  rt.registry().set_health(&breakers_);
+  rt.set_modeled_deadline(budget_ms);
+  try {
+    sysml::ScriptResult r;
+    if (eval.kind == ScriptKind::kLrCg) {
+      sysml::ScriptConfig cfg;
+      cfg.max_iterations = eval.iterations;
+      r = sysml::run_lr_cg_script(rt, X, eval.labels, cfg);
+    } else {
+      sysml::GdConfig cfg;
+      cfg.iterations = eval.iterations;
+      r = sysml::run_logreg_gd_script(rt, X, eval.labels, cfg);
+    }
+    o.kind = OutcomeKind::kCompleted;
+    o.value = std::move(r.weights);
+    o.modeled_ms = r.runtime_stats.total_ms();
+    o.backend_used = r.runtime_stats.gpu_ops > 0 ? opts_.preferred_backend
+                                                 : kernels::Backend::kCpu;
+  } catch (const DeadlineError& e) {
+    o.kind = OutcomeKind::kDeadlineExceeded;
+    o.error = e.what();
+    o.modeled_ms = rt.stats().total_ms();
+  } catch (const Error& e) {
+    o.kind = OutcomeKind::kFailed;
+    o.error = e.what();
+    o.modeled_ms = rt.stats().total_ms();
+  }
+  o.resilience = rt.resilience();
+  return o;
+}
+
+void Server::count_outcome(const ServeOutcome& o) {
+  switch (o.kind) {
+    case OutcomeKind::kCompleted:
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case OutcomeKind::kRejected:
+      switch (o.reject_reason) {
+        case RejectReason::kQueueFull:
+          rejected_queue_full_.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case RejectReason::kOverCapacity:
+          rejected_over_capacity_.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case RejectReason::kShedding:
+          shed_.fetch_add(1, std::memory_order_relaxed);
+          break;
+      }
+      break;
+    case OutcomeKind::kDeadlineExceeded:
+      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case OutcomeKind::kCancelled:
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case OutcomeKind::kFailed:
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  if (o.worker >= 0) {
+    std::lock_guard lock(agg_mutex_);
+    resilience_total_ += o.resilience;
+    latency_samples_.push_back(o.queue_wait_ms + o.modeled_ms);
+  }
+  if (obs::metrics().enabled()) {
+    auto& m = obs::metrics();
+    m.counter(std::string("serve.") + to_string(o.kind)).add();
+    if (o.worker >= 0) {
+      m.histogram("serve.latency_ms").observe(o.queue_wait_ms + o.modeled_ms);
+    }
+  }
+}
+
+ServeStats Server::drain() {
+  std::lock_guard drain_lock(drain_mutex_);
+  if (!drained_.load(std::memory_order_acquire)) {
+    queue_.close();
+    if (threads_.empty()) {
+      // Never started: nobody will pop, so resolve the queued entries here.
+      while (PendingPtr p = queue_.pop_blocking()) {
+        reject(*p, RejectReason::kQueueFull, "server drained before start");
+      }
+    } else {
+      for (auto& t : threads_) t.join();
+      threads_.clear();
+    }
+    running_.store(false, std::memory_order_release);
+    drained_.store(true, std::memory_order_release);
+  }
+  return stats();
+}
+
+ServeStats Server::stats() const {
+  ServeStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.rejected_queue_full = rejected_queue_full_.load(std::memory_order_relaxed);
+  s.rejected_over_capacity =
+      rejected_over_capacity_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  s.cancelled = cancelled_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
+  s.queue_high_water = queue_.high_water();
+  s.modeled_busy_ms = executed_ms_.load(std::memory_order_relaxed);
+  s.modeled_now_ms = now_ms();
+  {
+    std::lock_guard lock(agg_mutex_);
+    s.resilience = resilience_total_;
+  }
+  s.breaker_opens = breakers_.total_opens();
+  s.breaker_skips = breakers_.total_skips();
+  return s;
+}
+
+std::vector<double> Server::latency_samples() const {
+  std::lock_guard lock(agg_mutex_);
+  return latency_samples_;
+}
+
+}  // namespace fusedml::serve

@@ -178,7 +178,25 @@ kernels::KernelOutcome Runtime::run_resilient(
     kernels::Backend preferred,
     const std::function<kernels::KernelOutcome(kernels::Backend)>& attempt,
     std::span<real> inout) {
-  return registry_.execute_resilient(preferred, retry_, attempt, inout,
+  if (deadline_ms_ <= 0.0) {
+    return registry_.execute_resilient(preferred, retry_, attempt, inout,
+                                       &resilience_);
+  }
+  const double spent_ms = stats_.total_ms();
+  if (spent_ms >= deadline_ms_) {
+    throw DeadlineError("script modeled deadline exceeded before op dispatch (" +
+                        std::to_string(spent_ms) + " of " +
+                        std::to_string(deadline_ms_) + " ms spent)");
+  }
+  // Clamp the per-dispatch retry budget to the deadline headroom so a fault
+  // storm cannot backoff past the deadline inside one op.
+  RetryPolicy policy = retry_;
+  const double remaining_ms = deadline_ms_ - spent_ms;
+  policy.max_total_overhead_ms =
+      policy.max_total_overhead_ms > 0.0
+          ? std::min(policy.max_total_overhead_ms, remaining_ms)
+          : remaining_ms;
+  return registry_.execute_resilient(preferred, policy, attempt, inout,
                                      &resilience_);
 }
 

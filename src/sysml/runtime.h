@@ -137,6 +137,15 @@ class Runtime {
   /// Faults absorbed across every op this runtime executed.
   const ResilienceStats& resilience() const { return resilience_; }
 
+  /// Modeled deadline for everything this runtime executes (0 = none): once
+  /// stats().total_ms() reaches it, the next op dispatch throws
+  /// DeadlineError instead of running, and each dispatch's retry budget is
+  /// clamped to the time remaining — a script on a doomed request stops
+  /// burning backoffs mid-op instead of completing six retries per tier.
+  /// The serving layer sets this to a request's remaining deadline.
+  void set_modeled_deadline(double deadline_ms) { deadline_ms_ = deadline_ms; }
+  double modeled_deadline() const { return deadline_ms_; }
+
   kernels::OpRegistry& registry() { return registry_; }
   vgpu::Device& device() { return dev_; }
 
@@ -190,6 +199,7 @@ class Runtime {
   RuntimeStats stats_;
   RetryPolicy retry_;
   ResilienceStats resilience_;
+  double deadline_ms_ = 0.0;
   std::vector<TraceEntry> trace_;
   std::string plan_explain_;
   obs::PlanAudit plan_audit_;

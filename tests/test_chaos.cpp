@@ -1,0 +1,313 @@
+// The chaos/soak harness: many client threads hammer one Server with mixed
+// workloads, priorities, deadlines, and random cancellations while seeded
+// fault storms arm and clear mid-run. After a graceful drain it asserts the
+// serving layer's global invariants:
+//
+//   1. EXACTLY-ONE-OUTCOME — every submit resolved precisely once, and the
+//      per-kind counters sum to the submit count (no request lost).
+//   2. BOUNDED QUEUE — the admission queue's high-water mark never exceeded
+//      its capacity.
+//   3. BIT-EXACT RESULTS — every completed pattern request equals a clean
+//      single-threaded reference executor run on the backend it reported;
+//      completed scripts that took no fallback equal a reference runtime.
+//   4. BREAKERS RECOVER — the storm trips the fused breaker open; the clean
+//      wave afterwards probes it closed again.
+//   5. CLEAN SHUTDOWN — drain() resolves everything and joins all workers
+//      (run under TSan in CI to certify the absence of data races).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "la/generate.h"
+#include "patterns/executor.h"
+#include "serve/server.h"
+#include "sysml/lr_cg_script.h"
+
+namespace fusedml::serve {
+namespace {
+
+using kernels::Backend;
+
+constexpr int kClients = 8;
+constexpr int kRequestsPerClientPerWave = 12;
+
+struct Issued {
+  ServeHandle handle;
+  ServeRequest request;  // replayed against the reference oracle
+  bool cancelled = false;
+};
+
+// Deterministic per-client request mix: patterns (most), LR-CG scripts
+// (every 5th), priorities cycling through all bands, a tight deadline every
+// 4th, and a cancellation every 7th.
+Issued issue_one(Server& server, DatasetId dataset, const la::CsrMatrix& X,
+                 const std::vector<real>& labels, int client, int i) {
+  const std::uint64_t seed =
+      0xc0ffee + static_cast<std::uint64_t>(client) * 1000 +
+      static_cast<std::uint64_t>(i);
+  ServeRequest req;
+  if (i % 5 == 4) {
+    ScriptEval eval;
+    eval.dataset = dataset;
+    eval.kind = i % 10 == 9 ? ScriptKind::kLogregGd : ScriptKind::kLrCg;
+    eval.iterations = 2;
+    eval.labels = labels;
+    req.work = std::move(eval);
+  } else {
+    PatternEval eval;
+    eval.dataset = dataset;
+    eval.y = la::random_vector(static_cast<usize>(X.cols()), seed);
+    req.work = std::move(eval);
+  }
+  req.priority = static_cast<Priority>(i % kNumPriorities);
+  if (i % 4 == 3) req.deadline_ms = 0.05;
+  req.tag = seed;
+
+  Issued issued;
+  issued.request = req;
+  issued.handle = server.submit(std::move(req));
+  if (i % 7 == 6) {
+    issued.handle.cancel();
+    issued.cancelled = true;
+  }
+  return issued;
+}
+
+// One wave: kClients threads submit concurrently, then everything issued is
+// awaited before the wave returns (so storm phases do not bleed together).
+void run_wave(Server& server, DatasetId dataset, const la::CsrMatrix& X,
+              const std::vector<real>& labels, std::vector<Issued>& out) {
+  std::vector<std::vector<Issued>> per_client(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kRequestsPerClientPerWave; ++i) {
+        per_client[(usize)c].push_back(
+            issue_one(server, dataset, X, labels, c, i));
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (auto& batch : per_client) {
+    for (auto& issued : batch) {
+      issued.handle.wait();
+      out.push_back(std::move(issued));
+    }
+  }
+}
+
+void verify_completed_against_oracle(const Issued& issued, usize session_bytes,
+                                     const la::CsrMatrix& X) {
+  const ServeOutcome& o = issued.handle.wait();
+  ASSERT_EQ(o.kind, OutcomeKind::kCompleted);
+  if (const auto* pattern = std::get_if<PatternEval>(&issued.request.work)) {
+    // Retries are bit-exact and the outcome names the backend that finally
+    // produced the value, so a clean executor on that backend is an oracle
+    // even for requests that absorbed faults or degraded mid-flight.
+    vgpu::Device ref_dev;
+    patterns::PatternExecutor ref(ref_dev, o.backend_used);
+    auto expect = ref.pattern(pattern->alpha, X, pattern->v, pattern->y,
+                              pattern->beta, pattern->z);
+    ASSERT_EQ(o.value.size(), expect.value.size());
+    for (usize j = 0; j < o.value.size(); ++j) {
+      ASSERT_EQ(o.value[j], expect.value[j])
+          << "pattern tag " << o.tag << " element " << j;
+    }
+    return;
+  }
+  // Scripts run many ops; a fallback mid-script changes which backend
+  // produced which intermediate, so the single-runtime oracle only applies
+  // to fallback-free completions.
+  if (o.resilience.fallbacks != 0) return;
+  const auto& script = std::get<ScriptEval>(issued.request.work);
+  vgpu::Device ref_dev;
+  sysml::RuntimeOptions ro;
+  ro.device_capacity = session_bytes;
+  sysml::Runtime rt(ref_dev, ro);
+  sysml::ScriptResult expect;
+  if (script.kind == ScriptKind::kLrCg) {
+    sysml::ScriptConfig cfg;
+    cfg.max_iterations = script.iterations;
+    expect = sysml::run_lr_cg_script(rt, X, script.labels, cfg);
+  } else {
+    sysml::GdConfig cfg;
+    cfg.iterations = script.iterations;
+    expect = sysml::run_logreg_gd_script(rt, X, script.labels, cfg);
+  }
+  ASSERT_EQ(o.value.size(), expect.weights.size());
+  for (usize j = 0; j < o.value.size(); ++j) {
+    ASSERT_EQ(o.value[j], expect.weights[j])
+        << "script tag " << o.tag << " weight " << j;
+  }
+}
+
+TEST(Chaos, SoakWithFaultStormsCancellationsAndDrain) {
+  la::CsrMatrix X = la::uniform_sparse(96, 40, 0.12, 2026);
+  auto labels = la::regression_labels(X, 7, 0.05);
+
+  // Calibrate the breaker cooldown to this workload's own timescale: one
+  // fully-faulted dispatch (all retries + backoff on both GPU tiers, then
+  // the CPU completion) advances the pool clock by storm_dispatch_ms / 4,
+  // so a cooldown of ~3 such dispatches guarantees the open window spans
+  // several storm requests — each a counted breaker skip.
+  double storm_dispatch_ms;
+  {
+    vgpu::FaultConfig always;
+    always.kernel_fault_rate = 1.0;
+    vgpu::Device probe_dev;
+    vgpu::FaultInjector probe_inj(always);
+    probe_dev.set_fault_injector(&probe_inj);
+    patterns::PatternExecutor probe(probe_dev, Backend::kFused);
+    probe.retry_policy().max_attempts = 3;
+    auto y = la::random_vector(static_cast<usize>(X.cols()), 1);
+    storm_dispatch_ms =
+        std::max(1e-4, probe.pattern(1, X, {}, y, 0, {}).modeled_ms);
+  }
+
+  ServeOptions opts;
+  opts.workers = 4;
+  opts.queue_capacity = 48;
+  opts.retry.max_attempts = 3;
+  opts.breaker.failure_threshold = 3;
+  opts.breaker.cooldown_ms = 3.0 * storm_dispatch_ms;
+  Server server(opts);
+  const DatasetId dataset = server.add_dataset(X);
+  server.start();
+
+  std::vector<Issued> issued;
+  issued.reserve(3 * kClients * kRequestsPerClientPerWave);
+
+  // Phase A: clean baseline traffic.
+  run_wave(server, dataset, X, labels, issued);
+
+  // Phase B: seeded fault storm — every GPU launch fails, so every fused
+  // and baseline dispatch exhausts its retries and the fused breaker must
+  // trip open pool-wide. Workers re-arm at their next request boundary,
+  // before any phase-B request executes.
+  vgpu::FaultConfig storm;
+  storm.seed = 0xbad5eed;
+  storm.kernel_fault_rate = 1.0;
+  server.inject_faults(storm);
+  run_wave(server, dataset, X, labels, issued);
+  EXPECT_GT(server.breakers().total_opens(), 0u);
+
+  // Phase C: storm cleared; clean traffic advances the modeled clock, and
+  // once it passes the cooldown a half-open probe must close the fused
+  // breaker again. Clean dispatches are far cheaper than storm dispatches,
+  // so a bounded tail of extra requests walks the clock across the cooldown
+  // deterministically. (The cusparse tier is only consulted while fused is
+  // open, so its breaker may legitimately stay open once fused recovers.)
+  server.inject_faults(vgpu::FaultConfig{});
+  run_wave(server, dataset, X, labels, issued);
+  for (int i = 0;
+       i < 20000 &&
+       server.breakers().state(Backend::kFused) != BreakerState::kClosed;
+       ++i) {
+    PatternEval eval;
+    eval.dataset = dataset;
+    eval.y = la::random_vector(static_cast<usize>(X.cols()), 9000u + i);
+    ServeRequest req;
+    req.work = std::move(eval);
+    Issued extra;
+    extra.request = req;
+    extra.handle = server.submit(std::move(req));
+    extra.handle.wait();
+    issued.push_back(std::move(extra));
+  }
+  EXPECT_EQ(server.breakers().state(Backend::kFused), BreakerState::kClosed);
+  EXPECT_GT(server.breakers().stats(Backend::kFused).closes, 0u);
+
+  ServeStats stats = server.drain();
+
+  // (1) Exactly one outcome per submit; nothing lost, nothing doubled.
+  ASSERT_GE(issued.size(),
+            static_cast<usize>(3 * kClients * kRequestsPerClientPerWave));
+  EXPECT_EQ(stats.submitted, issued.size());
+  EXPECT_EQ(stats.resolved(), stats.submitted);
+  std::uint64_t kind_counts[5] = {0, 0, 0, 0, 0};
+  for (const Issued& entry : issued) {
+    ASSERT_TRUE(entry.handle.resolved());
+    ASSERT_EQ(entry.handle.state()->resolutions(), 1)
+        << "tag " << entry.handle.wait().tag;
+    ++kind_counts[static_cast<int>(entry.handle.wait().kind)];
+  }
+  EXPECT_EQ(kind_counts[static_cast<int>(OutcomeKind::kCompleted)],
+            stats.completed);
+  EXPECT_EQ(kind_counts[static_cast<int>(OutcomeKind::kRejected)],
+            stats.rejected_queue_full + stats.rejected_over_capacity +
+                stats.shed);
+  EXPECT_EQ(kind_counts[static_cast<int>(OutcomeKind::kDeadlineExceeded)],
+            stats.deadline_exceeded);
+  EXPECT_EQ(kind_counts[static_cast<int>(OutcomeKind::kCancelled)],
+            stats.cancelled);
+  EXPECT_EQ(kind_counts[static_cast<int>(OutcomeKind::kFailed)],
+            stats.failed);
+
+  // (2) The queue never outgrew its bound.
+  EXPECT_LE(stats.queue_high_water, opts.queue_capacity);
+
+  // (3) Completed results are bit-exact against single-threaded oracles.
+  int verified = 0;
+  for (const Issued& entry : issued) {
+    if (entry.handle.wait().kind != OutcomeKind::kCompleted) continue;
+    verify_completed_against_oracle(entry, server.pool().session_memory_bytes(),
+                                    X);
+    ++verified;
+  }
+  EXPECT_GT(verified, 0);
+
+  // (4) The storm was absorbed, not ignored: faults were seen, dispatches
+  // degraded, and breakers skipped work pool-wide.
+  EXPECT_GT(stats.resilience.faults_seen, 0u);
+  EXPECT_GT(stats.resilience.fallbacks_to_cpu, 0u);
+  EXPECT_GT(stats.breaker_skips, 0u);
+
+  // (5) Drain resolved everything; a second drain is a no-op snapshot.
+  ServeStats again = server.drain();
+  EXPECT_EQ(again.submitted, stats.submitted);
+}
+
+// Cancellation storm against a single slow worker: whatever the interleaving
+// (cancel-before-dequeue, cancel-racing-execution, cancel-after-complete),
+// every request resolves exactly once and the books balance.
+TEST(Chaos, CancellationRacesNeverLoseOrDoubleResolve) {
+  la::CsrMatrix X = la::uniform_sparse(64, 32, 0.15, 77);
+  ServeOptions opts;
+  opts.workers = 1;
+  opts.queue_capacity = 256;
+  Server server(opts);
+  const DatasetId dataset = server.add_dataset(X);
+  server.start();
+
+  constexpr int kN = 160;
+  std::vector<ServeHandle> handles;
+  handles.reserve(kN);
+  for (int i = 0; i < kN; ++i) {
+    PatternEval eval;
+    eval.dataset = dataset;
+    eval.y = la::random_vector(static_cast<usize>(X.cols()), 500u + i);
+    ServeRequest req;
+    req.work = std::move(eval);
+    handles.push_back(server.submit(std::move(req)));
+  }
+  // A second thread cancels every third request while the worker drains.
+  std::thread canceller([&] {
+    for (int i = 0; i < kN; i += 3) handles[(usize)i].cancel();
+  });
+  canceller.join();
+  ServeStats stats = server.drain();
+  for (const ServeHandle& h : handles) {
+    ASSERT_TRUE(h.resolved());
+    ASSERT_EQ(h.state()->resolutions(), 1);
+  }
+  EXPECT_EQ(stats.resolved(), stats.submitted);
+  EXPECT_GT(stats.cancelled, 0u);
+  EXPECT_GT(stats.completed, 0u);
+}
+
+}  // namespace
+}  // namespace fusedml::serve

@@ -4,6 +4,7 @@
 // double-booking guarantee on RuntimeStats.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <sstream>
 #include <string>
@@ -185,6 +186,70 @@ TEST(Metrics, EmptyHistogramReportsZeros) {
   EXPECT_DOUBLE_EQ(h.mean(), 0.0);
   EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);
   EXPECT_DOUBLE_EQ(h.max(), 0.0);
+}
+
+TEST(Metrics, ConcurrentHammerKeepsExactTotals) {
+  ProfilingScope scope;
+  auto& reg = obs::metrics();
+  constexpr int kThreads = 8, kIters = 5000;
+  auto* main_counter = &reg.counter("hammer.counter");
+  std::vector<std::thread> threads;
+  std::atomic<int> stable_handles{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, main_counter, &stable_handles] {
+      // Re-resolve every name each iteration: the registry's get-or-create
+      // path is hammered as hard as the instruments themselves.
+      for (int i = 0; i < kIters; ++i) {
+        auto& c = reg.counter("hammer.counter");
+        if (&c == main_counter) stable_handles.fetch_add(1);
+        c.add(1);
+        reg.gauge("hammer.gauge").add(1.0);
+        reg.histogram("hammer.histo").observe(static_cast<double>(i % 100));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  constexpr std::uint64_t kTotal =
+      static_cast<std::uint64_t>(kThreads) * kIters;
+  EXPECT_EQ(stable_handles.load(), kThreads * kIters);  // one shared instrument
+  EXPECT_EQ(reg.counter("hammer.counter").value(), kTotal);
+  EXPECT_DOUBLE_EQ(reg.gauge("hammer.gauge").value(),
+                   static_cast<double>(kTotal));
+  auto& h = reg.histogram("hammer.histo");
+  EXPECT_EQ(h.count(), kTotal);
+  EXPECT_DOUBLE_EQ(h.mean(), 49.5);  // each of 0..99 observed equally often
+  EXPECT_DOUBLE_EQ(h.max(), 99.0);
+}
+
+TEST(TraceRecorder, ConcurrentOverflowAccountsForEveryEvent) {
+  constexpr usize kCapacity = 64;  // rounds to 8 slots x 8 shards exactly
+  ProfilingScope scope(kCapacity);
+  auto& rec = obs::recorder();
+  constexpr int kThreads = 8, kEvents = 100;  // 800 records >> 64 slots
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&rec, t] {
+      for (int i = 0; i < kEvents; ++i) {
+        rec.record(named_event("t" + std::to_string(t)));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  constexpr std::uint64_t kTotal =
+      static_cast<std::uint64_t>(kThreads) * kEvents;
+  EXPECT_EQ(rec.recorded(), kTotal);
+  EXPECT_EQ(rec.dropped(), kTotal - kCapacity);
+  const auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), kCapacity);  // ring is full, nothing double-counted
+  // Every retained slot holds a distinct event: sequence numbers are unique.
+  std::vector<std::uint64_t> seqs;
+  seqs.reserve(events.size());
+  for (const auto& ev : events) seqs.push_back(ev.seq);
+  std::sort(seqs.begin(), seqs.end());
+  EXPECT_EQ(std::unique(seqs.begin(), seqs.end()), seqs.end());
+  EXPECT_LT(seqs.back(), kTotal);
 }
 
 TEST(Obs, DisabledObservabilityKeepsModeledNumbersBitIdentical) {

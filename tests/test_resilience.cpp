@@ -224,6 +224,50 @@ TEST_F(ResilientExecutorTest, FallbackDisabledRethrowsTypedError) {
   EXPECT_EQ(exec.resilience().fallbacks, 0u);
 }
 
+TEST_F(ResilientExecutorTest, RetryBudgetFailsFastWithDeadlineError) {
+  FaultConfig cfg;
+  cfg.seed = 5;
+  cfg.kernel_fault_rate = 1.0;  // permanent storm: retries can never succeed
+  FaultInjector inj(cfg);
+  vgpu::Device dev;
+  dev.set_fault_injector(&inj);
+  PatternExecutor exec(dev, Backend::kFused);
+  // Budget smaller than one backoff wait: the dispatch must stop retrying
+  // AND stop degrading as soon as the first wasted attempt lands, instead
+  // of walking the full fused -> cusparse -> cpu ladder.
+  exec.retry_policy().max_total_overhead_ms = 1e-4;
+
+  EXPECT_THROW(exec.pattern(1, X_, v_, y_, 0, {}), DeadlineError);
+  const auto& rs = exec.resilience();
+  EXPECT_GT(rs.faults_seen, 0u);
+  EXPECT_EQ(rs.fallbacks_to_cpu, 0u);  // fail-fast beat the CPU fallback
+  EXPECT_GT(rs.overhead_ms(), 0.0);
+  // The whole point of the budget: overhead stays near the cap rather than
+  // accumulating max_attempts backoffs per backend tier.
+  EXPECT_LT(rs.overhead_ms(),
+            exec.retry_policy().backoff_ms(1) * exec.retry_policy().max_attempts);
+}
+
+TEST_F(ResilientExecutorTest, UnboundedBudgetDegradesWithSplitFallbackCounts) {
+  FaultConfig cfg;
+  cfg.seed = 5;
+  cfg.kernel_fault_rate = 1.0;
+  FaultInjector inj(cfg);
+  vgpu::Device dev;
+  dev.set_fault_injector(&inj);
+  PatternExecutor exec(dev, Backend::kFused);
+  exec.retry_policy().max_attempts = 2;
+  ASSERT_EQ(exec.retry_policy().max_total_overhead_ms, 0.0);  // unbounded
+
+  const auto r = exec.pattern(1, X_, v_, y_, 0, {});
+  EXPECT_EQ(r.backend_used, Backend::kCpu);
+  // The split taxonomy tells WHICH tier each degradation landed on.
+  EXPECT_EQ(r.resilience.fallbacks_to_baseline, 1u);  // fused -> cusparse
+  EXPECT_EQ(r.resilience.fallbacks_to_cpu, 1u);       // cusparse -> cpu
+  EXPECT_EQ(r.resilience.fallbacks,
+            r.resilience.fallbacks_to_baseline + r.resilience.fallbacks_to_cpu);
+}
+
 TEST(StreamingResilience, PanelsRetryToBitExactResult) {
   const auto X = la::uniform_sparse(20000, 200, 0.02, 23);
   const auto y = la::random_vector(200, 2);
