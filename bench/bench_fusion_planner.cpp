@@ -24,7 +24,7 @@
 #include "common/cli.h"
 #include "common/table.h"
 #include "la/generate.h"
-#include "sysml/lr_cg_script.h"
+#include "ml/script_library.h"
 #include "sysml/runtime.h"
 #include "vgpu/device.h"
 
@@ -156,19 +156,19 @@ static int run_bench(int argc, char** argv) {
   bool ok = run_script(
       table, "lr-cg",
       [&](sysml::Runtime& rt, sysml::PlanMode mode) {
-        sysml::ScriptConfig cfg;
+        ml::ScriptConfig cfg;
         cfg.max_iterations = iters;
         cfg.tolerance = 0;
-        return sysml::run_lr_cg_dag_script(rt, X, y_reg, mode, cfg);
+        return ml::run_lr_cg_script(rt, X, y_reg, mode, cfg);
       },
       /*expect_ewise_gain=*/false);
 
   ok &= run_script(
       table, "logreg-gd",
       [&](sysml::Runtime& rt, sysml::PlanMode mode) {
-        sysml::GdConfig cfg;
+        ml::GdConfig cfg;
         cfg.iterations = iters;
-        return sysml::run_logreg_dag_script(rt, X, y_cls, mode, cfg);
+        return ml::run_logreg_gd_script(rt, X, y_cls, mode, cfg);
       },
       /*expect_ewise_gain=*/true);
 

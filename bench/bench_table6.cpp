@@ -12,7 +12,7 @@
 #include "common/cli.h"
 #include "common/table.h"
 #include "la/generate.h"
-#include "sysml/lr_cg_script.h"
+#include "ml/script_library.h"
 #include "sysml/runtime.h"
 #include "vgpu/device.h"
 
@@ -24,17 +24,19 @@ template <typename Matrix>
 void run_row(Table& table, Table& detail, const std::string& name,
              const Matrix& X, std::span<const real> y, int iterations,
              const std::string& paper_total, const std::string& paper_fused) {
-  sysml::ScriptConfig cfg;
+  ml::ScriptConfig cfg;
   cfg.max_iterations = iterations;
   cfg.tolerance = 0;
 
   vgpu::Device dev_gpu;
   sysml::Runtime gpu_rt(dev_gpu, {.enable_gpu = true});
-  const auto gpu = sysml::run_lr_cg_script(gpu_rt, X, y, cfg);
+  const auto gpu =
+      ml::run_lr_cg_script(gpu_rt, X, y, sysml::PlanMode::kHardcodedPass, cfg);
 
   vgpu::Device dev_cpu;
   sysml::Runtime cpu_rt(dev_cpu, {.enable_gpu = false});
-  const auto cpu = sysml::run_lr_cg_script(cpu_rt, X, y, cfg);
+  const auto cpu =
+      ml::run_lr_cg_script(cpu_rt, X, y, sysml::PlanMode::kHardcodedPass, cfg);
 
   const double total_speedup = cpu.end_to_end_ms / gpu.end_to_end_ms;
   const double fused_speedup =

@@ -11,8 +11,18 @@
 #include "common/cli.h"
 #include "common/error.h"
 #include "obs/profile_flags.h"
+#include "sysml/expr.h"
 
 namespace fusedml::examples {
+
+/// Shared --plan flag vocabulary for the algorithm examples.
+inline sysml::PlanMode parse_plan_mode(const std::string& name) {
+  if (name == "unfused") return sysml::PlanMode::kUnfused;
+  if (name == "hardcoded") return sysml::PlanMode::kHardcodedPass;
+  FUSEDML_CHECK(name == "planner",
+                "--plan must be one of: unfused, hardcoded, planner");
+  return sysml::PlanMode::kPlanner;
+}
 
 template <typename Run>
 int guarded_main(Run&& run) {

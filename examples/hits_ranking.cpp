@@ -1,6 +1,8 @@
-// Hubs & Authorities on a synthetic web graph: the authority update
-// a <- X^T * (X * a) is the X^T*(X*y) pattern instantiation, fused into a
-// single kernel per iteration.
+// Hubs & Authorities on a synthetic web graph, expressed as a declarative
+// script: the authority update a <- X^T * (X * a) lowers through the
+// ExprBuilder/Program IR, and --plan picks how it runs — interpreted
+// unfused, rewritten by the hardcoded Equation-1 template pass, or planned
+// by the cost-based fusion planner (one fused kernel per iteration).
 #include <algorithm>
 #include <iostream>
 #include <vector>
@@ -8,15 +10,15 @@
 #include "common/rng.h"
 #include "la/convert.h"
 #include "la/coo_matrix.h"
-#include "ml/hits.h"
-#include "patterns/executor.h"
+#include "ml/script_library.h"
+#include "sysml/runtime.h"
 #include "vgpu/device.h"
 
 #include "example_common.h"
 
 using namespace fusedml;
 
-static int run_example() {
+static int run_example(sysml::PlanMode plan) {
   // A synthetic web: 2000 pages; pages 0-9 are "portals" that everyone
   // links to, plus random long-tail links.
   const index_t pages = 2000;
@@ -36,30 +38,47 @@ static int run_example() {
   const auto X = la::coo_to_csr(coo);
 
   vgpu::Device device;
-  patterns::PatternExecutor exec(device, patterns::Backend::kFused);
-  const auto result = ml::hits(exec, X);
+  sysml::Runtime rt(device, {.enable_gpu = true});
+  const auto result = ml::run_hits_script(rt, X, plan);
 
-  std::cout << "HITS on a " << pages << "-page synthetic web ("
-            << X.nnz() << " links), converged="
-            << (result.converged ? "yes" : "no") << " after "
-            << result.stats.iterations << " iterations\n\n";
+  std::cout << "HITS on a " << pages << "-page synthetic web (" << X.nnz()
+            << " links), plan mode: " << to_string(plan) << "\n"
+            << "  power iterations  : " << result.iterations << "\n"
+            << "  kernel launches   : " << result.runtime_stats.kernel_launches
+            << "\n"
+            << "  fused groups      : " << result.fused_groups << "\n"
+            << "  modeled time (ms) : " << result.end_to_end_ms << "\n\n";
 
   std::vector<index_t> order(static_cast<usize>(pages));
   for (usize i = 0; i < order.size(); ++i) order[i] = static_cast<index_t>(i);
   std::sort(order.begin(), order.end(), [&](index_t a, index_t b) {
-    return result.authorities[static_cast<usize>(a)] >
-           result.authorities[static_cast<usize>(b)];
+    return result.weights[static_cast<usize>(a)] >
+           result.weights[static_cast<usize>(b)];
   });
   std::cout << "top authorities (the portals should dominate):\n";
   for (int i = 0; i < 10; ++i) {
     std::cout << "  page " << order[static_cast<usize>(i)] << "  score "
-              << result.authorities[static_cast<usize>(order[static_cast<usize>(i)])]
+              << result.weights[static_cast<usize>(order[static_cast<usize>(i)])]
               << "\n";
+  }
+
+  if (plan == sysml::PlanMode::kPlanner) {
+    std::cout << "\nRuntime::explain():\n" << rt.explain() << "\n";
   }
   return 0;
 }
 
 int main(int argc, char** argv) {
-  return fusedml::examples::example_main(argc, argv,
-                                         [&] { return run_example(); });
+  return fusedml::examples::guarded_main([&]() -> int {
+    Cli cli(argc, argv);
+    const auto plan = cli.get_string("plan", "planner",
+                                     "unfused | hardcoded | planner");
+    obs::apply_standard_flags(cli);
+    if (cli.help_requested()) {
+      std::cout << cli.usage();
+      return 0;
+    }
+    cli.finish();
+    return run_example(fusedml::examples::parse_plan_mode(plan));
+  });
 }

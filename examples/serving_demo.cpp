@@ -34,11 +34,11 @@ serve::ServeRequest pattern_request(serve::DatasetId dataset,
 }
 
 serve::ServeRequest script_request(serve::DatasetId dataset,
-                                   const la::CsrMatrix& X,
-                                   std::uint64_t seed) {
+                                   const la::CsrMatrix& X, std::uint64_t seed,
+                                   serve::ScriptKind kind) {
   serve::ScriptEval eval;
   eval.dataset = dataset;
-  eval.kind = serve::ScriptKind::kLrCg;
+  eval.kind = kind;
   eval.iterations = 3;
   eval.labels = la::regression_labels(X, seed, 0.05);
   serve::ServeRequest req;
@@ -66,15 +66,16 @@ static int run_example() {
             << opts.queue_capacity << "\n\n";
 
   // Phase 1 — clean mixed traffic: interactive pattern evaluations compete
-  // with batch training scripts; the queue pops the highest band first.
+  // with batch training scripts (the serving layer runs every algorithm in
+  // the script library, so the batch band cycles through all five kinds);
+  // the queue pops the highest band first.
   std::vector<serve::ServeHandle> handles;
   for (std::uint64_t i = 0; i < 12; ++i) {
     handles.push_back(server.submit(pattern_request(
         dataset, X, 100 + i,
         i % 2 == 0 ? serve::Priority::kInteractive : serve::Priority::kNormal)));
-    if (i % 4 == 0) {
-      handles.push_back(server.submit(script_request(dataset, X, 200 + i)));
-    }
+    handles.push_back(server.submit(script_request(
+        dataset, X, 200 + i, static_cast<serve::ScriptKind>(i % 5))));
   }
   usize clean_completed = 0;
   for (const auto& h : handles) {

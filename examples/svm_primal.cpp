@@ -1,52 +1,64 @@
-// Linear SVM trained in the primal (squared hinge, Newton + CG) — per
-// Table 1 this algorithm uses the pattern instantiations WITHOUT the v
-// weighting: a*X^T*y and X^T*(X*y) + b*z on the support-vector submatrix.
+// Linear SVM trained in the primal (squared hinge, Newton + CG) as a
+// declarative script: per Table 1 the Hessian-vector product is the
+// X^T*(X*y) + b*z pattern on the support-vector submatrix, and --plan
+// chooses whether the runtime interprets it unfused, applies the hardcoded
+// Equation-1 template pass, or lets the cost-based planner fuse it.
 #include <iostream>
 
 #include "la/generate.h"
-#include "ml/svm.h"
-#include "patterns/executor.h"
-#include "patterns/pattern.h"
+#include "la/vector_ops.h"
+#include "ml/script_library.h"
+#include "sysml/runtime.h"
 #include "vgpu/device.h"
 
 #include "example_common.h"
 
 using namespace fusedml;
 
-static int run_example() {
-  vgpu::Device device;
-  patterns::PatternExecutor exec(device, patterns::Backend::kFused);
-
+static int run_example(sysml::PlanMode plan) {
   const auto X = la::uniform_sparse(10000, 150, 0.08, 31);
   const auto y = la::classification_labels(X, 31, 0.1);
 
+  vgpu::Device device;
+  sysml::Runtime rt(device, {.enable_gpu = true});
   ml::SvmConfig cfg;
   cfg.C = 5.0;
-  const auto model = ml::svm_primal(exec, X, y, cfg);
+  const auto model = ml::run_svm_script(rt, X, y, plan, cfg);
 
-  const auto decision = ml::svm_decision(exec, X, model.weights);
+  const auto decision = la::reference::spmv(X, model.weights);
   int correct = 0;
   for (usize i = 0; i < decision.size(); ++i) {
     if ((decision[i] >= 0 ? 1.0 : -1.0) == y[i]) ++correct;
   }
 
-  std::cout << "Primal SVM (squared hinge Newton) on 10k x 150 sparse data\n"
-            << "  newton iterations : " << model.stats.iterations << "\n"
-            << "  support vectors   : " << model.support_vectors << " / "
-            << X.rows() << "\n"
-            << "  final objective   : " << model.final_objective << "\n"
+  std::cout << "Primal SVM (squared hinge Newton) on 10k x 150 sparse data, "
+            << "plan mode: " << to_string(plan) << "\n"
+            << "  newton iterations : " << model.iterations << "\n"
+            << "  kernel launches   : " << model.runtime_stats.kernel_launches
+            << "\n"
+            << "  fused groups      : " << model.fused_groups << "\n"
+            << "  modeled time (ms) : " << model.end_to_end_ms << "\n"
             << "  training accuracy : "
-            << 100.0 * correct / static_cast<double>(decision.size()) << "%\n\n";
+            << 100.0 * correct / static_cast<double>(decision.size())
+            << "%\n";
 
-  std::cout << "pattern instantiations issued (compare Table 1's SVM "
-               "column — no v-weighted forms):\n";
-  for (const auto& [kind, count] : exec.usage()) {
-    std::cout << "  " << to_string(kind) << " x" << count << "\n";
+  if (plan == sysml::PlanMode::kPlanner) {
+    std::cout << "\nRuntime::explain():\n" << rt.explain() << "\n";
   }
   return 0;
 }
 
 int main(int argc, char** argv) {
-  return fusedml::examples::example_main(argc, argv,
-                                         [&] { return run_example(); });
+  return fusedml::examples::guarded_main([&]() -> int {
+    Cli cli(argc, argv);
+    const auto plan = cli.get_string("plan", "planner",
+                                     "unfused | hardcoded | planner");
+    obs::apply_standard_flags(cli);
+    if (cli.help_requested()) {
+      std::cout << cli.usage();
+      return 0;
+    }
+    cli.finish();
+    return run_example(fusedml::examples::parse_plan_mode(plan));
+  });
 }

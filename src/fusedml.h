@@ -12,9 +12,14 @@
 //   la       — matrix formats, conversions, generators, reference oracles
 //   kernels  — fused kernels + every baseline + streaming/hybrid extensions
 //   tuner    — §3.3 launch-parameter model + exhaustive autotuner
-//   patterns — the PatternExecutor front-end (start here)
-//   ml       — LR-CG, GLM, LogReg, SVM, HITS on the pattern API
-//   sysml    — mini declarative runtime with GPU memory manager
+//   patterns — the PatternExecutor back-end (internal to the registry path)
+//   sysml    — declarative runtime: ExprBuilder/Program IR, DAG, fusion
+//              planner, GPU memory manager
+//   ml       — the algorithm ScriptLibrary (LR-CG, GLM, LogReg, SVM, HITS)
+//              lowered through the expression frontend, plus the legacy
+//              imperative solvers kept as oracles
+//   obs      — tracing, metrics, profiler reports, plan audit
+//   serve    — the concurrent serving layer on top of everything
 #pragma once
 
 #include "common/cli.h"
@@ -54,12 +59,27 @@
 #include "patterns/executor.h"
 #include "patterns/pattern.h"
 
+#include "sysml/dag.h"
+#include "sysml/expr.h"
+#include "sysml/fusion_planner.h"
+#include "sysml/memory_manager.h"
+#include "sysml/runtime.h"
+
 #include "ml/glm.h"
 #include "ml/hits.h"
 #include "ml/logreg.h"
 #include "ml/lr_cg.h"
+#include "ml/script_library.h"
 #include "ml/svm.h"
 
-#include "sysml/lr_cg_script.h"
-#include "sysml/memory_manager.h"
-#include "sysml/runtime.h"
+#include "obs/metrics.h"
+#include "obs/plan_audit.h"
+#include "obs/profile_flags.h"
+#include "obs/profiler_report.h"
+#include "obs/trace.h"
+
+#include "serve/admission_queue.h"
+#include "serve/circuit_breaker.h"
+#include "serve/device_pool.h"
+#include "serve/serve_types.h"
+#include "serve/server.h"

@@ -10,27 +10,46 @@ namespace fusedml::ml {
 
 namespace {
 
+real inv_link_gaussian(real eta) { return eta; }
+real inv_link_poisson(real eta) { return std::exp(std::min<real>(eta, 30.0)); }
+real inv_link_binomial(real eta) {
+  return real{1} / (real{1} + std::exp(-eta));
+}
+
+real var_weight_gaussian(real) { return real{1}; }
+real var_weight_poisson(real mu) { return std::max<real>(mu, 1e-10); }
+real var_weight_binomial(real mu) {
+  return std::max<real>(mu * (1 - mu), 1e-10);
+}
+
 real inverse_link(GlmFamily family, real eta) {
-  switch (family) {
-    case GlmFamily::kGaussian: return eta;
-    case GlmFamily::kPoisson: return std::exp(std::min<real>(eta, 30.0));
-    case GlmFamily::kBinomial:
-      return real{1} / (real{1} + std::exp(-eta));
-  }
-  return eta;
+  return glm_inverse_link(family)(eta);
 }
 
 /// Variance weight W_ii for the canonical link (equals var(mu)).
 real variance_weight(GlmFamily family, real mu) {
-  switch (family) {
-    case GlmFamily::kGaussian: return real{1};
-    case GlmFamily::kPoisson: return std::max<real>(mu, 1e-10);
-    case GlmFamily::kBinomial: return std::max<real>(mu * (1 - mu), 1e-10);
-  }
-  return real{1};
+  return glm_variance_weight(family)(mu);
 }
 
 }  // namespace
+
+real (*glm_inverse_link(GlmFamily family))(real) {
+  switch (family) {
+    case GlmFamily::kGaussian: return inv_link_gaussian;
+    case GlmFamily::kPoisson: return inv_link_poisson;
+    case GlmFamily::kBinomial: return inv_link_binomial;
+  }
+  return inv_link_gaussian;
+}
+
+real (*glm_variance_weight(GlmFamily family))(real) {
+  switch (family) {
+    case GlmFamily::kGaussian: return var_weight_gaussian;
+    case GlmFamily::kPoisson: return var_weight_poisson;
+    case GlmFamily::kBinomial: return var_weight_binomial;
+  }
+  return var_weight_gaussian;
+}
 
 GlmResult glm_irls(patterns::PatternExecutor& exec, const la::CsrMatrix& X,
                    std::span<const real> y, GlmConfig config) {

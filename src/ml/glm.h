@@ -41,6 +41,13 @@ struct GlmResult {
 GlmResult glm_irls(patterns::PatternExecutor& exec, const la::CsrMatrix& X,
                    std::span<const real> labels, GlmConfig config = {});
 
+/// The family's scalar mean function mu = g^{-1}(eta) and variance weight
+/// W(mu), as plain function pointers so DAG kMap nodes (and the legacy
+/// imperative path) evaluate literally the same code — the bit-exactness
+/// oracles between the two stacks depend on this.
+real (*glm_inverse_link(GlmFamily family))(real);
+real (*glm_variance_weight(GlmFamily family))(real);
+
 /// Mean predictions g^{-1}(X * w).
 std::vector<real> glm_predict(patterns::PatternExecutor& exec,
                               const la::CsrMatrix& X,

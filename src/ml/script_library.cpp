@@ -1,0 +1,718 @@
+#include "ml/script_library.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/error.h"
+#include "la/convert.h"
+#include "la/vector_ops.h"
+
+// Every script here mirrors its legacy imperative solver op for op: the
+// same registry kernels fire in the same order, reductions run on the same
+// backend the legacy path used (host la::dot/nrm2 where the solver reduced
+// on the host, runtime op_dot/op_nrm2 where it reduced through the
+// executor), and elementwise work moves onto the device only where that is
+// bit-exact by construction. tests/test_script_library.cpp holds the
+// oracles; see each port's comments for the venue decisions.
+
+namespace fusedml::ml {
+
+using sysml::Expr;
+using sysml::ExprBuilder;
+using sysml::Program;
+using sysml::Runtime;
+using sysml::TensorId;
+
+const char* to_string(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kLrCg: return "lr_cg";
+    case Algorithm::kLogregGd: return "logreg_gd";
+    case Algorithm::kGlm: return "glm";
+    case Algorithm::kSvm: return "svm";
+    case Algorithm::kHits: return "hits";
+  }
+  return "?";
+}
+
+namespace {
+
+template <typename Matrix>
+TensorId add_matrix(Runtime& rt, const Matrix& X, std::string name) {
+  if constexpr (std::is_same_v<Matrix, la::CsrMatrix>) {
+    return rt.add_sparse(X, std::move(name));
+  } else {
+    return rt.add_dense(X, std::move(name));
+  }
+}
+
+la::CsrMatrix take_rows(const la::CsrMatrix& X,
+                        std::span<const index_t> rows) {
+  return la::select_rows(X, rows);
+}
+
+la::DenseMatrix take_rows(const la::DenseMatrix& X,
+                          std::span<const index_t> rows) {
+  std::vector<real> data;
+  data.reserve(rows.size() * static_cast<usize>(X.cols()));
+  for (const index_t r : rows) {
+    for (index_t c = 0; c < X.cols(); ++c) data.push_back(X.at(r, c));
+  }
+  return la::DenseMatrix(static_cast<index_t>(rows.size()), X.cols(),
+                         std::move(data));
+}
+
+/// Copies the runtime's books into the result (shared epilogue).
+void finish(Runtime& rt, Program* programs[], int num_programs,
+            int iterations, ScriptResult& out) {
+  out.iterations = iterations;
+  out.fused_groups = 0;
+  out.plans_built = 0;
+  out.plan_cache_hits = 0;
+  for (int i = 0; i < num_programs; ++i) {
+    out.fused_groups += programs[i]->fused_groups();
+    out.plans_built += programs[i]->plans_built();
+    out.plan_cache_hits += programs[i]->plan_cache_hits();
+    if (!programs[i]->plan_explain().empty()) {
+      out.plan_explain += programs[i]->plan_explain();
+    }
+  }
+  out.runtime_stats = rt.stats();
+  out.memory_stats = rt.memory_stats();
+  out.end_to_end_ms = out.runtime_stats.total_ms();
+  out.plan_audit = rt.plan_audit();
+}
+
+// --- lr-cg: Listing 1, the q = (X^T (X p)) + eps*p product as a Program ----
+
+template <typename Matrix>
+ScriptResult lr_cg_impl(Runtime& rt, const Matrix& X,
+                        std::span<const real> y, PlanMode mode,
+                        ScriptConfig config) {
+  FUSEDML_CHECK(y.size() == static_cast<usize>(X.rows()),
+                "labels must have one entry per row");
+  ScriptResult out;
+  const auto n = static_cast<usize>(X.cols());
+
+  const TensorId Xid = add_matrix(rt, X, "V");
+  const TensorId yid = rt.add_vector({y.begin(), y.end()}, "y");
+
+  // r = -(t(V) %*% y);  p = -r;  nr2 = sum(r*r).
+  const TensorId rid = rt.op_transposed_product(Xid, yid, real{-1});
+  const auto r_view = rt.read_vector(rid);
+  const TensorId pid = rt.add_vector({r_view.begin(), r_view.end()}, "p");
+  rt.op_scal(real{-1}, pid);
+  real nr2 = rt.op_dot(rid, rid);
+  const real nr2_target = nr2 * config.tolerance * config.tolerance;
+  const TensorId wid = rt.new_vector(n, "w");
+
+  // The per-iteration DAG, planned once per shape.
+  ExprBuilder b;
+  const Expr V = b.matrix("V");
+  const Expr p = b.vector("p");
+  b.output("q", ExprBuilder::add(
+                    ExprBuilder::spmv_t(V, ExprBuilder::spmv(V, p)),
+                    ExprBuilder::scale(config.eps, p)));
+  Program prog = b.build();
+  prog.bind("V", Xid);
+  prog.bind("p", pid);
+  prog.prepare(rt, mode);
+
+  int i = 0;
+  while (i < config.max_iterations && nr2 > nr2_target) {
+    const TensorId qid = rt.run(prog, "q");
+    const real alpha = nr2 / rt.op_dot(pid, qid);
+    rt.op_axpy(alpha, pid, wid);
+    rt.op_axpy(alpha, qid, rid);
+    const real old_nr2 = nr2;
+    nr2 = rt.op_dot(rid, rid);
+    const real beta = nr2 / old_nr2;
+    rt.op_scal(beta, pid);
+    rt.op_axpy(real{-1}, rid, pid);
+    ++i;
+  }
+
+  const auto w_view = rt.read_vector(wid);
+  out.weights.assign(w_view.begin(), w_view.end());
+  Program* programs[] = {&prog};
+  finish(rt, programs, 1, i, out);
+  return out;
+}
+
+// --- logreg gradient descent: the whole gradient as one Program ------------
+
+template <typename Matrix>
+ScriptResult logreg_gd_impl(Runtime& rt, const Matrix& X,
+                            std::span<const real> y, PlanMode mode,
+                            GdConfig config) {
+  FUSEDML_CHECK(y.size() == static_cast<usize>(X.rows()),
+                "labels must have one entry per row");
+  ScriptResult out;
+  const auto n = static_cast<usize>(X.cols());
+
+  const TensorId Xid = add_matrix(rt, X, "X");
+  const TensorId nyid = rt.add_vector({y.begin(), y.end()}, "neg_y");
+  rt.op_scal(real{-1}, nyid);
+  const TensorId wid = rt.new_vector(n, "w");
+
+  // g = X^T (sigmoid(-y ⊙ (X w)) ⊙ -y) + lambda*w — the elementwise chain
+  // and the gradient glue are both planner fusion candidates.
+  ExprBuilder b;
+  const Expr Xe = b.matrix("X");
+  const Expr w = b.vector("w");
+  const Expr ny = b.vector("neg_y");
+  const Expr margins = ExprBuilder::map(
+      ExprBuilder::mul(ny, ExprBuilder::spmv(Xe, w)), stable_sigmoid,
+      "sigmoid");
+  const Expr resid = ExprBuilder::mul(margins, ny);
+  b.output("g", ExprBuilder::add(ExprBuilder::spmv_t(Xe, resid),
+                                 ExprBuilder::scale(config.lambda, w)));
+  Program prog = b.build();
+  prog.bind("X", Xid);
+  prog.bind("w", wid);
+  prog.bind("neg_y", nyid);
+  prog.prepare(rt, mode);
+
+  int it = 0;
+  for (; it < config.iterations; ++it) {
+    const TensorId gid = rt.run(prog, "g");
+    rt.op_axpy(-config.step, gid, wid);
+  }
+
+  const auto w_view = rt.read_vector(wid);
+  out.weights.assign(w_view.begin(), w_view.end());
+  Program* programs[] = {&prog};
+  finish(rt, programs, 1, it, out);
+  return out;
+}
+
+// --- GLM / IRLS -------------------------------------------------------------
+//
+// Four programs: the per-row prep chains (W and the score residual), the
+// gradient, the Fisher product (the Table-1 pattern), and the line-search
+// eta. The CG recurrences stay on host la:: reductions exactly like the
+// legacy solver, so planner-mode results are bit-identical to glm_irls on
+// a device-placed executor.
+
+template <typename Matrix>
+ScriptResult glm_impl(Runtime& rt, const Matrix& X, std::span<const real> y,
+                      PlanMode mode, GlmConfig config) {
+  FUSEDML_CHECK(y.size() == static_cast<usize>(X.rows()),
+                "labels must have one entry per row");
+  const auto m = static_cast<usize>(X.rows());
+  const auto n = static_cast<usize>(X.cols());
+  ScriptResult out;
+
+  real (*const inv_link)(real) = glm_inverse_link(config.family);
+  real (*const var_weight)(real) = glm_variance_weight(config.family);
+
+  const TensorId Xid = add_matrix(rt, X, "X");
+  const TensorId yid = rt.add_vector({y.begin(), y.end()}, "y");
+  TensorId eta_id = rt.new_vector(m, "eta");  // eta = X*w starts at 0
+  const TensorId wid = rt.new_vector(n, "w");
+  const TensorId pid = rt.new_vector(n, "p");
+  const TensorId wtid = rt.new_vector(n, "w_trial");
+
+  // W = var(g^{-1}(eta));  resid = g^{-1}(eta) - y. The two mu maps are
+  // deliberately separate nodes: sharing one would make it a multi-consumer
+  // intermediate and block both elementwise chains from fusing.
+  ExprBuilder pb;
+  const Expr eta_e = pb.vector("eta");
+  const Expr y_e = pb.vector("y");
+  pb.output("wdiag",
+            ExprBuilder::map(ExprBuilder::map(eta_e, inv_link, "inv_link"),
+                             var_weight, "variance"));
+  pb.output("resid",
+            ExprBuilder::add(ExprBuilder::map(eta_e, inv_link, "inv_link"),
+                             ExprBuilder::scale(real{-1}, y_e)));
+  Program prep = pb.build();
+  prep.bind("eta", eta_id);
+  prep.bind("y", yid);
+
+  // g = X^T resid + ridge*w (the {scale, add} tail is a fusable chain).
+  ExprBuilder gb;
+  const Expr Xg = gb.matrix("X");
+  const Expr r_e = gb.vector("resid");
+  const Expr w_e = gb.vector("w");
+  gb.output("grad", ExprBuilder::add(ExprBuilder::spmv_t(Xg, r_e),
+                                     ExprBuilder::scale(config.ridge, w_e)));
+  Program gradp = gb.build();
+  gradp.bind("X", Xid);
+  gradp.bind("w", wid);
+
+  // Fp = X^T (W ⊙ (X p)) + ridge*p — Equation 1 with v = W, beta = ridge.
+  ExprBuilder fb;
+  const Expr Xf = fb.matrix("X");
+  const Expr wd_e = fb.vector("wdiag");
+  const Expr p_e = fb.vector("p");
+  fb.output("Fp", ExprBuilder::pattern(real{1}, Xf, wd_e, p_e, config.ridge,
+                                       p_e));
+  Program fisher = fb.build();
+  fisher.bind("X", Xid);
+
+  ExprBuilder eb;
+  const Expr Xe = eb.matrix("X");
+  const Expr wt_e = eb.vector("w_trial");
+  eb.output("eta", ExprBuilder::spmv(Xe, wt_e));
+  Program etap = eb.build();
+  etap.bind("X", Xid);
+  etap.bind("w_trial", wtid);
+
+  std::vector<real> w(n, real{0});
+  int iterations = 0;
+
+  for (int it = 0; it < config.max_irls_iterations; ++it) {
+    prep.prepare(rt, mode);
+    const TensorId wdiag_id = rt.run(prep, "wdiag");
+    const TensorId resid_id = rt.run(prep, "resid");
+
+    rt.write_vector(wid, w);
+    gradp.bind("resid", resid_id);
+    gradp.prepare(rt, mode);
+    const TensorId grad_id = rt.run(gradp, "grad");
+    const auto grad_view = rt.read_vector(grad_id);
+    const std::vector<real> grad(grad_view.begin(), grad_view.end());
+
+    const real gnorm = la::nrm2(grad);
+    if (gnorm <= config.gradient_tolerance) break;
+
+    // CG on (X^T W X + ridge I) d = -g; recurrences on the host, the
+    // Fisher product through the planned pattern.
+    std::vector<real> d(n, real{0});
+    std::vector<real> r = grad;
+    std::vector<real> p(n);
+    for (usize j = 0; j < n; ++j) p[j] = -grad[j];
+    real rr = la::dot(r, r);
+    fisher.bind("wdiag", wdiag_id);
+    fisher.bind("p", pid);
+    fisher.prepare(rt, mode);
+    for (int cg = 0;
+         cg < config.max_cg_iterations && std::sqrt(rr) > real{0.05} * gnorm;
+         ++cg) {
+      rt.write_vector(pid, p);
+      const TensorId fp_id = rt.run(fisher, "Fp");
+      const auto fp_view = rt.read_vector(fp_id);
+      const std::vector<real> fp(fp_view.begin(), fp_view.end());
+      const real pfp = la::dot(p, fp);
+      if (pfp <= 0) break;
+      const real alpha = rr / pfp;
+      la::axpy(alpha, p, d);
+      la::axpy(alpha, fp, r);
+      const real rr_new = la::dot(r, r);
+      const real beta = rr_new / rr;
+      rr = rr_new;
+      for (usize j = 0; j < n; ++j) p[j] = -r[j] + beta * p[j];
+    }
+
+    // Damped update: halve until eta = X*(w + step*d) stays finite.
+    real step = 1.0;
+    for (int ls = 0; ls < 6; ++ls) {
+      std::vector<real> w_new = w;
+      la::axpy(step, d, w_new);
+      rt.write_vector(wtid, w_new);
+      etap.prepare(rt, mode);
+      const TensorId trial_eta = rt.run(etap, "eta");
+      const auto eta_view = rt.read_vector(trial_eta);
+      bool finite = true;
+      for (const real e : eta_view) {
+        if (!std::isfinite(e) || std::abs(e) > 50) {
+          finite = false;
+          break;
+        }
+      }
+      if (finite) {
+        w = std::move(w_new);
+        eta_id = trial_eta;  // loop-carried: next prep reads this eta
+        prep.bind("eta", eta_id);
+        break;
+      }
+      step *= real{0.5};
+    }
+    iterations = it + 1;
+  }
+
+  out.weights = std::move(w);
+  Program* programs[] = {&prep, &gradp, &fisher, &etap};
+  finish(rt, programs, 4, iterations, out);
+  return out;
+}
+
+// --- SVM (primal, squared hinge, Newton + CG) -------------------------------
+//
+// The row-restricted matrix X_I changes every Newton step, so the gradient
+// and Hessian programs re-bind "Xi" each step; the plan cache keys on the
+// leaf shapes, so a recurring support-set size replans nothing.
+
+real svm_objective(real C, std::span<const real> w,
+                   std::span<const real> margins, std::span<const real> y) {
+  real f = 0;
+  for (usize i = 0; i < margins.size(); ++i) {
+    const real slack = std::max<real>(0, real{1} - y[i] * margins[i]);
+    f += slack * slack;
+  }
+  real wn = 0;
+  for (const real x : w) wn += x * x;
+  return real{0.5} * wn + C * f;
+}
+
+template <typename Matrix>
+ScriptResult svm_impl(Runtime& rt, const Matrix& X, std::span<const real> y,
+                      PlanMode mode, SvmConfig config) {
+  FUSEDML_CHECK(y.size() == static_cast<usize>(X.rows()),
+                "labels must have one entry per row");
+  const auto m = static_cast<usize>(X.rows());
+  const auto n = static_cast<usize>(X.cols());
+  ScriptResult out;
+
+  const TensorId Xid = add_matrix(rt, X, "X");
+  const TensorId wid = rt.new_vector(n, "w");
+  const TensorId pid = rt.new_vector(n, "p");
+  const TensorId wtid = rt.new_vector(n, "w_trial");
+
+  // g = 2C * X_I^T resid + w, the 2C applied per-term inside the kernel
+  // exactly like the legacy transposed_product(alpha) call.
+  ExprBuilder gb;
+  const Expr Xig = gb.matrix("Xi");
+  const Expr r_e = gb.vector("resid");
+  const Expr w_e = gb.vector("w");
+  gb.output("grad",
+            ExprBuilder::add(ExprBuilder::spmv_t(Xig, r_e, 2 * config.C),
+                             w_e));
+  Program gradp = gb.build();
+  gradp.bind("w", wid);
+
+  // Hp = 2C * X_I^T (X_I p) + p — Equation 1 with alpha = 2C, beta = 1.
+  ExprBuilder hb;
+  const Expr Xih = hb.matrix("Xi");
+  const Expr p_e = hb.vector("p");
+  hb.output("Hp", ExprBuilder::pattern(2 * config.C, Xih, Expr{}, p_e,
+                                       real{1}, p_e));
+  Program hess = hb.build();
+  hess.bind("p", pid);
+
+  ExprBuilder mb;
+  const Expr Xm = mb.matrix("X");
+  const Expr wt_e = mb.vector("w_trial");
+  mb.output("margins", ExprBuilder::spmv(Xm, wt_e));
+  Program marginp = mb.build();
+  marginp.bind("X", Xid);
+  marginp.bind("w_trial", wtid);
+
+  std::vector<real> w(n, real{0});
+  std::vector<real> margins(m, real{0});
+  int iterations = 0;
+
+  for (int newton = 0; newton < config.max_newton_iterations; ++newton) {
+    std::vector<index_t> sv;
+    for (usize i = 0; i < m; ++i) {
+      if (y[i] * margins[i] < real{1}) sv.push_back(static_cast<index_t>(i));
+    }
+    if (sv.empty()) break;
+    const Matrix Xi = take_rows(X, sv);
+    const TensorId Xi_id = add_matrix(rt, Xi, "Xi");
+
+    std::vector<real> resid(sv.size());
+    for (usize k = 0; k < sv.size(); ++k) {
+      const auto i = static_cast<usize>(sv[k]);
+      resid[k] = margins[i] - y[i];
+    }
+    const TensorId resid_id =
+        rt.add_vector(std::move(resid), "resid");
+
+    rt.write_vector(wid, w);
+    gradp.bind("Xi", Xi_id);
+    gradp.bind("resid", resid_id);
+    gradp.prepare(rt, mode);
+    const TensorId grad_id = rt.run(gradp, "grad");
+    const auto grad_view = rt.read_vector(grad_id);
+    const std::vector<real> grad(grad_view.begin(), grad_view.end());
+
+    const real gnorm = la::nrm2(grad);
+    if (gnorm <= config.gradient_tolerance) break;
+
+    // CG on (I + 2C X_I^T X_I) d = -g.
+    std::vector<real> d(n, real{0});
+    std::vector<real> r = grad;
+    std::vector<real> p(n);
+    for (usize j = 0; j < n; ++j) p[j] = -grad[j];
+    real rr = la::dot(r, r);
+    hess.bind("Xi", Xi_id);
+    hess.prepare(rt, mode);
+    for (int cg = 0;
+         cg < config.max_cg_iterations && std::sqrt(rr) > real{0.01} * gnorm;
+         ++cg) {
+      rt.write_vector(pid, p);
+      const TensorId hp_id = rt.run(hess, "Hp");
+      const auto hp_view = rt.read_vector(hp_id);
+      const std::vector<real> hp(hp_view.begin(), hp_view.end());
+      const real php = la::dot(p, hp);
+      if (php <= 0) break;
+      const real alpha = rr / php;
+      la::axpy(alpha, p, d);
+      la::axpy(alpha, hp, r);
+      const real rr_new = la::dot(r, r);
+      const real beta = rr_new / rr;
+      rr = rr_new;
+      for (usize j = 0; j < n; ++j) p[j] = -r[j] + beta * p[j];
+    }
+
+    // Backtracking line search on the squared-hinge objective.
+    const real f_old = svm_objective(config.C, w, margins, y);
+    real step = 1.0;
+    bool improved = false;
+    for (int ls = 0; ls < 8; ++ls) {
+      std::vector<real> w_new = w;
+      la::axpy(step, d, w_new);
+      rt.write_vector(wtid, w_new);
+      marginp.prepare(rt, mode);
+      const TensorId margins_id = rt.run(marginp, "margins");
+      const auto margins_view = rt.read_vector(margins_id);
+      const real f_new = svm_objective(config.C, w_new, margins_view, y);
+      if (f_new < f_old) {
+        w = std::move(w_new);
+        margins.assign(margins_view.begin(), margins_view.end());
+        improved = true;
+        break;
+      }
+      step *= real{0.5};
+    }
+    iterations = newton + 1;
+    if (!improved) break;
+  }
+
+  out.weights = std::move(w);
+  Program* programs[] = {&gradp, &hess, &marginp};
+  finish(rt, programs, 3, iterations, out);
+  return out;
+}
+
+// --- HITS power iteration ---------------------------------------------------
+//
+// Loop-carried state via re-binding: each refresh reads the previous
+// iteration's (normalized) output tensor as the new "a".
+
+template <typename Matrix>
+ScriptResult hits_impl(Runtime& rt, const Matrix& X, PlanMode mode,
+                       HitsConfig config) {
+  FUSEDML_CHECK(X.rows() > 0 && X.cols() > 0, "empty adjacency matrix");
+  const auto n = static_cast<usize>(X.cols());
+  ScriptResult out;
+
+  const TensorId Xid = add_matrix(rt, X, "X");
+  std::vector<real> a(n, real{1} / std::sqrt(static_cast<real>(n)));
+  TensorId aid = rt.add_vector(a, "a");
+
+  // a' = X^T (X a) — the Table-1 HITS instantiation of Equation 1.
+  ExprBuilder rb;
+  const Expr Xr = rb.matrix("X");
+  const Expr a_e = rb.vector("a");
+  rb.output("a_next", ExprBuilder::spmv_t(Xr, ExprBuilder::spmv(Xr, a_e)));
+  Program refresh = rb.build();
+  refresh.bind("X", Xid);
+
+  ExprBuilder hbuild;
+  const Expr Xh = hbuild.matrix("X");
+  const Expr ah = hbuild.vector("a");
+  hbuild.output("h", ExprBuilder::spmv(Xh, ah));
+  Program hubs = hbuild.build();
+  hubs.bind("X", Xid);
+
+  int iterations = 0;
+  bool converged = false;
+  for (int it = 0; it < config.max_iterations && !converged; ++it) {
+    refresh.bind("a", aid);
+    refresh.prepare(rt, mode);
+    const TensorId a_new = rt.run(refresh, "a_next");
+    const real norm = rt.op_nrm2(a_new);
+    if (norm <= 0) break;  // no links at all
+    rt.op_scal(real{1} / norm, a_new);
+
+    const auto view = rt.read_vector(a_new);
+    real delta = 0;
+    for (usize j = 0; j < n; ++j) {
+      const real dj = view[j] - a[j];
+      delta += dj * dj;
+    }
+    a.assign(view.begin(), view.end());
+    aid = a_new;
+    iterations = it + 1;
+    converged = std::sqrt(delta) <= config.tolerance;
+  }
+
+  // Hub scores h = X a for the final authorities (kept for op-stream parity
+  // with the legacy solver; the script returns the authorities).
+  hubs.bind("a", aid);
+  hubs.prepare(rt, mode);
+  const TensorId hid = rt.run(hubs, "h");
+  const auto h_view = rt.read_vector(hid);
+  std::vector<real> h(h_view.begin(), h_view.end());
+  const real hn = la::nrm2(h);
+  if (hn > 0) la::scal(real{1} / hn, h);
+
+  out.weights = std::move(a);
+  Program* programs[] = {&refresh, &hubs};
+  finish(rt, programs, 2, iterations, out);
+  return out;
+}
+
+}  // namespace
+
+// --- Public entry points ----------------------------------------------------
+
+ScriptResult run_lr_cg_script(Runtime& rt, const la::CsrMatrix& X,
+                              std::span<const real> labels, PlanMode mode,
+                              ScriptConfig config) {
+  return lr_cg_impl(rt, X, labels, mode, config);
+}
+ScriptResult run_lr_cg_script(Runtime& rt, const la::DenseMatrix& X,
+                              std::span<const real> labels, PlanMode mode,
+                              ScriptConfig config) {
+  return lr_cg_impl(rt, X, labels, mode, config);
+}
+
+ScriptResult run_logreg_gd_script(Runtime& rt, const la::CsrMatrix& X,
+                                  std::span<const real> labels, PlanMode mode,
+                                  GdConfig config) {
+  return logreg_gd_impl(rt, X, labels, mode, config);
+}
+ScriptResult run_logreg_gd_script(Runtime& rt, const la::DenseMatrix& X,
+                                  std::span<const real> labels, PlanMode mode,
+                                  GdConfig config) {
+  return logreg_gd_impl(rt, X, labels, mode, config);
+}
+
+ScriptResult run_glm_script(Runtime& rt, const la::CsrMatrix& X,
+                            std::span<const real> labels, PlanMode mode,
+                            GlmConfig config) {
+  return glm_impl(rt, X, labels, mode, config);
+}
+ScriptResult run_glm_script(Runtime& rt, const la::DenseMatrix& X,
+                            std::span<const real> labels, PlanMode mode,
+                            GlmConfig config) {
+  return glm_impl(rt, X, labels, mode, config);
+}
+
+ScriptResult run_svm_script(Runtime& rt, const la::CsrMatrix& X,
+                            std::span<const real> labels, PlanMode mode,
+                            SvmConfig config) {
+  return svm_impl(rt, X, labels, mode, config);
+}
+ScriptResult run_svm_script(Runtime& rt, const la::DenseMatrix& X,
+                            std::span<const real> labels, PlanMode mode,
+                            SvmConfig config) {
+  return svm_impl(rt, X, labels, mode, config);
+}
+
+ScriptResult run_hits_script(Runtime& rt, const la::CsrMatrix& X,
+                             PlanMode mode, HitsConfig config) {
+  return hits_impl(rt, X, mode, config);
+}
+ScriptResult run_hits_script(Runtime& rt, const la::DenseMatrix& X,
+                             PlanMode mode, HitsConfig config) {
+  return hits_impl(rt, X, mode, config);
+}
+
+// --- The generated library --------------------------------------------------
+
+namespace {
+
+/// Uniform runner for one (algorithm, mode): `iterations` caps the outer
+/// loop, 0 keeps the algorithm's default.
+template <typename Matrix>
+ScriptResult run_spec(Algorithm algorithm, PlanMode mode, Runtime& rt,
+                      const Matrix& X, std::span<const real> labels,
+                      int iterations) {
+  switch (algorithm) {
+    case Algorithm::kLrCg: {
+      ScriptConfig cfg;
+      if (iterations > 0) cfg.max_iterations = iterations;
+      return run_lr_cg_script(rt, X, labels, mode, cfg);
+    }
+    case Algorithm::kLogregGd: {
+      GdConfig cfg;
+      if (iterations > 0) cfg.iterations = iterations;
+      return run_logreg_gd_script(rt, X, labels, mode, cfg);
+    }
+    case Algorithm::kGlm: {
+      GlmConfig cfg;
+      if (iterations > 0) cfg.max_irls_iterations = iterations;
+      return run_glm_script(rt, X, labels, mode, cfg);
+    }
+    case Algorithm::kSvm: {
+      SvmConfig cfg;
+      if (iterations > 0) cfg.max_newton_iterations = iterations;
+      return run_svm_script(rt, X, labels, mode, cfg);
+    }
+    case Algorithm::kHits: {
+      HitsConfig cfg;
+      if (iterations > 0) cfg.max_iterations = iterations;
+      return run_hits_script(rt, X, mode, cfg);
+    }
+  }
+  FUSEDML_CHECK(false, "unknown algorithm");
+  return ScriptResult{};
+}
+
+std::vector<ScriptSpec> build_library() {
+  constexpr Algorithm kAlgorithms[] = {Algorithm::kLrCg, Algorithm::kLogregGd,
+                                       Algorithm::kGlm, Algorithm::kSvm,
+                                       Algorithm::kHits};
+  constexpr PlanMode kModes[] = {PlanMode::kUnfused, PlanMode::kHardcodedPass,
+                                 PlanMode::kPlanner};
+  std::vector<ScriptSpec> lib;
+  for (const Algorithm algorithm : kAlgorithms) {
+    for (const bool dense : {false, true}) {
+      for (const PlanMode mode : kModes) {
+        ScriptSpec spec;
+        spec.algorithm = algorithm;
+        spec.dense = dense;
+        spec.mode = mode;
+        spec.name = std::string(to_string(algorithm)) +
+                    (dense ? "/dense/" : "/csr/") + to_string(mode);
+        if (dense) {
+          spec.run_dense = [algorithm, mode](Runtime& rt,
+                                             const la::DenseMatrix& X,
+                                             std::span<const real> labels,
+                                             int iterations) {
+            return run_spec(algorithm, mode, rt, X, labels, iterations);
+          };
+        } else {
+          spec.run_sparse = [algorithm, mode](Runtime& rt,
+                                              const la::CsrMatrix& X,
+                                              std::span<const real> labels,
+                                              int iterations) {
+            return run_spec(algorithm, mode, rt, X, labels, iterations);
+          };
+        }
+        lib.push_back(std::move(spec));
+      }
+    }
+  }
+  return lib;
+}
+
+}  // namespace
+
+const std::vector<ScriptSpec>& script_library() {
+  static const std::vector<ScriptSpec> kLibrary = build_library();
+  return kLibrary;
+}
+
+const ScriptSpec* find_script(const std::string& name) {
+  for (const ScriptSpec& spec : script_library()) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+const ScriptSpec* find_script(Algorithm algorithm, bool dense,
+                              PlanMode mode) {
+  for (const ScriptSpec& spec : script_library()) {
+    if (spec.algorithm == algorithm && spec.dense == dense &&
+        spec.mode == mode) {
+      return &spec;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace fusedml::ml

@@ -1,0 +1,130 @@
+// The generated ScriptLibrary: every ML algorithm as a declarative script
+// on the sysml runtime — algorithm × {CSR, dense} × PlanMode.
+//
+// This is the single public execution surface the refactor converges on:
+// each solver builds its inner-loop expressions once through the
+// ExprBuilder/Program frontend (sysml/expr.h), the fusion planner (or the
+// hardcoded §4.4 template pass) rewrites them, and Runtime::run interprets
+// the planned DAGs — PatternExecutor is now an internal backend reached
+// only through the operator registry. The serving layer routes every
+// ScriptKind here, benches iterate script_library() instead of hand-wiring
+// call sites, and the legacy imperative solvers in ml/ remain only as the
+// pre-refactor oracles the bit-exactness tests compare against.
+//
+// Bit-exactness contract (asserted in tests/test_script_library.cpp): on a
+// runtime whose scheduler places ops on the device, the planner path of
+// every script reproduces the legacy imperative path to the last bit —
+// the scripts issue the same registry kernels in the same order, reductions
+// run on the same backend, and fused elementwise chains are bit-equal to
+// op-at-a-time evaluation by construction.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "la/csr_matrix.h"
+#include "la/dense_matrix.h"
+#include "ml/glm.h"
+#include "ml/hits.h"
+#include "ml/lr_cg.h"
+#include "ml/logreg.h"
+#include "ml/svm.h"
+#include "sysml/expr.h"
+#include "sysml/runtime.h"
+
+namespace fusedml::ml {
+
+using sysml::PlanMode;
+using sysml::ScriptResult;
+
+enum class Algorithm { kLrCg, kLogregGd, kGlm, kSvm, kHits };
+const char* to_string(Algorithm algorithm);
+
+/// lr-cg script knobs (Listing 1's eps / tolerance).
+struct ScriptConfig {
+  int max_iterations = 100;
+  real eps = 0.001;
+  real tolerance = 0.000001;
+};
+
+/// Logistic-regression gradient-descent script knobs.
+struct GdConfig {
+  int iterations = 50;
+  real step = 0.5;
+  real lambda = 0.01;
+};
+
+// --- The five algorithms (CSR and dense) ------------------------------------
+ScriptResult run_lr_cg_script(sysml::Runtime& rt, const la::CsrMatrix& X,
+                              std::span<const real> labels,
+                              PlanMode mode = PlanMode::kPlanner,
+                              ScriptConfig config = {});
+ScriptResult run_lr_cg_script(sysml::Runtime& rt, const la::DenseMatrix& X,
+                              std::span<const real> labels,
+                              PlanMode mode = PlanMode::kPlanner,
+                              ScriptConfig config = {});
+
+ScriptResult run_logreg_gd_script(sysml::Runtime& rt, const la::CsrMatrix& X,
+                                  std::span<const real> labels,
+                                  PlanMode mode = PlanMode::kPlanner,
+                                  GdConfig config = {});
+ScriptResult run_logreg_gd_script(sysml::Runtime& rt,
+                                  const la::DenseMatrix& X,
+                                  std::span<const real> labels,
+                                  PlanMode mode = PlanMode::kPlanner,
+                                  GdConfig config = {});
+
+ScriptResult run_glm_script(sysml::Runtime& rt, const la::CsrMatrix& X,
+                            std::span<const real> labels,
+                            PlanMode mode = PlanMode::kPlanner,
+                            GlmConfig config = {});
+ScriptResult run_glm_script(sysml::Runtime& rt, const la::DenseMatrix& X,
+                            std::span<const real> labels,
+                            PlanMode mode = PlanMode::kPlanner,
+                            GlmConfig config = {});
+
+ScriptResult run_svm_script(sysml::Runtime& rt, const la::CsrMatrix& X,
+                            std::span<const real> labels,
+                            PlanMode mode = PlanMode::kPlanner,
+                            SvmConfig config = {});
+ScriptResult run_svm_script(sysml::Runtime& rt, const la::DenseMatrix& X,
+                            std::span<const real> labels,
+                            PlanMode mode = PlanMode::kPlanner,
+                            SvmConfig config = {});
+
+/// HITS takes no labels; the adjacency matrix is the whole input.
+ScriptResult run_hits_script(sysml::Runtime& rt, const la::CsrMatrix& X,
+                             PlanMode mode = PlanMode::kPlanner,
+                             HitsConfig config = {});
+ScriptResult run_hits_script(sysml::Runtime& rt, const la::DenseMatrix& X,
+                             PlanMode mode = PlanMode::kPlanner,
+                             HitsConfig config = {});
+
+// --- The generated library --------------------------------------------------
+
+/// One entry of the algorithm × storage × plan-mode cross product. The
+/// runners share a uniform signature; `iterations` caps the outer loop
+/// (0 = the algorithm's default) so callers like serve can bound work.
+struct ScriptSpec {
+  Algorithm algorithm = Algorithm::kLrCg;
+  bool dense = false;
+  PlanMode mode = PlanMode::kPlanner;
+  std::string name;  ///< "glm/csr/planner"
+
+  std::function<ScriptResult(sysml::Runtime&, const la::CsrMatrix&,
+                             std::span<const real>, int)>
+      run_sparse;  ///< null for dense entries
+  std::function<ScriptResult(sysml::Runtime&, const la::DenseMatrix&,
+                             std::span<const real>, int)>
+      run_dense;  ///< null for CSR entries
+};
+
+/// All 5 algorithms × {csr, dense} × {unfused, hardcoded-pass, planner}.
+const std::vector<ScriptSpec>& script_library();
+
+const ScriptSpec* find_script(const std::string& name);
+const ScriptSpec* find_script(Algorithm algorithm, bool dense, PlanMode mode);
+
+}  // namespace fusedml::ml

@@ -12,14 +12,13 @@ void PlanAudit::print(std::ostream& os) const {
   }
   os << "executions:         " << executions << "\n";
   os << "launches predicted: " << predicted_launches_total() << " ("
-     << predicted_launches_per_exec << " per execution)\n";
+     << predicted_launches_per_exec << " per execution last armed)\n";
   os << "launches observed:  " << observed_launches << "\n";
   os << "launch drift:       " << launch_drift()
      << (launch_drift() == 0 ? " (plan matches execution)"
                              : " (PLAN/EXECUTION MISMATCH)")
      << "\n";
-  os << "modeled ms predicted: "
-     << predicted_ms_per_exec * static_cast<double>(executions) << "\n";
+  os << "modeled ms predicted: " << predicted_ms_accum << "\n";
   os << "modeled ms observed:  " << observed_ms << "\n";
   if (time_ratio() > 0.0) {
     os << "time ratio (observed/predicted): " << time_ratio() << "\n";

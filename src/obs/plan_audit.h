@@ -14,16 +14,22 @@ namespace fusedml::obs {
 
 struct PlanAudit {
   bool has_prediction = false;
-  /// What the planner predicted for ONE execution of the DAG.
+  /// What the planner predicted for ONE execution of the CURRENTLY ARMED
+  /// DAG. A solver that runs several planned programs re-arms this before
+  /// each execution; the *_accum fields below sum the armed prediction at
+  /// every execution, so multi-program scripts still audit to zero drift.
   std::uint64_t predicted_launches_per_exec = 0;
   double predicted_ms_per_exec = 0.0;
+  /// Armed predictions summed over all executions.
+  std::uint64_t predicted_launches_accum = 0;
+  double predicted_ms_accum = 0.0;
   /// What the runtime observed, summed over all executions.
   std::uint64_t executions = 0;
   std::uint64_t observed_launches = 0;
   double observed_ms = 0.0;
 
   std::uint64_t predicted_launches_total() const {
-    return predicted_launches_per_exec * executions;
+    return predicted_launches_accum;
   }
   /// observed - predicted launches over all executions. Zero when the
   /// planner's view of the DAG matches what actually ran.
@@ -34,9 +40,7 @@ struct PlanAudit {
   /// observed / predicted modeled time (1.0 = perfect prediction; 0 when
   /// nothing to compare).
   double time_ratio() const {
-    const double predicted = predicted_ms_per_exec *
-                             static_cast<double>(executions);
-    return predicted > 0.0 ? observed_ms / predicted : 0.0;
+    return predicted_ms_accum > 0.0 ? observed_ms / predicted_ms_accum : 0.0;
   }
 
   /// Human-readable audit block.

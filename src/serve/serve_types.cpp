@@ -22,6 +22,17 @@ const char* to_string(OutcomeKind kind) {
   return "?";
 }
 
+const char* to_string(ScriptKind kind) {
+  switch (kind) {
+    case ScriptKind::kLrCg: return "lr_cg";
+    case ScriptKind::kLogregGd: return "logreg_gd";
+    case ScriptKind::kGlm: return "glm";
+    case ScriptKind::kSvm: return "svm";
+    case ScriptKind::kHits: return "hits";
+  }
+  return "?";
+}
+
 const char* to_string(RejectReason reason) {
   switch (reason) {
     case RejectReason::kQueueFull: return "queue_full";

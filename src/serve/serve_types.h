@@ -29,6 +29,7 @@
 #include "common/resilience.h"
 #include "common/types.h"
 #include "kernels/op_registry.h"
+#include "sysml/expr.h"
 
 namespace fusedml::serve {
 
@@ -75,13 +76,17 @@ struct PatternEval {
 };
 
 /// Declarative-script workload executed on a per-request sysml::Runtime
-/// bound to the worker's device.
-enum class ScriptKind { kLrCg, kLogregGd };
+/// bound to the worker's device. Every algorithm in the generated
+/// ScriptLibrary (ml/script_library.h) is servable; requests pick the plan
+/// mode the library prepares the program with.
+enum class ScriptKind { kLrCg, kLogregGd, kGlm, kSvm, kHits };
+const char* to_string(ScriptKind kind);
 struct ScriptEval {
   DatasetId dataset = 0;
   ScriptKind kind = ScriptKind::kLrCg;
-  int iterations = 3;
-  std::vector<real> labels;
+  int iterations = 3;        ///< outer-loop cap (0 = algorithm default)
+  sysml::PlanMode plan = sysml::PlanMode::kPlanner;
+  std::vector<real> labels;  ///< ignored by kHits
 };
 
 using Workload = std::variant<PatternEval, ScriptEval>;

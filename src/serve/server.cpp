@@ -8,7 +8,7 @@
 #include "common/error.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
-#include "sysml/lr_cg_script.h"
+#include "ml/script_library.h"
 #include "sysml/runtime.h"
 
 namespace fusedml::serve {
@@ -80,6 +80,19 @@ void Server::advance_clock(double executed_ms) {
   }
 }
 
+namespace {
+ml::Algorithm to_algorithm(ScriptKind kind) {
+  switch (kind) {
+    case ScriptKind::kLrCg: return ml::Algorithm::kLrCg;
+    case ScriptKind::kLogregGd: return ml::Algorithm::kLogregGd;
+    case ScriptKind::kGlm: return ml::Algorithm::kGlm;
+    case ScriptKind::kSvm: return ml::Algorithm::kSvm;
+    case ScriptKind::kHits: return ml::Algorithm::kHits;
+  }
+  return ml::Algorithm::kLrCg;
+}
+}  // namespace
+
 usize Server::estimate_bytes(const ServeRequest& req) const {
   const auto vec = [](usize n) { return n * sizeof(real); };
   if (const auto* p = std::get_if<PatternEval>(&req.work)) {
@@ -91,9 +104,15 @@ usize Server::estimate_bytes(const ServeRequest& req) const {
   }
   const auto& s = std::get<ScriptEval>(req.work);
   const la::CsrMatrix& X = dataset(s.dataset);
-  // Labels plus the solver's working vectors (w, p, q, r and intermediates).
+  // Labels plus the solver's working vectors: a handful of length-n
+  // iterates (w, p, q, r, trials) and, for the row-space algorithms (glm /
+  // svm / hits / logreg), a few length-m intermediates (eta, margins,
+  // residuals).
   return X.bytes() + vec(s.labels.size()) +
-         usize{6} * vec(static_cast<usize>(X.cols()));
+         usize{6} * vec(static_cast<usize>(X.cols())) +
+         (s.kind == ScriptKind::kLrCg
+              ? usize{0}
+              : usize{3} * vec(static_cast<usize>(X.rows())));
 }
 
 void Server::reject(const PendingRequest& pending, RejectReason reason,
@@ -268,16 +287,12 @@ ServeOutcome Server::run_script(WorkerSession& session, const ScriptEval& eval,
   rt.registry().set_health(&breakers_);
   rt.set_modeled_deadline(budget_ms);
   try {
-    sysml::ScriptResult r;
-    if (eval.kind == ScriptKind::kLrCg) {
-      sysml::ScriptConfig cfg;
-      cfg.max_iterations = eval.iterations;
-      r = sysml::run_lr_cg_script(rt, X, eval.labels, cfg);
-    } else {
-      sysml::GdConfig cfg;
-      cfg.iterations = eval.iterations;
-      r = sysml::run_logreg_gd_script(rt, X, eval.labels, cfg);
-    }
+    const ml::ScriptSpec* spec =
+        ml::find_script(to_algorithm(eval.kind), /*dense=*/false, eval.plan);
+    FUSEDML_CHECK(spec != nullptr && spec->run_sparse != nullptr,
+                  "script library has no entry for this request");
+    sysml::ScriptResult r =
+        spec->run_sparse(rt, X, eval.labels, eval.iterations);
     o.kind = OutcomeKind::kCompleted;
     o.value = std::move(r.weights);
     o.modeled_ms = r.runtime_stats.total_ms();

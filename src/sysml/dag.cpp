@@ -46,6 +46,11 @@ NodePtr input_vector(TensorId id) {
 
 NodePtr mv(NodePtr X, NodePtr y) { return make(OpKind::kMv, {X, y}); }
 NodePtr mvt(NodePtr X, NodePtr y) { return make(OpKind::kMvT, {X, y}); }
+NodePtr mvt(NodePtr X, NodePtr y, real alpha) {
+  auto node = make(OpKind::kMvT, {std::move(X), std::move(y)});
+  node->scalar = alpha;
+  return node;
+}
 NodePtr ewise_mul(NodePtr a, NodePtr b) {
   return make(OpKind::kEwiseMul, {a, b});
 }
@@ -108,6 +113,10 @@ std::optional<CoreMatch> match_core(const NodePtr& node) {
     mvt_node = node->inputs[0];
   }
   if (mvt_node->kind != OpKind::kMvT) return std::nullopt;
+  // A pre-scaled MvT already pays its alpha per-term inside the kernel;
+  // folding it into the Equation-1 template would re-associate the scale
+  // (alpha * sum vs sum of alpha-scaled terms) and break bit-exactness.
+  if (mvt_node->scalar != real{1}) return std::nullopt;
   out.X = mvt_node->inputs[0];
   if (out.X->kind != OpKind::kInputMatrix) return std::nullopt;
   out.covered.push_back(mvt_node.get());
@@ -308,7 +317,8 @@ TensorId eval(Runtime& rt, const NodePtr& node,
       break;
     case OpKind::kMvT:
       out = rt.op_transposed_product(eval(rt, node->inputs[0], memo),
-                                     eval(rt, node->inputs[1], memo));
+                                     eval(rt, node->inputs[1], memo),
+                                     node->scalar);
       break;
     case OpKind::kEwiseMul:
       out = rt.op_ewise_mul(eval(rt, node->inputs[0], memo),

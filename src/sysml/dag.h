@@ -77,6 +77,9 @@ NodePtr input_matrix(TensorId id);
 NodePtr input_vector(TensorId id);
 NodePtr mv(NodePtr X, NodePtr y);
 NodePtr mvt(NodePtr X, NodePtr y);
+/// X^T * y with the scale applied inside the kernel (per-term, exactly as
+/// op_transposed_product's alpha) — NOT bit-equal to scale(alpha, mvt(X,y)).
+NodePtr mvt(NodePtr X, NodePtr y, real alpha);
 NodePtr ewise_mul(NodePtr a, NodePtr b);
 NodePtr scale(real s, NodePtr a);
 NodePtr add(NodePtr a, NodePtr b);

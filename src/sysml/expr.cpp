@@ -1,0 +1,223 @@
+#include "sysml/expr.h"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "common/error.h"
+#include "sysml/fusion_planner.h"
+
+namespace fusedml::sysml {
+
+const char* to_string(PlanMode mode) {
+  switch (mode) {
+    case PlanMode::kUnfused: return "unfused";
+    case PlanMode::kHardcodedPass: return "hardcoded-pass";
+    case PlanMode::kPlanner: return "planner";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Deep-copies the interior of a DAG while SHARING the leaf nodes.
+/// fuse_patterns() rewrites its input in place, so the hardcoded pass must
+/// run on a clone — otherwise preparing one mode would corrupt the pristine
+/// roots every other cache entry points at. Leaves stay shared on purpose:
+/// bind() mutates the leaf's tensor id and every prepared plan must see it.
+NodePtr clone_interior(const NodePtr& node,
+                       std::unordered_map<const Node*, NodePtr>& memo) {
+  if (!node) return nullptr;
+  if (const auto it = memo.find(node.get()); it != memo.end()) {
+    return it->second;
+  }
+  if (node->kind == OpKind::kInputMatrix ||
+      node->kind == OpKind::kInputVector) {
+    memo.emplace(node.get(), node);
+    return node;
+  }
+  auto copy = std::make_shared<Node>(*node);
+  for (auto& in : copy->inputs) in = clone_interior(in, memo);
+  for (auto* slot : {&copy->fused_matrix, &copy->fused_v, &copy->fused_y,
+                     &copy->fused_z}) {
+    if (*slot) *slot = clone_interior(*slot, memo);
+  }
+  memo.emplace(node.get(), copy);
+  return copy;
+}
+
+NodePtr leaf_node(OpKind kind) {
+  auto node = std::make_shared<Node>();
+  node->kind = kind;
+  node->tensor = 0;  // unbound until Program::bind
+  return node;
+}
+
+}  // namespace
+
+// --- ExprBuilder ------------------------------------------------------------
+
+Expr ExprBuilder::matrix(const std::string& name) {
+  auto node = leaf_node(OpKind::kInputMatrix);
+  leaves_.emplace_back(name, node);
+  return Expr(node);
+}
+
+Expr ExprBuilder::vector(const std::string& name) {
+  auto node = leaf_node(OpKind::kInputVector);
+  leaves_.emplace_back(name, node);
+  return Expr(node);
+}
+
+Expr ExprBuilder::spmv(const Expr& X, const Expr& y) {
+  return Expr(mv(X.node(), y.node()));
+}
+
+Expr ExprBuilder::spmv_t(const Expr& X, const Expr& y, real alpha) {
+  return Expr(mvt(X.node(), y.node(), alpha));
+}
+
+Expr ExprBuilder::mul(const Expr& a, const Expr& b) {
+  return Expr(ewise_mul(a.node(), b.node()));
+}
+
+Expr ExprBuilder::scale(real s, const Expr& a) {
+  return Expr(sysml::scale(s, a.node()));
+}
+
+Expr ExprBuilder::add(const Expr& a, const Expr& b) {
+  return Expr(sysml::add(a.node(), b.node()));
+}
+
+Expr ExprBuilder::axpy(real alpha, const Expr& x, const Expr& y) {
+  return add(scale(alpha, x), y);
+}
+
+Expr ExprBuilder::map(const Expr& a, real (*f)(real),
+                      const std::string& name) {
+  return Expr(sysml::map(a.node(), f, name));
+}
+
+Expr ExprBuilder::pattern(real alpha, const Expr& X, const Expr& v,
+                          const Expr& y, real beta, const Expr& z) {
+  return Expr(pattern_expression(alpha, X.node(), v.node(), y.node(), beta,
+                                 z.node()));
+}
+
+void ExprBuilder::output(const std::string& name, const Expr& e) {
+  FUSEDML_CHECK(static_cast<bool>(e), "output expression is empty");
+  outputs_.emplace_back(name, e.node());
+}
+
+Program ExprBuilder::build() {
+  FUSEDML_CHECK(!outputs_.empty(), "a Program needs at least one output");
+  Program program;
+  program.leaves_ = std::move(leaves_);
+  program.outputs_ = std::move(outputs_);
+  return program;
+}
+
+// --- Program ----------------------------------------------------------------
+
+void Program::bind(const std::string& leaf, TensorId id) {
+  for (auto& [name, node] : leaves_) {
+    if (name == leaf) {
+      node->tensor = id;
+      return;
+    }
+  }
+  FUSEDML_CHECK(false, "Program has no leaf named '" + leaf + "'");
+}
+
+std::string Program::shape_signature(Runtime& rt, PlanMode mode) const {
+  std::ostringstream os;
+  os << to_string(mode);
+  for (const auto& [name, node] : leaves_) {
+    FUSEDML_CHECK(node->tensor != 0,
+                  "Program leaf '" + name + "' is not bound to a tensor");
+    const TensorInfo info = rt.tensor_info(node->tensor);
+    os << '|' << name << ':' << info.rows << 'x' << info.cols << ':'
+       << info.nnz << (info.is_sparse ? 's' : 'd');
+  }
+  return os.str();
+}
+
+void Program::prepare(Runtime& rt, PlanMode mode) {
+  const std::string key = shape_signature(rt, mode);
+  if (const auto it = cache_.find(key); it != cache_.end()) {
+    current_ = &it->second;
+    ++cache_hits_;
+  } else {
+    Prepared prep;
+    std::ostringstream explain;
+    for (const auto& [name, root] : outputs_) {
+      RootPlan rp;
+      switch (mode) {
+        case PlanMode::kUnfused:
+          rp.root = root;
+          break;
+        case PlanMode::kHardcodedPass: {
+          std::unordered_map<const Node*, NodePtr> memo;
+          FusionReport report;
+          rp.root = fuse_patterns(clone_interior(root, memo), &report);
+          prep.fused_groups += report.patterns_fused;
+          explain << "output " << name << ": hardcoded fuse_patterns: "
+                  << report.patterns_fused << " pattern(s) fused\n";
+          break;
+        }
+        case PlanMode::kPlanner: {
+          FusionPlan plan = plan_fusion(rt, root);
+          rp.root = plan.root;
+          rp.has_prediction = true;
+          rp.launches = plan.launches_planned;
+          rp.ms = plan.modeled_planned_ms;
+          prep.fused_groups += static_cast<int>(plan.groups.size());
+          explain << "output " << name << ":\n" << plan.explain();
+          break;
+        }
+      }
+      prep.roots.push_back(std::move(rp));
+    }
+    prep.explain = explain.str();
+    ++plans_built_;
+    const auto [slot, inserted] = cache_.emplace(key, std::move(prep));
+    FUSEDML_CHECK(inserted, "plan cache emplace raced itself");
+    current_ = &slot->second;
+  }
+  if (mode == PlanMode::kPlanner) rt.note_plan(current_->explain);
+}
+
+TensorId Program::run(Runtime& rt, const std::string& output) {
+  FUSEDML_CHECK(current_ != nullptr, "Program::run() before prepare()");
+  usize idx = 0;
+  if (!output.empty()) {
+    bool found = false;
+    for (usize i = 0; i < outputs_.size(); ++i) {
+      if (outputs_[i].first == output) {
+        idx = i;
+        found = true;
+        break;
+      }
+    }
+    FUSEDML_CHECK(found, "Program has no output named '" + output + "'");
+  }
+  const RootPlan& rp = current_->roots[idx];
+  if (rp.has_prediction) rt.note_plan_prediction(rp.launches, rp.ms);
+  return execute(rt, rp.root);
+}
+
+int Program::fused_groups() const {
+  return current_ != nullptr ? current_->fused_groups : 0;
+}
+
+const std::string& Program::plan_explain() const {
+  static const std::string kEmpty;
+  return current_ != nullptr ? current_->explain : kEmpty;
+}
+
+// The public execution entry point lives on the runtime so call sites read
+// rt.run(program) — the runtime owns execution, the program owns the plan.
+TensorId Runtime::run(Program& program, const std::string& output) {
+  return program.run(*this, output);
+}
+
+}  // namespace fusedml::sysml

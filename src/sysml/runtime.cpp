@@ -529,6 +529,14 @@ std::span<const real> Runtime::read_vector(TensorId id) {
   return vec(id);
 }
 
+void Runtime::write_vector(TensorId id, std::span<const real> values) {
+  auto& x = vec(id);
+  FUSEDML_CHECK(values.size() == x.size(),
+                "write_vector: size mismatch with the registered tensor");
+  x.assign(values.begin(), values.end());
+  if (mm_.on_device(id)) mm_.mark_host_dirty(id);
+}
+
 std::string Runtime::explain() const {
   std::ostringstream os;
   if (!plan_explain_.empty()) {

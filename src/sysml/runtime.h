@@ -35,6 +35,8 @@
 
 namespace fusedml::sysml {
 
+class Program;  // expr.h — the expression-builder frontend's compiled form
+
 struct RuntimeOptions {
   bool enable_gpu = true;
   usize device_capacity = 0;  ///< 0 = the device's full global memory
@@ -124,6 +126,17 @@ class Runtime {
   /// Host view of a vector (synchronizes from the device if needed).
   std::span<const real> read_vector(TensorId id);
 
+  /// Overwrites a vector tensor's host values in place (sizes must match).
+  /// The device copy, if any, is invalidated — the next device op re-uploads.
+  /// This is how solvers thread loop-carried host state (CG directions,
+  /// trial weights) into a cached Program without re-registering tensors.
+  void write_vector(TensorId id, std::span<const real> values);
+
+  /// Runs a prepared expression Program: plans it for the current leaf
+  /// shapes on first contact (cached afterwards) and interprets the chosen
+  /// DAG. The single public execution entry point for algorithm scripts.
+  TensorId run(Program& program, const std::string& output = "");
+
   /// Shape/storage info for the planner's cost model.
   TensorInfo tensor_info(TensorId id);
 
@@ -173,11 +186,18 @@ class Runtime {
     plan_audit_.predicted_ms_per_exec = ms_per_exec;
   }
   /// One DAG execution's observed kernel-launch and modeled-time deltas
-  /// (called by dag execute()).
+  /// (called by dag execute()). The currently-armed prediction is summed
+  /// into the audit's accumulators here, so scripts that alternate between
+  /// several planned programs (each re-arming before run) audit correctly.
   void note_plan_execution(std::uint64_t launches, double ms) {
     ++plan_audit_.executions;
     plan_audit_.observed_launches += launches;
     plan_audit_.observed_ms += ms;
+    if (plan_audit_.has_prediction) {
+      plan_audit_.predicted_launches_accum +=
+          plan_audit_.predicted_launches_per_exec;
+      plan_audit_.predicted_ms_accum += plan_audit_.predicted_ms_per_exec;
+    }
   }
   const obs::PlanAudit& plan_audit() const { return plan_audit_; }
   /// Database-style explain: the noted fusion plan (if any) followed by the

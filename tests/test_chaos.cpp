@@ -24,7 +24,7 @@
 #include "la/generate.h"
 #include "patterns/executor.h"
 #include "serve/server.h"
-#include "sysml/lr_cg_script.h"
+#include "ml/script_library.h"
 
 namespace fusedml::serve {
 namespace {
@@ -40,9 +40,10 @@ struct Issued {
   bool cancelled = false;
 };
 
-// Deterministic per-client request mix: patterns (most), LR-CG scripts
-// (every 5th), priorities cycling through all bands, a tight deadline every
-// 4th, and a cancellation every 7th.
+// Deterministic per-client request mix: patterns (most), scripts (every
+// 5th) cycling through ALL FIVE ScriptKinds across clients, priorities
+// cycling through all bands, a tight deadline every 4th, and a cancellation
+// every 7th.
 Issued issue_one(Server& server, DatasetId dataset, const la::CsrMatrix& X,
                  const std::vector<real>& labels, int client, int i) {
   const std::uint64_t seed =
@@ -52,7 +53,7 @@ Issued issue_one(Server& server, DatasetId dataset, const la::CsrMatrix& X,
   if (i % 5 == 4) {
     ScriptEval eval;
     eval.dataset = dataset;
-    eval.kind = i % 10 == 9 ? ScriptKind::kLogregGd : ScriptKind::kLrCg;
+    eval.kind = static_cast<ScriptKind>((client + i) % 5);
     eval.iterations = 2;
     eval.labels = labels;
     req.work = std::move(eval);
@@ -128,16 +129,21 @@ void verify_completed_against_oracle(const Issued& issued, usize session_bytes,
   sysml::RuntimeOptions ro;
   ro.device_capacity = session_bytes;
   sysml::Runtime rt(ref_dev, ro);
-  sysml::ScriptResult expect;
-  if (script.kind == ScriptKind::kLrCg) {
-    sysml::ScriptConfig cfg;
-    cfg.max_iterations = script.iterations;
-    expect = sysml::run_lr_cg_script(rt, X, script.labels, cfg);
-  } else {
-    sysml::GdConfig cfg;
-    cfg.iterations = script.iterations;
-    expect = sysml::run_logreg_gd_script(rt, X, script.labels, cfg);
+  // The reference is the SAME ScriptLibrary entry the worker dispatched —
+  // any of the five algorithms, replayed single-threaded on a clean device.
+  ml::Algorithm algorithm = ml::Algorithm::kLrCg;
+  switch (script.kind) {
+    case ScriptKind::kLrCg: algorithm = ml::Algorithm::kLrCg; break;
+    case ScriptKind::kLogregGd: algorithm = ml::Algorithm::kLogregGd; break;
+    case ScriptKind::kGlm: algorithm = ml::Algorithm::kGlm; break;
+    case ScriptKind::kSvm: algorithm = ml::Algorithm::kSvm; break;
+    case ScriptKind::kHits: algorithm = ml::Algorithm::kHits; break;
   }
+  const ml::ScriptSpec* spec =
+      ml::find_script(algorithm, /*dense=*/false, script.plan);
+  ASSERT_NE(spec, nullptr);
+  sysml::ScriptResult expect =
+      spec->run_sparse(rt, X, script.labels, script.iterations);
   ASSERT_EQ(o.value.size(), expect.weights.size());
   for (usize j = 0; j < o.value.size(); ++j) {
     ASSERT_EQ(o.value[j], expect.weights[j])

@@ -12,7 +12,7 @@
 #include "ml/logreg.h"
 #include "sysml/dag.h"
 #include "sysml/fusion_planner.h"
-#include "sysml/lr_cg_script.h"
+#include "ml/script_library.h"
 #include "sysml/runtime.h"
 #include "test_util.h"
 #include "vgpu/device.h"
@@ -197,7 +197,7 @@ TEST_F(PlannerFixture, ExplainDescribesGroupsAndTotals) {
 TEST(PlannerScripts, LrCgPlannerMatchesHardcodedBitExact) {
   const auto X = la::uniform_sparse(2000, 300, 0.02, 41);
   const auto labels = la::regression_labels(X, 41, 0.1);
-  sysml::ScriptConfig cfg;
+  ml::ScriptConfig cfg;
   cfg.max_iterations = 8;
   cfg.tolerance = 0;
 
@@ -207,7 +207,7 @@ TEST(PlannerScripts, LrCgPlannerMatchesHardcodedBitExact) {
         sysml::PlanMode::kPlanner}) {
     vgpu::Device dev;
     sysml::Runtime rt(dev, {.enable_gpu = true, .gpu_cost_bias = 1e-4});
-    runs.push_back(sysml::run_lr_cg_dag_script(rt, X, labels, mode, cfg));
+    runs.push_back(ml::run_lr_cg_script(rt, X, labels, mode, cfg));
   }
   const auto& unfused = runs[0];
   const auto& hardcoded = runs[1];
@@ -228,7 +228,7 @@ TEST(PlannerScripts, LrCgPlannerMatchesHardcodedBitExact) {
 TEST(PlannerScripts, LogregPlannerBeatsHardcodedPassBitExactly) {
   const auto X = la::uniform_sparse(2000, 300, 0.02, 43);
   const auto labels = la::classification_labels(X, 43, 0.1);
-  sysml::GdConfig cfg;
+  ml::GdConfig cfg;
   cfg.iterations = 8;
 
   std::vector<sysml::ScriptResult> runs;
@@ -237,7 +237,7 @@ TEST(PlannerScripts, LogregPlannerBeatsHardcodedPassBitExactly) {
         sysml::PlanMode::kPlanner}) {
     vgpu::Device dev;
     sysml::Runtime rt(dev, {.enable_gpu = true, .gpu_cost_bias = 1e-4});
-    runs.push_back(sysml::run_logreg_dag_script(rt, X, labels, mode, cfg));
+    runs.push_back(ml::run_logreg_gd_script(rt, X, labels, mode, cfg));
   }
   const auto& unfused = runs[0];
   const auto& hardcoded = runs[1];

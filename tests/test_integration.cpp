@@ -13,7 +13,7 @@
 #include "ml/lr_cg.h"
 #include "ml/logreg.h"
 #include "patterns/executor.h"
-#include "sysml/lr_cg_script.h"
+#include "ml/script_library.h"
 #include "sysml/runtime.h"
 #include "test_util.h"
 
@@ -109,9 +109,10 @@ TEST(Integration, DirectSolverAndSysmlScriptAgreeEverywhere) {
 
   for (bool gpu : {true, false}) {
     sysml::Runtime rt(dev, {.enable_gpu = gpu});
-    sysml::ScriptConfig scfg;
+    ml::ScriptConfig scfg;
     scfg.max_iterations = 40;
-    const auto script = sysml::run_lr_cg_script(rt, X, y, scfg);
+    const auto script =
+        ml::run_lr_cg_script(rt, X, y, sysml::PlanMode::kHardcodedPass, scfg);
     expect_vectors_near(direct.weights, script.weights, 1e-6);
   }
 }

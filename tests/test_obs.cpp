@@ -18,7 +18,7 @@
 #include "obs/plan_audit.h"
 #include "obs/profiler_report.h"
 #include "obs/trace.h"
-#include "sysml/lr_cg_script.h"
+#include "ml/script_library.h"
 #include "sysml/runtime.h"
 #include "vgpu/device.h"
 #include "vgpu/fault_injector.h"
@@ -282,14 +282,14 @@ TEST(Obs, ProfilerReportBitMatchesDeviceAndRuntimeAccounting) {
   ProfilingScope scope;
   const auto X = la::uniform_sparse(2000, 400, 0.01, 42);
   const auto labels = la::regression_labels(X, 42, 0.1);
-  sysml::ScriptConfig cfg;
+  ml::ScriptConfig cfg;
   cfg.max_iterations = 10;
   cfg.tolerance = 0;
 
   vgpu::Device dev;
   sysml::Runtime rt(dev, {.enable_gpu = true, .gpu_cost_bias = 1e-4});
-  const auto out = sysml::run_lr_cg_dag_script(
-      rt, X, labels, sysml::PlanMode::kPlanner, cfg);
+  const auto out =
+      ml::run_lr_cg_script(rt, X, labels, sysml::PlanMode::kPlanner, cfg);
 
   const auto events = obs::recorder().snapshot();
   ASSERT_EQ(obs::recorder().dropped(), 0u);
@@ -334,15 +334,15 @@ TEST(Obs, RetriedAttemptsDoNotDoubleBookSuccessMetrics) {
   // cost lands in resilience_overhead_ms alone.
   const auto X = la::uniform_sparse(3000, 250, 0.02, 7);
   const auto labels = la::regression_labels(X, 7, 0.1);
-  sysml::ScriptConfig cfg;
+  ml::ScriptConfig cfg;
   cfg.max_iterations = 8;
   cfg.tolerance = 0;
 
   vgpu::Device clean_dev;
   sysml::Runtime clean_rt(clean_dev,
                           {.enable_gpu = true, .gpu_cost_bias = 1e-4});
-  const auto clean = sysml::run_lr_cg_dag_script(
-      clean_rt, X, labels, sysml::PlanMode::kPlanner, cfg);
+  const auto clean =
+      ml::run_lr_cg_script(clean_rt, X, labels, sysml::PlanMode::kPlanner, cfg);
 
   vgpu::FaultConfig fc;
   fc.seed = 99;
@@ -352,7 +352,7 @@ TEST(Obs, RetriedAttemptsDoNotDoubleBookSuccessMetrics) {
   faulty_dev.set_fault_injector(&injector);
   sysml::Runtime faulty_rt(faulty_dev,
                            {.enable_gpu = true, .gpu_cost_bias = 1e-4});
-  const auto faulty = sysml::run_lr_cg_dag_script(
+  const auto faulty = ml::run_lr_cg_script(
       faulty_rt, X, labels, sysml::PlanMode::kPlanner, cfg);
 
   // Preconditions: faults actually fired and were absorbed without changing

@@ -13,7 +13,7 @@
 #include "la/vector_ops.h"
 #include "ml/lr_cg.h"
 #include "patterns/executor.h"
-#include "sysml/lr_cg_script.h"
+#include "ml/script_library.h"
 #include "sysml/memory_manager.h"
 #include "sysml/runtime.h"
 #include "vgpu/device.h"
@@ -418,13 +418,13 @@ TEST(RuntimeResilience, DagInterpreterAbsorbsFaultsBitExactly) {
   // at test scale — faults only fire on device work.
   const auto X = la::uniform_sparse(4000, 300, 0.02, 51);
   const auto labels = la::classification_labels(X, 51, 0.1);
-  sysml::GdConfig cfg;
+  ml::GdConfig cfg;
   cfg.iterations = 6;
 
   vgpu::Device clean_dev;
   sysml::Runtime clean_rt(clean_dev,
                           {.enable_gpu = true, .gpu_cost_bias = 1e-4});
-  const auto a = sysml::run_logreg_dag_script(
+  const auto a = ml::run_logreg_gd_script(
       clean_rt, X, labels, sysml::PlanMode::kPlanner, cfg);
 
   FaultInjector inj(mixed_faults());
@@ -432,7 +432,7 @@ TEST(RuntimeResilience, DagInterpreterAbsorbsFaultsBitExactly) {
   faulty_dev.set_fault_injector(&inj);
   sysml::Runtime faulty_rt(faulty_dev,
                            {.enable_gpu = true, .gpu_cost_bias = 1e-4});
-  const auto b = sysml::run_logreg_dag_script(
+  const auto b = ml::run_logreg_gd_script(
       faulty_rt, X, labels, sysml::PlanMode::kPlanner, cfg);
 
   EXPECT_EQ(a.weights, b.weights);  // bit-exact recovery

@@ -11,7 +11,7 @@
 #include "serve/admission_queue.h"
 #include "serve/circuit_breaker.h"
 #include "serve/server.h"
-#include "sysml/lr_cg_script.h"
+#include "ml/script_library.h"
 
 namespace fusedml::serve {
 namespace {
@@ -259,9 +259,10 @@ TEST(Server, ScriptRequestMatchesAReferenceRuntime) {
   sysml::RuntimeOptions ro;
   ro.device_capacity = server.pool().session_memory_bytes();
   sysml::Runtime rt(ref_dev, ro);
-  sysml::ScriptConfig cfg;
+  ml::ScriptConfig cfg;
   cfg.max_iterations = 3;
-  auto expect = sysml::run_lr_cg_script(rt, X, labels, cfg);
+  auto expect =
+      ml::run_lr_cg_script(rt, X, labels, sysml::PlanMode::kPlanner, cfg);
   ASSERT_EQ(o.value.size(), expect.weights.size());
   for (usize j = 0; j < o.value.size(); ++j) {
     EXPECT_EQ(o.value[j], expect.weights[j]) << "weight " << j;

@@ -12,13 +12,18 @@
 #include "ml/lr_cg.h"
 #include "patterns/executor.h"
 #include "sysml/jni_bridge.h"
-#include "sysml/lr_cg_script.h"
+#include "ml/script_library.h"
 #include "sysml/memory_manager.h"
 #include "sysml/runtime.h"
 #include "test_util.h"
 
 namespace fusedml::sysml {
 namespace {
+
+using ml::GdConfig;
+using ml::ScriptConfig;
+using ml::run_logreg_gd_script;
+using ml::run_lr_cg_script;
 
 std::string tensor_name(long long id) {
   std::string name = "t";
@@ -262,7 +267,7 @@ TEST(Script, WeightsMatchDirectSolver) {
   cfg.max_iterations = 30;
 
   Runtime rt(dev, {});
-  const auto script = run_lr_cg_script(rt, X, y, cfg);
+  const auto script = run_lr_cg_script(rt, X, y, PlanMode::kHardcodedPass, cfg);
 
   patterns::PatternExecutor exec(dev, patterns::Backend::kFused);
   ml::LrCgConfig direct_cfg;
@@ -285,9 +290,9 @@ TEST(Script, GpuBeatsCpuButLessThanKernelAlone) {
   cfg.tolerance = 0;
 
   Runtime gpu_rt(dev, {.enable_gpu = true});
-  const auto gpu = run_lr_cg_script(gpu_rt, X, y, cfg);
+  const auto gpu = run_lr_cg_script(gpu_rt, X, y, PlanMode::kHardcodedPass, cfg);
   Runtime cpu_rt(dev, {.enable_gpu = false});
-  const auto cpu = run_lr_cg_script(cpu_rt, X, y, cfg);
+  const auto cpu = run_lr_cg_script(cpu_rt, X, y, PlanMode::kHardcodedPass, cfg);
 
   const double total_speedup = cpu.end_to_end_ms / gpu.end_to_end_ms;
   EXPECT_GT(total_speedup, 1.0) << "GPU-enabled runtime must win";
@@ -304,7 +309,8 @@ TEST(Script, TracksMemoryAndJniOverheads) {
   const auto X = la::uniform_sparse(20000, 300, 0.02, 623);
   const auto y = la::regression_labels(X, 623, 0.1);
   Runtime rt(dev, {});
-  const auto r = run_lr_cg_script(rt, X, y, {.max_iterations = 10});
+  const auto r = run_lr_cg_script(rt, X, y, PlanMode::kHardcodedPass,
+                                  {.max_iterations = 10});
   EXPECT_GT(r.runtime_stats.jni_ms, 0.0);
   EXPECT_GT(r.runtime_stats.transfer_ms, 0.0);
   EXPECT_GT(r.memory_stats.h2d_bytes, X.bytes() - 1);
@@ -350,7 +356,7 @@ TEST(Script, LogRegGradientDescentLearns) {
   GdConfig cfg;
   cfg.iterations = 80;
   cfg.step = 0.8;
-  const auto r = run_logreg_gd_script(rt, X, y, cfg);
+  const auto r = run_logreg_gd_script(rt, X, y, PlanMode::kUnfused, cfg);
 
   // Training accuracy of the learned weights.
   const auto margins = la::reference::spmv(X, r.weights);
@@ -378,7 +384,7 @@ TEST(Script, LogRegGdMatchesHostReference) {
   cfg.iterations = 10;
 
   Runtime rt(dev, {});
-  const auto script = run_logreg_gd_script(rt, X, y, cfg);
+  const auto script = run_logreg_gd_script(rt, X, y, PlanMode::kUnfused, cfg);
 
   // Host re-implementation of the identical update.
   std::vector<real> w(20, 0.0);
@@ -406,7 +412,8 @@ TEST(Script, TinyProblemStaysOnCpu) {
   const auto X = la::uniform_sparse(50, 20, 0.2, 624);
   const auto y = la::regression_labels(X, 624, 0.1);
   Runtime rt(dev, {});
-  const auto r = run_lr_cg_script(rt, X, y, {.max_iterations = 5});
+  const auto r = run_lr_cg_script(rt, X, y, PlanMode::kHardcodedPass,
+                                  {.max_iterations = 5});
   EXPECT_EQ(r.runtime_stats.gpu_ops, 0u)
       << "PCIe + JNI should make the GPU unattractive for toy data";
 }
