@@ -131,6 +131,8 @@ int run_bench(int argc, char** argv) {
 
   Table table({"algorithm", "plan mode", "launches", "modeled ms",
                "bytes moved", "fused groups", "max|dw| vs unfused"});
+  Table spot_table({"algorithm", "planner ms", "spot-verify ms", "overhead",
+                    "verify launches", "drift"});
 
   bool ok = true;
   for (auto& c : build_cases(rows, cols)) {
@@ -209,17 +211,65 @@ int run_bench(int argc, char** argv) {
         ok = false;
       }
     }
+
+    // Gate 5: spot ABFT verification is cheap enough to leave on — the
+    // planner run with VerifyPolicy::kSpot stays within 10% modeled
+    // overhead, its weights stay bit-exact (no false positives on a clean
+    // device), and the plan audit still shows zero drift (verification
+    // launches are excluded from plan-vs-actual accounting).
+    {
+      const ml::ScriptSpec* spec =
+          ml::find_script(c.algorithm, /*dense=*/false, sysml::PlanMode::kPlanner);
+      vgpu::Device dev;
+      sysml::Runtime rt(dev, {.enable_gpu = true, .gpu_cost_bias = 1e-4});
+      rt.set_verify_policy(kernels::VerifyPolicy::kSpot);
+      const auto spot = spec->run_sparse(rt, c.X, c.labels, c.iterations);
+      const double base_ms = planner.runtime_stats.total_ms();
+      const double spot_ms = spot.runtime_stats.total_ms();
+      const double overhead = base_ms > 0 ? spot_ms / base_ms - 1.0 : 0.0;
+      const std::int64_t spot_drift = spot.plan_audit.has_prediction
+                                          ? spot.plan_audit.launch_drift()
+                                          : 0;
+      spot_table.row()
+          .add(name)
+          .add(base_ms, 3)
+          .add(spot_ms, 3)
+          .add(bench::fmt(overhead * 100, 2) + "%")
+          .add(static_cast<long long>(spot.runtime_stats.verify_launches))
+          .add(static_cast<long long>(spot_drift));
+      json.add(name + "_spot_verify_overhead_pct", overhead * 100);
+      json.add(name + "_spot_verify_launches",
+               static_cast<double>(spot.runtime_stats.verify_launches));
+      if (overhead > 0.10) {
+        std::cerr << "GATE FAILED: " << name << " spot-verify overhead "
+                  << bench::fmt(overhead * 100, 2) << "% exceeds 10%\n";
+        ok = false;
+      }
+      if (!bit_equal(spot.weights, planner.weights)) {
+        std::cerr << "GATE FAILED: " << name
+                  << " spot-verify run is not bit-exact with the planner "
+                     "run (false positive on a clean device?)\n";
+        ok = false;
+      }
+      if (spot_drift != 0) {
+        std::cerr << "GATE FAILED: " << name
+                  << " spot-verify plan audit drift = " << spot_drift << "\n";
+        ok = false;
+      }
+    }
   }
 
   std::cout << "\n" << table;
+  std::cout << "\n" << spot_table;
   json.add("ok", ok ? 1.0 : 0.0);
   json.add_table("algorithms", table);
+  json.add_table("spot_verify", spot_table);
   json.write();
   bench::print_note(
       "modeled milliseconds from the virtual GTX-Titan cost model; bytes "
       "moved = modeled H2D + D2H traffic. Exit status gates: planner == "
       "hardcoded bit-exact, strict launch win on glm/svm/hits, zero "
-      "plan-audit drift.");
+      "plan-audit drift, spot ABFT verification <= 10% modeled overhead.");
   return ok ? 0 : 1;
 }
 

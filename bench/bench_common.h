@@ -22,6 +22,7 @@
 #include "common/cli.h"
 #include "common/error.h"
 #include "common/json.h"
+#include "common/resilience.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "common/types.h"
@@ -80,6 +81,16 @@ class JsonReport {
   }
   void add_table(const std::string& name, const Table& t) {
     tables_.emplace_back(name, t.csv());
+  }
+  /// Standard silent-corruption-defense block (prefix allows several runs
+  /// per bench): detections, rollbacks, and the verification bill.
+  void add_resilience(const std::string& prefix, const ResilienceStats& s) {
+    add(prefix + ".sdc_detected", static_cast<double>(s.sdc_detected));
+    add(prefix + ".rollbacks", static_cast<double>(s.rollbacks));
+    add(prefix + ".verify_launches", static_cast<double>(s.verify_launches));
+    add(prefix + ".verify_overhead_ms", s.verify_ms);
+    add(prefix + ".faults_seen", static_cast<double>(s.faults_seen));
+    add(prefix + ".recoveries", static_cast<double>(s.recoveries));
   }
 
   /// Writes the record (idempotent; also called from the destructor).

@@ -48,8 +48,11 @@ static int run_bench(int argc, char** argv) {
   const ml::LrCgConfig cfg{.max_iterations = 200, .eps = 1e-6,
                            .tolerance = 1e-12};
 
-  const auto train = [&](vgpu::Device& dev) {
+  const auto train = [&](vgpu::Device& dev,
+                         kernels::VerifyPolicy verify =
+                             kernels::VerifyPolicy::kOff) {
     patterns::PatternExecutor exec(dev, patterns::Backend::kFused);
+    exec.registry().set_verify_policy(verify);
     return ml::lr_cg(exec, X, labels, cfg);
   };
 
@@ -86,9 +89,52 @@ static int run_bench(int argc, char** argv) {
     report.add("rate " + bench::fmt(rate * 100, 1) + "%", rs);
   }
   std::cout << table << "\n";
+
+  // Silent-corruption load level: outputs are perturbed WITHOUT any error
+  // being raised — only ABFT verification (VerifyPolicy::kFull) catches
+  // them. The bit-exact column is the whole point: every detection is
+  // recomputed, so the converged weights match the fault-free run to the
+  // last bit even while kernels lie at the swept rate.
+  bench::print_note(
+      "silent-corruption level: outputs perturbed with NO raised error; "
+      "full ABFT verification detects + recomputes; bit-exactness gates");
+  Table sdc_table({"silent rate", "total (ms)", "overhead", "sdc detected",
+                   "verify launches", "verify (ms)", "bit-exact"});
+  bool all_exact = true;
+  ResilienceStats sdc_total;
+  for (const double rate : {0.01, 0.02, 0.05}) {
+    vgpu::FaultConfig fc;
+    fc.seed = seed;
+    fc.silent_fault_rate = rate;
+    vgpu::FaultInjector injector(fc);
+    vgpu::Device dev;
+    dev.set_fault_injector(&injector);
+    const auto r = train(dev, kernels::VerifyPolicy::kFull);
+    const auto& rs = r.stats.resilience;
+    const double total_ms = r.stats.total_modeled_ms();
+    const bool exact = la::max_abs_diff(clean.weights, r.weights) == 0.0 &&
+                       r.stats.iterations == clean.stats.iterations;
+    all_exact = all_exact && exact;
+    sdc_total += rs;
+    sdc_table.row()
+        .add(bench::fmt(rate * 100, 1) + "%")
+        .add(total_ms, 3)
+        .add(bench::fmt((total_ms / base_ms - 1.0) * 100, 1) + "%")
+        .add(rs.sdc_detected)
+        .add(rs.verify_launches)
+        .add(rs.verify_ms, 3)
+        .add(exact ? "yes" : "NO");
+    report.add("silent " + bench::fmt(rate * 100, 1) + "%", rs);
+  }
+  std::cout << sdc_table << "\n";
   report.print(std::cout);
+  FUSEDML_CHECK(all_exact,
+                "silent-corruption defense regressed: a verified run is not "
+                "bit-exact with the fault-free weights");
   json.add("clean_total_ms", base_ms);
+  json.add_resilience("sdc", sdc_total);
   json.add_table("resilience", table);
+  json.add_table("silent_corruption", sdc_table);
   json.write();
   return 0;
 }

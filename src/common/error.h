@@ -22,6 +22,7 @@ enum class ErrorCode {
   kKernelFault,  ///< kernel launch/execution failed — transient, retryable
   kData,         ///< corrupted or malformed data (ECC, bad input file)
   kDeadline,     ///< modeled deadline/retry budget exhausted — fail fast
+  kSilentCorruption,  ///< output failed an ABFT check — transient, recompute
 };
 
 inline const char* to_string(ErrorCode code) {
@@ -32,6 +33,7 @@ inline const char* to_string(ErrorCode code) {
     case ErrorCode::kKernelFault: return "kernel-fault";
     case ErrorCode::kData: return "data";
     case ErrorCode::kDeadline: return "deadline";
+    case ErrorCode::kSilentCorruption: return "silent-corruption";
   }
   return "?";
 }
@@ -40,7 +42,7 @@ inline const char* to_string(ErrorCode code) {
 /// (the fault is tied to the attempt, not the operation).
 inline bool is_transient(ErrorCode code) {
   return code == ErrorCode::kTransfer || code == ErrorCode::kKernelFault ||
-         code == ErrorCode::kData;
+         code == ErrorCode::kData || code == ErrorCode::kSilentCorruption;
 }
 
 /// Exception thrown on any precondition or invariant violation inside
@@ -93,6 +95,18 @@ class DataError : public Error {
  public:
   explicit DataError(const std::string& what, double penalty_ms = 0.0)
       : Error(what, ErrorCode::kData, penalty_ms) {}
+};
+
+/// An ABFT checksum (or other redundant check) caught a result that does not
+/// match its algebraic invariant: the kernel "succeeded" but its output is
+/// wrong — a silent data corruption. Transient: recomputing the same op is
+/// the recovery. penalty_ms carries the modeled time of the corrupted
+/// attempt plus its verification, so retry loops charge the waste honestly.
+class SilentCorruptionError : public Error {
+ public:
+  explicit SilentCorruptionError(const std::string& what,
+                                 double penalty_ms = 0.0)
+      : Error(what, ErrorCode::kSilentCorruption, penalty_ms) {}
 };
 
 /// A modeled deadline (or total retry budget) was exhausted. Never retried:

@@ -21,7 +21,9 @@ void RunReport::print(std::ostream& os) const {
        << s.breaker_skips << "  recoveries " << std::setw(6) << s.recoveries
        << "  backoff " << std::fixed << std::setprecision(3) << std::setw(9)
        << s.backoff_ms << " ms  wasted " << std::setw(9) << s.wasted_ms
-       << " ms\n";
+       << " ms  sdc " << std::setw(4) << s.sdc_detected << "  rollbacks "
+       << std::setw(4) << s.rollbacks << "  verify " << std::setw(6)
+       << s.verify_launches << " (" << s.verify_ms << " ms)\n";
   };
   for (const auto& [name, stats] : sources_) line(name, stats);
   line("total", total_);

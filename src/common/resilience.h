@@ -68,14 +68,29 @@ struct ResilienceStats {
   /// them open (serving-pool dispatch only).
   std::uint64_t breaker_skips = 0;
   std::uint64_t recoveries = 0;   ///< ops that succeeded after >=1 fault
+  /// Silent corruptions an ABFT check caught (each also counts as a
+  /// fault_seen once it is rethrown into the retry loop).
+  std::uint64_t sdc_detected = 0;
+  /// Solver-level checkpoint rollbacks taken (ml/script_library solvers).
+  std::uint64_t rollbacks = 0;
+  /// Verification launches issued by the op that PRODUCED the surviving
+  /// value — counted exactly once per dispatch, on the successful attempt.
+  /// Verification burned by failed (corrupted) attempts lands in wasted_ms
+  /// via the fault's penalty instead, so retries never double-report.
+  std::uint64_t verify_launches = 0;
+  double verify_ms = 0.0;         ///< modeled cost of those checks
   double backoff_ms = 0.0;        ///< modeled backoff wait charged
   double wasted_ms = 0.0;         ///< modeled time burned by failed attempts
 
   bool any() const {
     return faults_seen != 0 || retries != 0 || fallbacks != 0 ||
-           recoveries != 0 || breaker_skips != 0;
+           recoveries != 0 || breaker_skips != 0 || sdc_detected != 0 ||
+           rollbacks != 0 || verify_launches != 0;
   }
   /// Total modeled overhead this layer added versus a fault-free run.
+  /// Verification cost is NOT included: it is paid on clean runs too (it is
+  /// the price of the verify policy, not of a fault) and is reported
+  /// separately as verify_ms.
   double overhead_ms() const { return backoff_ms + wasted_ms; }
 
   ResilienceStats& operator+=(const ResilienceStats& o) {
@@ -86,6 +101,10 @@ struct ResilienceStats {
     fallbacks_to_cpu += o.fallbacks_to_cpu;
     breaker_skips += o.breaker_skips;
     recoveries += o.recoveries;
+    sdc_detected += o.sdc_detected;
+    rollbacks += o.rollbacks;
+    verify_launches += o.verify_launches;
+    verify_ms += o.verify_ms;
     backoff_ms += o.backoff_ms;
     wasted_ms += o.wasted_ms;
     return *this;

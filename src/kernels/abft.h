@@ -1,0 +1,197 @@
+// Algorithm-based fault tolerance (ABFT) for the operator registry — the
+// redundant algebraic checks that catch SILENT data corruption, the fault
+// class nothing else in the stack can see (vgpu::FaultKind::kSilentCorruption
+// perturbs a kernel's output without raising any error).
+//
+// The matrix ops are verified Huang–Abraham style with precomputed checksum
+// vectors, cached per matrix so the per-call check is one cheap reduction:
+//   product            p = X*y          : sum(p)  ?=  <colsum(X), y>
+//   transposed product w = a*X^T*y      : sum(w)  ?=  a * <rowsum(X), y>
+//   pattern (Eq. 1)    w = a*X^T(v⊙Xy)+bz : sum(w) ?= a * <k, y> + b * sum(z)
+//                      with k = X^T (v ⊙ rowsum(X))   (cached per (X, v))
+// The observed-side sum runs as ONE device reduction launch (dev_dot against
+// a cached ones vector) so verification pays real modeled launch cost —
+// declared via OpProfile::verify_launches and accounted by the planner
+// audit. The elementwise/BLAS-1 ops are verified with host-side redundant
+// arithmetic (sum identities or straight recomputation); those checks issue
+// no device launches.
+//
+// Detection contract. The injected perturbation displaces one element by at
+// least (1 + max|value|); checks compare with a relative tolerance of
+// kAbftRelTol * (1 + |expected| + Σ|terms|), orders of magnitude above
+// double-precision reduction noise and orders of magnitude below the
+// perturbation at every scale this repo models — so clean runs never
+// false-positive and injected corruptions are always caught (when the
+// policy samples the op). A mismatch throws SilentCorruptionError; the
+// caller's execute_resilient loop treats it like any transient fault and
+// recomputes.
+//
+// VerifyPolicy::kSpot samples every spot_interval()-th GPU dispatch —
+// cheap continuous assurance; kFull checks every GPU dispatch — required
+// for the bit-exact guarantees of the chaos SDC soak. CPU results are
+// never checked (host arithmetic cannot be silently corrupted here).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "kernels/cpu_backend.h"
+#include "kernels/ewise_program.h"
+#include "la/csr_matrix.h"
+#include "la/dense_matrix.h"
+#include "vgpu/device.h"
+#include "vgpu/mem_counters.h"
+
+namespace fusedml::kernels {
+
+/// How much of the GPU dispatch stream ABFT verification covers.
+enum class VerifyPolicy {
+  kOff,   ///< no checks (the default — zero overhead)
+  kSpot,  ///< every Nth GPU dispatch (N = spot_interval())
+  kFull,  ///< every GPU dispatch — bit-exact guarantee under SDC injection
+};
+
+const char* to_string(VerifyPolicy policy);
+
+/// Relative tolerance of every checksum comparison.
+inline constexpr double kAbftRelTol = 1e-8;
+
+/// What one verification cost the op it checked (folded into the op's
+/// KernelOutcome accounting by the registry).
+struct VerifyCharge {
+  std::uint64_t launches = 0;  ///< device reduction launches issued
+  double modeled_ms = 0.0;     ///< modeled device time of those launches
+  vgpu::MemCounters counters;
+};
+
+/// Sum and absolute-sum of a vector in one pass — the precomputed input
+/// checksums the in-place BLAS-1 checks need from before the launch.
+struct HostSums {
+  real sum = 0;
+  real abs_sum = 0;
+};
+
+class AbftVerifier {
+ public:
+  AbftVerifier(vgpu::Device& dev, const CpuBackend& cpu)
+      : dev_(dev), cpu_(cpu) {}
+
+  void set_policy(VerifyPolicy policy) { policy_ = policy; }
+  VerifyPolicy policy() const { return policy_; }
+
+  /// Spot-mode sampling period: every Nth GPU dispatch is verified.
+  void set_spot_interval(int n);
+  int spot_interval() const { return spot_interval_; }
+
+  /// Called once per GPU dispatch: advances the spot counter and returns
+  /// whether THIS dispatch must be verified under the current policy.
+  bool arm();
+
+  std::uint64_t checks() const { return checks_; }
+  std::uint64_t mismatches() const { return mismatches_; }
+
+  // --- Matrix-op checks (one device reduction each) ----------------------
+  // All throw SilentCorruptionError on mismatch (penalty = the check's own
+  // modeled cost; the registry adds the doomed attempt's cost on rethrow).
+  VerifyCharge check_product(std::span<const real> p, const la::CsrMatrix& X,
+                             std::span<const real> y);
+  VerifyCharge check_product(std::span<const real> p, const la::DenseMatrix& X,
+                             std::span<const real> y);
+  VerifyCharge check_transposed_product(std::span<const real> w,
+                                        const la::CsrMatrix& X,
+                                        std::span<const real> y, real alpha);
+  VerifyCharge check_transposed_product(std::span<const real> w,
+                                        const la::DenseMatrix& X,
+                                        std::span<const real> y, real alpha);
+  VerifyCharge check_pattern(std::span<const real> w, real alpha,
+                             const la::CsrMatrix& X, std::span<const real> v,
+                             std::span<const real> y, real beta,
+                             std::span<const real> z);
+  VerifyCharge check_pattern(std::span<const real> w, real alpha,
+                             const la::DenseMatrix& X, std::span<const real> v,
+                             std::span<const real> y, real beta,
+                             std::span<const real> z);
+
+  // --- Elementwise / BLAS-1 checks (host-side, launch-free) --------------
+  VerifyCharge check_axpy(std::span<const real> y_after, real alpha,
+                          const HostSums& x_before, const HostSums& y_before);
+  VerifyCharge check_scal(std::span<const real> x_after, real alpha,
+                          const HostSums& x_before);
+  VerifyCharge check_dot(real observed, std::span<const real> x,
+                         std::span<const real> y);
+  VerifyCharge check_nrm2(real observed, std::span<const real> x);
+  VerifyCharge check_ewise_mul(std::span<const real> out,
+                               std::span<const real> x,
+                               std::span<const real> y);
+  VerifyCharge check_map(std::span<const real> out, std::span<const real> x,
+                         real (*f)(real));
+  VerifyCharge check_ewise_chain(std::span<const real> out,
+                                 const EwiseProgram& program,
+                                 std::span<const std::span<const real>> inputs);
+
+  static HostSums host_sums(std::span<const real> x);
+
+ private:
+  struct MatKey {
+    const void* data = nullptr;
+    index_t rows = 0;
+    index_t cols = 0;
+    std::uint64_t nnz = 0;
+    bool operator==(const MatKey&) const = default;
+  };
+  struct MatKeyHash {
+    usize operator()(const MatKey& k) const;
+  };
+  /// Per-matrix checksum vectors, computed once on the host.
+  struct MatSums {
+    std::vector<real> row_sums;  ///< r_i = sum_j X(i,j)
+    std::vector<real> col_sums;  ///< c_j = sum_i X(i,j)
+  };
+  /// Per-(matrix, v) pattern checksum k = X^T (v ⊙ rowsum(X)), with a cheap
+  /// content fingerprint of v so a changed weight vector (GLM IRLS outer
+  /// iterations) recomputes k while the inner CG iterations reuse it.
+  struct PatternChecksum {
+    std::vector<real> k;
+    const void* v_data = nullptr;
+    usize v_size = 0;
+    real v_sum = 0;
+    real v_first = 0;
+    real v_last = 0;
+  };
+
+  const MatSums& sums_for(const la::CsrMatrix& X);
+  const MatSums& sums_for(const la::DenseMatrix& X);
+  const std::vector<real>& pattern_checksum(const la::CsrMatrix& X,
+                                            std::span<const real> v);
+  const std::vector<real>& pattern_checksum(const la::DenseMatrix& X,
+                                            std::span<const real> v);
+
+  /// The observed-side checksum: one dev_dot launch of `w` against a cached
+  /// ones vector. Folds the launch into `charge`. If the reduction launch
+  /// itself draws a silent-corruption fault, the check cannot be trusted —
+  /// it throws SilentCorruptionError immediately (a recompute follows).
+  real device_sum(std::span<const real> w, VerifyCharge& charge);
+
+  /// Tolerance-compared verdict shared by every check: books the check into
+  /// the metrics registry and throws SilentCorruptionError on mismatch.
+  void conclude(const char* what, real observed, real expected, real scale,
+                const VerifyCharge& charge);
+  [[noreturn]] void mismatch(const char* what, real observed, real expected,
+                             double penalty_ms);
+
+  vgpu::Device& dev_;
+  const CpuBackend& cpu_;
+  VerifyPolicy policy_ = VerifyPolicy::kOff;
+  int spot_interval_ = 8;
+  std::uint64_t spot_counter_ = 0;
+  std::uint64_t checks_ = 0;
+  std::uint64_t mismatches_ = 0;
+  std::unordered_map<MatKey, MatSums, MatKeyHash> mat_sums_;
+  std::unordered_map<MatKey, PatternChecksum, MatKeyHash> pattern_sums_;
+  std::unordered_map<usize, std::vector<real>> ones_;
+};
+
+}  // namespace fusedml::kernels

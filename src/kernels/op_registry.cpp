@@ -1,6 +1,7 @@
 #include "kernels/op_registry.h"
 
 #include <algorithm>
+#include <cmath>
 #include <exception>
 
 #include "common/error.h"
@@ -133,6 +134,13 @@ OpProfile op_profile(RegistryOp op, Backend backend, bool sparse) {
       p.kernel = "ewise chain (codegen)";
       break;
   }
+  // ABFT cost declaration: a sampled verification of a matrix op issues one
+  // checksum-reduction launch (abft.h); elementwise checks are host-side.
+  if (!cpu && (op == RegistryOp::kPattern ||
+               op == RegistryOp::kTransposedProduct ||
+               op == RegistryOp::kProduct)) {
+    p.verify_launches = 1;
+  }
   return p;
 }
 
@@ -156,15 +164,81 @@ KernelOutcome from_cpu(CpuOpResult op, std::string kernel) {
   out.kernel = std::move(kernel);
   return out;
 }
+
+/// Runs one ABFT check and folds its cost into the outcome. On mismatch the
+/// whole attempt is a loss: rethrow with the doomed op's modeled time added
+/// to the check's own cost so the retry loop charges the waste honestly.
+template <typename Check>
+void run_check(KernelOutcome& out, Check&& check) {
+  try {
+    const VerifyCharge charge = check();
+    out.launches += charge.launches;
+    out.modeled_ms += charge.modeled_ms;
+    out.counters += charge.counters;
+    out.verify_launches += charge.launches;
+    out.verify_ms += charge.modeled_ms;
+  } catch (const SilentCorruptionError& e) {
+    throw SilentCorruptionError(e.what(), e.penalty_ms() + out.modeled_ms);
+  }
+}
 }  // namespace
+
+void OpRegistry::apply_injected_corruption(KernelOutcome& out,
+                                           std::span<real> in_place) {
+  const std::uint64_t pending = dev_.take_silent_corruptions();
+  if (pending == 0 || out.value.empty()) return;
+  perturb(out.value, in_place, pending);
+}
+
+bool OpRegistry::consume_streamed_corruption(std::vector<real>& value) {
+  const std::uint64_t pending = dev_.take_silent_corruptions();
+  if (pending == 0 || value.empty()) return false;
+  perturb(value, {}, pending);
+  return true;
+}
+
+void OpRegistry::perturb(std::span<real> value, std::span<real> in_place,
+                         std::uint64_t pending) {
+  const vgpu::FaultInjector* inj = dev_.fault_injector();
+  // Deterministic perturbation: element index and sign depend only on the
+  // injector seed and the corruption ordinal, so a replay at the same seed
+  // corrupts the same element the same way (splitmix64 finalizer).
+  std::uint64_t h = dev_.silent_corruption_seq() ^
+                    (inj != nullptr ? inj->config().seed : 0x5eedULL);
+  h += 0x9e3779b97f4a7c15ULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  const usize idx = static_cast<usize>(h % value.size());
+  real max_abs = 0;
+  for (real v : value) max_abs = std::max(max_abs, std::abs(v));
+  // Displacement >= 1 + ||value||_inf: far above every ABFT tolerance at
+  // the scales this repo models, so a sampled check always detects it.
+  const real delta = (h & 1 ? real{1} : real{-1}) * (real{1} + max_abs);
+  value[idx] += delta;
+  if (!in_place.empty() && idx < in_place.size()) in_place[idx] += delta;
+  if (obs::metrics().enabled()) {
+    obs::metrics().counter("vgpu.silent_corruptions_applied").add(pending);
+  }
+}
 
 KernelOutcome OpRegistry::transposed_product(Backend b, const la::CsrMatrix& X,
                                              std::span<const real> y,
                                              real alpha) {
+  if (b == Backend::kCpu) {
+    auto op = cpu_.spmv_t(X, y);
+    if (alpha != real{1}) {
+      for (real& w : op.value) w *= alpha;
+    }
+    return from_cpu(std::move(op), "cpu spmv_t");
+  }
+  const bool chk = sdc_.arm();
+  KernelOutcome out;
   switch (b) {
     case Backend::kFused:
-      return from_op(fused_spmv_t(dev_, X, y, alpha, sparse_opts_),
-                     "fused_spmv_t (Alg. 1)");
+      out = from_op(fused_spmv_t(dev_, X, y, alpha, sparse_opts_),
+                    "fused_spmv_t (Alg. 1)");
+      break;
     case Backend::kCusparse: {
       auto op = baseline_xty_sparse(
           dev_, X, y, SparseTransposeStrategy::kExplicitTranspose);
@@ -172,7 +246,8 @@ KernelOutcome OpRegistry::transposed_product(Backend b, const la::CsrMatrix& X,
         auto s = dev_scal(dev_, alpha, op.value);
         op.absorb_timing(s);
       }
-      return from_op(std::move(op), "csr2csc + csrmv");
+      out = from_op(std::move(op), "csr2csc + csrmv");
+      break;
     }
     case Backend::kBidmatGpu: {
       auto op = baseline_xty_sparse(dev_, X, y,
@@ -181,17 +256,19 @@ KernelOutcome OpRegistry::transposed_product(Backend b, const la::CsrMatrix& X,
         auto s = dev_scal(dev_, alpha, op.value);
         op.absorb_timing(s);
       }
-      return from_op(std::move(op), "atomic-scatter spmv_t");
+      out = from_op(std::move(op), "atomic-scatter spmv_t");
+      break;
     }
-    case Backend::kCpu: {
-      auto op = cpu_.spmv_t(X, y);
-      if (alpha != real{1}) {
-        for (real& w : op.value) w *= alpha;
-      }
-      return from_cpu(std::move(op), "cpu spmv_t");
-    }
+    default:
+      throw Error("unknown backend");
   }
-  throw Error("unknown backend");
+  apply_injected_corruption(out, {});
+  if (chk) {
+    run_check(out,
+              [&] { return sdc_.check_transposed_product(out.value, X, y,
+                                                         alpha); });
+  }
+  return out;
 }
 
 KernelOutcome OpRegistry::transposed_product(Backend b,
@@ -215,49 +292,83 @@ KernelOutcome OpRegistry::transposed_product(Backend b,
     opts.smem_conflict_ways = kCublasConflictWays;
     opts.transaction_inflation = kCublasTransactionInflation;
   }
+  const bool chk = sdc_.arm();
   auto op = gemv_t(dev_, X, y, opts);
   if (alpha != real{1}) {
     auto s = dev_scal(dev_, alpha, op.value);
     op.absorb_timing(s);
   }
-  return from_op(std::move(op), "gemv_t");
+  auto out = from_op(std::move(op), "gemv_t");
+  apply_injected_corruption(out, {});
+  if (chk) {
+    run_check(out,
+              [&] { return sdc_.check_transposed_product(out.value, X, y,
+                                                         alpha); });
+  }
+  return out;
 }
 
 KernelOutcome OpRegistry::product(Backend b, const la::CsrMatrix& X,
                                   std::span<const real> y) {
   if (b == Backend::kCpu) return from_cpu(cpu_.spmv(X, y), "cpu spmv");
-  return from_op(spmv_csr_vector(dev_, X, y), "csrmv");
+  const bool chk = sdc_.arm();
+  auto out = from_op(spmv_csr_vector(dev_, X, y), "csrmv");
+  apply_injected_corruption(out, {});
+  if (chk) {
+    run_check(out, [&] { return sdc_.check_product(out.value, X, y); });
+  }
+  return out;
 }
 
 KernelOutcome OpRegistry::product(Backend b, const la::DenseMatrix& X,
                                   std::span<const real> y) {
   if (b == Backend::kCpu) return from_cpu(cpu_.gemv(X, y), "cpu gemv");
-  return from_op(gemv_n(dev_, X, y), "gemv");
+  const bool chk = sdc_.arm();
+  auto out = from_op(gemv_n(dev_, X, y), "gemv");
+  apply_injected_corruption(out, {});
+  if (chk) {
+    run_check(out, [&] { return sdc_.check_product(out.value, X, y); });
+  }
+  return out;
 }
 
 KernelOutcome OpRegistry::pattern(Backend b, real alpha, const la::CsrMatrix& X,
                                   std::span<const real> v,
                                   std::span<const real> y, real beta,
                                   std::span<const real> z) {
+  if (b == Backend::kCpu) {
+    return from_cpu(cpu_.pattern(alpha, X, v, y, beta, z), "cpu pattern");
+  }
+  const bool chk = sdc_.arm();
+  KernelOutcome out;
   switch (b) {
     case Backend::kFused:
-      return from_op(
+      out = from_op(
           fused_pattern_sparse(dev_, alpha, X, v, y, beta, z, sparse_opts_),
           "fused_pattern_sparse (Alg. 2)");
+      break;
     case Backend::kCusparse:
-      return from_op(baseline_pattern_sparse(
-                         dev_, alpha, X, v, y, beta, z,
-                         SparseTransposeStrategy::kExplicitTranspose),
-                     "csrmv + blas1 + csr2csc + csrmv");
+      out = from_op(baseline_pattern_sparse(
+                        dev_, alpha, X, v, y, beta, z,
+                        SparseTransposeStrategy::kExplicitTranspose),
+                    "csrmv + blas1 + csr2csc + csrmv");
+      break;
     case Backend::kBidmatGpu:
-      return from_op(
+      out = from_op(
           baseline_pattern_sparse(dev_, alpha, X, v, y, beta, z,
                                   SparseTransposeStrategy::kAtomicScatter),
           "csrmv + blas1 + atomic-scatter");
-    case Backend::kCpu:
-      return from_cpu(cpu_.pattern(alpha, X, v, y, beta, z), "cpu pattern");
+      break;
+    default:
+      throw Error("unknown backend");
   }
-  throw Error("unknown backend");
+  apply_injected_corruption(out, {});
+  if (chk) {
+    run_check(out, [&] {
+      return sdc_.check_pattern(out.value, alpha, X, v, y, beta, z);
+    });
+  }
+  return out;
 }
 
 KernelOutcome OpRegistry::pattern(Backend b, real alpha,
@@ -265,15 +376,21 @@ KernelOutcome OpRegistry::pattern(Backend b, real alpha,
                                   std::span<const real> v,
                                   std::span<const real> y, real beta,
                                   std::span<const real> z) {
+  if (b == Backend::kCpu) {
+    return from_cpu(cpu_.pattern(alpha, X, v, y, beta, z), "cpu pattern");
+  }
   const bool has_bz = !z.empty() && beta != real{0};
+  const bool chk = sdc_.arm();
+  KernelOutcome out;
   switch (b) {
     case Backend::kFused: {
       if (!dense_fused_feasible(dev_.spec(), X.cols())) {
         // §3.2: very wide dense rows exceed the register file — fall back
         // to two separate Level-2 kernels instead of fusing.
-        return from_op(baseline_pattern_dense(dev_, alpha, X, v, y, beta, z,
-                                              DenseFlavor::kBidmat),
-                       "gemv + gemv_t (fused infeasible: n too large, §3.2)");
+        out = from_op(baseline_pattern_dense(dev_, alpha, X, v, y, beta, z,
+                                             DenseFlavor::kBidmat),
+                      "gemv + gemv_t (fused infeasible: n too large, §3.2)");
+        break;
       }
       if (dense_opts_.use_codegen) {
         // §3.2 lifecycle: the kernel for this (n, VS, TL, options) shape is
@@ -283,56 +400,109 @@ KernelOutcome OpRegistry::pattern(Backend b, real alpha,
                                      params.config.thread_load, !v.empty(),
                                      has_bz});
       }
-      return from_op(fused_pattern_dense(dev_, alpha, X, v, y, beta, z,
-                                         dense_opts_),
-                     "fused_pattern_dense (Alg. 3, codegen)");
+      out = from_op(fused_pattern_dense(dev_, alpha, X, v, y, beta, z,
+                                        dense_opts_),
+                    "fused_pattern_dense (Alg. 3, codegen)");
+      break;
     }
     case Backend::kCusparse:
-      return from_op(baseline_pattern_dense(dev_, alpha, X, v, y, beta, z,
-                                            DenseFlavor::kCublas),
-                     "gemv + blas1 + gemv_t (cuBLAS tiles)");
+      out = from_op(baseline_pattern_dense(dev_, alpha, X, v, y, beta, z,
+                                           DenseFlavor::kCublas),
+                    "gemv + blas1 + gemv_t (cuBLAS tiles)");
+      break;
     case Backend::kBidmatGpu:
-      return from_op(baseline_pattern_dense(dev_, alpha, X, v, y, beta, z,
-                                            DenseFlavor::kBidmat),
-                     "gemv + blas1 + gemv_t (padded tiles)");
-    case Backend::kCpu:
-      return from_cpu(cpu_.pattern(alpha, X, v, y, beta, z), "cpu pattern");
+      out = from_op(baseline_pattern_dense(dev_, alpha, X, v, y, beta, z,
+                                           DenseFlavor::kBidmat),
+                    "gemv + blas1 + gemv_t (padded tiles)");
+      break;
+    default:
+      throw Error("unknown backend");
   }
-  throw Error("unknown backend");
+  apply_injected_corruption(out, {});
+  if (chk) {
+    run_check(out, [&] {
+      return sdc_.check_pattern(out.value, alpha, X, v, y, beta, z);
+    });
+  }
+  return out;
 }
 
 KernelOutcome OpRegistry::axpy(Backend b, real alpha, std::span<const real> x,
                                std::span<real> y) {
   if (b == Backend::kCpu) return from_cpu(cpu_.axpy(alpha, x, y), "axpy");
-  return from_op(dev_axpy(dev_, alpha, x, y), "axpy");
+  const bool chk = sdc_.arm();
+  HostSums sx, sy;
+  if (chk) {
+    // In-place op: the input checksums must be taken BEFORE the launch.
+    sx = AbftVerifier::host_sums(x);
+    sy = AbftVerifier::host_sums(y);
+  }
+  auto out = from_op(dev_axpy(dev_, alpha, x, y), "axpy");
+  apply_injected_corruption(out, y);
+  if (chk) {
+    run_check(out, [&] { return sdc_.check_axpy(y, alpha, sx, sy); });
+  }
+  return out;
 }
 
 KernelOutcome OpRegistry::scal(Backend b, real alpha, std::span<real> x) {
   if (b == Backend::kCpu) return from_cpu(cpu_.scal(alpha, x), "scal");
-  return from_op(dev_scal(dev_, alpha, x), "scal");
+  const bool chk = sdc_.arm();
+  HostSums sx;
+  if (chk) sx = AbftVerifier::host_sums(x);
+  auto out = from_op(dev_scal(dev_, alpha, x), "scal");
+  apply_injected_corruption(out, x);
+  if (chk) {
+    run_check(out, [&] { return sdc_.check_scal(x, alpha, sx); });
+  }
+  return out;
 }
 
 KernelOutcome OpRegistry::dot(Backend b, std::span<const real> x,
                               std::span<const real> y) {
   if (b == Backend::kCpu) return from_cpu(cpu_.dot(x, y), "dot");
-  return from_op(dev_dot(dev_, x, y), "dot");
+  const bool chk = sdc_.arm();
+  auto out = from_op(dev_dot(dev_, x, y), "dot");
+  apply_injected_corruption(out, {});
+  if (chk) {
+    run_check(out, [&] { return sdc_.check_dot(out.value[0], x, y); });
+  }
+  return out;
 }
 
 KernelOutcome OpRegistry::nrm2(Backend b, std::span<const real> x) {
   if (b == Backend::kCpu) return from_cpu(cpu_.nrm2(x), "nrm2");
-  return from_op(dev_nrm2(dev_, x), "nrm2");
+  const bool chk = sdc_.arm();
+  auto out = from_op(dev_nrm2(dev_, x), "nrm2");
+  apply_injected_corruption(out, {});
+  if (chk) {
+    run_check(out, [&] { return sdc_.check_nrm2(out.value[0], x); });
+  }
+  return out;
 }
 
 KernelOutcome OpRegistry::ewise_mul(Backend b, std::span<const real> x,
                                     std::span<const real> y) {
   if (b == Backend::kCpu) return from_cpu(cpu_.ewise_mul(x, y), "ewise_mul");
-  return from_op(dev_ewise_mul(dev_, x, y), "ewise_mul");
+  const bool chk = sdc_.arm();
+  auto out = from_op(dev_ewise_mul(dev_, x, y), "ewise_mul");
+  apply_injected_corruption(out, {});
+  if (chk) {
+    run_check(out, [&] { return sdc_.check_ewise_mul(out.value, x, y); });
+  }
+  return out;
 }
 
 KernelOutcome OpRegistry::map(Backend b, std::span<const real> x,
                               real (*f)(real), const std::string& name) {
   if (b == Backend::kCpu) return from_cpu(cpu_.map(x, f), "cpu " + name);
-  return from_op(dev_map(dev_, x, f), name);
+  const bool chk = sdc_.arm();
+  auto out = from_op(dev_map(dev_, x, f), name);
+  apply_injected_corruption(out, {});
+  if (chk) {
+    run_check(out, [&] { return sdc_.check_map(out.value, x, f); });
+  }
+  return out;
 }
 
 KernelOutcome OpRegistry::fused_ewise(
@@ -347,8 +517,16 @@ KernelOutcome OpRegistry::fused_ewise(
   // (there is no vendor-library equivalent to fall back to — the unfused
   // plan, not a different kernel, is the alternative).
   codegen_cache_.ewise_kernel(program);
-  return from_op(dev_ewise_chain(dev_, program, inputs),
-                 ewise_kernel_name(program));
+  const bool chk = sdc_.arm();
+  auto out = from_op(dev_ewise_chain(dev_, program, inputs),
+                     ewise_kernel_name(program));
+  apply_injected_corruption(out, {});
+  if (chk) {
+    run_check(out,
+              [&] { return sdc_.check_ewise_chain(out.value, program,
+                                                  inputs); });
+  }
+  return out;
 }
 
 KernelOutcome OpRegistry::execute_resilient(
@@ -364,6 +542,12 @@ KernelOutcome OpRegistry::execute_resilient(
   if ((injector == nullptr || !injector->armed()) && health_ == nullptr) {
     KernelOutcome r = attempt(preferred);
     r.backend_used = preferred;
+    r.resilience.verify_launches += r.verify_launches;
+    r.resilience.verify_ms += r.verify_ms;
+    if (session != nullptr) {
+      session->verify_launches += r.verify_launches;
+      session->verify_ms += r.verify_ms;
+    }
     if (span.active()) {
       span.set_name("dispatch:" + r.kernel);
       span.arg("backend", to_string(preferred));
@@ -426,6 +610,11 @@ KernelOutcome OpRegistry::execute_resilient(
         KernelOutcome r = attempt(b);
         if (health_ != nullptr) health_->on_success(b);
         if (rs.faults_seen > 0) ++rs.recoveries;
+        // Verification of the SUCCESSFUL attempt only — failed attempts'
+        // verify cost already landed in wasted_ms via the fault penalty, so
+        // this keeps "verification launches reported exactly once".
+        rs.verify_launches += r.verify_launches;
+        rs.verify_ms += r.verify_ms;
         r.resilience = rs;
         r.modeled_ms += extra_ms;
         r.backend_used = b;
@@ -455,6 +644,12 @@ KernelOutcome OpRegistry::execute_resilient(
         }
         last_fault = std::current_exception();
         ++rs.faults_seen;
+        if (e.code() == ErrorCode::kSilentCorruption) {
+          ++rs.sdc_detected;
+          if (obs::metrics().enabled()) {
+            obs::metrics().counter("dispatch.sdc_detected").add();
+          }
+        }
         rs.wasted_ms += e.penalty_ms();
         extra_ms += e.penalty_ms();
         if (!inout.empty()) {

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/resilience.h"
+#include "kernels/abft.h"
 #include "kernels/cpu_backend.h"
 #include "kernels/ewise_program.h"
 #include "kernels/fused_dense.h"
@@ -95,6 +96,13 @@ struct OpProfile {
   double vector_words_per_elem = 0;  ///< vector words moved per element
   bool in_place = false;             ///< mutates caller memory (snapshot
                                      ///< before a retried attempt)
+  /// Extra device launches ONE ABFT verification of this entry issues when
+  /// the active VerifyPolicy samples it (kernels/abft.h): the observed-side
+  /// checksum reduction for the matrix ops; the elementwise checks are
+  /// host-side and launch-free. The planner and the plan-vs-actual audit
+  /// use this to account for verification launches separately from the
+  /// plan's own kernels.
+  std::uint64_t verify_launches = 0;
   const char* kernel = "";           ///< implementation identifier
 };
 
@@ -114,6 +122,12 @@ struct KernelOutcome {
   std::string kernel;          ///< which implementation ran
   Backend backend_used{};      ///< after any degradation
   ResilienceStats resilience;  ///< faults absorbed while producing value
+  /// Of `launches`/`modeled_ms`, the share spent on ABFT verification of
+  /// the SUCCESSFUL attempt (zero when the verify policy skipped this op).
+  /// launches/modeled_ms include these — the device really issued them —
+  /// so callers that compare against plan predictions subtract them.
+  std::uint64_t verify_launches = 0;
+  double verify_ms = 0.0;
 };
 
 /// One registry per device: owns the CPU backend, the fused-kernel options,
@@ -173,6 +187,14 @@ class OpRegistry {
   void set_health(BackendHealth* health) { health_ = health; }
   BackendHealth* health() const { return health_; }
 
+  /// ABFT verification of GPU results (kernels/abft.h). kOff (the default)
+  /// adds zero work; kSpot/kFull make sampled/every GPU dispatches prove
+  /// their output against a checksum invariant, turning silent corruption
+  /// into a typed SilentCorruptionError that execute_resilient recomputes.
+  void set_verify_policy(VerifyPolicy policy) { sdc_.set_policy(policy); }
+  VerifyPolicy verify_policy() const { return sdc_.policy(); }
+  AbftVerifier& verifier() { return sdc_; }
+
   /// Fused-kernel options applied on the kFused backend.
   FusedSparseOptions& sparse_options() { return sparse_opts_; }
   FusedDenseOptions& dense_options() { return dense_opts_; }
@@ -183,6 +205,14 @@ class OpRegistry {
   vgpu::Device& device() { return dev_; }
   const CpuBackend& cpu() const { return cpu_; }
 
+  /// Streaming pattern kernels (kernels/streaming.h) launch on the device
+  /// OUTSIDE the registry's dispatch bodies, so their silent-corruption
+  /// draws are not consumed above. Callers that drive streaming directly
+  /// (Runtime's out-of-core branch) call this on the merged result: any
+  /// pending draws perturb it exactly like a dispatch body would. Returns
+  /// true if a corruption was applied.
+  bool consume_streamed_corruption(std::vector<real>& value);
+
  private:
   vgpu::Device& dev_;
   CpuBackend cpu_;
@@ -190,6 +220,17 @@ class OpRegistry {
   FusedDenseOptions dense_opts_;
   KernelCache codegen_cache_;
   BackendHealth* health_ = nullptr;
+  AbftVerifier sdc_{dev_, cpu_};
+
+  /// Consume side of the device's silent-corruption handshake: if any
+  /// launch of the op that produced `out` drew kSilentCorruption, perturb
+  /// one deterministic seeded element of the output (and mirror it into the
+  /// op's in-place buffer, if any, so callers see the corruption too).
+  void apply_injected_corruption(KernelOutcome& out, std::span<real> in_place);
+  /// Shared perturbation body: seeded element flip of `value`, mirrored
+  /// into `in_place` when the index is in range.
+  void perturb(std::span<real> value, std::span<real> in_place,
+               std::uint64_t pending);
 };
 
 }  // namespace fusedml::kernels

@@ -6,6 +6,7 @@
 #include "common/error.h"
 #include "la/convert.h"
 #include "la/vector_ops.h"
+#include "sysml/checkpoint.h"
 
 // Every script here mirrors its legacy imperative solver op for op: the
 // same registry kernels fire in the same order, reductions run on the same
@@ -35,6 +36,30 @@ const char* to_string(Algorithm algorithm) {
 }
 
 namespace {
+
+/// Checkpoint slot for a runtime-owned vector tensor: snapshot by host
+/// read, restore by writing the saved values back into the tensor the
+/// solver currently reads (all of a solver's generations of a loop-carried
+/// tensor share one length, so this also covers re-bound tensors like
+/// GLM's eta or HITS' a — the set-lambda captures the live TensorId by
+/// reference).
+void track_tensor(sysml::SolverCheckpoint& ckpt, Runtime& rt,
+                  const TensorId& id) {
+  ckpt.track_vector(
+      [&rt, &id] {
+        const auto v = rt.read_vector(id);
+        return std::vector<real>(v.begin(), v.end());
+      },
+      [&rt, &id](const std::vector<real>& saved) {
+        rt.write_vector(id, saved);
+      });
+}
+
+/// Checkpoint slot for solver state held in a host std::vector.
+void track_host(sysml::SolverCheckpoint& ckpt, std::vector<real>& v) {
+  ckpt.track_vector([&v] { return v; },
+                    [&v](const std::vector<real>& saved) { v = saved; });
+}
 
 template <typename Matrix>
 TensorId add_matrix(Runtime& rt, const Matrix& X, std::string name) {
@@ -117,18 +142,31 @@ ScriptResult lr_cg_impl(Runtime& rt, const Matrix& X,
   prog.bind("p", pid);
   prog.prepare(rt, mode);
 
+  // Live CG state: a transient fault that escapes the per-op retry loop
+  // rolls the solve back to the last snapshot instead of losing it.
+  sysml::SolverCheckpoint ckpt(rt);
+  track_tensor(ckpt, rt, wid);
+  track_tensor(ckpt, rt, rid);
+  track_tensor(ckpt, rt, pid);
+  ckpt.track_scalar([&nr2] { return nr2; }, [&nr2](real s) { nr2 = s; });
+
   int i = 0;
   while (i < config.max_iterations && nr2 > nr2_target) {
-    const TensorId qid = rt.run(prog, "q");
-    const real alpha = nr2 / rt.op_dot(pid, qid);
-    rt.op_axpy(alpha, pid, wid);
-    rt.op_axpy(alpha, qid, rid);
-    const real old_nr2 = nr2;
-    nr2 = rt.op_dot(rid, rid);
-    const real beta = nr2 / old_nr2;
-    rt.op_scal(beta, pid);
-    rt.op_axpy(real{-1}, rid, pid);
-    ++i;
+    ckpt.save_if_due(i);
+    try {
+      const TensorId qid = rt.run(prog, "q");
+      const real alpha = nr2 / rt.op_dot(pid, qid);
+      rt.op_axpy(alpha, pid, wid);
+      rt.op_axpy(alpha, qid, rid);
+      const real old_nr2 = nr2;
+      nr2 = rt.op_dot(rid, rid);
+      const real beta = nr2 / old_nr2;
+      rt.op_scal(beta, pid);
+      rt.op_axpy(real{-1}, rid, pid);
+      ++i;
+    } catch (const Error& e) {
+      i = ckpt.rollback(e);
+    }
   }
 
   const auto w_view = rt.read_vector(wid);
@@ -172,10 +210,19 @@ ScriptResult logreg_gd_impl(Runtime& rt, const Matrix& X,
   prog.bind("neg_y", nyid);
   prog.prepare(rt, mode);
 
+  sysml::SolverCheckpoint ckpt(rt);
+  track_tensor(ckpt, rt, wid);
+
   int it = 0;
-  for (; it < config.iterations; ++it) {
-    const TensorId gid = rt.run(prog, "g");
-    rt.op_axpy(-config.step, gid, wid);
+  while (it < config.iterations) {
+    ckpt.save_if_due(it);
+    try {
+      const TensorId gid = rt.run(prog, "g");
+      rt.op_axpy(-config.step, gid, wid);
+      ++it;
+    } catch (const Error& e) {
+      it = ckpt.rollback(e);
+    }
   }
 
   const auto w_view = rt.read_vector(wid);
@@ -260,7 +307,17 @@ ScriptResult glm_impl(Runtime& rt, const Matrix& X, std::span<const real> y,
   std::vector<real> w(n, real{0});
   int iterations = 0;
 
-  for (int it = 0; it < config.max_irls_iterations; ++it) {
+  // IRLS state: the weight vector lives on the host, the loop-carried eta
+  // in whichever tensor eta_id currently names (the set-lambda writes the
+  // snapshot back into the live tensor, which prep already binds).
+  sysml::SolverCheckpoint ckpt(rt);
+  track_host(ckpt, w);
+  track_tensor(ckpt, rt, eta_id);
+
+  int it = 0;
+  while (it < config.max_irls_iterations) {
+    ckpt.save_if_due(it);
+    try {
     prep.prepare(rt, mode);
     const TensorId wdiag_id = rt.run(prep, "wdiag");
     const TensorId resid_id = rt.run(prep, "resid");
@@ -328,6 +385,10 @@ ScriptResult glm_impl(Runtime& rt, const Matrix& X, std::span<const real> y,
       step *= real{0.5};
     }
     iterations = it + 1;
+    ++it;
+    } catch (const Error& e) {
+      it = ckpt.rollback(e);
+    }
   }
 
   out.weights = std::move(w);
@@ -401,7 +462,15 @@ ScriptResult svm_impl(Runtime& rt, const Matrix& X, std::span<const real> y,
   std::vector<real> margins(m, real{0});
   int iterations = 0;
 
-  for (int newton = 0; newton < config.max_newton_iterations; ++newton) {
+  // Newton state is all host-side: weights and cached margins.
+  sysml::SolverCheckpoint ckpt(rt);
+  track_host(ckpt, w);
+  track_host(ckpt, margins);
+
+  int newton = 0;
+  while (newton < config.max_newton_iterations) {
+    ckpt.save_if_due(newton);
+    try {
     std::vector<index_t> sv;
     for (usize i = 0; i < m; ++i) {
       if (y[i] * margins[i] < real{1}) sv.push_back(static_cast<index_t>(i));
@@ -476,7 +545,11 @@ ScriptResult svm_impl(Runtime& rt, const Matrix& X, std::span<const real> y,
       step *= real{0.5};
     }
     iterations = newton + 1;
+    ++newton;
     if (!improved) break;
+    } catch (const Error& e) {
+      newton = ckpt.rollback(e);
+    }
   }
 
   out.weights = std::move(w);
@@ -516,26 +589,39 @@ ScriptResult hits_impl(Runtime& rt, const Matrix& X, PlanMode mode,
   Program hubs = hbuild.build();
   hubs.bind("X", Xid);
 
+  // Power-iteration state: the host copy of a plus whichever tensor aid
+  // currently names (restored in place; refresh re-binds aid every pass).
+  sysml::SolverCheckpoint ckpt(rt);
+  track_host(ckpt, a);
+  track_tensor(ckpt, rt, aid);
+
   int iterations = 0;
   bool converged = false;
-  for (int it = 0; it < config.max_iterations && !converged; ++it) {
-    refresh.bind("a", aid);
-    refresh.prepare(rt, mode);
-    const TensorId a_new = rt.run(refresh, "a_next");
-    const real norm = rt.op_nrm2(a_new);
-    if (norm <= 0) break;  // no links at all
-    rt.op_scal(real{1} / norm, a_new);
+  int it = 0;
+  while (it < config.max_iterations && !converged) {
+    ckpt.save_if_due(it);
+    try {
+      refresh.bind("a", aid);
+      refresh.prepare(rt, mode);
+      const TensorId a_new = rt.run(refresh, "a_next");
+      const real norm = rt.op_nrm2(a_new);
+      if (norm <= 0) break;  // no links at all
+      rt.op_scal(real{1} / norm, a_new);
 
-    const auto view = rt.read_vector(a_new);
-    real delta = 0;
-    for (usize j = 0; j < n; ++j) {
-      const real dj = view[j] - a[j];
-      delta += dj * dj;
+      const auto view = rt.read_vector(a_new);
+      real delta = 0;
+      for (usize j = 0; j < n; ++j) {
+        const real dj = view[j] - a[j];
+        delta += dj * dj;
+      }
+      a.assign(view.begin(), view.end());
+      aid = a_new;
+      iterations = it + 1;
+      converged = std::sqrt(delta) <= config.tolerance;
+      ++it;
+    } catch (const Error& e) {
+      it = ckpt.rollback(e);
     }
-    a.assign(view.begin(), view.end());
-    aid = a_new;
-    iterations = it + 1;
-    converged = std::sqrt(delta) <= config.tolerance;
   }
 
   // Hub scores h = X a for the final authorities (kept for op-stream parity

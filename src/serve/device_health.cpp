@@ -1,0 +1,78 @@
+#include "serve/device_health.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace fusedml::serve {
+
+DeviceHealthBoard::DeviceHealthBoard(QuarantineConfig cfg, int workers,
+                                     std::function<double()> now_fn)
+    : cfg_(cfg), now_(std::move(now_fn)),
+      entries_(static_cast<usize>(workers)) {}
+
+int DeviceHealthBoard::healthy_count_locked() const {
+  int healthy = 0;
+  for (const Entry& e : entries_) {
+    if (!e.quarantined) ++healthy;
+  }
+  return healthy;
+}
+
+void DeviceHealthBoard::report_sdc(int worker, std::uint64_t count) {
+  if (count == 0 || !cfg_.enabled) return;
+  std::lock_guard lock(mutex_);
+  Entry& e = entries_[static_cast<usize>(worker)];
+  e.sdc += count;
+  if (e.quarantined || e.sdc < cfg_.sdc_threshold) return;
+  if (healthy_count_locked() <= 1) return;  // never drain the last device
+  e.quarantined = true;
+  e.release_ms = now_() + cfg_.probation_ms;
+  e.sdc = 0;  // probation re-enters with a clean slate
+  ++quarantines_;
+  if (obs::metrics().enabled()) {
+    obs::metrics().counter("serve.quarantines").add();
+  }
+  if (obs::recorder().enabled()) {
+    obs::TraceEvent ev;
+    ev.name = "device_quarantined";
+    ev.cat = "serve";
+    ev.track = obs::Track::kServe;
+    ev.ts_ms = obs::recorder().now_ms();
+    ev.num_args.emplace_back("worker", static_cast<double>(worker));
+    obs::recorder().record(std::move(ev));
+  }
+}
+
+bool DeviceHealthBoard::quarantined(int worker) {
+  std::lock_guard lock(mutex_);
+  Entry& e = entries_[static_cast<usize>(worker)];
+  if (!e.quarantined) return false;
+  if (now_() < e.release_ms) return true;
+  // Probation served: back into rotation.
+  e.quarantined = false;
+  e.release_ms = 0.0;
+  ++reentries_;
+  if (obs::metrics().enabled()) {
+    obs::metrics().counter("serve.quarantine_reentries").add();
+  }
+  return false;
+}
+
+std::uint64_t DeviceHealthBoard::sdc_count(int worker) const {
+  std::lock_guard lock(mutex_);
+  return entries_[static_cast<usize>(worker)].sdc;
+}
+
+std::uint64_t DeviceHealthBoard::quarantines() const {
+  std::lock_guard lock(mutex_);
+  return quarantines_;
+}
+
+std::uint64_t DeviceHealthBoard::reentries() const {
+  std::lock_guard lock(mutex_);
+  return reentries_;
+}
+
+}  // namespace fusedml::serve

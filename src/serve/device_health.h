@@ -1,0 +1,74 @@
+// Device quarantine for silent-data-corruption offenders.
+//
+// ECC errors and launch faults announce themselves; silent corruption is
+// only ever seen because an ABFT check caught it — and a device that keeps
+// producing confirmed SDCs is suspect hardware, not bad luck. The board
+// counts confirmed detections per worker device; at the configured
+// threshold the device is QUARANTINED: its worker stops executing and
+// hands popped requests back to the queue, so the pool schedules around
+// it. Quarantine is timed probation on the server's MODELED clock — after
+// probation_ms the device re-enters rotation with a cleared count (real
+// fleets re-run burn-in; the modeled equivalent is time out of rotation).
+//
+// The board never quarantines the last healthy device: serving degraded
+// beats not serving at all.
+//
+// Thread-safe: workers report and consult concurrently under one mutex
+// (a handful of integer updates per request — never on the op hot path).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "common/types.h"
+
+namespace fusedml::serve {
+
+struct QuarantineConfig {
+  bool enabled = true;
+  /// Confirmed SDC detections on one device before it is quarantined.
+  std::uint64_t sdc_threshold = 3;
+  /// Modeled ms a quarantined device sits out before re-entering rotation.
+  double probation_ms = 500.0;
+};
+
+class DeviceHealthBoard {
+ public:
+  /// `now_fn` supplies the modeled clock (Server::now_ms).
+  DeviceHealthBoard(QuarantineConfig cfg, int workers,
+                    std::function<double()> now_fn);
+
+  /// Books `count` confirmed SDC detections against `worker`'s device and
+  /// quarantines it when the threshold is reached (unless it is the last
+  /// healthy device).
+  void report_sdc(int worker, std::uint64_t count);
+
+  /// True while `worker`'s device is quarantined. Checks probation expiry
+  /// on the way: an expired quarantine is released here (the device
+  /// re-enters with a cleared SDC count).
+  bool quarantined(int worker);
+
+  std::uint64_t sdc_count(int worker) const;
+  std::uint64_t quarantines() const;
+  std::uint64_t reentries() const;
+
+ private:
+  struct Entry {
+    std::uint64_t sdc = 0;
+    bool quarantined = false;
+    double release_ms = 0.0;
+  };
+
+  int healthy_count_locked() const;
+
+  QuarantineConfig cfg_;
+  std::function<double()> now_;
+  mutable std::mutex mutex_;
+  std::vector<Entry> entries_;
+  std::uint64_t quarantines_ = 0;
+  std::uint64_t reentries_ = 0;
+};
+
+}  // namespace fusedml::serve

@@ -23,6 +23,7 @@
 #include "kernels/op_registry.h"
 #include "patterns/executor.h"
 #include "serve/circuit_breaker.h"
+#include "serve/device_health.h"
 #include "vgpu/device.h"
 #include "vgpu/fault_injector.h"
 
@@ -46,6 +47,18 @@ struct ServeOptions {
   vgpu::FaultConfig faults;
   /// Applied to requests submitted with deadline_ms == 0 (0 = no deadline).
   double default_deadline_ms = 0.0;
+  /// ABFT verification coverage per scheduling class (kernels/abft.h) —
+  /// interactive traffic can afford full checks, batch usually runs spot
+  /// or off. Defaults keep verification out of existing deployments.
+  kernels::VerifyPolicy verify_interactive = kernels::VerifyPolicy::kOff;
+  kernels::VerifyPolicy verify_normal = kernels::VerifyPolicy::kOff;
+  kernels::VerifyPolicy verify_batch = kernels::VerifyPolicy::kOff;
+  /// Device quarantine on accumulated confirmed silent corruptions.
+  QuarantineConfig quarantine;
+  /// Failed (tier-exhausted) requests with deadline headroom are pushed
+  /// back into the queue for another worker this many times before the
+  /// failure is delivered (0 disables re-admission).
+  int max_readmissions = 1;
 };
 
 /// One worker thread's private execution stack. Only its owning thread may

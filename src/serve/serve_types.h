@@ -191,6 +191,10 @@ struct PendingRequest {
   std::shared_ptr<RequestState> state;
   double submit_ms = 0.0;  ///< server modeled clock at submit
   std::uint64_t seq = 0;   ///< global submission order
+  /// Times a worker failed this request and handed it back to the queue
+  /// (deadline-aware re-admission). Only the executing worker mutates it,
+  /// and the queue hand-off orders those accesses.
+  int attempts = 0;
 };
 using PendingPtr = std::shared_ptr<PendingRequest>;
 

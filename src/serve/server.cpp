@@ -32,11 +32,20 @@ void ServeStats::print(std::ostream& os) const {
        << resilience.fallbacks_to_cpu << ")  overhead "
        << resilience.overhead_ms() << " ms\n";
   }
+  if (sdc_detected > 0 || quarantines > 0 || readmissions > 0) {
+    os << "  sdc: detected " << sdc_detected << "  rollbacks " << rollbacks
+       << "  verify " << resilience.verify_launches << " launches ("
+       << resilience.verify_ms << " ms)  quarantines " << quarantines
+       << " (re-entries " << quarantine_reentries << ")  readmissions "
+       << readmissions << "\n";
+  }
 }
 
 Server::Server(ServeOptions opts)
     : opts_(opts),
       breakers_(opts.breaker, [this] { return now_ms(); }),
+      device_health_(opts.quarantine, opts.workers,
+                     [this] { return now_ms(); }),
       pool_(opts_),
       queue_(opts_.queue_capacity) {
   for (int w = 0; w < pool_.workers(); ++w) {
@@ -184,6 +193,25 @@ void Server::inject_faults(const vgpu::FaultConfig& cfg) {
   }
 }
 
+bool Server::requeue(const PendingPtr& p) {
+  PendingPtr victim;
+  switch (queue_.push(p, &victim)) {
+    case AdmissionQueue::Admit::kAdmitted:
+      return true;
+    case AdmissionQueue::Admit::kAdmittedAfterShed:
+      if (victim != nullptr && victim != p) {
+        reject(*victim, RejectReason::kShedding,
+               "shed from the queue for higher-priority work");
+        return true;
+      }
+      return victim == nullptr;
+    case AdmissionQueue::Admit::kRejectedFull:
+    case AdmissionQueue::Admit::kClosed:
+      return false;
+  }
+  return false;
+}
+
 void Server::worker_loop(int worker_id) {
   WorkerSession& session = pool_.session(worker_id);
   std::uint64_t faults_seen = 0;
@@ -202,6 +230,13 @@ void Server::worker_loop(int worker_id) {
       faults_seen = gen;
     }
     if (p->state->resolved()) continue;  // cancelled while queued
+    // Quarantined device: hand the request back so a healthy worker takes
+    // it. If the queue refuses (draining), execute here anyway — a suspect
+    // answer the checks can still vet beats a lost request.
+    if (device_health_.quarantined(worker_id) && requeue(p)) {
+      std::this_thread::yield();
+      continue;
+    }
     const double wait_ms = std::max(0.0, now_ms() - p->submit_ms);
     ServeOutcome o;
     if (p->request.deadline_ms > 0.0 && wait_ms >= p->request.deadline_ms) {
@@ -211,6 +246,23 @@ void Server::worker_loop(int worker_id) {
       o.worker = worker_id;
     } else {
       o = execute(session, *p, wait_ms);
+      device_health_.report_sdc(worker_id, o.resilience.sdc_detected);
+      // Deadline-aware re-admission: a tier-exhausted failure with enough
+      // headroom left goes back to the queue for another device instead of
+      // surfacing — bounded so a doomed request cannot cycle forever.
+      if (o.kind == OutcomeKind::kFailed &&
+          p->attempts < opts_.max_readmissions &&
+          (p->request.deadline_ms <= 0.0 ||
+           now_ms() - p->submit_ms < p->request.deadline_ms)) {
+        ++p->attempts;
+        if (requeue(p)) {
+          readmissions_.fetch_add(1, std::memory_order_relaxed);
+          if (obs::metrics().enabled()) {
+            obs::metrics().counter("serve.readmissions").add();
+          }
+          continue;  // outcome intentionally not delivered yet
+        }
+      }
     }
     deliver(*p, std::move(o));
   }
@@ -221,12 +273,13 @@ ServeOutcome Server::execute(WorkerSession& session,
   obs::TraceSpan span("serve:request", "serve", obs::Track::kServe);
   const double deadline = pending.request.deadline_ms;
   const double budget_ms = deadline > 0.0 ? deadline - wait_ms : 0.0;
+  const kernels::VerifyPolicy verify = verify_for(pending.request.priority);
   ServeOutcome o =
       std::holds_alternative<PatternEval>(pending.request.work)
           ? run_pattern(session, std::get<PatternEval>(pending.request.work),
-                        budget_ms)
+                        budget_ms, verify)
           : run_script(session, std::get<ScriptEval>(pending.request.work),
-                       budget_ms);
+                       budget_ms, verify);
   o.worker = session.id();
   o.queue_wait_ms = wait_ms;
   advance_clock(o.modeled_ms);
@@ -247,14 +300,25 @@ ServeOutcome Server::execute(WorkerSession& session,
   return o;
 }
 
+kernels::VerifyPolicy Server::verify_for(Priority priority) const {
+  switch (priority) {
+    case Priority::kInteractive: return opts_.verify_interactive;
+    case Priority::kNormal: return opts_.verify_normal;
+    case Priority::kBatch: return opts_.verify_batch;
+  }
+  return kernels::VerifyPolicy::kOff;
+}
+
 ServeOutcome Server::run_pattern(WorkerSession& session,
-                                 const PatternEval& eval, double budget_ms) {
+                                 const PatternEval& eval, double budget_ms,
+                                 kernels::VerifyPolicy verify) {
   ServeOutcome o;
   auto& ex = session.executor();
   ex.retry_policy() = opts_.retry;
   ex.reset_resilience();
   ex.reset_session_clock();
   ex.set_modeled_deadline(budget_ms);
+  ex.registry().set_verify_policy(verify);
   const la::CsrMatrix& X = dataset(eval.dataset);
   try {
     auto r = ex.pattern(eval.alpha, X, eval.v, eval.y, eval.beta, eval.z);
@@ -277,7 +341,8 @@ ServeOutcome Server::run_pattern(WorkerSession& session,
 }
 
 ServeOutcome Server::run_script(WorkerSession& session, const ScriptEval& eval,
-                                double budget_ms) {
+                                double budget_ms,
+                                kernels::VerifyPolicy verify) {
   ServeOutcome o;
   const la::CsrMatrix& X = dataset(eval.dataset);
   sysml::RuntimeOptions ro;
@@ -286,6 +351,7 @@ ServeOutcome Server::run_script(WorkerSession& session, const ScriptEval& eval,
   rt.retry_policy() = opts_.retry;
   rt.registry().set_health(&breakers_);
   rt.set_modeled_deadline(budget_ms);
+  rt.set_verify_policy(verify);
   try {
     const ml::ScriptSpec* spec =
         ml::find_script(to_algorithm(eval.kind), /*dense=*/false, eval.plan);
@@ -392,6 +458,11 @@ ServeStats Server::stats() const {
   }
   s.breaker_opens = breakers_.total_opens();
   s.breaker_skips = breakers_.total_skips();
+  s.sdc_detected = s.resilience.sdc_detected;
+  s.rollbacks = s.resilience.rollbacks;
+  s.quarantines = device_health_.quarantines();
+  s.quarantine_reentries = device_health_.reentries();
+  s.readmissions = readmissions_.load(std::memory_order_relaxed);
   return s;
 }
 

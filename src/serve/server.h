@@ -58,6 +58,13 @@ struct ServeStats {
   ResilienceStats resilience;    ///< aggregated over executed requests
   std::uint64_t breaker_opens = 0;  ///< opens + reopens across backends
   std::uint64_t breaker_skips = 0;
+  // Silent-corruption defense (aggregated from the resilience totals and
+  // the device-health board).
+  std::uint64_t sdc_detected = 0;   ///< ABFT detections across requests
+  std::uint64_t rollbacks = 0;      ///< solver checkpoint rollbacks
+  std::uint64_t quarantines = 0;    ///< devices drained for confirmed SDCs
+  std::uint64_t quarantine_reentries = 0;  ///< probations served
+  std::uint64_t readmissions = 0;   ///< failed requests requeued with headroom
 
   std::uint64_t resolved() const {
     return completed + rejected_queue_full + rejected_over_capacity + shed +
@@ -107,6 +114,7 @@ class Server {
   std::vector<double> latency_samples() const;
 
   BreakerBoard& breakers() { return breakers_; }
+  DeviceHealthBoard& device_health() { return device_health_; }
   const DevicePool& pool() const { return pool_; }
   const ServeOptions& options() const { return opts_; }
   usize queue_high_water() const { return queue_.high_water(); }
@@ -114,6 +122,7 @@ class Server {
  private:
   ServeOptions opts_;
   BreakerBoard breakers_;
+  DeviceHealthBoard device_health_;
   DevicePool pool_;
   AdmissionQueue queue_;
   std::vector<la::CsrMatrix> datasets_;
@@ -133,6 +142,7 @@ class Server {
   std::atomic<std::uint64_t> deadline_exceeded_{0};
   std::atomic<std::uint64_t> cancelled_{0};
   std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> readmissions_{0};
 
   mutable std::mutex agg_mutex_;  // guards the two aggregates below
   ResilienceStats resilience_total_;
@@ -148,9 +158,14 @@ class Server {
   ServeOutcome execute(WorkerSession& session, const PendingRequest& pending,
                        double wait_ms);
   ServeOutcome run_pattern(WorkerSession& session, const PatternEval& eval,
-                           double budget_ms);
+                           double budget_ms, kernels::VerifyPolicy verify);
   ServeOutcome run_script(WorkerSession& session, const ScriptEval& eval,
-                          double budget_ms);
+                          double budget_ms, kernels::VerifyPolicy verify);
+  /// The request class's ABFT coverage (ServeOptions::verify_*).
+  kernels::VerifyPolicy verify_for(Priority priority) const;
+  /// Quarantined worker: hand the popped request back to the queue.
+  /// Returns false if the queue refused (closing) — execute locally then.
+  bool requeue(const PendingPtr& p);
   /// Books the winning outcome into the counters/aggregates (on_resolve).
   void count_outcome(const ServeOutcome& outcome);
   /// Resolves `pending` with a request-stamped outcome (loses gracefully if

@@ -1,0 +1,129 @@
+// Solver checkpoint/rollback — the recovery tier between "retry the op"
+// (kernels/op_registry.h execute_resilient) and "rerun the whole script"
+// (the serving layer's re-admission). An iterative solver registers its
+// live state (weight/direction/residual vectors, loop-carried scalars) as
+// get/set slots, snapshots them every `interval` iterations, and on a
+// transient fault that escapes the per-op machinery rolls back to the last
+// snapshot and resumes — losing at most `interval - 1` iterations instead
+// of the whole solve.
+//
+// This matters most for detected SILENT corruption: ABFT verification
+// throws SilentCorruptionError mid-iteration, possibly after earlier ops
+// of the same iteration already mutated solver state in place. The per-op
+// retry recomputes the failing op, but when the retry budget is exhausted
+// (or fallback is disabled) the error reaches the solver loop — and the
+// snapshot is the only state known to predate the corruption.
+//
+// Usage (the shape every solver in ml/script_library.cpp follows):
+//   SolverCheckpoint ckpt(rt);
+//   ckpt.track_vector(get_w, set_w);   // one slot per live tensor
+//   for (int it = 0; it < max_iters;) {
+//     ckpt.save_if_due(it);
+//     try { ...iteration body...; ++it; }
+//     catch (const Error& e) { it = ckpt.rollback(it, e); }
+//   }
+// Rollback is bounded (max_rollbacks) and only engages for transient fault
+// codes — logic errors and deadline expiry rethrow immediately.
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sysml/runtime.h"
+
+namespace fusedml::sysml {
+
+class SolverCheckpoint {
+ public:
+  using VectorGet = std::function<std::vector<real>()>;
+  using VectorSet = std::function<void(const std::vector<real>&)>;
+  using ScalarGet = std::function<real()>;
+  using ScalarSet = std::function<void(real)>;
+
+  explicit SolverCheckpoint(Runtime& rt, int interval = 4,
+                            int max_rollbacks = 8)
+      : rt_(rt), interval_(interval < 1 ? 1 : interval),
+        max_rollbacks_(max_rollbacks) {}
+
+  /// Registers one live solver tensor. The getter is called at save time
+  /// (it snapshots CURRENT state); the setter restores at rollback time.
+  void track_vector(VectorGet get, VectorSet set) {
+    vectors_.push_back({std::move(get), std::move(set), {}});
+  }
+  /// Loop-carried host scalars (residual norms, step sizes, objective).
+  void track_scalar(ScalarGet get, ScalarSet set) {
+    scalars_.push_back({std::move(get), std::move(set), 0});
+  }
+
+  /// Snapshots all slots when `iteration` is on the checkpoint cadence
+  /// (every interval-th iteration, including iteration 0 — a solve must
+  /// have a base snapshot before its first fault).
+  void save_if_due(int iteration) {
+    if (iteration % interval_ != 0 && has_snapshot_) return;
+    obs::TraceSpan span("checkpoint:save", "checkpoint", obs::Track::kOps);
+    for (auto& slot : vectors_) slot.saved = slot.get();
+    for (auto& slot : scalars_) slot.saved = slot.get();
+    saved_iteration_ = iteration;
+    has_snapshot_ = true;
+    ++saves_;
+    if (obs::metrics().enabled()) {
+      obs::metrics().counter("checkpoint.saves").add();
+    }
+  }
+
+  /// True if a rollback could absorb a fault right now.
+  bool can_rollback() const {
+    return has_snapshot_ && rollbacks_ < max_rollbacks_;
+  }
+
+  /// Restores the last snapshot and returns the iteration to resume from.
+  /// Call from the solver loop's catch handler: rethrows the in-flight
+  /// exception when `cause` is not a transient fault (logic errors,
+  /// expired deadlines) or when the rollback budget is spent.
+  int rollback(const Error& cause) {
+    if (!is_transient(cause.code()) || !can_rollback()) throw;
+    obs::TraceSpan span("checkpoint:rollback", "checkpoint",
+                        obs::Track::kOps);
+    if (span.active()) span.arg("cause", to_string(cause.code()));
+    for (auto& slot : vectors_) slot.set(slot.saved);
+    for (auto& slot : scalars_) slot.set(slot.saved);
+    ++rollbacks_;
+    rt_.note_rollback();
+    if (obs::metrics().enabled()) {
+      obs::metrics().counter("checkpoint.rollbacks").add();
+    }
+    return saved_iteration_;
+  }
+
+  int saves() const { return saves_; }
+  int rollbacks() const { return rollbacks_; }
+  int interval() const { return interval_; }
+
+ private:
+  struct VectorSlot {
+    VectorGet get;
+    VectorSet set;
+    std::vector<real> saved;
+  };
+  struct ScalarSlot {
+    ScalarGet get;
+    ScalarSet set;
+    real saved;
+  };
+
+  Runtime& rt_;
+  int interval_;
+  int max_rollbacks_;
+  std::vector<VectorSlot> vectors_;
+  std::vector<ScalarSlot> scalars_;
+  int saved_iteration_ = 0;
+  bool has_snapshot_ = false;
+  int saves_ = 0;
+  int rollbacks_ = 0;
+};
+
+}  // namespace fusedml::sysml

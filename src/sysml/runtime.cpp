@@ -215,6 +215,9 @@ void Runtime::book(const kernels::KernelOutcome& outcome, const char* op,
     stats_.kernel_launches += outcome.launches;
     ++stats_.gpu_ops;
     if (pattern_class) stats_.pattern_gpu_ms += clean_ms;
+    // ABFT verification sub-bucket (already inside launches/clean_ms).
+    stats_.verify_launches += outcome.verify_launches;
+    stats_.verify_ms += outcome.verify_ms;
   } else {
     stats_.cpu_op_ms += clean_ms;
     ++stats_.cpu_ops;
@@ -268,6 +271,46 @@ TensorId Runtime::op_pattern(real alpha, TensorId Xid, TensorId vid,
       sopts.device_budget_bytes = mm_.capacity();
       sr = kernels::streaming_pattern_dense(dev_, alpha, *Xd, v, y, beta, z,
                                             sopts);
+    }
+    // Streaming launches bypass the registry dispatch bodies — consume the
+    // device's silent-corruption handshake here, and (when the verify
+    // policy samples this op) prove the merged result before booking it.
+    registry_.consume_streamed_corruption(sr.op.value);
+    if (registry_.verifier().arm()) {
+      try {
+        const auto charge =
+            Xs != nullptr
+                ? registry_.verifier().check_pattern(sr.op.value, alpha, *Xs,
+                                                     v, y, beta, z)
+                : registry_.verifier().check_pattern(sr.op.value, alpha, *Xd,
+                                                     v, y, beta, z);
+        sr.kernel_ms += charge.modeled_ms;
+        sr.op.launches += charge.launches;
+        stats_.verify_launches += charge.launches;
+        stats_.verify_ms += charge.modeled_ms;
+        resilience_.verify_launches += charge.launches;
+        resilience_.verify_ms += charge.modeled_ms;
+      } catch (const SilentCorruptionError& e) {
+        // Tainted panel: the whole streamed pipeline is wasted. Recompute
+        // on the CPU — the terminal tier silent corruption cannot reach.
+        ++resilience_.faults_seen;
+        ++resilience_.sdc_detected;
+        ++resilience_.recoveries;
+        const double wasted = sr.kernel_ms + e.penalty_ms();
+        resilience_.wasted_ms += wasted;
+        stats_.resilience_overhead_ms += wasted;
+        stats_.transfer_ms += sr.transfer_ms;
+        if (obs::metrics().enabled()) {
+          obs::metrics().counter("dispatch.sdc_detected").add();
+        }
+        auto op = Xs != nullptr ? cpu().pattern(alpha, *Xs, v, y, beta, z)
+                                : cpu().pattern(alpha, *Xd, v, y, beta, z);
+        stats_.cpu_op_ms += op.modeled_ms;
+        ++stats_.cpu_ops;
+        record_trace("pattern (streamed, sdc recompute)", false,
+                     op.modeled_ms);
+        return add_vector(std::move(op.value), "pattern_out");
+      }
     }
     stats_.gpu_kernel_ms += sr.kernel_ms;
     stats_.pattern_gpu_ms += sr.kernel_ms;

@@ -69,6 +69,12 @@ struct RuntimeStats {
   /// separately so the success-path metrics above stay comparable between
   /// clean and faulted runs. Included in total_ms().
   double resilience_overhead_ms = 0.0;
+  /// ABFT verification sub-bucket: device launches/time spent proving GPU
+  /// results against checksums (kernels/abft.h). Already INCLUDED in
+  /// kernel_launches/gpu_kernel_ms — the device really issued them — and
+  /// broken out here so policy overhead is visible and subtractable.
+  std::uint64_t verify_launches = 0;
+  double verify_ms = 0.0;
 
   double total_ms() const {
     return gpu_kernel_ms + cpu_op_ms + jni_ms + transfer_ms +
@@ -149,6 +155,20 @@ class Runtime {
   const RetryPolicy& retry_policy() const { return retry_; }
   /// Faults absorbed across every op this runtime executed.
   const ResilienceStats& resilience() const { return resilience_; }
+
+  /// ABFT verification coverage for every op this runtime dispatches
+  /// (forwarded to the registry's verifier; see kernels/abft.h).
+  void set_verify_policy(kernels::VerifyPolicy policy) {
+    registry_.set_verify_policy(policy);
+  }
+  kernels::VerifyPolicy verify_policy() const {
+    return registry_.verify_policy();
+  }
+
+  /// Books one solver checkpoint rollback (sysml/checkpoint.h) into this
+  /// runtime's resilience totals so RunReports and the serving layer see
+  /// rollbacks next to the faults that caused them.
+  void note_rollback() { ++resilience_.rollbacks; }
 
   /// Modeled deadline for everything this runtime executes (0 = none): once
   /// stats().total_ms() reaches it, the next op dispatch throws

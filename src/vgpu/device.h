@@ -111,6 +111,14 @@ class Device {
   /// on its output — the full kernel time is burned, and callers must treat
   /// any in-place outputs as corrupted). Burned time is charged to the
   /// session totals and carried on the exception as penalty_ms().
+  ///
+  /// A kSilentCorruption fault raises NOTHING: the launch returns normally
+  /// with full accounting and only pending_silent_corruptions() betrays
+  /// that the output of this launch must be perturbed. The op layer
+  /// (kernels/op_registry.cpp) consumes the pending count via
+  /// take_silent_corruptions() and applies a deterministic seeded element
+  /// perturbation to the op's output buffer — exactly the fault model ABFT
+  /// verification (kernels/abft.h) exists to catch.
   template <typename Kernel>
   LaunchStats launch(const LaunchConfig& cfg, Kernel&& kernel) {
     FUSEDML_CHECK(cfg.internally_consistent(), "inconsistent launch config");
@@ -159,6 +167,11 @@ class Device {
       throw DataError("injected ECC corruption in kernel output",
                       stats.time.total_ms);
     }
+    if (fault == FaultKind::kSilentCorruption) {
+      record_fault_event(cfg.label, "silent_corruption", 0.0);
+      ++pending_silent_;
+      ++silent_seq_;
+    }
     return stats;
   }
 
@@ -193,6 +206,25 @@ class Device {
     return ms;
   }
 
+  // --- Silent-corruption handshake with the op layer ---------------------
+  /// Silent corruptions armed since the last take_silent_corruptions().
+  /// Non-zero means the output of a launch in the current logical op must
+  /// be perturbed before anyone reads it.
+  std::uint64_t pending_silent_corruptions() const { return pending_silent_; }
+  /// Consumes (returns and clears) the pending count. The op layer calls
+  /// this once per logical op, right where the op's output buffer is in
+  /// hand.
+  std::uint64_t take_silent_corruptions() {
+    const std::uint64_t n = pending_silent_;
+    pending_silent_ = 0;
+    return n;
+  }
+  /// Monotonic ordinal of silent-corruption events on this device — the
+  /// deterministic salt for the seeded element perturbation (advances per
+  /// event, survives reset_session so replays within one schedule differ
+  /// per event, not per session).
+  std::uint64_t silent_corruption_seq() const { return silent_seq_; }
+
   // --- Session accounting (end-to-end benches) ---------------------------
   std::uint64_t session_launches() const { return session_launches_; }
   double session_modeled_ms() const { return session_modeled_ms_; }
@@ -210,6 +242,8 @@ class Device {
   CostModel cost_model_;
   int host_threads_;
   FaultInjector* injector_ = nullptr;
+  std::uint64_t pending_silent_ = 0;
+  std::uint64_t silent_seq_ = 0;
   std::uint64_t session_launches_ = 0;
   double session_modeled_ms_ = 0.0;
   double session_transfer_ms_ = 0.0;

@@ -11,17 +11,20 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kEcc: return "ecc";
     case FaultKind::kTransfer: return "transfer";
     case FaultKind::kDeviceOom: return "device-oom";
+    case FaultKind::kSilentCorruption: return "silent-corruption";
   }
   return "?";
 }
 
 FaultInjector::FaultInjector(FaultConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
   FUSEDML_CHECK(cfg.kernel_fault_rate >= 0 && cfg.ecc_fault_rate >= 0 &&
-                    cfg.oom_fault_rate >= 0 && cfg.transfer_fault_rate >= 0,
+                    cfg.oom_fault_rate >= 0 && cfg.silent_fault_rate >= 0 &&
+                    cfg.transfer_fault_rate >= 0,
                 "fault rates must be non-negative");
-  FUSEDML_CHECK(
-      cfg.kernel_fault_rate + cfg.ecc_fault_rate + cfg.oom_fault_rate <= 1.0,
-      "per-launch fault rates must sum to at most 1");
+  FUSEDML_CHECK(cfg.kernel_fault_rate + cfg.ecc_fault_rate +
+                        cfg.oom_fault_rate + cfg.silent_fault_rate <=
+                    1.0,
+                "per-launch fault rates must sum to at most 1");
   FUSEDML_CHECK(cfg.transfer_fault_rate <= 1.0,
                 "transfer fault rate must be at most 1");
 }
@@ -44,6 +47,11 @@ FaultKind FaultInjector::next_launch_fault() {
   if (u < threshold) {
     ++log_.oom_faults;
     return FaultKind::kDeviceOom;
+  }
+  threshold += cfg_.silent_fault_rate;
+  if (u < threshold) {
+    ++log_.silent_faults;
+    return FaultKind::kSilentCorruption;
   }
   return FaultKind::kNone;
 }

@@ -7,11 +7,30 @@
 // sequence of launch/transfer/allocation events it always arms the same
 // faults, so a test can replay a faulty run bit-for-bit and a bench can
 // sweep fault rates reproducibly. The device consults it at three sites:
-//   - Device::launch       (kernel faults, ECC corruption, launch-time OOM)
+//   - Device::launch       (kernel faults, ECC corruption, silent output
+//                           corruption, launch-time OOM)
 //   - Device::transfer_*   (PCIe faults)
 //   - MemoryManager allocs (allocation-time OOM)
 // Faults surface as the typed errors of common/error.h; the resilience
-// layers upstream decide between retry, backoff, and degradation.
+// layers upstream decide between retry, backoff, and degradation. The one
+// exception is kSilentCorruption: the launch returns normally and the
+// output buffer is deterministically perturbed instead — only a redundant
+// check (the ABFT layer in kernels/abft.h) can catch it.
+//
+// Seed-determinism contract. Each event site consumes EXACTLY ONE uniform
+// draw from the seeded stream per event, whether or not a fault fires:
+//   - next_launch_fault()   one draw per kernel launch,
+//   - next_transfer_fault() one draw per host<->device copy,
+//   - next_alloc_oom()      one draw per device allocation,
+// except that a fully disarmed launch site (all per-launch rates zero)
+// skips its draw so attaching a disarmed injector is a true no-op. The
+// per-kind rates (launch / ecc / silent / oom / pcie) are independently
+// configurable; within one launch draw they form a threshold ladder in
+// declaration order, so RAISING one rate never changes WHICH events an
+// earlier-ladder kind hits — only whether the remainder falls through.
+// Consequences: same seed + same event sequence => identical fault
+// schedule (replayable bit-for-bit), and the schedule depends only on the
+// event ORDER, never on wall-clock time or thread interleaving.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +46,7 @@ enum class FaultKind {
   kEcc,          ///< the kernel runs but its output is corrupted
   kTransfer,     ///< a host<->device copy fails in flight
   kDeviceOom,    ///< an allocation / launch workspace request fails
+  kSilentCorruption,  ///< the launch succeeds but the output is perturbed
 };
 
 const char* to_string(FaultKind kind);
@@ -35,16 +55,22 @@ const char* to_string(FaultKind kind);
 /// injector entirely; attaching a disarmed injector changes nothing.
 struct FaultConfig {
   std::uint64_t seed = 0x5eedULL;
-  /// Per kernel launch. kernel_fault + ecc + oom must sum to <= 1.
+  /// Per kernel launch. kernel_fault + ecc + oom + silent must sum to <= 1.
   double kernel_fault_rate = 0.0;
   double ecc_fault_rate = 0.0;
   double oom_fault_rate = 0.0;
+  /// Per kernel launch: the launch reports success but its output buffer is
+  /// deterministically perturbed (no exception is raised). Ladder position
+  /// is after oom, so enabling SDC injection leaves the schedule of the
+  /// signaled fault kinds at a given seed untouched.
+  double silent_fault_rate = 0.0;
   /// Per host<->device transfer.
   double transfer_fault_rate = 0.0;
 
   bool armed() const {
     return kernel_fault_rate > 0.0 || ecc_fault_rate > 0.0 ||
-           oom_fault_rate > 0.0 || transfer_fault_rate > 0.0;
+           oom_fault_rate > 0.0 || silent_fault_rate > 0.0 ||
+           transfer_fault_rate > 0.0;
   }
 };
 
@@ -54,12 +80,14 @@ struct FaultLog {
   std::uint64_t ecc_faults = 0;
   std::uint64_t transfer_faults = 0;
   std::uint64_t oom_faults = 0;
+  std::uint64_t silent_faults = 0;
   std::uint64_t launches_seen = 0;
   std::uint64_t transfers_seen = 0;
   std::uint64_t allocs_seen = 0;
 
   std::uint64_t total() const {
-    return kernel_faults + ecc_faults + transfer_faults + oom_faults;
+    return kernel_faults + ecc_faults + transfer_faults + oom_faults +
+           silent_faults;
   }
 };
 
@@ -67,8 +95,8 @@ class FaultInjector {
  public:
   explicit FaultInjector(FaultConfig cfg = {});
 
-  /// Fate of the next kernel launch: kNone, kKernelFault, kEcc or
-  /// kDeviceOom. One uniform draw per call.
+  /// Fate of the next kernel launch: kNone, kKernelFault, kEcc, kDeviceOom
+  /// or kSilentCorruption. One uniform draw per call.
   FaultKind next_launch_fault();
 
   /// True if the next host<->device transfer must fail.

@@ -16,6 +16,8 @@
 //      (run under TSan in CI to certify the absence of data races).
 #include <gtest/gtest.h>
 
+#include <iostream>
+
 #include <algorithm>
 #include <cstdint>
 #include <thread>
@@ -275,6 +277,167 @@ TEST(Chaos, SoakWithFaultStormsCancellationsAndDrain) {
   // (5) Drain resolved everything; a second drain is a no-op snapshot.
   ServeStats again = server.drain();
   EXPECT_EQ(again.submitted, stats.submitted);
+}
+
+// SDC soak: kernels LIE — a seeded injector perturbs one output element per
+// drawn launch at a >=1% rate while raising NO error — and every request
+// class runs full ABFT verification. The harness asserts the whole defense
+// pipeline end-to-end under concurrency:
+//
+//   - every COMPLETED request (patterns and all five script kinds) is
+//     bit-exact against a fault-free single-threaded reference — silent
+//     corruption never reaches a client;
+//   - detections were actually made (the storm was not a no-op) and the
+//     verification bill is accounted in the drained resilience totals;
+//   - workers accumulating confirmed SDCs get quarantined, and quarantined
+//     devices re-enter service after probation on the modeled clock;
+//   - exactly-one-outcome and the bounded queue survive the requeue traffic
+//     quarantine adds. Run under TSan in CI to certify the new paths.
+TEST(Chaos, SilentCorruptionSoakDetectsRecoversAndQuarantines) {
+  la::CsrMatrix X = la::uniform_sparse(96, 40, 0.12, 4242);
+  auto labels = la::regression_labels(X, 7, 0.05);
+
+  ServeOptions opts;
+  opts.workers = 3;
+  opts.queue_capacity = 96;
+  opts.retry.max_attempts = 4;
+  opts.verify_interactive = kernels::VerifyPolicy::kFull;
+  opts.verify_normal = kernels::VerifyPolicy::kFull;
+  opts.verify_batch = kernels::VerifyPolicy::kFull;
+  opts.quarantine.enabled = true;
+  opts.quarantine.sdc_threshold = 2;
+  opts.quarantine.probation_ms = 0.25;
+  Server server(opts);
+  const DatasetId dataset = server.add_dataset(X);
+  server.start();
+
+  // No cancellations and no tight deadlines: this soak is about completed
+  // values, so the mix maximizes completions while still cycling all three
+  // priority bands (hence all three verify_* policies) and all five
+  // script kinds.
+  const auto issue_sdc = [&](int client, int i) {
+    ServeRequest req;
+    const std::uint64_t seed = 0x5dc0 + static_cast<std::uint64_t>(client) *
+                                            1000 +
+                               static_cast<std::uint64_t>(i);
+    if (i % 3 == 2) {
+      ScriptEval eval;
+      eval.dataset = dataset;
+      eval.kind = static_cast<ScriptKind>((client + i) % 5);
+      eval.iterations = 2;
+      eval.labels = labels;
+      req.work = std::move(eval);
+    } else {
+      PatternEval eval;
+      eval.dataset = dataset;
+      eval.y = la::random_vector(static_cast<usize>(X.cols()), seed);
+      if (i % 2 == 0) {
+        // Exercise the full Equation-1 shape (v and z arms) under
+        // verification, not just the bare X^T(Xy) core.
+        eval.v = la::random_vector(static_cast<usize>(X.rows()), seed + 1);
+        eval.z = la::random_vector(static_cast<usize>(X.cols()), seed + 2);
+        eval.alpha = 2;
+        eval.beta = -1;
+      }
+      req.work = std::move(eval);
+    }
+    req.priority = static_cast<Priority>(i % kNumPriorities);
+    req.tag = seed;
+    Issued issued;
+    issued.request = req;
+    issued.handle = server.submit(std::move(req));
+    return issued;
+  };
+
+  std::vector<Issued> issued;
+
+  // Phase A: silent-corruption storm. 8% of launches return a perturbed
+  // output with a clean status — only ABFT can notice. Two waves: each
+  // worker must execute enough launches that accumulating sdc_threshold
+  // confirmed detections is certain regardless of how the scheduler splits
+  // the requests across workers.
+  vgpu::FaultConfig storm;
+  storm.seed = 0x51dc;
+  storm.silent_fault_rate = 0.08;
+  server.inject_faults(storm);
+  for (int wave = 0; wave < 2; ++wave) {
+    std::vector<std::vector<Issued>> per_client(kClients);
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        for (int i = 0; i < kRequestsPerClientPerWave; ++i) {
+          per_client[(usize)c].push_back(issue_sdc(c, i));
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+    for (auto& batch : per_client) {
+      for (auto& entry : batch) {
+        entry.handle.wait();
+        issued.push_back(std::move(entry));
+      }
+    }
+  }
+
+  // Phase B: storm cleared. Clean traffic advances the modeled clock past
+  // the probation window, so every quarantined device must re-enter
+  // service (bounded walk, same shape as the breaker-recovery phase).
+  server.inject_faults(vgpu::FaultConfig{});
+  for (int i = 0; i < 20000 && (server.device_health().quarantines() == 0 ||
+                                server.device_health().reentries() == 0);
+       ++i) {
+    PatternEval eval;
+    eval.dataset = dataset;
+    eval.y = la::random_vector(static_cast<usize>(X.cols()), 77000u + i);
+    ServeRequest req;
+    req.work = std::move(eval);
+    Issued extra;
+    extra.request = req;
+    extra.handle = server.submit(std::move(req));
+    extra.handle.wait();
+    issued.push_back(std::move(extra));
+  }
+
+  ServeStats stats = server.drain();
+  std::cout << "sdc soak: submitted=" << stats.submitted
+            << " completed=" << stats.completed
+            << " failed=" << stats.failed
+            << " sdc_detected=" << stats.sdc_detected
+            << " verify_launches=" << stats.resilience.verify_launches
+            << " rollbacks=" << stats.rollbacks
+            << " readmissions=" << stats.readmissions
+            << " quarantines=" << stats.quarantines
+            << " reentries=" << stats.quarantine_reentries << "\n";
+
+  // Exactly-one-outcome and balanced books, with requeue traffic in play.
+  EXPECT_EQ(stats.submitted, issued.size());
+  EXPECT_EQ(stats.resolved(), stats.submitted);
+  for (const Issued& entry : issued) {
+    ASSERT_TRUE(entry.handle.resolved());
+    ASSERT_EQ(entry.handle.state()->resolutions(), 1)
+        << "tag " << entry.handle.wait().tag;
+  }
+  EXPECT_LE(stats.queue_high_water, opts.queue_capacity);
+
+  // The storm was real and the defense engaged: detections happened, the
+  // verification bill is on the books, and no detection leaked through —
+  // every completed value is bit-exact against a fault-free reference.
+  EXPECT_GT(stats.sdc_detected, 0u);
+  EXPECT_GT(stats.resilience.verify_launches, 0u);
+  EXPECT_GT(stats.resilience.verify_ms, 0.0);
+  int verified = 0;
+  for (const Issued& entry : issued) {
+    if (entry.handle.wait().kind != OutcomeKind::kCompleted) continue;
+    verify_completed_against_oracle(entry, server.pool().session_memory_bytes(),
+                                    X);
+    ++verified;
+  }
+  EXPECT_GT(verified, 0);
+
+  // Quarantine fired and probation released: at least one device was
+  // drained for confirmed SDCs and later re-entered service.
+  EXPECT_GT(stats.quarantines, 0u);
+  EXPECT_GT(stats.quarantine_reentries, 0u);
 }
 
 // Cancellation storm against a single slow worker: whatever the interleaving
