@@ -1,7 +1,8 @@
 // Whole-library algorithm sweep — every ScriptLibrary algorithm (lr-cg,
-// logreg-gd, glm, svm, hits) run through the declarative DAG path under all
-// three plan modes: unfused interpretation, the paper's hardcoded
-// Equation-1 template pass, and the cost-based fusion planner.
+// logreg-gd, glm, svm, hits, als, kmeans, pagerank, minibatch-logreg) run
+// through the declarative DAG path under all three plan modes: unfused
+// interpretation, the paper's hardcoded Equation-1 template pass, and the
+// cost-based fusion planner.
 //
 // Reported per (algorithm, mode): kernel launches (the quantity fusion
 // minimizes), modeled milliseconds from the virtual GPU's cost model,
@@ -95,6 +96,32 @@ std::vector<AlgoCase> build_cases(index_t rows, index_t cols) {
     cases.push_back({ml::Algorithm::kHits, std::move(X), {}, 20,
                      /*expect_planner_gain=*/true});
   }
+  {
+    // ALS holds four matrix leaves (R, R^T and both mask orientations), so
+    // the ratings matrix is kept smaller. The Hessian-vector product is the
+    // sddmm template — the planner must strictly win.
+    auto X = la::uniform_sparse(rows / 4, cols, 0.05, 29);
+    cases.push_back({ml::Algorithm::kAls, std::move(X), {}, 4,
+                     /*expect_planner_gain=*/true});
+  }
+  {
+    auto X = la::uniform_sparse(rows / 2, cols, 0.05, 31);
+    cases.push_back({ml::Algorithm::kKmeans, std::move(X), {}, 4,
+                     /*expect_planner_gain=*/true});
+  }
+  {
+    const index_t pages = rows / 4;
+    auto X = la::uniform_sparse(pages, pages, 0.01, 37);
+    cases.push_back({ml::Algorithm::kPagerank, std::move(X), {}, 20,
+                     /*expect_planner_gain=*/true});
+  }
+  {
+    auto X = la::uniform_sparse(rows, cols, 0.05, 41);
+    auto y = la::classification_labels(X, 41, 0.1);
+    cases.push_back({ml::Algorithm::kMinibatchLogreg, std::move(X),
+                     std::move(y), 12,
+                     /*expect_planner_gain=*/true});
+  }
   return cases;
 }
 
@@ -120,6 +147,7 @@ int run_bench(int argc, char** argv) {
       static_cast<index_t>(cli.get_int("rows", 4000, "dataset rows"));
   const auto cols =
       static_cast<index_t>(cli.get_int("cols", 60, "dataset columns"));
+  const auto popts = sysml::planner_options_from_cli(cli);
   obs::apply_standard_flags(cli);
   bench::JsonReport json(cli, "bench_algorithms");
   if (bench::handle_help(cli)) return 0;
@@ -148,6 +176,7 @@ int run_bench(int argc, char** argv) {
       }
       vgpu::Device dev;
       sysml::Runtime rt(dev, {.enable_gpu = true, .gpu_cost_bias = 1e-4});
+      rt.set_planner_options(popts);
       runs.push_back(spec->run_sparse(rt, c.X, c.labels, c.iterations));
       drifts.push_back(runs.back().plan_audit.has_prediction
                            ? runs.back().plan_audit.launch_drift()
@@ -222,6 +251,7 @@ int run_bench(int argc, char** argv) {
           ml::find_script(c.algorithm, /*dense=*/false, sysml::PlanMode::kPlanner);
       vgpu::Device dev;
       sysml::Runtime rt(dev, {.enable_gpu = true, .gpu_cost_bias = 1e-4});
+      rt.set_planner_options(popts);
       rt.set_verify_policy(kernels::VerifyPolicy::kSpot);
       const auto spot = spec->run_sparse(rt, c.X, c.labels, c.iterations);
       const double base_ms = planner.runtime_stats.total_ms();
@@ -268,7 +298,8 @@ int run_bench(int argc, char** argv) {
   bench::print_note(
       "modeled milliseconds from the virtual GTX-Titan cost model; bytes "
       "moved = modeled H2D + D2H traffic. Exit status gates: planner == "
-      "hardcoded bit-exact, strict launch win on glm/svm/hits, zero "
+      "hardcoded bit-exact, strict launch win on glm/svm/hits and on all "
+      "four new workloads (als/kmeans/pagerank/minibatch-logreg), zero "
       "plan-audit drift, spot ABFT verification <= 10% modeled overhead.");
   return ok ? 0 : 1;
 }

@@ -15,6 +15,7 @@
 // modeled time than the hardcoded pass, STRICTLY fewer launches than
 // unfused on the elementwise-chain script, and results matching the
 // unfused interpreter (bit-exact where only ewise fusion applies).
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 #include <iostream>
@@ -52,12 +53,14 @@ struct ModeRun {
 /// gpu_cost_bias so the scheduler sends the work to the device even at
 /// smoke-test sizes — launch counts are the point here).
 template <typename Script>
-bool run_script(Table& table, const std::string& name, Script&& script,
+bool run_script(Table& table, const std::string& name,
+                const sysml::PlannerOptions& popts, Script&& script,
                 bool expect_ewise_gain) {
   std::vector<ModeRun> runs;
   for (const auto mode : kModes) {
     vgpu::Device dev;
     sysml::Runtime rt(dev, {.enable_gpu = true, .gpu_cost_bias = 1e-4});
+    rt.set_planner_options(popts);
     runs.push_back({script(rt, mode)});
   }
   const auto& unfused = runs[0].result;
@@ -137,6 +140,7 @@ static int run_bench(int argc, char** argv) {
   const auto iters =
       static_cast<int>(cli.get_int("iterations", 10, "per script"));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42, ""));
+  const auto popts = sysml::planner_options_from_cli(cli);
   obs::apply_standard_flags(cli);
   bench::JsonReport json(cli, "fusion_planner");
   if (bench::handle_help(cli)) return 0;
@@ -154,7 +158,7 @@ static int run_bench(int argc, char** argv) {
                "cpu ops", "groups", "max|dw| vs unfused"});
 
   bool ok = run_script(
-      table, "lr-cg",
+      table, "lr-cg", popts,
       [&](sysml::Runtime& rt, sysml::PlanMode mode) {
         ml::ScriptConfig cfg;
         cfg.max_iterations = iters;
@@ -164,13 +168,90 @@ static int run_bench(int argc, char** argv) {
       /*expect_ewise_gain=*/false);
 
   ok &= run_script(
-      table, "logreg-gd",
+      table, "logreg-gd", popts,
       [&](sysml::Runtime& rt, sysml::PlanMode mode) {
         ml::GdConfig cfg;
         cfg.iterations = iters;
         return ml::run_logreg_gd_script(rt, X, y_cls, mode, cfg);
       },
       /*expect_ewise_gain=*/true);
+
+  // The four new workloads exercise the row-template and sddmm families.
+  // None of them contain an Equation-1 site, so the expect_ewise_gain
+  // contract applies: strictly fewer launches than unfused AND bit-exact.
+  ok &= run_script(
+      table, "als", popts,
+      [&](sysml::Runtime& rt, sysml::PlanMode mode) {
+        ml::AlsConfig cfg;
+        cfg.max_outer = std::max(1, iters / 4);
+        return ml::run_als_script(rt, X, mode, cfg);
+      },
+      /*expect_ewise_gain=*/true);
+
+  ok &= run_script(
+      table, "kmeans", popts,
+      [&](sysml::Runtime& rt, sysml::PlanMode mode) {
+        ml::KmeansConfig cfg;
+        cfg.max_iterations = std::max(1, iters / 2);
+        return ml::run_kmeans_script(rt, X, mode, cfg);
+      },
+      /*expect_ewise_gain=*/true);
+
+  ok &= run_script(
+      table, "pagerank", popts,
+      [&](sysml::Runtime& rt, sysml::PlanMode mode) {
+        ml::PagerankConfig cfg;
+        cfg.max_iterations = iters;
+        cfg.tolerance = 0;
+        return ml::run_pagerank_script(rt, X, mode, cfg);
+      },
+      /*expect_ewise_gain=*/true);
+
+  ok &= run_script(
+      table, "minibatch-logreg", popts,
+      [&](sysml::Runtime& rt, sysml::PlanMode mode) {
+        ml::MinibatchConfig cfg;
+        cfg.iterations = iters;
+        return ml::run_minibatch_logreg_script(rt, X, y_cls, mode, cfg);
+      },
+      /*expect_ewise_gain=*/true);
+
+  // The sparsity-exploitation gate: on ALS the planner must PICK the sddmm
+  // template over the best disjoint-greedy alternative (row + ewise only),
+  // and the whole-DAG exploration must beat that restricted plan in modeled
+  // time — the candidate families overlap on the Hessian-vector product, so
+  // this only holds if overlap resolution works.
+  double sddmm_ms = 0.0, disjoint_ms = 0.0;
+  bool sddmm_selected = false;
+  for (const bool allow_sddmm : {true, false}) {
+    vgpu::Device dev;
+    sysml::Runtime rt(dev, {.enable_gpu = true, .gpu_cost_bias = 1e-4});
+    auto po = popts;
+    po.enable_sddmm_fusion = allow_sddmm;
+    rt.set_planner_options(po);
+    ml::AlsConfig cfg;
+    cfg.max_outer = std::max(1, iters / 4);
+    const auto r =
+        ml::run_als_script(rt, X, sysml::PlanMode::kPlanner, cfg);
+    if (allow_sddmm) {
+      sddmm_ms = r.runtime_stats.total_ms();
+      sddmm_selected = r.plan_explain.find("sddmm") != std::string::npos;
+    } else {
+      disjoint_ms = r.runtime_stats.total_ms();
+    }
+  }
+  std::cout << "\nals sddmm-template gate: with sddmm " << sddmm_ms
+            << " ms, best disjoint plan " << disjoint_ms << " ms\n";
+  if (!sddmm_selected) {
+    std::cout << "REGRESSION [als]: planner did not select the sddmm "
+                 "template\n";
+    ok = false;
+  }
+  if (sddmm_ms >= disjoint_ms) {
+    std::cout << "REGRESSION [als]: sddmm plan does not beat the best "
+                 "disjoint-greedy plan in modeled ms\n";
+    ok = false;
+  }
 
   std::cout << "\n" << table;
   bench::print_note(

@@ -17,9 +17,10 @@
 
 using namespace fusedml;
 
-static int run_example() {
+static int run_example(const sysml::PlannerOptions& popts) {
   vgpu::Device device;
   sysml::Runtime rt(device, {});
+  rt.set_planner_options(popts);
 
   const auto X = la::uniform_sparse(30000, 400, 0.02, 51);
   const auto Xid = rt.add_sparse(X, "X");
@@ -65,7 +66,7 @@ static int run_example() {
   const auto grad = sysml::add(sysml::mvt(Xn, resid),
                                sysml::scale(0.01, sysml::input_vector(w0)));
 
-  const auto plan = sysml::plan_fusion(rt, grad);
+  const auto plan = sysml::plan_fusion(rt, grad, rt.planner_options());
   std::cout << "planner on the logreg gradient DAG:\n" << plan.explain();
   rt.note_plan(plan.explain());
   sysml::execute(rt, plan.root);
@@ -80,6 +81,15 @@ static int run_example() {
 }
 
 int main(int argc, char** argv) {
-  return fusedml::examples::example_main(argc, argv,
-                                         [&] { return run_example(); });
+  return fusedml::examples::guarded_main([&]() -> int {
+    Cli cli(argc, argv);
+    const auto popts = sysml::planner_options_from_cli(cli);
+    obs::apply_standard_flags(cli);
+    if (cli.help_requested()) {
+      std::cout << cli.usage();
+      return 0;
+    }
+    cli.finish();
+    return run_example(popts);
+  });
 }

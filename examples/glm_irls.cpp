@@ -19,7 +19,8 @@
 
 using namespace fusedml;
 
-static int run_example(sysml::PlanMode plan) {
+static int run_example(sysml::PlanMode plan,
+                       const sysml::PlannerOptions& popts) {
   // Poisson counts from a known linear predictor (small weights keep
   // exp(eta) tame), so the fit quality is measurable against the truth.
   const auto X = la::uniform_sparse(8000, 40, 0.1, 67);
@@ -34,6 +35,7 @@ static int run_example(sysml::PlanMode plan) {
 
   vgpu::Device device;
   sysml::Runtime rt(device, {.enable_gpu = true});
+  rt.set_planner_options(popts);
   ml::GlmConfig cfg;
   cfg.family = ml::GlmFamily::kPoisson;
   const auto model = ml::run_glm_script(rt, X, y, plan, cfg);
@@ -68,12 +70,13 @@ int main(int argc, char** argv) {
     Cli cli(argc, argv);
     const auto plan = cli.get_string("plan", "planner",
                                      "unfused | hardcoded | planner");
+    const auto popts = sysml::planner_options_from_cli(cli);
     obs::apply_standard_flags(cli);
     if (cli.help_requested()) {
       std::cout << cli.usage();
       return 0;
     }
     cli.finish();
-    return run_example(fusedml::examples::parse_plan_mode(plan));
+    return run_example(fusedml::examples::parse_plan_mode(plan), popts);
   });
 }

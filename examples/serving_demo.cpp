@@ -67,7 +67,7 @@ static int run_example() {
 
   // Phase 1 — clean mixed traffic: interactive pattern evaluations compete
   // with batch training scripts (the serving layer runs every algorithm in
-  // the script library, so the batch band cycles through all five kinds);
+  // the script library, so the batch band cycles through all nine kinds);
   // the queue pops the highest band first.
   std::vector<serve::ServeHandle> handles;
   for (std::uint64_t i = 0; i < 12; ++i) {
@@ -75,7 +75,7 @@ static int run_example() {
         dataset, X, 100 + i,
         i % 2 == 0 ? serve::Priority::kInteractive : serve::Priority::kNormal)));
     handles.push_back(server.submit(script_request(
-        dataset, X, 200 + i, static_cast<serve::ScriptKind>(i % 5))));
+        dataset, X, 200 + i, static_cast<serve::ScriptKind>(i % 9))));
   }
   usize clean_completed = 0;
   for (const auto& h : handles) {

@@ -400,4 +400,279 @@ VerifyCharge AbftVerifier::check_ewise_chain(
   return charge;
 }
 
+VerifyCharge AbftVerifier::check_outer_map(std::span<const real> out,
+                                           std::span<const real> u,
+                                           std::span<const real> v,
+                                           real (*f)(real)) {
+  VerifyCharge charge;
+  ++checks_;
+  if (obs::metrics().enabled()) obs::metrics().counter("verify.checks").add();
+  const usize n = v.size();
+  for (usize i = 0; i < out.size(); ++i) {
+    const real expected = f(u[i / n] * v[i % n]);
+    const real tol = kAbftRelTol * (real{1} + std::abs(expected));
+    if (std::abs(out[i] - expected) > tol) {
+      mismatch("outer_map", out[i], expected, 0.0);
+    }
+  }
+  return charge;
+}
+
+VerifyCharge AbftVerifier::check_sparse_mask(std::span<const real> out,
+                                             const la::CsrMatrix& X,
+                                             std::span<const real> om) {
+  VerifyCharge charge;
+  ++checks_;
+  if (obs::metrics().enabled()) obs::metrics().counter("verify.checks").add();
+  const auto n = static_cast<usize>(X.cols());
+  for (index_t r = 0; r < X.rows(); ++r) {
+    for (offset_t i = X.row_begin(r); i < X.row_end(r); ++i) {
+      const auto k = static_cast<usize>(i);
+      const real expected =
+          X.values()[k] *
+          om[static_cast<usize>(r) * n + static_cast<usize>(X.col_idx()[k])];
+      const real tol = kAbftRelTol * (real{1} + std::abs(expected));
+      if (std::abs(out[k] - expected) > tol) {
+        mismatch("sparse_mask", out[k], expected, 0.0);
+      }
+    }
+  }
+  return charge;
+}
+
+VerifyCharge AbftVerifier::check_sparse_mask(std::span<const real> out,
+                                             const la::DenseMatrix& X,
+                                             std::span<const real> om) {
+  VerifyCharge charge;
+  ++checks_;
+  if (obs::metrics().enabled()) obs::metrics().counter("verify.checks").add();
+  for (usize i = 0; i < out.size(); ++i) {
+    const real expected = X.data()[i] * om[i];
+    const real tol = kAbftRelTol * (real{1} + std::abs(expected));
+    if (std::abs(out[i] - expected) > tol) {
+      mismatch("sparse_mask", out[i], expected, 0.0);
+    }
+  }
+  return charge;
+}
+
+VerifyCharge AbftVerifier::check_masked_product(std::span<const real> out,
+                                                const la::CsrMatrix& X,
+                                                std::span<const real> vals,
+                                                std::span<const real> z) {
+  VerifyCharge charge;
+  ++checks_;
+  if (obs::metrics().enabled()) obs::metrics().counter("verify.checks").add();
+  for (index_t r = 0; r < X.rows(); ++r) {
+    real expected = 0;
+    real abs_terms = 0;
+    for (offset_t i = X.row_begin(r); i < X.row_end(r); ++i) {
+      const auto k = static_cast<usize>(i);
+      const real t = vals[k] * z[static_cast<usize>(X.col_idx()[k])];
+      expected += t;
+      abs_terms += std::abs(t);
+    }
+    const real tol = kAbftRelTol * (real{1} + std::abs(expected) + abs_terms);
+    const real o = out[static_cast<usize>(r)];
+    if (std::abs(o - expected) > tol) {
+      mismatch("masked_product", o, expected, 0.0);
+    }
+  }
+  return charge;
+}
+
+VerifyCharge AbftVerifier::check_masked_product(std::span<const real> out,
+                                                const la::DenseMatrix& X,
+                                                std::span<const real> vals,
+                                                std::span<const real> z) {
+  VerifyCharge charge;
+  ++checks_;
+  if (obs::metrics().enabled()) obs::metrics().counter("verify.checks").add();
+  const auto n = static_cast<usize>(X.cols());
+  for (index_t r = 0; r < X.rows(); ++r) {
+    real expected = 0;
+    real abs_terms = 0;
+    for (usize c = 0; c < n; ++c) {
+      const real t = vals[static_cast<usize>(r) * n + c] * z[c];
+      expected += t;
+      abs_terms += std::abs(t);
+    }
+    const real tol = kAbftRelTol * (real{1} + std::abs(expected) + abs_terms);
+    const real o = out[static_cast<usize>(r)];
+    if (std::abs(o - expected) > tol) {
+      mismatch("masked_product", o, expected, 0.0);
+    }
+  }
+  return charge;
+}
+
+namespace {
+/// Row products and their absolute term sums — the reduction-side scale the
+/// fused-row tolerance needs.
+template <typename RowTerms>
+void product_with_scale(index_t rows, RowTerms&& row_terms,
+                        std::vector<real>& product, std::vector<real>& scale) {
+  product.assign(static_cast<usize>(rows), real{0});
+  scale.assign(static_cast<usize>(rows), real{0});
+  for (index_t r = 0; r < rows; ++r) {
+    row_terms(r, product[static_cast<usize>(r)], scale[static_cast<usize>(r)]);
+  }
+}
+}  // namespace
+
+VerifyCharge AbftVerifier::check_fused_row(
+    std::span<const real> out, const la::CsrMatrix& X, std::span<const real> y,
+    const EwiseProgram& program, std::span<const std::span<const real>> ext) {
+  obs::TraceSpan span("verify:fused_row", "verify", obs::Track::kDispatch);
+  VerifyCharge charge;
+  // The output lives on the device: read it back through a billed reduction
+  // (same idiom as the product/pattern checks), then screen per element on
+  // the host — the nonlinear maps in the program rule out a pure checksum.
+  const real observed = device_sum(out, charge);
+  std::vector<real> product, scale;
+  product_with_scale(X.rows(),
+                     [&](index_t r, real& p, real& s) {
+                       for (offset_t i = X.row_begin(r); i < X.row_end(r);
+                            ++i) {
+                         const auto k = static_cast<usize>(i);
+                         const real t =
+                             X.values()[k] *
+                             y[static_cast<usize>(X.col_idx()[k])];
+                         p += t;
+                         s += std::abs(t);
+                       }
+                     },
+                     product, scale);
+  std::vector<std::span<const real>> inputs;
+  inputs.reserve(ext.size() + 1);
+  inputs.emplace_back(product);
+  for (const auto& e : ext) inputs.push_back(e);
+  const auto expected = program.evaluate(inputs);
+  real exp_sum = 0;
+  real exp_scale = 0;
+  for (usize i = 0; i < expected.size(); ++i) {
+    exp_sum += expected[i];
+    exp_scale += std::abs(expected[i]) + scale[i];
+  }
+  if (span.active()) span.cover_modeled_ms(charge.modeled_ms);
+  conclude("fused_row", observed, exp_sum, exp_scale, charge);
+  for (usize i = 0; i < out.size(); ++i) {
+    const real tol =
+        kAbftRelTol * (real{1} + std::abs(expected[i]) + scale[i]);
+    if (std::abs(out[i] - expected[i]) > tol) {
+      mismatch("fused_row", out[i], expected[i], charge.modeled_ms);
+    }
+  }
+  return charge;
+}
+
+VerifyCharge AbftVerifier::check_fused_row(
+    std::span<const real> out, const la::DenseMatrix& X,
+    std::span<const real> y, const EwiseProgram& program,
+    std::span<const std::span<const real>> ext) {
+  obs::TraceSpan span("verify:fused_row", "verify", obs::Track::kDispatch);
+  VerifyCharge charge;
+  const real observed = device_sum(out, charge);
+  const auto n = static_cast<usize>(X.cols());
+  std::vector<real> product, scale;
+  product_with_scale(X.rows(),
+                     [&](index_t r, real& p, real& s) {
+                       const auto row = X.row(r);
+                       for (usize c = 0; c < n; ++c) {
+                         const real t = row[c] * y[c];
+                         p += t;
+                         s += std::abs(t);
+                       }
+                     },
+                     product, scale);
+  std::vector<std::span<const real>> inputs;
+  inputs.reserve(ext.size() + 1);
+  inputs.emplace_back(product);
+  for (const auto& e : ext) inputs.push_back(e);
+  const auto expected = program.evaluate(inputs);
+  real exp_sum = 0;
+  real exp_scale = 0;
+  for (usize i = 0; i < expected.size(); ++i) {
+    exp_sum += expected[i];
+    exp_scale += std::abs(expected[i]) + scale[i];
+  }
+  if (span.active()) span.cover_modeled_ms(charge.modeled_ms);
+  conclude("fused_row", observed, exp_sum, exp_scale, charge);
+  for (usize i = 0; i < out.size(); ++i) {
+    const real tol =
+        kAbftRelTol * (real{1} + std::abs(expected[i]) + scale[i]);
+    if (std::abs(out[i] - expected[i]) > tol) {
+      mismatch("fused_row", out[i], expected[i], charge.modeled_ms);
+    }
+  }
+  return charge;
+}
+
+VerifyCharge AbftVerifier::check_fused_sddmm(
+    std::span<const real> out, const la::CsrMatrix& X, std::span<const real> u,
+    std::span<const real> v, std::span<const real> z, real (*f)(real)) {
+  obs::TraceSpan span("verify:fused_sddmm", "verify", obs::Track::kDispatch);
+  VerifyCharge charge;
+  const real observed = device_sum(out, charge);
+  std::vector<real> expected(static_cast<usize>(X.rows()), real{0});
+  std::vector<real> scale(static_cast<usize>(X.rows()), real{0});
+  real exp_sum = 0;
+  real exp_scale = 0;
+  for (index_t r = 0; r < X.rows(); ++r) {
+    const auto ri = static_cast<usize>(r);
+    for (offset_t i = X.row_begin(r); i < X.row_end(r); ++i) {
+      const auto k = static_cast<usize>(i);
+      const auto col = static_cast<usize>(X.col_idx()[k]);
+      const real t = X.values()[k] * f(u[ri] * v[col]) * z[col];
+      expected[ri] += t;
+      scale[ri] += std::abs(t);
+    }
+    exp_sum += expected[ri];
+    exp_scale += std::abs(expected[ri]) + scale[ri];
+  }
+  if (span.active()) span.cover_modeled_ms(charge.modeled_ms);
+  conclude("fused_sddmm", observed, exp_sum, exp_scale, charge);
+  for (usize i = 0; i < out.size(); ++i) {
+    const real tol = kAbftRelTol * (real{1} + std::abs(expected[i]) + scale[i]);
+    if (std::abs(out[i] - expected[i]) > tol) {
+      mismatch("fused_sddmm", out[i], expected[i], charge.modeled_ms);
+    }
+  }
+  return charge;
+}
+
+VerifyCharge AbftVerifier::check_fused_sddmm(
+    std::span<const real> out, const la::DenseMatrix& X,
+    std::span<const real> u, std::span<const real> v, std::span<const real> z,
+    real (*f)(real)) {
+  obs::TraceSpan span("verify:fused_sddmm", "verify", obs::Track::kDispatch);
+  VerifyCharge charge;
+  const real observed = device_sum(out, charge);
+  const auto n = static_cast<usize>(X.cols());
+  std::vector<real> expected(static_cast<usize>(X.rows()), real{0});
+  std::vector<real> scale(static_cast<usize>(X.rows()), real{0});
+  real exp_sum = 0;
+  real exp_scale = 0;
+  for (index_t r = 0; r < X.rows(); ++r) {
+    const auto ri = static_cast<usize>(r);
+    const auto row = X.row(r);
+    for (usize c = 0; c < n; ++c) {
+      const real t = row[c] * f(u[ri] * v[c]) * z[c];
+      expected[ri] += t;
+      scale[ri] += std::abs(t);
+    }
+    exp_sum += expected[ri];
+    exp_scale += std::abs(expected[ri]) + scale[ri];
+  }
+  if (span.active()) span.cover_modeled_ms(charge.modeled_ms);
+  conclude("fused_sddmm", observed, exp_sum, exp_scale, charge);
+  for (usize i = 0; i < out.size(); ++i) {
+    const real tol = kAbftRelTol * (real{1} + std::abs(expected[i]) + scale[i]);
+    if (std::abs(out[i] - expected[i]) > tol) {
+      mismatch("fused_sddmm", out[i], expected[i], charge.modeled_ms);
+    }
+  }
+  return charge;
+}
+
 }  // namespace fusedml::kernels

@@ -132,6 +132,48 @@ class AbftVerifier {
                                  const EwiseProgram& program,
                                  std::span<const std::span<const real>> inputs);
 
+  // --- Sparsity-template checks (host-side recomputation, launch-free) ---
+  // The row/sddmm family is verified by redundant host arithmetic over the
+  // same per-element expressions the kernels evaluate; the reduction-style
+  // checks scale their tolerance by the row's absolute term sum so
+  // device-vs-host summation order never false-positives.
+  VerifyCharge check_outer_map(std::span<const real> out,
+                               std::span<const real> u,
+                               std::span<const real> v, real (*f)(real));
+  VerifyCharge check_sparse_mask(std::span<const real> out,
+                                 const la::CsrMatrix& X,
+                                 std::span<const real> om);
+  VerifyCharge check_sparse_mask(std::span<const real> out,
+                                 const la::DenseMatrix& X,
+                                 std::span<const real> om);
+  VerifyCharge check_masked_product(std::span<const real> out,
+                                    const la::CsrMatrix& X,
+                                    std::span<const real> vals,
+                                    std::span<const real> z);
+  VerifyCharge check_masked_product(std::span<const real> out,
+                                    const la::DenseMatrix& X,
+                                    std::span<const real> vals,
+                                    std::span<const real> z);
+  VerifyCharge check_fused_row(std::span<const real> out,
+                               const la::CsrMatrix& X, std::span<const real> y,
+                               const EwiseProgram& program,
+                               std::span<const std::span<const real>> ext);
+  VerifyCharge check_fused_row(std::span<const real> out,
+                               const la::DenseMatrix& X,
+                               std::span<const real> y,
+                               const EwiseProgram& program,
+                               std::span<const std::span<const real>> ext);
+  VerifyCharge check_fused_sddmm(std::span<const real> out,
+                                 const la::CsrMatrix& X,
+                                 std::span<const real> u,
+                                 std::span<const real> v,
+                                 std::span<const real> z, real (*f)(real));
+  VerifyCharge check_fused_sddmm(std::span<const real> out,
+                                 const la::DenseMatrix& X,
+                                 std::span<const real> u,
+                                 std::span<const real> v,
+                                 std::span<const real> z, real (*f)(real));
+
   static HostSums host_sums(std::span<const real> x);
 
  private:

@@ -195,4 +195,195 @@ CpuOpResult CpuBackend::ewise_chain(
   return out;
 }
 
+CpuOpResult CpuBackend::outer_map(std::span<const real> u,
+                                  std::span<const real> v,
+                                  real (*f)(real)) const {
+  Timer t;
+  CpuOpResult out;
+  const usize n = v.size();
+  out.value.resize(u.size() * n);
+  for (usize i = 0; i < u.size(); ++i) {
+    for (usize j = 0; j < n; ++j) out.value[i * n + j] = f(u[i] * v[j]);
+  }
+  out.wall_ms = t.elapsed_ms();
+  out.modeled_ms = model_.op_time_ms(vec_bytes(out.value.size(), 2),
+                                     5ull * out.value.size(), threads_);
+  return out;
+}
+
+CpuOpResult CpuBackend::mask_values(const la::CsrMatrix& X,
+                                    std::span<const real> om) const {
+  Timer t;
+  CpuOpResult out;
+  const auto n = static_cast<usize>(X.cols());
+  out.value.resize(static_cast<usize>(X.nnz()));
+  for (index_t r = 0; r < X.rows(); ++r) {
+    for (offset_t i = X.row_begin(r); i < X.row_end(r); ++i) {
+      const auto k = static_cast<usize>(i);
+      out.value[k] =
+          X.values()[k] *
+          om[static_cast<usize>(r) * n + static_cast<usize>(X.col_idx()[k])];
+    }
+  }
+  out.wall_ms = t.elapsed_ms();
+  out.modeled_ms = model_.op_time_ms(
+      sparse_bytes(X) + vec_bytes(out.value.size(), 2), out.value.size(),
+      threads_, kSparseCpuEfficiency);
+  return out;
+}
+
+CpuOpResult CpuBackend::mask_values(const la::DenseMatrix& X,
+                                    std::span<const real> om) const {
+  Timer t;
+  CpuOpResult out;
+  out.value.resize(X.data().size());
+  for (usize i = 0; i < out.value.size(); ++i) {
+    out.value[i] = X.data()[i] * om[i];
+  }
+  out.wall_ms = t.elapsed_ms();
+  out.modeled_ms = model_.op_time_ms(vec_bytes(out.value.size(), 3),
+                                     out.value.size(), threads_);
+  return out;
+}
+
+CpuOpResult CpuBackend::masked_spmv(const la::CsrMatrix& X,
+                                    std::span<const real> vals,
+                                    std::span<const real> z) const {
+  Timer t;
+  CpuOpResult out;
+  out.value.assign(static_cast<usize>(X.rows()), real{0});
+  for (index_t r = 0; r < X.rows(); ++r) {
+    real s = 0;
+    for (offset_t i = X.row_begin(r); i < X.row_end(r); ++i) {
+      const auto k = static_cast<usize>(i);
+      s += vals[k] * z[static_cast<usize>(X.col_idx()[k])];
+    }
+    out.value[static_cast<usize>(r)] = s;
+  }
+  out.wall_ms = t.elapsed_ms();
+  out.modeled_ms = model_.op_time_ms(
+      sparse_bytes(X), 2ull * static_cast<std::uint64_t>(X.nnz()), threads_,
+      kSparseCpuEfficiency);
+  return out;
+}
+
+CpuOpResult CpuBackend::masked_gemv(const la::DenseMatrix& X,
+                                    std::span<const real> vals,
+                                    std::span<const real> z) const {
+  Timer t;
+  CpuOpResult out;
+  const auto n = static_cast<usize>(X.cols());
+  out.value.assign(static_cast<usize>(X.rows()), real{0});
+  for (index_t r = 0; r < X.rows(); ++r) {
+    real s = 0;
+    for (usize c = 0; c < n; ++c) {
+      s += vals[static_cast<usize>(r) * n + c] * z[c];
+    }
+    out.value[static_cast<usize>(r)] = s;
+  }
+  out.wall_ms = t.elapsed_ms();
+  out.modeled_ms =
+      model_.op_time_ms(X.bytes(), 2ull * X.data().size(), threads_);
+  return out;
+}
+
+namespace {
+/// The fused-row epilogue on the CPU: the product vector prepended to the
+/// external streams, evaluated with EwiseProgram::evaluate — which is what
+/// keeps the CPU fused kernel bit-exact with its unfused CPU chain.
+std::vector<real> row_epilogue(const EwiseProgram& program,
+                               std::vector<real> product,
+                               std::span<const std::span<const real>> ext) {
+  std::vector<std::span<const real>> inputs;
+  inputs.reserve(ext.size() + 1);
+  inputs.emplace_back(product);
+  for (const auto& e : ext) inputs.push_back(e);
+  return program.evaluate(inputs);
+}
+}  // namespace
+
+CpuOpResult CpuBackend::fused_row(
+    const la::CsrMatrix& X, std::span<const real> y,
+    const EwiseProgram& program,
+    std::span<const std::span<const real>> ext) const {
+  Timer t;
+  CpuOpResult out;
+  out.value = row_epilogue(program, la::reference::spmv(X, y), ext);
+  out.wall_ms = t.elapsed_ms();
+  out.modeled_ms = model_.op_time_ms(
+      sparse_bytes(X) + vec_bytes(out.value.size(),
+                                  static_cast<int>(ext.size()) + 1),
+      2ull * static_cast<std::uint64_t>(X.nnz()) +
+          program.flops_per_element() * out.value.size(),
+      threads_, kSparseCpuEfficiency);
+  return out;
+}
+
+CpuOpResult CpuBackend::fused_row(
+    const la::DenseMatrix& X, std::span<const real> y,
+    const EwiseProgram& program,
+    std::span<const std::span<const real>> ext) const {
+  Timer t;
+  CpuOpResult out;
+  out.value = row_epilogue(program, la::reference::gemv(X, y), ext);
+  out.wall_ms = t.elapsed_ms();
+  out.modeled_ms = model_.op_time_ms(
+      X.bytes() + vec_bytes(out.value.size(),
+                            static_cast<int>(ext.size()) + 1),
+      2ull * X.data().size() +
+          program.flops_per_element() * out.value.size(),
+      threads_);
+  return out;
+}
+
+CpuOpResult CpuBackend::fused_sddmm(const la::CsrMatrix& X,
+                                    std::span<const real> u,
+                                    std::span<const real> v,
+                                    std::span<const real> z,
+                                    real (*f)(real)) const {
+  Timer t;
+  CpuOpResult out;
+  out.value.assign(static_cast<usize>(X.rows()), real{0});
+  for (index_t r = 0; r < X.rows(); ++r) {
+    real s = 0;
+    for (offset_t i = X.row_begin(r); i < X.row_end(r); ++i) {
+      const auto k = static_cast<usize>(i);
+      const auto col = static_cast<usize>(X.col_idx()[k]);
+      // Term for term the unfused chain: mask then masked product.
+      const real masked = X.values()[k] * f(u[static_cast<usize>(r)] * v[col]);
+      s += masked * z[col];
+    }
+    out.value[static_cast<usize>(r)] = s;
+  }
+  out.wall_ms = t.elapsed_ms();
+  out.modeled_ms = model_.op_time_ms(
+      sparse_bytes(X), 7ull * static_cast<std::uint64_t>(X.nnz()), threads_,
+      kSparseCpuEfficiency);
+  return out;
+}
+
+CpuOpResult CpuBackend::fused_sddmm(const la::DenseMatrix& X,
+                                    std::span<const real> u,
+                                    std::span<const real> v,
+                                    std::span<const real> z,
+                                    real (*f)(real)) const {
+  Timer t;
+  CpuOpResult out;
+  const auto n = static_cast<usize>(X.cols());
+  out.value.assign(static_cast<usize>(X.rows()), real{0});
+  for (index_t r = 0; r < X.rows(); ++r) {
+    const auto row = X.row(r);
+    real s = 0;
+    for (usize c = 0; c < n; ++c) {
+      const real masked = row[c] * f(u[static_cast<usize>(r)] * v[c]);
+      s += masked * z[c];
+    }
+    out.value[static_cast<usize>(r)] = s;
+  }
+  out.wall_ms = t.elapsed_ms();
+  out.modeled_ms =
+      model_.op_time_ms(X.bytes(), 7ull * X.data().size(), threads_);
+  return out;
+}
+
 }  // namespace fusedml::kernels

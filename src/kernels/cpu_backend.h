@@ -66,6 +66,36 @@ class CpuBackend {
   CpuOpResult ewise_chain(const EwiseProgram& program,
                           std::span<const std::span<const real>> inputs) const;
 
+  // Sparsity-exploiting template building blocks (see kernels/fused_row.h).
+  /// The m*n values of f(u v^T), row-major.
+  CpuOpResult outer_map(std::span<const real> u, std::span<const real> v,
+                        real (*f)(real)) const;
+  /// X's values scaled by an outer-map at X's nonzeros / densely.
+  CpuOpResult mask_values(const la::CsrMatrix& X,
+                          std::span<const real> om) const;
+  CpuOpResult mask_values(const la::DenseMatrix& X,
+                          std::span<const real> om) const;
+  /// M * z where M is X's structure with substituted values.
+  CpuOpResult masked_spmv(const la::CsrMatrix& X, std::span<const real> vals,
+                          std::span<const real> z) const;
+  CpuOpResult masked_gemv(const la::DenseMatrix& X, std::span<const real> vals,
+                          std::span<const real> z) const;
+
+  // Fused template kernels (CPU analogues, bit-exact with the unfused CPU
+  // chains they replace).
+  CpuOpResult fused_row(const la::CsrMatrix& X, std::span<const real> y,
+                        const EwiseProgram& program,
+                        std::span<const std::span<const real>> ext) const;
+  CpuOpResult fused_row(const la::DenseMatrix& X, std::span<const real> y,
+                        const EwiseProgram& program,
+                        std::span<const std::span<const real>> ext) const;
+  CpuOpResult fused_sddmm(const la::CsrMatrix& X, std::span<const real> u,
+                          std::span<const real> v, std::span<const real> z,
+                          real (*f)(real)) const;
+  CpuOpResult fused_sddmm(const la::DenseMatrix& X, std::span<const real> u,
+                          std::span<const real> v, std::span<const real> z,
+                          real (*f)(real)) const;
+
  private:
   vgpu::CpuCostModel model_;
   int threads_;

@@ -1,0 +1,87 @@
+// Fused row-template and sparsity-exploiting (SDDMM-style) kernels, plus
+// the unfused building blocks they are measured against.
+//
+// Two new template families for the fusion planner:
+//
+//   row template    — out = epilogue(X*y, e1, ..., ek): the CSR-vector /
+//                     dense row product immediately fed through an
+//                     elementwise epilogue, all in ONE launch. The product
+//                     uses exactly the spmv_csr_vector / gemv_n arithmetic
+//                     (same vector size, same shuffle reduction), and the
+//                     epilogue evaluates the EwiseProgram in its SSA order,
+//                     so the fused kernel is bit-exact with the unfused
+//                     product-then-chain execution it replaces.
+//
+//   sddmm template  — out = (X ⊙ f(u v^T)) * z evaluated only at the
+//                     nonzeros of X (FusionStitching's sparsity-exploiting
+//                     rewrite). The unfused DAG materializes the full m*n
+//                     outer map; the fused kernel touches nnz(X) entries
+//                     and never allocates the dense intermediate.
+//
+// The unfused blocks (outer_map, mask_values, masked products) share their
+// per-element expressions with the fused kernels term for term, which is
+// what makes planner-vs-unfused bit-exactness hold for these families.
+#pragma once
+
+#include <span>
+
+#include "kernels/ewise_program.h"
+#include "kernels/op_result.h"
+#include "la/csr_matrix.h"
+#include "la/dense_matrix.h"
+#include "vgpu/device.h"
+
+namespace fusedml::kernels {
+
+/// The m*n values of f(u v^T), row-major: out[i*n + j] = f(u[i] * v[j]).
+/// One streaming launch over m*n elements — the dense intermediate the
+/// sddmm template exists to avoid.
+OpResult dev_outer_map(vgpu::Device& dev, std::span<const real> u,
+                       std::span<const real> v, real (*f)(real));
+
+/// Values of X scaled by an outer-map at X's nonzeros:
+/// out[k] = X.values[k] * om[row(k)*cols + col_idx[k]].
+OpResult dev_mask_values(vgpu::Device& dev, const la::CsrMatrix& X,
+                         std::span<const real> om);
+
+/// Dense variant: out[i*n+j] = X(i,j) * om[i*n+j].
+OpResult dev_mask_values(vgpu::Device& dev, const la::DenseMatrix& X,
+                         std::span<const real> om);
+
+/// X's CSR structure with substituted values: out = M * z where M has X's
+/// sparsity pattern and `vals` as its values array. Identical launch
+/// geometry and reduction order to spmv_csr_vector (vector size from X's
+/// mean nnz/row), so chains that precompute `vals` stay bit-exact with the
+/// fused sddmm kernel.
+OpResult dev_masked_spmv(vgpu::Device& dev, const la::CsrMatrix& X,
+                         std::span<const real> vals, std::span<const real> z);
+
+/// Dense variant of the masked product (gemv_n arithmetic over `vals`).
+OpResult dev_masked_gemv(vgpu::Device& dev, const la::DenseMatrix& X,
+                         std::span<const real> vals, std::span<const real> z);
+
+/// Row template, sparse: out[r] = program(X*y |_r, ext_0[r], ..., ext_k[r])
+/// in one launch. Program slot 0 is the row product; slots 1.. are the
+/// external inputs, in order.
+OpResult dev_fused_row(vgpu::Device& dev, const la::CsrMatrix& X,
+                       std::span<const real> y, const EwiseProgram& program,
+                       std::span<const std::span<const real>> ext);
+
+/// Row template, dense.
+OpResult dev_fused_row(vgpu::Device& dev, const la::DenseMatrix& X,
+                       std::span<const real> y, const EwiseProgram& program,
+                       std::span<const std::span<const real>> ext);
+
+/// Sparsity-exploiting template, sparse:
+/// out[r] = sum_k (X.values[k] * f(u[r]*v[col[k]])) * z[col[k]] over row r,
+/// with spmv_csr_vector's vector size and shuffle reduction.
+OpResult dev_fused_sddmm(vgpu::Device& dev, const la::CsrMatrix& X,
+                         std::span<const real> u, std::span<const real> v,
+                         std::span<const real> z, real (*f)(real));
+
+/// Sparsity-exploiting template, dense (every (r,c) is a "nonzero").
+OpResult dev_fused_sddmm(vgpu::Device& dev, const la::DenseMatrix& X,
+                         std::span<const real> u, std::span<const real> v,
+                         std::span<const real> z, real (*f)(real));
+
+}  // namespace fusedml::kernels

@@ -9,6 +9,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "kernels/blas1.h"
+#include "kernels/fused_row.h"
 #include "kernels/gemv.h"
 #include "kernels/spmv.h"
 
@@ -46,6 +47,11 @@ const char* to_string(RegistryOp op) {
     case RegistryOp::kEwiseMul: return "ewise_mul";
     case RegistryOp::kMap: return "map";
     case RegistryOp::kFusedEwise: return "fused_ewise";
+    case RegistryOp::kOuterMap: return "outer_map";
+    case RegistryOp::kSparseMask: return "sparse_mask";
+    case RegistryOp::kMaskedProduct: return "masked_product";
+    case RegistryOp::kFusedRow: return "fused_row";
+    case RegistryOp::kFusedSddmm: return "fused_sddmm";
   }
   return "?";
 }
@@ -132,6 +138,36 @@ OpProfile op_profile(RegistryOp op, Backend backend, bool sparse) {
       // Per stream: the planner adds (num_inputs + 1) * n words itself.
       p.vector_words_per_elem = 1;
       p.kernel = "ewise chain (codegen)";
+      break;
+    case RegistryOp::kOuterMap:
+      // Streaming over the m*n outer-map values; u/v are tiny next to them.
+      p.vector_words_per_elem = 2;
+      p.kernel = cpu ? "cpu outer_map" : "outer_map (streaming)";
+      break;
+    case RegistryOp::kSparseMask:
+      // Per stored element: matrix value in, outer-map gather, value out.
+      p.vector_words_per_elem = 3;
+      p.kernel = cpu ? "cpu mask_values" : "mask_values";
+      break;
+    case RegistryOp::kMaskedProduct:
+      // Structure pass over X with substituted values — same shape as kProduct.
+      p.matrix_passes = 1.0;
+      p.vector_words_per_elem = 2;
+      p.kernel = cpu ? (sparse ? "cpu masked spmv" : "cpu masked gemv")
+                     : (sparse ? "masked csrmv" : "masked gemv");
+      break;
+    case RegistryOp::kFusedRow:
+      // One matrix pass plus per-stream words: the planner adds
+      // (num_inputs + 1) * rows words itself, like kFusedEwise.
+      p.matrix_passes = 1.0;
+      p.vector_words_per_elem = 1;
+      p.kernel = sparse ? "fused_row (csr vector)" : "fused_row (dense warp)";
+      break;
+    case RegistryOp::kFusedSddmm:
+      // One pass over nnz(X); u contiguous, v and z gathered, result out.
+      p.matrix_passes = 1.0;
+      p.vector_words_per_elem = 4;
+      p.kernel = sparse ? "fused_sddmm (csr vector)" : "fused_sddmm (dense)";
       break;
   }
   // ABFT cost declaration: a sampled verification of a matrix op issues one
@@ -525,6 +561,161 @@ KernelOutcome OpRegistry::fused_ewise(
     run_check(out,
               [&] { return sdc_.check_ewise_chain(out.value, program,
                                                   inputs); });
+  }
+  return out;
+}
+
+KernelOutcome OpRegistry::outer_map(Backend b, std::span<const real> u,
+                                    std::span<const real> v, real (*f)(real),
+                                    const std::string& name) {
+  if (b == Backend::kCpu) {
+    return from_cpu(cpu_.outer_map(u, v, f), "cpu outer_map " + name);
+  }
+  const bool chk = sdc_.arm();
+  auto out = from_op(dev_outer_map(dev_, u, v, f), "outer_map " + name);
+  apply_injected_corruption(out, {});
+  if (chk) {
+    run_check(out, [&] { return sdc_.check_outer_map(out.value, u, v, f); });
+  }
+  return out;
+}
+
+KernelOutcome OpRegistry::sparse_mask(Backend b, const la::CsrMatrix& X,
+                                      std::span<const real> om) {
+  if (b == Backend::kCpu) {
+    return from_cpu(cpu_.mask_values(X, om), "cpu mask_values");
+  }
+  const bool chk = sdc_.arm();
+  auto out = from_op(dev_mask_values(dev_, X, om), "mask_values");
+  apply_injected_corruption(out, {});
+  if (chk) {
+    run_check(out, [&] { return sdc_.check_sparse_mask(out.value, X, om); });
+  }
+  return out;
+}
+
+KernelOutcome OpRegistry::sparse_mask(Backend b, const la::DenseMatrix& X,
+                                      std::span<const real> om) {
+  if (b == Backend::kCpu) {
+    return from_cpu(cpu_.mask_values(X, om), "cpu mask_values");
+  }
+  const bool chk = sdc_.arm();
+  auto out = from_op(dev_mask_values(dev_, X, om), "mask_values");
+  apply_injected_corruption(out, {});
+  if (chk) {
+    run_check(out, [&] { return sdc_.check_sparse_mask(out.value, X, om); });
+  }
+  return out;
+}
+
+KernelOutcome OpRegistry::masked_product(Backend b, const la::CsrMatrix& X,
+                                         std::span<const real> vals,
+                                         std::span<const real> z) {
+  if (b == Backend::kCpu) {
+    return from_cpu(cpu_.masked_spmv(X, vals, z), "cpu masked spmv");
+  }
+  const bool chk = sdc_.arm();
+  auto out = from_op(dev_masked_spmv(dev_, X, vals, z), "masked csrmv");
+  apply_injected_corruption(out, {});
+  if (chk) {
+    run_check(out,
+              [&] { return sdc_.check_masked_product(out.value, X, vals, z); });
+  }
+  return out;
+}
+
+KernelOutcome OpRegistry::masked_product(Backend b, const la::DenseMatrix& X,
+                                         std::span<const real> vals,
+                                         std::span<const real> z) {
+  if (b == Backend::kCpu) {
+    return from_cpu(cpu_.masked_gemv(X, vals, z), "cpu masked gemv");
+  }
+  const bool chk = sdc_.arm();
+  auto out = from_op(dev_masked_gemv(dev_, X, vals, z), "masked gemv");
+  apply_injected_corruption(out, {});
+  if (chk) {
+    run_check(out,
+              [&] { return sdc_.check_masked_product(out.value, X, vals, z); });
+  }
+  return out;
+}
+
+KernelOutcome OpRegistry::fused_row(Backend b, const la::CsrMatrix& X,
+                                    std::span<const real> y,
+                                    const EwiseProgram& program,
+                                    std::span<const std::span<const real>> ext) {
+  if (b == Backend::kCpu) {
+    return from_cpu(cpu_.fused_row(X, y, program, ext),
+                    "cpu fused row " + program.signature());
+  }
+  const bool chk = sdc_.arm();
+  auto out =
+      from_op(dev_fused_row(dev_, X, y, program, ext), "fused_row (csr vector)");
+  apply_injected_corruption(out, {});
+  if (chk) {
+    run_check(out, [&] {
+      return sdc_.check_fused_row(out.value, X, y, program, ext);
+    });
+  }
+  return out;
+}
+
+KernelOutcome OpRegistry::fused_row(Backend b, const la::DenseMatrix& X,
+                                    std::span<const real> y,
+                                    const EwiseProgram& program,
+                                    std::span<const std::span<const real>> ext) {
+  if (b == Backend::kCpu) {
+    return from_cpu(cpu_.fused_row(X, y, program, ext),
+                    "cpu fused row " + program.signature());
+  }
+  const bool chk = sdc_.arm();
+  auto out =
+      from_op(dev_fused_row(dev_, X, y, program, ext), "fused_row (dense warp)");
+  apply_injected_corruption(out, {});
+  if (chk) {
+    run_check(out, [&] {
+      return sdc_.check_fused_row(out.value, X, y, program, ext);
+    });
+  }
+  return out;
+}
+
+KernelOutcome OpRegistry::fused_sddmm(Backend b, const la::CsrMatrix& X,
+                                      std::span<const real> u,
+                                      std::span<const real> v,
+                                      std::span<const real> z, real (*f)(real),
+                                      const std::string& name) {
+  if (b == Backend::kCpu) {
+    return from_cpu(cpu_.fused_sddmm(X, u, v, z, f), "cpu fused sddmm " + name);
+  }
+  const bool chk = sdc_.arm();
+  auto out = from_op(dev_fused_sddmm(dev_, X, u, v, z, f),
+                     "fused_sddmm (csr vector)");
+  apply_injected_corruption(out, {});
+  if (chk) {
+    run_check(out, [&] {
+      return sdc_.check_fused_sddmm(out.value, X, u, v, z, f);
+    });
+  }
+  return out;
+}
+
+KernelOutcome OpRegistry::fused_sddmm(Backend b, const la::DenseMatrix& X,
+                                      std::span<const real> u,
+                                      std::span<const real> v,
+                                      std::span<const real> z, real (*f)(real),
+                                      const std::string& name) {
+  if (b == Backend::kCpu) {
+    return from_cpu(cpu_.fused_sddmm(X, u, v, z, f), "cpu fused sddmm " + name);
+  }
+  const bool chk = sdc_.arm();
+  auto out =
+      from_op(dev_fused_sddmm(dev_, X, u, v, z, f), "fused_sddmm (dense)");
+  apply_injected_corruption(out, {});
+  if (chk) {
+    run_check(out, [&] {
+      return sdc_.check_fused_sddmm(out.value, X, u, v, z, f);
+    });
   }
   return out;
 }

@@ -82,6 +82,11 @@ enum class RegistryOp {
   kEwiseMul,
   kMap,                ///< out[i] = f(x[i])
   kFusedEwise,         ///< generated streaming kernel for an ewise chain
+  kOuterMap,           ///< the m*n values of f(u v^T), row-major
+  kSparseMask,         ///< X's values scaled by an outer-map (X ⊙ O)
+  kMaskedProduct,      ///< M * z, M = X's structure with substituted values
+  kFusedRow,           ///< row product + elementwise epilogue, one kernel
+  kFusedSddmm,         ///< (X ⊙ f(u v^T)) * z at nnz(X), one kernel
 };
 
 const char* to_string(RegistryOp op);
@@ -170,6 +175,36 @@ class OpRegistry {
   /// lifecycle: source generated + cached on first use of each shape).
   KernelOutcome fused_ewise(Backend b, const EwiseProgram& program,
                             std::span<const std::span<const real>> inputs);
+
+  // Sparsity-exploiting template family (kernels/fused_row.h): the unfused
+  // building blocks and the fused row / sddmm kernels.
+  KernelOutcome outer_map(Backend b, std::span<const real> u,
+                          std::span<const real> v, real (*f)(real),
+                          const std::string& name);
+  KernelOutcome sparse_mask(Backend b, const la::CsrMatrix& X,
+                            std::span<const real> om);
+  KernelOutcome sparse_mask(Backend b, const la::DenseMatrix& X,
+                            std::span<const real> om);
+  KernelOutcome masked_product(Backend b, const la::CsrMatrix& X,
+                               std::span<const real> vals,
+                               std::span<const real> z);
+  KernelOutcome masked_product(Backend b, const la::DenseMatrix& X,
+                               std::span<const real> vals,
+                               std::span<const real> z);
+  KernelOutcome fused_row(Backend b, const la::CsrMatrix& X,
+                          std::span<const real> y, const EwiseProgram& program,
+                          std::span<const std::span<const real>> ext);
+  KernelOutcome fused_row(Backend b, const la::DenseMatrix& X,
+                          std::span<const real> y, const EwiseProgram& program,
+                          std::span<const std::span<const real>> ext);
+  KernelOutcome fused_sddmm(Backend b, const la::CsrMatrix& X,
+                            std::span<const real> u, std::span<const real> v,
+                            std::span<const real> z, real (*f)(real),
+                            const std::string& name);
+  KernelOutcome fused_sddmm(Backend b, const la::DenseMatrix& X,
+                            std::span<const real> u, std::span<const real> v,
+                            std::span<const real> z, real (*f)(real),
+                            const std::string& name);
 
   /// Runs `attempt` under the retry/backoff/fallback policy, starting from
   /// `preferred`. `inout` names caller memory the op mutates in place; it

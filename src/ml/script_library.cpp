@@ -1,6 +1,8 @@
 #include "ml/script_library.h"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <utility>
 
 #include "common/error.h"
@@ -31,6 +33,10 @@ const char* to_string(Algorithm algorithm) {
     case Algorithm::kGlm: return "glm";
     case Algorithm::kSvm: return "svm";
     case Algorithm::kHits: return "hits";
+    case Algorithm::kAls: return "als";
+    case Algorithm::kKmeans: return "kmeans";
+    case Algorithm::kPagerank: return "pagerank";
+    case Algorithm::kMinibatchLogreg: return "minibatch_logreg";
   }
   return "?";
 }
@@ -640,6 +646,505 @@ ScriptResult hits_impl(Runtime& rt, const Matrix& X, PlanMode mode,
   return out;
 }
 
+// --- ALS (rank-1, alternating CG) -------------------------------------------
+//
+// Factorizes the ratings matrix R ≈ u v^T over R's OBSERVED entries only:
+// each half-step solves a ridge normal system whose Hessian-vector product
+// is the sddmm-shaped masked expression
+//     H p = (M ⊙ (p v^T)) v + lambda*p
+// built from outer_map + sparse_mask + spmv. Under the planner that whole
+// subexpression collapses into the sparsity-exploiting fused kernel, which
+// touches only nnz(M) and never materializes the m*n outer map; the unfused
+// interpretation materializes it, which is exactly the traffic the plan
+// explain shows being saved. CG recurrences stay on the host (la::dot /
+// la::axpy), so planner vs unfused is bit-exact.
+
+real identity_map(real x) { return x; }
+
+la::CsrMatrix pattern_mask(const la::CsrMatrix& X) {
+  return la::CsrMatrix(
+      X.rows(), X.cols(), {X.row_off().begin(), X.row_off().end()},
+      {X.col_idx().begin(), X.col_idx().end()},
+      std::vector<real>(static_cast<usize>(X.nnz()), real{1}));
+}
+
+la::DenseMatrix pattern_mask(const la::DenseMatrix& X) {
+  std::vector<real> data(X.data().begin(), X.data().end());
+  for (real& x : data) x = x != real{0} ? real{1} : real{0};
+  return la::DenseMatrix(X.rows(), X.cols(), std::move(data));
+}
+
+template <typename Matrix>
+ScriptResult als_impl(Runtime& rt, const Matrix& R, PlanMode mode,
+                      AlsConfig config) {
+  FUSEDML_CHECK(R.rows() > 0 && R.cols() > 0, "empty ratings matrix");
+  const auto m = static_cast<usize>(R.rows());
+  const auto n = static_cast<usize>(R.cols());
+  ScriptResult out;
+
+  const Matrix Rt = la::transpose(R);
+  const Matrix M = pattern_mask(R);
+  const Matrix Mt = la::transpose(M);
+
+  const TensorId Rid = add_matrix(rt, R, "R");
+  const TensorId Rtid = add_matrix(rt, Rt, "Rt");
+  const TensorId Mid = add_matrix(rt, M, "M");
+  const TensorId Mtid = add_matrix(rt, Mt, "Mt");
+
+  std::vector<real> u(m, real{1});
+  std::vector<real> v(n, real{1});
+  const TensorId uid = rt.add_vector(u, "u");
+  const TensorId vid = rt.add_vector(v, "v");
+  const TensorId pid = rt.new_vector(m, "p");  // CG direction, u half-step
+  const TensorId qid = rt.new_vector(n, "q");  // CG direction, v half-step
+
+  // H p = (M ⊙ (p v^T)) v + lambda*p, and the mirrored system over Mt.
+  ExprBuilder hu;
+  {
+    const Expr Mh = hu.matrix("M");
+    const Expr vh = hu.vector("v");
+    const Expr ph = hu.vector("p");
+    const Expr masked = ExprBuilder::spmv(
+        ExprBuilder::sparse_mask(
+            Mh, ExprBuilder::outer_map(ph, vh, identity_map, "id")),
+        vh);
+    hu.output("Hp", ExprBuilder::add(masked,
+                                     ExprBuilder::scale(config.lambda, ph)));
+  }
+  Program hup = hu.build();
+  hup.bind("M", Mid);
+  hup.bind("v", vid);
+  hup.bind("p", pid);
+
+  ExprBuilder hv;
+  {
+    const Expr Mh = hv.matrix("Mt");
+    const Expr uh = hv.vector("u");
+    const Expr qh = hv.vector("q");
+    const Expr masked = ExprBuilder::spmv(
+        ExprBuilder::sparse_mask(
+            Mh, ExprBuilder::outer_map(qh, uh, identity_map, "id")),
+        uh);
+    hv.output("Hp", ExprBuilder::add(masked,
+                                     ExprBuilder::scale(config.lambda, qh)));
+  }
+  Program hvp = hv.build();
+  hvp.bind("Mt", Mtid);
+  hvp.bind("u", uid);
+  hvp.bind("q", qid);
+
+  // Right-hand sides: b_u = R v, b_v = R^T u (over the pre-transposed leaf).
+  ExprBuilder bu;
+  bu.output("b", ExprBuilder::spmv(bu.matrix("R"), bu.vector("v")));
+  Program bup = bu.build();
+  bup.bind("R", Rid);
+  bup.bind("v", vid);
+
+  ExprBuilder bv;
+  bv.output("b", ExprBuilder::spmv(bv.matrix("Rt"), bv.vector("u")));
+  Program bvp = bv.build();
+  bvp.bind("Rt", Rtid);
+  bvp.bind("u", uid);
+
+  // One ridge half-step from x = 0: CG on H x = b with the product on the
+  // device and the recurrences on the host, like the GLM/SVM ports.
+  auto half_step = [&](Program& bprog, Program& hprog, TensorId dir_id,
+                       std::vector<real>& x) {
+    bprog.prepare(rt, mode);
+    const auto b_view = rt.read_vector(rt.run(bprog, "b"));
+    std::vector<real> p(b_view.begin(), b_view.end());
+    std::vector<real> r(p.size());
+    for (usize j = 0; j < p.size(); ++j) r[j] = -p[j];
+    std::vector<real> xv(p.size(), real{0});
+    real rr = la::dot(r, r);
+    hprog.prepare(rt, mode);
+    for (int cg = 0; cg < config.max_cg_iterations && rr > real{0}; ++cg) {
+      rt.write_vector(dir_id, p);
+      const auto hp_view = rt.read_vector(rt.run(hprog, "Hp"));
+      const std::vector<real> hp(hp_view.begin(), hp_view.end());
+      const real php = la::dot(p, hp);
+      if (php <= 0) break;
+      const real alpha = rr / php;
+      la::axpy(alpha, p, xv);
+      la::axpy(alpha, hp, r);
+      const real rr_new = la::dot(r, r);
+      const real beta = rr_new / rr;
+      rr = rr_new;
+      for (usize j = 0; j < p.size(); ++j) p[j] = -r[j] + beta * p[j];
+    }
+    x = std::move(xv);
+  };
+
+  sysml::SolverCheckpoint ckpt(rt);
+  track_host(ckpt, u);
+  track_host(ckpt, v);
+
+  int iterations = 0;
+  int it = 0;
+  while (it < config.max_outer) {
+    ckpt.save_if_due(it);
+    try {
+      rt.write_vector(vid, v);
+      half_step(bup, hup, pid, u);  // u | v fixed
+      rt.write_vector(uid, u);
+      half_step(bvp, hvp, qid, v);  // v | u fixed
+      iterations = it + 1;
+      ++it;
+    } catch (const Error& e) {
+      it = ckpt.rollback(e);
+    }
+  }
+
+  out.weights = std::move(v);
+  Program* programs[] = {&hup, &hvp, &bup, &bvp};
+  finish(rt, programs, 4, iterations, out);
+  return out;
+}
+
+// --- k-means (Lloyd's) ------------------------------------------------------
+//
+// The device computes the -2 X c cross term of the squared distance through
+// one program re-bound per centroid ({spmv, scale} — one fused row-template
+// launch under the planner); ||x_i||^2 is assignment-invariant and
+// precomputed, assignment and centroid refresh stay on the host.
+
+void add_row_into(const la::CsrMatrix& X, index_t r, std::span<real> dst) {
+  for (offset_t k = X.row_begin(r); k < X.row_end(r); ++k) {
+    dst[static_cast<usize>(X.col_idx()[static_cast<usize>(k)])] +=
+        X.values()[static_cast<usize>(k)];
+  }
+}
+
+void add_row_into(const la::DenseMatrix& X, index_t r, std::span<real> dst) {
+  const auto row = X.row(r);
+  for (usize c = 0; c < row.size(); ++c) dst[c] += row[c];
+}
+
+real row_norm2(const la::CsrMatrix& X, index_t r) {
+  real s = 0;
+  for (offset_t k = X.row_begin(r); k < X.row_end(r); ++k) {
+    const real x = X.values()[static_cast<usize>(k)];
+    s += x * x;
+  }
+  return s;
+}
+
+real row_norm2(const la::DenseMatrix& X, index_t r) {
+  real s = 0;
+  for (const real x : X.row(r)) s += x * x;
+  return s;
+}
+
+template <typename Matrix>
+ScriptResult kmeans_impl(Runtime& rt, const Matrix& X, PlanMode mode,
+                         KmeansConfig config) {
+  FUSEDML_CHECK(X.rows() > 0 && X.cols() > 0, "empty data matrix");
+  const auto m = static_cast<usize>(X.rows());
+  const auto n = static_cast<usize>(X.cols());
+  const int k = std::min(config.clusters, static_cast<int>(m));
+  FUSEDML_CHECK(k > 0, "k-means needs at least one cluster");
+  ScriptResult out;
+
+  const TensorId Xid = add_matrix(rt, X, "X");
+  const TensorId cid = rt.new_vector(n, "c");
+
+  ExprBuilder b;
+  b.output("cross", ExprBuilder::scale(
+                        real{-2}, ExprBuilder::spmv(b.matrix("X"),
+                                                    b.vector("c"))));
+  Program cross = b.build();
+  cross.bind("X", Xid);
+  cross.bind("c", cid);
+
+  std::vector<real> xnorm(m);
+  for (usize i = 0; i < m; ++i) {
+    xnorm[i] = row_norm2(X, static_cast<index_t>(i));
+  }
+
+  // Centroids start as the first k rows, flattened row-major.
+  std::vector<real> centroids(static_cast<usize>(k) * n, real{0});
+  for (int c = 0; c < k; ++c) {
+    add_row_into(X, static_cast<index_t>(c),
+                 std::span<real>(centroids).subspan(
+                     static_cast<usize>(c) * n, n));
+  }
+
+  std::vector<int> assign(m, -1);
+  sysml::SolverCheckpoint ckpt(rt);
+  track_host(ckpt, centroids);
+  // The previous assignment feeds the early-break decision, so it must roll
+  // back with the centroids or a replayed iteration could break early where
+  // the clean run did not.
+  ckpt.track_vector(
+      [&assign] { return std::vector<real>(assign.begin(), assign.end()); },
+      [&assign](const std::vector<real>& saved) {
+        assign.assign(saved.begin(), saved.end());
+      });
+
+  int iterations = 0;
+  int it = 0;
+  while (it < config.max_iterations) {
+    ckpt.save_if_due(it);
+    try {
+      std::vector<real> best(m, std::numeric_limits<real>::infinity());
+      std::vector<int> next_assign(m, 0);
+      for (int c = 0; c < k; ++c) {
+        const auto centroid =
+            std::span<const real>(centroids).subspan(
+                static_cast<usize>(c) * n, n);
+        rt.write_vector(cid, centroid);
+        cross.prepare(rt, mode);
+        const auto xc = rt.read_vector(rt.run(cross, "cross"));
+        real cnorm = 0;
+        for (const real x : centroid) cnorm += x * x;
+        for (usize i = 0; i < m; ++i) {
+          const real d = xnorm[i] + xc[i] + cnorm;
+          if (d < best[i]) {
+            best[i] = d;
+            next_assign[i] = c;
+          }
+        }
+      }
+      const bool changed = next_assign != assign;
+      assign = std::move(next_assign);
+
+      std::vector<real> sums(centroids.size(), real{0});
+      std::vector<int> counts(static_cast<usize>(k), 0);
+      for (usize i = 0; i < m; ++i) {
+        const auto c = static_cast<usize>(assign[i]);
+        add_row_into(X, static_cast<index_t>(i),
+                     std::span<real>(sums).subspan(c * n, n));
+        ++counts[c];
+      }
+      for (int c = 0; c < k; ++c) {
+        if (counts[static_cast<usize>(c)] == 0) continue;  // keep the old one
+        const real inv = real{1} / static_cast<real>(counts[static_cast<usize>(c)]);
+        for (usize j = 0; j < n; ++j) {
+          centroids[static_cast<usize>(c) * n + j] =
+              sums[static_cast<usize>(c) * n + j] * inv;
+        }
+      }
+      iterations = it + 1;
+      ++it;
+      if (!changed) break;
+    } catch (const Error& e) {
+      it = ckpt.rollback(e);
+    }
+  }
+
+  out.weights = std::move(centroids);
+  Program* programs[] = {&cross};
+  finish(rt, programs, 1, iterations, out);
+  return out;
+}
+
+// --- PageRank ---------------------------------------------------------------
+//
+// r' = d * P^T r + (1-d)/n over the leading square of the input (so the
+// uniform library runner can feed any matrix). Pre-transposing the
+// row-normalized walk turns the update into the plain-product chain
+// add(scale(d, Pt*r), tele) — a row-template candidate the planner fuses
+// into ONE launch per iteration.
+
+la::CsrMatrix leading_square(const la::CsrMatrix& X, index_t k) {
+  std::vector<offset_t> row_off = {0};
+  std::vector<index_t> col_idx;
+  std::vector<real> values;
+  for (index_t r = 0; r < k; ++r) {
+    for (offset_t j = X.row_begin(r); j < X.row_end(r); ++j) {
+      const index_t c = X.col_idx()[static_cast<usize>(j)];
+      if (c >= k) continue;
+      col_idx.push_back(c);
+      values.push_back(X.values()[static_cast<usize>(j)]);
+    }
+    row_off.push_back(static_cast<offset_t>(col_idx.size()));
+  }
+  return la::CsrMatrix(k, k, std::move(row_off), std::move(col_idx),
+                       std::move(values));
+}
+
+la::DenseMatrix leading_square(const la::DenseMatrix& X, index_t k) {
+  std::vector<real> data;
+  data.reserve(static_cast<usize>(k) * static_cast<usize>(k));
+  for (index_t r = 0; r < k; ++r) {
+    for (index_t c = 0; c < k; ++c) data.push_back(X.at(r, c));
+  }
+  return la::DenseMatrix(k, k, std::move(data));
+}
+
+la::CsrMatrix row_normalized(const la::CsrMatrix& X) {
+  std::vector<real> values(X.values().begin(), X.values().end());
+  for (index_t r = 0; r < X.rows(); ++r) {
+    real s = 0;
+    for (offset_t j = X.row_begin(r); j < X.row_end(r); ++j) {
+      s += std::abs(values[static_cast<usize>(j)]);
+    }
+    if (s == real{0}) continue;
+    for (offset_t j = X.row_begin(r); j < X.row_end(r); ++j) {
+      values[static_cast<usize>(j)] /= s;
+    }
+  }
+  return la::CsrMatrix(X.rows(), X.cols(),
+                       {X.row_off().begin(), X.row_off().end()},
+                       {X.col_idx().begin(), X.col_idx().end()},
+                       std::move(values));
+}
+
+la::DenseMatrix row_normalized(const la::DenseMatrix& X) {
+  std::vector<real> data(X.data().begin(), X.data().end());
+  const auto n = static_cast<usize>(X.cols());
+  for (index_t r = 0; r < X.rows(); ++r) {
+    real s = 0;
+    for (usize c = 0; c < n; ++c) {
+      s += std::abs(data[static_cast<usize>(r) * n + c]);
+    }
+    if (s == real{0}) continue;
+    for (usize c = 0; c < n; ++c) data[static_cast<usize>(r) * n + c] /= s;
+  }
+  return la::DenseMatrix(X.rows(), X.cols(), std::move(data));
+}
+
+template <typename Matrix>
+ScriptResult pagerank_impl(Runtime& rt, const Matrix& X, PlanMode mode,
+                           PagerankConfig config) {
+  const index_t k = std::min(X.rows(), X.cols());
+  FUSEDML_CHECK(k > 0, "empty adjacency matrix");
+  const auto n = static_cast<usize>(k);
+  ScriptResult out;
+
+  const Matrix Pt = la::transpose(row_normalized(leading_square(X, k)));
+  const TensorId Ptid = add_matrix(rt, Pt, "Pt");
+  std::vector<real> r(n, real{1} / static_cast<real>(n));
+  TensorId rid = rt.add_vector(r, "r");
+  const TensorId tid = rt.add_vector(
+      std::vector<real>(n, (real{1} - config.damping) / static_cast<real>(n)),
+      "tele");
+
+  ExprBuilder b;
+  {
+    const Expr Pte = b.matrix("Pt");
+    const Expr re = b.vector("r");
+    const Expr te = b.vector("tele");
+    b.output("r_next",
+             ExprBuilder::add(
+                 ExprBuilder::scale(config.damping,
+                                    ExprBuilder::spmv(Pte, re)),
+                 te));
+  }
+  Program step = b.build();
+  step.bind("Pt", Ptid);
+  step.bind("tele", tid);
+
+  sysml::SolverCheckpoint ckpt(rt);
+  track_host(ckpt, r);
+  track_tensor(ckpt, rt, rid);
+
+  int iterations = 0;
+  bool converged = false;
+  int it = 0;
+  while (it < config.max_iterations && !converged) {
+    ckpt.save_if_due(it);
+    try {
+      step.bind("r", rid);
+      step.prepare(rt, mode);
+      const TensorId r_new = rt.run(step, "r_next");
+      const auto view = rt.read_vector(r_new);
+      real delta = 0;
+      for (usize j = 0; j < n; ++j) delta += std::abs(view[j] - r[j]);
+      r.assign(view.begin(), view.end());
+      rid = r_new;
+      iterations = it + 1;
+      converged = delta <= config.tolerance;
+      ++it;
+    } catch (const Error& e) {
+      it = ckpt.rollback(e);
+    }
+  }
+
+  out.weights = std::move(r);
+  Program* programs[] = {&step};
+  finish(rt, programs, 1, iterations, out);
+  return out;
+}
+
+// --- Mini-batch logistic regression -----------------------------------------
+//
+// The full-logreg gradient over a rotating quarter-of-the-rows batch. The
+// batch leaves re-bind every step; a recurring batch shape hits the plan
+// cache (dense batches always do — CSR batches replan when the slice nnz
+// changes). The gradient DAG has no Equation-1 site, so the planner's wins
+// here are the row template (product + sigmoid chain) and the ewise tail.
+
+template <typename Matrix>
+ScriptResult minibatch_logreg_impl(Runtime& rt, const Matrix& X,
+                                   std::span<const real> y, PlanMode mode,
+                                   MinibatchConfig config) {
+  FUSEDML_CHECK(y.size() == static_cast<usize>(X.rows()),
+                "labels must have one entry per row");
+  const auto m = static_cast<usize>(X.rows());
+  const auto n = static_cast<usize>(X.cols());
+  const usize bs = std::max<usize>(1, m / 4);
+  ScriptResult out;
+
+  const TensorId wid = rt.new_vector(n, "w");
+
+  ExprBuilder b;
+  {
+    const Expr Xb = b.matrix("Xb");
+    const Expr w = b.vector("w");
+    const Expr nyb = b.vector("neg_yb");
+    const Expr margins = ExprBuilder::map(
+        ExprBuilder::mul(nyb, ExprBuilder::spmv(Xb, w)), stable_sigmoid,
+        "sigmoid");
+    const Expr resid = ExprBuilder::mul(margins, nyb);
+    b.output("g", ExprBuilder::add(ExprBuilder::spmv_t(Xb, resid),
+                                   ExprBuilder::scale(config.lambda, w)));
+  }
+  Program prog = b.build();
+  prog.bind("w", wid);
+
+  sysml::SolverCheckpoint ckpt(rt);
+  track_tensor(ckpt, rt, wid);
+
+  int it = 0;
+  while (it < config.iterations) {
+    ckpt.save_if_due(it);
+    try {
+      // Batch window [start, start + bs) with wraparound; select_rows wants
+      // a strictly increasing list, so the wrapped window is sorted (the
+      // gradient is a sum over batch rows — order only permutes the slice).
+      const usize start = (static_cast<usize>(it) * bs) % m;
+      std::vector<index_t> rows(bs);
+      for (usize j = 0; j < bs; ++j) {
+        rows[j] = static_cast<index_t>((start + j) % m);
+      }
+      std::sort(rows.begin(), rows.end());
+      const Matrix Xb = take_rows(X, rows);
+      const TensorId Xbid = add_matrix(rt, Xb, "Xb");
+      std::vector<real> nyb(bs);
+      for (usize j = 0; j < bs; ++j) {
+        nyb[j] = -y[static_cast<usize>(rows[j])];
+      }
+      const TensorId nybid = rt.add_vector(std::move(nyb), "neg_yb");
+
+      prog.bind("Xb", Xbid);
+      prog.bind("neg_yb", nybid);
+      prog.prepare(rt, mode);
+      const TensorId gid = rt.run(prog, "g");
+      rt.op_axpy(-config.step, gid, wid);
+      ++it;
+    } catch (const Error& e) {
+      it = ckpt.rollback(e);
+    }
+  }
+
+  const auto w_view = rt.read_vector(wid);
+  out.weights.assign(w_view.begin(), w_view.end());
+  Program* programs[] = {&prog};
+  finish(rt, programs, 1, it, out);
+  return out;
+}
+
 }  // namespace
 
 // --- Public entry points ----------------------------------------------------
@@ -697,6 +1202,47 @@ ScriptResult run_hits_script(Runtime& rt, const la::DenseMatrix& X,
   return hits_impl(rt, X, mode, config);
 }
 
+ScriptResult run_als_script(Runtime& rt, const la::CsrMatrix& X,
+                            PlanMode mode, AlsConfig config) {
+  return als_impl(rt, X, mode, config);
+}
+ScriptResult run_als_script(Runtime& rt, const la::DenseMatrix& X,
+                            PlanMode mode, AlsConfig config) {
+  return als_impl(rt, X, mode, config);
+}
+
+ScriptResult run_kmeans_script(Runtime& rt, const la::CsrMatrix& X,
+                               PlanMode mode, KmeansConfig config) {
+  return kmeans_impl(rt, X, mode, config);
+}
+ScriptResult run_kmeans_script(Runtime& rt, const la::DenseMatrix& X,
+                               PlanMode mode, KmeansConfig config) {
+  return kmeans_impl(rt, X, mode, config);
+}
+
+ScriptResult run_pagerank_script(Runtime& rt, const la::CsrMatrix& X,
+                                 PlanMode mode, PagerankConfig config) {
+  return pagerank_impl(rt, X, mode, config);
+}
+ScriptResult run_pagerank_script(Runtime& rt, const la::DenseMatrix& X,
+                                 PlanMode mode, PagerankConfig config) {
+  return pagerank_impl(rt, X, mode, config);
+}
+
+ScriptResult run_minibatch_logreg_script(Runtime& rt, const la::CsrMatrix& X,
+                                         std::span<const real> labels,
+                                         PlanMode mode,
+                                         MinibatchConfig config) {
+  return minibatch_logreg_impl(rt, X, labels, mode, config);
+}
+ScriptResult run_minibatch_logreg_script(Runtime& rt,
+                                         const la::DenseMatrix& X,
+                                         std::span<const real> labels,
+                                         PlanMode mode,
+                                         MinibatchConfig config) {
+  return minibatch_logreg_impl(rt, X, labels, mode, config);
+}
+
 // --- The generated library --------------------------------------------------
 
 namespace {
@@ -733,15 +1279,37 @@ ScriptResult run_spec(Algorithm algorithm, PlanMode mode, Runtime& rt,
       if (iterations > 0) cfg.max_iterations = iterations;
       return run_hits_script(rt, X, mode, cfg);
     }
+    case Algorithm::kAls: {
+      AlsConfig cfg;
+      if (iterations > 0) cfg.max_outer = iterations;
+      return run_als_script(rt, X, mode, cfg);
+    }
+    case Algorithm::kKmeans: {
+      KmeansConfig cfg;
+      if (iterations > 0) cfg.max_iterations = iterations;
+      return run_kmeans_script(rt, X, mode, cfg);
+    }
+    case Algorithm::kPagerank: {
+      PagerankConfig cfg;
+      if (iterations > 0) cfg.max_iterations = iterations;
+      return run_pagerank_script(rt, X, mode, cfg);
+    }
+    case Algorithm::kMinibatchLogreg: {
+      MinibatchConfig cfg;
+      if (iterations > 0) cfg.iterations = iterations;
+      return run_minibatch_logreg_script(rt, X, labels, mode, cfg);
+    }
   }
   FUSEDML_CHECK(false, "unknown algorithm");
   return ScriptResult{};
 }
 
 std::vector<ScriptSpec> build_library() {
-  constexpr Algorithm kAlgorithms[] = {Algorithm::kLrCg, Algorithm::kLogregGd,
-                                       Algorithm::kGlm, Algorithm::kSvm,
-                                       Algorithm::kHits};
+  constexpr Algorithm kAlgorithms[] = {
+      Algorithm::kLrCg,     Algorithm::kLogregGd, Algorithm::kGlm,
+      Algorithm::kSvm,      Algorithm::kHits,     Algorithm::kAls,
+      Algorithm::kKmeans,   Algorithm::kPagerank,
+      Algorithm::kMinibatchLogreg};
   constexpr PlanMode kModes[] = {PlanMode::kUnfused, PlanMode::kHardcodedPass,
                                  PlanMode::kPlanner};
   std::vector<ScriptSpec> lib;

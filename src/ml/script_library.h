@@ -39,7 +39,17 @@ namespace fusedml::ml {
 using sysml::PlanMode;
 using sysml::ScriptResult;
 
-enum class Algorithm { kLrCg, kLogregGd, kGlm, kSvm, kHits };
+enum class Algorithm {
+  kLrCg,
+  kLogregGd,
+  kGlm,
+  kSvm,
+  kHits,
+  kAls,             ///< rank-1 ALS factorization (the sddmm showcase)
+  kKmeans,          ///< Lloyd's iterations, cross term on the device
+  kPagerank,        ///< damped power iteration over the transposed walk
+  kMinibatchLogreg, ///< logreg SGD over rotating row batches
+};
 const char* to_string(Algorithm algorithm);
 
 /// lr-cg script knobs (Listing 1's eps / tolerance).
@@ -52,6 +62,35 @@ struct ScriptConfig {
 /// Logistic-regression gradient-descent script knobs.
 struct GdConfig {
   int iterations = 50;
+  real step = 0.5;
+  real lambda = 0.01;
+};
+
+/// Rank-1 ALS knobs: each half-step runs a few CG iterations whose
+/// Hessian-vector product is the sddmm-shaped masked expression.
+struct AlsConfig {
+  int max_outer = 4;
+  int max_cg_iterations = 4;
+  real lambda = 0.1;
+};
+
+/// Lloyd's k-means knobs.
+struct KmeansConfig {
+  int clusters = 4;
+  int max_iterations = 8;
+};
+
+/// Damped PageRank power-iteration knobs.
+struct PagerankConfig {
+  int max_iterations = 40;
+  real damping = 0.85;
+  real tolerance = 0.0000001;
+};
+
+/// Mini-batch logistic-regression SGD knobs: the batch is a fixed quarter
+/// of the rows, the window rotating with wraparound every step.
+struct MinibatchConfig {
+  int iterations = 40;
   real step = 0.5;
   real lambda = 0.01;
 };
@@ -102,6 +141,47 @@ ScriptResult run_hits_script(sysml::Runtime& rt, const la::DenseMatrix& X,
                              PlanMode mode = PlanMode::kPlanner,
                              HitsConfig config = {});
 
+/// Rank-1 ALS over the observed entries of the ratings matrix (no labels);
+/// returns the item factor v. The planner collapses the Hessian-vector
+/// product into the sparsity-exploiting fused sddmm kernel.
+ScriptResult run_als_script(sysml::Runtime& rt, const la::CsrMatrix& X,
+                            PlanMode mode = PlanMode::kPlanner,
+                            AlsConfig config = {});
+ScriptResult run_als_script(sysml::Runtime& rt, const la::DenseMatrix& X,
+                            PlanMode mode = PlanMode::kPlanner,
+                            AlsConfig config = {});
+
+/// Lloyd's k-means (no labels); returns the centroids flattened row-major.
+/// The -2*X*c cross term is a row-template fusion candidate per centroid.
+ScriptResult run_kmeans_script(sysml::Runtime& rt, const la::CsrMatrix& X,
+                               PlanMode mode = PlanMode::kPlanner,
+                               KmeansConfig config = {});
+ScriptResult run_kmeans_script(sysml::Runtime& rt, const la::DenseMatrix& X,
+                               PlanMode mode = PlanMode::kPlanner,
+                               KmeansConfig config = {});
+
+/// Damped PageRank over the leading square of X (no labels); the update
+/// add(scale(d, Pt*r), tele) is one fused row-template launch per step.
+ScriptResult run_pagerank_script(sysml::Runtime& rt, const la::CsrMatrix& X,
+                                 PlanMode mode = PlanMode::kPlanner,
+                                 PagerankConfig config = {});
+ScriptResult run_pagerank_script(sysml::Runtime& rt, const la::DenseMatrix& X,
+                                 PlanMode mode = PlanMode::kPlanner,
+                                 PagerankConfig config = {});
+
+/// Mini-batch logistic regression: the logreg gradient over a rotating
+/// quarter-of-the-rows batch, re-binding the batch leaves every step.
+ScriptResult run_minibatch_logreg_script(sysml::Runtime& rt,
+                                         const la::CsrMatrix& X,
+                                         std::span<const real> labels,
+                                         PlanMode mode = PlanMode::kPlanner,
+                                         MinibatchConfig config = {});
+ScriptResult run_minibatch_logreg_script(sysml::Runtime& rt,
+                                         const la::DenseMatrix& X,
+                                         std::span<const real> labels,
+                                         PlanMode mode = PlanMode::kPlanner,
+                                         MinibatchConfig config = {});
+
 // --- The generated library --------------------------------------------------
 
 /// One entry of the algorithm × storage × plan-mode cross product. The
@@ -121,7 +201,7 @@ struct ScriptSpec {
       run_dense;  ///< null for CSR entries
 };
 
-/// All 5 algorithms × {csr, dense} × {unfused, hardcoded-pass, planner}.
+/// All 9 algorithms × {csr, dense} × {unfused, hardcoded-pass, planner}.
 const std::vector<ScriptSpec>& script_library();
 
 const ScriptSpec* find_script(const std::string& name);

@@ -29,6 +29,10 @@ const char* to_string(ScriptKind kind) {
     case ScriptKind::kGlm: return "glm";
     case ScriptKind::kSvm: return "svm";
     case ScriptKind::kHits: return "hits";
+    case ScriptKind::kAls: return "als";
+    case ScriptKind::kKmeans: return "kmeans";
+    case ScriptKind::kPagerank: return "pagerank";
+    case ScriptKind::kMinibatchLogreg: return "minibatch_logreg";
   }
   return "?";
 }

@@ -79,7 +79,17 @@ struct PatternEval {
 /// bound to the worker's device. Every algorithm in the generated
 /// ScriptLibrary (ml/script_library.h) is servable; requests pick the plan
 /// mode the library prepares the program with.
-enum class ScriptKind { kLrCg, kLogregGd, kGlm, kSvm, kHits };
+enum class ScriptKind {
+  kLrCg,
+  kLogregGd,
+  kGlm,
+  kSvm,
+  kHits,
+  kAls,
+  kKmeans,
+  kPagerank,
+  kMinibatchLogreg,
+};
 const char* to_string(ScriptKind kind);
 struct ScriptEval {
   DatasetId dataset = 0;

@@ -97,6 +97,11 @@ ml::Algorithm to_algorithm(ScriptKind kind) {
     case ScriptKind::kGlm: return ml::Algorithm::kGlm;
     case ScriptKind::kSvm: return ml::Algorithm::kSvm;
     case ScriptKind::kHits: return ml::Algorithm::kHits;
+    case ScriptKind::kAls: return ml::Algorithm::kAls;
+    case ScriptKind::kKmeans: return ml::Algorithm::kKmeans;
+    case ScriptKind::kPagerank: return ml::Algorithm::kPagerank;
+    case ScriptKind::kMinibatchLogreg:
+      return ml::Algorithm::kMinibatchLogreg;
   }
   return ml::Algorithm::kLrCg;
 }
@@ -115,9 +120,14 @@ usize Server::estimate_bytes(const ServeRequest& req) const {
   const la::CsrMatrix& X = dataset(s.dataset);
   // Labels plus the solver's working vectors: a handful of length-n
   // iterates (w, p, q, r, trials) and, for the row-space algorithms (glm /
-  // svm / hits / logreg), a few length-m intermediates (eta, margins,
-  // residuals).
-  return X.bytes() + vec(s.labels.size()) +
+  // svm / hits / logreg / the new workloads), a few length-m intermediates
+  // (eta, margins, residuals). ALS additionally holds the transposed
+  // ratings and both orientations of the observation mask as matrix
+  // leaves; PageRank holds the transposed normalized walk.
+  const usize matrix_copies = s.kind == ScriptKind::kAls      ? usize{4}
+                              : s.kind == ScriptKind::kPagerank ? usize{2}
+                                                                : usize{1};
+  return matrix_copies * X.bytes() + vec(s.labels.size()) +
          usize{6} * vec(static_cast<usize>(X.cols())) +
          (s.kind == ScriptKind::kLrCg
               ? usize{0}

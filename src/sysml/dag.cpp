@@ -17,8 +17,12 @@ std::string to_string(OpKind kind) {
     case OpKind::kScale: return "scale";
     case OpKind::kAdd: return "add";
     case OpKind::kMap: return "map";
+    case OpKind::kOuterMap: return "outer_map";
+    case OpKind::kSparseMask: return "sparse_mask";
     case OpKind::kFusedPattern: return "FUSED_PATTERN";
     case OpKind::kFusedEwise: return "FUSED_EWISE";
+    case OpKind::kFusedRow: return "FUSED_ROW";
+    case OpKind::kFusedSddmm: return "FUSED_SDDMM";
   }
   return "?";
 }
@@ -66,6 +70,19 @@ NodePtr map(NodePtr a, real (*f)(real), std::string name) {
   node->map_f = f;
   node->map_name = std::move(name);
   return node;
+}
+
+NodePtr outer_map(NodePtr u, NodePtr v, real (*f)(real), std::string name) {
+  auto node = make(OpKind::kOuterMap, {std::move(u), std::move(v)});
+  node->map_f = f;
+  node->map_name = std::move(name);
+  return node;
+}
+
+NodePtr sparse_mask(NodePtr X, NodePtr om) {
+  FUSEDML_CHECK(X && X->kind == OpKind::kInputMatrix,
+                "sparse_mask: X must be an input-matrix leaf");
+  return make(OpKind::kSparseMask, {std::move(X), std::move(om)});
 }
 
 NodePtr pattern_expression(real alpha, NodePtr X, NodePtr v, NodePtr y,
@@ -312,8 +329,16 @@ TensorId eval(Runtime& rt, const NodePtr& node,
       out = node->tensor;
       break;
     case OpKind::kMv:
-      out = rt.op_product(eval(rt, node->inputs[0], memo),
-                          eval(rt, node->inputs[1], memo));
+      if (node->inputs[0]->kind == OpKind::kSparseMask) {
+        // Masked product: X's structure with the mask node's values.
+        const NodePtr& mask = node->inputs[0];
+        out = rt.op_masked_product(eval(rt, mask->inputs[0], memo),
+                                   eval(rt, mask, memo),
+                                   eval(rt, node->inputs[1], memo));
+      } else {
+        out = rt.op_product(eval(rt, node->inputs[0], memo),
+                            eval(rt, node->inputs[1], memo));
+      }
       break;
     case OpKind::kMvT:
       out = rt.op_transposed_product(eval(rt, node->inputs[0], memo),
@@ -343,6 +368,29 @@ TensorId eval(Runtime& rt, const NodePtr& node,
     case OpKind::kMap:
       out = rt.op_map(eval(rt, node->inputs[0], memo), node->map_f,
                       node->map_name);
+      break;
+    case OpKind::kOuterMap:
+      out = rt.op_outer_map(eval(rt, node->inputs[0], memo),
+                            eval(rt, node->inputs[1], memo), node->map_f,
+                            node->map_name);
+      break;
+    case OpKind::kSparseMask:
+      out = rt.op_sparse_mask(eval(rt, node->inputs[0], memo),
+                              eval(rt, node->inputs[1], memo));
+      break;
+    case OpKind::kFusedRow: {
+      std::vector<TensorId> ids;
+      ids.reserve(node->inputs.size());
+      for (const auto& in : node->inputs) ids.push_back(eval(rt, in, memo));
+      out = rt.op_fused_row(eval(rt, node->fused_matrix, memo),
+                            eval(rt, node->fused_y, memo), node->program, ids);
+      break;
+    }
+    case OpKind::kFusedSddmm:
+      out = rt.op_fused_sddmm(
+          eval(rt, node->fused_matrix, memo), eval(rt, node->fused_v, memo),
+          eval(rt, node->fused_y, memo), eval(rt, node->fused_z, memo),
+          node->map_f, node->map_name);
       break;
     case OpKind::kFusedEwise: {
       std::vector<TensorId> ids;

@@ -39,14 +39,20 @@ namespace fusedml::sysml {
 enum class OpKind {
   kInputMatrix,   ///< leaf: a matrix registered with the runtime
   kInputVector,   ///< leaf: a vector registered with the runtime
-  kMv,            ///< X * y
+  kMv,            ///< X * y (X may also be a kSparseMask value node)
   kMvT,           ///< X^T * y  (optionally pre-scaled by `scalar`)
   kEwiseMul,      ///< a ⊙ b
   kScale,         ///< scalar * a
   kAdd,           ///< a + b
   kMap,           ///< f(a) element-wise (sigmoid, exp, ...)
+  kOuterMap,      ///< f(u_i * v_j): the m*n values of f(u v^T), row-major
+  kSparseMask,    ///< X ⊙ O: values of X scaled by an outer-map, at X's
+                  ///< nonzeros (CSR) or densely — a VALUES vector, reusing
+                  ///< X's structure
   kFusedPattern,  ///< scalar * X^T (v ⊙ (X*y)) + scalar2 * z — one kernel
   kFusedEwise,    ///< a whole elementwise chain as one generated kernel
+  kFusedRow,      ///< (X*y) fed through an elementwise epilogue — one kernel
+  kFusedSddmm,    ///< (X ⊙ f(u v^T)) * z evaluated only at nnz(X) — one kernel
 };
 
 std::string to_string(OpKind kind);
@@ -61,14 +67,19 @@ struct Node {
   real scalar2 = 0;    ///< kFusedPattern beta
   TensorId tensor = 0; ///< leaves: the runtime tensor
 
-  // kMap payload.
+  // kMap / kOuterMap / kFusedSddmm payload.
   real (*map_f)(real) = nullptr;
   std::string map_name;
 
   // kFusedEwise payload: inputs[] are the program's input slots, in order.
+  // kFusedRow reuses it for the epilogue: program slot 0 is the row product
+  // X*y, and inputs[] are the remaining external slots, in order.
   kernels::EwiseProgram program;
 
   // kFusedPattern operand slots (empty NodePtr = absent v / z).
+  // kFusedRow: fused_matrix = X leaf, fused_y = the product's vector.
+  // kFusedSddmm: fused_matrix = X leaf, fused_v = u, fused_y = v,
+  // fused_z = the product vector z.
   NodePtr fused_matrix, fused_v, fused_y, fused_z;
 };
 
@@ -84,6 +95,12 @@ NodePtr ewise_mul(NodePtr a, NodePtr b);
 NodePtr scale(real s, NodePtr a);
 NodePtr add(NodePtr a, NodePtr b);
 NodePtr map(NodePtr a, real (*f)(real), std::string name);
+/// The m*n values of f(u v^T), row-major — a VALUES vector, not a matrix.
+NodePtr outer_map(NodePtr u, NodePtr v, real (*f)(real), std::string name);
+/// Values of X elementwise-scaled by an outer-map `om` (evaluated at X's
+/// nonzeros for CSR storage, densely for dense storage). The result reuses
+/// X's structure, so `mv(sparse_mask(X, om), z)` is a masked product.
+NodePtr sparse_mask(NodePtr X, NodePtr om);
 
 /// Builds the full Equation-1 expression as an UNFUSED operator DAG:
 ///   alpha * X^T (v ⊙ (X*y)) + beta*z     (pass nullptr for absent v / z)

@@ -97,6 +97,15 @@ Expr ExprBuilder::map(const Expr& a, real (*f)(real),
   return Expr(sysml::map(a.node(), f, name));
 }
 
+Expr ExprBuilder::outer_map(const Expr& u, const Expr& v, real (*f)(real),
+                            const std::string& name) {
+  return Expr(sysml::outer_map(u.node(), v.node(), f, name));
+}
+
+Expr ExprBuilder::sparse_mask(const Expr& X, const Expr& om) {
+  return Expr(sysml::sparse_mask(X.node(), om.node()));
+}
+
 Expr ExprBuilder::pattern(real alpha, const Expr& X, const Expr& v,
                           const Expr& y, real beta, const Expr& z) {
   return Expr(pattern_expression(alpha, X.node(), v.node(), y.node(), beta,
@@ -131,6 +140,13 @@ void Program::bind(const std::string& leaf, TensorId id) {
 std::string Program::shape_signature(Runtime& rt, PlanMode mode) const {
   std::ostringstream os;
   os << to_string(mode);
+  if (mode == PlanMode::kPlanner) {
+    // Planner knobs change the plan, so they are part of the cache key.
+    const PlannerOptions& po = rt.planner_options();
+    os << "[p" << po.enable_pattern_fusion << 'e' << po.enable_ewise_fusion
+       << 'r' << po.enable_row_fusion << 's' << po.enable_sddmm_fusion << 'b'
+       << po.candidate_budget << 'm' << po.min_benefit_ms << ']';
+  }
   for (const auto& [name, node] : leaves_) {
     FUSEDML_CHECK(node->tensor != 0,
                   "Program leaf '" + name + "' is not bound to a tensor");
@@ -165,7 +181,7 @@ void Program::prepare(Runtime& rt, PlanMode mode) {
           break;
         }
         case PlanMode::kPlanner: {
-          FusionPlan plan = plan_fusion(rt, root);
+          FusionPlan plan = plan_fusion(rt, root, rt.planner_options());
           rp.root = plan.root;
           rp.has_prediction = true;
           rp.launches = plan.launches_planned;

@@ -93,6 +93,15 @@ class ExprBuilder {
   /// alpha * x + y as an elementwise chain (a planner fusion candidate).
   static Expr axpy(real alpha, const Expr& x, const Expr& y);
   static Expr map(const Expr& a, real (*f)(real), const std::string& name);
+  /// The m*n values of f(u v^T), row-major — a VALUES vector. Feed it to
+  /// sparse_mask to express sddmm-shaped products the planner can collapse
+  /// into the sparsity-exploiting fused kernel.
+  static Expr outer_map(const Expr& u, const Expr& v, real (*f)(real),
+                        const std::string& name);
+  /// X's values elementwise-scaled by an outer-map (at X's nonzeros for CSR
+  /// storage). The result reuses X's structure: spmv(sparse_mask(X, om), z)
+  /// is the masked product (X ⊙ f(u v^T)) * z.
+  static Expr sparse_mask(const Expr& X, const Expr& om);
   /// The full Equation-1 expression alpha * X^T (v ⊙ (X*y)) + beta*z as an
   /// UNFUSED operator DAG (pass default Expr{} for absent v / z) — what the
   /// hardcoded pass and the planner both recognize and collapse.

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <iomanip>
+#include <map>
 #include <sstream>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/error.h"
@@ -21,6 +23,9 @@ using kernels::EwiseProgram;
 using kernels::EwiseStep;
 using kernels::op_profile;
 using kernels::RegistryOp;
+
+using ConsumerMap =
+    std::unordered_map<const Node*, std::vector<const Node*>>;
 
 struct NodeCost {
   std::uint64_t launches = 0;
@@ -73,7 +78,13 @@ class CostOracle {
         out = rt_.tensor_info(n->tensor).rows;
         break;
       case OpKind::kMv:
-        out = matrix_info(n->inputs[0].get()).rows;
+        // A masked product (Mv over a kSparseMask value node) has the mask's
+        // underlying matrix shape.
+        if (n->inputs[0]->kind == OpKind::kSparseMask) {
+          out = matrix_info(n->inputs[0]->inputs[0].get()).rows;
+        } else {
+          out = matrix_info(n->inputs[0].get()).rows;
+        }
         break;
       case OpKind::kMvT:
         out = matrix_info(n->inputs[0].get()).cols;
@@ -85,8 +96,21 @@ class CostOracle {
       case OpKind::kFusedEwise:
         out = length(n->inputs[0].get());
         break;
+      case OpKind::kOuterMap:
+        out = length(n->inputs[0].get()) * length(n->inputs[1].get());
+        break;
+      case OpKind::kSparseMask: {
+        const auto info = matrix_info(n->inputs[0].get());
+        out = info.is_sparse ? static_cast<index_t>(info.nnz)
+                             : info.rows * info.cols;
+        break;
+      }
       case OpKind::kFusedPattern:
         out = matrix_info(n->fused_matrix.get()).cols;
+        break;
+      case OpKind::kFusedRow:
+      case OpKind::kFusedSddmm:
+        out = matrix_info(n->fused_matrix.get()).rows;
         break;
     }
     len_.emplace(n, out);
@@ -97,6 +121,56 @@ class CostOracle {
     FUSEDML_CHECK(n->kind == OpKind::kInputMatrix,
                   "planner: matrix operand must be an input leaf");
     return rt_.tensor_info(n->tensor);
+  }
+
+  /// Cost of the fused Equation-1 kernel over matrix `info`.
+  NodeCost pattern_cost(const TensorInfo& info) {
+    const auto p = op_profile(RegistryOp::kPattern, Backend::kFused,
+                              info.is_sparse);
+    const double bytes =
+        p.matrix_passes * static_cast<double>(info.bytes) +
+        p.vector_words_per_elem * static_cast<double>(info.cols) *
+            sizeof(real);
+    return {p.launches,
+            static_cast<double>(p.launches) * launch_ms_ + bw_ms(bytes)};
+  }
+
+  /// Cost of one generated elementwise kernel: `num_inputs` streams in,
+  /// one out, `n_elems` elements each.
+  NodeCost fused_ewise_cost(index_t n_elems, int num_inputs) {
+    const auto p = op_profile(RegistryOp::kFusedEwise, Backend::kFused,
+                              false);
+    const double words = p.vector_words_per_elem *
+                         static_cast<double>(num_inputs + 1) *
+                         static_cast<double>(n_elems);
+    return {p.launches, static_cast<double>(p.launches) * launch_ms_ +
+                            bw_ms(words * sizeof(real))};
+  }
+
+  /// Cost of the fused row kernel: one matrix pass plus the epilogue's
+  /// streams (program inputs + the output, `rows` elements each).
+  NodeCost fused_row_cost(const TensorInfo& info, int num_inputs) {
+    const auto p = op_profile(RegistryOp::kFusedRow, Backend::kFused,
+                              info.is_sparse);
+    const double words = p.vector_words_per_elem *
+                         static_cast<double>(num_inputs + 1) *
+                         static_cast<double>(info.rows);
+    const double bytes = p.matrix_passes * static_cast<double>(info.bytes) +
+                         words * sizeof(real);
+    return {p.launches,
+            static_cast<double>(p.launches) * launch_ms_ + bw_ms(bytes)};
+  }
+
+  /// Cost of the fused sddmm kernel: one pass over X plus the u/v/z/out
+  /// vector traffic the profile declares.
+  NodeCost fused_sddmm_cost(const TensorInfo& info) {
+    const auto p = op_profile(RegistryOp::kFusedSddmm, Backend::kFused,
+                              info.is_sparse);
+    const double bytes = p.matrix_passes * static_cast<double>(info.bytes) +
+                         p.vector_words_per_elem *
+                             static_cast<double>(info.rows) * sizeof(real);
+    return {p.launches,
+            static_cast<double>(p.launches) * launch_ms_ + bw_ms(bytes)};
   }
 
   /// Modeled GPU cost of executing `n` as its own operator (leaves are
@@ -111,6 +185,21 @@ class CostOracle {
       case OpKind::kInputVector:
         return {};
       case OpKind::kMv: {
+        if (n->inputs[0]->kind == OpKind::kSparseMask) {
+          // Masked product: streams X's structure, the substituted values
+          // and z in, one row-length result out.
+          const Node* mask = n->inputs[0].get();
+          const auto info = matrix_info(mask->inputs[0].get());
+          const auto p = op_profile(RegistryOp::kMaskedProduct,
+                                    Backend::kFused, info.is_sparse);
+          const double bytes =
+              p.matrix_passes * static_cast<double>(info.bytes) +
+              p.vector_words_per_elem * static_cast<double>(length(n)) *
+                  sizeof(real) +
+              static_cast<double>(length(mask)) * sizeof(real);
+          return {p.launches, static_cast<double>(p.launches) * launch_ms_ +
+                                  bw_ms(bytes)};
+        }
         const auto info = matrix_info(n->inputs[0].get());
         mat_bytes = static_cast<double>(info.bytes);
         sparse = info.is_sparse;
@@ -136,26 +225,21 @@ class CostOracle {
       case OpKind::kMap:
         op = RegistryOp::kMap;
         break;
-      case OpKind::kFusedPattern: {
-        const auto info = matrix_info(n->fused_matrix.get());
-        mat_bytes = static_cast<double>(info.bytes);
-        sparse = info.is_sparse;
-        op = RegistryOp::kPattern;
+      case OpKind::kOuterMap:
+        op = RegistryOp::kOuterMap;
         break;
-      }
-      case OpKind::kFusedEwise: {
-        // Profile reports per-stream traffic; the program shape adds the
-        // stream count: inputs once in, output once out.
-        const auto p = op_profile(RegistryOp::kFusedEwise, Backend::kFused,
-                                  false);
-        const double n_elems = static_cast<double>(length(n));
-        const double words =
-            p.vector_words_per_elem *
-            static_cast<double>(n->program.num_inputs + 1) * n_elems;
-        return {p.launches,
-                static_cast<double>(p.launches) * launch_ms_ +
-                    bw_ms(words * sizeof(real))};
-      }
+      case OpKind::kSparseMask:
+        op = RegistryOp::kSparseMask;
+        break;
+      case OpKind::kFusedPattern:
+        return pattern_cost(matrix_info(n->fused_matrix.get()));
+      case OpKind::kFusedEwise:
+        return fused_ewise_cost(length(n), n->program.num_inputs);
+      case OpKind::kFusedRow:
+        return fused_row_cost(matrix_info(n->fused_matrix.get()),
+                              n->program.num_inputs);
+      case OpKind::kFusedSddmm:
+        return fused_sddmm_cost(matrix_info(n->fused_matrix.get()));
       default:
         return {};
     }
@@ -219,26 +303,78 @@ std::vector<const Node*> topo_order(const NodePtr& root) {
   return order;
 }
 
-struct PatternCand {
-  Equation1Match match;
-  const Node* root = nullptr;
-  NodeCost before, after;
+/// One explored fusion opportunity — any template family. Candidates may
+/// OVERLAP; the selection stage resolves overlaps by benefit.
+struct Candidate {
+  enum class Family { kEq1 = 0, kEwise, kRow, kSddmm };
 
-  double benefit_ms() const { return before.ms - after.ms; }
-};
-
-struct EwiseCand {
+  Family family = Family::kEq1;
+  const char* kind = "";           ///< PlannedGroup::kind string
+  std::string detail;
+  const Node* sink = nullptr;      ///< the node the fused node replaces
   std::vector<const Node*> members;  ///< producers first; sink last
-  const Node* sink = nullptr;
-  std::vector<NodePtr> ext_inputs;   ///< program input slots, in order
-  EwiseProgram program;
-  NodeCost before, after;
 
-  double benefit_ms() const { return before.ms - after.ms; }
+  NodeCost before;       ///< members executed operator-at-a-time
+  NodeCost fused_after;  ///< the single fused kernel
+  NodeCost kept_cost;    ///< members re-materialized for outside consumers
+
+  // Family payloads (only the matching family's fields are set).
+  Equation1Match match;               // eq1
+  std::vector<NodePtr> ext_inputs;    // ewise / row: program input slots
+  EwiseProgram program;               // ewise / row
+  NodePtr row_matrix, row_y;          // row: the product's operands
+  NodePtr sd_X, sd_u, sd_v, sd_z;     // sddmm operands
+  real (*sd_f)(real) = nullptr;       // sddmm map
+  std::string sd_fname;
+
+  NodeCost after() const {
+    NodeCost out = fused_after;
+    out += kept_cost;
+    return out;
+  }
+  double benefit_ms() const { return before.ms - after().ms; }
 };
 
-/// Builds the EwiseProgram for a region (members in producers-first order).
-void build_program(EwiseCand& cand) {
+/// CSE-aware costing: members with a consumer OUTSIDE the candidate must
+/// stay materialized (the rewriter's memoized clone keeps them for those
+/// consumers), so the candidate pays their cost again — plus, transitively,
+/// any member inputs those kept nodes need.
+void apply_cse(Candidate& cand, const ConsumerMap& consumers,
+               CostOracle& oracle) {
+  const std::unordered_set<const Node*> member_set(cand.members.begin(),
+                                                   cand.members.end());
+  std::unordered_set<const Node*> kept;
+  for (const Node* m : cand.members) {
+    if (m == cand.sink) continue;
+    const auto it = consumers.find(m);
+    if (it == consumers.end()) continue;
+    for (const Node* p : it->second) {
+      if (member_set.count(p) == 0) {
+        kept.insert(m);
+        break;
+      }
+    }
+  }
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (const Node* k :
+         std::vector<const Node*>(kept.begin(), kept.end())) {
+      for (const auto& in : k->inputs) {
+        const Node* c = in.get();
+        if (c != cand.sink && member_set.count(c) != 0 &&
+            kept.insert(c).second) {
+          grew = true;
+        }
+      }
+    }
+  }
+  for (const Node* k : kept) cand.kept_cost += oracle.node_cost(k);
+}
+
+/// Builds the EwiseProgram for an elementwise region (members in
+/// producers-first order); external inputs become the program's slots.
+void build_ewise_program(Candidate& cand) {
   std::unordered_set<const Node*> member_set(cand.members.begin(),
                                              cand.members.end());
   std::unordered_map<const Node*, int> ext_slot;
@@ -294,14 +430,373 @@ void build_program(EwiseCand& cand) {
   FUSEDML_CHECK(cand.program.valid(), "planner built an invalid program");
 }
 
-/// Memoized clone-with-replacement: chosen pattern roots become
-/// kFusedPattern nodes, chosen ewise sinks become kFusedEwise nodes, every
-/// other interior node is cloned fresh; input leaves are shared.
+/// Builds the epilogue program for a row candidate: slot 0 is the row
+/// product (members.front()), external vectors take slots 1.., and the
+/// chain members after the product become the steps.
+void build_row_program(Candidate& cand) {
+  const Node* product = cand.members.front();
+  std::unordered_set<const Node*> member_set(cand.members.begin(),
+                                             cand.members.end());
+  std::unordered_map<const Node*, int> ext_slot;
+  for (std::size_t i = 1; i < cand.members.size(); ++i) {
+    for (const auto& in : cand.members[i]->inputs) {
+      if (member_set.count(in.get()) != 0) continue;
+      if (ext_slot
+              .emplace(in.get(),
+                       1 + static_cast<int>(cand.ext_inputs.size()))
+              .second) {
+        cand.ext_inputs.push_back(in);
+      }
+    }
+  }
+  cand.program.num_inputs = 1 + static_cast<int>(cand.ext_inputs.size());
+
+  std::unordered_map<const Node*, int> value_slot;
+  value_slot.emplace(product, 0);
+  auto slot_of = [&](const NodePtr& in) {
+    const auto it = value_slot.find(in.get());
+    if (it != value_slot.end()) return it->second;
+    return ext_slot.at(in.get());
+  };
+  for (std::size_t i = 1; i < cand.members.size(); ++i) {
+    const Node* m = cand.members[i];
+    EwiseStep step;
+    switch (m->kind) {
+      case OpKind::kScale:
+        step.op = EwiseOp::kScale;
+        step.a = slot_of(m->inputs[0]);
+        step.scalar = m->scalar;
+        break;
+      case OpKind::kAdd:
+        step.op = EwiseOp::kAdd;
+        step.a = slot_of(m->inputs[0]);
+        step.b = slot_of(m->inputs[1]);
+        break;
+      case OpKind::kEwiseMul:
+        step.op = EwiseOp::kMul;
+        step.a = slot_of(m->inputs[0]);
+        step.b = slot_of(m->inputs[1]);
+        break;
+      case OpKind::kMap:
+        step.op = EwiseOp::kMap;
+        step.a = slot_of(m->inputs[0]);
+        step.map_fn = m->map_f;
+        step.map_name = m->map_name;
+        break;
+      default:
+        FUSEDML_CHECK(false, "planner: non-elementwise node in row epilogue");
+    }
+    value_slot.emplace(
+        m, cand.program.num_inputs +
+               static_cast<int>(cand.program.steps.size()));
+    cand.program.steps.push_back(std::move(step));
+  }
+  FUSEDML_CHECK(cand.program.valid(),
+                "planner built an invalid row program");
+}
+
+/// EXPLORE, family 1: Equation-1 / Table-1 matches (largest extent at each
+/// root), filtered by the materialization-point analysis. Matches touching
+/// `claimed` nodes are skipped silently; unsafe matches are counted in
+/// `rejected` when it is non-null (first fixpoint iteration only, so the
+/// count is not inflated by re-enumeration).
+void explore_equation1(const NodePtr& root, const ConsumerMap& consumers,
+                       CostOracle& oracle,
+                       const std::unordered_set<const Node*>& claimed,
+                       std::vector<Candidate>& out, int* rejected) {
+  std::unordered_set<const Node*> visited;
+  std::vector<NodePtr> stack = {root};
+  while (!stack.empty()) {
+    NodePtr n = stack.back();
+    stack.pop_back();
+    if (!n || !visited.insert(n.get()).second) continue;
+    if (auto m = match_equation1(n)) {
+      const bool overlaps_claimed =
+          std::any_of(m->covered.begin(), m->covered.end(),
+                      [&](const Node* c) { return claimed.count(c) != 0; });
+      if (!overlaps_claimed) {
+        if (fusion_is_materialization_safe(*m, n, consumers)) {
+          Candidate cand;
+          cand.family = Candidate::Family::kEq1;
+          cand.kind = "equation1";
+          cand.sink = n.get();
+          cand.members = m->covered;
+          for (const Node* c : m->covered) cand.before += oracle.node_cost(c);
+          cand.fused_after =
+              oracle.pattern_cost(oracle.matrix_info(m->X.get()));
+          // Materialization safety guarantees no member is consumed outside
+          // the match, so nothing is kept.
+          std::ostringstream detail;
+          detail << "alpha=" << m->alpha;
+          if (m->z) detail << " beta=" << m->beta;
+          if (!m->v) detail << " (no v)";
+          cand.detail = detail.str();
+          cand.match = std::move(*m);
+          out.push_back(std::move(cand));
+        } else if (rejected != nullptr) {
+          ++*rejected;
+        }
+      }
+    }
+    for (const auto& in : n->inputs) stack.push_back(in);
+    for (const auto& in :
+         {n->fused_matrix, n->fused_v, n->fused_y, n->fused_z}) {
+      if (in) stack.push_back(in);
+    }
+  }
+}
+
+/// EXPLORE, family 2: maximal elementwise regions. A region grows from a
+/// sink by absorbing elementwise producers whose consumers all lie inside
+/// the region; nodes absorbed into one region do not seed their own (the
+/// fixpoint loop re-enumerates leftovers after selection).
+void explore_ewise(const std::vector<const Node*>& topo,
+                   const ConsumerMap& consumers, CostOracle& oracle,
+                   const std::unordered_set<const Node*>& claimed,
+                   std::vector<Candidate>& out) {
+  std::unordered_set<const Node*> absorbed;
+  // Consumers-first: a region's sink is the member closest to the root.
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const Node* sink = *it;
+    if (!is_ewise(sink) || claimed.count(sink) != 0 ||
+        absorbed.count(sink) != 0) {
+      continue;
+    }
+    std::unordered_set<const Node*> region = {sink};
+    bool grew = true;
+    while (grew) {
+      grew = false;
+      for (const Node* r :
+           std::vector<const Node*>(region.begin(), region.end())) {
+        for (const auto& in : r->inputs) {
+          const Node* c = in.get();
+          if (region.count(c) != 0 || claimed.count(c) != 0 ||
+              !is_ewise(c)) {
+            continue;
+          }
+          const auto cit = consumers.find(c);
+          const bool internal =
+              cit != consumers.end() &&
+              std::all_of(cit->second.begin(), cit->second.end(),
+                          [&](const Node* p) { return region.count(p); });
+          if (internal) {
+            region.insert(c);
+            grew = true;
+          }
+        }
+      }
+    }
+    if (region.size() < 2) continue;
+
+    Candidate cand;
+    cand.family = Candidate::Family::kEwise;
+    cand.kind = "ewise_chain";
+    cand.sink = sink;
+    for (const Node* n : topo) {
+      if (region.count(n) != 0) {
+        cand.members.push_back(n);
+        absorbed.insert(n);
+      }
+    }
+    build_ewise_program(cand);
+    for (const Node* m : cand.members) cand.before += oracle.node_cost(m);
+    cand.fused_after =
+        oracle.fused_ewise_cost(oracle.length(sink),
+                                cand.program.num_inputs);
+    cand.detail = cand.program.signature();
+    out.push_back(std::move(cand));
+  }
+}
+
+/// EXPLORE, family 3: the row template — a product (Mv over an input
+/// matrix) whose value flows through a single-consumer elementwise chain.
+/// The product itself may keep outside consumers (the CSE costing charges
+/// for re-materializing it).
+void explore_row(const std::vector<const Node*>& topo,
+                 const ConsumerMap& consumers, CostOracle& oracle,
+                 const std::unordered_set<const Node*>& claimed,
+                 std::vector<Candidate>& out) {
+  auto distinct_consumers = [&](const Node* n) {
+    std::vector<const Node*> ds;
+    const auto it = consumers.find(n);
+    if (it == consumers.end()) return ds;
+    for (const Node* p : it->second) {
+      if (std::find(ds.begin(), ds.end(), p) == ds.end()) ds.push_back(p);
+    }
+    return ds;
+  };
+
+  for (const Node* n : topo) {
+    if (n->kind != OpKind::kMv || claimed.count(n) != 0) continue;
+    if (n->inputs[0]->kind != OpKind::kInputMatrix) continue;
+    const index_t rows = oracle.length(n);
+
+    std::vector<const Node*> chain = {n};
+    std::unordered_set<const Node*> chain_set = {n};
+    const Node* cur = n;
+    while (true) {
+      const auto ds = distinct_consumers(cur);
+      // Mid-chain values live only in registers — they must have a single
+      // consumer. The product may keep extra consumers (CSE materializes
+      // it); the sink is materialized by the fused kernel anyway.
+      if (cur != n && ds.size() != 1) break;
+      const Node* next = nullptr;
+      for (const Node* p : ds) {
+        if (!is_ewise(p) || claimed.count(p) != 0 ||
+            chain_set.count(p) != 0) {
+          continue;
+        }
+        bool ok = true;
+        for (const auto& in : p->inputs) {
+          const Node* c = in.get();
+          if (c == cur || c == n) continue;  // has a program slot
+          if (chain_set.count(c) != 0 || claimed.count(c) != 0 ||
+              oracle.length(c) != rows) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) {
+          next = p;
+          break;
+        }
+      }
+      if (next == nullptr) break;
+      chain.push_back(next);
+      chain_set.insert(next);
+      cur = next;
+    }
+    if (chain.size() < 2) continue;
+
+    Candidate cand;
+    cand.family = Candidate::Family::kRow;
+    cand.kind = "row_template";
+    cand.sink = chain.back();
+    cand.members = chain;
+    cand.row_matrix = n->inputs[0];
+    cand.row_y = n->inputs[1];
+    build_row_program(cand);
+    for (const Node* m : cand.members) cand.before += oracle.node_cost(m);
+    cand.fused_after = oracle.fused_row_cost(
+        oracle.matrix_info(cand.row_matrix.get()), cand.program.num_inputs);
+    apply_cse(cand, consumers, oracle);
+    cand.detail = cand.program.signature();
+    out.push_back(std::move(cand));
+  }
+}
+
+/// EXPLORE, family 4: the sparsity-exploiting sddmm template —
+/// Mv(SparseMask(X, OuterMap(u, v, f)), z). The fused kernel evaluates
+/// (X ⊙ f(u v^T)) * z only at nnz(X) and never materializes the m*n
+/// outer map or the masked values.
+void explore_sddmm(const std::vector<const Node*>& topo,
+                   const ConsumerMap& consumers, CostOracle& oracle,
+                   const std::unordered_set<const Node*>& claimed,
+                   std::vector<Candidate>& out) {
+  for (const Node* n : topo) {
+    if (n->kind != OpKind::kMv || claimed.count(n) != 0) continue;
+    if (n->inputs[0]->kind != OpKind::kSparseMask) continue;
+    const Node* mask = n->inputs[0].get();
+    if (mask->inputs[1]->kind != OpKind::kOuterMap) continue;
+    const Node* om = mask->inputs[1].get();
+    if (claimed.count(mask) != 0 || claimed.count(om) != 0) continue;
+
+    Candidate cand;
+    cand.family = Candidate::Family::kSddmm;
+    cand.kind = "sddmm";
+    cand.sink = n;
+    cand.members = {om, mask, n};
+    cand.sd_X = mask->inputs[0];
+    cand.sd_u = om->inputs[0];
+    cand.sd_v = om->inputs[1];
+    cand.sd_z = n->inputs[1];
+    cand.sd_f = om->map_f;
+    cand.sd_fname = om->map_name;
+    for (const Node* m : cand.members) cand.before += oracle.node_cost(m);
+    cand.fused_after =
+        oracle.fused_sddmm_cost(oracle.matrix_info(cand.sd_X.get()));
+    apply_cse(cand, consumers, oracle);
+    cand.detail = "f=" + cand.sd_fname;
+    out.push_back(std::move(cand));
+  }
+}
+
+/// SELECT, exact: maximum-benefit weighted set packing by DFS over the
+/// benefit-sorted candidates with a suffix-sum upper bound. Include-first
+/// ordering plus strict comparisons make ties deterministic (earlier /
+/// higher-benefit candidates win).
+std::vector<int> select_exact(const std::vector<Candidate>& cands,
+                              const std::vector<std::vector<int>>& conflicts) {
+  const int n = static_cast<int>(cands.size());
+  std::vector<double> suffix(static_cast<std::size_t>(n) + 1, 0);
+  for (int i = n - 1; i >= 0; --i) {
+    suffix[i] = suffix[i + 1] + cands[i].benefit_ms();
+  }
+  std::vector<int> blocked(n, 0), cur, best;
+  double cur_ben = 0, best_ben = -1;
+  auto dfs = [&](auto&& self, int i) -> void {
+    if (cur_ben + suffix[i] <= best_ben) return;
+    if (i == n) {
+      best = cur;
+      best_ben = cur_ben;
+      return;
+    }
+    if (blocked[i] == 0) {
+      cur.push_back(i);
+      cur_ben += cands[i].benefit_ms();
+      for (int j : conflicts[i]) ++blocked[j];
+      self(self, i + 1);
+      for (int j : conflicts[i]) --blocked[j];
+      cur.pop_back();
+      cur_ben -= cands[i].benefit_ms();
+    }
+    self(self, i + 1);
+  };
+  dfs(dfs, 0);
+  return best;
+}
+
+/// SELECT, greedy with one-step lookahead: scan in benefit order; before
+/// taking a candidate, check whether two of its still-live conflicts could
+/// jointly beat it — if so, skip it in their favor.
+std::vector<int> select_greedy(const std::vector<Candidate>& cands,
+                               const std::vector<std::vector<int>>& conflicts) {
+  const int n = static_cast<int>(cands.size());
+  std::vector<char> dead(n, 0);
+  std::vector<int> picked;
+  for (int t = 0; t < n; ++t) {
+    if (dead[t] != 0) continue;
+    const auto& cf = conflicts[t];
+    double best_pair = -1;
+    for (std::size_t a = 0; a < cf.size(); ++a) {
+      if (dead[cf[a]] != 0) continue;
+      for (std::size_t b = a + 1; b < cf.size(); ++b) {
+        if (dead[cf[b]] != 0) continue;
+        const auto& ca = conflicts[cf[a]];
+        if (std::find(ca.begin(), ca.end(), cf[b]) != ca.end()) continue;
+        best_pair = std::max(best_pair, cands[cf[a]].benefit_ms() +
+                                            cands[cf[b]].benefit_ms());
+      }
+    }
+    if (best_pair > cands[t].benefit_ms()) {
+      dead[t] = 1;
+      continue;
+    }
+    picked.push_back(t);
+    for (int j : cf) dead[j] = 1;
+  }
+  return picked;
+}
+
+/// REWRITE: memoized clone-with-replacement — each selected candidate's
+/// sink becomes its fused node, every other interior node is cloned fresh,
+/// input leaves are shared. Kept members materialize naturally: their
+/// outside consumers rebuild them as ordinary nodes.
 class Rewriter {
  public:
-  Rewriter(const std::unordered_map<const Node*, const PatternCand*>& pat,
-           const std::unordered_map<const Node*, const EwiseCand*>& ew)
-      : pattern_roots_(pat), ewise_sinks_(ew) {}
+  explicit Rewriter(
+      const std::unordered_map<const Node*, const Candidate*>& chosen)
+      : chosen_(chosen) {}
 
   NodePtr rebuild(const NodePtr& node) {
     if (!node) return nullptr;
@@ -309,25 +804,49 @@ class Rewriter {
     if (it != memo_.end()) return it->second;
 
     NodePtr out;
-    if (const auto pit = pattern_roots_.find(node.get());
-        pit != pattern_roots_.end()) {
-      const Equation1Match& m = pit->second->match;
+    if (const auto cit = chosen_.find(node.get()); cit != chosen_.end()) {
+      const Candidate& cand = *cit->second;
       out = std::make_shared<Node>();
-      out->kind = OpKind::kFusedPattern;
-      out->scalar = m.alpha;
-      out->scalar2 = m.beta;
-      out->fused_matrix = rebuild(m.X);
-      out->fused_v = rebuild(m.v);
-      out->fused_y = rebuild(m.y);
-      out->fused_z = rebuild(m.z);
-    } else if (const auto eit = ewise_sinks_.find(node.get());
-               eit != ewise_sinks_.end()) {
-      const EwiseCand& cand = *eit->second;
-      out = std::make_shared<Node>();
-      out->kind = OpKind::kFusedEwise;
-      out->program = cand.program;
-      out->inputs.reserve(cand.ext_inputs.size());
-      for (const auto& in : cand.ext_inputs) out->inputs.push_back(rebuild(in));
+      switch (cand.family) {
+        case Candidate::Family::kEq1: {
+          const Equation1Match& m = cand.match;
+          out->kind = OpKind::kFusedPattern;
+          out->scalar = m.alpha;
+          out->scalar2 = m.beta;
+          out->fused_matrix = rebuild(m.X);
+          out->fused_v = rebuild(m.v);
+          out->fused_y = rebuild(m.y);
+          out->fused_z = rebuild(m.z);
+          break;
+        }
+        case Candidate::Family::kEwise:
+          out->kind = OpKind::kFusedEwise;
+          out->program = cand.program;
+          out->inputs.reserve(cand.ext_inputs.size());
+          for (const auto& in : cand.ext_inputs) {
+            out->inputs.push_back(rebuild(in));
+          }
+          break;
+        case Candidate::Family::kRow:
+          out->kind = OpKind::kFusedRow;
+          out->program = cand.program;
+          out->fused_matrix = rebuild(cand.row_matrix);
+          out->fused_y = rebuild(cand.row_y);
+          out->inputs.reserve(cand.ext_inputs.size());
+          for (const auto& in : cand.ext_inputs) {
+            out->inputs.push_back(rebuild(in));
+          }
+          break;
+        case Candidate::Family::kSddmm:
+          out->kind = OpKind::kFusedSddmm;
+          out->fused_matrix = rebuild(cand.sd_X);
+          out->fused_v = rebuild(cand.sd_u);
+          out->fused_y = rebuild(cand.sd_v);
+          out->fused_z = rebuild(cand.sd_z);
+          out->map_f = cand.sd_f;
+          out->map_name = cand.sd_fname;
+          break;
+      }
     } else if (node->kind == OpKind::kInputMatrix ||
                node->kind == OpKind::kInputVector) {
       out = node;  // leaves carry no rewritable structure — share them
@@ -344,8 +863,7 @@ class Rewriter {
   }
 
  private:
-  const std::unordered_map<const Node*, const PatternCand*>& pattern_roots_;
-  const std::unordered_map<const Node*, const EwiseCand*>& ewise_sinks_;
+  const std::unordered_map<const Node*, const Candidate*>& chosen_;
   std::unordered_map<const Node*, NodePtr> memo_;
 };
 
@@ -367,6 +885,13 @@ std::string FusionPlan::explain() const {
        << " -> " << g.launches_after << "; modeled " << g.modeled_before_ms
        << " ms -> " << g.modeled_after_ms << " ms\n";
   }
+  os << "  explored " << candidates_enumerated << " candidate(s) ("
+     << (selection_exact ? "exact" : "greedy") << " selection); "
+     << candidates_lost << " lost selection\n";
+  for (const auto& l : losers) {
+    os << "  lost: " << l.kind << " {" << l.detail << "} forgone "
+       << l.forgone_benefit_ms << " ms\n";
+  }
   os << "  totals: launches " << launches_unfused << " -> "
      << launches_planned << ", modeled " << modeled_unfused_ms << " ms -> "
      << modeled_planned_ms << " ms";
@@ -385,153 +910,116 @@ FusionPlan plan_fusion(Runtime& rt, const NodePtr& root,
   const auto consumers = consumer_map(root);
   const auto topo = topo_order(root);
 
+  // Fixpoint: explore all families over the unclaimed DAG, select the best
+  // compatible set, claim it, repeat — a second round picks up sub-regions
+  // left behind when a larger overlapping candidate lost selection.
+  std::vector<Candidate> chosen;
   std::unordered_set<const Node*> claimed;
-
-  // --- 1. Equation-1 template candidates (largest extent at each root) ----
-  std::vector<PatternCand> pattern_cands;
-  if (opts.enable_pattern_fusion) {
-    // Walk with NodePtrs (match_equation1 needs shared_ptr handles); the
-    // Add-rooted full pattern and its Scale-rooted core both become
-    // candidates — greedy selection resolves the overlap by benefit.
-    std::unordered_set<const Node*> visited;
-    std::vector<NodePtr> stack = {root};
-    while (!stack.empty()) {
-      NodePtr n = stack.back();
-      stack.pop_back();
-      if (!n || !visited.insert(n.get()).second) continue;
-      if (auto m = match_equation1(n)) {
-        if (fusion_is_materialization_safe(*m, n, consumers)) {
-          PatternCand cand;
-          cand.root = n.get();
-          for (const Node* c : m->covered) cand.before += oracle.node_cost(c);
-          cand.match = std::move(*m);
-          // Cost the fused replacement via the registry's declared profile.
-          const auto info = oracle.matrix_info(cand.match.X.get());
-          const auto p = op_profile(RegistryOp::kPattern, Backend::kFused,
-                                    info.is_sparse);
-          const double bytes =
-              p.matrix_passes * static_cast<double>(info.bytes) +
-              p.vector_words_per_elem * static_cast<double>(info.cols) *
-                  sizeof(real);
-          cand.after = {p.launches, static_cast<double>(p.launches) *
-                                            oracle.launch_ms() +
-                                        oracle.bw_ms(bytes)};
-          pattern_cands.push_back(std::move(cand));
-        } else {
-          ++plan.rejected_multi_consumer;
-        }
-      }
-      for (const auto& in : n->inputs) stack.push_back(in);
-      for (const auto& in :
-           {n->fused_matrix, n->fused_v, n->fused_y, n->fused_z}) {
-        if (in) stack.push_back(in);
-      }
+  std::map<std::pair<const Node*, int>, LostCandidate> loser_map;
+  bool first = true;
+  while (true) {
+    std::vector<Candidate> cands;
+    if (opts.enable_pattern_fusion) {
+      explore_equation1(root, consumers, oracle, claimed, cands,
+                        first ? &plan.rejected_multi_consumer : nullptr);
     }
-    std::stable_sort(pattern_cands.begin(), pattern_cands.end(),
-                     [](const PatternCand& a, const PatternCand& b) {
+    if (opts.enable_ewise_fusion) {
+      explore_ewise(topo, consumers, oracle, claimed, cands);
+    }
+    if (opts.enable_row_fusion) {
+      explore_row(topo, consumers, oracle, claimed, cands);
+    }
+    if (opts.enable_sddmm_fusion) {
+      explore_sddmm(topo, consumers, oracle, claimed, cands);
+    }
+    first = false;
+    plan.candidates_enumerated += static_cast<int>(cands.size());
+
+    std::vector<Candidate> viable;
+    for (auto& c : cands) {
+      if (c.after().launches >= c.before.launches) continue;
+      if (c.benefit_ms() < opts.min_benefit_ms) continue;
+      viable.push_back(std::move(c));
+    }
+    if (viable.empty()) break;
+
+    // Benefit order; ties keep enumeration order (equation1 first).
+    std::stable_sort(viable.begin(), viable.end(),
+                     [](const Candidate& a, const Candidate& b) {
                        return a.benefit_ms() > b.benefit_ms();
                      });
-  }
 
-  std::unordered_map<const Node*, const PatternCand*> chosen_patterns;
-  for (const auto& cand : pattern_cands) {
-    if (cand.after.launches >= cand.before.launches) continue;
-    if (cand.benefit_ms() < opts.min_benefit_ms) continue;
-    const bool overlaps =
-        std::any_of(cand.match.covered.begin(), cand.match.covered.end(),
-                    [&](const Node* c) { return claimed.count(c) != 0; });
-    if (overlaps) continue;
-    for (const Node* c : cand.match.covered) claimed.insert(c);
-    chosen_patterns.emplace(cand.root, &cand);
-
-    std::ostringstream detail;
-    detail << "alpha=" << cand.match.alpha;
-    if (cand.match.z) detail << " beta=" << cand.match.beta;
-    if (!cand.match.v) detail << " (no v)";
-    PlannedGroup g;
-    g.kind = "equation1";
-    g.detail = detail.str();
-    g.nodes_covered = static_cast<int>(cand.match.covered.size());
-    g.launches_before = cand.before.launches;
-    g.launches_after = cand.after.launches;
-    g.modeled_before_ms = cand.before.ms;
-    g.modeled_after_ms = cand.after.ms;
-    plan.groups.push_back(std::move(g));
-  }
-
-  // --- 2. Maximal elementwise regions over the unclaimed remainder --------
-  std::vector<EwiseCand> ewise_cands;
-  if (opts.enable_ewise_fusion) {
-    // Consumers-first: a region's sink is the member closest to the root.
-    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
-      const Node* sink = *it;
-      if (!is_ewise(sink) || claimed.count(sink) != 0) continue;
-      std::unordered_set<const Node*> region = {sink};
-      bool grew = true;
-      while (grew) {
-        grew = false;
-        for (const Node* r : std::vector<const Node*>(region.begin(),
-                                                      region.end())) {
-          for (const auto& in : r->inputs) {
-            const Node* c = in.get();
-            if (region.count(c) != 0 || claimed.count(c) != 0 ||
-                !is_ewise(c)) {
-              continue;
-            }
-            const auto cit = consumers.find(c);
-            const bool internal =
-                cit != consumers.end() &&
-                std::all_of(cit->second.begin(), cit->second.end(),
-                            [&](const Node* p) { return region.count(p); });
-            if (internal) {
-              region.insert(c);
-              grew = true;
-            }
-          }
+    std::vector<std::unordered_set<const Node*>> member_sets;
+    member_sets.reserve(viable.size());
+    for (const auto& c : viable) {
+      member_sets.emplace_back(c.members.begin(), c.members.end());
+    }
+    std::vector<std::vector<int>> conflicts(viable.size());
+    for (std::size_t a = 0; a < viable.size(); ++a) {
+      for (std::size_t b = a + 1; b < viable.size(); ++b) {
+        const auto& small =
+            member_sets[a].size() <= member_sets[b].size() ? member_sets[a]
+                                                           : member_sets[b];
+        const auto& large =
+            member_sets[a].size() <= member_sets[b].size() ? member_sets[b]
+                                                           : member_sets[a];
+        const bool overlap =
+            std::any_of(small.begin(), small.end(), [&](const Node* m) {
+              return large.count(m) != 0;
+            });
+        if (overlap) {
+          conflicts[a].push_back(static_cast<int>(b));
+          conflicts[b].push_back(static_cast<int>(a));
         }
       }
-      if (region.size() < 2) continue;
+    }
 
-      EwiseCand cand;
-      cand.sink = sink;
-      for (const Node* n : topo) {
-        if (region.count(n) != 0) cand.members.push_back(n);
+    const bool exact =
+        static_cast<int>(viable.size()) <= opts.candidate_budget;
+    if (!exact) plan.selection_exact = false;
+    const auto picked = exact ? select_exact(viable, conflicts)
+                              : select_greedy(viable, conflicts);
+    if (picked.empty()) break;
+
+    std::vector<char> is_picked(viable.size(), 0);
+    for (int i : picked) is_picked[static_cast<std::size_t>(i)] = 1;
+    for (std::size_t i = 0; i < viable.size(); ++i) {
+      const auto key = std::make_pair(
+          viable[i].sink, static_cast<int>(viable[i].family));
+      if (is_picked[i] != 0) {
+        loser_map.erase(key);
+        for (const Node* m : viable[i].members) claimed.insert(m);
+        chosen.push_back(std::move(viable[i]));
+      } else {
+        loser_map[key] = LostCandidate{viable[i].kind, viable[i].detail,
+                                       viable[i].benefit_ms()};
       }
-      build_program(cand);
-      for (const Node* m : cand.members) cand.before += oracle.node_cost(m);
-      // Length comes from any member; borrow the sink's.
-      const double n_elems = static_cast<double>(oracle.length(sink));
-      const auto p = op_profile(RegistryOp::kFusedEwise, Backend::kFused,
-                                false);
-      const double words = p.vector_words_per_elem *
-                           static_cast<double>(cand.program.num_inputs + 1) *
-                           n_elems;
-      cand.after = {p.launches, static_cast<double>(p.launches) *
-                                        oracle.launch_ms() +
-                                    oracle.bw_ms(words * sizeof(real))};
-      if (cand.after.launches >= cand.before.launches) continue;
-      if (cand.benefit_ms() < opts.min_benefit_ms) continue;
-      for (const Node* m : cand.members) claimed.insert(m);
-      ewise_cands.push_back(std::move(cand));
     }
   }
 
-  std::unordered_map<const Node*, const EwiseCand*> chosen_ewise;
-  for (const auto& cand : ewise_cands) {
-    chosen_ewise.emplace(cand.sink, &cand);
+  for (const auto& cand : chosen) {
     PlannedGroup g;
-    g.kind = "ewise_chain";
-    g.detail = cand.program.signature();
+    g.kind = cand.kind;
+    g.detail = cand.detail;
     g.nodes_covered = static_cast<int>(cand.members.size());
     g.launches_before = cand.before.launches;
-    g.launches_after = cand.after.launches;
+    g.launches_after = cand.after().launches;
     g.modeled_before_ms = cand.before.ms;
-    g.modeled_after_ms = cand.after.ms;
+    g.modeled_after_ms = cand.after().ms;
     plan.groups.push_back(std::move(g));
   }
 
-  // --- 3. Rewrite into a fresh DAG and re-cost ----------------------------
-  Rewriter rewriter(chosen_patterns, chosen_ewise);
+  plan.candidates_lost = static_cast<int>(loser_map.size());
+  for (auto& [key, lost] : loser_map) plan.losers.push_back(std::move(lost));
+  std::stable_sort(plan.losers.begin(), plan.losers.end(),
+                   [](const LostCandidate& a, const LostCandidate& b) {
+                     return a.forgone_benefit_ms > b.forgone_benefit_ms;
+                   });
+  if (plan.losers.size() > 3) plan.losers.resize(3);
+
+  std::unordered_map<const Node*, const Candidate*> chosen_by_sink;
+  for (const auto& cand : chosen) chosen_by_sink.emplace(cand.sink, &cand);
+  Rewriter rewriter(chosen_by_sink);
   plan.root = rewriter.rebuild(root);
 
   const auto cost_after = oracle.dag_cost(plan.root);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/cli.h"
 #include "common/error.h"
 #include "common/log.h"
 #include "kernels/streaming.h"
@@ -10,6 +11,25 @@
 #include "obs/trace.h"
 
 namespace fusedml::sysml {
+
+PlannerOptions planner_options_from_cli(Cli& cli) {
+  PlannerOptions po;
+  po.candidate_budget = static_cast<int>(cli.get_int(
+      "planner-budget", po.candidate_budget,
+      "exact overlap resolution up to this many candidates"));
+  po.min_benefit_ms = cli.get_double(
+      "planner-min-benefit", po.min_benefit_ms,
+      "modeled ms a candidate must save to be selected");
+  po.enable_pattern_fusion = cli.get_bool(
+      "planner-eq1", po.enable_pattern_fusion, "Equation-1 template family");
+  po.enable_ewise_fusion = cli.get_bool(
+      "planner-ewise", po.enable_ewise_fusion, "elementwise-chain family");
+  po.enable_row_fusion = cli.get_bool(
+      "planner-row", po.enable_row_fusion, "row-template family");
+  po.enable_sddmm_fusion = cli.get_bool(
+      "planner-sddmm", po.enable_sddmm_fusion, "sddmm template family");
+  return po;
+}
 
 Runtime::Runtime(vgpu::Device& dev, RuntimeOptions opts)
     : dev_(dev),
@@ -512,6 +532,153 @@ TensorId Runtime::op_fused_ewise(const kernels::EwiseProgram& program,
               name + "_out");
 }
 
+TensorId Runtime::op_outer_map(TensorId uid, TensorId vid, real (*f)(real),
+                               const std::string& name) {
+  obs::TraceSpan span("op:outer_map", "op", obs::Track::kOps);
+  const std::vector<real>& u = vec(uid);
+  const std::vector<real>& v = vec(vid);
+  const usize out_bytes = u.size() * v.size() * sizeof(real);
+  const bool gpu = choose_gpu(2 * out_bytes, {uid, vid});
+  if (gpu) {
+    stage_on_device(uid);
+    stage_on_device(vid);
+  } else {
+    sync_to_host(uid);
+    sync_to_host(vid);
+  }
+  auto o = run_resilient(
+      gpu ? kernels::Backend::kFused : kernels::Backend::kCpu,
+      [&](kernels::Backend b) { return registry_.outer_map(b, u, v, f, name); });
+  book(o, "outer_map", false);
+  return emit(std::move(o.value), o.backend_used != kernels::Backend::kCpu,
+              "outer_map_out");
+}
+
+TensorId Runtime::op_sparse_mask(TensorId Xid, TensorId omid) {
+  obs::TraceSpan span("op:sparse_mask", "op", obs::Track::kOps);
+  const usize xbytes = tensor_bytes(Xid);
+  const std::vector<real>& om = vec(omid);
+  const auto* Xs = sparse(Xid);
+  const auto* Xd = dense(Xid);
+  FUSEDML_CHECK(Xs != nullptr || Xd != nullptr, "sparse_mask needs a matrix");
+  const bool gpu = choose_gpu(xbytes + om.size() * sizeof(real), {Xid, omid});
+  if (gpu) {
+    stage_on_device(Xid);
+    stage_on_device(omid);
+  } else {
+    sync_to_host(Xid);
+    sync_to_host(omid);
+  }
+  auto o = run_resilient(
+      gpu ? kernels::Backend::kFused : kernels::Backend::kCpu,
+      [&](kernels::Backend b) {
+        return Xs != nullptr ? registry_.sparse_mask(b, *Xs, om)
+                             : registry_.sparse_mask(b, *Xd, om);
+      });
+  book(o, "sparse_mask", false);
+  return emit(std::move(o.value), o.backend_used != kernels::Backend::kCpu,
+              "sparse_mask_out");
+}
+
+TensorId Runtime::op_masked_product(TensorId Xid, TensorId valsid,
+                                    TensorId zid) {
+  obs::TraceSpan span("op:masked_product", "op", obs::Track::kOps);
+  const usize xbytes = tensor_bytes(Xid);
+  const std::vector<real>& vals = vec(valsid);
+  const std::vector<real>& z = vec(zid);
+  const auto* Xs = sparse(Xid);
+  const auto* Xd = dense(Xid);
+  FUSEDML_CHECK(Xs != nullptr || Xd != nullptr,
+                "masked product needs a matrix");
+  const bool gpu = choose_gpu(xbytes, {Xid, valsid, zid});
+  if (gpu) {
+    stage_on_device(Xid);
+    stage_on_device(valsid);
+    stage_on_device(zid);
+  } else {
+    sync_to_host(Xid);
+    sync_to_host(valsid);
+    sync_to_host(zid);
+  }
+  auto o = run_resilient(
+      gpu ? kernels::Backend::kFused : kernels::Backend::kCpu,
+      [&](kernels::Backend b) {
+        return Xs != nullptr ? registry_.masked_product(b, *Xs, vals, z)
+                             : registry_.masked_product(b, *Xd, vals, z);
+      });
+  book(o, "masked_product", false);
+  return emit(std::move(o.value), o.backend_used != kernels::Backend::kCpu,
+              "masked_product_out");
+}
+
+TensorId Runtime::op_fused_row(TensorId Xid, TensorId yid,
+                               const kernels::EwiseProgram& program,
+                               std::span<const TensorId> ext) {
+  FUSEDML_CHECK(ext.size() + 1 == static_cast<usize>(program.num_inputs),
+                "op_fused_row: external input count mismatch");
+  obs::TraceSpan span("op:fused_row", "op", obs::Track::kOps);
+  const usize xbytes = tensor_bytes(Xid);
+  const std::vector<real>& y = vec(yid);
+  const auto* Xs = sparse(Xid);
+  const auto* Xd = dense(Xid);
+  FUSEDML_CHECK(Xs != nullptr || Xd != nullptr, "fused row needs a matrix");
+  std::vector<std::span<const real>> views;
+  std::vector<TensorId> all_inputs = {Xid, yid};
+  views.reserve(ext.size());
+  for (TensorId id : ext) {
+    views.emplace_back(vec(id));
+    all_inputs.push_back(id);
+  }
+  const bool gpu = choose_gpu_span(xbytes, all_inputs);
+  for (TensorId id : all_inputs) {
+    if (gpu) {
+      stage_on_device(id);
+    } else {
+      sync_to_host(id);
+    }
+  }
+  auto o = run_resilient(
+      gpu ? kernels::Backend::kFused : kernels::Backend::kCpu,
+      [&](kernels::Backend b) {
+        return Xs != nullptr ? registry_.fused_row(b, *Xs, y, program, views)
+                             : registry_.fused_row(b, *Xd, y, program, views);
+      });
+  book(o, "fused_row", false);
+  return emit(std::move(o.value), o.backend_used != kernels::Backend::kCpu,
+              "fused_row_out");
+}
+
+TensorId Runtime::op_fused_sddmm(TensorId Xid, TensorId uid, TensorId vid,
+                                 TensorId zid, real (*f)(real),
+                                 const std::string& name) {
+  obs::TraceSpan span("op:fused_sddmm", "op", obs::Track::kOps);
+  const usize xbytes = tensor_bytes(Xid);
+  const std::vector<real>& u = vec(uid);
+  const std::vector<real>& v = vec(vid);
+  const std::vector<real>& z = vec(zid);
+  const auto* Xs = sparse(Xid);
+  const auto* Xd = dense(Xid);
+  FUSEDML_CHECK(Xs != nullptr || Xd != nullptr, "fused sddmm needs a matrix");
+  const bool gpu = choose_gpu(xbytes, {Xid, uid, vid, zid});
+  for (TensorId id : {Xid, uid, vid, zid}) {
+    if (gpu) {
+      stage_on_device(id);
+    } else {
+      sync_to_host(id);
+    }
+  }
+  auto o = run_resilient(
+      gpu ? kernels::Backend::kFused : kernels::Backend::kCpu,
+      [&](kernels::Backend b) {
+        return Xs != nullptr
+                   ? registry_.fused_sddmm(b, *Xs, u, v, z, f, name)
+                   : registry_.fused_sddmm(b, *Xd, u, v, z, f, name);
+      });
+  book(o, "fused_sddmm", false);
+  return emit(std::move(o.value), o.backend_used != kernels::Backend::kCpu,
+              "fused_sddmm_out");
+}
+
 real Runtime::op_dot(TensorId xid, TensorId yid) {
   obs::TraceSpan span("op:dot", "op", obs::Track::kOps);
   const std::vector<real>& x = vec(xid);
@@ -582,6 +749,13 @@ void Runtime::write_vector(TensorId id, std::span<const real> values) {
 
 std::string Runtime::explain() const {
   std::ostringstream os;
+  const auto& po = planner_opts_;
+  os << "planner options: pattern=" << (po.enable_pattern_fusion ? "on" : "off")
+     << " ewise=" << (po.enable_ewise_fusion ? "on" : "off")
+     << " row=" << (po.enable_row_fusion ? "on" : "off")
+     << " sddmm=" << (po.enable_sddmm_fusion ? "on" : "off")
+     << " budget=" << po.candidate_budget
+     << " min_benefit=" << po.min_benefit_ms << " ms\n";
   if (!plan_explain_.empty()) {
     os << plan_explain_;
     if (plan_explain_.back() != '\n') os << '\n';

@@ -33,7 +33,11 @@
 #include "sysml/memory_manager.h"
 #include "vgpu/device.h"
 
-namespace fusedml::sysml {
+namespace fusedml {
+
+class Cli;  // common/cli.h — flag parser for benches and examples
+
+namespace sysml {
 
 class Program;  // expr.h — the expression-builder frontend's compiled form
 
@@ -50,6 +54,29 @@ struct RuntimeOptions {
   /// current op).
   double transfer_amortization = 16.0;
 };
+
+/// Knobs for the explore/select/rewrite fusion planner
+/// (sysml/fusion_planner.h). Defined here so a Runtime can carry the
+/// options its programs are planned with (Program::prepare reads them) and
+/// echo them in explain().
+struct PlannerOptions {
+  bool enable_pattern_fusion = true;  ///< Equation-1 / Table-1 candidates
+  bool enable_ewise_fusion = true;    ///< generated elementwise-chain kernels
+  /// A candidate must beat the unfused cost by at least this much modeled
+  /// time (and strictly reduce launches) to be chosen.
+  double min_benefit_ms = 0.0;
+  bool enable_row_fusion = true;   ///< row template: product + epilogue
+  bool enable_sddmm_fusion = true; ///< sparsity-exploiting sddmm template
+  /// Overlap resolution is EXACT (optimal weighted set packing by DFS) while
+  /// the enumerated candidate count is at most this; larger candidate sets
+  /// fall back to benefit-ordered greedy with one-step lookahead.
+  int candidate_budget = 24;
+};
+
+/// Declares and parses the standard planner flags (--planner-budget,
+/// --planner-min-benefit, and the per-family --planner-eq1 / ewise / row /
+/// sddmm enables) so every bench and example exposes the same knobs.
+PlannerOptions planner_options_from_cli(Cli& cli);
 
 struct RuntimeStats {
   double gpu_kernel_ms = 0.0;   ///< modeled device kernel time
@@ -129,6 +156,25 @@ class Runtime {
   real op_nrm2(TensorId x);
   void op_scal(real alpha, TensorId x);
 
+  // --- Sparsity-template ops (kernels/fused_row.h) ------------------------
+  /// The m*n values of f(u v^T), row-major — a vector tensor of length m*n
+  /// (the dense intermediate the sddmm template exists to avoid).
+  TensorId op_outer_map(TensorId u, TensorId v, real (*f)(real),
+                        const std::string& name);
+  /// X's values scaled elementwise by an outer-map `om` (at X's nonzeros
+  /// for CSR storage, densely otherwise).
+  TensorId op_sparse_mask(TensorId X, TensorId om);
+  /// M * z where M is X's structure with substituted values `vals`.
+  TensorId op_masked_product(TensorId X, TensorId vals, TensorId z);
+  /// Row template: out[r] = program(X*y |_r, ext_0[r], ...), one kernel.
+  /// Program slot 0 is the row product; ext fills the remaining slots.
+  TensorId op_fused_row(TensorId X, TensorId y,
+                        const kernels::EwiseProgram& program,
+                        std::span<const TensorId> ext);
+  /// Sparsity-exploiting template: (X ⊙ f(u v^T)) * z at nnz(X), one kernel.
+  TensorId op_fused_sddmm(TensorId X, TensorId u, TensorId v, TensorId z,
+                          real (*f)(real), const std::string& name);
+
   /// Host view of a vector (synchronizes from the device if needed).
   std::span<const real> read_vector(TensorId id);
 
@@ -149,6 +195,15 @@ class Runtime {
   const RuntimeStats& stats() const { return stats_; }
   const MemoryStats& memory_stats() const { return mm_.stats(); }
   const RuntimeOptions& options() const { return opts_; }
+
+  /// Fusion-planner knobs applied when this runtime prepares a Program
+  /// (Program::prepare passes them to plan_fusion and keys its plan cache
+  /// on them). Change them BEFORE preparing; already-planned programs
+  /// re-plan only when the options differ from the cached plan's.
+  void set_planner_options(const PlannerOptions& opts) {
+    planner_opts_ = opts;
+  }
+  const PlannerOptions& planner_options() const { return planner_opts_; }
 
   /// Fault-handling knobs shared with the registry's resilient dispatch.
   RetryPolicy& retry_policy() { return retry_; }
@@ -237,6 +292,7 @@ class Runtime {
   std::unordered_map<TensorId, bool> native_;  ///< JNI conversion done?
   TensorId next_id_ = 1;
   RuntimeStats stats_;
+  PlannerOptions planner_opts_;
   RetryPolicy retry_;
   ResilienceStats resilience_;
   double deadline_ms_ = 0.0;
@@ -286,4 +342,5 @@ class Runtime {
   bool choose_gpu_span(usize bytes_touched, std::span<const TensorId> inputs);
 };
 
-}  // namespace fusedml::sysml
+}  // namespace sysml
+}  // namespace fusedml

@@ -43,7 +43,7 @@ struct Issued {
 };
 
 // Deterministic per-client request mix: patterns (most), scripts (every
-// 5th) cycling through ALL FIVE ScriptKinds across clients, priorities
+// 5th) cycling through ALL NINE ScriptKinds across clients, priorities
 // cycling through all bands, a tight deadline every 4th, and a cancellation
 // every 7th.
 Issued issue_one(Server& server, DatasetId dataset, const la::CsrMatrix& X,
@@ -55,7 +55,7 @@ Issued issue_one(Server& server, DatasetId dataset, const la::CsrMatrix& X,
   if (i % 5 == 4) {
     ScriptEval eval;
     eval.dataset = dataset;
-    eval.kind = static_cast<ScriptKind>((client + i) % 5);
+    eval.kind = static_cast<ScriptKind>((client + i) % 9);
     eval.iterations = 2;
     eval.labels = labels;
     req.work = std::move(eval);
@@ -132,7 +132,7 @@ void verify_completed_against_oracle(const Issued& issued, usize session_bytes,
   ro.device_capacity = session_bytes;
   sysml::Runtime rt(ref_dev, ro);
   // The reference is the SAME ScriptLibrary entry the worker dispatched —
-  // any of the five algorithms, replayed single-threaded on a clean device.
+  // any of the nine algorithms, replayed single-threaded on a clean device.
   ml::Algorithm algorithm = ml::Algorithm::kLrCg;
   switch (script.kind) {
     case ScriptKind::kLrCg: algorithm = ml::Algorithm::kLrCg; break;
@@ -140,6 +140,12 @@ void verify_completed_against_oracle(const Issued& issued, usize session_bytes,
     case ScriptKind::kGlm: algorithm = ml::Algorithm::kGlm; break;
     case ScriptKind::kSvm: algorithm = ml::Algorithm::kSvm; break;
     case ScriptKind::kHits: algorithm = ml::Algorithm::kHits; break;
+    case ScriptKind::kAls: algorithm = ml::Algorithm::kAls; break;
+    case ScriptKind::kKmeans: algorithm = ml::Algorithm::kKmeans; break;
+    case ScriptKind::kPagerank: algorithm = ml::Algorithm::kPagerank; break;
+    case ScriptKind::kMinibatchLogreg:
+      algorithm = ml::Algorithm::kMinibatchLogreg;
+      break;
   }
   const ml::ScriptSpec* spec =
       ml::find_script(algorithm, /*dense=*/false, script.plan);
@@ -284,7 +290,7 @@ TEST(Chaos, SoakWithFaultStormsCancellationsAndDrain) {
 // class runs full ABFT verification. The harness asserts the whole defense
 // pipeline end-to-end under concurrency:
 //
-//   - every COMPLETED request (patterns and all five script kinds) is
+//   - every COMPLETED request (patterns and all nine script kinds) is
 //     bit-exact against a fault-free single-threaded reference — silent
 //     corruption never reaches a client;
 //   - detections were actually made (the storm was not a no-op) and the
@@ -313,7 +319,7 @@ TEST(Chaos, SilentCorruptionSoakDetectsRecoversAndQuarantines) {
 
   // No cancellations and no tight deadlines: this soak is about completed
   // values, so the mix maximizes completions while still cycling all three
-  // priority bands (hence all three verify_* policies) and all five
+  // priority bands (hence all three verify_* policies) and all nine
   // script kinds.
   const auto issue_sdc = [&](int client, int i) {
     ServeRequest req;
@@ -323,7 +329,7 @@ TEST(Chaos, SilentCorruptionSoakDetectsRecoversAndQuarantines) {
     if (i % 3 == 2) {
       ScriptEval eval;
       eval.dataset = dataset;
-      eval.kind = static_cast<ScriptKind>((client + i) % 5);
+      eval.kind = static_cast<ScriptKind>((client + i) % 9);
       eval.iterations = 2;
       eval.labels = labels;
       req.work = std::move(eval);

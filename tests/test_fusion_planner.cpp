@@ -159,9 +159,13 @@ TEST_F(PlannerFixture, MoreFusionNeverIncreasesModeledLaunches) {
       sysml::add(sysml::mvt(Xn, resid), sysml::scale(0.01, wn));
 
   const auto none = sysml::plan_fusion(
-      rt, root, {.enable_pattern_fusion = false, .enable_ewise_fusion = false});
+      rt, root,
+      {.enable_pattern_fusion = false, .enable_ewise_fusion = false,
+       .enable_row_fusion = false, .enable_sddmm_fusion = false});
   const auto pattern_only = sysml::plan_fusion(
-      rt, root, {.enable_pattern_fusion = true, .enable_ewise_fusion = false});
+      rt, root,
+      {.enable_pattern_fusion = true, .enable_ewise_fusion = false,
+       .enable_row_fusion = false, .enable_sddmm_fusion = false});
   const auto both = sysml::plan_fusion(
       rt, root, {.enable_pattern_fusion = true, .enable_ewise_fusion = true});
 

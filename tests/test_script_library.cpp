@@ -268,6 +268,51 @@ TEST(ScriptModes, PlannerStrictlyReducesLaunchesForGlmSvmHits) {
   }
 }
 
+// The four new workloads exercise the planner's new template families.
+// None of their DAGs contain an Equation-1 site, so the planner's rewrites
+// (row template, sddmm, elementwise chains) are bit-preserving and the
+// planner must match the unfused interpretation EXACTLY while strictly
+// reducing launches.
+TEST(ScriptModes, PlannerStrictlyReducesLaunchesForNewAlgorithms) {
+  const auto X = la::uniform_sparse(300, 40, 0.08, 614);
+  const auto y_cls = la::classification_labels(X, 614, 0.1);
+
+  for (const auto alg : {Algorithm::kAls, Algorithm::kKmeans,
+                         Algorithm::kPagerank, Algorithm::kMinibatchLogreg}) {
+    std::span<const real> labels =
+        alg == Algorithm::kMinibatchLogreg ? std::span<const real>(y_cls)
+                                           : std::span<const real>{};
+    std::uint64_t launches[2] = {0, 0};
+    std::vector<real> weights[2];
+    std::string plan_explain;
+    const PlanMode modes[2] = {PlanMode::kUnfused, PlanMode::kPlanner};
+    for (int i = 0; i < 2; ++i) {
+      const auto* spec = ml::find_script(alg, false, modes[i]);
+      ASSERT_NE(spec, nullptr);
+      vgpu::Device dev;
+      sysml::Runtime rt(dev, forced_gpu());
+      const auto r = spec->run_sparse(rt, X, labels, 4);
+      launches[i] = r.runtime_stats.kernel_launches;
+      weights[i] = r.weights;
+      if (modes[i] == PlanMode::kPlanner) {
+        EXPECT_GT(r.fused_groups, 0) << spec->name;
+        if (r.plan_audit.has_prediction) {
+          EXPECT_EQ(r.plan_audit.launch_drift(), 0) << spec->name;
+        }
+        plan_explain = r.plan_explain;
+      }
+    }
+    EXPECT_LT(launches[1], launches[0]) << to_string(alg);
+    EXPECT_EQ(weights[0], weights[1]) << to_string(alg);
+    if (alg == Algorithm::kAls) {
+      // The Hessian-vector product must collapse into the
+      // sparsity-exploiting fused kernel, not stay a disjoint chain.
+      EXPECT_NE(plan_explain.find("sddmm"), std::string::npos)
+          << plan_explain;
+    }
+  }
+}
+
 TEST(ScriptModes, PlannerMatchesHardcodedPassBitExactly) {
   // Both rewrites collapse exactly the Equation-1 template sites, and every
   // additional elementwise group the planner fuses is bit-preserving — so
@@ -276,10 +321,13 @@ TEST(ScriptModes, PlannerMatchesHardcodedPassBitExactly) {
   const auto y_reg = la::regression_labels(X, 610, 0.1);
   const auto y_cls = la::classification_labels(X, 610, 0.1);
 
-  for (const auto alg : {Algorithm::kLrCg, Algorithm::kLogregGd,
-                         Algorithm::kGlm, Algorithm::kSvm, Algorithm::kHits}) {
+  for (const auto alg :
+       {Algorithm::kLrCg, Algorithm::kLogregGd, Algorithm::kGlm,
+        Algorithm::kSvm, Algorithm::kHits, Algorithm::kAls, Algorithm::kKmeans,
+        Algorithm::kPagerank, Algorithm::kMinibatchLogreg}) {
     std::span<const real> labels =
-        (alg == Algorithm::kLogregGd || alg == Algorithm::kSvm)
+        (alg == Algorithm::kLogregGd || alg == Algorithm::kSvm ||
+         alg == Algorithm::kMinibatchLogreg)
             ? std::span<const real>(y_cls)
             : std::span<const real>(y_reg);
     std::vector<real> got[2];
@@ -335,7 +383,7 @@ TEST(ScriptCache, LrCgPlansOnceForTheWholeSolve) {
 
 TEST(ScriptLibrary, CoversAlgorithmByStorageByPlanMode) {
   const auto& lib = ml::script_library();
-  EXPECT_EQ(lib.size(), 5u * 2u * 3u);
+  EXPECT_EQ(lib.size(), 9u * 2u * 3u);
 
   std::set<std::string> names;
   for (const auto& spec : lib) {
@@ -360,10 +408,13 @@ TEST(ScriptLibrary, DenseEntriesRunAndModesAgree) {
   const auto y_reg = la::regression_labels(Xs, 613, 0.1);
   const auto y_cls = la::classification_labels(Xs, 613, 0.1);
 
-  for (const auto alg : {Algorithm::kLrCg, Algorithm::kLogregGd,
-                         Algorithm::kGlm, Algorithm::kSvm, Algorithm::kHits}) {
+  for (const auto alg :
+       {Algorithm::kLrCg, Algorithm::kLogregGd, Algorithm::kGlm,
+        Algorithm::kSvm, Algorithm::kHits, Algorithm::kAls, Algorithm::kKmeans,
+        Algorithm::kPagerank, Algorithm::kMinibatchLogreg}) {
     std::span<const real> labels =
-        (alg == Algorithm::kLogregGd || alg == Algorithm::kSvm)
+        (alg == Algorithm::kLogregGd || alg == Algorithm::kSvm ||
+         alg == Algorithm::kMinibatchLogreg)
             ? std::span<const real>(y_cls)
             : std::span<const real>(y_reg);
     std::vector<real> got[2];

@@ -275,7 +275,7 @@ TEST(SdcFalsePositiveOracle, FullVerifyIsExactOnCleanDevices) {
         << "kFull billed no verification for " << spec.name;
     ++covered;
   }
-  EXPECT_EQ(covered, 4 * 2 * 3);  // 4 non-HITS algorithms × storage × modes
+  EXPECT_EQ(covered, 8 * 2 * 3);  // 8 non-HITS algorithms × storage × modes
 
   // HITS: square link matrix, labels ignored.
   const auto L = la::uniform_sparse(48, 48, 0.08, 33);
@@ -300,7 +300,7 @@ TEST(SdcFalsePositiveOracle, FullVerifyIsExactOnCleanDevices) {
     }
     ++covered;
   }
-  EXPECT_EQ(covered, 5 * 2 * 3);  // the whole library
+  EXPECT_EQ(covered, 9 * 2 * 3);  // the whole library
 }
 
 // --- Solver checkpoint/rollback ---------------------------------------------
