@@ -19,6 +19,7 @@
 #include "common/stats.h"
 #include "common/table.h"
 #include "la/generate.h"
+#include "serve/serve_flags.h"
 #include "serve/server.h"
 #include "vgpu/fault_injector.h"
 
@@ -28,6 +29,7 @@ namespace {
 
 struct LoadResult {
   serve::ServeStats stats;
+  serve::ServerStatus status;  ///< per-class SLO snapshot at drain
   std::vector<double> latency;
   double wall_modeled_ms = 0.0;
 };
@@ -67,6 +69,7 @@ static int run_bench(int argc, char** argv) {
   const int workers = cli.get_int("workers", 4, "pool worker threads");
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42, ""));
   obs::apply_standard_flags(cli);
+  const serve::ServingFlags serving_flags = serve::apply_serving_flags(cli);
   bench::JsonReport json(cli, "serving");
   if (bench::handle_help(cli)) return 0;
   cli.finish();
@@ -84,10 +87,11 @@ static int run_bench(int argc, char** argv) {
 
   const auto X = la::uniform_sparse(rows, cols, 0.02, seed);
 
-  const auto run_level = [&](serve::ServeOptions opts, bool prestart_burst,
-                             double deadline_every_other,
+  const auto run_level = [&](const std::string& name, serve::ServeOptions opts,
+                             bool prestart_burst, double deadline_every_other,
                              const vgpu::FaultConfig* storm) {
     opts.workers = workers;
+    serving_flags.apply_to(opts);
     serve::Server server(opts);
     const auto dataset = server.add_dataset(X);
     if (!prestart_burst) server.start();
@@ -112,9 +116,19 @@ static int run_bench(int argc, char** argv) {
 
     LoadResult r;
     r.stats = server.drain();
+    r.status = server.status();
     r.latency = server.latency_samples();
     r.wall_modeled_ms = r.stats.modeled_now_ms;
     std::sort(r.latency.begin(), r.latency.end());
+    // Surface whatever --slo-report / --flight-recorder asked for, per
+    // load level (the bundle path gets a ".<level>" suffix so the three
+    // levels don't clobber one another).
+    serve::ServingFlags f = serving_flags;
+    if (f.slo_report) std::cout << "--- " << name << " SLO report ---\n";
+    if (!f.flight_recorder_path.empty() && f.flight_recorder_path != "-") {
+      f.flight_recorder_path += "." + name;
+    }
+    f.report(server, std::cout);
     return r;
   };
 
@@ -148,13 +162,24 @@ static int run_bench(int argc, char** argv) {
     json.add(name + "_breaker_opens",
              static_cast<double>(r.stats.breaker_opens));
     json.add(name + "_p99_ms", percentile(r.latency, 99.0));
+    // Per-priority-class SLO records — what the regression gate consumes.
+    for (int c = 0; c < serve::kNumPriorities; ++c) {
+      const serve::SloClassSnapshot& s = r.status.classes[c];
+      const std::string prefix =
+          name + "_" + to_string(static_cast<serve::Priority>(c));
+      json.add(prefix + "_completed", static_cast<double>(s.completed));
+      json.add(prefix + "_p50_ms", s.p50_ms);
+      json.add(prefix + "_p95_ms", s.p95_ms);
+      json.add(prefix + "_p99_ms", s.p99_ms);
+      json.add(prefix + "_deadline_hit_ratio", s.deadline_hit_ratio());
+    }
   };
 
   // Light: queue sized for the whole batch, clean devices, no deadlines.
   {
     serve::ServeOptions opts;
     opts.queue_capacity = static_cast<usize>(requests);
-    report("light", run_level(opts, /*prestart_burst=*/false,
+    report("light", run_level("light", opts, /*prestart_burst=*/false,
                               /*deadline_every_other=*/0.0, nullptr));
   }
 
@@ -163,7 +188,7 @@ static int run_bench(int argc, char** argv) {
   {
     serve::ServeOptions opts;
     opts.queue_capacity = static_cast<usize>(requests) / 8;
-    report("overload", run_level(opts, /*prestart_burst=*/true,
+    report("overload", run_level("overload", opts, /*prestart_burst=*/true,
                                  /*deadline_every_other=*/0.0, nullptr));
   }
 
@@ -178,7 +203,7 @@ static int run_bench(int argc, char** argv) {
     vgpu::FaultConfig storm;
     storm.seed = seed ^ 0xbad5eedULL;
     storm.kernel_fault_rate = 1.0;
-    report("storm", run_level(opts, /*prestart_burst=*/false,
+    report("storm", run_level("storm", opts, /*prestart_burst=*/false,
                               /*deadline_every_other=*/0.01, &storm));
   }
 

@@ -6,8 +6,10 @@
 #include <iostream>
 #include <vector>
 
+#include "common/cli.h"
 #include "common/table.h"
 #include "la/generate.h"
+#include "serve/serve_flags.h"
 #include "serve/server.h"
 #include "vgpu/fault_injector.h"
 
@@ -50,12 +52,13 @@ serve::ServeRequest script_request(serve::DatasetId dataset,
 
 }  // namespace
 
-static int run_example() {
+static int run_example(const serve::ServingFlags& flags) {
   serve::ServeOptions opts;
   opts.workers = 4;
   opts.queue_capacity = 32;
   opts.breaker.failure_threshold = 3;
   opts.breaker.cooldown_ms = 1.0;
+  flags.apply_to(opts);
 
   serve::Server server(opts);
   const auto X = la::uniform_sparse(8000, 200, 0.02, 7);
@@ -138,9 +141,20 @@ static int run_example() {
   std::cout << table << "\n";
   std::cout << "no request lost: " << final_stats.resolved() << "/"
             << final_stats.submitted << " resolved\n";
+  flags.report(server, std::cout);
   return final_stats.resolved() == final_stats.submitted ? 0 : 1;
 }
 
 int main(int argc, char** argv) {
-  return fusedml::examples::example_main(argc, argv, run_example);
+  return fusedml::examples::guarded_main([&]() -> int {
+    Cli cli(argc, argv);
+    obs::apply_standard_flags(cli);
+    const serve::ServingFlags flags = serve::apply_serving_flags(cli);
+    if (cli.help_requested()) {
+      std::cout << cli.usage();
+      return 0;
+    }
+    cli.finish();
+    return run_example(flags);
+  });
 }

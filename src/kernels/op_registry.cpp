@@ -759,6 +759,21 @@ KernelOutcome OpRegistry::execute_resilient(
   Backend b = preferred;
   std::exception_ptr last_fault;
 
+  // Anomaly reporting to the request-scoped observer (serving layer). Clean
+  // dispatches are deliberately NOT reported — request span trees stay small
+  // and only pay for what went wrong.
+  const auto notify = [&](DispatchEvent::Kind kind, Backend to, double ms,
+                          std::string detail) {
+    if (observer_ == nullptr) return;
+    DispatchEvent ev;
+    ev.kind = kind;
+    ev.backend = b;
+    ev.to = to;
+    ev.modeled_ms = ms;
+    ev.detail = std::move(detail);
+    observer_->on_dispatch_event(ev);
+  };
+
   // Books this dispatch's spent overhead and fails fast: the total retry
   // budget (or the request deadline it was derived from) is gone, so
   // neither another backoff nor another tier is worth paying for.
@@ -767,6 +782,8 @@ KernelOutcome OpRegistry::execute_resilient(
     if (obs::metrics().enabled()) {
       obs::metrics().counter("dispatch.budget_exhausted").add();
     }
+    notify(DispatchEvent::Kind::kBudgetExhausted, b, rs.overhead_ms(),
+           cause.what());
     throw DeadlineError(
         "retry budget exhausted after " + std::to_string(rs.faults_seen) +
             " fault(s) on " + to_string(b) + " (last: " + cause.what() + ")",
@@ -789,6 +806,8 @@ KernelOutcome OpRegistry::execute_resilient(
       if (obs::metrics().enabled()) {
         obs::metrics().counter("dispatch.breaker_skips").add();
       }
+      notify(DispatchEvent::Kind::kBreakerSkip, *next, 0.0,
+             "breaker open on " + to_string(b));
       b = *next;
     }
   };
@@ -840,6 +859,10 @@ KernelOutcome OpRegistry::execute_resilient(
           if (obs::metrics().enabled()) {
             obs::metrics().counter("dispatch.sdc_detected").add();
           }
+          notify(DispatchEvent::Kind::kSdcDetected, b, e.penalty_ms(),
+                 e.what());
+        } else {
+          notify(DispatchEvent::Kind::kFault, b, e.penalty_ms(), e.what());
         }
         rs.wasted_ms += e.penalty_ms();
         extra_ms += e.penalty_ms();
@@ -864,6 +887,8 @@ KernelOutcome OpRegistry::execute_resilient(
           rs.backoff_ms += wait;
           extra_ms += wait;
           ++rs.retries;
+          notify(DispatchEvent::Kind::kRetryBackoff, b, wait,
+                 "attempt " + std::to_string(a));
           if (obs::recorder().enabled()) {
             obs::TraceEvent ev;
             ev.name = "retry_backoff";
@@ -897,6 +922,8 @@ KernelOutcome OpRegistry::execute_resilient(
       ev.ts_ms = obs::recorder().now_ms();
       obs::recorder().record(std::move(ev));
     }
+    notify(DispatchEvent::Kind::kFallback, *next, 0.0,
+           to_string(b) + "->" + to_string(*next));
     b = *next;
     ++rs.fallbacks;
     if (b == Backend::kCpu) {

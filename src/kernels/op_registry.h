@@ -69,6 +69,39 @@ class BackendHealth {
   virtual void on_failure(Backend backend) = 0;
 };
 
+/// One noteworthy thing that happened inside a resilient dispatch — the
+/// vocabulary a request-scoped trace needs to explain WHY a dispatch took
+/// longer than its clean cost: a fault absorbed, a retry backoff charged, a
+/// degradation to a lower tier, a breaker skip, an ABFT detection + forced
+/// recompute, or the retry budget running dry. Clean attempts are NOT
+/// reported — the modeled timeline already carries them — so an observer
+/// sees only the anomalies.
+struct DispatchEvent {
+  enum class Kind {
+    kFault,            ///< a typed fault was absorbed (detail = error text)
+    kRetryBackoff,     ///< modeled backoff charged before a re-attempt
+    kFallback,         ///< degraded from `backend` to `to`
+    kBreakerSkip,      ///< `backend` skipped without an attempt (breaker open)
+    kSdcDetected,      ///< an ABFT check caught silent corruption (recompute)
+    kBudgetExhausted,  ///< retry budget/deadline gone; dispatch failed fast
+  };
+  Kind kind{};
+  Backend backend{};     ///< tier the event happened on (or was skipped)
+  Backend to{};          ///< kFallback / kBreakerSkip: the tier landed on
+  double modeled_ms = 0.0;  ///< backoff / penalty charged by this event
+  std::string detail;    ///< error text for faults (empty otherwise)
+};
+
+/// Observer for DispatchEvents, installed per registry (single-threaded with
+/// respect to that registry's dispatches — a serving worker installs its
+/// request's trace context here for the duration of one request). Null (the
+/// default) costs one pointer load per anomaly, zero on clean dispatches.
+class DispatchObserver {
+ public:
+  virtual ~DispatchObserver() = default;
+  virtual void on_dispatch_event(const DispatchEvent& event) = 0;
+};
+
 /// The logical operations the registry dispatches. Mirrors the vocabulary
 /// of both PatternExecutor's methods and sysml's expression-DAG OpKinds.
 enum class RegistryOp {
@@ -222,6 +255,14 @@ class OpRegistry {
   void set_health(BackendHealth* health) { health_ = health; }
   BackendHealth* health() const { return health_; }
 
+  /// Installs a dispatch-anomaly observer (request-scoped tracing). Not
+  /// owned; must outlive the registry while set. The serving layer installs
+  /// its request trace context here around each request's execution.
+  void set_dispatch_observer(DispatchObserver* observer) {
+    observer_ = observer;
+  }
+  DispatchObserver* dispatch_observer() const { return observer_; }
+
   /// ABFT verification of GPU results (kernels/abft.h). kOff (the default)
   /// adds zero work; kSpot/kFull make sampled/every GPU dispatches prove
   /// their output against a checksum invariant, turning silent corruption
@@ -255,6 +296,7 @@ class OpRegistry {
   FusedDenseOptions dense_opts_;
   KernelCache codegen_cache_;
   BackendHealth* health_ = nullptr;
+  DispatchObserver* observer_ = nullptr;
   AbftVerifier sdc_{dev_, cpu_};
 
   /// Consume side of the device's silent-corruption handshake: if any

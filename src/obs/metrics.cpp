@@ -11,34 +11,65 @@ namespace fusedml::obs {
 
 void Histogram::observe(double v) {
   std::lock_guard<std::mutex> lock(mutex_);
-  samples_.push_back(v);
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+  ++count_;
+  sum_ += v;
+  if (reservoir_.size() < kReservoirCapacity) {
+    reservoir_.push_back(v);
+    return;
+  }
+  // Vitter's algorithm R: replace a uniform slot of [0, count_) — keeps the
+  // reservoir a uniform sample of everything observed, in O(1) memory.
+  rng_ = rng_ * 6364136223846793005ULL + 1442695040888963407ULL;
+  const std::uint64_t j = (rng_ >> 16) % count_;
+  if (j < reservoir_.size()) reservoir_[j] = v;
 }
 
 std::uint64_t Histogram::count() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return samples_.size();
+  return count_;
 }
 
 double Histogram::mean() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return fusedml::mean(samples_);
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
 }
 
 double Histogram::percentile(double p) const {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (samples_.empty()) return 0.0;
-  return fusedml::percentile(samples_, p);
+  if (reservoir_.empty()) return 0.0;  // empty histogram: no samples to rank
+  return fusedml::percentile(reservoir_, p);
+}
+
+double Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return count_ == 0 ? 0.0 : min_;
 }
 
 double Histogram::max() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (samples_.empty()) return 0.0;
-  return fusedml::max_of(samples_);
+  return count_ == 0 ? 0.0 : max_;
+}
+
+usize Histogram::reservoir_size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return reservoir_.size();
 }
 
 void Histogram::reset() {
   std::lock_guard<std::mutex> lock(mutex_);
-  samples_.clear();
+  reservoir_.clear();
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+  rng_ = 0x9e3779b97f4a7c15ULL;
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {

@@ -65,20 +65,37 @@ class Gauge {
   double value_ = 0.0;
 };
 
-/// Sample-keeping histogram: records every observation, reports count /
-/// mean / p50 / p95 / max (quantiles via common/stats interpolation).
+/// Bounded-memory histogram: count / sum / min / max are exact; quantiles
+/// come from a fixed-size reservoir (Vitter's algorithm R with a
+/// deterministic LCG stream, so single-threaded runs reproduce bit-exactly).
+/// Below kReservoirCapacity observations the reservoir holds EVERY sample
+/// and percentile() is exact; past it each new observation replaces a
+/// uniformly-chosen slot, so memory stays O(1) under chaos soaks that push
+/// millions of latencies through one histogram. percentile() on an empty
+/// histogram returns 0 instead of indexing into an empty sample vector.
 class Histogram {
  public:
+  static constexpr usize kReservoirCapacity = 512;
+
   void observe(double v);
   std::uint64_t count() const;
   double mean() const;
   double percentile(double p) const;
+  double min() const;
   double max() const;
   void reset();
 
+  /// Retained reservoir size (== count() until the cap, then constant).
+  usize reservoir_size() const;
+
  private:
   mutable std::mutex mutex_;
-  std::vector<double> samples_;
+  std::vector<double> reservoir_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::uint64_t rng_ = 0x9e3779b97f4a7c15ULL;  ///< deterministic LCG state
 };
 
 class MetricsRegistry {

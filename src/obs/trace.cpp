@@ -136,7 +136,7 @@ void TraceRecorder::export_chrome_trace(std::ostream& os) const {
 
   // Track-name metadata so Perfetto labels the rows.
   for (const Track track : {Track::kOps, Track::kDispatch, Track::kDevice,
-                            Track::kPcie, Track::kMemory}) {
+                            Track::kPcie, Track::kMemory, Track::kServe}) {
     json.begin_object();
     json.member("name", "thread_name");
     json.member("ph", "M");

@@ -59,6 +59,18 @@ struct ServeOptions {
   /// back into the queue for another worker this many times before the
   /// failure is delivered (0 disables re-admission).
   int max_readmissions = 1;
+  /// Per-request span trees (serve/request_trace.h): every outcome carries
+  /// a sealed tree whose root duration equals the reported modeled latency.
+  /// A pure observer — modeled numbers are bit-identical either way — but
+  /// it allocates per request, so it stays opt-in.
+  bool request_tracing = false;
+  /// Flight recorder (serve/flight_recorder.h): bounded ring of recent
+  /// request summaries, frozen into incident bundles when an anomaly fires
+  /// (deadline miss, breaker open, quarantine, SDC, tier-exhausted
+  /// failure). Off by default; the ring/incident caps bound the memory.
+  bool flight_recorder = false;
+  usize flight_recorder_capacity = 128;
+  usize flight_recorder_max_incidents = 8;
 };
 
 /// One worker thread's private execution stack. Only its owning thread may

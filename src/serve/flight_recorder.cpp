@@ -1,0 +1,147 @@
+#include "serve/flight_recorder.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/json.h"
+
+namespace fusedml::serve {
+
+const char* to_string(AnomalyKind kind) {
+  switch (kind) {
+    case AnomalyKind::kDeadlineMiss: return "deadline_miss";
+    case AnomalyKind::kBreakerOpen: return "breaker_open";
+    case AnomalyKind::kQuarantine: return "quarantine";
+    case AnomalyKind::kSdcDetected: return "sdc_detected";
+    case AnomalyKind::kFailure: return "failure";
+  }
+  return "?";
+}
+
+FlightRecord FlightRecord::from_outcome(const ServeOutcome& o) {
+  FlightRecord r;
+  r.tag = o.tag;
+  r.kind = o.kind;
+  r.priority = o.priority;
+  r.worker = o.worker;
+  r.queue_wait_ms = o.queue_wait_ms;
+  r.modeled_ms = o.modeled_ms;
+  r.deadline_ms = o.deadline_ms;
+  r.plan_host_ms = o.plan_host_ms;
+  r.faults_seen = o.resilience.faults_seen;
+  r.retries = o.resilience.retries;
+  r.fallbacks = o.resilience.fallbacks;
+  r.sdc_detected = o.resilience.sdc_detected;
+  r.error = o.error;
+  return r;
+}
+
+FlightRecorder::FlightRecorder(usize capacity, usize max_incidents)
+    : capacity_(std::max<usize>(capacity, 1)),
+      max_incidents_(max_incidents) {
+  ring_.reserve(capacity_);
+}
+
+void FlightRecorder::record(const FlightRecord& record) {
+  std::lock_guard lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(record);
+  } else {
+    ring_[recorded_ % capacity_] = record;
+  }
+  ++recorded_;
+}
+
+std::vector<FlightRecord> FlightRecorder::snapshot_locked() const {
+  std::vector<FlightRecord> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    // recorded_ % capacity_ is the oldest slot (the next overwrite target).
+    const usize start = recorded_ % capacity_;
+    for (usize i = 0; i < capacity_; ++i) {
+      out.push_back(ring_[(start + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+bool FlightRecorder::fire(AnomalyKind kind, const FlightRecord& trigger,
+                          double modeled_now_ms) {
+  std::lock_guard lock(mutex_);
+  ++fires_;
+  if (incidents_.size() >= max_incidents_) return false;
+  Incident inc;
+  inc.kind = kind;
+  inc.modeled_now_ms = modeled_now_ms;
+  inc.trigger = trigger;
+  inc.recent = snapshot_locked();
+  incidents_.push_back(std::move(inc));
+  return true;
+}
+
+std::vector<FlightRecord> FlightRecorder::recent() const {
+  std::lock_guard lock(mutex_);
+  return snapshot_locked();
+}
+
+std::vector<Incident> FlightRecorder::incidents() const {
+  std::lock_guard lock(mutex_);
+  return incidents_;
+}
+
+std::uint64_t FlightRecorder::recorded() const {
+  std::lock_guard lock(mutex_);
+  return recorded_;
+}
+
+std::uint64_t FlightRecorder::fires() const {
+  std::lock_guard lock(mutex_);
+  return fires_;
+}
+
+namespace {
+void write_record(JsonWriter& json, const FlightRecord& r) {
+  json.begin_object();
+  json.member("tag", r.tag);
+  json.member("kind", to_string(r.kind));
+  json.member("priority", to_string(r.priority));
+  json.member("worker", r.worker);
+  json.member("queue_wait_ms", r.queue_wait_ms);
+  json.member("modeled_ms", r.modeled_ms);
+  json.member("deadline_ms", r.deadline_ms);
+  json.member("plan_host_ms", r.plan_host_ms);
+  json.member("faults_seen", r.faults_seen);
+  json.member("retries", r.retries);
+  json.member("fallbacks", r.fallbacks);
+  json.member("sdc_detected", r.sdc_detected);
+  if (!r.error.empty()) json.member("error", r.error);
+  json.end_object();
+}
+}  // namespace
+
+void FlightRecorder::write_incidents_json(std::ostream& os) const {
+  const auto incidents = this->incidents();
+  const std::uint64_t total_fires = fires();
+  JsonWriter json(os);
+  json.begin_object();
+  json.member("fires", total_fires);
+  json.member("captured", static_cast<std::uint64_t>(incidents.size()));
+  json.key("incidents").begin_array();
+  for (const Incident& inc : incidents) {
+    json.begin_object();
+    json.member("kind", to_string(inc.kind));
+    json.member("modeled_now_ms", inc.modeled_now_ms);
+    json.key("trigger");
+    write_record(json, inc.trigger);
+    json.key("recent").begin_array();
+    for (const FlightRecord& r : inc.recent) write_record(json, r);
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+}
+
+}  // namespace fusedml::serve

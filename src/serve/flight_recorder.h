@@ -1,0 +1,103 @@
+// Flight recorder: a bounded ring of recent per-request summaries plus a
+// bounded list of incident bundles captured when an anomaly fires.
+//
+// The serving layer books one FlightRecord per resolved request (cheap:
+// plain fields, one mutex). When the server detects an anomaly — deadline
+// miss, breaker open, device quarantine, SDC detection, or a
+// tier-exhausted failure — it fires the recorder, which freezes the
+// current ring into an Incident: the black-box readout of what the system
+// was doing in the moments leading up to the event. Incidents are
+// budgeted (first-N) so a storm of misses cannot turn the recorder into
+// an unbounded log; fires past the budget are still counted.
+//
+// Server::write_incident_bundle wraps the incidents with the server-wide
+// context (ServerStatus: SLO snapshots, breaker and health-board state)
+// into one JSON document — the artifact an operator or the CI harness
+// pulls when something went wrong.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "serve/serve_types.h"
+
+namespace fusedml::serve {
+
+/// What can trip the recorder.
+enum class AnomalyKind {
+  kDeadlineMiss,     ///< a request resolved kDeadlineExceeded
+  kBreakerOpen,      ///< the breaker board opened (or reopened) a backend
+  kQuarantine,       ///< the health board drained a device
+  kSdcDetected,      ///< ABFT caught silent corruption on this request
+  kFailure,          ///< a request exhausted every backend tier (kFailed)
+};
+const char* to_string(AnomalyKind kind);
+
+/// One request's black-box summary — everything needed to reconstruct what
+/// it asked for and what it cost, without holding the value or the trace.
+struct FlightRecord {
+  std::uint64_t tag = 0;
+  OutcomeKind kind = OutcomeKind::kFailed;
+  Priority priority = Priority::kNormal;
+  int worker = -1;
+  double queue_wait_ms = 0.0;
+  double modeled_ms = 0.0;
+  double deadline_ms = 0.0;
+  double plan_host_ms = 0.0;
+  std::uint64_t faults_seen = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t fallbacks = 0;
+  std::uint64_t sdc_detected = 0;
+  std::string error;
+
+  /// Builds the summary straight off a resolved outcome.
+  static FlightRecord from_outcome(const ServeOutcome& outcome);
+};
+
+/// A frozen ring snapshot taken when an anomaly fired.
+struct Incident {
+  AnomalyKind kind = AnomalyKind::kFailure;
+  double modeled_now_ms = 0.0;
+  FlightRecord trigger;
+  std::vector<FlightRecord> recent;  ///< ring contents, oldest first
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(usize capacity = 128, usize max_incidents = 8);
+
+  /// Books one resolved request into the ring (overwrites the oldest).
+  void record(const FlightRecord& record);
+
+  /// Freezes the ring into an Incident if the budget allows; always counts
+  /// the fire. Returns true when an Incident was captured.
+  bool fire(AnomalyKind kind, const FlightRecord& trigger,
+            double modeled_now_ms);
+
+  /// Ring contents, oldest first.
+  std::vector<FlightRecord> recent() const;
+  std::vector<Incident> incidents() const;
+  std::uint64_t recorded() const;
+  /// Total fires, including those past the incident budget.
+  std::uint64_t fires() const;
+
+  /// [{"kind":..,"modeled_now_ms":..,"trigger":{...},"recent":[...]}, ...].
+  void write_incidents_json(std::ostream& os) const;
+
+ private:
+  const usize capacity_;
+  const usize max_incidents_;
+  mutable std::mutex mutex_;
+  std::vector<FlightRecord> ring_;  ///< ring_[recorded_ % capacity_] is next
+  std::uint64_t recorded_ = 0;
+  std::uint64_t fires_ = 0;
+  std::vector<Incident> incidents_;
+
+  std::vector<FlightRecord> snapshot_locked() const;
+};
+
+}  // namespace fusedml::serve

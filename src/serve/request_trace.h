@@ -1,0 +1,135 @@
+// Request-scoped tracing: one span tree per submitted request, built on the
+// MODELED timeline, threading from Server::submit through admission, queue
+// residency, worker pickup, planning, every execution attempt (retries,
+// degradation tier changes, ABFT recompute, re-admission) to outcome
+// delivery.
+//
+// The contract mirrors the serving layer's exactly-one-outcome invariant:
+// every resolved request carries exactly one SEALED tree, and the root
+// span's duration bit-matches the outcome's reported modeled latency
+// (queue_wait_ms + modeled_ms) — the chaos harness asserts both.
+//
+// Tracing is a PURE OBSERVER. A RequestTracer never advances the modeled
+// clock and never feeds numbers back into execution, so a run with request
+// tracing enabled is bit-identical (same outcomes, same modeled times) to
+// the same run with it off. That is what makes the trees trustworthy: they
+// describe the run that would have happened anyway.
+//
+// Thread model: submit creates the tracer; workers (possibly several, across
+// re-admissions) append events; whichever thread wins the resolve seals.
+// All mutation is under one internal mutex; the sealed tree is immutable
+// and shared via shared_ptr<const>.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "serve/serve_types.h"
+
+namespace fusedml::serve {
+
+/// One node of a request's span tree. ts/dur are modeled milliseconds on
+/// the server clock; parent indexes into RequestTraceTree::spans (-1 only
+/// for the root at index 0).
+struct RequestSpan {
+  std::string name;
+  double ts_ms = 0.0;
+  double dur_ms = 0.0;
+  int parent = -1;
+  std::vector<std::pair<std::string, double>> num_args;
+  std::vector<std::pair<std::string, std::string>> str_args;
+};
+
+/// The immutable per-request tree delivered on ServeOutcome::trace.
+/// spans[0] is always the root; its dur_ms equals the outcome's
+/// queue_wait_ms + modeled_ms by construction (sealed from the same
+/// numbers the client reads).
+struct RequestTraceTree {
+  std::uint64_t tag = 0;
+  std::uint64_t seq = 0;
+  Priority priority = Priority::kNormal;
+  OutcomeKind kind = OutcomeKind::kFailed;
+  std::vector<RequestSpan> spans;
+  std::uint64_t dropped_events = 0;  ///< live events past the bound
+
+  const RequestSpan& root() const { return spans.front(); }
+  /// Structural invariant the chaos oracle asserts: non-empty, exactly one
+  /// parentless span (the root, at index 0), and every other span's parent
+  /// is an earlier valid index (so the tree is acyclic by construction).
+  bool complete() const;
+  /// {"tag":..,"seq":..,"priority":..,"kind":..,"spans":[...]}.
+  void write_json(std::ostream& os) const;
+};
+
+/// Mutable builder that rides along with one request. Created at submit
+/// when ServeOptions::request_tracing is on; notes are appended by whatever
+/// thread is advancing the request; seal() runs exactly once, inside the
+/// winning resolve, and freezes the tree onto the outcome.
+///
+/// Implements kernels::DispatchObserver so the registry's resilient
+/// dispatch reports ANOMALIES (faults, backoffs, fallbacks, breaker skips,
+/// SDC detections, budget exhaustion) straight into the request's tree —
+/// clean dispatches are not reported, keeping trees small.
+class RequestTracer : public kernels::DispatchObserver {
+ public:
+  /// Bound on live-recorded events per request; excess events are counted
+  /// in dropped_events instead of growing the tree (fault storms can
+  /// produce hundreds of anomalies per request).
+  static constexpr usize kMaxEvents = 96;
+
+  /// `clock` reads the server's modeled clock (pool position); it must be
+  /// safe to call from any thread and must not mutate anything.
+  RequestTracer(std::uint64_t tag, std::uint64_t seq, Priority priority,
+                double submit_ms, std::function<double()> clock);
+
+  // --- Life-cycle notes (each appends one bounded event) ------------------
+  /// A worker popped the request. attempt is 1-based across re-admissions.
+  void note_pickup(int worker, int attempt, double wait_ms);
+  /// The request went back to the queue (quarantine handoff / readmission).
+  void note_requeue(const char* why);
+  /// Fusion-planner work observed by this request's runtime: host
+  /// wall-clock ms, cache hit or build.
+  void note_plan(double host_ms, bool cache_hit);
+
+  /// Registry anomaly stream (kernels::DispatchObserver).
+  void on_dispatch_event(const kernels::DispatchEvent& event) override;
+
+  /// Builds the immutable tree from the resolved outcome: root span whose
+  /// duration is o.queue_wait_ms + o.modeled_ms, bucket children
+  /// (queued / exec / verify / resilience, summing to the root), and the
+  /// live events recorded above. Exactly-once: later calls return the
+  /// first sealed tree. When the global obs recorder is enabled the tree
+  /// is also emitted onto the Perfetto `serve` track.
+  std::shared_ptr<const RequestTraceTree> seal(const ServeOutcome& o);
+
+ private:
+  struct Event {
+    std::string name;
+    double ts_ms = 0.0;
+    double dur_ms = 0.0;
+    std::vector<std::pair<std::string, double>> num_args;
+    std::vector<std::pair<std::string, std::string>> str_args;
+  };
+
+  void push_event(Event ev);  // bounded; callers hold no lock
+
+  const std::uint64_t tag_;
+  const std::uint64_t seq_;
+  const Priority priority_;
+  const double submit_ms_;
+  const std::function<double()> clock_;
+
+  mutable std::mutex mutex_;
+  std::vector<Event> events_;
+  std::uint64_t dropped_ = 0;
+  std::shared_ptr<const RequestTraceTree> sealed_;
+};
+
+}  // namespace fusedml::serve

@@ -1,0 +1,48 @@
+#include "serve/serve_flags.h"
+
+#include <fstream>
+#include <ostream>
+
+#include "common/cli.h"
+#include "common/log.h"
+#include "serve/server.h"
+
+namespace fusedml::serve {
+
+ServingFlags apply_serving_flags(Cli& cli) {
+  ServingFlags flags;
+  flags.slo_report = cli.get_bool(
+      "slo-report", false,
+      "print the per-class SLO snapshot (ServerStatus) after the run");
+  flags.request_trace = cli.get_bool(
+      "request-trace", false,
+      "build a span tree for every request (implied by --flight-recorder)");
+  flags.flight_recorder_path = cli.get_string(
+      "flight-recorder", "",
+      "enable the flight recorder; write the incident bundle JSON here "
+      "('-' = stdout)");
+  return flags;
+}
+
+void ServingFlags::apply_to(ServeOptions& opts) const {
+  if (request_trace || flight_recorder()) opts.request_tracing = true;
+  if (flight_recorder()) opts.flight_recorder = true;
+}
+
+void ServingFlags::report(const Server& server, std::ostream& os) const {
+  if (slo_report) server.status().print(os);
+  if (!flight_recorder()) return;
+  if (flight_recorder_path == "-") {
+    server.write_incident_bundle(os);
+    return;
+  }
+  std::ofstream out(flight_recorder_path);
+  if (!out) {
+    FUSEDML_LOG_ERROR << "cannot open incident bundle output: "
+                      << flight_recorder_path;
+    return;
+  }
+  server.write_incident_bundle(out);
+}
+
+}  // namespace fusedml::serve

@@ -1,0 +1,49 @@
+// Standard serving-observability flags shared by the serving bench and the
+// serving example:
+//
+//   --slo-report                  print the ServerStatus snapshot (per-class
+//                                 SLO percentiles, deadline-hit ratio,
+//                                 latency buckets) after the run
+//   --flight-recorder <path>      enable the flight recorder and write the
+//                                 incident bundle JSON to <path> at the end
+//                                 of the run ("-" = stdout)
+//   --request-trace               build a per-request span tree for every
+//                                 submission (ServeOptions::request_tracing)
+//
+// Call apply_serving_flags(cli) after constructing the Cli and before
+// cli.finish(); then apply_to(opts) to arm the matching ServeOptions and
+// report(server, os) once the server has drained.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace fusedml {
+class Cli;
+}
+
+namespace fusedml::serve {
+
+struct ServeOptions;
+class Server;
+
+struct ServingFlags {
+  bool slo_report = false;
+  bool request_trace = false;
+  std::string flight_recorder_path;  ///< empty = recorder off
+
+  bool flight_recorder() const { return !flight_recorder_path.empty(); }
+
+  /// Arms the matching ServeOptions knobs (request_tracing,
+  /// flight_recorder) on a server about to be built.
+  void apply_to(ServeOptions& opts) const;
+
+  /// Emits whatever was requested: the SLO report to `os`, the incident
+  /// bundle to its path (or `os` for "-"). No-op when nothing was asked.
+  void report(const Server& server, std::ostream& os) const;
+};
+
+/// Declares and parses the serving flags on `cli`.
+ServingFlags apply_serving_flags(Cli& cli);
+
+}  // namespace fusedml::serve

@@ -1,5 +1,7 @@
 #include "serve/serve_types.h"
 
+#include "serve/request_trace.h"
+
 namespace fusedml::serve {
 
 const char* to_string(Priority priority) {
@@ -52,6 +54,14 @@ bool RequestState::resolve(ServeOutcome outcome) {
     std::lock_guard lock(mutex_);
     if (resolved_) return false;
     outcome.tag = tag_;
+    outcome.priority = priority_;
+    outcome.deadline_ms = deadline_ms_;
+    // Seal the request's span tree from the SAME numbers the client reads:
+    // the root span's duration is queue_wait_ms + modeled_ms by
+    // construction, which is the bit-match the trace oracle asserts. The
+    // winner seals, so exactly one tree exists per resolved request — even
+    // when a client-side cancellation wins the race.
+    if (tracer_ != nullptr) outcome.trace = tracer_->seal(outcome);
     outcome_ = std::move(outcome);
     resolved_ = true;
     wins_.fetch_add(1, std::memory_order_relaxed);

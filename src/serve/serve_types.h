@@ -112,6 +112,9 @@ struct ServeRequest {
   std::uint64_t tag = 0;
 };
 
+struct RequestTraceTree;  // request_trace.h — per-request span tree
+class RequestTracer;
+
 /// Everything the client learns from one resolved request.
 struct ServeOutcome {
   OutcomeKind kind = OutcomeKind::kFailed;
@@ -124,6 +127,15 @@ struct ServeOutcome {
   ResilienceStats resilience;   ///< faults absorbed producing this outcome
   std::string error;            ///< kFailed / kDeadlineExceeded detail
   int worker = -1;              ///< executing worker (-1: never executed)
+  Priority priority = Priority::kNormal;  ///< stamped from the request
+  double deadline_ms = 0.0;     ///< the request's effective deadline
+  /// Host wall-clock ms the fusion planner spent on this request (script
+  /// workloads; 0 on plan-cache hits and pattern evals). Host work — NOT
+  /// part of modeled_ms; see sysml::RuntimeStats::plan_host_ms.
+  double plan_host_ms = 0.0;
+  /// The request's sealed span tree — present iff the server was built
+  /// with ServeOptions::request_tracing. Immutable and shareable.
+  std::shared_ptr<const RequestTraceTree> trace;
 };
 
 /// Shared resolution slot behind a ServeHandle. resolve() is exactly-once:
@@ -158,6 +170,20 @@ class RequestState {
   /// Stamped at submit; copied onto whichever outcome wins, so even a
   /// cancellation resolved by the client thread carries the request's tag.
   void set_tag(std::uint64_t tag) { tag_ = tag; }
+  /// Stamped at submit like the tag: the winning outcome carries the
+  /// request's class and effective deadline, which is what lets the SLO
+  /// tracker bucket EVERY outcome kind per priority class — including
+  /// client-side cancellations that never saw the server again.
+  void set_priority(Priority priority) { priority_ = priority; }
+  void set_deadline(double deadline_ms) { deadline_ms_ = deadline_ms; }
+
+  /// Installs the request's tracer (submit only, before the state is
+  /// visible to resolvers). The winning resolve seals it onto the outcome,
+  /// so exactly one tree exists per resolved request.
+  void set_tracer(std::shared_ptr<RequestTracer> tracer) {
+    tracer_ = std::move(tracer);
+  }
+  const std::shared_ptr<RequestTracer>& tracer() const { return tracer_; }
 
  private:
   mutable std::mutex mutex_;
@@ -167,6 +193,9 @@ class RequestState {
   std::atomic<bool> cancel_{false};
   std::atomic<int> wins_{0};
   std::uint64_t tag_ = 0;
+  Priority priority_ = Priority::kNormal;
+  double deadline_ms_ = 0.0;
+  std::shared_ptr<RequestTracer> tracer_;
   std::function<void(const ServeOutcome&)> on_resolve_;
 };
 

@@ -6,9 +6,11 @@
 #include <utility>
 
 #include "common/error.h"
+#include "common/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "ml/script_library.h"
+#include "serve/request_trace.h"
 #include "sysml/runtime.h"
 
 namespace fusedml::serve {
@@ -47,7 +49,9 @@ Server::Server(ServeOptions opts)
       device_health_(opts.quarantine, opts.workers,
                      [this] { return now_ms(); }),
       pool_(opts_),
-      queue_(opts_.queue_capacity) {
+      queue_(opts_.queue_capacity),
+      flight_(opts_.flight_recorder_capacity,
+              opts_.flight_recorder_max_incidents) {
   for (int w = 0; w < pool_.workers(); ++w) {
     pool_.session(w).executor().registry().set_health(&breakers_);
   }
@@ -151,6 +155,8 @@ ServeHandle Server::submit(ServeRequest req) {
   if (req.deadline_ms <= 0.0) req.deadline_ms = opts_.default_deadline_ms;
   auto state = std::make_shared<RequestState>();
   state->set_tag(req.tag);
+  state->set_priority(req.priority);
+  state->set_deadline(req.deadline_ms);
   state->set_on_resolve(
       [this](const ServeOutcome& o) { count_outcome(o); });
   auto pending = std::make_shared<PendingRequest>();
@@ -158,6 +164,11 @@ ServeHandle Server::submit(ServeRequest req) {
   pending->state = state;
   pending->submit_ms = now_ms();
   pending->seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  if (opts_.request_tracing) {
+    state->set_tracer(std::make_shared<RequestTracer>(
+        pending->request.tag, pending->seq, pending->request.priority,
+        pending->submit_ms, [this] { return now_ms(); }));
+  }
   submitted_.fetch_add(1, std::memory_order_relaxed);
   if (obs::metrics().enabled()) {
     obs::metrics().counter("serve.submitted").add();
@@ -240,14 +251,19 @@ void Server::worker_loop(int worker_id) {
       faults_seen = gen;
     }
     if (p->state->resolved()) continue;  // cancelled while queued
+    RequestTracer* tracer = p->state->tracer().get();
     // Quarantined device: hand the request back so a healthy worker takes
     // it. If the queue refuses (draining), execute here anyway — a suspect
     // answer the checks can still vet beats a lost request.
     if (device_health_.quarantined(worker_id) && requeue(p)) {
+      if (tracer != nullptr) tracer->note_requeue("quarantine");
       std::this_thread::yield();
       continue;
     }
     const double wait_ms = std::max(0.0, now_ms() - p->submit_ms);
+    if (tracer != nullptr) {
+      tracer->note_pickup(worker_id, p->attempts + 1, wait_ms);
+    }
     ServeOutcome o;
     if (p->request.deadline_ms > 0.0 && wait_ms >= p->request.deadline_ms) {
       o.kind = OutcomeKind::kDeadlineExceeded;
@@ -267,6 +283,7 @@ void Server::worker_loop(int worker_id) {
         ++p->attempts;
         if (requeue(p)) {
           readmissions_.fetch_add(1, std::memory_order_relaxed);
+          if (tracer != nullptr) tracer->note_requeue("readmission");
           if (obs::metrics().enabled()) {
             obs::metrics().counter("serve.readmissions").add();
           }
@@ -284,12 +301,13 @@ ServeOutcome Server::execute(WorkerSession& session,
   const double deadline = pending.request.deadline_ms;
   const double budget_ms = deadline > 0.0 ? deadline - wait_ms : 0.0;
   const kernels::VerifyPolicy verify = verify_for(pending.request.priority);
+  RequestTracer* tracer = pending.state->tracer().get();
   ServeOutcome o =
       std::holds_alternative<PatternEval>(pending.request.work)
           ? run_pattern(session, std::get<PatternEval>(pending.request.work),
-                        budget_ms, verify)
+                        budget_ms, verify, tracer)
           : run_script(session, std::get<ScriptEval>(pending.request.work),
-                       budget_ms, verify);
+                       budget_ms, verify, tracer);
   o.worker = session.id();
   o.queue_wait_ms = wait_ms;
   advance_clock(o.modeled_ms);
@@ -321,7 +339,8 @@ kernels::VerifyPolicy Server::verify_for(Priority priority) const {
 
 ServeOutcome Server::run_pattern(WorkerSession& session,
                                  const PatternEval& eval, double budget_ms,
-                                 kernels::VerifyPolicy verify) {
+                                 kernels::VerifyPolicy verify,
+                                 RequestTracer* tracer) {
   ServeOutcome o;
   auto& ex = session.executor();
   ex.retry_policy() = opts_.retry;
@@ -329,6 +348,8 @@ ServeOutcome Server::run_pattern(WorkerSession& session,
   ex.reset_session_clock();
   ex.set_modeled_deadline(budget_ms);
   ex.registry().set_verify_policy(verify);
+  // The session's registry outlives this request — observe for the run only.
+  ex.registry().set_dispatch_observer(tracer);
   const la::CsrMatrix& X = dataset(eval.dataset);
   try {
     auto r = ex.pattern(eval.alpha, X, eval.v, eval.y, eval.beta, eval.z);
@@ -347,12 +368,14 @@ ServeOutcome Server::run_pattern(WorkerSession& session,
   }
   o.resilience = ex.resilience();
   ex.set_modeled_deadline(0.0);
+  ex.registry().set_dispatch_observer(nullptr);
   return o;
 }
 
 ServeOutcome Server::run_script(WorkerSession& session, const ScriptEval& eval,
                                 double budget_ms,
-                                kernels::VerifyPolicy verify) {
+                                kernels::VerifyPolicy verify,
+                                RequestTracer* tracer) {
   ServeOutcome o;
   const la::CsrMatrix& X = dataset(eval.dataset);
   sysml::RuntimeOptions ro;
@@ -360,8 +383,10 @@ ServeOutcome Server::run_script(WorkerSession& session, const ScriptEval& eval,
   sysml::Runtime rt(session.device(), ro);
   rt.retry_policy() = opts_.retry;
   rt.registry().set_health(&breakers_);
+  rt.registry().set_dispatch_observer(tracer);
   rt.set_modeled_deadline(budget_ms);
   rt.set_verify_policy(verify);
+  std::uint64_t plans_built = 0;
   try {
     const ml::ScriptSpec* spec =
         ml::find_script(to_algorithm(eval.kind), /*dense=*/false, eval.plan);
@@ -369,6 +394,7 @@ ServeOutcome Server::run_script(WorkerSession& session, const ScriptEval& eval,
                   "script library has no entry for this request");
     sysml::ScriptResult r =
         spec->run_sparse(rt, X, eval.labels, eval.iterations);
+    plans_built = r.plans_built;
     o.kind = OutcomeKind::kCompleted;
     o.value = std::move(r.weights);
     o.modeled_ms = r.runtime_stats.total_ms();
@@ -384,6 +410,10 @@ ServeOutcome Server::run_script(WorkerSession& session, const ScriptEval& eval,
     o.modeled_ms = rt.stats().total_ms();
   }
   o.resilience = rt.resilience();
+  o.plan_host_ms = rt.stats().plan_host_ms;
+  if (tracer != nullptr && o.plan_host_ms > 0.0) {
+    tracer->note_plan(o.plan_host_ms, /*cache_hit=*/plans_built == 0);
+  }
   return o;
 }
 
@@ -419,6 +449,31 @@ void Server::count_outcome(const ServeOutcome& o) {
     std::lock_guard lock(agg_mutex_);
     resilience_total_ += o.resilience;
     latency_samples_.push_back(o.queue_wait_ms + o.modeled_ms);
+  }
+  slo_.record(o);
+  if (opts_.flight_recorder) {
+    const FlightRecord rec = FlightRecord::from_outcome(o);
+    flight_.record(rec);
+    const double now = now_ms();
+    if (o.kind == OutcomeKind::kDeadlineExceeded) {
+      flight_.fire(AnomalyKind::kDeadlineMiss, rec, now);
+    }
+    if (o.kind == OutcomeKind::kFailed) {
+      flight_.fire(AnomalyKind::kFailure, rec, now);
+    }
+    if (o.resilience.sdc_detected > 0) {
+      flight_.fire(AnomalyKind::kSdcDetected, rec, now);
+    }
+    // Board-level anomalies surface as deltas of monotonic counters; the
+    // resolving request is the closest witness, so it becomes the trigger.
+    const std::uint64_t opens = breakers_.total_opens();
+    if (opens > last_breaker_opens_.exchange(opens)) {
+      flight_.fire(AnomalyKind::kBreakerOpen, rec, now);
+    }
+    const std::uint64_t quarantines = device_health_.quarantines();
+    if (quarantines > last_quarantines_.exchange(quarantines)) {
+      flight_.fire(AnomalyKind::kQuarantine, rec, now);
+    }
   }
   if (obs::metrics().enabled()) {
     auto& m = obs::metrics();
@@ -479,6 +534,112 @@ ServeStats Server::stats() const {
 std::vector<double> Server::latency_samples() const {
   std::lock_guard lock(agg_mutex_);
   return latency_samples_;
+}
+
+ServerStatus Server::status() const {
+  ServerStatus s;
+  s.totals = stats();
+  for (int c = 0; c < kNumPriorities; ++c) {
+    s.classes[c] = slo_.snapshot(static_cast<Priority>(c));
+  }
+  s.flight_recorded = flight_.recorded();
+  s.anomalies_fired = flight_.fires();
+  s.incidents_captured =
+      static_cast<std::uint64_t>(flight_.incidents().size());
+  return s;
+}
+
+void Server::write_incident_bundle(std::ostream& os) const {
+  // One self-contained document: server-wide context first, then the
+  // recorder's frozen incidents. Assembled as two streamed JSON values
+  // stitched into one object (both writers emit complete values).
+  os << "{\"status\":";
+  status().write_json(os);
+  os << ",\"incident_bundles\":";
+  flight_.write_incidents_json(os);
+  os << "}\n";
+}
+
+void ServerStatus::print(std::ostream& os) const {
+  totals.print(os);
+  for (int c = kNumPriorities - 1; c >= 0; --c) {
+    const SloClassSnapshot& s = classes[c];
+    const auto priority = static_cast<Priority>(c);
+    if (s.completed + s.deadline_exceeded + s.failed + s.cancelled +
+            s.rejected + s.shed ==
+        0) {
+      continue;
+    }
+    os << "  [" << to_string(priority) << "] completed " << s.completed
+       << "  deadline-x " << s.deadline_exceeded << "  failed " << s.failed
+       << "  cancelled " << s.cancelled << "  rejected " << s.rejected
+       << "  shed " << s.shed << "\n"
+       << "    latency p50 " << s.p50_ms << "  p95 " << s.p95_ms << "  p99 "
+       << s.p99_ms << "  max " << s.max_ms << " ms  (" << s.latency_count
+       << " samples)  deadline-hit " << s.deadline_hit_ratio() << "\n"
+       << "    buckets: queue " << s.queue_ms << "  exec " << s.exec_ms
+       << "  verify " << s.verify_ms << "  resilience " << s.resilience_ms
+       << " ms  (plan host " << s.plan_host_ms << " ms)\n";
+  }
+  if (anomalies_fired > 0) {
+    os << "  flight recorder: " << flight_recorded << " recorded, "
+       << anomalies_fired << " anomalies (" << incidents_captured
+       << " incident bundle(s) captured)\n";
+  }
+}
+
+void ServerStatus::write_json(std::ostream& os) const {
+  JsonWriter json(os);
+  json.begin_object();
+  json.member("submitted", totals.submitted);
+  json.member("resolved", totals.resolved());
+  json.member("completed", totals.completed);
+  json.member("deadline_exceeded", totals.deadline_exceeded);
+  json.member("failed", totals.failed);
+  json.member("cancelled", totals.cancelled);
+  json.member("rejected_queue_full", totals.rejected_queue_full);
+  json.member("rejected_over_capacity", totals.rejected_over_capacity);
+  json.member("shed", totals.shed);
+  json.member("modeled_now_ms", totals.modeled_now_ms);
+  json.member("breaker_opens", totals.breaker_opens);
+  json.member("breaker_skips", totals.breaker_skips);
+  json.member("sdc_detected", totals.sdc_detected);
+  json.member("quarantines", totals.quarantines);
+  json.member("readmissions", totals.readmissions);
+  json.key("classes").begin_object();
+  for (int c = 0; c < kNumPriorities; ++c) {
+    const SloClassSnapshot& s = classes[c];
+    json.key(to_string(static_cast<Priority>(c))).begin_object();
+    json.member("completed", s.completed);
+    json.member("deadline_exceeded", s.deadline_exceeded);
+    json.member("failed", s.failed);
+    json.member("cancelled", s.cancelled);
+    json.member("rejected", s.rejected);
+    json.member("shed", s.shed);
+    json.member("latency_count", s.latency_count);
+    json.member("latency_mean_ms", s.latency_mean_ms);
+    json.member("p50_ms", s.p50_ms);
+    json.member("p95_ms", s.p95_ms);
+    json.member("p99_ms", s.p99_ms);
+    json.member("max_ms", s.max_ms);
+    json.member("deadline_hits", s.deadline_hits);
+    json.member("deadline_total", s.deadline_total);
+    json.member("deadline_hit_ratio", s.deadline_hit_ratio());
+    json.member("queue_ms", s.queue_ms);
+    json.member("exec_ms", s.exec_ms);
+    json.member("verify_ms", s.verify_ms);
+    json.member("resilience_ms", s.resilience_ms);
+    json.member("plan_host_ms", s.plan_host_ms);
+    json.end_object();
+  }
+  json.end_object();
+  json.key("flight").begin_object();
+  json.member("recorded", flight_recorded);
+  json.member("anomalies_fired", anomalies_fired);
+  json.member("incidents_captured", incidents_captured);
+  json.end_object();
+  json.end_object();
+  os << "\n";
 }
 
 }  // namespace fusedml::serve

@@ -37,7 +37,9 @@
 #include "serve/admission_queue.h"
 #include "serve/circuit_breaker.h"
 #include "serve/device_pool.h"
+#include "serve/flight_recorder.h"
 #include "serve/serve_types.h"
+#include "serve/slo.h"
 
 namespace fusedml::serve {
 
@@ -73,6 +75,21 @@ struct ServeStats {
   void print(std::ostream& os) const;
 };
 
+/// Operator-facing snapshot: the server totals plus per-priority-class SLO
+/// state (latency percentiles, deadline-hit ratio, bucket decomposition)
+/// and the flight recorder's anomaly counters. Exportable as text or JSON
+/// (`--slo-report` surfaces it from benches and examples).
+struct ServerStatus {
+  ServeStats totals;
+  SloClassSnapshot classes[kNumPriorities];
+  std::uint64_t flight_recorded = 0;     ///< requests in/through the ring
+  std::uint64_t anomalies_fired = 0;     ///< total anomaly fires
+  std::uint64_t incidents_captured = 0;  ///< bundles retained (budgeted)
+
+  void print(std::ostream& os) const;
+  void write_json(std::ostream& os) const;
+};
+
 class Server {
  public:
   explicit Server(ServeOptions opts = {});
@@ -105,6 +122,14 @@ class Server {
   ServeStats drain();
 
   ServeStats stats() const;
+
+  /// Per-class SLO accounting + anomaly counters on top of stats().
+  ServerStatus status() const;
+  /// The black-box ring + captured incidents (ServeOptions::flight_recorder).
+  const FlightRecorder& flight() const { return flight_; }
+  /// One JSON document: {"status": ..., "incident_bundles": ...} — the
+  /// artifact --flight-recorder dumps from benches and examples.
+  void write_incident_bundle(std::ostream& os) const;
 
   /// The pool's modeled clock (ms): executed modeled time / workers.
   double now_ms() const;
@@ -148,6 +173,14 @@ class Server {
   ResilienceStats resilience_total_;
   std::vector<double> latency_samples_;
 
+  // Observability: per-class SLO accounting (always on) and the flight
+  // recorder (ring always records when enabled; anomaly detection uses
+  // last-seen deltas of the breaker/health boards' monotonic counters).
+  SloTracker slo_;
+  FlightRecorder flight_;
+  std::atomic<std::uint64_t> last_breaker_opens_{0};
+  std::atomic<std::uint64_t> last_quarantines_{0};
+
   // Fault-storm plumbing: workers watch the generation counter and swap
   // their own injector between requests.
   std::atomic<std::uint64_t> fault_generation_{0};
@@ -157,10 +190,14 @@ class Server {
   void worker_loop(int worker_id);
   ServeOutcome execute(WorkerSession& session, const PendingRequest& pending,
                        double wait_ms);
+  /// `tracer` (may be null) is installed as the dispatch observer for the
+  /// duration of the run, so registry anomalies land in the request's tree.
   ServeOutcome run_pattern(WorkerSession& session, const PatternEval& eval,
-                           double budget_ms, kernels::VerifyPolicy verify);
+                           double budget_ms, kernels::VerifyPolicy verify,
+                           RequestTracer* tracer);
   ServeOutcome run_script(WorkerSession& session, const ScriptEval& eval,
-                          double budget_ms, kernels::VerifyPolicy verify);
+                          double budget_ms, kernels::VerifyPolicy verify,
+                          RequestTracer* tracer);
   /// The request class's ABFT coverage (ServeOptions::verify_*).
   kernels::VerifyPolicy verify_for(Priority priority) const;
   /// Quarantined worker: hand the popped request back to the queue.

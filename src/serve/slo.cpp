@@ -1,0 +1,93 @@
+#include "serve/slo.h"
+
+#include <algorithm>
+#include <string>
+
+namespace fusedml::serve {
+
+void SloTracker::record(const ServeOutcome& o) {
+  const int idx = std::clamp(static_cast<int>(o.priority), 0,
+                             kNumPriorities - 1);
+  ClassState& c = classes_[idx];
+  const bool executed = o.worker >= 0;
+  const double latency = o.queue_wait_ms + o.modeled_ms;
+  {
+    std::lock_guard lock(mutex_);
+    switch (o.kind) {
+      case OutcomeKind::kCompleted: ++c.completed; break;
+      case OutcomeKind::kDeadlineExceeded: ++c.deadline_exceeded; break;
+      case OutcomeKind::kFailed: ++c.failed; break;
+      case OutcomeKind::kCancelled: ++c.cancelled; break;
+      case OutcomeKind::kRejected:
+        if (o.reject_reason == RejectReason::kShedding) {
+          ++c.shed;
+        } else {
+          ++c.rejected;
+        }
+        break;
+    }
+    if (executed) {
+      if (o.deadline_ms > 0.0) {
+        ++c.deadline_total;
+        if (o.kind == OutcomeKind::kCompleted && latency <= o.deadline_ms) {
+          ++c.deadline_hits;
+        }
+      }
+      const double verify = o.resilience.verify_ms;
+      const double overhead = o.resilience.overhead_ms();
+      c.queue_ms += o.queue_wait_ms;
+      c.exec_ms += std::max(0.0, o.modeled_ms - verify - overhead);
+      c.verify_ms += verify;
+      c.resilience_ms += overhead;
+      c.plan_host_ms += o.plan_host_ms;
+    }
+  }
+  if (executed) c.latency.observe(latency);
+
+  if (obs::metrics().enabled()) {
+    auto& m = obs::metrics();
+    const std::string prefix = std::string("serve.") + to_string(o.priority);
+    m.counter(prefix + "." + to_string(o.kind)).add();
+    if (executed) {
+      m.histogram(prefix + ".latency_ms").observe(latency);
+      if (o.deadline_ms > 0.0) {
+        m.counter(prefix + ".deadline_total").add();
+        if (o.kind == OutcomeKind::kCompleted && latency <= o.deadline_ms) {
+          m.counter(prefix + ".deadline_hits").add();
+        }
+      }
+    }
+  }
+}
+
+SloClassSnapshot SloTracker::snapshot(Priority priority) const {
+  const int idx = std::clamp(static_cast<int>(priority), 0,
+                             kNumPriorities - 1);
+  const ClassState& c = classes_[idx];
+  SloClassSnapshot s;
+  {
+    std::lock_guard lock(mutex_);
+    s.completed = c.completed;
+    s.deadline_exceeded = c.deadline_exceeded;
+    s.failed = c.failed;
+    s.cancelled = c.cancelled;
+    s.rejected = c.rejected;
+    s.shed = c.shed;
+    s.deadline_hits = c.deadline_hits;
+    s.deadline_total = c.deadline_total;
+    s.queue_ms = c.queue_ms;
+    s.exec_ms = c.exec_ms;
+    s.verify_ms = c.verify_ms;
+    s.resilience_ms = c.resilience_ms;
+    s.plan_host_ms = c.plan_host_ms;
+  }
+  s.latency_count = c.latency.count();
+  s.latency_mean_ms = c.latency.mean();
+  s.p50_ms = c.latency.percentile(50.0);
+  s.p95_ms = c.latency.percentile(95.0);
+  s.p99_ms = c.latency.percentile(99.0);
+  s.max_ms = c.latency.max();
+  return s;
+}
+
+}  // namespace fusedml::serve

@@ -1,0 +1,94 @@
+// Per-priority-class SLO accounting for the serving layer.
+//
+// Every resolved outcome is bucketed by its priority class (stamped on the
+// outcome at resolve, so even client-side cancellations land in the right
+// class): outcome-kind counters, a deadline hit ratio over the requests
+// that actually executed, a bounded latency histogram (p50/p95/p99 via
+// obs::Histogram's reservoir), and the latency decomposed into
+// queue / plan / exec / verify / resilience-overhead buckets.
+//
+// The tracker is Server-owned and always on — it is a handful of adds
+// under one mutex per resolved request, far off any modeled-time path —
+// and mirrors into the global obs::MetricsRegistry only when that registry
+// is enabled. ServerStatus (server.h) snapshots it for JSON/text export.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "obs/metrics.h"
+#include "serve/serve_types.h"
+
+namespace fusedml::serve {
+
+/// Snapshot of one priority class's SLO state.
+struct SloClassSnapshot {
+  std::uint64_t completed = 0;
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t rejected = 0;  ///< queue-full + over-capacity
+  std::uint64_t shed = 0;
+  /// Deadline accounting over EXECUTED requests (worker >= 0) that carried
+  /// a deadline: hits completed within it, total saw a worker.
+  std::uint64_t deadline_hits = 0;
+  std::uint64_t deadline_total = 0;
+  /// Latency distribution (queue wait + modeled execution) over executed
+  /// requests; quantiles from the bounded reservoir.
+  std::uint64_t latency_count = 0;
+  double latency_mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+  /// Where the modeled latency went, summed across executed requests.
+  /// queue + exec + verify + resilience equals the summed latencies;
+  /// plan_host_ms is host wall-clock riding alongside (not modeled).
+  double queue_ms = 0.0;
+  double exec_ms = 0.0;
+  double verify_ms = 0.0;
+  double resilience_ms = 0.0;
+  double plan_host_ms = 0.0;
+
+  /// Fraction of deadline-carrying executed requests that met it (1.0 when
+  /// none carried a deadline — nothing was missed).
+  double deadline_hit_ratio() const {
+    return deadline_total == 0
+               ? 1.0
+               : static_cast<double>(deadline_hits) /
+                     static_cast<double>(deadline_total);
+  }
+};
+
+/// Per-class accumulator behind Server::status().
+class SloTracker {
+ public:
+  /// Books one resolved outcome into its priority class. Thread-safe
+  /// (called from whichever thread wins each resolve).
+  void record(const ServeOutcome& outcome);
+
+  SloClassSnapshot snapshot(Priority priority) const;
+
+ private:
+  struct ClassState {
+    std::uint64_t completed = 0;
+    std::uint64_t deadline_exceeded = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t deadline_hits = 0;
+    std::uint64_t deadline_total = 0;
+    obs::Histogram latency;  ///< bounded reservoir — its own lock
+    double queue_ms = 0.0;
+    double exec_ms = 0.0;
+    double verify_ms = 0.0;
+    double resilience_ms = 0.0;
+    double plan_host_ms = 0.0;
+  };
+
+  mutable std::mutex mutex_;  // guards the plain fields; latency self-locks
+  ClassState classes_[kNumPriorities];
+};
+
+}  // namespace fusedml::serve

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "common/error.h"
+#include "common/timer.h"
 #include "sysml/fusion_planner.h"
 
 namespace fusedml::sysml {
@@ -158,10 +159,12 @@ std::string Program::shape_signature(Runtime& rt, PlanMode mode) const {
 }
 
 void Program::prepare(Runtime& rt, PlanMode mode) {
+  const Timer plan_timer;  // host wall clock — planning is unmodeled work
   const std::string key = shape_signature(rt, mode);
   if (const auto it = cache_.find(key); it != cache_.end()) {
     current_ = &it->second;
     ++cache_hits_;
+    rt.note_plan_prepare(plan_timer.elapsed_ms(), /*cache_hit=*/true);
   } else {
     Prepared prep;
     std::ostringstream explain;
@@ -198,6 +201,7 @@ void Program::prepare(Runtime& rt, PlanMode mode) {
     const auto [slot, inserted] = cache_.emplace(key, std::move(prep));
     FUSEDML_CHECK(inserted, "plan cache emplace raced itself");
     current_ = &slot->second;
+    rt.note_plan_prepare(plan_timer.elapsed_ms(), /*cache_hit=*/false);
   }
   if (mode == PlanMode::kPlanner) rt.note_plan(current_->explain);
 }

@@ -252,6 +252,27 @@ void Runtime::book(const kernels::KernelOutcome& outcome, const char* op,
   record_trace(op, on_gpu, outcome.modeled_ms);
 }
 
+void Runtime::note_plan_prepare(double host_ms, bool cache_hit) {
+  stats_.plan_host_ms += host_ms;
+  if (obs::metrics().enabled()) {
+    auto& m = obs::metrics();
+    m.counter(cache_hit ? "runtime.plan_cache_hits" : "runtime.plans_built")
+        .add();
+    m.gauge("runtime.plan_host_ms").add(host_ms);
+  }
+  if (obs::recorder().enabled()) {
+    // Instant marker: planning is host work, so it gets zero modeled
+    // duration — the host cost rides along as an arg.
+    obs::TraceEvent ev;
+    ev.name = cache_hit ? "plan:cache_hit" : "plan:build";
+    ev.cat = "plan";
+    ev.track = obs::Track::kServe;
+    ev.ts_ms = obs::recorder().now_ms();
+    ev.num_args.emplace_back("host_ms", host_ms);
+    obs::recorder().record(std::move(ev));
+  }
+}
+
 TensorId Runtime::emit(std::vector<real> w, bool on_gpu, std::string name) {
   const TensorId out = add_vector(std::move(w), std::move(name));
   if (on_gpu) {

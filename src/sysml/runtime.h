@@ -102,6 +102,12 @@ struct RuntimeStats {
   /// broken out here so policy overhead is visible and subtractable.
   std::uint64_t verify_launches = 0;
   double verify_ms = 0.0;
+  /// HOST wall-clock milliseconds spent in the fusion planner
+  /// (Program::prepare on cache misses). Planning is host work on the real
+  /// clock, so it is deliberately EXCLUDED from total_ms() — the modeled
+  /// timeline stays reproducible — and surfaced separately so a request's
+  /// latency can be decomposed into queue/plan/exec/verify buckets.
+  double plan_host_ms = 0.0;
 
   double total_ms() const {
     return gpu_kernel_ms + cpu_op_ms + jni_ms + transfer_ms +
@@ -250,6 +256,11 @@ class Runtime {
   void note_plan(std::string explain_text) {
     plan_explain_ = std::move(explain_text);
   }
+
+  /// Books host wall-clock planning time (Program::prepare) into
+  /// stats().plan_host_ms and, when tracing is on, drops an instant marker
+  /// on the modeled timeline (host work never advances the modeled clock).
+  void note_plan_prepare(double host_ms, bool cache_hit);
 
   // --- Plan-vs-actual audit ----------------------------------------------
   /// Records what the planner predicts ONE execution of the upcoming DAG

@@ -25,6 +25,7 @@
 
 #include "la/generate.h"
 #include "patterns/executor.h"
+#include "serve/request_trace.h"
 #include "serve/server.h"
 #include "ml/script_library.h"
 
@@ -188,6 +189,11 @@ TEST(Chaos, SoakWithFaultStormsCancellationsAndDrain) {
   opts.retry.max_attempts = 3;
   opts.breaker.failure_threshold = 3;
   opts.breaker.cooldown_ms = 3.0 * storm_dispatch_ms;
+  // Observability rides along under full chaos: every resolved request must
+  // seal exactly one complete span tree, and the flight recorder must absorb
+  // the anomaly storm without disturbing any invariant below.
+  opts.request_tracing = true;
+  opts.flight_recorder = true;
   Server server(opts);
   const DatasetId dataset = server.add_dataset(X);
   server.start();
@@ -248,6 +254,17 @@ TEST(Chaos, SoakWithFaultStormsCancellationsAndDrain) {
     ASSERT_EQ(entry.handle.state()->resolutions(), 1)
         << "tag " << entry.handle.wait().tag;
     ++kind_counts[static_cast<int>(entry.handle.wait().kind)];
+    // (1b) TRACE COMPLETENESS — whatever the outcome kind or interleaving,
+    // the winning resolve sealed exactly one structurally complete span
+    // tree whose root duration bit-matches the modeled latency the client
+    // reads off the outcome (queue wait + execution, same doubles).
+    const ServeOutcome& o = entry.handle.wait();
+    ASSERT_NE(o.trace, nullptr) << "tag " << o.tag;
+    ASSERT_TRUE(o.trace->complete()) << "tag " << o.tag;
+    ASSERT_EQ(o.trace->tag, o.tag);
+    ASSERT_EQ(o.trace->kind, o.kind);
+    ASSERT_EQ(o.trace->root().dur_ms, o.queue_wait_ms + o.modeled_ms)
+        << "tag " << o.tag;
   }
   EXPECT_EQ(kind_counts[static_cast<int>(OutcomeKind::kCompleted)],
             stats.completed);
@@ -313,6 +330,10 @@ TEST(Chaos, SilentCorruptionSoakDetectsRecoversAndQuarantines) {
   opts.quarantine.enabled = true;
   opts.quarantine.sdc_threshold = 2;
   opts.quarantine.probation_ms = 0.25;
+  // Tracing must survive the quarantine requeue path too: a request that
+  // bounces across workers still seals exactly one tree.
+  opts.request_tracing = true;
+  opts.flight_recorder = true;
   Server server(opts);
   const DatasetId dataset = server.add_dataset(X);
   server.start();
@@ -422,6 +443,11 @@ TEST(Chaos, SilentCorruptionSoakDetectsRecoversAndQuarantines) {
     ASSERT_TRUE(entry.handle.resolved());
     ASSERT_EQ(entry.handle.state()->resolutions(), 1)
         << "tag " << entry.handle.wait().tag;
+    const ServeOutcome& o = entry.handle.wait();
+    ASSERT_NE(o.trace, nullptr) << "tag " << o.tag;
+    ASSERT_TRUE(o.trace->complete()) << "tag " << o.tag;
+    ASSERT_EQ(o.trace->root().dur_ms, o.queue_wait_ms + o.modeled_ms)
+        << "tag " << o.tag;
   }
   EXPECT_LE(stats.queue_high_water, opts.queue_capacity);
 

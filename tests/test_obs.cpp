@@ -188,6 +188,43 @@ TEST(Metrics, EmptyHistogramReportsZeros) {
   EXPECT_DOUBLE_EQ(h.max(), 0.0);
 }
 
+TEST(Metrics, HistogramReservoirStaysBoundedWithExactScalars) {
+  obs::Histogram h;
+  // Below the cap the reservoir holds every sample and quantiles are exact.
+  for (int i = 1; i <= 100; ++i) h.observe(static_cast<double>(i));
+  EXPECT_EQ(h.reservoir_size(), 100u);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 50.0);
+  EXPECT_DOUBLE_EQ(h.percentile(99.0), 99.0);
+  // Push an order of magnitude past the cap: memory stays at the cap while
+  // count/sum/min/max remain exact, and quantiles stay inside the observed
+  // range (the reservoir is a uniform subsample of it).
+  constexpr int kTotal = 10 * static_cast<int>(
+      obs::Histogram::kReservoirCapacity);
+  for (int i = 101; i <= kTotal; ++i) h.observe(static_cast<double>(i));
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kTotal));
+  EXPECT_EQ(h.reservoir_size(), obs::Histogram::kReservoirCapacity);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), static_cast<double>(kTotal));
+  EXPECT_DOUBLE_EQ(h.mean(), (1.0 + kTotal) / 2.0);
+  const double p50 = h.percentile(50.0);
+  EXPECT_GE(p50, h.min());
+  EXPECT_LE(p50, h.max());
+  EXPECT_LE(h.percentile(50.0), h.percentile(95.0));
+  EXPECT_LE(h.percentile(95.0), h.percentile(99.0));
+
+  // The replacement stream is a deterministic LCG: the same single-threaded
+  // observation sequence reproduces the same quantiles bit-for-bit.
+  obs::Histogram h2;
+  for (int i = 1; i <= kTotal; ++i) h2.observe(static_cast<double>(i));
+  EXPECT_EQ(h2.percentile(50.0), p50);
+  EXPECT_EQ(h2.percentile(99.0), h.percentile(99.0));
+
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.reservoir_size(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);
+}
+
 TEST(Metrics, ConcurrentHammerKeepsExactTotals) {
   ProfilingScope scope;
   auto& reg = obs::metrics();

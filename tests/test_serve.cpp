@@ -4,13 +4,19 @@
 // multi-threaded soak lives in test_chaos.cpp.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <sstream>
+#include <utility>
 #include <vector>
 
 #include "la/generate.h"
 #include "patterns/executor.h"
 #include "serve/admission_queue.h"
 #include "serve/circuit_breaker.h"
+#include "serve/flight_recorder.h"
+#include "serve/request_trace.h"
 #include "serve/server.h"
+#include "serve/slo.h"
 #include "ml/script_library.h"
 
 namespace fusedml::serve {
@@ -420,6 +426,275 @@ TEST(Server, TagsRideThroughToOutcomes) {
   ServeHandle h = server.submit(std::move(req));
   EXPECT_EQ(h.wait().tag, 0xfeedULL);
   server.drain();
+}
+
+// --- SLO accounting ---------------------------------------------------------
+
+ServeOutcome made_outcome(OutcomeKind kind, Priority priority, double queue_ms,
+                          double modeled_ms, double deadline_ms = 0.0,
+                          int worker = 0) {
+  ServeOutcome o;
+  o.kind = kind;
+  o.priority = priority;
+  o.queue_wait_ms = queue_ms;
+  o.modeled_ms = modeled_ms;
+  o.deadline_ms = deadline_ms;
+  o.worker = worker;
+  return o;
+}
+
+TEST(SloTracker, BucketsOutcomesByClassAndKind) {
+  SloTracker slo;
+  slo.record(made_outcome(OutcomeKind::kCompleted, Priority::kInteractive,
+                          1.0, 3.0, /*deadline_ms=*/10.0));
+  slo.record(made_outcome(OutcomeKind::kCompleted, Priority::kInteractive,
+                          2.0, 9.0, /*deadline_ms=*/10.0));  // 11 > 10: miss
+  slo.record(made_outcome(OutcomeKind::kDeadlineExceeded,
+                          Priority::kInteractive, 5.0, 5.0,
+                          /*deadline_ms=*/8.0));
+  slo.record(made_outcome(OutcomeKind::kFailed, Priority::kBatch, 0.5, 2.0));
+  ServeOutcome shed = made_outcome(OutcomeKind::kRejected, Priority::kBatch,
+                                   0.0, 0.0, 0.0, /*worker=*/-1);
+  shed.reject_reason = RejectReason::kShedding;
+  slo.record(shed);
+  ServeOutcome rej = made_outcome(OutcomeKind::kRejected, Priority::kNormal,
+                                  0.0, 0.0, 0.0, /*worker=*/-1);
+  rej.reject_reason = RejectReason::kQueueFull;
+  slo.record(rej);
+
+  const SloClassSnapshot hi = slo.snapshot(Priority::kInteractive);
+  EXPECT_EQ(hi.completed, 2u);
+  EXPECT_EQ(hi.deadline_exceeded, 1u);
+  // All three interactive requests executed with a deadline; only the first
+  // completed within it.
+  EXPECT_EQ(hi.deadline_total, 3u);
+  EXPECT_EQ(hi.deadline_hits, 1u);
+  EXPECT_DOUBLE_EQ(hi.deadline_hit_ratio(), 1.0 / 3.0);
+  EXPECT_EQ(hi.latency_count, 3u);
+  EXPECT_DOUBLE_EQ(hi.max_ms, 11.0);
+  EXPECT_DOUBLE_EQ(hi.queue_ms, 8.0);
+
+  const SloClassSnapshot batch = slo.snapshot(Priority::kBatch);
+  EXPECT_EQ(batch.failed, 1u);
+  EXPECT_EQ(batch.shed, 1u);
+  EXPECT_EQ(batch.rejected, 0u);
+  // No deadline-carrying batch request: nothing missed, ratio is 1.
+  EXPECT_DOUBLE_EQ(batch.deadline_hit_ratio(), 1.0);
+
+  const SloClassSnapshot normal = slo.snapshot(Priority::kNormal);
+  EXPECT_EQ(normal.rejected, 1u);
+  EXPECT_EQ(normal.shed, 0u);
+  EXPECT_EQ(normal.latency_count, 0u);  // never executed: no latency sample
+}
+
+TEST(SloTracker, DecomposesLatencyIntoBuckets) {
+  SloTracker slo;
+  ServeOutcome o = made_outcome(OutcomeKind::kCompleted, Priority::kNormal,
+                                2.0, 10.0);
+  o.resilience.verify_ms = 3.0;
+  o.resilience.backoff_ms = 1.0;  // counted via overhead_ms()
+  o.plan_host_ms = 0.25;
+  slo.record(o);
+  const SloClassSnapshot s = slo.snapshot(Priority::kNormal);
+  EXPECT_DOUBLE_EQ(s.queue_ms, 2.0);
+  EXPECT_DOUBLE_EQ(s.verify_ms, 3.0);
+  EXPECT_DOUBLE_EQ(s.resilience_ms, o.resilience.overhead_ms());
+  // exec = modeled - verify - resilience overhead; the four modeled buckets
+  // sum back to the full latency the client saw.
+  EXPECT_DOUBLE_EQ(s.exec_ms, 10.0 - 3.0 - o.resilience.overhead_ms());
+  EXPECT_DOUBLE_EQ(s.queue_ms + s.exec_ms + s.verify_ms + s.resilience_ms,
+                   12.0);
+  EXPECT_DOUBLE_EQ(s.plan_host_ms, 0.25);
+}
+
+// --- Flight recorder --------------------------------------------------------
+
+TEST(FlightRecorder, RingIsBoundedAndKeepsNewest) {
+  FlightRecorder fr(/*capacity=*/4, /*max_incidents=*/2);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    FlightRecord rec;
+    rec.tag = i;
+    fr.record(rec);
+  }
+  EXPECT_EQ(fr.recorded(), 10u);
+  const auto recent = fr.recent();
+  ASSERT_EQ(recent.size(), 4u);  // bounded at capacity
+  for (usize i = 0; i < recent.size(); ++i) {
+    EXPECT_EQ(recent[i].tag, 6u + i) << "oldest-first order";
+  }
+}
+
+TEST(FlightRecorder, IncidentBudgetCapturesFirstNButCountsAllFires) {
+  FlightRecorder fr(/*capacity=*/4, /*max_incidents=*/2);
+  FlightRecord rec;
+  rec.tag = 7;
+  fr.record(rec);
+  EXPECT_TRUE(fr.fire(AnomalyKind::kDeadlineMiss, rec, 1.0));
+  EXPECT_TRUE(fr.fire(AnomalyKind::kBreakerOpen, rec, 2.0));
+  EXPECT_FALSE(fr.fire(AnomalyKind::kFailure, rec, 3.0));  // budget spent
+  EXPECT_EQ(fr.fires(), 3u);
+  const auto incidents = fr.incidents();
+  ASSERT_EQ(incidents.size(), 2u);
+  EXPECT_EQ(incidents[0].kind, AnomalyKind::kDeadlineMiss);
+  EXPECT_EQ(incidents[0].trigger.tag, 7u);
+  ASSERT_EQ(incidents[0].recent.size(), 1u);
+  std::ostringstream os;
+  fr.write_incidents_json(os);
+  EXPECT_NE(os.str().find("\"deadline_miss\""), std::string::npos);
+}
+
+// --- Request tracing --------------------------------------------------------
+
+TEST(Server, TracedRequestsCarryCompleteSpanTrees) {
+  la::CsrMatrix X = la::uniform_sparse(64, 32, 0.15, 91);
+  ServeOptions opts;
+  opts.workers = 2;
+  opts.request_tracing = true;
+  Server server(opts);
+  const DatasetId id = server.add_dataset(X);
+  server.start();
+  std::vector<ServeHandle> handles;
+  for (int i = 0; i < 8; ++i) {
+    ServeRequest req = pattern_request(
+        id, X, 200u + i, static_cast<Priority>(i % kNumPriorities));
+    req.tag = 900u + static_cast<std::uint64_t>(i);
+    handles.push_back(server.submit(std::move(req)));
+  }
+  for (const ServeHandle& h : handles) {
+    const ServeOutcome& o = h.wait();
+    ASSERT_EQ(o.kind, OutcomeKind::kCompleted);
+    ASSERT_NE(o.trace, nullptr);
+    EXPECT_TRUE(o.trace->complete());
+    EXPECT_EQ(o.trace->tag, o.tag);
+    EXPECT_EQ(o.trace->kind, o.kind);
+    EXPECT_EQ(o.trace->priority, o.priority);
+    // THE oracle: the root span is sealed from the same numbers the client
+    // reads, so the equality is bit-exact, not approximate.
+    EXPECT_EQ(o.trace->root().dur_ms, o.queue_wait_ms + o.modeled_ms);
+    std::ostringstream os;
+    o.trace->write_json(os);
+    EXPECT_NE(os.str().find("\"spans\""), std::string::npos);
+  }
+  server.drain();
+}
+
+TEST(Server, TracingOffLeavesOutcomesUntraced) {
+  la::CsrMatrix X = la::uniform_sparse(32, 16, 0.2, 95);
+  Server server;  // defaults: request_tracing = false
+  const DatasetId id = server.add_dataset(X);
+  server.start();
+  ServeHandle h = server.submit(pattern_request(id, X, 96));
+  EXPECT_EQ(h.wait().trace, nullptr);
+  server.drain();
+}
+
+TEST(Server, CancelledBeforeStartStillSealsExactlyOneTree) {
+  la::CsrMatrix X = la::uniform_sparse(32, 16, 0.2, 97);
+  ServeOptions opts;
+  opts.workers = 1;
+  opts.request_tracing = true;
+  Server server(opts);
+  const DatasetId id = server.add_dataset(X);
+  ServeHandle h = server.submit(pattern_request(id, X, 98));
+  h.cancel();  // resolved on the client thread — no worker ever ran
+  const ServeOutcome& o = h.wait();
+  ASSERT_EQ(o.kind, OutcomeKind::kCancelled);
+  ASSERT_NE(o.trace, nullptr);
+  EXPECT_TRUE(o.trace->complete());
+  EXPECT_EQ(o.trace->root().dur_ms, o.queue_wait_ms + o.modeled_ms);
+  server.drain();
+}
+
+// Tracing is a pure observer: the same deterministic workload (one worker,
+// queue filled before start) resolves to bit-identical modeled numbers with
+// tracing+flight-recorder on and off.
+TEST(Server, TracingEnabledIsBitIdenticalToDisabled) {
+  la::CsrMatrix X = la::uniform_sparse(64, 32, 0.15, 99);
+  const auto run = [&X](bool traced,
+                        std::vector<std::pair<double, double>>& modeled) {
+    ServeOptions opts;
+    opts.workers = 1;
+    opts.queue_capacity = 16;
+    opts.request_tracing = traced;
+    opts.flight_recorder = traced;
+    Server server(opts);
+    const DatasetId id = server.add_dataset(X);
+    std::vector<ServeHandle> handles;
+    for (int i = 0; i < 12; ++i) {
+      handles.push_back(server.submit(pattern_request(
+          id, X, 300u + i, static_cast<Priority>(i % kNumPriorities))));
+    }
+    server.start();
+    for (const ServeHandle& h : handles) {
+      const ServeOutcome& o = h.wait();
+      if (traced) {
+        ASSERT_NE(o.trace, nullptr);
+        ASSERT_TRUE(o.trace->complete());
+        ASSERT_EQ(o.trace->root().dur_ms, o.queue_wait_ms + o.modeled_ms);
+      } else {
+        ASSERT_EQ(o.trace, nullptr);
+      }
+      modeled.emplace_back(o.queue_wait_ms, o.modeled_ms);
+    }
+    server.drain();
+  };
+  std::vector<std::pair<double, double>> off;
+  std::vector<std::pair<double, double>> on;
+  ASSERT_NO_FATAL_FAILURE(run(false, off));
+  ASSERT_NO_FATAL_FAILURE(run(true, on));
+  ASSERT_EQ(off.size(), on.size());
+  for (usize i = 0; i < off.size(); ++i) {
+    EXPECT_EQ(off[i].first, on[i].first) << "queue_wait_ms, request " << i;
+    EXPECT_EQ(off[i].second, on[i].second) << "modeled_ms, request " << i;
+  }
+}
+
+// --- ServerStatus -----------------------------------------------------------
+
+TEST(Server, StatusSnapshotsClassesAndSerializes) {
+  la::CsrMatrix X = la::uniform_sparse(64, 32, 0.15, 101);
+  ServeOptions opts;
+  opts.workers = 1;
+  opts.request_tracing = true;
+  opts.flight_recorder = true;
+  Server server(opts);
+  const DatasetId id = server.add_dataset(X);
+  server.start();
+  std::vector<ServeHandle> handles;
+  for (int i = 0; i < 9; ++i) {
+    handles.push_back(server.submit(pattern_request(
+        id, X, 400u + i, static_cast<Priority>(i % kNumPriorities))));
+  }
+  for (const ServeHandle& h : handles) h.wait();
+  // One doomed deadline fires the recorder: 0 modeled ms of budget cannot
+  // cover any dispatch.
+  ServeRequest doomed = pattern_request(id, X, 444, Priority::kInteractive);
+  doomed.deadline_ms = 1e-9;
+  EXPECT_EQ(server.submit(std::move(doomed)).wait().kind,
+            OutcomeKind::kDeadlineExceeded);
+  server.drain();
+
+  const ServerStatus status = server.status();
+  std::uint64_t executed = 0;
+  for (int c = 0; c < kNumPriorities; ++c) {
+    executed += status.classes[c].latency_count;
+  }
+  EXPECT_EQ(status.totals.completed, 9u);
+  EXPECT_GE(executed, 9u);
+  EXPECT_EQ(status.flight_recorded, server.flight().recorded());
+  EXPECT_GE(status.anomalies_fired, 1u);  // the deadline miss fired
+
+  std::ostringstream json;
+  status.write_json(json);
+  EXPECT_NE(json.str().find("\"classes\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"interactive\""), std::string::npos);
+  std::ostringstream text;
+  status.print(text);
+  EXPECT_NE(text.str().find("interactive"), std::string::npos);
+
+  std::ostringstream bundle;
+  server.write_incident_bundle(bundle);
+  EXPECT_NE(bundle.str().find("\"incident_bundles\""), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: compare a bench --json record against a checked-in
+baseline and fail on drift.
+
+Every gated metric is a MODELED number (modeled milliseconds, launch counts,
+outcome counts, deadline-hit ratios) — deterministic run-to-run on any
+machine — so the baselines are portable and a failure means the code changed
+behavior, not that CI got a slow VM. Interleaving-dependent metrics (host
+wait-time percentiles, breaker skips under a real thread race) either carry
+wide tolerances or are not gated at all.
+
+Baseline file format (bench/baselines/*.json):
+
+    {
+      "bench": "serving",
+      "command": "bench_serving --json current.json",
+      "gate_spec": [
+        {"pattern": "^light_completed$", "tol_pct": 0.0},
+        {"pattern": "_p99_ms$",          "tol_pct": 50.0, "tol_abs": 0.05}
+      ],
+      "gate": {
+        "light_completed": {"value": 96.0, "tol_pct": 0.0}
+      }
+    }
+
+`gate_spec` is the policy (which metric names are gated, first matching
+pattern wins, and with what tolerance); `gate` is the frozen expectation the
+compare runs against. A metric passes when
+
+    |current - baseline| <= max(tol_abs, |baseline| * tol_pct / 100)
+
+Subcommands:
+    compare   --baseline B --current C [--report OUT]   exit 1 on any drift
+    update    --baseline B --current C                  refreeze gate values
+    self-test --baseline B                              prove the gate trips
+
+`self-test` synthesizes a passing record straight from the baseline, checks
+it passes, then injects a regression just past the tolerance on every gated
+metric in turn and checks each one FAILS — run it in CI so a gate that can
+no longer catch anything is itself a failure.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def tolerance(entry):
+    tol_abs = float(entry.get("tol_abs", 0.0))
+    tol_pct = float(entry.get("tol_pct", 0.0))
+    return max(tol_abs, abs(float(entry["value"])) * tol_pct / 100.0)
+
+
+def compare(baseline, metrics):
+    """Returns (rows, failures): one row per gated metric."""
+    rows, failures = [], 0
+    for key in sorted(baseline.get("gate", {})):
+        entry = baseline["gate"][key]
+        want = float(entry["value"])
+        tol = tolerance(entry)
+        if key not in metrics:
+            rows.append({"metric": key, "baseline": want, "current": None,
+                         "tol": tol, "status": "MISSING"})
+            failures += 1
+            continue
+        got = float(metrics[key])
+        drift = got - want
+        ok = abs(drift) <= tol
+        rows.append({"metric": key, "baseline": want, "current": got,
+                     "drift": drift, "tol": tol,
+                     "status": "ok" if ok else "FAIL"})
+        failures += 0 if ok else 1
+    return rows, failures
+
+
+def print_rows(rows, bench):
+    width = max([len(r["metric"]) for r in rows] + [6])
+    print(f"perf gate [{bench}]: {len(rows)} gated metrics")
+    for r in rows:
+        cur = "<missing>" if r["current"] is None else f"{r['current']:.6g}"
+        drift = "" if r["current"] is None else f" drift {r['drift']:+.6g}"
+        print(f"  {r['status']:>7}  {r['metric']:<{width}}  "
+              f"baseline {r['baseline']:.6g}  current {cur}"
+              f"{drift}  tol {r['tol']:.6g}")
+
+
+def cmd_compare(args):
+    baseline = load(args.baseline)
+    current = load(args.current)
+    rows, failures = compare(baseline, current.get("metrics", {}))
+    print_rows(rows, baseline.get("bench", "?"))
+    if args.report:
+        with open(args.report, "w") as f:
+            json.dump({"bench": baseline.get("bench"),
+                       "baseline_file": args.baseline,
+                       "current_file": args.current,
+                       "failures": failures, "rows": rows}, f, indent=2)
+            f.write("\n")
+    if failures:
+        print(f"perf gate FAILED: {failures} metric(s) drifted "
+              f"(regenerate with `bench_compare.py update` only if the "
+              f"change is intended)")
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+def cmd_update(args):
+    baseline = load(args.baseline)
+    metrics = load(args.current).get("metrics", {})
+    spec = baseline.get("gate_spec", [])
+    gate = {}
+    for key in sorted(metrics):
+        for rule in spec:
+            if re.search(rule["pattern"], key):
+                entry = {"value": float(metrics[key])}
+                for field in ("tol_pct", "tol_abs"):
+                    if field in rule:
+                        entry[field] = rule[field]
+                gate[key] = entry
+                break
+    if not gate:
+        print("error: no metric in the current record matches any "
+              "gate_spec pattern", file=sys.stderr)
+        return 1
+    baseline["gate"] = gate
+    with open(args.baseline, "w") as f:
+        json.dump(baseline, f, indent=2)
+        f.write("\n")
+    print(f"froze {len(gate)} gated metrics into {args.baseline}")
+    return 0
+
+
+def cmd_self_test(args):
+    baseline = load(args.baseline)
+    gate = baseline.get("gate", {})
+    if not gate:
+        print("error: baseline has no gate to self-test", file=sys.stderr)
+        return 1
+    clean = {k: float(v["value"]) for k, v in gate.items()}
+    _, failures = compare(baseline, clean)
+    if failures:
+        print("self-test FAILED: a bit-identical record did not pass")
+        return 1
+    missed = []
+    for key, entry in gate.items():
+        # Inject a synthetic regression just past the tolerance band; the
+        # +1.0 floor keeps zero-baseline zero-tolerance metrics moving.
+        bad = dict(clean)
+        bad[key] = float(entry["value"]) + tolerance(entry) * 1.5 + 1.0
+        _, failures = compare(baseline, bad)
+        if failures == 0:
+            missed.append(key)
+    if missed:
+        print(f"self-test FAILED: injected regressions not caught on "
+              f"{missed}")
+        return 1
+    print(f"self-test passed: clean record accepted, injected regression "
+          f"caught on all {len(gate)} gated metrics")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="cmd", required=True)
+    p = sub.add_parser("compare", help="gate a current record (exit 1 on drift)")
+    p.add_argument("--baseline", required=True)
+    p.add_argument("--current", required=True)
+    p.add_argument("--report", help="write a JSON diff artifact here")
+    p.set_defaults(func=cmd_compare)
+    p = sub.add_parser("update", help="refreeze gate values from a record")
+    p.add_argument("--baseline", required=True)
+    p.add_argument("--current", required=True)
+    p.set_defaults(func=cmd_update)
+    p = sub.add_parser("self-test",
+                       help="prove the gate catches injected regressions")
+    p.add_argument("--baseline", required=True)
+    p.set_defaults(func=cmd_self_test)
+    args = parser.parse_args()
+    sys.exit(args.func(args))
+
+
+if __name__ == "__main__":
+    main()
